@@ -1,0 +1,167 @@
+// Command tcbench regenerates the experiment tables of EXPERIMENTS.md:
+//
+//	tcbench -exp e1     double-spend race vs confirmation depth
+//	tcbench -exp e2     batch mode vs direct mode cost
+//	tcbench -exp e3     metadata strategies and UTXO-table deadweight
+//	tcbench -exp e4     revocation latency
+//	tcbench -exp e5     trust-free verification vs upstream length
+//	tcbench -exp e6     escrow pools and compromised-agent tolerance
+//	tcbench -exp all    everything (the EXPERIMENTS.md tables)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"typecoin/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: e1..e6 or all")
+	quick := flag.Bool("quick", false, "smaller parameters for a fast run")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("e1", func() error {
+		trials := 200000
+		if *quick {
+			trials = 10000
+		}
+		rows := bench.RunE1([]float64{0.10, 0.25, 0.40},
+			[]int{0, 1, 2, 3, 4, 5, 6, 8, 10}, trials)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		reorged, stillMain, err := bench.RunE1Chain()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  chain check: stronger-branch reorg=%v, weaker-branch rejected=%v\n",
+			reorged, stillMain)
+		return nil
+	})
+
+	run("e2", func() error {
+		ks := []int{1, 10, 100}
+		if *quick {
+			ks = []int{1, 10}
+		}
+		rows, err := bench.RunE2(ks)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		return nil
+	})
+
+	run("e3", func() error {
+		ns := []int{10, 100}
+		if *quick {
+			ns = []int{10}
+		}
+		rows, err := bench.RunE3(ns)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		return nil
+	})
+
+	run("e4", func() error {
+		trials := 5
+		if *quick {
+			trials = 2
+		}
+		rows, err := bench.RunE4(trials)
+		if err != nil {
+			return err
+		}
+		blocks := 0
+		for _, r := range rows {
+			fmt.Println(" ", r)
+			blocks += r.BlocksToRevoke
+		}
+		mean := float64(blocks) / float64(len(rows))
+		fmt.Printf("  mean revocation latency: %.1f blocks (~%.0f minutes at 10 min/block; paper: ~15 min)\n",
+			mean, mean*10)
+		return nil
+	})
+
+	run("e5", func() error {
+		ns := []int{1, 10, 50, 200}
+		if *quick {
+			ns = []int{1, 10, 50}
+		}
+		rows, err := bench.RunE5(ns)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		// Ablation: the same histories flushed through a batch withdrawal
+		// leave a constant two-bundle upstream set.
+		bks := []int{10, 200}
+		if *quick {
+			bks = []int{10}
+		}
+		brows, err := bench.RunE5Batch(bks)
+		if err != nil {
+			return err
+		}
+		for _, r := range brows {
+			fmt.Println("  ablation:", r)
+		}
+		iters := 2000
+		d, err := bench.RunE5Checker(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  proof checker: %v per newcoin-merge check (%.0f checks/sec)\n",
+			(d / time.Duration(iters)).Round(time.Microsecond),
+			float64(iters)/d.Seconds())
+		return nil
+	})
+
+	run("e6", func() error {
+		rows, err := bench.RunE6([][3]int{
+			{1, 1, 0},
+			{2, 3, 0},
+			{2, 3, 1},
+			{2, 3, 2},
+			{3, 5, 0},
+			{3, 5, 2},
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		return nil
+	})
+
+	if *exp != "all" && *exp != "e1" && *exp != "e2" && *exp != "e3" &&
+		*exp != "e4" && *exp != "e5" && *exp != "e6" {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,192 @@
+// Command tclogic is a workbench for the Typecoin logic: it parses bases
+// and propositions in the concrete syntax and runs the checkers on them.
+//
+//	tclogic basis <file.tcb>            parse, form-check and freshness-check a basis
+//	tclogic prop  <file.tcb> "<prop>"   check a proposition against a basis
+//	tclogic proof <file.tcb> "<prop>" "<proof>"  check a proof of a proposition
+//	tclogic fresh <file.tcb> "<prop>"   run the freshness judgement
+//	tclogic entails "<cond>" "<cond>"   decide condition entailment
+//	tclogic eval "<cond>" <time>        evaluate a (spent-free) condition at a time
+//
+// Example:
+//
+//	cat > newcoin.tcb <<'EOF'
+//	coin  : nat -> prop.
+//	merge : all N:nat. all M:nat. all P:nat.
+//	        (some x:plus N M P. 1) -o coin N * coin M -o coin P.
+//	EOF
+//	tclogic prop newcoin.tcb "coin 2 * coin 3 -o coin 5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"typecoin/internal/logic"
+	"typecoin/internal/proof"
+	"typecoin/internal/surface"
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "basis":
+		err = cmdBasis(args[1:])
+	case "prop":
+		err = cmdProp(args[1:], false)
+	case "proof":
+		err = cmdProof(args[1:])
+	case "fresh":
+		err = cmdProp(args[1:], true)
+	case "entails":
+		err = cmdEntails(args[1:])
+	case "eval":
+		err = cmdEval(args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tclogic:", err)
+		os.Exit(1)
+	}
+}
+
+func loadBasis(path string) (*logic.Basis, *surface.MapScope, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := surface.NewScope(false)
+	b, err := surface.ParseBasis(string(src), sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, sc, nil
+}
+
+func cmdBasis(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	b, _, err := loadBasis(args[0])
+	if err != nil {
+		return err
+	}
+	if err := logic.FreshBasis(b); err != nil {
+		return fmt.Errorf("freshness: %w", err)
+	}
+	fmt.Printf("basis ok: %d families, %d terms, %d rules\n",
+		len(b.LocalFamRefs()), len(b.LocalTermRefs()), len(b.LocalPropRefs()))
+	fmt.Print(surface.PrintBasis(b))
+	return nil
+}
+
+func cmdProp(args []string, fresh bool) error {
+	if len(args) != 2 {
+		usage()
+	}
+	b, sc, err := loadBasis(args[0])
+	if err != nil {
+		return err
+	}
+	p, err := surface.ParseProp(args[1], sc)
+	if err != nil {
+		return err
+	}
+	if err := logic.CheckProp(b, nil, p); err != nil {
+		return err
+	}
+	fmt.Println("prop ok:", surface.PrintProp(p))
+	if fresh {
+		if err := logic.FreshProp(p); err != nil {
+			return err
+		}
+		fmt.Println("fresh: yes (usable as a grant or declaration)")
+	}
+	return nil
+}
+
+func cmdProof(args []string) error {
+	if len(args) != 3 {
+		usage()
+	}
+	b, sc, err := loadBasis(args[0])
+	if err != nil {
+		return err
+	}
+	want, err := surface.ParseProp(args[1], sc)
+	if err != nil {
+		return fmt.Errorf("proposition: %w", err)
+	}
+	m, err := surface.ParseProof(args[2], sc)
+	if err != nil {
+		return fmt.Errorf("proof: %w", err)
+	}
+	if err := proof.Check(b, nil, m, want); err != nil {
+		return err
+	}
+	fmt.Println("proof ok:")
+	fmt.Println("  ", surface.PrintProof(m))
+	fmt.Println("   : ", surface.PrintProp(want))
+	return nil
+}
+
+func cmdEntails(args []string) error {
+	if len(args) != 2 {
+		usage()
+	}
+	sc := surface.NewScope(false)
+	l, err := surface.ParseCond(args[0], sc)
+	if err != nil {
+		return err
+	}
+	r, err := surface.ParseCond(args[1], sc)
+	if err != nil {
+		return err
+	}
+	if logic.EntailsCond(l, r) {
+		fmt.Printf("%s  =>  %s\n", surface.PrintCond(l), surface.PrintCond(r))
+		return nil
+	}
+	return fmt.Errorf("%s does not entail %s", surface.PrintCond(l), surface.PrintCond(r))
+}
+
+func cmdEval(args []string) error {
+	if len(args) != 2 {
+		usage()
+	}
+	sc := surface.NewScope(false)
+	c, err := surface.ParseCond(args[0], sc)
+	if err != nil {
+		return err
+	}
+	now, err := strconv.ParseUint(args[1], 10, 64)
+	if err != nil {
+		return err
+	}
+	v, err := logic.EvalCond(c, &logic.MapOracle{Time: now})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s at t=%d: %v\n", surface.PrintCond(c), now, v)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tclogic <command>
+commands:
+  basis <file.tcb>             check a basis file
+  prop <file.tcb> "<prop>"     check a proposition against a basis
+  proof <file.tcb> "<prop>" "<proof>"  check a proof term
+  fresh <file.tcb> "<prop>"    check proposition freshness
+  entails "<cond>" "<cond>"    decide condition entailment
+  eval "<cond>" <unixtime>     evaluate a condition`)
+	os.Exit(2)
+}

@@ -1,0 +1,124 @@
+// Command typecoin-cli talks to a typecoind's HTTP control API.
+//
+//	typecoin-cli [-node http://localhost:18332] status
+//	typecoin-cli mine [n]
+//	typecoin-cli balance
+//	typecoin-cli newkey
+//	typecoin-cli send <principal> <satoshi>
+//	typecoin-cli block <height>
+//	typecoin-cli typecoin <txid:n>
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+)
+
+func main() {
+	node := flag.String("node", "http://localhost:18332", "typecoind HTTP address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	var (
+		out []byte
+		err error
+	)
+	switch args[0] {
+	case "status":
+		out, err = get(*node + "/status")
+	case "mine":
+		n := 1
+		if len(args) > 1 {
+			if n, err = strconv.Atoi(args[1]); err != nil {
+				fatal(err)
+			}
+		}
+		out, err = post(*node+"/mine", map[string]int{"blocks": n})
+	case "balance":
+		out, err = get(*node + "/balance")
+	case "newkey":
+		out, err = post(*node+"/newkey", struct{}{})
+	case "send":
+		if len(args) != 3 {
+			usage()
+		}
+		amount, aerr := strconv.ParseInt(args[2], 10, 64)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		out, err = post(*node+"/send", map[string]interface{}{
+			"to": args[1], "amount": amount,
+		})
+	case "block":
+		if len(args) != 2 {
+			usage()
+		}
+		out, err = get(*node + "/block/" + args[1])
+	case "typecoin":
+		if len(args) != 2 {
+			usage()
+		}
+		out, err = get(*node + "/typecoin/" + args[1])
+	default:
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	// Pretty-print the JSON.
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, out, "", "  ") == nil {
+		fmt.Println(pretty.String())
+	} else {
+		os.Stdout.Write(out)
+	}
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func post(url string, body interface{}) ([]byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "typecoin-cli:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: typecoin-cli [-node url] <command>
+commands:
+  status            chain and node status
+  mine [n]          mine n blocks (default 1)
+  balance           wallet balance in satoshi
+  newkey            generate a wallet key
+  send <to> <sat>   pay satoshi to a principal
+  block <height>    block summary
+  typecoin <txid:n> resolve a typed output`)
+	os.Exit(2)
+}

@@ -1,0 +1,244 @@
+// Command typecoind runs a Typecoin node: a Bitcoin-compatible regtest
+// chain with mempool, miner, wallet, TCP peer-to-peer networking and a
+// Typecoin ledger, controlled over a small JSON/HTTP API.
+//
+//	typecoind -listen :18444 -http :18332 [-connect host:port]
+//
+// Endpoints (all JSON):
+//
+//	GET  /status             chain height, tip, peers, mempool, utxo size
+//	POST /mine               {"blocks": n} mine n blocks to the wallet
+//	GET  /balance            wallet balance in satoshi
+//	POST /newkey             generate a key; returns the principal
+//	POST /send               {"to": principal, "amount": satoshi}
+//	GET  /block/{height}     block summary
+//	GET  /typecoin/{outpoint} resolve a typed output ("txid:n")
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chain"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/clock"
+	"typecoin/internal/mempool"
+	"typecoin/internal/miner"
+	"typecoin/internal/p2p"
+	"typecoin/internal/script"
+	"typecoin/internal/surface"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wallet"
+	"typecoin/internal/wire"
+)
+
+type server struct {
+	chain  *chain.Chain
+	pool   *mempool.Pool
+	miner  *miner.Miner
+	wallet *wallet.Wallet
+	node   *p2p.Node
+	ledger *typecoin.Ledger
+	payout bkey.Principal
+}
+
+func main() {
+	listen := flag.String("listen", ":18444", "p2p TCP listen address")
+	httpAddr := flag.String("http", ":18332", "HTTP control address")
+	connect := flag.String("connect", "", "comma-separated peers to dial")
+	minConf := flag.Int("minconf", 1, "typecoin confirmation depth")
+	flag.Parse()
+
+	params := chain.RegTestParams()
+	ch := chain.New(params, clock.System{})
+	pool := mempool.New(ch, -1)
+	w := wallet.New(ch, nil)
+	payout, err := w.NewKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := miner.New(ch, pool, clock.System{})
+	node := p2p.NewNode(ch, pool, log.New(os.Stderr, "p2p: ", log.LstdFlags))
+	ledger := typecoin.NewLedger(ch, *minConf)
+	node.SetLedger(ledger)
+
+	if *listen != "" {
+		addr, err := node.Listen(*listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("p2p listening on %s", addr)
+	}
+	for _, peer := range strings.Split(*connect, ",") {
+		if peer == "" {
+			continue
+		}
+		if err := node.Dial(peer); err != nil {
+			log.Printf("dial %s: %v", peer, err)
+		} else {
+			log.Printf("connected to %s", peer)
+		}
+	}
+
+	s := &server{chain: ch, pool: pool, miner: m, wallet: w, node: node,
+		ledger: ledger, payout: payout}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("POST /mine", s.handleMine)
+	mux.HandleFunc("GET /balance", s.handleBalance)
+	mux.HandleFunc("POST /newkey", s.handleNewKey)
+	mux.HandleFunc("POST /send", s.handleSend)
+	mux.HandleFunc("GET /block/", s.handleBlock)
+	mux.HandleFunc("GET /typecoin/", s.handleTypecoin)
+	log.Printf("http listening on %s (wallet principal %s)", *httpAddr, payout)
+	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"height":   s.chain.BestHeight(),
+		"tip":      s.chain.BestHash().String(),
+		"peers":    s.node.PeerCount(),
+		"mempool":  s.pool.Size(),
+		"utxoSize": s.chain.UtxoSize(),
+	})
+}
+
+func (s *server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Blocks int `json:"blocks"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Blocks <= 0 {
+		req.Blocks = 1
+	}
+	var hashes []string
+	for i := 0; i < req.Blocks; i++ {
+		blk, _, err := s.miner.Mine(s.payout)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.node.BroadcastBlock(blk)
+		hashes = append(hashes, blk.BlockHash().String())
+	}
+	writeJSON(w, map[string]interface{}{"blocks": hashes, "height": s.chain.BestHeight()})
+}
+
+func (s *server) handleBalance(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]int64{"satoshi": s.wallet.Balance()})
+}
+
+func (s *server) handleNewKey(w http.ResponseWriter, r *http.Request) {
+	p, err := s.wallet.NewKey()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]string{"principal": p.String()})
+}
+
+func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		To     string `json:"to"`
+		Amount int64  `json:"amount"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	to, err := bkey.ParsePrincipal(req.To)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	tx, err := s.wallet.Build([]wallet.Output{
+		{Value: req.Amount, PkScript: script.PayToPubKeyHash(to)},
+	}, wallet.BuildOptions{})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.node.BroadcastTx(tx); err != nil {
+		s.wallet.Unlock(tx)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]string{"txid": tx.TxHash().String()})
+}
+
+func (s *server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	hStr := strings.TrimPrefix(r.URL.Path, "/block/")
+	height, err := strconv.Atoi(hStr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad height %q", hStr))
+		return
+	}
+	blk, ok := s.chain.BlockAtHeight(height)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no block at height %d", height))
+		return
+	}
+	txids := make([]string, len(blk.Transactions))
+	for i, tx := range blk.Transactions {
+		txids[i] = tx.TxHash().String()
+	}
+	writeJSON(w, map[string]interface{}{
+		"hash":      blk.BlockHash().String(),
+		"time":      blk.Header.Timestamp,
+		"txids":     txids,
+		"numTxs":    len(blk.Transactions),
+		"prevBlock": blk.Header.PrevBlock.String(),
+	})
+}
+
+func (s *server) handleTypecoin(w http.ResponseWriter, r *http.Request) {
+	opStr := strings.TrimPrefix(r.URL.Path, "/typecoin/")
+	parts := strings.Split(opStr, ":")
+	if len(parts) != 2 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("want txid:n, got %q", opStr))
+		return
+	}
+	h, err := chainhash.NewHashFromStr(parts[0])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	idx, err := strconv.ParseUint(parts[1], 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	op := wire.OutPoint{Hash: h, Index: uint32(idx)}
+	prop, ok := s.ledger.ResolveOutput(op)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no typed output at %s", op))
+		return
+	}
+	writeJSON(w, map[string]string{
+		"outpoint": op.String(),
+		"type":     surface.PrintProp(prop),
+	})
+}

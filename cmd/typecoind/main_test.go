@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"typecoin/internal/chain"
+	"typecoin/internal/clock"
+	"typecoin/internal/mempool"
+	"typecoin/internal/miner"
+	"typecoin/internal/p2p"
+	"typecoin/internal/testutil"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wallet"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	params := chain.RegTestParams()
+	clk := clock.NewSimulated(params.GenesisBlock.Header.Timestamp.Add(1))
+	ch := chain.New(params, clk)
+	pool := mempool.New(ch, -1)
+	w := wallet.New(ch, testutil.NewEntropy(t.Name()))
+	payout, err := w.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := p2p.NewNode(ch, pool, nil)
+	t.Cleanup(node.Stop)
+	return &server{
+		chain: ch, pool: pool, miner: miner.New(ch, pool, clk),
+		wallet: w, node: node, ledger: typecoin.NewLedger(ch, 1), payout: payout,
+	}
+}
+
+func doJSON(t *testing.T, handler http.HandlerFunc, method, target string, body interface{}) (int, map[string]interface{}) {
+	t.Helper()
+	var reader *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader = bytes.NewReader(raw)
+	} else {
+		reader = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, target, reader)
+	rec := httptest.NewRecorder()
+	handler(rec, req)
+	var out map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("response %q is not JSON: %v", rec.Body.String(), err)
+	}
+	return rec.Code, out
+}
+
+func TestStatusAndMine(t *testing.T) {
+	s := newTestServer(t)
+	code, out := doJSON(t, s.handleStatus, "GET", "/status", nil)
+	if code != 200 || out["height"].(float64) != 0 {
+		t.Fatalf("status: code=%d out=%v", code, out)
+	}
+	code, out = doJSON(t, s.handleMine, "POST", "/mine", map[string]int{"blocks": 3})
+	if code != 200 || out["height"].(float64) != 3 {
+		t.Fatalf("mine: code=%d out=%v", code, out)
+	}
+	_, out = doJSON(t, s.handleStatus, "GET", "/status", nil)
+	if out["height"].(float64) != 3 {
+		t.Errorf("height after mine = %v", out["height"])
+	}
+}
+
+func TestBalanceNewKeySend(t *testing.T) {
+	s := newTestServer(t)
+	// Mature some coinbases.
+	if _, out := doJSON(t, s.handleMine, "POST", "/mine",
+		map[string]int{"blocks": s.chain.Params().CoinbaseMaturity + 1}); out["error"] != nil {
+		t.Fatalf("mine: %v", out)
+	}
+	_, out := doJSON(t, s.handleBalance, "GET", "/balance", nil)
+	if out["satoshi"].(float64) <= 0 {
+		t.Fatalf("balance: %v", out)
+	}
+	_, out = doJSON(t, s.handleNewKey, "POST", "/newkey", nil)
+	principal, _ := out["principal"].(string)
+	if len(principal) != 40 {
+		t.Fatalf("newkey: %v", out)
+	}
+	code, out := doJSON(t, s.handleSend, "POST", "/send",
+		map[string]interface{}{"to": principal, "amount": 1_000_000})
+	if code != 200 || out["txid"] == nil {
+		t.Fatalf("send: code=%d out=%v", code, out)
+	}
+	if s.pool.Size() != 1 {
+		t.Errorf("mempool size = %d after send", s.pool.Size())
+	}
+	// Bad principal is a 400.
+	code, _ = doJSON(t, s.handleSend, "POST", "/send",
+		map[string]interface{}{"to": "zz", "amount": 5})
+	if code != http.StatusBadRequest {
+		t.Errorf("bad principal: code=%d", code)
+	}
+}
+
+func TestBlockAndTypecoinEndpoints(t *testing.T) {
+	s := newTestServer(t)
+	doJSON(t, s.handleMine, "POST", "/mine", map[string]int{"blocks": 1})
+	code, out := doJSON(t, s.handleBlock, "GET", "/block/1", nil)
+	if code != 200 || out["numTxs"].(float64) != 1 {
+		t.Fatalf("block: code=%d out=%v", code, out)
+	}
+	code, _ = doJSON(t, s.handleBlock, "GET", "/block/99", nil)
+	if code != http.StatusNotFound {
+		t.Errorf("missing block: code=%d", code)
+	}
+	code, _ = doJSON(t, s.handleTypecoin, "GET", "/typecoin/nonsense", nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad outpoint: code=%d", code)
+	}
+}

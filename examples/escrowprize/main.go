@@ -1,0 +1,200 @@
+// Escrowprize: Section 7's puzzle competition. Alice wants to award a
+// prize to the FIRST person to solve a puzzle. A persistent
+// !(solution -o prize) would pay everyone, and a batch server would
+// require trusting the server — so she combines an open transaction
+// (a transaction with holes anyone can fill in) with a 2-of-3 pool of
+// type-checking escrow agents, tolerating one compromised agent.
+//
+// Run with: go run ./examples/escrowprize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/demo"
+	"typecoin/internal/escrow"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/mempool"
+	"typecoin/internal/proof"
+	"typecoin/internal/surface"
+	"typecoin/internal/testutil"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wallet"
+	"typecoin/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	env, err := demo.NewEnv("escrowprize")
+	if err != nil {
+		return err
+	}
+	cl := env.Client
+
+	_, aliceKey, err := env.NewActor()
+	if err != nil {
+		return err
+	}
+	_, bobKey, err := env.NewActor()
+	if err != nil {
+		return err
+	}
+
+	// Three independent escrow agents; one of them is compromised and
+	// will never cooperate.
+	var agents []*escrow.Agent
+	for i := 0; i < 3; i++ {
+		key, err := bkey.NewPrivateKey(testutil.NewEntropy(fmt.Sprintf("agent-%d", i)))
+		if err != nil {
+			return err
+		}
+		agents = append(agents, escrow.NewAgent(key, env.Chain, cl.Ledger))
+	}
+	pool, err := escrow.NewPool(2, agents...)
+	if err != nil {
+		return err
+	}
+
+	// --- T0: Alice publishes the puzzle and escrows the prize. ---
+	// The puzzle: find n such that 21 + 21 = n. Producing `solution n`
+	// requires an inhabitant of plus 21 21 n, so only the right n works.
+	t0 := typecoin.NewTx()
+	if err := t0.Basis.DeclareFam(lf.This("solution"), lf.KArrow(lf.NatFam, lf.KProp{})); err != nil {
+		return err
+	}
+	if err := t0.Basis.DeclareFam(lf.This("prize"), lf.KProp{}); err != nil {
+		return err
+	}
+	mkSolution := logic.Forall("n", lf.NatFam,
+		logic.Lolli(
+			logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(21), lf.Nat(21), lf.Var(0, "n")), logic.One),
+			logic.Atom(lf.This("solution"), lf.Var(0, "n"))))
+	if err := t0.Basis.DeclareProp(lf.This("mk-solution"), mkSolution); err != nil {
+		return err
+	}
+	prize := logic.Atom(lf.This("prize"))
+	t0.Grant = prize
+	const prizeSat = 50_000
+	t0.Outputs = []typecoin.Output{{
+		Type: prize, Amount: prizeSat, Owner: agents[0].Key(), Escrow: pool.Lock(),
+	}}
+	t0.Proof = demo.ProjectGrant(t0.Domain())
+	carrier0, err := cl.Submit(t0)
+	if err != nil {
+		return err
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	t0id := carrier0.TxHash()
+	prizeOp := wire.OutPoint{Hash: t0id, Index: 0}
+	prizeG := logic.Atom(lf.TxRef(t0id, "prize"))
+	solutionG := logic.Atom(lf.TxRef(t0id, "solution"), lf.Nat(42))
+	fmt.Println("Alice published the puzzle basis:")
+	fmt.Print(surface.PrintBasis(t0.Basis))
+	fmt.Println("and escrowed the prize with a 2-of-3 agent pool at", prizeOp)
+
+	// --- The open transaction: Alice leaves two holes. ---
+	const solSat = 10_000
+	template := typecoin.NewTx()
+	template.Inputs = []typecoin.Input{
+		{Type: solutionG, Amount: solSat},                 // HOLE: the solver's txout
+		{Source: prizeOp, Type: prizeG, Amount: prizeSat}, // fixed: the escrowed prize
+	}
+	template.Outputs = []typecoin.Output{
+		{Type: solutionG, Amount: solSat, Owner: aliceKey.PubKey()}, // the solution, to Alice
+		{Type: prizeG, Amount: prizeSat},                            // HOLE: the winner
+	}
+	template.Proof = demo.PassInputs(template.Domain())
+	open := &typecoin.OpenTx{Template: template, OpenInputs: []int{0}, OpenOwners: []int{1}}
+	agents[0].Register(open)
+	agents[1].Register(open)
+	// agents[2] is compromised: it never registers, so it refuses.
+	fmt.Println("\nAlice issued the open transaction (holes: solution input, prize recipient).")
+
+	// --- Bob solves the puzzle and publishes his solution. ---
+	t1 := typecoin.NewTx()
+	t1.Outputs = []typecoin.Output{{Type: solutionG, Amount: solSat, Owner: bobKey.PubKey()}}
+	t1.Proof = demo.WithDomain(t1.Domain(),
+		proof.Apply(
+			proof.TApp{Fn: proof.Const{Ref: lf.TxRef(t0id, "mk-solution")}, Arg: lf.Nat(42)},
+			proof.Pack{
+				Witness: lf.App(lf.PlusIntro, lf.Nat(21), lf.Nat(21)),
+				Of:      proof.Unit{},
+				As: logic.Exists("x",
+					lf.FamApp(lf.PlusFam, lf.Nat(21), lf.Nat(21), lf.Nat(42)), logic.One),
+			}))
+	carrier1, err := cl.Submit(t1)
+	if err != nil {
+		return err
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	solutionOp := wire.OutPoint{Hash: carrier1.TxHash(), Index: 0}
+	fmt.Println("Bob solved the puzzle: n = 42, witnessed by plus_intro 21 21.")
+
+	// --- Bob fills the holes and collects 2-of-3 signatures. ---
+	filled, err := open.Fill(
+		map[int]wire.OutPoint{0: solutionOp},
+		map[int]*bkey.PublicKey{1: bobKey.PubKey()})
+	if err != nil {
+		return err
+	}
+	carrierOuts, err := typecoin.CarrierOutputs(filled)
+	if err != nil {
+		return err
+	}
+	outputs := make([]wallet.Output, len(carrierOuts))
+	for i, o := range carrierOuts {
+		outputs[i] = wallet.Output{Value: o.Value, PkScript: o.PkScript}
+	}
+	claim, err := env.Wallet.Build(outputs, wallet.BuildOptions{
+		Fee:            mempool.DefaultMinRelayFee,
+		ExtraInputs:    []wire.OutPoint{solutionOp},
+		ExternalInputs: []wallet.ExternalInput{{OutPoint: prizeOp, Value: prizeSat}},
+	})
+	if err != nil {
+		return err
+	}
+	sigScript, err := pool.CollectSignatures(filled, claim, 1)
+	if err != nil {
+		return fmt.Errorf("collecting signatures: %w", err)
+	}
+	claim.TxIn[1].SignatureScript = sigScript
+	fmt.Println("Two honest agents type-checked the instance and signed; the compromised third refused.")
+
+	if err := cl.SubmitPrebuilt(filled, claim); err != nil {
+		return err
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	prizeNow := wire.OutPoint{Hash: claim.TxHash(), Index: 1}
+	if err := cl.VerifyClaim(prizeNow, prizeG); err != nil {
+		return fmt.Errorf("prize verification: %w", err)
+	}
+	fmt.Println("\nBob claimed the prize; anyone can verify his ownership trust-free:", prizeNow)
+
+	// --- A later solver is too late: the prize txout is spent. ---
+	late, err := open.Fill(
+		map[int]wire.OutPoint{0: solutionOp}, // (already spent too, but the point stands)
+		map[int]*bkey.PublicKey{1: aliceKey.PubKey()})
+	if err != nil {
+		return err
+	}
+	if err := cl.Ledger.CheckInstance(late); err != nil {
+		fmt.Println("A second claimant is rejected, as the paper requires:")
+		fmt.Println("   ", err)
+		return nil
+	}
+	return fmt.Errorf("second claim accepted: first-solver property broken")
+}

@@ -1,0 +1,308 @@
+// Newcoin: the Section 6 currency, end to end on a regtest chain.
+//
+//   - The bank publishes the newcoin basis: coin : nat -> prop with the
+//     merge and split rules guarded by the (some x:plus N M P. 1) idiom,
+//     plus the central-banker machinery (appoint / is_banker / confirm /
+//     print / issue) of Section 6.1.
+//   - The President appoints a banker for a fixed term (affine assert).
+//   - The banker publishes a revocable, signed purchase order (persistent
+//     assert!), and a customer buys newcoins with bitcoins using the
+//     Figure 3 proof term.
+//   - The customer splits the purchased coins and pays a merchant, who
+//     merges their own holdings — exercising plus_intro arithmetic.
+//
+// Run with: go run ./examples/newcoin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"typecoin/internal/demo"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/proof"
+	"typecoin/internal/script"
+	"typecoin/internal/surface"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wallet"
+	"typecoin/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	env, err := demo.NewEnv("newcoin")
+	if err != nil {
+		return err
+	}
+	cl := env.Client
+
+	_, presidentKey, err := env.NewActor()
+	if err != nil {
+		return err
+	}
+	_, bankerKey, err := env.NewActor()
+	if err != nil {
+		return err
+	}
+	_, customerKey, err := env.NewActor()
+	if err != nil {
+		return err
+	}
+	_, merchantKey, err := env.NewActor()
+	if err != nil {
+		return err
+	}
+	_, bankAddrKey, err := env.NewActor()
+	if err != nil {
+		return err
+	}
+
+	// --- T0: the bank publishes the newcoin basis. ---
+	t0 := typecoin.NewTx()
+	b := t0.Basis
+	decls := []struct {
+		name string
+		kind lf.Kind
+	}{
+		{"coin", lf.KArrow(lf.NatFam, lf.KProp{})},
+		{"print", lf.KArrow(lf.NatFam, lf.KProp{})},
+		{"appoint", lf.KArrow(lf.PrincipalFam, lf.KArrow(lf.NatFam, lf.KProp{}))},
+		{"is_banker", lf.KArrow(lf.PrincipalFam, lf.KArrow(lf.NatFam, lf.KProp{}))},
+	}
+	for _, d := range decls {
+		if err := b.DeclareFam(lf.This(d.name), d.kind); err != nil {
+			return err
+		}
+	}
+	coinP := func(m lf.Term) logic.Prop { return logic.Atom(lf.This("coin"), m) }
+	// merge : all N,M,P:nat. (some x:plus N M P. 1) -o
+	//         coin N * coin M -o coin P
+	plusGuard := func(n, m, p lf.Term) logic.Prop {
+		return logic.Exists("x", lf.FamApp(lf.PlusFam, n, m, p), logic.One)
+	}
+	merge := logic.Forall("N", lf.NatFam, logic.Forall("M", lf.NatFam, logic.Forall("P", lf.NatFam,
+		logic.Lolli(
+			plusGuard(lf.Var(2, "N"), lf.Var(1, "M"), lf.Var(0, "P")),
+			logic.Tensor(coinP(lf.Var(2, "N")), coinP(lf.Var(1, "M"))),
+			coinP(lf.Var(0, "P"))))))
+	if err := b.DeclareProp(lf.This("merge"), merge); err != nil {
+		return err
+	}
+	split := logic.Forall("N", lf.NatFam, logic.Forall("M", lf.NatFam, logic.Forall("P", lf.NatFam,
+		logic.Lolli(
+			plusGuard(lf.Var(2, "N"), lf.Var(1, "M"), lf.Var(0, "P")),
+			coinP(lf.Var(0, "P")),
+			logic.Tensor(coinP(lf.Var(2, "N")), coinP(lf.Var(1, "M")))))))
+	if err := b.DeclareProp(lf.This("split"), split); err != nil {
+		return err
+	}
+	confirm := logic.Forall("K", lf.PrincipalFam, logic.Forall("t", lf.NatFam,
+		logic.Lolli(
+			logic.Says(lf.Principal(presidentKey.Principal()),
+				logic.Atom(lf.This("appoint"), lf.Var(1, "K"), lf.Var(0, "t"))),
+			logic.Atom(lf.This("is_banker"), lf.Var(1, "K"), lf.Var(0, "t")))))
+	if err := b.DeclareProp(lf.This("confirm"), confirm); err != nil {
+		return err
+	}
+	issue := logic.Forall("K", lf.PrincipalFam, logic.Forall("t", lf.NatFam, logic.Forall("N", lf.NatFam,
+		logic.Lolli(
+			logic.Atom(lf.This("is_banker"), lf.Var(2, "K"), lf.Var(1, "t")),
+			logic.Says(lf.Var(2, "K"), logic.Atom(lf.This("print"), lf.Var(0, "N"))),
+			logic.If(logic.BeforeTerm(lf.Var(1, "t")),
+				coinP(lf.Var(0, "N")))))))
+	if err := b.DeclareProp(lf.This("issue"), issue); err != nil {
+		return err
+	}
+	// The merchant starts with an initial stash: the grant gives the
+	// bank coin 40 and coin 2 to distribute.
+	t0.Grant = logic.Tensor(coinP(lf.Nat(40)), coinP(lf.Nat(2)))
+	t0.Outputs = []typecoin.Output{
+		{Type: coinP(lf.Nat(40)), Amount: 10_000, Owner: merchantKey.PubKey()},
+		{Type: coinP(lf.Nat(2)), Amount: 10_000, Owner: merchantKey.PubKey()},
+	}
+	t0.Proof = demo.ProjectGrant(t0.Domain())
+	carrier0, err := cl.Submit(t0)
+	if err != nil {
+		return fmt.Errorf("publish basis: %w", err)
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	basisID := carrier0.TxHash()
+	fmt.Println("The bank published the newcoin basis in", basisID)
+	fmt.Print(surface.PrintBasis(t0.Basis))
+
+	ref := func(label string) lf.Ref { return lf.TxRef(basisID, label) }
+	coinG := func(n uint64) logic.Prop { return logic.Atom(ref("coin"), lf.Nat(n)) }
+
+	// --- T1: the President appoints the banker until time T. ---
+	T := env.Now() + 100*600 // one hundred blocks of term
+	t1 := typecoin.NewTx()
+	appointProp := logic.Atom(ref("appoint"), lf.Principal(bankerKey.Principal()), lf.Nat(T))
+	isBankerG := logic.Atom(ref("is_banker"), lf.Principal(bankerKey.Principal()), lf.Nat(T))
+	t1.Outputs = []typecoin.Output{{Type: isBankerG, Amount: 10_000, Owner: bankerKey.PubKey()}}
+	appointSig, err := proof.SignAffine(presidentKey, appointProp, t1.SigPayload())
+	if err != nil {
+		return err
+	}
+	t1.Proof = demo.WithDomain(t1.Domain(),
+		proof.Apply(
+			proof.TApply(proof.Const{Ref: ref("confirm")},
+				lf.Principal(bankerKey.Principal()), lf.Nat(T)),
+			proof.Assert{Key: presidentKey.PubKey(), Prop: appointProp, Sig: appointSig}))
+	carrier1, err := cl.Submit(t1)
+	if err != nil {
+		return fmt.Errorf("appoint banker: %w", err)
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	fmt.Printf("\nThe President appointed the banker until t=%d (carried by %s).\n",
+		T, carrier1.TxHash())
+	isBankerOut := wire.OutPoint{Hash: carrier1.TxHash(), Index: 0}
+
+	// --- The revocation anchor R and the banker's published order. ---
+	anchorTx, err := env.Wallet.Build([]wallet.Output{
+		{Value: 5_000, PkScript: script.PayToPubKeyHash(bankerKey.Principal())},
+	}, wallet.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	if _, err := env.Pool.Accept(anchorTx); err != nil {
+		return err
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	anchor := wire.OutPoint{Hash: anchorTx.TxHash(), Index: 0}
+
+	const Nbtc = int64(75_000)
+	const Nnc = uint64(42)
+	order := logic.Lolli(
+		logic.Receipt(logic.One, Nbtc, lf.Principal(bankAddrKey.Principal())),
+		logic.If(logic.Unspent(anchor), logic.Atom(ref("print"), lf.Nat(Nnc))))
+	orderSig, err := proof.SignPersistent(bankerKey, order)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nThe banker published a revocable purchase order:")
+	fmt.Println("   ", surface.PrintProp(order))
+
+	// --- T2: the customer buys newcoins (the Figure 3 proof term). ---
+	phi := logic.And(logic.Unspent(anchor), logic.Before(T))
+	bankerPrin := lf.Principal(bankerKey.Principal())
+	t2 := typecoin.NewTx()
+	t2.Inputs = []typecoin.Input{{Source: isBankerOut, Type: isBankerG, Amount: 10_000}}
+	t2.Outputs = []typecoin.Output{
+		{Type: coinG(Nnc), Amount: 10_000, Owner: customerKey.PubKey()},
+		{Type: logic.One, Amount: Nbtc, Owner: bankAddrKey.PubKey()},
+	}
+	pTerm := proof.Assert{Key: bankerKey.PubKey(), Prop: order, Sig: orderSig, Persistent: true}
+	x := proof.SayBind{Name: "f", Of: pTerm,
+		Body: proof.SayReturn{Prin: bankerPrin,
+			Of: proof.App{Fn: proof.V("f"), Arg: proof.V("rpay")}}}
+	figure3 := proof.IfBind{Name: "z",
+		Of: proof.IfWeaken{Cond: phi, Of: proof.IfSay{Of: x}},
+		Body: proof.IfBind{Name: "v",
+			Of: proof.IfWeaken{Cond: phi,
+				Of: proof.Apply(
+					proof.TApply(proof.Const{Ref: ref("issue")}, bankerPrin, lf.Nat(T), lf.Nat(Nnc)),
+					proof.V("b"), proof.V("z"))},
+			Body: proof.IfReturn{Cond: phi, Of: proof.Pair{L: proof.V("v"), R: proof.Unit{}}}}}
+	t2.Proof = proof.Lam{Name: "d", Ty: t2.Domain(),
+		Body: proof.LetPair{LName: "ca", RName: "r", Of: proof.V("d"),
+			Body: proof.LetPair{LName: "c", RName: "b1", Of: proof.V("ca"),
+				Body: proof.LetPair{LName: "rcoin", RName: "rpay", Of: proof.V("r"),
+					Body: proof.Let("b", isBankerG, proof.V("b1"), figure3)}}}}
+	carrier2, err := cl.Submit(t2)
+	if err != nil {
+		return fmt.Errorf("purchase: %w", err)
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	if !cl.Ledger.Applied(carrier2.TxHash()) {
+		return fmt.Errorf("purchase carrier mined but not applied (condition failed?)")
+	}
+	fmt.Printf("\nThe customer bought coin %d for %d satoshi using the Figure 3 proof term.\n",
+		Nnc, Nbtc)
+	customerCoin := wire.OutPoint{Hash: carrier2.TxHash(), Index: 0}
+
+	// --- T3: the customer splits coin 42 and pays the merchant 30. ---
+	t3 := typecoin.NewTx()
+	t3.Inputs = []typecoin.Input{{Source: customerCoin, Type: coinG(Nnc), Amount: 10_000}}
+	t3.Outputs = []typecoin.Output{
+		{Type: coinG(30), Amount: 5_000, Owner: merchantKey.PubKey()},
+		{Type: coinG(12), Amount: 5_000, Owner: customerKey.PubKey()},
+	}
+	splitGuard := proof.Pack{
+		Witness: lf.App(lf.PlusIntro, lf.Nat(30), lf.Nat(12)),
+		Of:      proof.Unit{},
+		As:      logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(30), lf.Nat(12), lf.Nat(42)), logic.One),
+	}
+	t3.Proof = demo.WithDomain(t3.Domain(),
+		proof.Apply(
+			proof.TApply(proof.Const{Ref: ref("split")}, lf.Nat(30), lf.Nat(12), lf.Nat(42)),
+			splitGuard, proof.V("a")))
+	carrier3, err := cl.Submit(t3)
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	fmt.Println("The customer split coin 42 into coin 30 (paid to the merchant) + coin 12.")
+
+	// --- T4: the merchant merges coin 40 and coin 2 into coin 42. ---
+	t4 := typecoin.NewTx()
+	t4.Inputs = []typecoin.Input{
+		{Source: wire.OutPoint{Hash: basisID, Index: 0}, Type: coinG(40), Amount: 10_000},
+		{Source: wire.OutPoint{Hash: basisID, Index: 1}, Type: coinG(2), Amount: 10_000},
+	}
+	t4.Outputs = []typecoin.Output{{Type: coinG(42), Amount: 20_000, Owner: merchantKey.PubKey()}}
+	mergeGuard := proof.Pack{
+		Witness: lf.App(lf.PlusIntro, lf.Nat(40), lf.Nat(2)),
+		Of:      proof.Unit{},
+		As:      logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(40), lf.Nat(2), lf.Nat(42)), logic.One),
+	}
+	t4.Proof = demo.WithDomain(t4.Domain(),
+		proof.Apply(
+			proof.TApply(proof.Const{Ref: ref("merge")}, lf.Nat(40), lf.Nat(2), lf.Nat(42)),
+			mergeGuard, proof.V("a")))
+	carrier4, err := cl.Submit(t4)
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	if err := env.Mine(1); err != nil {
+		return err
+	}
+	fmt.Println("The merchant merged coin 40 + coin 2 into coin 42.")
+
+	// --- Final audit: verify the merchant's holdings trust-free. ---
+	for _, claim := range []struct {
+		op   wire.OutPoint
+		prop logic.Prop
+	}{
+		{wire.OutPoint{Hash: carrier3.TxHash(), Index: 0}, coinG(30)},
+		{wire.OutPoint{Hash: carrier4.TxHash(), Index: 0}, coinG(42)},
+	} {
+		if err := cl.VerifyClaim(claim.op, claim.prop); err != nil {
+			return fmt.Errorf("audit of %s: %w", surface.PrintProp(claim.prop), err)
+		}
+		fmt.Printf("Audited: %s at %s\n", surface.PrintProp(claim.prop), claim.op)
+	}
+
+	// A forged claim fails.
+	if err := cl.VerifyClaim(wire.OutPoint{Hash: carrier4.TxHash(), Index: 0}, coinG(1_000_000)); err != nil {
+		fmt.Println("\nA forged claim of coin 1000000 fails, as it must:")
+		fmt.Println("   ", err)
+		return nil
+	}
+	return fmt.Errorf("forged claim verified")
+}

@@ -1,0 +1,3 @@
+module typecoin
+
+go 1.22

@@ -1,0 +1,347 @@
+package batch_test
+
+import (
+	"errors"
+	"testing"
+
+	"typecoin/internal/batch"
+	"typecoin/internal/bkey"
+	"typecoin/internal/client"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/proof"
+	"typecoin/internal/testutil"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wire"
+)
+
+type env struct {
+	*testutil.Harness
+	Client *client.Client
+	Server *batch.Server
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	h := testutil.NewHarness(t, t.Name())
+	h.Fund(t)
+	ledger := typecoin.NewLedger(h.Chain, 1)
+	c := client.New(h.Chain, h.Pool, h.Wallet, ledger)
+	serverKey, err := bkey.NewPrivateKey(testutil.NewEntropy(t.Name() + "-server"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{Harness: h, Client: c, Server: batch.NewServer(c, serverKey)}
+}
+
+// issueCoins publishes the coin basis and grants `n` coins to owner
+// (routed to ownerKey), returning the outpoint, the global coin ref and
+// the coin proposition.
+func issueCoins(t *testing.T, e *env, n uint64, ownerKey *bkey.PublicKey) (wire.OutPoint, lf.Ref) {
+	t.Helper()
+	tx := typecoin.NewTx()
+	if err := tx.Basis.DeclareFam(lf.This("coin"), lf.KArrow(lf.NatFam, lf.KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	// split/merge rules as in Section 6.
+	coinP := func(m lf.Term) logic.Prop { return logic.Atom(lf.This("coin"), m) }
+	split := logic.Forall("N", lf.NatFam, logic.Forall("M", lf.NatFam, logic.Forall("P", lf.NatFam,
+		logic.Lolli(
+			logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Var(2, "N"), lf.Var(1, "M"), lf.Var(0, "P")), logic.One),
+			coinP(lf.Var(0, "P")),
+			logic.Tensor(coinP(lf.Var(2, "N")), coinP(lf.Var(1, "M"))),
+		))))
+	if err := tx.Basis.DeclareProp(lf.This("split"), split); err != nil {
+		t.Fatal(err)
+	}
+	merge := logic.Forall("N", lf.NatFam, logic.Forall("M", lf.NatFam, logic.Forall("P", lf.NatFam,
+		logic.Lolli(
+			logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Var(2, "N"), lf.Var(1, "M"), lf.Var(0, "P")), logic.One),
+			logic.Tensor(coinP(lf.Var(2, "N")), coinP(lf.Var(1, "M"))),
+			coinP(lf.Var(0, "P")),
+		))))
+	if err := tx.Basis.DeclareProp(lf.This("merge"), merge); err != nil {
+		t.Fatal(err)
+	}
+	tx.Grant = coinP(lf.Nat(n))
+	tx.Outputs = []typecoin.Output{{Type: coinP(lf.Nat(n)), Amount: 10_000, Owner: ownerKey}}
+	tx.Proof = proof.Lam{Name: "d", Ty: tx.Domain(),
+		Body: proof.LetPair{LName: "ca", RName: "r", Of: proof.V("d"),
+			Body: proof.LetPair{LName: "c", RName: "a", Of: proof.V("ca"),
+				Body: proof.V("c")}}}
+	carrier, err := e.Client.Submit(tx)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	e.MineBlocks(t, 1)
+	if !e.Client.Ledger.Applied(carrier.TxHash()) {
+		t.Fatal("issue tx not applied")
+	}
+	return wire.OutPoint{Hash: carrier.TxHash(), Index: 0}, lf.TxRef(carrier.TxHash(), "coin")
+}
+
+// offChainTransfer builds the off-chain transaction moving a coin P
+// resource wholesale from one holding to a new owner.
+func offChainTransfer(src wire.OutPoint, prop logic.Prop, amount int64, to *bkey.PublicKey) *typecoin.Tx {
+	tx := typecoin.NewTx()
+	tx.Inputs = []typecoin.Input{{Source: src, Type: prop, Amount: amount}}
+	tx.Outputs = []typecoin.Output{{Type: prop, Amount: amount, Owner: to}}
+	tx.Proof = proof.Lam{Name: "d", Ty: tx.DomainOffChain(),
+		Body: proof.LetPair{LName: "ca", RName: "r", Of: proof.V("d"),
+			Body: proof.LetPair{LName: "c", RName: "a", Of: proof.V("ca"),
+				Body: proof.V("a")}}}
+	return tx
+}
+
+func TestBatchLifecycle(t *testing.T) {
+	e := newEnv(t)
+	// Alice deposits 100 coins at the server.
+	aliceP, alicePub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bobPub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobP := bobPub.Principal()
+
+	// Issue coins directly to the server key (Alice "sends it to the
+	// server's public key").
+	depositOp, coinRef := issueCoins(t, e, 100, e.Server.Key())
+	coin100 := logic.Atom(coinRef, lf.Nat(100))
+	if err := e.Server.Deposit(depositOp, aliceP); err != nil {
+		t.Fatalf("deposit: %v", err)
+	}
+
+	// Query: server answers from its records.
+	prop, owner, ok := e.Server.Query(depositOp)
+	if !ok || owner != aliceP {
+		t.Fatalf("query: ok=%v owner=%s", ok, owner)
+	}
+	if eq, _ := logic.PropEqual(prop, coin100); !eq {
+		t.Fatalf("query type %s", prop)
+	}
+
+	// Alice transfers the whole resource to Bob off-chain: no on-chain
+	// transaction occurs.
+	poolBefore := e.Pool.Size()
+	transfer := offChainTransfer(depositOp, coin100, 10_000, bobPub)
+	if err := e.Server.SubmitOffChain(transfer, aliceP); err != nil {
+		t.Fatalf("off-chain transfer: %v", err)
+	}
+	if e.Pool.Size() != poolBefore {
+		t.Error("off-chain transfer touched the mempool")
+	}
+	if e.Server.RecordedCount() != 1 {
+		t.Errorf("recorded = %d", e.Server.RecordedCount())
+	}
+	// Bob now owns it; Alice cannot spend it again.
+	virtual := wire.OutPoint{Hash: transfer.Hash(), Index: 0}
+	if _, owner, ok := e.Server.Query(virtual); !ok || owner != bobP {
+		t.Fatalf("virtual holding: ok=%v owner=%s", ok, owner)
+	}
+	again := offChainTransfer(depositOp, coin100, 10_000, alicePub)
+	if err := e.Server.SubmitOffChain(again, aliceP); !errors.Is(err, batch.ErrNotHeld) {
+		t.Errorf("double off-chain spend: %v", err)
+	}
+	// Bob chains a second off-chain transfer back to Alice.
+	back := offChainTransfer(virtual, coin100, 10_000, alicePub)
+	if err := e.Server.SubmitOffChain(back, bobP); err != nil {
+		t.Fatalf("second transfer: %v", err)
+	}
+	virtual2 := wire.OutPoint{Hash: back.Hash(), Index: 0}
+
+	// Alice withdraws: one carrier hits the chain.
+	carrier, b, err := e.Server.Withdraw(virtual2, alicePub)
+	if err != nil {
+		t.Fatalf("withdraw: %v", err)
+	}
+	if len(b.Seq) != 2 || len(b.Sources) != 1 || len(b.Leaves) != 1 {
+		t.Fatalf("batch shape: seq=%d sources=%d leaves=%d", len(b.Seq), len(b.Sources), len(b.Leaves))
+	}
+	e.MineBlocks(t, 1)
+	if !e.Client.Ledger.Applied(carrier.TxHash()) {
+		t.Fatal("batch not applied by ledger")
+	}
+	// The withdrawn resource is on chain, owned by Alice, with the coin
+	// type.
+	newOp := wire.OutPoint{Hash: carrier.TxHash(), Index: 0}
+	got, ok := e.Client.Ledger.ResolveOutput(newOp)
+	if !ok {
+		t.Fatal("withdrawn output unknown")
+	}
+	if eq, _ := logic.PropEqual(got, coin100); !eq {
+		t.Fatalf("withdrawn type %s", got)
+	}
+	// Trust-free verification of the withdrawn output, batch included.
+	if err := e.Client.VerifyClaim(newOp, coin100); err != nil {
+		t.Fatalf("verify withdrawn claim: %v", err)
+	}
+	// The server no longer holds anything.
+	if len(e.Server.Holdings(aliceP))+len(e.Server.Holdings(bobP)) != 0 {
+		t.Error("server still holds resources after withdrawal")
+	}
+	if e.Server.RecordedCount() != 0 {
+		t.Error("recorded history not flushed")
+	}
+}
+
+func TestOffChainRestrictions(t *testing.T) {
+	e := newEnv(t)
+	aliceP, _, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bobPub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depositOp, coinRef := issueCoins(t, e, 42, e.Server.Key())
+	coin42 := logic.Atom(coinRef, lf.Nat(42))
+	if err := e.Server.Deposit(depositOp, aliceP); err != nil {
+		t.Fatal(err)
+	}
+
+	// A basis declaration is rejected off-chain.
+	tx := offChainTransfer(depositOp, coin42, 10_000, bobPub)
+	if err := tx.Basis.DeclareFam(lf.This("x"), lf.KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Server.SubmitOffChain(tx, aliceP); !errors.Is(err, typecoin.ErrOffChainBasis) {
+		t.Errorf("basis: %v", err)
+	}
+
+	// A grant is rejected off-chain.
+	tx2 := offChainTransfer(depositOp, coin42, 10_000, bobPub)
+	tx2.Grant = coin42
+	if err := e.Server.SubmitOffChain(tx2, aliceP); !errors.Is(err, typecoin.ErrOffChainGrant) {
+		t.Errorf("grant: %v", err)
+	}
+
+	// A non-trivial condition is rejected off-chain (write-through rule).
+	tx3 := offChainTransfer(depositOp, coin42, 10_000, bobPub)
+	tx3.Proof = proof.Lam{Name: "d", Ty: tx3.DomainOffChain(),
+		Body: proof.LetPair{LName: "ca", RName: "r", Of: proof.V("d"),
+			Body: proof.LetPair{LName: "c", RName: "a", Of: proof.V("ca"),
+				Body: proof.IfReturn{Cond: logic.Before(1 << 40), Of: proof.V("a")}}}}
+	if err := e.Server.SubmitOffChain(tx3, aliceP); !errors.Is(err, typecoin.ErrOffChainCond) {
+		t.Errorf("condition: %v", err)
+	}
+
+	// Submitting someone else's resource is rejected.
+	tx4 := offChainTransfer(depositOp, coin42, 10_000, bobPub)
+	if err := e.Server.SubmitOffChain(tx4, bobPub.Principal()); !errors.Is(err, batch.ErrNotOwner) {
+		t.Errorf("ownership: %v", err)
+	}
+}
+
+func TestWithdrawErrors(t *testing.T) {
+	e := newEnv(t)
+	aliceP, alicePub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bobPub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depositOp, coinRef := issueCoins(t, e, 7, e.Server.Key())
+	coin7 := logic.Atom(coinRef, lf.Nat(7))
+	if err := e.Server.Deposit(depositOp, aliceP); err != nil {
+		t.Fatal(err)
+	}
+	// Withdrawing an on-chain deposit is refused (spend it directly).
+	if _, _, err := e.Server.Withdraw(depositOp, alicePub); err == nil {
+		t.Error("withdrew an on-chain deposit")
+	}
+	// Unknown outpoint.
+	if _, _, err := e.Server.Withdraw(wire.OutPoint{Index: 9}, alicePub); !errors.Is(err, batch.ErrNotHeld) {
+		t.Errorf("unknown: %v", err)
+	}
+	// Wrong destination owner.
+	transfer := offChainTransfer(depositOp, coin7, 10_000, bobPub)
+	if err := e.Server.SubmitOffChain(transfer, aliceP); err != nil {
+		t.Fatal(err)
+	}
+	virtual := wire.OutPoint{Hash: transfer.Hash(), Index: 0}
+	if _, _, err := e.Server.Withdraw(virtual, alicePub); !errors.Is(err, batch.ErrNotOwner) {
+		t.Errorf("wrong dest: %v", err)
+	}
+}
+
+// TestWithdrawPreservesOthers: flushing the history routes the withdrawn
+// resource to its owner and everything else back to the server's key —
+// other principals' holdings survive on-chain and stay credited.
+func TestWithdrawPreservesOthers(t *testing.T) {
+	e := newEnv(t)
+	aliceP, alicePub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobP, _, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two separate deposits: one for Alice, one for Bob.
+	opA, coinRefA := issueCoins(t, e, 10, e.Server.Key())
+	coinA := logic.Atom(coinRefA, lf.Nat(10))
+	if err := e.Server.Deposit(opA, aliceP); err != nil {
+		t.Fatal(err)
+	}
+	opB, coinRefB := issueCoins(t, e, 20, e.Server.Key())
+	coinB := logic.Atom(coinRefB, lf.Nat(20))
+	if err := e.Server.Deposit(opB, bobP); err != nil {
+		t.Fatal(err)
+	}
+	// Both go off-chain (self-transfers create virtual holdings).
+	ta := offChainTransfer(opA, coinA, 10_000, alicePub)
+	if err := e.Server.SubmitOffChain(ta, aliceP); err != nil {
+		t.Fatal(err)
+	}
+	bobKeyHolder, err := e.Wallet.Key(bobP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := offChainTransfer(opB, coinB, 10_000, bobKeyHolder.PubKey())
+	if err := e.Server.SubmitOffChain(tb, bobP); err != nil {
+		t.Fatal(err)
+	}
+	va := wire.OutPoint{Hash: ta.Hash(), Index: 0}
+	vb := wire.OutPoint{Hash: tb.Hash(), Index: 0}
+
+	// Alice withdraws; Bob's resource must survive.
+	carrier, b, err := e.Server.Withdraw(va, alicePub)
+	if err != nil {
+		t.Fatalf("withdraw: %v", err)
+	}
+	if len(b.Leaves) != 2 {
+		t.Fatalf("leaves = %d, want 2 (withdrawn + preserved)", len(b.Leaves))
+	}
+	e.MineBlocks(t, 1)
+	if !e.Client.Ledger.Applied(carrier.TxHash()) {
+		t.Fatal("batch not applied")
+	}
+	// Bob's holding is re-deposited on chain at the server key and still
+	// credited to Bob.
+	holdings := e.Server.Holdings(bobP)
+	if len(holdings) != 1 {
+		t.Fatalf("bob holdings = %d, want 1", len(holdings))
+	}
+	prop, owner, ok := e.Server.Query(holdings[0])
+	if !ok || owner != bobP {
+		t.Fatalf("query bob holding: ok=%v owner=%s", ok, owner)
+	}
+	if eq, _ := logic.PropEqual(prop, coinB); !eq {
+		t.Errorf("bob holding type %s", prop)
+	}
+	// And the on-chain leaf resolves in the ledger with Bob's coin type.
+	got, ok := e.Client.Ledger.ResolveOutput(holdings[0])
+	if !ok {
+		t.Fatal("preserved leaf not on chain")
+	}
+	if eq, _ := logic.PropEqual(got, coinB); !eq {
+		t.Errorf("preserved leaf type %s", got)
+	}
+	_ = vb
+}

@@ -1,0 +1,267 @@
+// Package batch implements the batch-mode credential server of Section
+// 3.2: "a trusted third-party maintains a credential server that holds
+// Typecoin resources on behalf of other principals. When principals wish
+// to conduct a batch-mode transaction, they notify the server, which
+// records the transaction but does not submit it to the network."
+//
+// A withdrawal flushes the recorded history on chain as one Batch
+// transaction (one carrier, one fee, one confirmation wait), routing the
+// withdrawn resource to its owner's key and the rest back to the server's
+// key. This is what experiment E2 measures: k off-chain transfers cost
+// zero on-chain transactions until the single withdrawal.
+//
+// "Note that batch mode does not compromise the trustlessness of the
+// network. No one ever needs to use a batch-mode server; batch mode only
+// exploits trust relationships that happen to exist already."
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/client"
+	"typecoin/internal/logic"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wire"
+)
+
+// Server errors.
+var (
+	ErrNotDeposited = errors.New("batch: outpoint is not a deposit held by this server")
+	ErrNotOwner     = errors.New("batch: principal does not own this resource")
+	ErrNotHeld      = errors.New("batch: resource not held by this server")
+)
+
+// resource is one typed resource the server accounts for, on-chain
+// (deposit) or off-chain (created by a recorded transaction).
+type resource struct {
+	prop    logic.Prop
+	amount  int64
+	owner   bkey.Principal // beneficial owner
+	onChain bool
+}
+
+// Server is a batch-mode credential server.
+type Server struct {
+	client *client.Client
+	key    *bkey.PrivateKey // the server's on-chain key
+
+	mu        sync.Mutex
+	resources map[wire.OutPoint]resource
+	// spentDeposits remembers the on-chain deposits the recorded history
+	// consumed; they become the sources of the withdrawal batch.
+	spentDeposits map[wire.OutPoint]resource
+	recorded      []*typecoin.Tx // off-chain history in admission order
+}
+
+// NewServer creates a server whose on-chain holdings live at key. The
+// key is registered with the client's wallet so withdrawals can be
+// signed.
+func NewServer(c *client.Client, key *bkey.PrivateKey) *Server {
+	c.Wallet.ImportKey(key)
+	return &Server{
+		client:        c,
+		key:           key,
+		resources:     make(map[wire.OutPoint]resource),
+		spentDeposits: make(map[wire.OutPoint]resource),
+	}
+}
+
+// Key returns the server's public key; depositors route resources to it.
+func (s *Server) Key() *bkey.PublicKey { return s.key.PubKey() }
+
+// Deposit registers an on-chain typed output as held for beneficiary.
+// The output must resolve in the ledger; its carrier output must pay the
+// server's key, or the server could not spend it in a withdrawal.
+func (s *Server) Deposit(op wire.OutPoint, beneficiary bkey.Principal) error {
+	prop, ok := s.client.Ledger.ResolveOutput(op)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotDeposited, op)
+	}
+	tx, ok := s.client.Chain.TxByID(op.Hash)
+	if !ok || int(op.Index) >= len(tx.TxOut) {
+		return fmt.Errorf("%w: %v", ErrNotDeposited, op)
+	}
+	amount := tx.TxOut[op.Index].Value
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resources[op] = resource{prop: prop, amount: amount, owner: beneficiary, onChain: true}
+	return nil
+}
+
+// Holdings lists the outpoints beneficially owned by p.
+func (s *Server) Holdings(p bkey.Principal) []wire.OutPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []wire.OutPoint
+	for op, r := range s.resources {
+		if r.owner == p {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Query answers a validity check "based on its own records, if it holds
+// the resource, or on the blockchain if it does not."
+func (s *Server) Query(op wire.OutPoint) (logic.Prop, bkey.Principal, bool) {
+	s.mu.Lock()
+	if r, ok := s.resources[op]; ok {
+		s.mu.Unlock()
+		return r.prop, r.owner, true
+	}
+	s.mu.Unlock()
+	if prop, ok := s.client.Ledger.ResolveOutput(op); ok {
+		return prop, bkey.Principal{}, true
+	}
+	return nil, bkey.Principal{}, false
+}
+
+// SubmitOffChain records a batch-mode transaction from submitter. Every
+// input must be a resource the server holds for submitter; outputs become
+// resources owned by their output keys' principals. The transaction is
+// validated under the off-chain restrictions but NOT sent to the network.
+func (s *Server) SubmitOffChain(tx *typecoin.Tx, submitter bkey.Principal) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, in := range tx.Inputs {
+		r, ok := s.resources[in.Source]
+		if !ok {
+			return fmt.Errorf("%w: input %d (%v)", ErrNotHeld, i, in.Source)
+		}
+		if r.owner != submitter {
+			return fmt.Errorf("%w: input %d owned by %s", ErrNotOwner, i, r.owner)
+		}
+	}
+	state, err := s.replayLocked()
+	if err != nil {
+		return err
+	}
+	if err := state.CheckTxOffChain(tx); err != nil {
+		return err
+	}
+	tch, err := state.ApplyOffChain(tx)
+	if err != nil {
+		return err
+	}
+	// Record and update the resource table.
+	s.recorded = append(s.recorded, tx)
+	for _, in := range tx.Inputs {
+		if r, ok := s.resources[in.Source]; ok && r.onChain {
+			s.spentDeposits[in.Source] = r
+		}
+		delete(s.resources, in.Source)
+	}
+	for i, out := range tx.Outputs {
+		op := wire.OutPoint{Hash: tch, Index: uint32(i)}
+		s.resources[op] = resource{
+			prop:   out.Type,
+			amount: out.Amount,
+			owner:  out.OwnerPrincipal(),
+		}
+	}
+	return nil
+}
+
+// replayLocked rebuilds the off-chain state from the consumed deposits
+// plus the recorded history, against the ledger's current global basis.
+func (s *Server) replayLocked() (*typecoin.State, error) {
+	state := typecoin.NewStateForBatch(s.client.Ledger.GlobalBasis())
+	for op, r := range s.resources {
+		if r.onChain {
+			state.SeedOutput(op, r.prop, r.amount, s.key.Principal())
+		}
+	}
+	for op, r := range s.spentDeposits {
+		state.SeedOutput(op, r.prop, r.amount, s.key.Principal())
+	}
+	for _, tx := range s.recorded {
+		if err := state.CheckTxOffChain(tx); err != nil {
+			return nil, fmt.Errorf("batch: recorded history replay: %w", err)
+		}
+		if _, err := state.ApplyOffChain(tx); err != nil {
+			return nil, err
+		}
+	}
+	return state, nil
+}
+
+// Withdraw flushes the recorded history on chain, routing the resource at
+// leafOp to dest and everything else back to the server's key. It returns
+// the carrier transaction and the batch; the caller mines/awaits
+// confirmation, after which the ledger applies the batch.
+func (s *Server) Withdraw(leafOp wire.OutPoint, dest *bkey.PublicKey) (*wire.MsgTx, *typecoin.Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.resources[leafOp]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %v", ErrNotHeld, leafOp)
+	}
+	if r.onChain {
+		return nil, nil, errors.New("batch: resource is already on chain; spend it directly")
+	}
+	if dest.Principal() != r.owner {
+		return nil, nil, fmt.Errorf("%w: owned by %s", ErrNotOwner, r.owner)
+	}
+	if len(s.recorded) == 0 {
+		return nil, nil, errors.New("batch: nothing recorded")
+	}
+
+	// The batch consumes every deposit the history touched; its leaves
+	// are all live off-chain resources. Untouched on-chain deposits stay
+	// where they are.
+	b := &typecoin.Batch{Seq: s.recorded}
+	for op, rec := range s.spentDeposits {
+		b.Sources = append(b.Sources, typecoin.Input{Source: op, Type: rec.prop, Amount: rec.amount})
+	}
+	for op, rr := range s.resources {
+		if rr.onChain {
+			continue
+		}
+		leaf := typecoin.Output{Type: rr.prop, Amount: rr.amount}
+		if op == leafOp {
+			leaf.Owner = dest
+		} else {
+			leaf.Owner = s.key.PubKey()
+		}
+		b.Leaves = append(b.Leaves, leaf)
+		b.LeafSources = append(b.LeafSources, op)
+	}
+
+	carrier, err := s.client.SubmitBatch(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Optimistically update: the history is flushed; leaves become
+	// on-chain deposits (beneficiaries preserved, except the withdrawn
+	// one, which leaves the server entirely).
+	carrierID := carrier.TxHash()
+	s.spentDeposits = make(map[wire.OutPoint]resource)
+	s.recorded = nil
+	newResources := make(map[wire.OutPoint]resource)
+	for op, rr := range s.resources {
+		if rr.onChain {
+			newResources[op] = rr
+		}
+	}
+	for i, src := range b.LeafSources {
+		if src == leafOp {
+			continue // withdrawn: no longer held
+		}
+		rr := s.resources[src]
+		rr.onChain = true
+		newResources[wire.OutPoint{Hash: carrierID, Index: uint32(i)}] = rr
+	}
+	s.resources = newResources
+	return carrier, b, nil
+}
+
+// RecordedCount reports how many off-chain transactions are pending
+// flush (bench helper).
+func (s *Server) RecordedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recorded)
+}

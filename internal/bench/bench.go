@@ -1,0 +1,91 @@
+// Package bench implements the experiment harness of EXPERIMENTS.md: one
+// function per experiment (E1-E6), each returning the rows the paper's
+// corresponding claim predicts, so `go test -bench` and cmd/tcbench can
+// regenerate every table.
+package bench
+
+import (
+	"math"
+	"time"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chain"
+	"typecoin/internal/clock"
+	"typecoin/internal/mempool"
+	"typecoin/internal/miner"
+	"typecoin/internal/testutil"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wallet"
+)
+
+// Env is a funded single-node environment for experiments.
+type Env struct {
+	Params *chain.Params
+	Clock  *clock.Simulated
+	Chain  *chain.Chain
+	Pool   *mempool.Pool
+	Miner  *miner.Miner
+	Wallet *wallet.Wallet
+	Payout bkey.Principal
+	Ledger *typecoin.Ledger
+}
+
+// NewEnv builds the environment. minConf configures the ledger.
+func NewEnv(seed string, minConf int) (*Env, error) {
+	params := chain.RegTestParams()
+	clk := clock.NewSimulated(params.GenesisBlock.Header.Timestamp.Add(time.Minute))
+	c := chain.New(params, clk)
+	pool := mempool.New(c, -1)
+	w := wallet.New(c, testutil.NewEntropy(seed))
+	payout, err := w.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	m := miner.New(c, pool, clk)
+	env := &Env{
+		Params: params, Clock: clk, Chain: c, Pool: pool,
+		Miner: m, Wallet: w, Payout: payout,
+		Ledger: typecoin.NewLedger(c, minConf),
+	}
+	return env, nil
+}
+
+// Mine mines n blocks, advancing the clock by the target spacing each.
+func (e *Env) Mine(n int) error {
+	for i := 0; i < n; i++ {
+		e.Clock.Advance(e.Params.TargetSpacing)
+		if _, _, err := e.Miner.Mine(e.Payout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fund mines to coinbase maturity plus a buffer so the wallet has
+// several spendable coinbases.
+func (e *Env) Fund() error {
+	return e.Mine(e.Params.CoinbaseMaturity + 10)
+}
+
+// NakamotoProbability is the analytic probability that an attacker with
+// hash-power fraction q reverses a transaction buried under z blocks
+// (Nakamoto 2008, section 11; the paper's Section 1, item 5).
+func NakamotoProbability(q float64, z int) float64 {
+	p := 1 - q
+	if q >= p {
+		return 1
+	}
+	lambda := float64(z) * q / p
+	sum := 1.0
+	for k := 0; k <= z; k++ {
+		poisson := math.Exp(-lambda)
+		for i := 1; i <= k; i++ {
+			poisson *= lambda / float64(i)
+		}
+		sum -= poisson * (1 - math.Pow(q/p, float64(z-k)))
+	}
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}

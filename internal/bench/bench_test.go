@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// The experiment harness has its own tests: each Run* function must
+// produce rows whose *shape* matches the paper's claim (see
+// EXPERIMENTS.md). Small parameters keep these fast; the full tables are
+// produced by cmd/tcbench and the root benchmarks.
+
+func TestE1ShapeExponentialDrop(t *testing.T) {
+	rows := RunE1([]float64{0.1, 0.3}, []int{0, 1, 2, 4, 6}, 4000)
+	// Reversal probability must be monotonically non-increasing in depth
+	// and roughly match the analytic value.
+	byQ := map[float64][]E1Row{}
+	for _, r := range rows {
+		byQ[r.Q] = append(byQ[r.Q], r)
+	}
+	for q, rs := range byQ {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Observed > rs[i-1].Observed+0.02 {
+				t.Errorf("q=%v: observed rate increased with depth: %v -> %v",
+					q, rs[i-1], rs[i])
+			}
+		}
+		for _, r := range rs {
+			if diff := math.Abs(r.Observed - r.Analytic); diff > 0.05 {
+				t.Errorf("q=%v z=%d: observed %.4f vs analytic %.4f",
+					q, r.Depth, r.Observed, r.Analytic)
+			}
+		}
+	}
+	// At q=0.1, six confirmations make reversal essentially impossible
+	// (the paper's "usually taken as five" plus one).
+	for _, r := range rows {
+		if r.Q == 0.1 && r.Depth == 6 && r.Observed > 0.001 {
+			t.Errorf("q=0.1 z=6: reversal rate %.4f not negligible", r.Observed)
+		}
+	}
+}
+
+func TestE1ChainReorg(t *testing.T) {
+	reorged, stillMain, err := RunE1Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reorged {
+		t.Error("longer attacking branch failed to reorganize the chain")
+	}
+	if !stillMain {
+		t.Error("shorter attacking branch displaced the honest chain")
+	}
+}
+
+func TestE2BatchAmortizes(t *testing.T) {
+	rows, err := RunE2([]int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]interface{}]E2Row{}
+	for _, r := range rows {
+		byKey[[2]interface{}{r.Transfers, r.Mode}] = r
+	}
+	for _, k := range []int{1, 5} {
+		direct := byKey[[2]interface{}{k, "direct"}]
+		batched := byKey[[2]interface{}{k, "batch"}]
+		if direct.OnChainTxs != k+1 {
+			t.Errorf("direct k=%d: on-chain txs = %d, want %d", k, direct.OnChainTxs, k+1)
+		}
+		if batched.OnChainTxs != 2 {
+			t.Errorf("batch k=%d: on-chain txs = %d, want 2", k, batched.OnChainTxs)
+		}
+		if k > 1 && batched.FeesSat >= direct.FeesSat {
+			t.Errorf("batch k=%d: fees %d not below direct %d", k, batched.FeesSat, direct.FeesSat)
+		}
+	}
+}
+
+func TestE3MultisigGarbageCollects(t *testing.T) {
+	rows, err := RunE3([]int{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bogus, multisig E3Row
+	for _, r := range rows {
+		switch r.Strategy {
+		case "bogus":
+			bogus = r
+		case "multisig":
+			multisig = r
+		}
+	}
+	if bogus.Deadweight != 25 {
+		t.Errorf("bogus deadweight = %d, want 25 (permanent)", bogus.Deadweight)
+	}
+	if multisig.Deadweight != 0 {
+		t.Errorf("multisig deadweight = %d, want 0 (garbage-collected)", multisig.Deadweight)
+	}
+}
+
+func TestE4RevocationTakesEffect(t *testing.T) {
+	rows, err := RunE4(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.DischargeBeforeOK {
+			t.Errorf("trial %d: discharge before revocation failed", r.Trial)
+		}
+		if r.DischargeAfterOK {
+			t.Errorf("trial %d: discharge after revocation succeeded", r.Trial)
+		}
+		if r.BlocksToRevoke < 1 || r.BlocksToRevoke > 2 {
+			t.Errorf("trial %d: revocation latency %d blocks", r.Trial, r.BlocksToRevoke)
+		}
+	}
+}
+
+func TestE5VerifyScalesLinearly(t *testing.T) {
+	rows, err := RunE5([]int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].VerifyTime < rows[0].VerifyTime {
+		t.Logf("verify(8)=%v < verify(1)=%v (timer noise)", rows[1].VerifyTime, rows[0].VerifyTime)
+	}
+}
+
+func TestE6Tolerance(t *testing.T) {
+	rows, err := RunE6([][3]int{
+		{1, 1, 0},
+		{2, 3, 0},
+		{2, 3, 1}, // one compromised agent is tolerated
+		{2, 3, 2}, // two are not
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, true, false}
+	for i, r := range rows {
+		if r.Succeeded != want[i] {
+			t.Errorf("config %d-of-%d compromised=%d: succeeded=%v, want %v",
+				r.M, r.N, r.Compromised, r.Succeeded, want[i])
+		}
+	}
+}
+
+func TestNakamotoProbability(t *testing.T) {
+	// Spot values from the Bitcoin paper's table (section 11).
+	cases := []struct {
+		q    float64
+		z    int
+		want float64
+	}{
+		{0.1, 0, 1.0},
+		{0.1, 5, 0.0009137},
+		{0.3, 5, 0.1773523},
+		{0.3, 10, 0.0416605},
+	}
+	for _, tc := range cases {
+		got := NakamotoProbability(tc.q, tc.z)
+		if math.Abs(got-tc.want) > 1e-4 {
+			t.Errorf("P(q=%v, z=%d) = %.7f, want %.7f", tc.q, tc.z, got, tc.want)
+		}
+	}
+}
+
+func TestE5BatchAblationBoundsBundles(t *testing.T) {
+	rows, err := RunE5Batch([]int{1, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The withdrawal leaves a constant-size upstream set: the issue
+		// transaction plus the batch, regardless of the off-chain history
+		// length.
+		if r.BundleCount != 2 {
+			t.Errorf("transfers=%d: bundles=%d, want 2", r.Transfers, r.BundleCount)
+		}
+	}
+}

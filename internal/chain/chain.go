@@ -1,0 +1,645 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+	"time"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/clock"
+	"typecoin/internal/wire"
+)
+
+// blockNode is one block in the block tree. "Each block contains a
+// cryptographic hash of the previous block, thereby turning the set into
+// a tree"; chain selection makes the tree behave as a list.
+type blockNode struct {
+	hash    chainhash.Hash
+	parent  *blockNode
+	height  int
+	workSum *big.Int // cumulative work from genesis
+	block   *wire.MsgBlock
+	inMain  bool
+
+	// undo journal captured when the block was connected to the main
+	// chain: the UTXO entries its transactions spent, in spend order.
+	undo []undoItem
+}
+
+type undoItem struct {
+	op    wire.OutPoint
+	entry *UtxoEntry
+}
+
+// medianTimePast computes the median timestamp of the last
+// medianTimeBlocks ancestors (including the node itself).
+func (n *blockNode) medianTimePast() time.Time {
+	times := make([]time.Time, 0, medianTimeBlocks)
+	for iter := n; iter != nil && len(times) < medianTimeBlocks; iter = iter.parent {
+		times = append(times, iter.block.Header.Timestamp)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	return times[len(times)/2]
+}
+
+// Notification describes a main-chain change delivered to subscribers.
+type Notification struct {
+	// Connected is true when Block joined the main chain, false when it
+	// was disconnected during a reorganization.
+	Connected bool
+	Block     *wire.MsgBlock
+	Height    int
+}
+
+// Chain is the blockchain state machine for one node. It tracks the full
+// block tree, selects the best chain by accumulated work, and maintains
+// the UTXO table and spent-journal for the best chain. All methods are
+// safe for concurrent use.
+type Chain struct {
+	params *Params
+	clock  clock.Clock
+
+	mu        sync.RWMutex
+	index     map[chainhash.Hash]*blockNode
+	tip       *blockNode
+	utxo      *UtxoSet
+	spent     map[wire.OutPoint]SpendRecord
+	txToBlock map[chainhash.Hash]chainhash.Hash   // main-chain txid -> block hash
+	mainChain []*blockNode                        // by height
+	orphans   map[chainhash.Hash][]*wire.MsgBlock // parent hash -> waiting blocks
+
+	subsMu sync.Mutex
+	subs   []func(Notification)
+}
+
+// New creates a chain containing only the genesis block of params.
+func New(params *Params, clk clock.Clock) *Chain {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	genesis := params.GenesisBlock
+	gnode := &blockNode{
+		hash:    genesis.BlockHash(),
+		height:  0,
+		workSum: CalcWork(genesis.Header.Bits),
+		block:   genesis,
+		inMain:  true,
+	}
+	c := &Chain{
+		params:    params,
+		clock:     clk,
+		index:     map[chainhash.Hash]*blockNode{gnode.hash: gnode},
+		tip:       gnode,
+		utxo:      NewUtxoSet(),
+		spent:     make(map[wire.OutPoint]SpendRecord),
+		txToBlock: make(map[chainhash.Hash]chainhash.Hash),
+		mainChain: []*blockNode{gnode},
+		orphans:   make(map[chainhash.Hash][]*wire.MsgBlock),
+	}
+	// Genesis outputs enter the UTXO table (ours is OP_RETURN, so in
+	// practice nothing does; the call keeps the invariant uniform).
+	for _, tx := range genesis.Transactions {
+		c.utxo.add(tx, 0)
+		c.txToBlock[tx.TxHash()] = gnode.hash
+	}
+	return c
+}
+
+// Params returns the chain's parameters.
+func (c *Chain) Params() *Params { return c.params }
+
+// Subscribe registers fn to receive main-chain change notifications. The
+// callback runs synchronously after the chain mutation completes, in
+// chain order; it must not call back into Chain mutation methods.
+func (c *Chain) Subscribe(fn func(Notification)) {
+	c.subsMu.Lock()
+	defer c.subsMu.Unlock()
+	c.subs = append(c.subs, fn)
+}
+
+func (c *Chain) notify(events []Notification) {
+	c.subsMu.Lock()
+	subs := make([]func(Notification), len(c.subs))
+	copy(subs, c.subs)
+	c.subsMu.Unlock()
+	for _, ev := range events {
+		for _, fn := range subs {
+			fn(ev)
+		}
+	}
+}
+
+// BlockStatus reports how ProcessBlock disposed of a block.
+type BlockStatus int
+
+const (
+	// StatusInvalid means the block failed validation.
+	StatusInvalid BlockStatus = iota
+	// StatusMainChain means the block extended or reorganized onto the
+	// best chain.
+	StatusMainChain
+	// StatusSideChain means the block was stored on a side branch.
+	StatusSideChain
+	// StatusOrphan means the block's parent is unknown; it is held until
+	// the parent arrives.
+	StatusOrphan
+	// StatusDuplicate means the block was already known.
+	StatusDuplicate
+)
+
+// String names the status.
+func (s BlockStatus) String() string {
+	switch s {
+	case StatusMainChain:
+		return "main chain"
+	case StatusSideChain:
+		return "side chain"
+	case StatusOrphan:
+		return "orphan"
+	case StatusDuplicate:
+		return "duplicate"
+	default:
+		return "invalid"
+	}
+}
+
+// ProcessBlock validates blk and incorporates it into the block tree,
+// reorganizing the main chain if the block's branch carries more work.
+// Orphan blocks are retained and retried when their parent arrives.
+func (c *Chain) ProcessBlock(blk *wire.MsgBlock) (BlockStatus, error) {
+	c.mu.Lock()
+	status, events, err := c.processLocked(blk)
+	c.mu.Unlock()
+	if len(events) > 0 {
+		c.notify(events)
+	}
+	return status, err
+}
+
+func (c *Chain) processLocked(blk *wire.MsgBlock) (BlockStatus, []Notification, error) {
+	hash := blk.BlockHash()
+	if _, known := c.index[hash]; known {
+		return StatusDuplicate, nil, nil
+	}
+	if err := c.checkBlockSanity(blk); err != nil {
+		return StatusInvalid, nil, err
+	}
+	parent, ok := c.index[blk.Header.PrevBlock]
+	if !ok {
+		c.orphans[blk.Header.PrevBlock] = append(c.orphans[blk.Header.PrevBlock], blk)
+		return StatusOrphan, nil, nil
+	}
+	status, events, err := c.acceptBlock(blk, parent)
+	if err != nil {
+		return status, events, err
+	}
+	// Adopt any orphans waiting on this block (recursively).
+	events = append(events, c.adoptOrphans(hash)...)
+	return status, events, nil
+}
+
+func (c *Chain) adoptOrphans(parentHash chainhash.Hash) []Notification {
+	var events []Notification
+	queue := []chainhash.Hash{parentHash}
+	for len(queue) > 0 {
+		ph := queue[0]
+		queue = queue[1:]
+		waiting := c.orphans[ph]
+		delete(c.orphans, ph)
+		for _, blk := range waiting {
+			parent := c.index[ph]
+			if parent == nil {
+				continue
+			}
+			if _, evs, err := c.acceptBlock(blk, parent); err == nil {
+				events = append(events, evs...)
+				queue = append(queue, blk.BlockHash())
+			}
+		}
+	}
+	return events
+}
+
+// acceptBlock adds a block whose parent is known.
+func (c *Chain) acceptBlock(blk *wire.MsgBlock, parent *blockNode) (BlockStatus, []Notification, error) {
+	if err := c.checkBlockContext(blk, parent); err != nil {
+		return StatusInvalid, nil, err
+	}
+	node := &blockNode{
+		hash:    blk.BlockHash(),
+		parent:  parent,
+		height:  parent.height + 1,
+		workSum: new(big.Int).Add(parent.workSum, CalcWork(blk.Header.Bits)),
+		block:   blk,
+	}
+
+	if node.workSum.Cmp(c.tip.workSum) <= 0 {
+		// Not enough work to become the best chain: store on the side.
+		c.index[node.hash] = node
+		return StatusSideChain, nil, nil
+	}
+
+	if parent == c.tip {
+		// Simple extension of the main chain.
+		events, err := c.connectBlock(node)
+		if err != nil {
+			return StatusInvalid, nil, err
+		}
+		c.index[node.hash] = node
+		return StatusMainChain, events, nil
+	}
+
+	// The new block's branch has more work than the current tip: attempt
+	// a reorganization.
+	events, err := c.reorganize(node)
+	if err != nil {
+		return StatusInvalid, events, err
+	}
+	c.index[node.hash] = node
+	return StatusMainChain, events, nil
+}
+
+// connectBlock attaches node (whose parent is the current tip) to the
+// main chain, updating the UTXO table, spent journal and indexes.
+func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
+	blk := node.block
+	// Validate inputs and scripts against the current view before
+	// mutating it. Transactions may spend outputs of earlier transactions
+	// in the same block, so we interleave checking and spending.
+	var undo []undoItem
+	rollback := func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			c.utxo.restore(undo[i].op, undo[i].entry)
+			delete(c.spent, undo[i].op)
+		}
+		for _, tx := range blk.Transactions {
+			c.utxo.remove(tx)
+			delete(c.txToBlock, tx.TxHash())
+		}
+	}
+
+	var totalFees int64
+	for i, tx := range blk.Transactions {
+		if i > 0 {
+			fee, err := CheckTransactionInputs(tx, node.height, c.utxo, c.params.CoinbaseMaturity)
+			if err != nil {
+				rollback()
+				return nil, err
+			}
+			if err := checkScripts(tx, c.utxo); err != nil {
+				rollback()
+				return nil, err
+			}
+			totalFees += fee
+			txid := tx.TxHash()
+			for j, in := range tx.TxIn {
+				entry, err := c.utxo.spend(in.PreviousOutPoint)
+				if err != nil {
+					rollback()
+					return nil, err
+				}
+				undo = append(undo, undoItem{op: in.PreviousOutPoint, entry: entry})
+				c.spent[in.PreviousOutPoint] = SpendRecord{
+					SpentBy: wire.OutPoint{Hash: txid, Index: uint32(j)},
+					Spender: txid,
+					Height:  node.height,
+				}
+			}
+		}
+		c.utxo.add(tx, node.height)
+		c.txToBlock[tx.TxHash()] = node.hash
+	}
+
+	// Coinbase value check: subsidy plus fees.
+	var cbOut int64
+	for _, out := range blk.Transactions[0].TxOut {
+		cbOut += out.Value
+	}
+	if maxOut := c.params.CalcBlockSubsidy(node.height) + totalFees; cbOut > maxOut {
+		rollback()
+		return nil, fmt.Errorf("%w: coinbase pays %d, max %d", ErrBadCoinbase, cbOut, maxOut)
+	}
+
+	node.undo = undo
+	node.inMain = true
+	c.tip = node
+	c.mainChain = append(c.mainChain, node)
+	return []Notification{{Connected: true, Block: blk, Height: node.height}}, nil
+}
+
+// disconnectBlock detaches the current tip from the main chain, undoing
+// its UTXO and journal effects.
+func (c *Chain) disconnectBlock() (Notification, error) {
+	node := c.tip
+	if node.parent == nil {
+		return Notification{}, errors.New("chain: cannot disconnect genesis")
+	}
+	for _, tx := range node.block.Transactions {
+		c.utxo.remove(tx)
+		delete(c.txToBlock, tx.TxHash())
+	}
+	for i := len(node.undo) - 1; i >= 0; i-- {
+		item := node.undo[i]
+		c.utxo.restore(item.op, item.entry)
+		delete(c.spent, item.op)
+	}
+	node.undo = nil
+	node.inMain = false
+	c.tip = node.parent
+	c.mainChain = c.mainChain[:len(c.mainChain)-1]
+	return Notification{Connected: false, Block: node.block, Height: node.height}, nil
+}
+
+// reorganize switches the main chain to end at newTip. "The Bitcoin
+// history is defined to be the longest branch in the tree" (Section 1) —
+// more precisely, the branch with the most accumulated work.
+func (c *Chain) reorganize(newTip *blockNode) ([]Notification, error) {
+	// Collect the new branch back to the fork point with the main chain.
+	var attach []*blockNode
+	forkNode := newTip.parent
+	for forkNode != nil && !forkNode.inMain {
+		attach = append(attach, forkNode)
+		forkNode = forkNode.parent
+	}
+	if forkNode == nil {
+		return nil, errors.New("chain: reorg branch does not connect to main chain")
+	}
+	// attach is child-first; reverse to parent-first and append newTip.
+	for i, j := 0, len(attach)-1; i < j; i, j = i+1, j-1 {
+		attach[i], attach[j] = attach[j], attach[i]
+	}
+	attach = append(attach, newTip)
+
+	var events []Notification
+	// Disconnect main-chain blocks above the fork point, remembering them
+	// in case the new branch proves invalid.
+	var detached []*blockNode
+	for c.tip != forkNode {
+		detached = append(detached, c.tip)
+		ev, err := c.disconnectBlock()
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+	}
+
+	// Connect the new branch. If any block is invalid, roll back to the
+	// original chain.
+	for i, node := range attach {
+		evs, err := c.connectBlock(node)
+		if err != nil {
+			// Undo the partial reorg: disconnect what we attached...
+			for j := i - 1; j >= 0; j-- {
+				ev, derr := c.disconnectBlock()
+				if derr != nil {
+					return events, fmt.Errorf("chain: reorg rollback failed: %v (after %w)", derr, err)
+				}
+				events = append(events, ev)
+			}
+			// ...and reconnect the original blocks (parent-first).
+			for j := len(detached) - 1; j >= 0; j-- {
+				evs2, rerr := c.connectBlock(detached[j])
+				if rerr != nil {
+					return events, fmt.Errorf("chain: reorg rollback failed: %v (after %w)", rerr, err)
+				}
+				events = append(events, evs2...)
+			}
+			return events, err
+		}
+		events = append(events, evs...)
+	}
+	return events, nil
+}
+
+// nextRequiredDifficulty computes the difficulty for the block following
+// parent.
+func (c *Chain) nextRequiredDifficulty(parent *blockNode) uint32 {
+	if c.params.NoRetarget || c.params.RetargetInterval <= 0 {
+		return c.params.PowLimitBits
+	}
+	nextHeight := parent.height + 1
+	if nextHeight%c.params.RetargetInterval != 0 {
+		return parent.block.Header.Bits
+	}
+	// Walk back to the first block of the window.
+	first := parent
+	for i := 0; i < c.params.RetargetInterval-1 && first.parent != nil; i++ {
+		first = first.parent
+	}
+	actual := parent.block.Header.Timestamp.Sub(first.block.Header.Timestamp)
+	target := c.params.TargetTimespan
+	// Clamp adjustment to 4x in either direction, as Bitcoin does.
+	if actual < target/4 {
+		actual = target / 4
+	}
+	if actual > target*4 {
+		actual = target * 4
+	}
+	oldTarget := CompactToBig(parent.block.Header.Bits)
+	newTarget := new(big.Int).Mul(oldTarget, big.NewInt(int64(actual/time.Second)))
+	newTarget.Div(newTarget, big.NewInt(int64(target/time.Second)))
+	if newTarget.Cmp(c.params.PowLimit) > 0 {
+		newTarget.Set(c.params.PowLimit)
+	}
+	return BigToCompact(newTarget)
+}
+
+// NextRequiredDifficulty returns the difficulty bits required of the next
+// block on the main chain.
+func (c *Chain) NextRequiredDifficulty() uint32 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nextRequiredDifficulty(c.tip)
+}
+
+// BestHeight returns the height of the main-chain tip.
+func (c *Chain) BestHeight() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tip.height
+}
+
+// BestHash returns the hash of the main-chain tip.
+func (c *Chain) BestHash() chainhash.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tip.hash
+}
+
+// TipHeader returns the header of the main-chain tip.
+func (c *Chain) TipHeader() wire.BlockHeader {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tip.block.Header
+}
+
+// MedianTimePast returns the median-time-past of the tip, the monotone
+// clock against which before(t) conditions are judged for new blocks.
+func (c *Chain) MedianTimePast() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tip.medianTimePast()
+}
+
+// LookupUtxo returns the unspent entry for op, or nil.
+func (c *Chain) LookupUtxo(op wire.OutPoint) *UtxoEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e := c.utxo.Lookup(op)
+	if e == nil {
+		return nil
+	}
+	cp := *e
+	return &cp
+}
+
+// UtxoSize returns the current size of the unspent-txout table (the
+// Section 3.3 deadweight metric).
+func (c *Chain) UtxoSize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.utxo.Size()
+}
+
+// UtxoOutpoints returns every unspent outpoint, for wallet rescans.
+func (c *Chain) UtxoOutpoints() []wire.OutPoint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.utxo.Outpoints()
+}
+
+// IsSpent reports whether op was consumed on the main chain, and by whom.
+// This is the "unambiguous evidence" backing the spent(txid.n) condition.
+func (c *Chain) IsSpent(op wire.OutPoint) (SpendRecord, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rec, ok := c.spent[op]
+	return rec, ok
+}
+
+// Confirmations returns the number of blocks on the main chain that
+// contain or build on the transaction: 1 when it is in the tip block, 0
+// when unknown. A transaction with Confirmations >= Params.
+// ConfirmationDepth+1 is confirmed in the paper's sense.
+func (c *Chain) Confirmations(txid chainhash.Hash) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	blockHash, ok := c.txToBlock[txid]
+	if !ok {
+		return 0
+	}
+	node := c.index[blockHash]
+	if node == nil || !node.inMain {
+		return 0
+	}
+	return c.tip.height - node.height + 1
+}
+
+// BlockOf returns the main-chain block containing txid along with its
+// height.
+func (c *Chain) BlockOf(txid chainhash.Hash) (*wire.MsgBlock, int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	blockHash, ok := c.txToBlock[txid]
+	if !ok {
+		return nil, 0, false
+	}
+	node := c.index[blockHash]
+	if node == nil || !node.inMain {
+		return nil, 0, false
+	}
+	return node.block, node.height, true
+}
+
+// TxByID returns a main-chain transaction by id.
+func (c *Chain) TxByID(txid chainhash.Hash) (*wire.MsgTx, bool) {
+	blk, _, ok := c.BlockOf(txid)
+	if !ok {
+		return nil, false
+	}
+	for _, tx := range blk.Transactions {
+		if tx.TxHash() == txid {
+			return tx, true
+		}
+	}
+	return nil, false
+}
+
+// BlockByHash returns any known block (main or side chain) by hash.
+func (c *Chain) BlockByHash(h chainhash.Hash) (*wire.MsgBlock, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	node, ok := c.index[h]
+	if !ok {
+		return nil, false
+	}
+	return node.block, true
+}
+
+// BlockAtHeight returns the main-chain block at the given height.
+func (c *Chain) BlockAtHeight(h int) (*wire.MsgBlock, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if h < 0 || h >= len(c.mainChain) {
+		return nil, false
+	}
+	return c.mainChain[h].block, true
+}
+
+// HaveBlock reports whether the block is known (main, side or orphan).
+func (c *Chain) HaveBlock(h chainhash.Hash) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.index[h]; ok {
+		return true
+	}
+	for _, blks := range c.orphans {
+		for _, b := range blks {
+			if b.BlockHash() == h {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Locator builds a block locator for the main chain: recent hashes
+// densely, then exponentially sparser back to genesis.
+func (c *Chain) Locator() []chainhash.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []chainhash.Hash
+	step := 1
+	for h := c.tip.height; h >= 0; h -= step {
+		out = append(out, c.mainChain[h].hash)
+		if len(out) >= 10 {
+			step *= 2
+		}
+	}
+	if out[len(out)-1] != c.mainChain[0].hash {
+		out = append(out, c.mainChain[0].hash)
+	}
+	return out
+}
+
+// BlocksAfter returns up to limit main-chain blocks after the first
+// locator hash found on the main chain (genesis if none match).
+func (c *Chain) BlocksAfter(locator []chainhash.Hash, limit int) []*wire.MsgBlock {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	start := 0
+	for _, h := range locator {
+		if node, ok := c.index[h]; ok && node.inMain {
+			start = node.height
+			break
+		}
+	}
+	var out []*wire.MsgBlock
+	for h := start + 1; h <= c.tip.height && len(out) < limit; h++ {
+		out = append(out, c.mainChain[h].block)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package chain
+
+import (
+	"math/big"
+	"time"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/script"
+	"typecoin/internal/wire"
+)
+
+// Params describes a chain instance. RegTestParams mirrors Bitcoin's
+// regression-test mode: real proof-of-work at trivial difficulty, so a
+// commodity machine can mine blocks on demand while every consensus rule
+// still runs.
+type Params struct {
+	Name  string
+	Magic uint32
+
+	// PowLimit is the easiest permissible target; PowLimitBits is its
+	// compact encoding, used by the genesis block and by regtest blocks.
+	PowLimit     *big.Int
+	PowLimitBits uint32
+
+	// TargetTimespan / TargetSpacing control difficulty retargeting;
+	// RetargetInterval blocks per adjustment. NoRetarget disables
+	// adjustment entirely (regtest behaviour).
+	TargetTimespan   time.Duration
+	TargetSpacing    time.Duration
+	RetargetInterval int
+	NoRetarget       bool
+
+	// BaseSubsidy is the initial coinbase reward in satoshi;
+	// SubsidyHalvingInterval is the halving period in blocks.
+	BaseSubsidy            int64
+	SubsidyHalvingInterval int
+
+	// CoinbaseMaturity is the number of confirmations before coinbase
+	// outputs may be spent.
+	CoinbaseMaturity int
+
+	// ConfirmationDepth is the number of subsequent blocks after which a
+	// transaction is treated as irreversible ("usually taken as five",
+	// paper Section 1).
+	ConfirmationDepth int
+
+	// GenesisBlock is the chain's first block.
+	GenesisBlock *wire.MsgBlock
+}
+
+// regTestPowLimit allows hashes with roughly 9 leading zero bits: a few
+// hundred hash attempts per block, instantaneous on any machine, while
+// still exercising the full proof-of-work path.
+var regTestPowLimit = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 247), big.NewInt(1))
+
+// RegTestParams returns parameters for an isolated regression-test chain.
+// Each call builds a fresh genesis block value; all calls agree on its
+// hash.
+func RegTestParams() *Params {
+	p := &Params{
+		Name:                   "regtest",
+		Magic:                  wire.RegTestMagic,
+		PowLimit:               regTestPowLimit,
+		PowLimitBits:           BigToCompact(regTestPowLimit),
+		TargetTimespan:         24 * time.Hour,
+		TargetSpacing:          10 * time.Minute,
+		RetargetInterval:       144,
+		NoRetarget:             true,
+		BaseSubsidy:            50 * wire.SatoshiPerBitcoin,
+		SubsidyHalvingInterval: 150,
+		CoinbaseMaturity:       10,
+		ConfirmationDepth:      5,
+	}
+	p.GenesisBlock = makeGenesisBlock(p)
+	return p
+}
+
+// makeGenesisBlock constructs the deterministic genesis block: a single
+// coinbase paying an unspendable OP_RETURN, mined against the pow limit.
+func makeGenesisBlock(p *Params) *wire.MsgBlock {
+	coinbase := wire.NewMsgTx(wire.TxVersion)
+	coinbase.AddTxIn(&wire.TxIn{
+		PreviousOutPoint: wire.OutPoint{Hash: chainhash.ZeroHash, Index: 0xffffffff},
+		SignatureScript:  []byte("typecoin regtest genesis / PLDI 2015"),
+		Sequence:         wire.MaxTxInSequenceNum,
+	})
+	pkScript, err := script.NullDataScript([]byte("peer-to-peer affine commitment"))
+	if err != nil {
+		panic("chain: genesis script: " + err.Error())
+	}
+	coinbase.AddTxOut(&wire.TxOut{Value: 0, PkScript: pkScript})
+
+	blk := &wire.MsgBlock{
+		Header: wire.BlockHeader{
+			Version:    1,
+			PrevBlock:  chainhash.ZeroHash,
+			MerkleRoot: wire.ComputeMerkleRoot([]*wire.MsgTx{coinbase}),
+			Timestamp:  time.Unix(1431475200, 0).UTC(), // 2015-05-13, post-PLDI'15 deadline
+			Bits:       p.PowLimitBits,
+			Nonce:      0,
+		},
+		Transactions: []*wire.MsgTx{coinbase},
+	}
+	// Grind the nonce so even the genesis block carries valid work.
+	for CheckProofOfWork(blk.BlockHash(), blk.Header.Bits, p.PowLimit) != nil {
+		blk.Header.Nonce++
+	}
+	return blk
+}
+
+// CalcBlockSubsidy returns the coinbase reward at the given height.
+func (p *Params) CalcBlockSubsidy(height int) int64 {
+	if p.SubsidyHalvingInterval <= 0 {
+		return p.BaseSubsidy
+	}
+	halvings := height / p.SubsidyHalvingInterval
+	if halvings >= 64 {
+		return 0
+	}
+	return p.BaseSubsidy >> uint(halvings)
+}

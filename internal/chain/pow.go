@@ -1,0 +1,107 @@
+// Package chain implements the blockchain state machine: proof-of-work,
+// the unspent-transaction-output table, block and transaction validation
+// (conditions 1-4 of the paper's Section 2), chain selection by
+// accumulated work, and reorganization handling.
+//
+// This is the commitment substrate: "once a transaction has several
+// subsequent blocks (usually taken as five), it may be considered
+// irreversible" (paper, Section 1). The Typecoin layer relies on exactly
+// two properties provided here: no txout is ever spent twice on the best
+// chain, and confirmed history is (probabilistically) immutable.
+package chain
+
+import (
+	"fmt"
+	"math/big"
+
+	"typecoin/internal/chainhash"
+)
+
+// CompactToBig converts Bitcoin's compact target representation ("bits")
+// into a big integer target.
+func CompactToBig(compact uint32) *big.Int {
+	mantissa := compact & 0x007fffff
+	exponent := uint(compact >> 24)
+	negative := compact&0x00800000 != 0
+
+	var bn *big.Int
+	if exponent <= 3 {
+		mantissa >>= 8 * (3 - exponent)
+		bn = big.NewInt(int64(mantissa))
+	} else {
+		bn = big.NewInt(int64(mantissa))
+		bn.Lsh(bn, 8*(exponent-3))
+	}
+	if negative {
+		bn = bn.Neg(bn)
+	}
+	return bn
+}
+
+// BigToCompact converts a target into its compact representation.
+func BigToCompact(n *big.Int) uint32 {
+	if n.Sign() == 0 {
+		return 0
+	}
+	var mantissa uint32
+	exponent := uint(len(n.Bytes()))
+	if exponent <= 3 {
+		mantissa = uint32(n.Int64())
+		mantissa <<= 8 * (3 - exponent)
+	} else {
+		tn := new(big.Int).Rsh(n, 8*(exponent-3))
+		mantissa = uint32(tn.Int64())
+	}
+	if mantissa&0x00800000 != 0 {
+		mantissa >>= 8
+		exponent++
+	}
+	compact := uint32(exponent<<24) | mantissa
+	if n.Sign() < 0 {
+		compact |= 0x00800000
+	}
+	return compact
+}
+
+// HashToBig interprets a block hash as a big-endian integer for target
+// comparison.
+func HashToBig(h chainhash.Hash) *big.Int {
+	// Hashes are little-endian internally; reverse for integer order.
+	var rev [chainhash.HashSize]byte
+	for i, b := range h {
+		rev[chainhash.HashSize-1-i] = b
+	}
+	return new(big.Int).SetBytes(rev[:])
+}
+
+// CheckProofOfWork verifies that the block hash is at or below the target
+// encoded in bits, and that the target itself is within the chain's limit.
+// "In order to create a new block, its creator must solve a problem that
+// is expensive to solve, but easy to verify." (paper, Section 1).
+func CheckProofOfWork(hash chainhash.Hash, bits uint32, powLimit *big.Int) error {
+	target := CompactToBig(bits)
+	if target.Sign() <= 0 {
+		return fmt.Errorf("chain: target %064x is not positive", target)
+	}
+	if target.Cmp(powLimit) > 0 {
+		return fmt.Errorf("chain: target %064x above proof-of-work limit", target)
+	}
+	if HashToBig(hash).Cmp(target) > 0 {
+		return fmt.Errorf("chain: block hash %s above target %064x", hash, target)
+	}
+	return nil
+}
+
+// CalcWork returns the expected number of hashes needed to find a block
+// at the given difficulty: 2^256 / (target + 1). Chain selection compares
+// accumulated work, not chain length, so a low-difficulty fork cannot beat
+// a high-difficulty chain merely by having more blocks.
+func CalcWork(bits uint32) *big.Int {
+	target := CompactToBig(bits)
+	if target.Sign() <= 0 {
+		return big.NewInt(0)
+	}
+	denom := new(big.Int).Add(target, big.NewInt(1))
+	num := new(big.Int).Lsh(big.NewInt(1), 256)
+	return num.Div(num, denom)
+}

@@ -1,0 +1,172 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/script"
+	"typecoin/internal/wire"
+)
+
+// Validation errors that callers may want to distinguish.
+var (
+	ErrDoubleSpend     = errors.New("chain: input spends a spent or unknown output")
+	ErrBadProofOfWork  = errors.New("chain: bad proof of work")
+	ErrImmatureSpend   = errors.New("chain: spend of immature coinbase")
+	ErrBadMerkleRoot   = errors.New("chain: merkle root mismatch")
+	ErrDuplicateTx     = errors.New("chain: duplicate transaction in block")
+	ErrTimeTooNew      = errors.New("chain: block timestamp too far in the future")
+	ErrTimeTooOld      = errors.New("chain: block timestamp not after median of ancestors")
+	ErrBadCoinbase     = errors.New("chain: malformed or misplaced coinbase")
+	ErrBadTxValue      = errors.New("chain: transaction value out of range")
+	ErrInsufficientFee = errors.New("chain: inputs do not cover outputs")
+)
+
+// maxFutureBlockTime is how far ahead of the local clock a block timestamp
+// may be.
+const maxFutureBlockTime = 2 * time.Hour
+
+// medianTimeBlocks is the window used for the median-time-past rule.
+const medianTimeBlocks = 11
+
+// CheckTransactionSanity performs context-free transaction checks: the
+// structural parts of the validity conditions in the paper's Section 2.
+func CheckTransactionSanity(tx *wire.MsgTx) error {
+	if len(tx.TxIn) == 0 {
+		return errors.New("chain: transaction has no inputs")
+	}
+	if len(tx.TxOut) == 0 {
+		return errors.New("chain: transaction has no outputs")
+	}
+	var total int64
+	for _, out := range tx.TxOut {
+		if out.Value < 0 || out.Value > wire.MaxSatoshi {
+			return fmt.Errorf("%w: output value %d", ErrBadTxValue, out.Value)
+		}
+		total += out.Value
+		if total > wire.MaxSatoshi {
+			return fmt.Errorf("%w: output total overflows", ErrBadTxValue)
+		}
+	}
+	// Condition 3 (within one transaction): all inputs must identify
+	// distinct outputs.
+	seen := make(map[wire.OutPoint]struct{}, len(tx.TxIn))
+	for _, in := range tx.TxIn {
+		if _, dup := seen[in.PreviousOutPoint]; dup {
+			return fmt.Errorf("chain: transaction spends %v twice", in.PreviousOutPoint)
+		}
+		seen[in.PreviousOutPoint] = struct{}{}
+	}
+	if tx.IsCoinBase() {
+		if n := len(tx.TxIn[0].SignatureScript); n < 2 || n > 100 {
+			return fmt.Errorf("%w: coinbase script length %d", ErrBadCoinbase, n)
+		}
+	} else {
+		for _, in := range tx.TxIn {
+			if in.PreviousOutPoint.Hash.IsZero() {
+				return fmt.Errorf("%w: null previous outpoint", ErrBadCoinbase)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBlockSanity performs context-free block checks.
+func (c *Chain) checkBlockSanity(blk *wire.MsgBlock) error {
+	if err := CheckProofOfWork(blk.BlockHash(), blk.Header.Bits, c.params.PowLimit); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProofOfWork, err)
+	}
+	if len(blk.Transactions) == 0 {
+		return errors.New("chain: block has no transactions")
+	}
+	if !blk.Transactions[0].IsCoinBase() {
+		return fmt.Errorf("%w: first transaction is not a coinbase", ErrBadCoinbase)
+	}
+	for _, tx := range blk.Transactions[1:] {
+		if tx.IsCoinBase() {
+			return fmt.Errorf("%w: extra coinbase", ErrBadCoinbase)
+		}
+	}
+	if got := wire.ComputeMerkleRoot(blk.Transactions); got != blk.Header.MerkleRoot {
+		return fmt.Errorf("%w: got %s want %s", ErrBadMerkleRoot, got, blk.Header.MerkleRoot)
+	}
+	seen := make(map[chainhash.Hash]struct{}, len(blk.Transactions))
+	for _, tx := range blk.Transactions {
+		id := tx.TxHash()
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateTx, id)
+		}
+		seen[id] = struct{}{}
+	}
+	for _, tx := range blk.Transactions {
+		if err := CheckTransactionSanity(tx); err != nil {
+			return err
+		}
+	}
+	if blk.Header.Timestamp.After(c.clock.Now().Add(maxFutureBlockTime)) {
+		return ErrTimeTooNew
+	}
+	return nil
+}
+
+// checkBlockContext performs checks that need the parent node: difficulty
+// and median-time-past.
+func (c *Chain) checkBlockContext(blk *wire.MsgBlock, parent *blockNode) error {
+	wantBits := c.nextRequiredDifficulty(parent)
+	if blk.Header.Bits != wantBits {
+		return fmt.Errorf("%w: block bits %08x, want %08x", ErrBadProofOfWork,
+			blk.Header.Bits, wantBits)
+	}
+	if !blk.Header.Timestamp.After(parent.medianTimePast()) {
+		return ErrTimeTooOld
+	}
+	return nil
+}
+
+// CheckTransactionInputs validates tx against the UTXO table (conditions
+// 1-3 of Section 2 between transactions), returning the fee. The view
+// must already reflect any earlier transactions in the same block.
+func CheckTransactionInputs(tx *wire.MsgTx, height int, view *UtxoSet, maturity int) (int64, error) {
+	var totalIn int64
+	for _, in := range tx.TxIn {
+		entry := view.Lookup(in.PreviousOutPoint)
+		if entry == nil {
+			return 0, fmt.Errorf("%w: %v", ErrDoubleSpend, in.PreviousOutPoint)
+		}
+		if entry.IsCoinBase && height-entry.Height < maturity {
+			return 0, fmt.Errorf("%w: %v at height %d spent at %d",
+				ErrImmatureSpend, in.PreviousOutPoint, entry.Height, height)
+		}
+		totalIn += entry.Out.Value
+		if totalIn > wire.MaxSatoshi {
+			return 0, fmt.Errorf("%w: input total overflows", ErrBadTxValue)
+		}
+	}
+	var totalOut int64
+	for _, out := range tx.TxOut {
+		totalOut += out.Value
+	}
+	// Condition 1, generalized by Typecoin: inputs must cover outputs;
+	// the difference is the miner's fee.
+	if totalIn < totalOut {
+		return 0, fmt.Errorf("%w: in %d < out %d", ErrInsufficientFee, totalIn, totalOut)
+	}
+	return totalIn - totalOut, nil
+}
+
+// checkScripts runs the script engine over every input of tx (condition 4
+// of Section 2). The view must still contain the spent entries.
+func checkScripts(tx *wire.MsgTx, view *UtxoSet) error {
+	for i, in := range tx.TxIn {
+		entry := view.Lookup(in.PreviousOutPoint)
+		if entry == nil {
+			return fmt.Errorf("%w: %v", ErrDoubleSpend, in.PreviousOutPoint)
+		}
+		if err := script.VerifyInput(tx, i, entry.Out.PkScript); err != nil {
+			return fmt.Errorf("chain: input %d of %s: %w", i, tx.TxHash(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package chainhash provides the hash types and hashing helpers used
+// throughout the Bitcoin substrate and the Typecoin overlay.
+//
+// Bitcoin identifies transactions and blocks by the double SHA-256 of
+// their serialization; Typecoin reuses the same convention when it embeds
+// the hash of a Typecoin transaction into its carrier Bitcoin transaction
+// (paper, Section 3). Hashes are displayed in the byte-reversed hex form
+// that Bitcoin tools conventionally use.
+package chainhash
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the size in bytes of a Hash.
+const HashSize = 32
+
+// Hash is a 32-byte digest, stored in internal (little-endian display)
+// byte order as Bitcoin does.
+type Hash [HashSize]byte
+
+// ZeroHash is the all-zero hash, used for coinbase previous outpoints.
+var ZeroHash Hash
+
+// String returns the conventional byte-reversed hex encoding of h.
+func (h Hash) String() string {
+	var rev [HashSize]byte
+	for i, b := range h {
+		rev[HashSize-1-i] = b
+	}
+	return hex.EncodeToString(rev[:])
+}
+
+// Bytes returns a copy of the hash as a byte slice in internal order.
+func (h Hash) Bytes() []byte {
+	out := make([]byte, HashSize)
+	copy(out, h[:])
+	return out
+}
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool {
+	return h == ZeroHash
+}
+
+// NewHashFromBytes converts a 32-byte slice (internal order) into a Hash.
+func NewHashFromBytes(b []byte) (Hash, error) {
+	var h Hash
+	if len(b) != HashSize {
+		return h, fmt.Errorf("chainhash: invalid hash length %d, want %d", len(b), HashSize)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// NewHashFromStr parses the conventional byte-reversed hex form produced
+// by Hash.String.
+func NewHashFromStr(s string) (Hash, error) {
+	var h Hash
+	if len(s) != HashSize*2 {
+		return h, errors.New("chainhash: invalid hash string length")
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("chainhash: %w", err)
+	}
+	for i, b := range raw {
+		h[HashSize-1-i] = b
+	}
+	return h, nil
+}
+
+// HashB returns the single SHA-256 digest of b.
+func HashB(b []byte) Hash {
+	return Hash(sha256.Sum256(b))
+}
+
+// DoubleHashB returns SHA-256(SHA-256(b)), the digest Bitcoin uses for
+// transaction and block identifiers and for signature hashes.
+func DoubleHashB(b []byte) Hash {
+	first := sha256.Sum256(b)
+	return Hash(sha256.Sum256(first[:]))
+}
+
+// TaggedHash computes SHA-256(SHA-256(tag) || SHA-256(tag) || b), the
+// BIP-340 tagged-hash construction. The tag digest has fixed width, so
+// distinct (tag, payload) pairs can never produce the same preimage.
+// Typecoin uses tagged hashes to domain-separate its own commitments
+// (transaction hashes, assert signature payloads) from raw Bitcoin
+// material.
+func TaggedHash(tag string, b []byte) Hash {
+	tagSum := sha256.Sum256([]byte(tag))
+	h := sha256.New()
+	h.Write(tagSum[:])
+	h.Write(tagSum[:])
+	h.Write(b)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Compare returns -1, 0 or 1 comparing two hashes as big-endian integers
+// in display order; used by proof-of-work target comparisons.
+func Compare(a, b Hash) int {
+	// Display order is the reverse of internal order, so compare from the
+	// last internal byte (most significant in display order) down.
+	for i := HashSize - 1; i >= 0; i-- {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+package chainhash
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringRoundTrip(t *testing.T) {
+	h := HashB([]byte("hello"))
+	s := h.String()
+	if len(s) != 64 {
+		t.Fatalf("String length = %d, want 64", len(s))
+	}
+	back, err := NewHashFromStr(s)
+	if err != nil {
+		t.Fatalf("NewHashFromStr: %v", err)
+	}
+	if back != h {
+		t.Fatalf("round trip mismatch: %s != %s", back, h)
+	}
+}
+
+func TestStringIsByteReversed(t *testing.T) {
+	var h Hash
+	h[0] = 0xab // lowest internal byte must appear last in display order
+	s := h.String()
+	if !strings.HasSuffix(s, "ab") {
+		t.Fatalf("display form %q does not end with ab", s)
+	}
+	if !strings.HasPrefix(s, "00") {
+		t.Fatalf("display form %q does not start with 00", s)
+	}
+}
+
+func TestNewHashFromStrErrors(t *testing.T) {
+	if _, err := NewHashFromStr("abcd"); err == nil {
+		t.Error("short string accepted")
+	}
+	if _, err := NewHashFromStr(strings.Repeat("zz", 32)); err == nil {
+		t.Error("non-hex string accepted")
+	}
+}
+
+func TestNewHashFromBytes(t *testing.T) {
+	b := make([]byte, 32)
+	b[5] = 7
+	h, err := NewHashFromBytes(b)
+	if err != nil {
+		t.Fatalf("NewHashFromBytes: %v", err)
+	}
+	if h[5] != 7 {
+		t.Error("byte not copied")
+	}
+	if _, err := NewHashFromBytes(b[:31]); err == nil {
+		t.Error("short slice accepted")
+	}
+}
+
+func TestDoubleHashDiffersFromSingle(t *testing.T) {
+	b := []byte("payload")
+	if HashB(b) == DoubleHashB(b) {
+		t.Error("single and double hash coincide")
+	}
+}
+
+func TestTaggedHashDomainSeparation(t *testing.T) {
+	b := []byte("payload")
+	if TaggedHash("a", b) == TaggedHash("b", b) {
+		t.Error("different tags produced identical digests")
+	}
+	// Tag/payload boundary must matter.
+	if TaggedHash("ab", []byte("c")) == TaggedHash("a", []byte("bc")) {
+		t.Error("tag boundary is ambiguous")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	var a, b Hash
+	if Compare(a, b) != 0 {
+		t.Error("equal hashes compare nonzero")
+	}
+	// Internal byte 31 is the most significant in display order.
+	b[31] = 1
+	if Compare(a, b) != -1 {
+		t.Error("a should be less than b")
+	}
+	if Compare(b, a) != 1 {
+		t.Error("b should be greater than a")
+	}
+	// A large low-order byte must not outweigh a high-order byte.
+	a[0] = 0xff
+	if Compare(a, b) != -1 {
+		t.Error("low-order byte outweighed high-order byte")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !ZeroHash.IsZero() {
+		t.Error("ZeroHash not zero")
+	}
+	if HashB(nil).IsZero() {
+		t.Error("sha256 of empty input is zero?")
+	}
+}
+
+func TestBytesCopies(t *testing.T) {
+	h := HashB([]byte("x"))
+	b := h.Bytes()
+	b[0] ^= 0xff
+	if h.Bytes()[0] == b[0] {
+		t.Error("Bytes returned aliased storage")
+	}
+}
+
+func TestPropertyStringRoundTrip(t *testing.T) {
+	f := func(raw [HashSize]byte) bool {
+		h := Hash(raw)
+		back, err := NewHashFromStr(h.String())
+		return err == nil && back == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(x, y [HashSize]byte) bool {
+		return Compare(Hash(x), Hash(y)) == -Compare(Hash(y), Hash(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package client is the Typecoin client: it builds carrier Bitcoin
+// transactions for Typecoin transactions, submits them to a node's
+// mempool, follows the ledger, and answers the queries a principal needs
+// (what typed outputs do I hold, assemble upstream bundles, verify a
+// claim). "The Typecoin client itself can be viewed as a very small
+// batch-mode server, trusted by only one person." (Section 3.2).
+package client
+
+import (
+	"fmt"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chain"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/logic"
+	"typecoin/internal/mempool"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wallet"
+	"typecoin/internal/wire"
+)
+
+// Client bundles the pieces a Typecoin principal runs.
+type Client struct {
+	Chain  *chain.Chain
+	Pool   *mempool.Pool
+	Wallet *wallet.Wallet
+	Ledger *typecoin.Ledger
+}
+
+// New creates a client over existing components.
+func New(c *chain.Chain, pool *mempool.Pool, w *wallet.Wallet, ledger *typecoin.Ledger) *Client {
+	return &Client{Chain: c, Pool: pool, Wallet: w, Ledger: ledger}
+}
+
+// Fee is the carrier fee clients attach (the paper's typical 0.0005 BTC).
+const Fee = wallet.DefaultFee
+
+// Submit builds, signs and submits the carrier Bitcoin transaction for
+// tx, announces tx to the ledger, and returns the carrier. The wallet
+// must control the typed inputs (to sign them) and enough plain funds to
+// cover the typed outputs' amounts plus the fee.
+func (c *Client) Submit(tx *typecoin.Tx) (*wire.MsgTx, error) {
+	carrierOuts, err := typecoin.CarrierOutputs(tx)
+	if err != nil {
+		return nil, err
+	}
+	outputs := make([]wallet.Output, len(carrierOuts))
+	for i, o := range carrierOuts {
+		outputs[i] = wallet.Output{Value: o.Value, PkScript: o.PkScript}
+	}
+	extra := make([]wire.OutPoint, len(tx.Inputs))
+	for i, in := range tx.Inputs {
+		extra[i] = in.Source
+	}
+	carrier, err := c.Wallet.Build(outputs, wallet.BuildOptions{
+		Fee:         Fee,
+		ExtraInputs: extra,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: building carrier: %w", err)
+	}
+	if err := typecoin.VerifyEmbedding(tx, carrier); err != nil {
+		// Defensive: Build should have preserved input/output order.
+		c.Wallet.Unlock(carrier)
+		return nil, fmt.Errorf("client: carrier malformed: %w", err)
+	}
+	if _, err := c.Pool.Accept(carrier); err != nil {
+		c.Wallet.Unlock(carrier)
+		return nil, fmt.Errorf("client: mempool rejected carrier: %w", err)
+	}
+	c.Ledger.Announce(tx)
+	return carrier, nil
+}
+
+// VerifyClaim runs the trust-free verifier for a claimed typed output,
+// assembling the upstream bundle set from the ledger.
+func (c *Client) VerifyClaim(op wire.OutPoint, claimed logic.Prop) error {
+	bundles, err := c.Ledger.UpstreamBundles(op)
+	if err != nil {
+		return err
+	}
+	_, err = typecoin.Verify(c.Chain, op, claimed, bundles, c.Ledger.MinConf())
+	return err
+}
+
+// Confirmations reports how deep a carrier is.
+func (c *Client) Confirmations(carrierID chainhash.Hash) int {
+	return c.Chain.Confirmations(carrierID)
+}
+
+// Principal is a convenience: a fresh wallet key's principal plus its
+// public key (outputs need the full key for the 1-of-2 slot).
+func (c *Client) NewPrincipal() (bkey.Principal, *bkey.PublicKey, error) {
+	p, err := c.Wallet.NewKey()
+	if err != nil {
+		return bkey.Principal{}, nil, err
+	}
+	key, err := c.Wallet.Key(p)
+	if err != nil {
+		return bkey.Principal{}, nil, err
+	}
+	return p, key.PubKey(), nil
+}
+
+// CleanupOptions builds the wallet options for the Section 3.1 cleanup
+// idiom: spend metadata-carrying 1-of-2 outputs back into plain funds
+// ("cracking a resource open to recover the bitcoins inside"), paying
+// change to changeTo. Use with Wallet.Build(nil, ...).
+func CleanupOptions(metas []wire.OutPoint, changeTo bkey.Principal) wallet.BuildOptions {
+	return wallet.BuildOptions{
+		Fee:         Fee,
+		ChangeTo:    changeTo,
+		ExtraInputs: metas,
+	}
+}
+
+// SubmitBatch builds, signs and submits the carrier for a batch-mode
+// withdrawal and announces the batch to the ledger.
+func (c *Client) SubmitBatch(b *typecoin.Batch) (*wire.MsgTx, error) {
+	carrierOuts, err := typecoin.CarrierOutputsBatch(b)
+	if err != nil {
+		return nil, err
+	}
+	outputs := make([]wallet.Output, len(carrierOuts))
+	for i, o := range carrierOuts {
+		outputs[i] = wallet.Output{Value: o.Value, PkScript: o.PkScript}
+	}
+	extra := make([]wire.OutPoint, len(b.Sources))
+	for i, src := range b.Sources {
+		extra[i] = src.Source
+	}
+	carrier, err := c.Wallet.Build(outputs, wallet.BuildOptions{Fee: Fee, ExtraInputs: extra})
+	if err != nil {
+		return nil, fmt.Errorf("client: building batch carrier: %w", err)
+	}
+	if err := typecoin.VerifyBatchEmbedding(b, carrier); err != nil {
+		c.Wallet.Unlock(carrier)
+		return nil, fmt.Errorf("client: batch carrier malformed: %w", err)
+	}
+	if _, err := c.Pool.Accept(carrier); err != nil {
+		c.Wallet.Unlock(carrier)
+		return nil, fmt.Errorf("client: mempool rejected batch carrier: %w", err)
+	}
+	c.Ledger.AnnounceBatch(b)
+	return carrier, nil
+}
+
+// SubmitPrebuilt submits an externally assembled carrier (e.g. one whose
+// escrowed inputs were signed by an agent pool) for tx.
+func (c *Client) SubmitPrebuilt(tx *typecoin.Tx, carrier *wire.MsgTx) error {
+	if err := typecoin.VerifyEmbedding(tx, carrier); err != nil {
+		return err
+	}
+	if _, err := c.Pool.Accept(carrier); err != nil {
+		return fmt.Errorf("client: mempool rejected carrier: %w", err)
+	}
+	c.Ledger.Announce(tx)
+	return nil
+}
+
+// ExportClaim packages a typed output the holder controls into a
+// portable Claim: the outpoint, its (globally resolved) type, and the
+// full upstream bundle set, ready to hand to any verifier.
+func (c *Client) ExportClaim(op wire.OutPoint) (*typecoin.Claim, error) {
+	prop, ok := c.Ledger.ResolveOutput(op)
+	if !ok {
+		return nil, fmt.Errorf("client: %v is not an unconsumed typed output", op)
+	}
+	bundles, err := c.Ledger.UpstreamBundles(op)
+	if err != nil {
+		return nil, err
+	}
+	return &typecoin.Claim{Out: op, Type: prop, Bundles: bundles}, nil
+}

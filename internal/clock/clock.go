@@ -1,0 +1,55 @@
+// Package clock abstracts time so that the chain, the miner and the
+// Typecoin condition checker (before(t), paper Section 5) can run against
+// wall time in production and a deterministic simulated clock in tests and
+// benchmarks.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// System is the wall clock.
+type System struct{}
+
+// Now returns time.Now.
+func (System) Now() time.Time { return time.Now() }
+
+// Simulated is a manually advanced clock. The zero value is not usable;
+// create one with NewSimulated. It is safe for concurrent use.
+type Simulated struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSimulated returns a simulated clock starting at start.
+func NewSimulated(start time.Time) *Simulated {
+	return &Simulated{now: start}
+}
+
+// Now returns the simulated current time.
+func (c *Simulated) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Simulated) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Set jumps the clock to t.
+func (c *Simulated) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

@@ -1,0 +1,52 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimulatedAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewSimulated(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), start)
+	}
+	got := c.Advance(10 * time.Minute)
+	want := start.Add(10 * time.Minute)
+	if !got.Equal(want) || !c.Now().Equal(want) {
+		t.Errorf("after Advance: %v, want %v", c.Now(), want)
+	}
+	c.Set(time.Unix(99, 0))
+	if c.Now().Unix() != 99 {
+		t.Errorf("Set did not take: %v", c.Now())
+	}
+}
+
+func TestSimulatedConcurrent(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Second)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now().Unix(); got != 800 {
+		t.Errorf("after 800 concurrent advances: %d", got)
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	before := time.Now().Add(-time.Second)
+	got := System{}.Now()
+	after := time.Now().Add(time.Second)
+	if got.Before(before) || got.After(after) {
+		t.Errorf("System.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

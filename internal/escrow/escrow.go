@@ -1,0 +1,183 @@
+// Package escrow implements type-checking escrow agents (paper, Section
+// 7). An agent holds assets at keys it controls and follows one policy:
+// "sign any instance of the [open] transaction that type checks." A
+// claimant fills the open transaction's holes, builds the carrier, and
+// collects signatures from m of the n agents in the pool; because the
+// agents check types independently, "using a 2-of-3 script, participants
+// can tolerate one of the three agents becoming compromised."
+package escrow
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chain"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/script"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wire"
+)
+
+// Agent errors.
+var (
+	ErrUnknownTemplate = errors.New("escrow: no registered template matches")
+	ErrNotEscrowed     = errors.New("escrow: input does not spend an output this agent escrows")
+	ErrPolicyFailed    = errors.New("escrow: instance does not type-check")
+)
+
+// Agent is one escrow agent: a key, a view of the chain, and the open
+// transactions it has agreed to escrow.
+type Agent struct {
+	key    *bkey.PrivateKey
+	chain  *chain.Chain
+	ledger *typecoin.Ledger
+
+	mu        sync.Mutex
+	templates map[chainhash.Hash]*typecoin.OpenTx
+}
+
+// NewAgent creates an agent. The ledger supplies the Typecoin state the
+// agent checks instances against.
+func NewAgent(key *bkey.PrivateKey, c *chain.Chain, ledger *typecoin.Ledger) *Agent {
+	return &Agent{
+		key:       key,
+		chain:     c,
+		ledger:    ledger,
+		templates: make(map[chainhash.Hash]*typecoin.OpenTx),
+	}
+}
+
+// Key returns the agent's public key; issuers send escrowed assets to it.
+func (a *Agent) Key() *bkey.PublicKey { return a.key.PubKey() }
+
+// TemplateID identifies an open transaction for registration: the tagged
+// hash of its template payload and hole lists.
+func TemplateID(o *typecoin.OpenTx) chainhash.Hash {
+	payload := o.Template.SigPayload()
+	for _, i := range o.OpenInputs {
+		payload = append(payload, 0x01, byte(i), byte(i>>8))
+	}
+	for _, i := range o.OpenOwners {
+		payload = append(payload, 0x02, byte(i), byte(i>>8))
+	}
+	return chainhash.TaggedHash("typecoin/open-template", payload)
+}
+
+// Register records an open transaction the agent agrees to escrow.
+func (a *Agent) Register(o *typecoin.OpenTx) chainhash.Hash {
+	id := TemplateID(o)
+	a.mu.Lock()
+	a.templates[id] = o
+	a.mu.Unlock()
+	return id
+}
+
+// SignInstance applies the agent's policy to a filled instance and its
+// carrier: the instance must match a registered template, the carrier
+// must embed it, and the instance must type-check against the agent's
+// current ledger state (conditions judged at the current tip). On
+// success it returns the agent's raw multisig signature for carrier
+// input inputIdx, which must spend an output whose locking script
+// includes the agent's key.
+func (a *Agent) SignInstance(filled *typecoin.Tx, carrier *wire.MsgTx, inputIdx int) ([]byte, error) {
+	a.mu.Lock()
+	var tmpl *typecoin.OpenTx
+	for _, o := range a.templates {
+		if err := o.Matches(filled); err == nil {
+			tmpl = o
+			break
+		}
+	}
+	a.mu.Unlock()
+	if tmpl == nil {
+		return nil, ErrUnknownTemplate
+	}
+	if err := typecoin.VerifyEmbedding(filled, carrier); err != nil {
+		return nil, err
+	}
+	// Policy: the instance must type-check right now. The ledger's state
+	// resolves the filled input sources; the oracle is the current tip.
+	if err := a.ledger.CheckInstance(filled); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPolicyFailed, err)
+	}
+	// The input must spend an output we escrow: a multisig whose slots
+	// include our key.
+	if inputIdx < 0 || inputIdx >= len(carrier.TxIn) {
+		return nil, fmt.Errorf("escrow: input index %d out of range", inputIdx)
+	}
+	prev := carrier.TxIn[inputIdx].PreviousOutPoint
+	entry := a.chain.LookupUtxo(prev)
+	if entry == nil {
+		return nil, fmt.Errorf("%w: %v unknown or spent", ErrNotEscrowed, prev)
+	}
+	_, slots, ok := script.ExtractMultiSig(entry.Out.PkScript)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v is not multisig", ErrNotEscrowed, prev)
+	}
+	mine := false
+	ours := a.key.PubKey().Serialize()
+	for _, slot := range slots {
+		if string(slot) == string(ours) {
+			mine = true
+			break
+		}
+	}
+	if !mine {
+		return nil, fmt.Errorf("%w: %v", ErrNotEscrowed, prev)
+	}
+	return script.RawMultiSigSignature(carrier, inputIdx, entry.Out.PkScript, script.SigHashAll, a.key)
+}
+
+// Pool is a set of agents with an m-of-n threshold.
+type Pool struct {
+	M      int
+	Agents []*Agent
+}
+
+// NewPool builds a pool.
+func NewPool(m int, agents ...*Agent) (*Pool, error) {
+	if m < 1 || m > len(agents) {
+		return nil, fmt.Errorf("escrow: invalid pool %d-of-%d", m, len(agents))
+	}
+	return &Pool{M: m, Agents: agents}, nil
+}
+
+// Lock returns the EscrowLock for typed outputs held by this pool.
+func (p *Pool) Lock() *typecoin.EscrowLock {
+	keys := make([]*bkey.PublicKey, len(p.Agents))
+	for i, a := range p.Agents {
+		keys[i] = a.Key()
+	}
+	return &typecoin.EscrowLock{M: p.M, Keys: keys}
+}
+
+// Register registers an open transaction with every agent.
+func (p *Pool) Register(o *typecoin.OpenTx) {
+	for _, a := range p.Agents {
+		a.Register(o)
+	}
+}
+
+// CollectSignatures asks agents in order for signatures on carrier input
+// inputIdx until M have signed, returning the assembled unlocking script.
+// Agents that refuse (compromised, offline, or policy failure) are
+// skipped — this is exactly the fault tolerance the pool buys.
+func (p *Pool) CollectSignatures(filled *typecoin.Tx, carrier *wire.MsgTx, inputIdx int) ([]byte, error) {
+	var sigs [][]byte
+	var lastErr error
+	for _, a := range p.Agents {
+		sig, err := a.SignInstance(filled, carrier, inputIdx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sigs = append(sigs, sig)
+		if len(sigs) == p.M {
+			return script.AssembleMultiSig(sigs...)
+		}
+	}
+	return nil, fmt.Errorf("escrow: only %d of %d signatures collected (last refusal: %v)",
+		len(sigs), p.M, lastErr)
+}

@@ -1,0 +1,472 @@
+package escrow_test
+
+import (
+	"errors"
+	"testing"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/client"
+	"typecoin/internal/escrow"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/mempool"
+	"typecoin/internal/proof"
+	"typecoin/internal/script"
+	"typecoin/internal/testutil"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wallet"
+	"typecoin/internal/wire"
+)
+
+type env struct {
+	*testutil.Harness
+	Client *client.Client
+	Pool3  *escrow.Pool // 2-of-3
+	Agents []*escrow.Agent
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	h := testutil.NewHarness(t, t.Name())
+	h.Fund(t)
+	ledger := typecoin.NewLedger(h.Chain, 1)
+	c := client.New(h.Chain, h.Pool, h.Wallet, ledger)
+	var agents []*escrow.Agent
+	for i := 0; i < 3; i++ {
+		key, err := bkey.NewPrivateKey(testutil.NewEntropy(t.Name() + string(rune('a'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, escrow.NewAgent(key, h.Chain, ledger))
+	}
+	pool, err := escrow.NewPool(2, agents...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{Harness: h, Client: c, Pool3: pool, Agents: agents}
+}
+
+// proofProject is the standard grant-projection proof.
+func proofProject(domain logic.Prop, body proof.Term) proof.Term {
+	return proof.Lam{Name: "d", Ty: domain,
+		Body: proof.LetPair{LName: "ca", RName: "r", Of: proof.V("d"),
+			Body: proof.LetPair{LName: "c", RName: "a", Of: proof.V("ca"),
+				Body: body}}}
+}
+
+// TestPuzzlePrize plays out Section 7: Alice escrows a prize with a
+// 2-of-3 type-checking pool and issues an open transaction awarding it
+// for a solution; Bob solves the puzzle, fills the holes, collects two
+// signatures, and claims the prize — even with one agent compromised.
+func TestPuzzlePrize(t *testing.T) {
+	e := newEnv(t)
+	_, alicePub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bobPub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- T0: Alice publishes the puzzle and escrows the prize. ---
+	// solution : nat -> prop; prize : prop;
+	// mk-solution : all n:nat. (some x:plus 21 21 n. 1) -o solution n.
+	// The "puzzle" is to find n with 21+21=n; anyone can solve it, and
+	// the first to commit on chain wins.
+	t0 := typecoin.NewTx()
+	if err := t0.Basis.DeclareFam(lf.This("solution"), lf.KArrow(lf.NatFam, lf.KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := t0.Basis.DeclareFam(lf.This("prize"), lf.KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	mkSolution := logic.Forall("n", lf.NatFam,
+		logic.Lolli(
+			logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(21), lf.Nat(21), lf.Var(0, "n")), logic.One),
+			logic.Atom(lf.This("solution"), lf.Var(0, "n"))))
+	if err := t0.Basis.DeclareProp(lf.This("mk-solution"), mkSolution); err != nil {
+		t.Fatal(err)
+	}
+	prize := logic.Atom(lf.This("prize"))
+	t0.Grant = prize
+	const prizeSat = 50_000
+	t0.Outputs = []typecoin.Output{{
+		Type:   prize,
+		Amount: prizeSat,
+		Owner:  e.Agents[0].Key(), // pool representative
+		Escrow: e.Pool3.Lock(),
+	}}
+	t0.Proof = proofProject(t0.Domain(), proof.V("c"))
+	carrier0, err := e.Client.Submit(t0)
+	if err != nil {
+		t.Fatalf("submit T0: %v", err)
+	}
+	e.MineBlocks(t, 1)
+	if !e.Client.Ledger.Applied(carrier0.TxHash()) {
+		t.Fatal("T0 not applied")
+	}
+	t0id := carrier0.TxHash()
+	prizeOp := wire.OutPoint{Hash: t0id, Index: 0}
+	prizeGlobal := logic.Atom(lf.TxRef(t0id, "prize"))
+	solutionGlobal := logic.Atom(lf.TxRef(t0id, "solution"), lf.Nat(42))
+
+	// --- Alice issues the open transaction. ---
+	// Inputs: [solution 42 (HOLE), prize (escrowed, fixed)];
+	// outputs: [solution 42 -> Alice, prize -> HOLE].
+	const solSat = 10_000
+	template := typecoin.NewTx()
+	template.Inputs = []typecoin.Input{
+		{Type: solutionGlobal, Amount: solSat},                 // hole
+		{Source: prizeOp, Type: prizeGlobal, Amount: prizeSat}, // fixed
+	}
+	template.Outputs = []typecoin.Output{
+		{Type: solutionGlobal, Amount: solSat, Owner: alicePub},
+		{Type: prizeGlobal, Amount: prizeSat}, // owner hole
+	}
+	template.Proof = proofProject(template.Domain(), proof.V("a"))
+	open := &typecoin.OpenTx{
+		Template:   template,
+		OpenInputs: []int{0},
+		OpenOwners: []int{1},
+	}
+	// Agents 0 and 1 register the offer; agent 2 is "compromised" and
+	// never cooperates.
+	e.Agents[0].Register(open)
+	e.Agents[1].Register(open)
+
+	// --- Bob solves the puzzle and publishes his solution. ---
+	t1 := typecoin.NewTx()
+	t1.Outputs = []typecoin.Output{{Type: solutionGlobal, Amount: solSat, Owner: bobPub}}
+	guard := proof.Pack{
+		Witness: lf.App(lf.PlusIntro, lf.Nat(21), lf.Nat(21)),
+		Of:      proof.Unit{},
+		As:      logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(21), lf.Nat(21), lf.Nat(42)), logic.One),
+	}
+	t1.Proof = proofProject(t1.Domain(),
+		proof.Apply(
+			proof.TApp{Fn: proof.Const{Ref: lf.TxRef(t0id, "mk-solution")}, Arg: lf.Nat(42)},
+			guard))
+	carrier1, err := e.Client.Submit(t1)
+	if err != nil {
+		t.Fatalf("submit T1: %v", err)
+	}
+	e.MineBlocks(t, 1)
+	solutionOp := wire.OutPoint{Hash: carrier1.TxHash(), Index: 0}
+
+	// --- Bob fills the holes and claims the prize. ---
+	filled, err := open.Fill(
+		map[int]wire.OutPoint{0: solutionOp},
+		map[int]*bkey.PublicKey{1: bobPub})
+	if err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	carrierOuts, err := typecoin.CarrierOutputs(filled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := make([]wallet.Output, len(carrierOuts))
+	for i, o := range carrierOuts {
+		outputs[i] = wallet.Output{Value: o.Value, PkScript: o.PkScript}
+	}
+	claim, err := e.Wallet.Build(outputs, wallet.BuildOptions{
+		Fee:            mempool.DefaultMinRelayFee,
+		ExtraInputs:    []wire.OutPoint{solutionOp},
+		ExternalInputs: []wallet.ExternalInput{{OutPoint: prizeOp, Value: prizeSat}},
+	})
+	if err != nil {
+		t.Fatalf("build claim carrier: %v", err)
+	}
+	// Collect 2-of-3 signatures for the escrowed prize input (index 1).
+	sigScript, err := e.Pool3.CollectSignatures(filled, claim, 1)
+	if err != nil {
+		t.Fatalf("collect signatures: %v", err)
+	}
+	claim.TxIn[1].SignatureScript = sigScript
+	if err := e.Client.SubmitPrebuilt(filled, claim); err != nil {
+		t.Fatalf("submit claim: %v", err)
+	}
+	e.MineBlocks(t, 1)
+	if !e.Client.Ledger.Applied(claim.TxHash()) {
+		t.Fatal("claim not applied")
+	}
+	// Bob holds the prize.
+	prizeNow := wire.OutPoint{Hash: claim.TxHash(), Index: 1}
+	if err := e.Client.VerifyClaim(prizeNow, prizeGlobal); err != nil {
+		t.Fatalf("verify prize claim: %v", err)
+	}
+	got, ok := e.Client.Ledger.ResolveOutput(prizeNow)
+	if !ok {
+		t.Fatal("prize output unknown")
+	}
+	if eq, _ := logic.PropEqual(got, prizeGlobal); !eq {
+		t.Errorf("prize type %s", got)
+	}
+}
+
+// TestAgentRefusesBadInstance checks the policy: an instance whose filled
+// input does not really carry the solution type is refused.
+func TestAgentRefusesBadInstance(t *testing.T) {
+	e := newEnv(t)
+	_, alicePub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, carolPub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish a trivially-typed asset and an open transaction demanding
+	// a "solution" type nobody can produce honestly.
+	t0 := typecoin.NewTx()
+	if err := t0.Basis.DeclareFam(lf.This("solution"), lf.KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t0.Basis.DeclareFam(lf.This("prize"), lf.KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t0.Basis.DeclareFam(lf.This("junk"), lf.KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	prize := logic.Atom(lf.This("prize"))
+	junk := logic.Atom(lf.This("junk"))
+	t0.Grant = logic.Tensor(prize, junk)
+	t0.Outputs = []typecoin.Output{
+		{Type: prize, Amount: 20_000, Owner: e.Agents[0].Key(), Escrow: e.Pool3.Lock()},
+		{Type: junk, Amount: 10_000, Owner: carolPub},
+	}
+	t0.Proof = proofProject(t0.Domain(), proof.V("c"))
+	carrier0, err := e.Client.Submit(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MineBlocks(t, 1)
+	t0id := carrier0.TxHash()
+	prizeOp := wire.OutPoint{Hash: t0id, Index: 0}
+	junkOp := wire.OutPoint{Hash: t0id, Index: 1}
+	solutionGlobal := logic.Atom(lf.TxRef(t0id, "solution"))
+	prizeGlobal := logic.Atom(lf.TxRef(t0id, "prize"))
+
+	template := typecoin.NewTx()
+	template.Inputs = []typecoin.Input{
+		{Type: solutionGlobal, Amount: 10_000},
+		{Source: prizeOp, Type: prizeGlobal, Amount: 20_000},
+	}
+	template.Outputs = []typecoin.Output{
+		{Type: solutionGlobal, Amount: 10_000, Owner: alicePub},
+		{Type: prizeGlobal, Amount: 20_000},
+	}
+	template.Proof = proofProject(template.Domain(), proof.V("a"))
+	open := &typecoin.OpenTx{Template: template, OpenInputs: []int{0}, OpenOwners: []int{1}}
+	e.Pool3.Register(open)
+
+	// Carol fills the solution hole with her junk-typed output.
+	filled, err := open.Fill(
+		map[int]wire.OutPoint{0: junkOp},
+		map[int]*bkey.PublicKey{1: carolPub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrierOuts, err := typecoin.CarrierOutputs(filled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := make([]wallet.Output, len(carrierOuts))
+	for i, o := range carrierOuts {
+		outputs[i] = wallet.Output{Value: o.Value, PkScript: o.PkScript}
+	}
+	claim, err := e.Wallet.Build(outputs, wallet.BuildOptions{
+		Fee:            mempool.DefaultMinRelayFee,
+		ExtraInputs:    []wire.OutPoint{junkOp},
+		ExternalInputs: []wallet.ExternalInput{{OutPoint: prizeOp, Value: 20_000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Pool3.CollectSignatures(filled, claim, 1); err == nil {
+		t.Fatal("agents signed an ill-typed instance")
+	}
+	// The refusal is specifically the policy check.
+	_, err = e.Agents[0].SignInstance(filled, claim, 1)
+	if !errors.Is(err, escrow.ErrPolicyFailed) {
+		t.Errorf("want ErrPolicyFailed, got %v", err)
+	}
+	e.Wallet.Unlock(claim)
+}
+
+// TestAgentRefusesUnknownTemplate: instances of unregistered templates
+// are refused even when well-typed.
+func TestAgentRefusesUnknownTemplate(t *testing.T) {
+	e := newEnv(t)
+	_, owner, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := typecoin.NewTx()
+	if err := tx.Basis.DeclareFam(lf.This("tok"), lf.KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	tok := logic.Atom(lf.This("tok"))
+	tx.Grant = tok
+	tx.Outputs = []typecoin.Output{{Type: tok, Amount: 5_000, Owner: owner}}
+	tx.Proof = proofProject(tx.Domain(), proof.V("c"))
+	carrier := wire.NewMsgTx(wire.TxVersion)
+	if _, err := e.Agents[0].SignInstance(tx, carrier, 0); !errors.Is(err, escrow.ErrUnknownTemplate) {
+		t.Errorf("want ErrUnknownTemplate, got %v", err)
+	}
+}
+
+// TestEscrowedSpendRequiresThreshold: one signature cannot spend a
+// 2-of-3 escrowed output.
+func TestEscrowedSpendRequiresThreshold(t *testing.T) {
+	e := newEnv(t)
+	// Build a 2-of-3 locking script directly and check the script layer.
+	keys := e.Pool3.Lock().Keys
+	slots := make([][]byte, len(keys))
+	for i, k := range keys {
+		slots[i] = k.Serialize()
+	}
+	pkScript, err := script.MultiSigScript(2, slots...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spend := wire.NewMsgTx(wire.TxVersion)
+	spend.AddTxIn(&wire.TxIn{PreviousOutPoint: wire.OutPoint{Index: 1}})
+	spend.AddTxOut(&wire.TxOut{Value: 1})
+	// Agents hold the private keys; simulate one signing.
+	agentKey, err := bkey.NewPrivateKey(testutil.NewEntropy(t.Name() + "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = agentKey
+	oneSig, err := script.RawMultiSigSignature(spend, 0, pkScript, script.SigHashAll, mustAgentKey(t, t.Name()+"a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigScript, err := script.AssembleMultiSig(oneSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spend.TxIn[0].SignatureScript = sigScript
+	if err := script.VerifyInput(spend, 0, pkScript); err == nil {
+		t.Error("single signature satisfied 2-of-3 escrow")
+	}
+}
+
+// mustAgentKey regenerates the deterministic agent key used by newEnv.
+func mustAgentKey(t *testing.T, seed string) *bkey.PrivateKey {
+	t.Helper()
+	k, err := bkey.NewPrivateKey(testutil.NewEntropy(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestBitcoinBuyback: Section 7's second application — "the banker wants
+// to back his currency by making an executable promise to buy newcoins
+// for bitcoins at a certain rate. The banker sends his bitcoins to a
+// pool of escrow agents, and issues an open transaction that takes in
+// the bitcoins and a newcoin, [retires] the newcoin, [and] sends the
+// appropriate number of bitcoins to the customer."
+func TestBitcoinBuyback(t *testing.T) {
+	e := newEnv(t)
+	_, bankerPub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, customerPub, err := e.Client.NewPrincipal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// T0: the banker publishes the coin basis, grants the customer a
+	// coin, and escrows the buyback reserve (a type-1 output holding
+	// bitcoins) with the 2-of-3 pool.
+	const rate = int64(60_000) // satoshi paid per coin-10
+	t0 := typecoin.NewTx()
+	if err := t0.Basis.DeclareFam(lf.This("coin"), lf.KArrow(lf.NatFam, lf.KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	coin10 := logic.Atom(lf.This("coin"), lf.Nat(10))
+	t0.Grant = coin10
+	t0.Outputs = []typecoin.Output{
+		{Type: coin10, Amount: 10_000, Owner: customerPub},
+		{Type: logic.One, Amount: rate, Owner: e.Agents[0].Key(), Escrow: e.Pool3.Lock()},
+	}
+	t0.Proof = proofProject(t0.Domain(), proof.Pair{L: proof.V("c"), R: proof.Unit{}})
+	carrier0, err := e.Client.Submit(t0)
+	if err != nil {
+		t.Fatalf("submit T0: %v", err)
+	}
+	e.MineBlocks(t, 1)
+	t0id := carrier0.TxHash()
+	coinG := logic.Atom(lf.TxRef(t0id, "coin"), lf.Nat(10))
+	customerCoin := wire.OutPoint{Hash: t0id, Index: 0}
+	reserveOp := wire.OutPoint{Hash: t0id, Index: 1}
+
+	// The buyback offer: an open transaction taking [coin (hole),
+	// reserve (fixed)] and producing [coin -> banker, payment -> hole].
+	template := typecoin.NewTx()
+	template.Inputs = []typecoin.Input{
+		{Type: coinG, Amount: 10_000},                      // hole: the seller's coin
+		{Source: reserveOp, Type: logic.One, Amount: rate}, // fixed: the escrowed reserve
+	}
+	template.Outputs = []typecoin.Output{
+		{Type: coinG, Amount: 10_000, Owner: bankerPub}, // the coin returns to the banker
+		{Type: logic.One, Amount: rate},                 // hole: the payment recipient
+	}
+	template.Proof = proofProject(template.Domain(), proof.V("a"))
+	open := &typecoin.OpenTx{Template: template, OpenInputs: []int{0}, OpenOwners: []int{1}}
+	e.Pool3.Register(open)
+
+	// The customer fills the holes with their coin and their own key.
+	filled, err := open.Fill(
+		map[int]wire.OutPoint{0: customerCoin},
+		map[int]*bkey.PublicKey{1: customerPub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrierOuts, err := typecoin.CarrierOutputs(filled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := make([]wallet.Output, len(carrierOuts))
+	for i, o := range carrierOuts {
+		outputs[i] = wallet.Output{Value: o.Value, PkScript: o.PkScript}
+	}
+	claim, err := e.Wallet.Build(outputs, wallet.BuildOptions{
+		Fee:            mempool.DefaultMinRelayFee,
+		ExtraInputs:    []wire.OutPoint{customerCoin},
+		ExternalInputs: []wallet.ExternalInput{{OutPoint: reserveOp, Value: rate}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigScript, err := e.Pool3.CollectSignatures(filled, claim, 1)
+	if err != nil {
+		t.Fatalf("collect signatures: %v", err)
+	}
+	claim.TxIn[1].SignatureScript = sigScript
+	if err := e.Client.SubmitPrebuilt(filled, claim); err != nil {
+		t.Fatal(err)
+	}
+	e.MineBlocks(t, 1)
+	if !e.Client.Ledger.Applied(claim.TxHash()) {
+		t.Fatal("buyback not applied")
+	}
+	// The customer received the bitcoins: carrier output 1 pays rate to
+	// the customer's P2PKH.
+	if got := claim.TxOut[1].Value; got != rate {
+		t.Errorf("payment = %d satoshi, want %d", got, rate)
+	}
+	p, ok := script.ExtractPubKeyHash(claim.TxOut[1].PkScript)
+	if !ok || p != customerPub.Principal() {
+		t.Error("payment does not pay the customer")
+	}
+	// The banker holds the coin again.
+	coinNow := wire.OutPoint{Hash: claim.TxHash(), Index: 0}
+	if err := e.Client.VerifyClaim(coinNow, coinG); err != nil {
+		t.Fatalf("verify banker's reclaimed coin: %v", err)
+	}
+}

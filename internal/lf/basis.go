@@ -1,0 +1,179 @@
+package lf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Signature resolves constants to their classifiers. The logic package's
+// Basis implements this interface (adding proposition-sorted constants,
+// which LF itself does not know about).
+type Signature interface {
+	// LookupFamConst returns the kind of a family constant.
+	LookupFamConst(Ref) (Kind, bool)
+	// LookupTermConst returns the type of a term constant.
+	LookupTermConst(Ref) (Family, bool)
+}
+
+// globalSig carries the built-in constants.
+type globalSig struct{}
+
+// Globals is the signature of built-in constants: principal, nat, add,
+// plus, plus_intro.
+var Globals Signature = globalSig{}
+
+func (globalSig) LookupFamConst(r Ref) (Kind, bool) {
+	if r.Kind != RefGlobal {
+		return nil, false
+	}
+	switch r.Label {
+	case "principal", "nat":
+		return KType{}, true
+	case "plus":
+		// plus : nat -> nat -> nat -> type
+		return KArrow(NatFam, KArrow(NatFam, KArrow(NatFam, KType{}))), true
+	}
+	return nil, false
+}
+
+func (globalSig) LookupTermConst(r Ref) (Family, bool) {
+	if r.Kind != RefGlobal {
+		return nil, false
+	}
+	switch r.Label {
+	case "add":
+		// add : nat -> nat -> nat
+		return Arrow(NatFam, Arrow(NatFam, NatFam)), true
+	case "plus_intro":
+		// plus_intro : Pi n:nat. Pi m:nat. plus n m (add n m)
+		return Pi("n", NatFam,
+			Pi("m", NatFam,
+				FamApp(PlusFam, Var(1, "n"), Var(0, "m"), Add(Var(1, "n"), Var(0, "m"))))), true
+	}
+	return nil, false
+}
+
+// Basis is a concrete, extendable signature: a set of constant
+// declarations layered over the built-in globals. In Typecoin each
+// transaction carries a local basis whose declarations (after the
+// [txid/this] substitution) accumulate into the global basis (Section 4).
+type Basis struct {
+	parent Signature
+	fams   map[Ref]Kind
+	terms  map[Ref]Family
+	order  []Ref // declaration order, for deterministic iteration
+}
+
+// NewBasis creates an empty basis over parent (Globals when nil).
+func NewBasis(parent Signature) *Basis {
+	if parent == nil {
+		parent = Globals
+	}
+	return &Basis{
+		parent: parent,
+		fams:   make(map[Ref]Kind),
+		terms:  make(map[Ref]Family),
+	}
+}
+
+// DeclareFam adds a family constant declaration.
+func (b *Basis) DeclareFam(r Ref, k Kind) error {
+	if b.has(r) {
+		return fmt.Errorf("lf: constant %s already declared", r)
+	}
+	b.fams[r] = k
+	b.order = append(b.order, r)
+	return nil
+}
+
+// DeclareTerm adds a term constant declaration.
+func (b *Basis) DeclareTerm(r Ref, f Family) error {
+	if b.has(r) {
+		return fmt.Errorf("lf: constant %s already declared", r)
+	}
+	b.terms[r] = f
+	b.order = append(b.order, r)
+	return nil
+}
+
+func (b *Basis) has(r Ref) bool {
+	if _, ok := b.fams[r]; ok {
+		return true
+	}
+	if _, ok := b.terms[r]; ok {
+		return true
+	}
+	if b.parent != nil {
+		if _, ok := b.parent.LookupFamConst(r); ok {
+			return true
+		}
+		if _, ok := b.parent.LookupTermConst(r); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// LookupFamConst implements Signature.
+func (b *Basis) LookupFamConst(r Ref) (Kind, bool) {
+	if k, ok := b.fams[r]; ok {
+		return k, true
+	}
+	if b.parent != nil {
+		return b.parent.LookupFamConst(r)
+	}
+	return nil, false
+}
+
+// LookupTermConst implements Signature.
+func (b *Basis) LookupTermConst(r Ref) (Family, bool) {
+	if f, ok := b.terms[r]; ok {
+		return f, true
+	}
+	if b.parent != nil {
+		return b.parent.LookupTermConst(r)
+	}
+	return nil, false
+}
+
+// Decls returns the declared refs in declaration order.
+func (b *Basis) Decls() []Ref {
+	out := make([]Ref, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// FamDecls returns family declarations sorted by label (test helper).
+func (b *Basis) FamDecls() map[Ref]Kind {
+	out := make(map[Ref]Kind, len(b.fams))
+	for r, k := range b.fams {
+		out[r] = k
+	}
+	return out
+}
+
+// Fam returns the kind directly declared for r in this layer, if any.
+func (b *Basis) Fam(r Ref) (Kind, bool) {
+	k, ok := b.fams[r]
+	return k, ok
+}
+
+// Term returns the family directly declared for r in this layer, if any.
+func (b *Basis) Term(r Ref) (Family, bool) {
+	f, ok := b.terms[r]
+	return f, ok
+}
+
+// SortedLocalRefs returns this layer's refs sorted by label, used by the
+// canonical encoder.
+func (b *Basis) SortedLocalRefs() []Ref {
+	out := make([]Ref, len(b.order))
+	copy(out, b.order)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

@@ -1,0 +1,353 @@
+package lf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The checker uses the panic/recover idiom internally: helpers panic with
+// a *checkError and the exported entry points recover it into an error.
+// This keeps the structural recursion free of error plumbing.
+
+type checkError struct{ err error }
+
+func fail(format string, args ...interface{}) {
+	panic(&checkError{fmt.Errorf("lf: "+format, args...)})
+}
+
+func catch(err *error) {
+	if r := recover(); r != nil {
+		ce, ok := r.(*checkError)
+		if !ok {
+			panic(r)
+		}
+		*err = ce.err
+	}
+}
+
+// normFuel bounds normalization work so that ill-typed (or adversarial)
+// input cannot loop the checker.
+const normFuel = 1 << 20
+
+type normState struct{ fuel int }
+
+func (ns *normState) tick() {
+	ns.fuel--
+	if ns.fuel <= 0 {
+		fail("normalization fuel exhausted")
+	}
+}
+
+// Ctx is an LF variable context. Entry i classifies de Bruijn index
+// len(ctx)-1-i; each entry is valid in the prefix before it.
+type Ctx []Family
+
+// Push returns ctx extended with a new innermost variable of type f.
+func (c Ctx) Push(f Family) Ctx {
+	out := make(Ctx, len(c)+1)
+	copy(out, c)
+	out[len(c)] = f
+	return out
+}
+
+// lookup returns the type of de Bruijn index i, shifted into the full
+// context.
+func (c Ctx) lookup(i int) Family {
+	if i < 0 || i >= len(c) {
+		fail("unbound variable %d in context of size %d", i, len(c))
+	}
+	return ShiftFamily(c[len(c)-1-i], i+1, 0)
+}
+
+// whnfTerm reduces a term to weak head normal form: beta steps plus the
+// delta rule add(literal, literal) ~> literal.
+func whnfTerm(t Term, ns *normState) Term {
+	for {
+		ns.tick()
+		app, ok := t.(TApp)
+		if !ok {
+			return t
+		}
+		fn := whnfTerm(app.Fn, ns)
+		if lam, ok := fn.(TLam); ok {
+			t = SubstTerm(lam.Body, 0, app.Arg)
+			continue
+		}
+		// Delta: add m n on literals.
+		if inner, ok := fn.(TApp); ok {
+			if c, ok := inner.Fn.(TConst); ok && c.Ref == (Ref{Kind: RefGlobal, Label: "add"}) {
+				m := normTerm(inner.Arg, ns)
+				n := normTerm(app.Arg, ns)
+				if mn, ok := m.(TNat); ok {
+					if nn, ok := n.(TNat); ok {
+						return TNat{N: mn.N + nn.N}
+					}
+				}
+				return TApp{Fn: TApp{Fn: inner.Fn, Arg: m}, Arg: n}
+			}
+		}
+		return TApp{Fn: fn, Arg: app.Arg}
+	}
+}
+
+// normTerm fully normalizes a term.
+func normTerm(t Term, ns *normState) Term {
+	t = whnfTerm(t, ns)
+	switch t := t.(type) {
+	case TVar, TConst, TPrincipal, TNat:
+		return t
+	case TLam:
+		return TLam{Hint: t.Hint, Arg: normFamily(t.Arg, ns), Body: normTerm(t.Body, ns)}
+	case TApp:
+		return TApp{Fn: normTerm(t.Fn, ns), Arg: normTerm(t.Arg, ns)}
+	default:
+		panic("lf: unknown term")
+	}
+}
+
+// normFamily fully normalizes a family.
+func normFamily(f Family, ns *normState) Family {
+	switch f := f.(type) {
+	case FConst:
+		return f
+	case FApp:
+		return FApp{Fam: normFamily(f.Fam, ns), Arg: normTerm(f.Arg, ns)}
+	case FPi:
+		return FPi{Hint: f.Hint, Arg: normFamily(f.Arg, ns), Body: normFamily(f.Body, ns)}
+	default:
+		panic("lf: unknown family")
+	}
+}
+
+// NormalizeTerm beta/delta-normalizes a term.
+func NormalizeTerm(t Term) (out Term, err error) {
+	defer catch(&err)
+	return normTerm(t, &normState{fuel: normFuel}), nil
+}
+
+// NormalizeFamily beta/delta-normalizes a family.
+func NormalizeFamily(f Family) (out Family, err error) {
+	defer catch(&err)
+	return normFamily(f, &normState{fuel: normFuel}), nil
+}
+
+// eqTerm compares normalized terms structurally, ignoring hints.
+func eqTerm(a, b Term) bool {
+	switch a := a.(type) {
+	case TVar:
+		bb, ok := b.(TVar)
+		return ok && a.Index == bb.Index
+	case TConst:
+		bb, ok := b.(TConst)
+		return ok && a.Ref == bb.Ref
+	case TPrincipal:
+		bb, ok := b.(TPrincipal)
+		return ok && a.K == bb.K
+	case TNat:
+		bb, ok := b.(TNat)
+		return ok && a.N == bb.N
+	case TLam:
+		bb, ok := b.(TLam)
+		return ok && eqFamily(a.Arg, bb.Arg) && eqTerm(a.Body, bb.Body)
+	case TApp:
+		bb, ok := b.(TApp)
+		return ok && eqTerm(a.Fn, bb.Fn) && eqTerm(a.Arg, bb.Arg)
+	default:
+		panic("lf: unknown term")
+	}
+}
+
+func eqFamily(a, b Family) bool {
+	switch a := a.(type) {
+	case FConst:
+		bb, ok := b.(FConst)
+		return ok && a.Ref == bb.Ref
+	case FApp:
+		bb, ok := b.(FApp)
+		return ok && eqFamily(a.Fam, bb.Fam) && eqTerm(a.Arg, bb.Arg)
+	case FPi:
+		bb, ok := b.(FPi)
+		return ok && eqFamily(a.Arg, bb.Arg) && eqFamily(a.Body, bb.Body)
+	default:
+		panic("lf: unknown family")
+	}
+}
+
+func eqKind(a, b Kind) bool {
+	switch a := a.(type) {
+	case KType:
+		_, ok := b.(KType)
+		return ok
+	case KProp:
+		_, ok := b.(KProp)
+		return ok
+	case KPi:
+		bb, ok := b.(KPi)
+		return ok && eqFamily(a.Arg, bb.Arg) && eqKind(a.Body, bb.Body)
+	default:
+		panic("lf: unknown kind")
+	}
+}
+
+// TermEqual reports definitional equality (beta/delta) of two terms.
+func TermEqual(a, b Term) (ok bool, err error) {
+	defer catch(&err)
+	ns := &normState{fuel: normFuel}
+	return eqTerm(normTerm(a, ns), normTerm(b, ns)), nil
+}
+
+// FamilyEqual reports definitional equality of two families.
+func FamilyEqual(a, b Family) (ok bool, err error) {
+	defer catch(&err)
+	ns := &normState{fuel: normFuel}
+	return eqFamily(normFamily(a, ns), normFamily(b, ns)), nil
+}
+
+// checkKind validates kind formation: Sigma; Psi |- k kind.
+func checkKind(sig Signature, ctx Ctx, k Kind, ns *normState) {
+	switch k := k.(type) {
+	case KType, KProp:
+	case KPi:
+		checkFamilyIsType(sig, ctx, k.Arg, ns)
+		checkKind(sig, ctx.Push(k.Arg), k.Body, ns)
+	default:
+		panic("lf: unknown kind")
+	}
+}
+
+// inferFamily computes the kind of a family: Sigma; Psi |- tau : k.
+func inferFamily(sig Signature, ctx Ctx, f Family, ns *normState) Kind {
+	switch f := f.(type) {
+	case FConst:
+		k, ok := sig.LookupFamConst(f.Ref)
+		if !ok {
+			fail("unknown family constant %s", f.Ref)
+		}
+		return k
+	case FApp:
+		k := inferFamily(sig, ctx, f.Fam, ns)
+		pi, ok := k.(KPi)
+		if !ok {
+			fail("family %s applied to argument but has kind %s", f.Fam, k)
+		}
+		checkTerm(sig, ctx, f.Arg, pi.Arg, ns)
+		return SubstKind(pi.Body, 0, f.Arg)
+	case FPi:
+		checkFamilyIsType(sig, ctx, f.Arg, ns)
+		checkFamilyIsType(sig, ctx.Push(f.Arg), f.Body, ns)
+		return KType{}
+	default:
+		panic("lf: unknown family")
+	}
+}
+
+// checkFamilyIsType requires f to be a proper type (kind "type"): the
+// classifier of index terms. Families of kind prop classify nothing at
+// the LF level; they become atomic propositions in the logic layer.
+func checkFamilyIsType(sig Signature, ctx Ctx, f Family, ns *normState) {
+	k := inferFamily(sig, ctx, f, ns)
+	if _, ok := k.(KType); !ok {
+		fail("family %s has kind %s, want type", f, k)
+	}
+}
+
+// inferTerm computes the type of a term: Sigma; Psi |- m : tau.
+func inferTerm(sig Signature, ctx Ctx, t Term, ns *normState) Family {
+	switch t := t.(type) {
+	case TVar:
+		return ctx.lookup(t.Index)
+	case TConst:
+		f, ok := sig.LookupTermConst(t.Ref)
+		if !ok {
+			fail("unknown term constant %s", t.Ref)
+		}
+		return f
+	case TPrincipal:
+		return PrincipalFam
+	case TNat:
+		return NatFam
+	case TLam:
+		checkFamilyIsType(sig, ctx, t.Arg, ns)
+		body := inferTerm(sig, ctx.Push(t.Arg), t.Body, ns)
+		return FPi{Hint: t.Hint, Arg: t.Arg, Body: body}
+	case TApp:
+		fn := inferTerm(sig, ctx, t.Fn, ns)
+		fn = normFamily(fn, ns)
+		pi, ok := fn.(FPi)
+		if !ok {
+			fail("application head has type %s, not a Pi", fn)
+		}
+		checkTerm(sig, ctx, t.Arg, pi.Arg, ns)
+		return SubstFamily(pi.Body, 0, t.Arg)
+	default:
+		panic("lf: unknown term")
+	}
+}
+
+// checkTerm checks a term against an expected type.
+func checkTerm(sig Signature, ctx Ctx, t Term, want Family, ns *normState) {
+	got := inferTerm(sig, ctx, t, ns)
+	if !eqFamily(normFamily(got, ns), normFamily(want, ns)) {
+		fail("term %s has type %s, want %s", t, got, want)
+	}
+}
+
+// Exported judgement entry points.
+
+// CheckKind validates Sigma; Psi |- k kind.
+func CheckKind(sig Signature, ctx Ctx, k Kind) (err error) {
+	defer catch(&err)
+	checkKind(sig, ctx, k, &normState{fuel: normFuel})
+	return nil
+}
+
+// InferFamily computes Sigma; Psi |- tau : k.
+func InferFamily(sig Signature, ctx Ctx, f Family) (k Kind, err error) {
+	defer catch(&err)
+	return inferFamily(sig, ctx, f, &normState{fuel: normFuel}), nil
+}
+
+// CheckFamilyIsType validates that tau has kind type.
+func CheckFamilyIsType(sig Signature, ctx Ctx, f Family) (err error) {
+	defer catch(&err)
+	checkFamilyIsType(sig, ctx, f, &normState{fuel: normFuel})
+	return nil
+}
+
+// InferTerm computes Sigma; Psi |- m : tau.
+func InferTerm(sig Signature, ctx Ctx, t Term) (f Family, err error) {
+	defer catch(&err)
+	return inferTerm(sig, ctx, t, &normState{fuel: normFuel}), nil
+}
+
+// CheckTerm validates Sigma; Psi |- m : tau for a given tau.
+func CheckTerm(sig Signature, ctx Ctx, t Term, want Family) (err error) {
+	defer catch(&err)
+	checkTerm(sig, ctx, t, want, &normState{fuel: normFuel})
+	return nil
+}
+
+// IsAtomKind reports whether k is the kind prop (after unwinding no
+// arguments) — a convenience for the logic layer.
+func IsAtomKind(k Kind) bool {
+	_, ok := k.(KProp)
+	return ok
+}
+
+// ErrNotProp is returned by the logic layer when an atom's head family
+// does not have kind prop.
+var ErrNotProp = errors.New("lf: family is not an atomic proposition")
+
+// HeadKindIsProp checks whether a fully applied family has kind prop.
+func HeadKindIsProp(sig Signature, ctx Ctx, f Family) (ok bool, err error) {
+	defer catch(&err)
+	k := inferFamily(sig, ctx, f, &normState{fuel: normFuel})
+	_, ok = k.(KProp)
+	return ok, nil
+}
+
+// KindEqual reports definitional equality of two kinds (hints ignored).
+func KindEqual(a, b Kind) (ok bool, err error) {
+	defer catch(&err)
+	return eqKind(a, b), nil
+}

@@ -1,0 +1,344 @@
+package lf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/wire"
+)
+
+// Canonical binary encoding of LF syntax. Typecoin hashes and signs
+// encoded propositions and transactions, so the encoding must be
+// deterministic and injective; it is also used to ship Typecoin
+// transactions between parties and batch servers.
+
+// Encoding tags.
+const (
+	tagRefGlobal byte = 0x01
+	tagRefThis   byte = 0x02
+	tagRefTx     byte = 0x03
+
+	tagKType byte = 0x10
+	tagKProp byte = 0x11
+	tagKPi   byte = 0x12
+
+	tagFConst byte = 0x20
+	tagFApp   byte = 0x21
+	tagFPi    byte = 0x22
+
+	tagTVar       byte = 0x30
+	tagTConst     byte = 0x31
+	tagTLam       byte = 0x32
+	tagTApp       byte = 0x33
+	tagTPrincipal byte = 0x34
+	tagTNat       byte = 0x35
+)
+
+// ErrBadEncoding reports a malformed LF encoding.
+var ErrBadEncoding = errors.New("lf: malformed encoding")
+
+func writeByte(w io.Writer, b byte) error {
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+func readByte(r io.Reader) (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// EncodeRef writes a constant reference.
+func EncodeRef(w io.Writer, r Ref) error {
+	switch r.Kind {
+	case RefGlobal:
+		if err := writeByte(w, tagRefGlobal); err != nil {
+			return err
+		}
+	case RefThis:
+		if err := writeByte(w, tagRefThis); err != nil {
+			return err
+		}
+	case RefTx:
+		if err := writeByte(w, tagRefTx); err != nil {
+			return err
+		}
+		if _, err := w.Write(r.Tx[:]); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("lf: unknown ref kind %d", r.Kind)
+	}
+	return wire.WriteVarBytes(w, []byte(r.Label))
+}
+
+// DecodeRef reads a constant reference.
+func DecodeRef(r io.Reader) (Ref, error) {
+	tag, err := readByte(r)
+	if err != nil {
+		return Ref{}, err
+	}
+	var out Ref
+	switch tag {
+	case tagRefGlobal:
+		out.Kind = RefGlobal
+	case tagRefThis:
+		out.Kind = RefThis
+	case tagRefTx:
+		out.Kind = RefTx
+		var h chainhash.Hash
+		if _, err := io.ReadFull(r, h[:]); err != nil {
+			return Ref{}, err
+		}
+		out.Tx = h
+	default:
+		return Ref{}, fmt.Errorf("%w: ref tag %#02x", ErrBadEncoding, tag)
+	}
+	label, err := wire.ReadVarBytes(r, "ref label")
+	if err != nil {
+		return Ref{}, err
+	}
+	out.Label = string(label)
+	return out, nil
+}
+
+// EncodeKind writes a kind.
+func EncodeKind(w io.Writer, k Kind) error {
+	switch k := k.(type) {
+	case KType:
+		return writeByte(w, tagKType)
+	case KProp:
+		return writeByte(w, tagKProp)
+	case KPi:
+		if err := writeByte(w, tagKPi); err != nil {
+			return err
+		}
+		if err := EncodeFamily(w, k.Arg); err != nil {
+			return err
+		}
+		return EncodeKind(w, k.Body)
+	default:
+		return fmt.Errorf("lf: unknown kind %T", k)
+	}
+}
+
+// DecodeKind reads a kind.
+func DecodeKind(r io.Reader) (Kind, error) {
+	tag, err := readByte(r)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagKType:
+		return KType{}, nil
+	case tagKProp:
+		return KProp{}, nil
+	case tagKPi:
+		arg, err := DecodeFamily(r)
+		if err != nil {
+			return nil, err
+		}
+		body, err := DecodeKind(r)
+		if err != nil {
+			return nil, err
+		}
+		return KPi{Hint: "u", Arg: arg, Body: body}, nil
+	default:
+		return nil, fmt.Errorf("%w: kind tag %#02x", ErrBadEncoding, tag)
+	}
+}
+
+// EncodeFamily writes a family. Binder hints are NOT encoded: two
+// alpha-equivalent families encode identically.
+func EncodeFamily(w io.Writer, f Family) error {
+	switch f := f.(type) {
+	case FConst:
+		if err := writeByte(w, tagFConst); err != nil {
+			return err
+		}
+		return EncodeRef(w, f.Ref)
+	case FApp:
+		if err := writeByte(w, tagFApp); err != nil {
+			return err
+		}
+		if err := EncodeFamily(w, f.Fam); err != nil {
+			return err
+		}
+		return EncodeTerm(w, f.Arg)
+	case FPi:
+		if err := writeByte(w, tagFPi); err != nil {
+			return err
+		}
+		if err := EncodeFamily(w, f.Arg); err != nil {
+			return err
+		}
+		return EncodeFamily(w, f.Body)
+	default:
+		return fmt.Errorf("lf: unknown family %T", f)
+	}
+}
+
+// DecodeFamily reads a family.
+func DecodeFamily(r io.Reader) (Family, error) {
+	tag, err := readByte(r)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagFConst:
+		ref, err := DecodeRef(r)
+		if err != nil {
+			return nil, err
+		}
+		return FConst{Ref: ref}, nil
+	case tagFApp:
+		fam, err := DecodeFamily(r)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		return FApp{Fam: fam, Arg: arg}, nil
+	case tagFPi:
+		arg, err := DecodeFamily(r)
+		if err != nil {
+			return nil, err
+		}
+		body, err := DecodeFamily(r)
+		if err != nil {
+			return nil, err
+		}
+		return FPi{Hint: "u", Arg: arg, Body: body}, nil
+	default:
+		return nil, fmt.Errorf("%w: family tag %#02x", ErrBadEncoding, tag)
+	}
+}
+
+// EncodeTerm writes a term.
+func EncodeTerm(w io.Writer, t Term) error {
+	switch t := t.(type) {
+	case TVar:
+		if err := writeByte(w, tagTVar); err != nil {
+			return err
+		}
+		return wire.WriteVarInt(w, uint64(t.Index))
+	case TConst:
+		if err := writeByte(w, tagTConst); err != nil {
+			return err
+		}
+		return EncodeRef(w, t.Ref)
+	case TLam:
+		if err := writeByte(w, tagTLam); err != nil {
+			return err
+		}
+		if err := EncodeFamily(w, t.Arg); err != nil {
+			return err
+		}
+		return EncodeTerm(w, t.Body)
+	case TApp:
+		if err := writeByte(w, tagTApp); err != nil {
+			return err
+		}
+		if err := EncodeTerm(w, t.Fn); err != nil {
+			return err
+		}
+		return EncodeTerm(w, t.Arg)
+	case TPrincipal:
+		if err := writeByte(w, tagTPrincipal); err != nil {
+			return err
+		}
+		_, err := w.Write(t.K[:])
+		return err
+	case TNat:
+		if err := writeByte(w, tagTNat); err != nil {
+			return err
+		}
+		return wire.WriteVarInt(w, t.N)
+	default:
+		return fmt.Errorf("lf: unknown term %T", t)
+	}
+}
+
+// DecodeTerm reads a term.
+func DecodeTerm(r io.Reader) (Term, error) {
+	tag, err := readByte(r)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagTVar:
+		idx, err := wire.ReadVarInt(r)
+		if err != nil {
+			return nil, err
+		}
+		if idx > 1<<20 {
+			return nil, fmt.Errorf("%w: implausible variable index %d", ErrBadEncoding, idx)
+		}
+		return TVar{Index: int(idx), Hint: "u"}, nil
+	case tagTConst:
+		ref, err := DecodeRef(r)
+		if err != nil {
+			return nil, err
+		}
+		return TConst{Ref: ref}, nil
+	case tagTLam:
+		arg, err := DecodeFamily(r)
+		if err != nil {
+			return nil, err
+		}
+		body, err := DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		return TLam{Hint: "u", Arg: arg, Body: body}, nil
+	case tagTApp:
+		fn, err := DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		return TApp{Fn: fn, Arg: arg}, nil
+	case tagTPrincipal:
+		var t TPrincipal
+		if _, err := io.ReadFull(r, t.K[:]); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case tagTNat:
+		n, err := wire.ReadVarInt(r)
+		if err != nil {
+			return nil, err
+		}
+		return TNat{N: n}, nil
+	default:
+		return nil, fmt.Errorf("%w: term tag %#02x", ErrBadEncoding, tag)
+	}
+}
+
+// TermBytes returns the canonical encoding of a term.
+func TermBytes(t Term) []byte {
+	var buf bytes.Buffer
+	if err := EncodeTerm(&buf, t); err != nil {
+		panic("lf: impossible encode failure: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// FamilyBytes returns the canonical encoding of a family.
+func FamilyBytes(f Family) []byte {
+	var buf bytes.Buffer
+	if err := EncodeFamily(&buf, f); err != nil {
+		panic("lf: impossible encode failure: " + err.Error())
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,296 @@
+package lf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chainhash"
+)
+
+func mustInfer(t *testing.T, sig Signature, ctx Ctx, m Term) Family {
+	t.Helper()
+	f, err := InferTerm(sig, ctx, m)
+	if err != nil {
+		t.Fatalf("InferTerm(%s): %v", m, err)
+	}
+	return f
+}
+
+func TestLiteralTypes(t *testing.T) {
+	if f := mustInfer(t, Globals, nil, Nat(42)); f.String() != "nat" {
+		t.Errorf("42 : %s", f)
+	}
+	var k bkey.Principal
+	k[0] = 1
+	if f := mustInfer(t, Globals, nil, Principal(k)); f.String() != "principal" {
+		t.Errorf("K : %s", f)
+	}
+}
+
+func TestAddDeltaReduction(t *testing.T) {
+	got, err := NormalizeTerm(Add(Nat(2), Nat(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := got.(TNat); !ok || n.N != 5 {
+		t.Errorf("add 2 3 ~> %s, want 5", got)
+	}
+	// Open arguments stay symbolic.
+	open := Add(Var(0, "n"), Nat(3))
+	got2, err := NormalizeTerm(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got2.(TNat); ok {
+		t.Error("open add reduced to a literal")
+	}
+}
+
+func TestBetaReduction(t *testing.T) {
+	// (\n:nat. add n n) 21 ~> 42
+	tm := App(Lam("n", NatFam, Add(Var(0, "n"), Var(0, "n"))), Nat(21))
+	got, err := NormalizeTerm(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := got.(TNat); !ok || n.N != 42 {
+		t.Errorf("got %s, want 42", got)
+	}
+}
+
+func TestLambdaTyping(t *testing.T) {
+	// \n:nat. add n 1  :  nat -> nat
+	tm := Lam("n", NatFam, Add(Var(0, "n"), Nat(1)))
+	f := mustInfer(t, Globals, nil, tm)
+	want := Arrow(NatFam, NatFam)
+	eq, err := FamilyEqual(f, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("lambda : %s, want %s", f, want)
+	}
+}
+
+func TestApplicationTypeError(t *testing.T) {
+	var k bkey.Principal
+	// add expects nat, give principal.
+	if _, err := InferTerm(Globals, nil, Add(Principal(k), Nat(1))); err == nil {
+		t.Error("add principal accepted")
+	}
+	// Applying a literal.
+	if _, err := InferTerm(Globals, nil, App(Nat(1), Nat(2))); err == nil {
+		t.Error("application of nat accepted")
+	}
+}
+
+func TestUnboundVariable(t *testing.T) {
+	if _, err := InferTerm(Globals, nil, Var(0, "x")); err == nil {
+		t.Error("unbound variable accepted")
+	}
+}
+
+func TestUnknownConstant(t *testing.T) {
+	if _, err := InferTerm(Globals, nil, Const(Global("nonesuch"))); err == nil {
+		t.Error("unknown constant accepted")
+	}
+	if _, err := InferFamily(Globals, nil, FamConst(Global("nonesuch"))); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestPlusIntro(t *testing.T) {
+	// plus_intro 2 3 : plus 2 3 5
+	tm := App(PlusIntro, Nat(2), Nat(3))
+	f := mustInfer(t, Globals, nil, tm)
+	want := FamApp(PlusFam, Nat(2), Nat(3), Nat(5))
+	eq, err := FamilyEqual(f, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("plus_intro 2 3 : %s, want %s", f, want)
+	}
+	// And it does NOT check against a wrong sum.
+	if err := CheckTerm(Globals, nil, tm, FamApp(PlusFam, Nat(2), Nat(3), Nat(6))); err == nil {
+		t.Error("plus 2 3 6 inhabited?!")
+	}
+}
+
+func TestDependentKind(t *testing.T) {
+	// plus : nat -> nat -> nat -> type applied progressively.
+	k, err := InferFamily(Globals, nil, FamApp(PlusFam, Nat(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.(KPi); !ok {
+		t.Errorf("plus 1 : %s, want a Pi kind", k)
+	}
+	k2, err := InferFamily(Globals, nil, FamApp(PlusFam, Nat(1), Nat(2), Nat(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k2.(KType); !ok {
+		t.Errorf("plus 1 2 3 : %s, want type", k2)
+	}
+	// Over-application fails.
+	if _, err := InferFamily(Globals, nil, FamApp(PlusFam, Nat(1), Nat(2), Nat(3), Nat(4))); err == nil {
+		t.Error("over-applied family accepted")
+	}
+}
+
+func TestBasisDeclarationAndLookup(t *testing.T) {
+	b := NewBasis(nil)
+	coin := This("coin")
+	// coin : nat -> prop
+	if err := b.DeclareFam(coin, KArrow(NatFam, KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareFam(coin, KProp{}); err == nil {
+		t.Error("redeclaration accepted")
+	}
+	if err := b.DeclareTerm(coin, NatFam); err == nil {
+		t.Error("cross-sort redeclaration accepted")
+	}
+	// The atom coin 5 has kind prop.
+	isProp, err := HeadKindIsProp(b, nil, FamApp(FamConst(coin), Nat(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isProp {
+		t.Error("coin 5 is not an atomic proposition")
+	}
+	// Built-ins remain visible through the basis.
+	if _, ok := b.LookupTermConst(Global("add")); !ok {
+		t.Error("add not visible through basis")
+	}
+	// Shadowing a global is rejected.
+	if err := b.DeclareFam(Global("nat"), KType{}); err == nil {
+		t.Error("shadowing nat accepted")
+	}
+}
+
+func TestSubstRef(t *testing.T) {
+	txid := chainhash.HashB([]byte("tx"))
+	f := FamApp(FamConst(This("coin")), Nat(5))
+	got := SubstRefFamily(f, TxRef(txid, ""))
+	app, ok := got.(FApp)
+	if !ok {
+		t.Fatal("structure changed")
+	}
+	c := app.Fam.(FConst)
+	if c.Ref.Kind != RefTx || c.Ref.Tx != txid || c.Ref.Label != "coin" {
+		t.Errorf("ref = %v", c.Ref)
+	}
+	// Non-local refs are untouched.
+	g := SubstRefTerm(AddConst, TxRef(txid, ""))
+	if g.(TConst).Ref != Global("add") {
+		t.Error("global ref rewritten")
+	}
+}
+
+func TestShiftSubstInverse(t *testing.T) {
+	// subst(shift(t, 1, 0), 0, s) == t for any closed-enough t.
+	tm := Lam("x", NatFam, App(Var(0, "x"), Var(1, "y")))
+	shifted := ShiftTerm(tm, 1, 0)
+	back := SubstTerm(shifted, 0, Nat(99))
+	eq, err := TermEqual(tm, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("subst/shift not inverse: %s vs %s", tm, back)
+	}
+}
+
+func TestPropertyShiftSubstInverse(t *testing.T) {
+	// Random de Bruijn terms built from a small grammar.
+	var build func(depth, maxVar int, seed uint64) Term
+	build = func(depth, maxVar int, seed uint64) Term {
+		if depth == 0 {
+			if maxVar > 0 && seed%2 == 0 {
+				return Var(int(seed/2)%maxVar, "v")
+			}
+			return Nat(seed % 100)
+		}
+		switch seed % 3 {
+		case 0:
+			return Lam("x", NatFam, build(depth-1, maxVar+1, seed/3))
+		case 1:
+			return TApp{Fn: build(depth-1, maxVar, seed/3), Arg: build(depth-1, maxVar, seed/3+1)}
+		default:
+			return Add(build(depth-1, maxVar, seed/3), build(depth-1, maxVar, seed/3+7))
+		}
+	}
+	f := func(seed uint64) bool {
+		tm := build(4, 0, seed)
+		shifted := ShiftTerm(tm, 1, 0)
+		back := SubstTerm(shifted, 0, Nat(7))
+		return eqTerm(tm, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizationFuel(t *testing.T) {
+	// A self-application loop must exhaust fuel, not hang. (Ill-typed, so
+	// only normalization sees it.)
+	omega := Lam("x", NatFam, App(Var(0, "x"), Var(0, "x")))
+	loop := App(omega, omega)
+	if _, err := NormalizeTerm(loop); err == nil {
+		t.Error("divergent term normalized")
+	} else if !strings.Contains(err.Error(), "fuel") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestPrinting(t *testing.T) {
+	tm := Lam("n", NatFam, Add(Var(0, "n"), Nat(1)))
+	s := tm.String()
+	if !strings.Contains(s, "\\n:nat") {
+		t.Errorf("lambda printing: %q", s)
+	}
+	// Shadowed binders get primes.
+	tm2 := Lam("n", NatFam, Lam("n", NatFam, Var(1, "n")))
+	s2 := tm2.String()
+	if !strings.Contains(s2, "n'") {
+		t.Errorf("shadowing not disambiguated: %q", s2)
+	}
+	pi := Pi("n", NatFam, FamApp(PlusFam, Var(0, "n"), Nat(0), Var(0, "n")))
+	if !strings.Contains(pi.String(), "Pi n:nat") {
+		t.Errorf("pi printing: %q", pi.String())
+	}
+	if Arrow(NatFam, NatFam).String() != "nat -> nat" {
+		t.Errorf("arrow printing: %q", Arrow(NatFam, NatFam).String())
+	}
+}
+
+func TestKindFormation(t *testing.T) {
+	good := KArrow(NatFam, KProp{})
+	if err := CheckKind(Globals, nil, good); err != nil {
+		t.Errorf("nat -> prop rejected: %v", err)
+	}
+	// A kind whose argument family is itself prop-kinded is malformed:
+	// prop classifies nothing.
+	b := NewBasis(nil)
+	if err := b.DeclareFam(This("p"), KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	bad := KArrow(FamConst(This("p")), KType{})
+	if err := CheckKind(b, nil, bad); err == nil {
+		t.Error("Pi over a prop-kinded family accepted")
+	}
+}
+
+func TestCheckTermAgainstDependentType(t *testing.T) {
+	// x:nat |- plus_intro x 1 : plus x 1 (add x 1)
+	ctx := Ctx{}.Push(NatFam)
+	tm := App(PlusIntro, Var(0, "x"), Nat(1))
+	want := FamApp(PlusFam, Var(0, "x"), Nat(1), Add(Var(0, "x"), Nat(1)))
+	if err := CheckTerm(Globals, ctx, tm, want); err != nil {
+		t.Errorf("dependent check failed: %v", err)
+	}
+}

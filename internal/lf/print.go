@@ -1,0 +1,159 @@
+package lf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pretty printing. Binders are displayed with their hints, resolved
+// against the enclosing binder stack; de Bruijn indices that escape the
+// known binders print as #n.
+
+// String renders the kind.
+func (k KType) String() string { return "type" }
+
+// String renders the kind.
+func (k KProp) String() string { return "prop" }
+
+// String renders the kind.
+func (k KPi) String() string { return kindString(k, nil) }
+
+func kindString(k Kind, names []string) string {
+	switch k := k.(type) {
+	case KType:
+		return "type"
+	case KProp:
+		return "prop"
+	case KPi:
+		hint := freshHint(k.Hint, names)
+		if hint == "_" {
+			return fmt.Sprintf("%s -> %s", famString(k.Arg, names, true), kindString(k.Body, append(names, hint)))
+		}
+		return fmt.Sprintf("Pi %s:%s. %s", hint, famString(k.Arg, names, false), kindString(k.Body, append(names, hint)))
+	default:
+		return "?kind"
+	}
+}
+
+// The bool parameter requests parenthesization of complex forms.
+
+func famString(f Family, names []string, paren bool) string {
+	switch f := f.(type) {
+	case FConst:
+		return f.Ref.String()
+	case FApp:
+		s := fmt.Sprintf("%s %s", famString(f.Fam, names, false), termString(f.Arg, names, true))
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	case FPi:
+		hint := freshHint(f.Hint, names)
+		var s string
+		if hint == "_" {
+			s = fmt.Sprintf("%s -> %s", famString(f.Arg, names, true), famString(f.Body, append(names, hint), false))
+		} else {
+			s = fmt.Sprintf("Pi %s:%s. %s", hint, famString(f.Arg, names, false), famString(f.Body, append(names, hint), false))
+		}
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return "?family"
+	}
+}
+
+func termString(t Term, names []string, paren bool) string {
+	switch t := t.(type) {
+	case TVar:
+		if t.Index < len(names) {
+			return names[len(names)-1-t.Index]
+		}
+		return fmt.Sprintf("#%d", t.Index)
+	case TConst:
+		return t.Ref.String()
+	case TPrincipal:
+		return "K" + t.K.String()[:8]
+	case TNat:
+		return fmt.Sprintf("%d", t.N)
+	case TLam:
+		hint := freshHint(t.Hint, names)
+		s := fmt.Sprintf("\\%s:%s. %s", hint, famString(t.Arg, names, false), termString(t.Body, append(names, hint), false))
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	case TApp:
+		s := fmt.Sprintf("%s %s", termString(t.Fn, names, false), termString(t.Arg, names, true))
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return "?term"
+	}
+}
+
+// freshHint avoids shadowed display names by appending primes.
+func freshHint(hint string, names []string) string {
+	if hint == "" {
+		hint = "u"
+	}
+	if hint == "_" {
+		return hint
+	}
+	for contains(names, hint) {
+		hint += "'"
+	}
+	return hint
+}
+
+func contains(names []string, s string) bool {
+	for _, n := range names {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the family.
+func (f FConst) String() string { return famString(f, nil, false) }
+
+// String renders the family.
+func (f FApp) String() string { return famString(f, nil, false) }
+
+// String renders the family.
+func (f FPi) String() string { return famString(f, nil, false) }
+
+// String renders the term.
+func (t TVar) String() string { return termString(t, nil, false) }
+
+// String renders the term.
+func (t TConst) String() string { return termString(t, nil, false) }
+
+// String renders the term.
+func (t TLam) String() string { return termString(t, nil, false) }
+
+// String renders the term.
+func (t TApp) String() string { return termString(t, nil, false) }
+
+// String renders the term.
+func (t TPrincipal) String() string { return termString(t, nil, false) }
+
+// String renders the term.
+func (t TNat) String() string { return termString(t, nil, false) }
+
+// TermString renders a term under a stack of binder names (outermost
+// first); used by the logic layer's printer.
+func TermString(t Term, names []string) string { return termString(t, names, false) }
+
+// FamilyString renders a family under a stack of binder names.
+func FamilyString(f Family, names []string) string { return famString(f, names, false) }
+
+// KindString renders a kind under a stack of binder names.
+func KindString(k Kind, names []string) string { return kindString(k, names) }
+
+// JoinHints is a printing helper used in error messages.
+func JoinHints(hints []string) string { return strings.Join(hints, " ") }

@@ -1,0 +1,262 @@
+package lf
+
+// De Bruijn machinery: shifting and substitution over terms, families and
+// kinds. The convention is index 0 = innermost binder; Shift*(x, d, cutoff)
+// adds d to every variable with index >= cutoff.
+
+// ShiftTerm shifts free variables of t by d above the cutoff.
+func ShiftTerm(t Term, d, cutoff int) Term {
+	switch t := t.(type) {
+	case TVar:
+		if t.Index >= cutoff {
+			return TVar{Index: t.Index + d, Hint: t.Hint}
+		}
+		return t
+	case TConst, TPrincipal, TNat:
+		return t
+	case TLam:
+		return TLam{
+			Hint: t.Hint,
+			Arg:  ShiftFamily(t.Arg, d, cutoff),
+			Body: ShiftTerm(t.Body, d, cutoff+1),
+		}
+	case TApp:
+		return TApp{Fn: ShiftTerm(t.Fn, d, cutoff), Arg: ShiftTerm(t.Arg, d, cutoff)}
+	default:
+		panic("lf: unknown term")
+	}
+}
+
+// ShiftFamily shifts free variables of f by d above the cutoff.
+func ShiftFamily(f Family, d, cutoff int) Family {
+	switch f := f.(type) {
+	case FConst:
+		return f
+	case FApp:
+		return FApp{Fam: ShiftFamily(f.Fam, d, cutoff), Arg: ShiftTerm(f.Arg, d, cutoff)}
+	case FPi:
+		return FPi{
+			Hint: f.Hint,
+			Arg:  ShiftFamily(f.Arg, d, cutoff),
+			Body: ShiftFamily(f.Body, d, cutoff+1),
+		}
+	default:
+		panic("lf: unknown family")
+	}
+}
+
+// ShiftKind shifts free variables of k by d above the cutoff.
+func ShiftKind(k Kind, d, cutoff int) Kind {
+	switch k := k.(type) {
+	case KType, KProp:
+		return k
+	case KPi:
+		return KPi{
+			Hint: k.Hint,
+			Arg:  ShiftFamily(k.Arg, d, cutoff),
+			Body: ShiftKind(k.Body, d, cutoff+1),
+		}
+	default:
+		panic("lf: unknown kind")
+	}
+}
+
+// SubstTerm replaces variable idx in t with s (adjusting indices), i.e.
+// t[idx := s]. Variables above idx are shifted down by one.
+func SubstTerm(t Term, idx int, s Term) Term {
+	switch t := t.(type) {
+	case TVar:
+		switch {
+		case t.Index == idx:
+			return ShiftTerm(s, idx, 0)
+		case t.Index > idx:
+			return TVar{Index: t.Index - 1, Hint: t.Hint}
+		default:
+			return t
+		}
+	case TConst, TPrincipal, TNat:
+		return t
+	case TLam:
+		return TLam{
+			Hint: t.Hint,
+			Arg:  SubstFamily(t.Arg, idx, s),
+			Body: SubstTerm(t.Body, idx+1, s),
+		}
+	case TApp:
+		return TApp{Fn: SubstTerm(t.Fn, idx, s), Arg: SubstTerm(t.Arg, idx, s)}
+	default:
+		panic("lf: unknown term")
+	}
+}
+
+// SubstFamily replaces variable idx in f with s.
+func SubstFamily(f Family, idx int, s Term) Family {
+	switch f := f.(type) {
+	case FConst:
+		return f
+	case FApp:
+		return FApp{Fam: SubstFamily(f.Fam, idx, s), Arg: SubstTerm(f.Arg, idx, s)}
+	case FPi:
+		return FPi{
+			Hint: f.Hint,
+			Arg:  SubstFamily(f.Arg, idx, s),
+			Body: SubstFamily(f.Body, idx+1, s),
+		}
+	default:
+		panic("lf: unknown family")
+	}
+}
+
+// SubstKind replaces variable idx in k with s.
+func SubstKind(k Kind, idx int, s Term) Kind {
+	switch k := k.(type) {
+	case KType, KProp:
+		return k
+	case KPi:
+		return KPi{
+			Hint: k.Hint,
+			Arg:  SubstFamily(k.Arg, idx, s),
+			Body: SubstKind(k.Body, idx+1, s),
+		}
+	default:
+		panic("lf: unknown kind")
+	}
+}
+
+// SubstRefTerm replaces every this.l reference in t with txid.l: the
+// "[txid/this]" substitution performed when a transaction enters the
+// chain (Section 4).
+func SubstRefTerm(t Term, txid Ref) Term {
+	switch t := t.(type) {
+	case TVar, TPrincipal, TNat:
+		return t
+	case TConst:
+		return TConst{Ref: substRef(t.Ref, txid)}
+	case TLam:
+		return TLam{Hint: t.Hint, Arg: SubstRefFamily(t.Arg, txid), Body: SubstRefTerm(t.Body, txid)}
+	case TApp:
+		return TApp{Fn: SubstRefTerm(t.Fn, txid), Arg: SubstRefTerm(t.Arg, txid)}
+	default:
+		panic("lf: unknown term")
+	}
+}
+
+// SubstRefFamily replaces this.l references in f.
+func SubstRefFamily(f Family, txid Ref) Family {
+	switch f := f.(type) {
+	case FConst:
+		return FConst{Ref: substRef(f.Ref, txid)}
+	case FApp:
+		return FApp{Fam: SubstRefFamily(f.Fam, txid), Arg: SubstRefTerm(f.Arg, txid)}
+	case FPi:
+		return FPi{Hint: f.Hint, Arg: SubstRefFamily(f.Arg, txid), Body: SubstRefFamily(f.Body, txid)}
+	default:
+		panic("lf: unknown family")
+	}
+}
+
+// SubstRefKind replaces this.l references in k.
+func SubstRefKind(k Kind, txid Ref) Kind {
+	switch k := k.(type) {
+	case KType, KProp:
+		return k
+	case KPi:
+		return KPi{Hint: k.Hint, Arg: SubstRefFamily(k.Arg, txid), Body: SubstRefKind(k.Body, txid)}
+	default:
+		panic("lf: unknown kind")
+	}
+}
+
+func substRef(r Ref, txid Ref) Ref {
+	if r.Kind == RefThis {
+		return Ref{Kind: txid.Kind, Tx: txid.Tx, Label: r.Label}
+	}
+	return r
+}
+
+// TermUsesVar reports whether de Bruijn variable idx occurs free in t.
+func TermUsesVar(t Term, idx int) bool {
+	switch t := t.(type) {
+	case TVar:
+		return t.Index == idx
+	case TConst, TPrincipal, TNat:
+		return false
+	case TLam:
+		return FamilyUsesVar(t.Arg, idx) || TermUsesVar(t.Body, idx+1)
+	case TApp:
+		return TermUsesVar(t.Fn, idx) || TermUsesVar(t.Arg, idx)
+	default:
+		panic("lf: unknown term")
+	}
+}
+
+// FamilyUsesVar reports whether de Bruijn variable idx occurs free in f.
+func FamilyUsesVar(f Family, idx int) bool {
+	switch f := f.(type) {
+	case FConst:
+		return false
+	case FApp:
+		return FamilyUsesVar(f.Fam, idx) || TermUsesVar(f.Arg, idx)
+	case FPi:
+		return FamilyUsesVar(f.Arg, idx) || FamilyUsesVar(f.Body, idx+1)
+	default:
+		panic("lf: unknown family")
+	}
+}
+
+// KindUsesVar reports whether de Bruijn variable idx occurs free in k.
+func KindUsesVar(k Kind, idx int) bool {
+	switch k := k.(type) {
+	case KType, KProp:
+		return false
+	case KPi:
+		return FamilyUsesVar(k.Arg, idx) || KindUsesVar(k.Body, idx+1)
+	default:
+		panic("lf: unknown kind")
+	}
+}
+
+// CollectRefs calls fn for every constant reference in t.
+func CollectRefs(t Term, fn func(Ref)) {
+	switch t := t.(type) {
+	case TVar, TPrincipal, TNat:
+	case TConst:
+		fn(t.Ref)
+	case TLam:
+		CollectFamilyRefs(t.Arg, fn)
+		CollectRefs(t.Body, fn)
+	case TApp:
+		CollectRefs(t.Fn, fn)
+		CollectRefs(t.Arg, fn)
+	default:
+		panic("lf: unknown term")
+	}
+}
+
+// CollectFamilyRefs calls fn for every constant reference in f.
+func CollectFamilyRefs(f Family, fn func(Ref)) {
+	switch f := f.(type) {
+	case FConst:
+		fn(f.Ref)
+	case FApp:
+		CollectFamilyRefs(f.Fam, fn)
+		CollectRefs(f.Arg, fn)
+	case FPi:
+		CollectFamilyRefs(f.Arg, fn)
+		CollectFamilyRefs(f.Body, fn)
+	default:
+		panic("lf: unknown family")
+	}
+}
+
+// CollectKindRefs calls fn for every constant reference in k.
+func CollectKindRefs(k Kind, fn func(Ref)) {
+	switch k := k.(type) {
+	case KType, KProp:
+	case KPi:
+		CollectFamilyRefs(k.Arg, fn)
+		CollectKindRefs(k.Body, fn)
+	default:
+		panic("lf: unknown kind")
+	}
+}

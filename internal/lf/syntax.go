@@ -1,0 +1,237 @@
+// Package lf implements the LF logical framework (Harper, Honsell,
+// Plotkin) in the restricted form Typecoin uses (paper, Section 4):
+// kinds, type families and index terms, with no family-level lambda
+// abstractions (following Harper and Pfenning), plus one extension — the
+// kind "prop" — so atomic propositions are type families whose kind is
+// prop rather than type.
+//
+// Two LF types receive special treatment: "principal", inhabited by
+// principal literals (hashes of public keys), and "nat", inhabited by
+// natural-number literals. A built-in term constant "add" with a
+// delta-reduction rule (add m n ~> m+n on literals) lets bases express
+// arithmetic side conditions such as the "plus N M P" family of the
+// newcoin example (Section 6).
+//
+// Terms use de Bruijn indices; binders carry display-name hints only.
+package lf
+
+import (
+	"fmt"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chainhash"
+)
+
+// RefKind distinguishes where a constant was declared.
+type RefKind int
+
+const (
+	// RefGlobal names a built-in constant (principal, nat, add, plus...).
+	RefGlobal RefKind = iota
+	// RefThis names a constant declared by the transaction currently
+	// being checked ("this.l" in the paper). When the transaction enters
+	// the blockchain, this is replaced by the transaction id.
+	RefThis
+	// RefTx names a constant declared by an earlier transaction
+	// ("txid.l").
+	RefTx
+)
+
+// Ref identifies a constant: a global name, this.label, or txid.label.
+// "Every constant is relative to a reference to the transaction in which
+// the constant originated." (Section 4, Bases).
+type Ref struct {
+	Kind  RefKind
+	Tx    chainhash.Hash // valid only for RefTx
+	Label string
+}
+
+// Global builds a reference to a built-in constant.
+func Global(label string) Ref { return Ref{Kind: RefGlobal, Label: label} }
+
+// This builds a reference local to the transaction under construction.
+func This(label string) Ref { return Ref{Kind: RefThis, Label: label} }
+
+// TxRef builds a reference to a constant declared by txid.
+func TxRef(txid chainhash.Hash, label string) Ref {
+	return Ref{Kind: RefTx, Tx: txid, Label: label}
+}
+
+// String renders the reference.
+func (r Ref) String() string {
+	switch r.Kind {
+	case RefGlobal:
+		return r.Label
+	case RefThis:
+		return "this." + r.Label
+	default:
+		return fmt.Sprintf("%s.%s", r.Tx, r.Label)
+	}
+}
+
+// IsLocal reports whether the reference is this-relative.
+func (r Ref) IsLocal() bool { return r.Kind == RefThis }
+
+// Kind is an LF kind: type, prop, or Pi u:tau. k.
+type Kind interface {
+	isKind()
+	String() string
+}
+
+// KType is the kind of ordinary LF types.
+type KType struct{}
+
+// KProp is the kind of atomic propositions (the Typecoin extension).
+type KProp struct{}
+
+// KPi is the dependent kind Pi u:Arg. Body.
+type KPi struct {
+	Hint string
+	Arg  Family
+	Body Kind
+}
+
+func (KType) isKind() {}
+func (KProp) isKind() {}
+func (KPi) isKind()   {}
+
+// Family is an LF type family: a constant, an application of a family to
+// an index term, or a dependent function type.
+type Family interface {
+	isFamily()
+	String() string
+}
+
+// FConst is a family constant.
+type FConst struct{ Ref Ref }
+
+// FApp applies a family to an index term.
+type FApp struct {
+	Fam Family
+	Arg Term
+}
+
+// FPi is the dependent function type Pi u:Arg. Body.
+type FPi struct {
+	Hint string
+	Arg  Family
+	Body Family
+}
+
+func (FConst) isFamily() {}
+func (FApp) isFamily()   {}
+func (FPi) isFamily()    {}
+
+// Term is an LF index term.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// TVar is a de Bruijn variable (0 = innermost binder).
+type TVar struct {
+	Index int
+	Hint  string
+}
+
+// TConst is a term constant.
+type TConst struct{ Ref Ref }
+
+// TLam is lambda u:Arg. Body.
+type TLam struct {
+	Hint string
+	Arg  Family
+	Body Term
+}
+
+// TApp is application.
+type TApp struct{ Fn, Arg Term }
+
+// TPrincipal is a principal literal K: the hash of a public key.
+type TPrincipal struct{ K bkey.Principal }
+
+// TNat is a natural-number literal.
+type TNat struct{ N uint64 }
+
+func (TVar) isTerm()       {}
+func (TConst) isTerm()     {}
+func (TLam) isTerm()       {}
+func (TApp) isTerm()       {}
+func (TPrincipal) isTerm() {}
+func (TNat) isTerm()       {}
+
+// Convenience constructors.
+
+// Var builds a de Bruijn variable with a display hint.
+func Var(i int, hint string) Term { return TVar{Index: i, Hint: hint} }
+
+// Const builds a term constant.
+func Const(r Ref) Term { return TConst{Ref: r} }
+
+// Lam builds a lambda.
+func Lam(hint string, arg Family, body Term) Term {
+	return TLam{Hint: hint, Arg: arg, Body: body}
+}
+
+// App builds left-nested applications fn m1 m2 ...
+func App(fn Term, args ...Term) Term {
+	for _, a := range args {
+		fn = TApp{Fn: fn, Arg: a}
+	}
+	return fn
+}
+
+// Nat builds a nat literal.
+func Nat(n uint64) Term { return TNat{N: n} }
+
+// Principal builds a principal literal.
+func Principal(k bkey.Principal) Term { return TPrincipal{K: k} }
+
+// FamConst builds a family constant.
+func FamConst(r Ref) Family { return FConst{Ref: r} }
+
+// FamApp builds left-nested family applications.
+func FamApp(f Family, args ...Term) Family {
+	for _, a := range args {
+		f = FApp{Fam: f, Arg: a}
+	}
+	return f
+}
+
+// Pi builds the dependent function type.
+func Pi(hint string, arg, body Family) Family {
+	return FPi{Hint: hint, Arg: arg, Body: body}
+}
+
+// Arrow builds the non-dependent function type arg -> body (a Pi whose
+// body does not use the bound variable; callers must ensure body indices
+// account for the extra binder — use ShiftFamily when lifting).
+func Arrow(arg, body Family) Family {
+	return FPi{Hint: "_", Arg: arg, Body: ShiftFamily(body, 1, 0)}
+}
+
+// KArrow builds the non-dependent kind arg -> body.
+func KArrow(arg Family, body Kind) Kind {
+	return KPi{Hint: "_", Arg: arg, Body: ShiftKind(body, 1, 0)}
+}
+
+// Built-in global constants.
+var (
+	// PrincipalFam is the LF type of principals.
+	PrincipalFam = FamConst(Global("principal"))
+	// NatFam is the LF type of natural numbers (and of times; "the type
+	// time is actually just nat", Section 6.1).
+	NatFam = FamConst(Global("nat"))
+	// AddConst is the built-in addition constant with delta-reduction.
+	AddConst = Const(Global("add"))
+	// PlusFam is the built-in family plus : nat -> nat -> nat -> type,
+	// where plus N M P is the type of proofs that N+M=P.
+	PlusFam = FamConst(Global("plus"))
+	// PlusIntro is the built-in proof plus_intro : Pi n:nat. Pi m:nat.
+	// plus n m (add n m).
+	PlusIntro = Const(Global("plus_intro"))
+)
+
+// Add builds add m n (which normalizes to a literal when both arguments
+// are literals).
+func Add(m, n Term) Term { return App(AddConst, m, n) }

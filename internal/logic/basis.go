@@ -1,0 +1,186 @@
+package logic
+
+import (
+	"fmt"
+
+	"typecoin/internal/lf"
+)
+
+// Basis is a Typecoin basis: constant declarations of all three sorts —
+// kinds (family constants), types (term constants) and propositions
+// (persistent proof constants such as the newcoin merge/split rules).
+// It layers over a parent basis; the chain's global basis is the
+// accumulation of all prior transactions' local bases (Section 4).
+type Basis struct {
+	lf     *lf.Basis
+	parent *Basis
+	props  map[lf.Ref]Prop
+	order  []lf.Ref // prop declaration order
+}
+
+// NewBasis creates an empty basis over parent (which may be nil for the
+// built-in globals only).
+func NewBasis(parent *Basis) *Basis {
+	var p lf.Signature
+	if parent != nil {
+		p = parent
+	}
+	return &Basis{
+		lf:     lf.NewBasis(p),
+		parent: parent,
+		props:  make(map[lf.Ref]Prop),
+	}
+}
+
+// DeclareFam declares a family constant c : k.
+func (b *Basis) DeclareFam(r lf.Ref, k lf.Kind) error {
+	if _, ok := b.LookupProp(r); ok {
+		return fmt.Errorf("logic: constant %s already declared", r)
+	}
+	return b.lf.DeclareFam(r, k)
+}
+
+// DeclareTerm declares a term constant c : tau.
+func (b *Basis) DeclareTerm(r lf.Ref, f lf.Family) error {
+	if _, ok := b.LookupProp(r); ok {
+		return fmt.Errorf("logic: constant %s already declared", r)
+	}
+	return b.lf.DeclareTerm(r, f)
+}
+
+// DeclareProp declares a persistent proof constant c : A.
+func (b *Basis) DeclareProp(r lf.Ref, a Prop) error {
+	if _, ok := b.props[r]; ok {
+		return fmt.Errorf("logic: constant %s already declared", r)
+	}
+	if _, ok := b.LookupProp(r); ok {
+		return fmt.Errorf("logic: constant %s already declared", r)
+	}
+	if _, ok := b.LookupFamConst(r); ok {
+		return fmt.Errorf("logic: constant %s already declared", r)
+	}
+	if _, ok := b.LookupTermConst(r); ok {
+		return fmt.Errorf("logic: constant %s already declared", r)
+	}
+	b.props[r] = a
+	b.order = append(b.order, r)
+	return nil
+}
+
+// LookupFamConst implements lf.Signature.
+func (b *Basis) LookupFamConst(r lf.Ref) (lf.Kind, bool) { return b.lf.LookupFamConst(r) }
+
+// LookupTermConst implements lf.Signature.
+func (b *Basis) LookupTermConst(r lf.Ref) (lf.Family, bool) { return b.lf.LookupTermConst(r) }
+
+// LookupProp resolves a persistent proof constant.
+func (b *Basis) LookupProp(r lf.Ref) (Prop, bool) {
+	if p, ok := b.props[r]; ok {
+		return p, true
+	}
+	if b.parent != nil {
+		return b.parent.LookupProp(r)
+	}
+	return nil, false
+}
+
+// LocalFamRefs, LocalTermRefs and LocalPropRefs expose this layer's
+// declarations in declaration order (used by the canonical encoder, the
+// freshness check and [txid/this] accumulation).
+func (b *Basis) LocalFamRefs() []lf.Ref {
+	var out []lf.Ref
+	for _, r := range b.lf.Decls() {
+		if _, ok := b.lf.Fam(r); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LocalTermRefs lists term-constant declarations in this layer.
+func (b *Basis) LocalTermRefs() []lf.Ref {
+	var out []lf.Ref
+	for _, r := range b.lf.Decls() {
+		if _, ok := b.lf.Term(r); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LocalPropRefs lists proof-constant declarations in this layer.
+func (b *Basis) LocalPropRefs() []lf.Ref {
+	out := make([]lf.Ref, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// LocalFam returns the kind declared for r in this layer.
+func (b *Basis) LocalFam(r lf.Ref) (lf.Kind, bool) { return b.lf.Fam(r) }
+
+// LocalTerm returns the family declared for r in this layer.
+func (b *Basis) LocalTerm(r lf.Ref) (lf.Family, bool) { return b.lf.Term(r) }
+
+// LocalProp returns the proposition declared for r in this layer.
+func (b *Basis) LocalProp(r lf.Ref) (Prop, bool) {
+	p, ok := b.props[r]
+	return p, ok
+}
+
+// Rebase copies this basis's local declarations onto a new parent,
+// preserving declaration order. CheckTx uses it to layer a transaction's
+// local basis (shipped standalone) over the verifier's global basis.
+func (b *Basis) Rebase(parent *Basis) (*Basis, error) {
+	out := NewBasis(parent)
+	for _, r := range b.lf.Decls() {
+		if k, ok := b.lf.Fam(r); ok {
+			if err := out.DeclareFam(r, k); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if f, ok := b.lf.Term(r); ok {
+			if err := out.DeclareTerm(r, f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, r := range b.order {
+		if err := out.DeclareProp(r, b.props[r]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SubstRef returns a copy of this basis's local declarations with this.l
+// references (including the declared names themselves) replaced by
+// txid.l, layered over parent: the accumulation step of chain formation.
+func (b *Basis) SubstRef(txid lf.Ref, parent *Basis) (*Basis, error) {
+	out := NewBasis(parent)
+	rename := func(r lf.Ref) lf.Ref {
+		if r.Kind == lf.RefThis {
+			return lf.Ref{Kind: txid.Kind, Tx: txid.Tx, Label: r.Label}
+		}
+		return r
+	}
+	for _, r := range b.lf.Decls() {
+		if k, ok := b.lf.Fam(r); ok {
+			if err := out.DeclareFam(rename(r), lf.SubstRefKind(k, txid)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if f, ok := b.lf.Term(r); ok {
+			if err := out.DeclareTerm(rename(r), lf.SubstRefFamily(f, txid)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, r := range b.order {
+		if err := out.DeclareProp(rename(r), SubstRefProp(b.props[r], txid)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

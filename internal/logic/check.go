@@ -1,0 +1,254 @@
+package logic
+
+import (
+	"fmt"
+
+	"typecoin/internal/lf"
+)
+
+// CheckProp validates proposition formation: Sigma; Psi |- A prop
+// (Appendix A). ctx is the LF variable context for the quantifiers.
+func CheckProp(b *Basis, ctx lf.Ctx, p Prop) error {
+	switch p := p.(type) {
+	case PAtom:
+		isProp, err := lf.HeadKindIsProp(b, ctx, p.Fam)
+		if err != nil {
+			return fmt.Errorf("logic: atom %s: %w", p.Fam, err)
+		}
+		if !isProp {
+			return fmt.Errorf("logic: atom %s: %w", p.Fam, lf.ErrNotProp)
+		}
+		return nil
+	case PLolli:
+		if err := CheckProp(b, ctx, p.A); err != nil {
+			return err
+		}
+		return CheckProp(b, ctx, p.B)
+	case PTensor:
+		if err := CheckProp(b, ctx, p.A); err != nil {
+			return err
+		}
+		return CheckProp(b, ctx, p.B)
+	case PWith:
+		if err := CheckProp(b, ctx, p.A); err != nil {
+			return err
+		}
+		return CheckProp(b, ctx, p.B)
+	case PPlus:
+		if err := CheckProp(b, ctx, p.A); err != nil {
+			return err
+		}
+		return CheckProp(b, ctx, p.B)
+	case PZero, POne:
+		return nil
+	case PBang:
+		return CheckProp(b, ctx, p.A)
+	case PForall:
+		if err := lf.CheckFamilyIsType(b, ctx, p.Ty); err != nil {
+			return fmt.Errorf("logic: forall domain: %w", err)
+		}
+		return CheckProp(b, ctx.Push(p.Ty), p.Body)
+	case PExists:
+		if err := lf.CheckFamilyIsType(b, ctx, p.Ty); err != nil {
+			return fmt.Errorf("logic: exists domain: %w", err)
+		}
+		return CheckProp(b, ctx.Push(p.Ty), p.Body)
+	case PSays:
+		if err := lf.CheckTerm(b, ctx, p.Prin, lf.PrincipalFam); err != nil {
+			return fmt.Errorf("logic: affirming principal: %w", err)
+		}
+		return CheckProp(b, ctx, p.Body)
+	case PReceipt:
+		if p.Amount < 0 {
+			return fmt.Errorf("logic: receipt amount %d negative", p.Amount)
+		}
+		if err := lf.CheckTerm(b, ctx, p.To, lf.PrincipalFam); err != nil {
+			return fmt.Errorf("logic: receipt recipient: %w", err)
+		}
+		if p.Res != nil {
+			return CheckProp(b, ctx, p.Res)
+		}
+		return nil
+	case PIf:
+		if err := CheckCond(b, ctx, p.Cond); err != nil {
+			return err
+		}
+		return CheckProp(b, ctx, p.Body)
+	default:
+		return fmt.Errorf("logic: unknown proposition %T", p)
+	}
+}
+
+// CheckCond validates condition formation: Sigma; Psi |- phi cond.
+func CheckCond(b *Basis, ctx lf.Ctx, c Cond) error {
+	switch c := c.(type) {
+	case CTrue, CSpent:
+		return nil
+	case CAnd:
+		if err := CheckCond(b, ctx, c.L); err != nil {
+			return err
+		}
+		return CheckCond(b, ctx, c.R)
+	case CNot:
+		return CheckCond(b, ctx, c.C)
+	case CBefore:
+		if err := lf.CheckTerm(b, ctx, c.T, lf.NatFam); err != nil {
+			return fmt.Errorf("logic: before(t): %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("logic: unknown condition %T", c)
+	}
+}
+
+// PropEqual reports definitional equality of propositions: structural
+// equality with LF terms and families compared up to beta/delta
+// normalization.
+func PropEqual(a, b Prop) (bool, error) {
+	switch a := a.(type) {
+	case PAtom:
+		bb, ok := b.(PAtom)
+		if !ok {
+			return false, nil
+		}
+		return lf.FamilyEqual(a.Fam, bb.Fam)
+	case PLolli:
+		bb, ok := b.(PLolli)
+		if !ok {
+			return false, nil
+		}
+		return pairEqual(a.A, a.B, bb.A, bb.B)
+	case PTensor:
+		bb, ok := b.(PTensor)
+		if !ok {
+			return false, nil
+		}
+		return pairEqual(a.A, a.B, bb.A, bb.B)
+	case PWith:
+		bb, ok := b.(PWith)
+		if !ok {
+			return false, nil
+		}
+		return pairEqual(a.A, a.B, bb.A, bb.B)
+	case PPlus:
+		bb, ok := b.(PPlus)
+		if !ok {
+			return false, nil
+		}
+		return pairEqual(a.A, a.B, bb.A, bb.B)
+	case PZero:
+		_, ok := b.(PZero)
+		return ok, nil
+	case POne:
+		_, ok := b.(POne)
+		return ok, nil
+	case PBang:
+		bb, ok := b.(PBang)
+		if !ok {
+			return false, nil
+		}
+		return PropEqual(a.A, bb.A)
+	case PForall:
+		bb, ok := b.(PForall)
+		if !ok {
+			return false, nil
+		}
+		return binderEqual(a.Ty, a.Body, bb.Ty, bb.Body)
+	case PExists:
+		bb, ok := b.(PExists)
+		if !ok {
+			return false, nil
+		}
+		return binderEqual(a.Ty, a.Body, bb.Ty, bb.Body)
+	case PSays:
+		bb, ok := b.(PSays)
+		if !ok {
+			return false, nil
+		}
+		eq, err := lf.TermEqual(a.Prin, bb.Prin)
+		if err != nil || !eq {
+			return false, err
+		}
+		return PropEqual(a.Body, bb.Body)
+	case PReceipt:
+		bb, ok := b.(PReceipt)
+		if !ok {
+			return false, nil
+		}
+		if a.Amount != bb.Amount || (a.Res == nil) != (bb.Res == nil) {
+			return false, nil
+		}
+		eq, err := lf.TermEqual(a.To, bb.To)
+		if err != nil || !eq {
+			return false, err
+		}
+		if a.Res != nil {
+			return PropEqual(a.Res, bb.Res)
+		}
+		return true, nil
+	case PIf:
+		bb, ok := b.(PIf)
+		if !ok {
+			return false, nil
+		}
+		eq, err := CondEqual(a.Cond, bb.Cond)
+		if err != nil || !eq {
+			return false, err
+		}
+		return PropEqual(a.Body, bb.Body)
+	default:
+		return false, fmt.Errorf("logic: unknown proposition %T", a)
+	}
+}
+
+func pairEqual(a1, a2, b1, b2 Prop) (bool, error) {
+	eq, err := PropEqual(a1, b1)
+	if err != nil || !eq {
+		return false, err
+	}
+	return PropEqual(a2, b2)
+}
+
+func binderEqual(ty1 lf.Family, body1 Prop, ty2 lf.Family, body2 Prop) (bool, error) {
+	eq, err := lf.FamilyEqual(ty1, ty2)
+	if err != nil || !eq {
+		return false, err
+	}
+	return PropEqual(body1, body2)
+}
+
+// CondEqual reports definitional equality of conditions.
+func CondEqual(a, b Cond) (bool, error) {
+	switch a := a.(type) {
+	case CTrue:
+		_, ok := b.(CTrue)
+		return ok, nil
+	case CAnd:
+		bb, ok := b.(CAnd)
+		if !ok {
+			return false, nil
+		}
+		eq, err := CondEqual(a.L, bb.L)
+		if err != nil || !eq {
+			return false, err
+		}
+		return CondEqual(a.R, bb.R)
+	case CNot:
+		bb, ok := b.(CNot)
+		if !ok {
+			return false, nil
+		}
+		return CondEqual(a.C, bb.C)
+	case CBefore:
+		bb, ok := b.(CBefore)
+		if !ok {
+			return false, nil
+		}
+		return lf.TermEqual(a.T, bb.T)
+	case CSpent:
+		bb, ok := b.(CSpent)
+		return ok && a.Out == bb.Out, nil
+	default:
+		return false, fmt.Errorf("logic: unknown condition %T", a)
+	}
+}

@@ -1,0 +1,161 @@
+package logic
+
+import (
+	"fmt"
+
+	"typecoin/internal/lf"
+	"typecoin/internal/wire"
+)
+
+// Condition entailment Phi => Phi' (Appendix A): the classical sequent
+// calculus over true, conjunction, negation and the primitive conditions,
+// with the extra axiom before(t) |- before(t') when t <= t'.
+//
+// Entails decides the judgement by exhaustive invertible decomposition:
+// every rule of the calculus shrinks the sequent, so the recursion
+// terminates.
+
+// Entails reports whether the conjunction of left entails the
+// "disjunction" of right (the multiple-conclusion reading of the
+// classical sequent).
+func Entails(left, right []Cond) bool {
+	// Decompose the leftmost non-atomic condition on either side.
+	for i, c := range left {
+		switch c := c.(type) {
+		case CTrue:
+			return Entails(remove(left, i), right)
+		case CAnd:
+			rest := remove(left, i)
+			return Entails(append(rest, c.L, c.R), right)
+		case CNot:
+			return Entails(remove(left, i), append(appendCopy(right), c.C))
+		}
+	}
+	for i, c := range right {
+		switch c := c.(type) {
+		case CTrue:
+			return true
+		case CAnd:
+			rest := remove(right, i)
+			return Entails(left, append(appendCopy(rest), c.L)) &&
+				Entails(left, append(appendCopy(rest), c.R))
+		case CNot:
+			return Entails(append(appendCopy(left), c.C), remove(right, i))
+		}
+	}
+	// Atomic sequent: axiom checks.
+	for _, l := range left {
+		for _, r := range right {
+			if atomEntails(l, r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EntailsCond is the common single-formula case phi => phi'.
+func EntailsCond(phi, phiPrime Cond) bool {
+	return Entails([]Cond{phi}, []Cond{phiPrime})
+}
+
+// atomEntails decides axioms between primitive conditions.
+func atomEntails(l, r Cond) bool {
+	switch l := l.(type) {
+	case CSpent:
+		rr, ok := r.(CSpent)
+		return ok && l.Out == rr.Out
+	case CBefore:
+		rr, ok := r.(CBefore)
+		if !ok {
+			return false
+		}
+		// before(t) entails before(t') when t <= t'. Literal comparison
+		// when possible; otherwise require definitional equality.
+		lt, lok := literalNat(l.T)
+		rt, rok := literalNat(rr.T)
+		if lok && rok {
+			return lt <= rt
+		}
+		eq, err := lf.TermEqual(l.T, rr.T)
+		return err == nil && eq
+	default:
+		return false
+	}
+}
+
+func literalNat(t lf.Term) (uint64, bool) {
+	n, err := lf.NormalizeTerm(t)
+	if err != nil {
+		return 0, false
+	}
+	if lit, ok := n.(lf.TNat); ok {
+		return lit.N, true
+	}
+	return 0, false
+}
+
+func remove(cs []Cond, i int) []Cond {
+	out := make([]Cond, 0, len(cs)-1)
+	out = append(out, cs[:i]...)
+	return append(out, cs[i+1:]...)
+}
+
+func appendCopy(cs []Cond) []Cond {
+	out := make([]Cond, len(cs), len(cs)+2)
+	copy(out, cs)
+	return out
+}
+
+// Oracle supplies the world state against which conditions are judged.
+// "The essential property of all conditions is that there be unambiguous
+// evidence of the truth or falsity for any particular transaction in the
+// blockchain" (Section 5): the block timestamp decides before(t), and the
+// chain's spent-txout evidence decides spent(txid.n).
+type Oracle interface {
+	// TimeNow returns the time (as a nat, typically a unix timestamp)
+	// at which the transaction is judged.
+	TimeNow() uint64
+	// IsSpent reports whether the given txout has been spent.
+	IsSpent(out wire.OutPoint) bool
+}
+
+// EvalCond evaluates a closed condition against the oracle.
+func EvalCond(c Cond, o Oracle) (bool, error) {
+	switch c := c.(type) {
+	case CTrue:
+		return true, nil
+	case CAnd:
+		l, err := EvalCond(c.L, o)
+		if err != nil || !l {
+			return false, err
+		}
+		return EvalCond(c.R, o)
+	case CNot:
+		v, err := EvalCond(c.C, o)
+		return !v, err
+	case CBefore:
+		t, ok := literalNat(c.T)
+		if !ok {
+			return false, fmt.Errorf("logic: before(%s): time is not a literal", c.T)
+		}
+		return o.TimeNow() < t, nil
+	case CSpent:
+		return o.IsSpent(c.Out), nil
+	default:
+		return false, fmt.Errorf("logic: unknown condition %T", c)
+	}
+}
+
+// MapOracle is a simple Oracle backed by explicit values, for tests and
+// for batch servers that mirror chain state.
+type MapOracle struct {
+	Time      uint64
+	SpentOuts map[wire.OutPoint]bool
+}
+
+// TimeNow implements Oracle.
+func (m *MapOracle) TimeNow() uint64 { return m.Time }
+
+// IsSpent implements Oracle.
+func (m *MapOracle) IsSpent(out wire.OutPoint) bool { return m.SpentOuts[out] }

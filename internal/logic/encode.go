@@ -1,0 +1,454 @@
+package logic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/lf"
+	"typecoin/internal/wire"
+)
+
+// Canonical binary encoding of propositions, conditions and bases,
+// building on the LF encoding. Used for hashing (the Typecoin transaction
+// hash embedded into Bitcoin), signing (assert/assert! payloads) and
+// transport.
+
+const (
+	tagPAtom    byte = 0x40
+	tagPLolli   byte = 0x41
+	tagPTensor  byte = 0x42
+	tagPWith    byte = 0x43
+	tagPPlus    byte = 0x44
+	tagPZero    byte = 0x45
+	tagPOne     byte = 0x46
+	tagPBang    byte = 0x47
+	tagPForall  byte = 0x48
+	tagPExists  byte = 0x49
+	tagPSays    byte = 0x4a
+	tagPReceipt byte = 0x4b
+	tagPIf      byte = 0x4c
+
+	tagCTrue   byte = 0x50
+	tagCAnd    byte = 0x51
+	tagCNot    byte = 0x52
+	tagCBefore byte = 0x53
+	tagCSpent  byte = 0x54
+
+	tagDeclFam  byte = 0x60
+	tagDeclTerm byte = 0x61
+	tagDeclProp byte = 0x62
+)
+
+// ErrBadEncoding reports a malformed logic encoding.
+var ErrBadEncoding = errors.New("logic: malformed encoding")
+
+func writeByte(w io.Writer, b byte) error {
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+func readByte(r io.Reader) (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// EncodeProp writes a proposition.
+func EncodeProp(w io.Writer, p Prop) error {
+	switch p := p.(type) {
+	case PAtom:
+		if err := writeByte(w, tagPAtom); err != nil {
+			return err
+		}
+		return lf.EncodeFamily(w, p.Fam)
+	case PLolli:
+		return encodeBinary(w, tagPLolli, p.A, p.B)
+	case PTensor:
+		return encodeBinary(w, tagPTensor, p.A, p.B)
+	case PWith:
+		return encodeBinary(w, tagPWith, p.A, p.B)
+	case PPlus:
+		return encodeBinary(w, tagPPlus, p.A, p.B)
+	case PZero:
+		return writeByte(w, tagPZero)
+	case POne:
+		return writeByte(w, tagPOne)
+	case PBang:
+		if err := writeByte(w, tagPBang); err != nil {
+			return err
+		}
+		return EncodeProp(w, p.A)
+	case PForall:
+		return encodeBinder(w, tagPForall, p.Ty, p.Body)
+	case PExists:
+		return encodeBinder(w, tagPExists, p.Ty, p.Body)
+	case PSays:
+		if err := writeByte(w, tagPSays); err != nil {
+			return err
+		}
+		if err := lf.EncodeTerm(w, p.Prin); err != nil {
+			return err
+		}
+		return EncodeProp(w, p.Body)
+	case PReceipt:
+		if err := writeByte(w, tagPReceipt); err != nil {
+			return err
+		}
+		hasRes := byte(0)
+		if p.Res != nil {
+			hasRes = 1
+		}
+		if err := writeByte(w, hasRes); err != nil {
+			return err
+		}
+		if p.Res != nil {
+			if err := EncodeProp(w, p.Res); err != nil {
+				return err
+			}
+		}
+		if err := wire.WriteVarInt(w, uint64(p.Amount)); err != nil {
+			return err
+		}
+		return lf.EncodeTerm(w, p.To)
+	case PIf:
+		if err := writeByte(w, tagPIf); err != nil {
+			return err
+		}
+		if err := EncodeCond(w, p.Cond); err != nil {
+			return err
+		}
+		return EncodeProp(w, p.Body)
+	default:
+		return fmt.Errorf("logic: unknown proposition %T", p)
+	}
+}
+
+func encodeBinary(w io.Writer, tag byte, a, b Prop) error {
+	if err := writeByte(w, tag); err != nil {
+		return err
+	}
+	if err := EncodeProp(w, a); err != nil {
+		return err
+	}
+	return EncodeProp(w, b)
+}
+
+func encodeBinder(w io.Writer, tag byte, ty lf.Family, body Prop) error {
+	if err := writeByte(w, tag); err != nil {
+		return err
+	}
+	if err := lf.EncodeFamily(w, ty); err != nil {
+		return err
+	}
+	return EncodeProp(w, body)
+}
+
+// DecodeProp reads a proposition.
+func DecodeProp(r io.Reader) (Prop, error) {
+	tag, err := readByte(r)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagPAtom:
+		f, err := lf.DecodeFamily(r)
+		if err != nil {
+			return nil, err
+		}
+		return PAtom{Fam: f}, nil
+	case tagPLolli, tagPTensor, tagPWith, tagPPlus:
+		a, err := DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		b, err := DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagPLolli:
+			return PLolli{A: a, B: b}, nil
+		case tagPTensor:
+			return PTensor{A: a, B: b}, nil
+		case tagPWith:
+			return PWith{A: a, B: b}, nil
+		default:
+			return PPlus{A: a, B: b}, nil
+		}
+	case tagPZero:
+		return PZero{}, nil
+	case tagPOne:
+		return POne{}, nil
+	case tagPBang:
+		a, err := DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		return PBang{A: a}, nil
+	case tagPForall, tagPExists:
+		ty, err := lf.DecodeFamily(r)
+		if err != nil {
+			return nil, err
+		}
+		body, err := DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		if tag == tagPForall {
+			return PForall{Hint: "u", Ty: ty, Body: body}, nil
+		}
+		return PExists{Hint: "u", Ty: ty, Body: body}, nil
+	case tagPSays:
+		prin, err := lf.DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		body, err := DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		return PSays{Prin: prin, Body: body}, nil
+	case tagPReceipt:
+		hasRes, err := readByte(r)
+		if err != nil {
+			return nil, err
+		}
+		var res Prop
+		if hasRes == 1 {
+			if res, err = DecodeProp(r); err != nil {
+				return nil, err
+			}
+		} else if hasRes != 0 {
+			return nil, fmt.Errorf("%w: receipt flag %d", ErrBadEncoding, hasRes)
+		}
+		amount, err := wire.ReadVarInt(r)
+		if err != nil {
+			return nil, err
+		}
+		if amount > wire.MaxSatoshi {
+			return nil, fmt.Errorf("%w: receipt amount %d", ErrBadEncoding, amount)
+		}
+		to, err := lf.DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		return PReceipt{Res: res, Amount: int64(amount), To: to}, nil
+	case tagPIf:
+		cond, err := DecodeCond(r)
+		if err != nil {
+			return nil, err
+		}
+		body, err := DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		return PIf{Cond: cond, Body: body}, nil
+	default:
+		return nil, fmt.Errorf("%w: prop tag %#02x", ErrBadEncoding, tag)
+	}
+}
+
+// EncodeCond writes a condition.
+func EncodeCond(w io.Writer, c Cond) error {
+	switch c := c.(type) {
+	case CTrue:
+		return writeByte(w, tagCTrue)
+	case CAnd:
+		if err := writeByte(w, tagCAnd); err != nil {
+			return err
+		}
+		if err := EncodeCond(w, c.L); err != nil {
+			return err
+		}
+		return EncodeCond(w, c.R)
+	case CNot:
+		if err := writeByte(w, tagCNot); err != nil {
+			return err
+		}
+		return EncodeCond(w, c.C)
+	case CBefore:
+		if err := writeByte(w, tagCBefore); err != nil {
+			return err
+		}
+		return lf.EncodeTerm(w, c.T)
+	case CSpent:
+		if err := writeByte(w, tagCSpent); err != nil {
+			return err
+		}
+		if _, err := w.Write(c.Out.Hash[:]); err != nil {
+			return err
+		}
+		return wire.WriteVarInt(w, uint64(c.Out.Index))
+	default:
+		return fmt.Errorf("logic: unknown condition %T", c)
+	}
+}
+
+// DecodeCond reads a condition.
+func DecodeCond(r io.Reader) (Cond, error) {
+	tag, err := readByte(r)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagCTrue:
+		return CTrue{}, nil
+	case tagCAnd:
+		l, err := DecodeCond(r)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := DecodeCond(r)
+		if err != nil {
+			return nil, err
+		}
+		return CAnd{L: l, R: rr}, nil
+	case tagCNot:
+		c, err := DecodeCond(r)
+		if err != nil {
+			return nil, err
+		}
+		return CNot{C: c}, nil
+	case tagCBefore:
+		t, err := lf.DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		return CBefore{T: t}, nil
+	case tagCSpent:
+		var out wire.OutPoint
+		if _, err := io.ReadFull(r, out.Hash[:]); err != nil {
+			return nil, err
+		}
+		idx, err := wire.ReadVarInt(r)
+		if err != nil {
+			return nil, err
+		}
+		if idx > 0xffffffff {
+			return nil, fmt.Errorf("%w: outpoint index %d", ErrBadEncoding, idx)
+		}
+		out.Index = uint32(idx)
+		return CSpent{Out: out}, nil
+	default:
+		return nil, fmt.Errorf("%w: condition tag %#02x", ErrBadEncoding, tag)
+	}
+}
+
+// EncodeBasis writes the local declarations of b in declaration order.
+func EncodeBasis(w io.Writer, b *Basis) error {
+	type decl struct {
+		tag byte
+		ref lf.Ref
+	}
+	var decls []decl
+	for _, r := range b.LocalFamRefs() {
+		decls = append(decls, decl{tagDeclFam, r})
+	}
+	for _, r := range b.LocalTermRefs() {
+		decls = append(decls, decl{tagDeclTerm, r})
+	}
+	for _, r := range b.LocalPropRefs() {
+		decls = append(decls, decl{tagDeclProp, r})
+	}
+	if err := wire.WriteVarInt(w, uint64(len(decls))); err != nil {
+		return err
+	}
+	for _, d := range decls {
+		if err := writeByte(w, d.tag); err != nil {
+			return err
+		}
+		if err := lf.EncodeRef(w, d.ref); err != nil {
+			return err
+		}
+		switch d.tag {
+		case tagDeclFam:
+			k, _ := b.LocalFam(d.ref)
+			if err := lf.EncodeKind(w, k); err != nil {
+				return err
+			}
+		case tagDeclTerm:
+			f, _ := b.LocalTerm(d.ref)
+			if err := lf.EncodeFamily(w, f); err != nil {
+				return err
+			}
+		case tagDeclProp:
+			p, _ := b.LocalProp(d.ref)
+			if err := EncodeProp(w, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeBasis reads local declarations into a fresh basis over parent.
+func DecodeBasis(r io.Reader, parent *Basis) (*Basis, error) {
+	n, err := wire.ReadVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 10000 {
+		return nil, fmt.Errorf("%w: %d declarations", ErrBadEncoding, n)
+	}
+	b := NewBasis(parent)
+	for i := uint64(0); i < n; i++ {
+		tag, err := readByte(r)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := lf.DecodeRef(r)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagDeclFam:
+			k, err := lf.DecodeKind(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.DeclareFam(ref, k); err != nil {
+				return nil, err
+			}
+		case tagDeclTerm:
+			f, err := lf.DecodeFamily(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.DeclareTerm(ref, f); err != nil {
+				return nil, err
+			}
+		case tagDeclProp:
+			p, err := DecodeProp(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.DeclareProp(ref, p); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: declaration tag %#02x", ErrBadEncoding, tag)
+		}
+	}
+	return b, nil
+}
+
+// PropBytes returns the canonical encoding of a proposition.
+func PropBytes(p Prop) []byte {
+	var buf bytes.Buffer
+	if err := EncodeProp(&buf, p); err != nil {
+		panic("logic: impossible encode failure: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// PropHash returns a tagged hash of a proposition; assert! signatures
+// sign this digest (the signature covers only the proposition, so the
+// affirmation is portable across transactions — Section 4).
+func PropHash(p Prop) chainhash.Hash {
+	return chainhash.TaggedHash("typecoin/assert-persistent", PropBytes(p))
+}

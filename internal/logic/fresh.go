@@ -1,0 +1,167 @@
+package logic
+
+import (
+	"fmt"
+
+	"typecoin/internal/lf"
+)
+
+// The freshness check (Section 4, Bases; Appendix A): a transaction's
+// local basis and affine grant may not produce "restricted forms" —
+// non-local constants, the proposition 0, affirmations, and receipts.
+// Restricted forms may appear only where they are consumed (to the left
+// of a lolli) — "restricted forms can be consumed but not produced."
+//
+// Without this check a transaction could, for example, declare a
+// persistent constant of type <Alice>anything, forging Alice's
+// affirmation, or of type txid.prize, forging another contract's asset.
+
+// ErrNotFresh wraps freshness failures.
+type ErrNotFresh struct {
+	Form string
+}
+
+// Error describes the restricted form that blocked freshness.
+func (e *ErrNotFresh) Error() string {
+	return fmt.Sprintf("logic: freshness: restricted form %s in producible position", e.Form)
+}
+
+// FreshProp checks the judgement "A fresh".
+func FreshProp(p Prop) error {
+	switch p := p.(type) {
+	case PAtom:
+		// Atoms are fresh only when their head constant is this-local.
+		return freshFamilyHead(p.Fam)
+	case PLolli:
+		// B fresh / A -o B fresh: the antecedent is consumed, not
+		// produced, so it is unrestricted.
+		return FreshProp(p.B)
+	case PTensor:
+		if err := FreshProp(p.A); err != nil {
+			return err
+		}
+		return FreshProp(p.B)
+	case PWith:
+		if err := FreshProp(p.A); err != nil {
+			return err
+		}
+		return FreshProp(p.B)
+	case PPlus:
+		if err := FreshProp(p.A); err != nil {
+			return err
+		}
+		return FreshProp(p.B)
+	case PZero:
+		// 0 is a restricted form.
+		return &ErrNotFresh{Form: "0"}
+	case POne:
+		return nil
+	case PBang:
+		return FreshProp(p.A)
+	case PForall:
+		return FreshProp(p.Body)
+	case PExists:
+		// The existential hands out both an index-term witness and a
+		// proof of the body, so both must be fresh.
+		if err := FreshFamily(p.Ty); err != nil {
+			return err
+		}
+		return FreshProp(p.Body)
+	case PSays:
+		// Affirmations are restricted: only signatures create them.
+		return &ErrNotFresh{Form: fmt.Sprintf("affirmation <%s>", p.Prin)}
+	case PReceipt:
+		// Receipts are restricted: only actual outputs create them.
+		return &ErrNotFresh{Form: "receipt"}
+	case PIf:
+		// A conditional discharges to its body at top level, so the body
+		// must be fresh.
+		return FreshProp(p.Body)
+	default:
+		return fmt.Errorf("logic: unknown proposition %T", p)
+	}
+}
+
+// FreshFamily checks the judgement "tau fresh": an index type whose
+// inhabitants a transaction may mint. Its head constant must be local.
+func FreshFamily(f lf.Family) error {
+	switch f := f.(type) {
+	case lf.FConst:
+		if !f.Ref.IsLocal() {
+			return &ErrNotFresh{Form: "non-local constant " + f.Ref.String()}
+		}
+		return nil
+	case lf.FApp:
+		// tau m fresh when tau fresh.
+		return FreshFamily(f.Fam)
+	case lf.FPi:
+		// Pi x:tau. tau' fresh when tau' fresh (tau is an input).
+		return FreshFamily(f.Body)
+	default:
+		return fmt.Errorf("logic: unknown family %T", f)
+	}
+}
+
+// freshFamilyHead checks that an atom's head constant is this-local.
+func freshFamilyHead(f lf.Family) error {
+	for {
+		switch ff := f.(type) {
+		case lf.FConst:
+			if !ff.Ref.IsLocal() {
+				return &ErrNotFresh{Form: "non-local constant " + ff.Ref.String()}
+			}
+			return nil
+		case lf.FApp:
+			f = ff.Fam
+		default:
+			return fmt.Errorf("logic: atom head is %T, not a constant", f)
+		}
+	}
+}
+
+// FreshBasis checks the judgement "Sigma fresh": every declaration in the
+// local basis must be fresh for its sort. Family declarations are always
+// fresh (this.l fresh; declaring a new family never forges anything);
+// term declarations need their type fresh; proof declarations need their
+// proposition fresh.
+func FreshBasis(b *Basis) error {
+	for _, r := range b.LocalTermRefs() {
+		f, _ := b.LocalTerm(r)
+		if err := FreshFamily(f); err != nil {
+			return fmt.Errorf("declaration %s: %w", r, err)
+		}
+	}
+	for _, r := range b.LocalPropRefs() {
+		p, _ := b.LocalProp(r)
+		if err := FreshProp(p); err != nil {
+			return fmt.Errorf("declaration %s: %w", r, err)
+		}
+	}
+	// Family declarations: the paper's rule "Sigma, this.l:k fresh" has
+	// no premise beyond Sigma fresh — a new family constant is always
+	// fresh — but the declaration must still be this-local, which the
+	// transaction layer enforces (CheckLocalDecls).
+	return nil
+}
+
+// CheckLocalDecls verifies that every constant declared by the local
+// basis is this-relative: "a transaction's local basis may only declare
+// local constants."
+func CheckLocalDecls(b *Basis) error {
+	for _, r := range b.LocalFamRefs() {
+		if !r.IsLocal() {
+			return fmt.Errorf("logic: local basis declares non-local constant %s", r)
+		}
+	}
+	for _, r := range b.LocalTermRefs() {
+		if !r.IsLocal() {
+			return fmt.Errorf("logic: local basis declares non-local constant %s", r)
+		}
+	}
+	for _, r := range b.LocalPropRefs() {
+		if !r.IsLocal() {
+			return fmt.Errorf("logic: local basis declares non-local constant %s", r)
+		}
+	}
+	return nil
+}

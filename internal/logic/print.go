@@ -1,0 +1,136 @@
+package logic
+
+import (
+	"fmt"
+
+	"typecoin/internal/lf"
+)
+
+// Pretty printing of propositions and conditions, with ASCII spellings of
+// the paper's connectives: -o, *, &, +, !, all, some, <K>, receipt, if.
+
+// String renders the proposition.
+func (p PAtom) String() string    { return propString(p, nil, 0) }
+func (p PLolli) String() string   { return propString(p, nil, 0) }
+func (p PTensor) String() string  { return propString(p, nil, 0) }
+func (p PWith) String() string    { return propString(p, nil, 0) }
+func (p PPlus) String() string    { return propString(p, nil, 0) }
+func (p PZero) String() string    { return "0" }
+func (p POne) String() string     { return "1" }
+func (p PBang) String() string    { return propString(p, nil, 0) }
+func (p PForall) String() string  { return propString(p, nil, 0) }
+func (p PExists) String() string  { return propString(p, nil, 0) }
+func (p PSays) String() string    { return propString(p, nil, 0) }
+func (p PReceipt) String() string { return propString(p, nil, 0) }
+func (p PIf) String() string      { return propString(p, nil, 0) }
+
+// Precedence levels: lolli (1, right assoc) < plus (2) < with (3) <
+// tensor (4) < prefix forms (5).
+func propString(p Prop, names []string, prec int) string {
+	wrap := func(s string, level int) string {
+		if prec > level {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	switch p := p.(type) {
+	case PAtom:
+		return lf.FamilyString(p.Fam, names)
+	case PLolli:
+		return wrap(propString(p.A, names, 2)+" -o "+propString(p.B, names, 1), 1)
+	case PPlus:
+		return wrap(propString(p.A, names, 3)+" + "+propString(p.B, names, 2), 2)
+	case PWith:
+		return wrap(propString(p.A, names, 4)+" & "+propString(p.B, names, 3), 3)
+	case PTensor:
+		return wrap(propString(p.A, names, 5)+" * "+propString(p.B, names, 4), 4)
+	case PZero:
+		return "0"
+	case POne:
+		return "1"
+	case PBang:
+		return "!" + propString(p.A, names, 5)
+	case PForall:
+		hint := freshName(p.Hint, names)
+		return wrap(fmt.Sprintf("all %s:%s. %s", hint, lf.FamilyString(p.Ty, names),
+			propString(p.Body, append(names, hint), 1)), 1)
+	case PExists:
+		hint := freshName(p.Hint, names)
+		return wrap(fmt.Sprintf("some %s:%s. %s", hint, lf.FamilyString(p.Ty, names),
+			propString(p.Body, append(names, hint), 1)), 1)
+	case PSays:
+		return "<" + lf.TermString(p.Prin, names) + "> " + propString(p.Body, names, 5)
+	case PReceipt:
+		switch {
+		case p.Res != nil && p.Amount > 0:
+			return fmt.Sprintf("receipt(%s/%d ->> %s)",
+				propString(p.Res, names, 0), p.Amount, lf.TermString(p.To, names))
+		case p.Res != nil:
+			return fmt.Sprintf("receipt(%s ->> %s)",
+				propString(p.Res, names, 0), lf.TermString(p.To, names))
+		default:
+			return fmt.Sprintf("receipt(%d ->> %s)", p.Amount, lf.TermString(p.To, names))
+		}
+	case PIf:
+		return fmt.Sprintf("if(%s, %s)", condString(p.Cond, names), propString(p.Body, names, 0))
+	default:
+		return "?prop"
+	}
+}
+
+// String renders the condition.
+func (c CTrue) String() string   { return "true" }
+func (c CAnd) String() string    { return condString(c, nil) }
+func (c CNot) String() string    { return condString(c, nil) }
+func (c CBefore) String() string { return condString(c, nil) }
+func (c CSpent) String() string  { return condString(c, nil) }
+
+func condString(c Cond, names []string) string {
+	switch c := c.(type) {
+	case CTrue:
+		return "true"
+	case CAnd:
+		return fmt.Sprintf("%s /\\ %s", condAtomString(c.L, names), condAtomString(c.R, names))
+	case CNot:
+		return "~" + condAtomString(c.C, names)
+	case CBefore:
+		return fmt.Sprintf("before(%s)", lf.TermString(c.T, names))
+	case CSpent:
+		return fmt.Sprintf("spent(%s.%d)", c.Out.Hash, c.Out.Index)
+	default:
+		return "?cond"
+	}
+}
+
+func condAtomString(c Cond, names []string) string {
+	if _, ok := c.(CAnd); ok {
+		return "(" + condString(c, names) + ")"
+	}
+	return condString(c, names)
+}
+
+func freshName(hint string, names []string) string {
+	if hint == "" {
+		hint = "u"
+	}
+	for nameUsed(names, hint) {
+		hint += "'"
+	}
+	return hint
+}
+
+func nameUsed(names []string, s string) bool {
+	for _, n := range names {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+// PropString renders a proposition under a binder-name stack (used by
+// proof-term error messages).
+func PropString(p Prop, names []string) string { return propString(p, names, 0) }
+
+// CondString renders a condition under a binder-name stack.
+func CondString(c Cond, names []string) string { return condString(c, names) }

@@ -1,0 +1,236 @@
+// Package logic implements the propositions of the Typecoin logic (paper,
+// Figure 1): the connectives of dual intuitionistic affine logic (except
+// top), universal and existential quantification over LF index terms, the
+// affirmation modality <K>A, receipts, and the conditional monad if(phi,A)
+// of Section 5 (Figure 2) — together with proposition formation, the
+// freshness check, condition entailment, and condition evaluation.
+package logic
+
+import (
+	"fmt"
+
+	"typecoin/internal/lf"
+	"typecoin/internal/wire"
+)
+
+// Prop is a proposition of the Typecoin logic.
+type Prop interface {
+	isProp()
+	String() string
+}
+
+// PAtom is an atomic proposition: a type family of kind prop applied to
+// index terms (c m1 ... mi).
+type PAtom struct{ Fam lf.Family }
+
+// PLolli is affine implication A -o B.
+type PLolli struct{ A, B Prop }
+
+// PTensor is simultaneous conjunction A (x) B.
+type PTensor struct{ A, B Prop }
+
+// PWith is alternative conjunction (external choice) A & B.
+type PWith struct{ A, B Prop }
+
+// PPlus is disjunction A (+) B.
+type PPlus struct{ A, B Prop }
+
+// PZero is the impossible proposition 0 (a restricted form).
+type PZero struct{}
+
+// POne is the trivial proposition 1. Non-Typecoin txouts are taken to
+// have type 1 (Section 3).
+type POne struct{}
+
+// PBang is the exponential !A: as many copies of A as desired.
+type PBang struct{ A Prop }
+
+// PForall is universal quantification over an LF type.
+type PForall struct {
+	Hint string
+	Ty   lf.Family
+	Body Prop
+}
+
+// PExists is existential quantification over an LF type.
+type PExists struct {
+	Hint string
+	Ty   lf.Family
+	Body Prop
+}
+
+// PSays is the affirmation modality <m>A, "the principal m says A".
+type PSays struct {
+	Prin lf.Term
+	Body Prop
+}
+
+// PReceipt is receipt(A/n ->> K): evidence that a resource of type A and
+// n satoshi have been sent to principal K (Section 4, Receipts). Res may
+// be nil (pure bitcoin receipt) and Amount may be zero (pure resource
+// receipt).
+type PReceipt struct {
+	Res    Prop // may be nil
+	Amount int64
+	To     lf.Term
+}
+
+// PIf is the conditional monad if(phi, A) (Section 5): produces A only
+// after checking that phi holds at discharge time.
+type PIf struct {
+	Cond Cond
+	Body Prop
+}
+
+func (PAtom) isProp()    {}
+func (PLolli) isProp()   {}
+func (PTensor) isProp()  {}
+func (PWith) isProp()    {}
+func (PPlus) isProp()    {}
+func (PZero) isProp()    {}
+func (POne) isProp()     {}
+func (PBang) isProp()    {}
+func (PForall) isProp()  {}
+func (PExists) isProp()  {}
+func (PSays) isProp()    {}
+func (PReceipt) isProp() {}
+func (PIf) isProp()      {}
+
+// Constructors.
+
+// Atom builds an atomic proposition from a family constant applied to
+// index terms.
+func Atom(r lf.Ref, args ...lf.Term) Prop {
+	return PAtom{Fam: lf.FamApp(lf.FamConst(r), args...)}
+}
+
+// AtomF wraps an LF family as an atom.
+func AtomF(f lf.Family) Prop { return PAtom{Fam: f} }
+
+// Lolli builds A -o B, right-nested over multiple arguments:
+// Lolli(a, b, c) = a -o (b -o c).
+func Lolli(props ...Prop) Prop {
+	if len(props) == 0 {
+		panic("logic: Lolli needs at least one proposition")
+	}
+	out := props[len(props)-1]
+	for i := len(props) - 2; i >= 0; i-- {
+		out = PLolli{A: props[i], B: out}
+	}
+	return out
+}
+
+// Tensor builds left-nested A (x) B (x) ...
+func Tensor(props ...Prop) Prop {
+	if len(props) == 0 {
+		return POne{}
+	}
+	out := props[0]
+	for _, p := range props[1:] {
+		out = PTensor{A: out, B: p}
+	}
+	return out
+}
+
+// With builds A & B.
+func With(a, b Prop) Prop { return PWith{A: a, B: b} }
+
+// Plus builds A (+) B.
+func Plus(a, b Prop) Prop { return PPlus{A: a, B: b} }
+
+// Bang builds !A.
+func Bang(a Prop) Prop { return PBang{A: a} }
+
+// Forall builds the universal quantifier.
+func Forall(hint string, ty lf.Family, body Prop) Prop {
+	return PForall{Hint: hint, Ty: ty, Body: body}
+}
+
+// Exists builds the existential quantifier.
+func Exists(hint string, ty lf.Family, body Prop) Prop {
+	return PExists{Hint: hint, Ty: ty, Body: body}
+}
+
+// Says builds <m>A.
+func Says(prin lf.Term, body Prop) Prop { return PSays{Prin: prin, Body: body} }
+
+// Receipt builds receipt(A/n ->> K).
+func Receipt(res Prop, amount int64, to lf.Term) Prop {
+	return PReceipt{Res: res, Amount: amount, To: to}
+}
+
+// If builds if(phi, A).
+func If(cond Cond, body Prop) Prop { return PIf{Cond: cond, Body: body} }
+
+// One is the trivial proposition.
+var One Prop = POne{}
+
+// Zero is the impossible proposition.
+var Zero Prop = PZero{}
+
+// Cond is a condition phi (Figure 2): true, conjunction, negation, and
+// the primitive conditions before(t) and spent(txid.n).
+type Cond interface {
+	isCond()
+	String() string
+}
+
+// CTrue always holds.
+type CTrue struct{}
+
+// CAnd is conjunction.
+type CAnd struct{ L, R Cond }
+
+// CNot is negation. Negated spent conditions express revocability:
+// "Alice can revoke the offer at any time simply by spending I."
+type CNot struct{ C Cond }
+
+// CBefore holds when the transaction enters the chain before time T
+// (a nat-typed LF term, usually a literal).
+type CBefore struct{ T lf.Term }
+
+// CSpent holds when output Out.Index of transaction Out.Hash has been
+// spent.
+type CSpent struct{ Out wire.OutPoint }
+
+func (CTrue) isCond()   {}
+func (CAnd) isCond()    {}
+func (CNot) isCond()    {}
+func (CBefore) isCond() {}
+func (CSpent) isCond()  {}
+
+// True is the trivial condition.
+var True Cond = CTrue{}
+
+// And builds left-nested conjunctions.
+func And(conds ...Cond) Cond {
+	if len(conds) == 0 {
+		return CTrue{}
+	}
+	out := conds[0]
+	for _, c := range conds[1:] {
+		out = CAnd{L: out, R: c}
+	}
+	return out
+}
+
+// Not negates a condition.
+func Not(c Cond) Cond { return CNot{C: c} }
+
+// Before builds before(t) for a literal time.
+func Before(t uint64) Cond { return CBefore{T: lf.Nat(t)} }
+
+// BeforeTerm builds before(t) for an arbitrary nat-typed term.
+func BeforeTerm(t lf.Term) Cond { return CBefore{T: t} }
+
+// Spent builds spent(txid.n).
+func Spent(out wire.OutPoint) Cond { return CSpent{Out: out} }
+
+// Unspent is shorthand for the revocation idiom ~spent(txid.n).
+func Unspent(out wire.OutPoint) Cond { return CNot{C: CSpent{Out: out}} }
+
+// fmt-compatibility assertions.
+var (
+	_ fmt.Stringer = PAtom{}
+	_ fmt.Stringer = CTrue{}
+)

@@ -1,0 +1,289 @@
+package logic
+
+import "typecoin/internal/lf"
+
+// De Bruijn operations lifted to propositions and conditions: the LF
+// variables bound by PForall/PExists scope over the embedded index terms.
+
+// ShiftProp shifts free LF variables in p by d above the cutoff.
+func ShiftProp(p Prop, d, cutoff int) Prop {
+	switch p := p.(type) {
+	case PAtom:
+		return PAtom{Fam: lf.ShiftFamily(p.Fam, d, cutoff)}
+	case PLolli:
+		return PLolli{A: ShiftProp(p.A, d, cutoff), B: ShiftProp(p.B, d, cutoff)}
+	case PTensor:
+		return PTensor{A: ShiftProp(p.A, d, cutoff), B: ShiftProp(p.B, d, cutoff)}
+	case PWith:
+		return PWith{A: ShiftProp(p.A, d, cutoff), B: ShiftProp(p.B, d, cutoff)}
+	case PPlus:
+		return PPlus{A: ShiftProp(p.A, d, cutoff), B: ShiftProp(p.B, d, cutoff)}
+	case PZero, POne:
+		return p
+	case PBang:
+		return PBang{A: ShiftProp(p.A, d, cutoff)}
+	case PForall:
+		return PForall{Hint: p.Hint, Ty: lf.ShiftFamily(p.Ty, d, cutoff), Body: ShiftProp(p.Body, d, cutoff+1)}
+	case PExists:
+		return PExists{Hint: p.Hint, Ty: lf.ShiftFamily(p.Ty, d, cutoff), Body: ShiftProp(p.Body, d, cutoff+1)}
+	case PSays:
+		return PSays{Prin: lf.ShiftTerm(p.Prin, d, cutoff), Body: ShiftProp(p.Body, d, cutoff)}
+	case PReceipt:
+		out := PReceipt{Amount: p.Amount, To: lf.ShiftTerm(p.To, d, cutoff)}
+		if p.Res != nil {
+			out.Res = ShiftProp(p.Res, d, cutoff)
+		}
+		return out
+	case PIf:
+		return PIf{Cond: ShiftCond(p.Cond, d, cutoff), Body: ShiftProp(p.Body, d, cutoff)}
+	default:
+		panic("logic: unknown proposition")
+	}
+}
+
+// SubstProp substitutes s for LF variable idx in p.
+func SubstProp(p Prop, idx int, s lf.Term) Prop {
+	switch p := p.(type) {
+	case PAtom:
+		return PAtom{Fam: lf.SubstFamily(p.Fam, idx, s)}
+	case PLolli:
+		return PLolli{A: SubstProp(p.A, idx, s), B: SubstProp(p.B, idx, s)}
+	case PTensor:
+		return PTensor{A: SubstProp(p.A, idx, s), B: SubstProp(p.B, idx, s)}
+	case PWith:
+		return PWith{A: SubstProp(p.A, idx, s), B: SubstProp(p.B, idx, s)}
+	case PPlus:
+		return PPlus{A: SubstProp(p.A, idx, s), B: SubstProp(p.B, idx, s)}
+	case PZero, POne:
+		return p
+	case PBang:
+		return PBang{A: SubstProp(p.A, idx, s)}
+	case PForall:
+		return PForall{Hint: p.Hint, Ty: lf.SubstFamily(p.Ty, idx, s), Body: SubstProp(p.Body, idx+1, s)}
+	case PExists:
+		return PExists{Hint: p.Hint, Ty: lf.SubstFamily(p.Ty, idx, s), Body: SubstProp(p.Body, idx+1, s)}
+	case PSays:
+		return PSays{Prin: lf.SubstTerm(p.Prin, idx, s), Body: SubstProp(p.Body, idx, s)}
+	case PReceipt:
+		out := PReceipt{Amount: p.Amount, To: lf.SubstTerm(p.To, idx, s)}
+		if p.Res != nil {
+			out.Res = SubstProp(p.Res, idx, s)
+		}
+		return out
+	case PIf:
+		return PIf{Cond: SubstCond(p.Cond, idx, s), Body: SubstProp(p.Body, idx, s)}
+	default:
+		panic("logic: unknown proposition")
+	}
+}
+
+// ShiftCond shifts free LF variables in c.
+func ShiftCond(c Cond, d, cutoff int) Cond {
+	switch c := c.(type) {
+	case CTrue, CSpent:
+		return c
+	case CAnd:
+		return CAnd{L: ShiftCond(c.L, d, cutoff), R: ShiftCond(c.R, d, cutoff)}
+	case CNot:
+		return CNot{C: ShiftCond(c.C, d, cutoff)}
+	case CBefore:
+		return CBefore{T: lf.ShiftTerm(c.T, d, cutoff)}
+	default:
+		panic("logic: unknown condition")
+	}
+}
+
+// SubstCond substitutes s for LF variable idx in c.
+func SubstCond(c Cond, idx int, s lf.Term) Cond {
+	switch c := c.(type) {
+	case CTrue, CSpent:
+		return c
+	case CAnd:
+		return CAnd{L: SubstCond(c.L, idx, s), R: SubstCond(c.R, idx, s)}
+	case CNot:
+		return CNot{C: SubstCond(c.C, idx, s)}
+	case CBefore:
+		return CBefore{T: lf.SubstTerm(c.T, idx, s)}
+	default:
+		panic("logic: unknown condition")
+	}
+}
+
+// SubstRefProp rewrites this.l references to txid.l throughout p: the
+// [txid/this] substitution applied when a transaction enters the chain.
+func SubstRefProp(p Prop, txid lf.Ref) Prop {
+	switch p := p.(type) {
+	case PAtom:
+		return PAtom{Fam: lf.SubstRefFamily(p.Fam, txid)}
+	case PLolli:
+		return PLolli{A: SubstRefProp(p.A, txid), B: SubstRefProp(p.B, txid)}
+	case PTensor:
+		return PTensor{A: SubstRefProp(p.A, txid), B: SubstRefProp(p.B, txid)}
+	case PWith:
+		return PWith{A: SubstRefProp(p.A, txid), B: SubstRefProp(p.B, txid)}
+	case PPlus:
+		return PPlus{A: SubstRefProp(p.A, txid), B: SubstRefProp(p.B, txid)}
+	case PZero, POne:
+		return p
+	case PBang:
+		return PBang{A: SubstRefProp(p.A, txid)}
+	case PForall:
+		return PForall{Hint: p.Hint, Ty: lf.SubstRefFamily(p.Ty, txid), Body: SubstRefProp(p.Body, txid)}
+	case PExists:
+		return PExists{Hint: p.Hint, Ty: lf.SubstRefFamily(p.Ty, txid), Body: SubstRefProp(p.Body, txid)}
+	case PSays:
+		return PSays{Prin: lf.SubstRefTerm(p.Prin, txid), Body: SubstRefProp(p.Body, txid)}
+	case PReceipt:
+		out := PReceipt{Amount: p.Amount, To: lf.SubstRefTerm(p.To, txid)}
+		if p.Res != nil {
+			out.Res = SubstRefProp(p.Res, txid)
+		}
+		return out
+	case PIf:
+		return PIf{Cond: SubstRefCond(p.Cond, txid), Body: SubstRefProp(p.Body, txid)}
+	default:
+		panic("logic: unknown proposition")
+	}
+}
+
+// SubstRefCond rewrites this.l references in a condition.
+func SubstRefCond(c Cond, txid lf.Ref) Cond {
+	switch c := c.(type) {
+	case CTrue, CSpent:
+		return c
+	case CAnd:
+		return CAnd{L: SubstRefCond(c.L, txid), R: SubstRefCond(c.R, txid)}
+	case CNot:
+		return CNot{C: SubstRefCond(c.C, txid)}
+	case CBefore:
+		return CBefore{T: lf.SubstRefTerm(c.T, txid)}
+	default:
+		panic("logic: unknown condition")
+	}
+}
+
+// PropUsesVar reports whether LF variable idx occurs free in p.
+func PropUsesVar(p Prop, idx int) bool {
+	switch p := p.(type) {
+	case PAtom:
+		return lf.FamilyUsesVar(p.Fam, idx)
+	case PLolli:
+		return PropUsesVar(p.A, idx) || PropUsesVar(p.B, idx)
+	case PTensor:
+		return PropUsesVar(p.A, idx) || PropUsesVar(p.B, idx)
+	case PWith:
+		return PropUsesVar(p.A, idx) || PropUsesVar(p.B, idx)
+	case PPlus:
+		return PropUsesVar(p.A, idx) || PropUsesVar(p.B, idx)
+	case PZero, POne:
+		return false
+	case PBang:
+		return PropUsesVar(p.A, idx)
+	case PForall:
+		return lf.FamilyUsesVar(p.Ty, idx) || PropUsesVar(p.Body, idx+1)
+	case PExists:
+		return lf.FamilyUsesVar(p.Ty, idx) || PropUsesVar(p.Body, idx+1)
+	case PSays:
+		return lf.TermUsesVar(p.Prin, idx) || PropUsesVar(p.Body, idx)
+	case PReceipt:
+		if p.Res != nil && PropUsesVar(p.Res, idx) {
+			return true
+		}
+		return lf.TermUsesVar(p.To, idx)
+	case PIf:
+		return CondUsesVar(p.Cond, idx) || PropUsesVar(p.Body, idx)
+	default:
+		panic("logic: unknown proposition")
+	}
+}
+
+// CondUsesVar reports whether LF variable idx occurs free in c.
+func CondUsesVar(c Cond, idx int) bool {
+	switch c := c.(type) {
+	case CTrue, CSpent:
+		return false
+	case CAnd:
+		return CondUsesVar(c.L, idx) || CondUsesVar(c.R, idx)
+	case CNot:
+		return CondUsesVar(c.C, idx)
+	case CBefore:
+		return lf.TermUsesVar(c.T, idx)
+	default:
+		panic("logic: unknown condition")
+	}
+}
+
+// CollectPropRefs calls fn for every constant reference in p.
+func CollectPropRefs(p Prop, fn func(lf.Ref)) {
+	switch p := p.(type) {
+	case PAtom:
+		lf.CollectFamilyRefs(p.Fam, fn)
+	case PLolli:
+		CollectPropRefs(p.A, fn)
+		CollectPropRefs(p.B, fn)
+	case PTensor:
+		CollectPropRefs(p.A, fn)
+		CollectPropRefs(p.B, fn)
+	case PWith:
+		CollectPropRefs(p.A, fn)
+		CollectPropRefs(p.B, fn)
+	case PPlus:
+		CollectPropRefs(p.A, fn)
+		CollectPropRefs(p.B, fn)
+	case PZero, POne:
+	case PBang:
+		CollectPropRefs(p.A, fn)
+	case PForall:
+		lf.CollectFamilyRefs(p.Ty, fn)
+		CollectPropRefs(p.Body, fn)
+	case PExists:
+		lf.CollectFamilyRefs(p.Ty, fn)
+		CollectPropRefs(p.Body, fn)
+	case PSays:
+		lf.CollectRefs(p.Prin, fn)
+		CollectPropRefs(p.Body, fn)
+	case PReceipt:
+		if p.Res != nil {
+			CollectPropRefs(p.Res, fn)
+		}
+		lf.CollectRefs(p.To, fn)
+	case PIf:
+		CollectCondRefs(p.Cond, fn)
+		CollectPropRefs(p.Body, fn)
+	default:
+		panic("logic: unknown proposition")
+	}
+}
+
+// CollectCondRefs calls fn for every constant reference in c.
+func CollectCondRefs(c Cond, fn func(lf.Ref)) {
+	switch c := c.(type) {
+	case CTrue, CSpent:
+	case CAnd:
+		CollectCondRefs(c.L, fn)
+		CollectCondRefs(c.R, fn)
+	case CNot:
+		CollectCondRefs(c.C, fn)
+	case CBefore:
+		lf.CollectRefs(c.T, fn)
+	default:
+		panic("logic: unknown condition")
+	}
+}
+
+// CollectBasisRefs calls fn for every constant reference appearing in
+// this layer's declarations.
+func (b *Basis) CollectBasisRefs(fn func(lf.Ref)) {
+	for _, r := range b.LocalFamRefs() {
+		k, _ := b.LocalFam(r)
+		lf.CollectKindRefs(k, fn)
+	}
+	for _, r := range b.LocalTermRefs() {
+		f, _ := b.LocalTerm(r)
+		lf.CollectFamilyRefs(f, fn)
+	}
+	for _, r := range b.LocalPropRefs() {
+		p, _ := b.LocalProp(r)
+		CollectPropRefs(p, fn)
+	}
+}

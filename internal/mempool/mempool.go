@@ -1,0 +1,306 @@
+// Package mempool implements the transaction memory pool: the staging
+// area of unconfirmed transactions a node is willing to relay and mine.
+//
+// The pool enforces the relay policy the paper leans on in Section 3.3:
+// only transactions whose outputs use standard script schemas are
+// accepted, which is why Typecoin embeds its metadata in a standard
+// 1-of-2 multisig rather than a novel script.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"typecoin/internal/chain"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/script"
+	"typecoin/internal/wire"
+)
+
+// Policy errors.
+var (
+	ErrAlreadyKnown   = errors.New("mempool: transaction already in pool")
+	ErrNonStandard    = errors.New("mempool: non-standard transaction")
+	ErrPoolConflict   = errors.New("mempool: double-spends a pooled transaction")
+	ErrOrphanTx       = errors.New("mempool: references unknown outputs")
+	ErrFeeTooLow      = errors.New("mempool: fee below relay minimum")
+	ErrCoinbaseInPool = errors.New("mempool: coinbase transactions are not relayable")
+)
+
+// DefaultMinRelayFee is the minimum fee in satoshi per transaction. The
+// paper cites a typical fee of 0.0005 BTC (Section 3.2); experiment E2
+// uses this constant as the per-transaction cost that batch mode
+// amortizes.
+const DefaultMinRelayFee = 50_000 // 0.0005 BTC in satoshi
+
+// poolTx is one pooled transaction with cached metadata.
+type poolTx struct {
+	tx   *wire.MsgTx
+	fee  int64
+	size int
+	seq  uint64 // admission order, for stable tie-breaking
+}
+
+// Pool is a transaction memory pool bound to a Chain. All methods are
+// safe for concurrent use.
+type Pool struct {
+	chain       *chain.Chain
+	minRelayFee int64
+
+	mu      sync.RWMutex
+	pool    map[chainhash.Hash]*poolTx
+	spends  map[wire.OutPoint]chainhash.Hash // outpoint -> pooled spender
+	nextSeq uint64
+}
+
+// New creates a pool. A negative minRelayFee selects the default.
+func New(c *chain.Chain, minRelayFee int64) *Pool {
+	if minRelayFee < 0 {
+		minRelayFee = DefaultMinRelayFee
+	}
+	p := &Pool{
+		chain:       c,
+		minRelayFee: minRelayFee,
+		pool:        make(map[chainhash.Hash]*poolTx),
+		spends:      make(map[wire.OutPoint]chainhash.Hash),
+	}
+	c.Subscribe(p.onChainChange)
+	return p
+}
+
+// Accept validates tx against the chain and pool policy and admits it.
+// It returns the transaction's fee.
+func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
+	if tx.IsCoinBase() {
+		return 0, ErrCoinbaseInPool
+	}
+	if err := chain.CheckTransactionSanity(tx); err != nil {
+		return 0, err
+	}
+	for _, out := range tx.TxOut {
+		if !script.IsStandard(out.PkScript) {
+			return 0, fmt.Errorf("%w: output script %s", ErrNonStandard,
+				script.Disassemble(out.PkScript))
+		}
+	}
+	for _, in := range tx.TxIn {
+		if !script.IsPushOnly(in.SignatureScript) {
+			return 0, fmt.Errorf("%w: input script not push-only", ErrNonStandard)
+		}
+	}
+
+	txid := tx.TxHash()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pool[txid]; ok {
+		return 0, ErrAlreadyKnown
+	}
+
+	// Build the input view: confirmed UTXOs plus outputs of pooled
+	// transactions (chained unconfirmed spends are allowed), minus
+	// anything a pooled transaction already spends.
+	var totalIn int64
+	for _, in := range tx.TxIn {
+		if spender, ok := p.spends[in.PreviousOutPoint]; ok {
+			return 0, fmt.Errorf("%w: %v already spent by %s", ErrPoolConflict,
+				in.PreviousOutPoint, spender)
+		}
+		value, pkScript, err := p.lookupOutputLocked(in.PreviousOutPoint)
+		if err != nil {
+			return 0, err
+		}
+		totalIn += value
+		_ = pkScript
+	}
+	var totalOut int64
+	for _, out := range tx.TxOut {
+		totalOut += out.Value
+	}
+	if totalIn < totalOut {
+		return 0, fmt.Errorf("%w: in %d < out %d", chain.ErrInsufficientFee, totalIn, totalOut)
+	}
+	fee := totalIn - totalOut
+	if fee < p.minRelayFee {
+		return 0, fmt.Errorf("%w: fee %d < %d", ErrFeeTooLow, fee, p.minRelayFee)
+	}
+
+	// Verify every input script.
+	for i, in := range tx.TxIn {
+		_, pkScript, err := p.lookupOutputLocked(in.PreviousOutPoint)
+		if err != nil {
+			return 0, err
+		}
+		if err := script.VerifyInput(tx, i, pkScript); err != nil {
+			return 0, err
+		}
+	}
+
+	p.pool[txid] = &poolTx{tx: tx, fee: fee, size: tx.SerializeSize(), seq: p.nextSeq}
+	p.nextSeq++
+	for _, in := range tx.TxIn {
+		p.spends[in.PreviousOutPoint] = txid
+	}
+	return fee, nil
+}
+
+// lookupOutputLocked resolves an outpoint against the chain UTXO table or
+// a pooled transaction's outputs.
+func (p *Pool) lookupOutputLocked(op wire.OutPoint) (int64, []byte, error) {
+	if entry := p.chain.LookupUtxo(op); entry != nil {
+		return entry.Out.Value, entry.Out.PkScript, nil
+	}
+	if ptx, ok := p.pool[op.Hash]; ok {
+		if int(op.Index) < len(ptx.tx.TxOut) {
+			out := ptx.tx.TxOut[op.Index]
+			return out.Value, out.PkScript, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: %v", ErrOrphanTx, op)
+}
+
+// Have reports whether txid is pooled.
+func (p *Pool) Have(txid chainhash.Hash) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.pool[txid]
+	return ok
+}
+
+// Tx returns a pooled transaction.
+func (p *Pool) Tx(txid chainhash.Hash) (*wire.MsgTx, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ptx, ok := p.pool[txid]
+	if !ok {
+		return nil, false
+	}
+	return ptx.tx, true
+}
+
+// Size returns the number of pooled transactions.
+func (p *Pool) Size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pool)
+}
+
+// MiningCandidates returns pooled transactions in fee-rate order (ties by
+// admission order), respecting in-pool dependencies: a transaction never
+// precedes one of its pooled ancestors.
+func (p *Pool) MiningCandidates(maxTxs int) []*wire.MsgTx {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ptxs := make([]*poolTx, 0, len(p.pool))
+	for _, ptx := range p.pool {
+		ptxs = append(ptxs, ptx)
+	}
+	sort.Slice(ptxs, func(i, j int) bool {
+		// Fee rate comparison via cross-multiplication to avoid floats.
+		fi := ptxs[i].fee * int64(ptxs[j].size)
+		fj := ptxs[j].fee * int64(ptxs[i].size)
+		if fi != fj {
+			return fi > fj
+		}
+		return ptxs[i].seq < ptxs[j].seq
+	})
+
+	// Emit in dependency order.
+	emitted := make(map[chainhash.Hash]bool, len(ptxs))
+	var out []*wire.MsgTx
+	var emit func(ptx *poolTx)
+	emit = func(ptx *poolTx) {
+		txid := ptx.tx.TxHash()
+		if emitted[txid] || len(out) >= maxTxs {
+			return
+		}
+		// Pull in pooled parents first.
+		for _, in := range ptx.tx.TxIn {
+			if parent, ok := p.pool[in.PreviousOutPoint.Hash]; ok {
+				emit(parent)
+			}
+		}
+		if len(out) < maxTxs && !emitted[txid] {
+			emitted[txid] = true
+			out = append(out, ptx.tx)
+		}
+	}
+	for _, ptx := range ptxs {
+		emit(ptx)
+	}
+	return out
+}
+
+// onChainChange reconciles the pool with main-chain changes: confirmed
+// transactions leave the pool, and transactions from disconnected blocks
+// are re-admitted when still valid.
+func (p *Pool) onChainChange(n chain.Notification) {
+	if n.Connected {
+		p.mu.Lock()
+		for _, tx := range n.Block.Transactions {
+			p.removeLocked(tx.TxHash())
+			// Evict anything that now conflicts with a confirmed spend.
+			for _, in := range tx.TxIn {
+				if spender, ok := p.spends[in.PreviousOutPoint]; ok {
+					p.removeLocked(spender)
+				}
+			}
+		}
+		p.mu.Unlock()
+		return
+	}
+	// Disconnected block: try to put its transactions back.
+	for _, tx := range n.Block.Transactions {
+		if tx.IsCoinBase() {
+			continue
+		}
+		// Best effort; conflicts with the new chain are simply dropped.
+		_, err := p.Accept(tx)
+		_ = err
+	}
+}
+
+// removeLocked removes txid and its spend claims, and recursively evicts
+// descendants that spent its outputs.
+func (p *Pool) removeLocked(txid chainhash.Hash) {
+	ptx, ok := p.pool[txid]
+	if !ok {
+		return
+	}
+	delete(p.pool, txid)
+	for _, in := range ptx.tx.TxIn {
+		if p.spends[in.PreviousOutPoint] == txid {
+			delete(p.spends, in.PreviousOutPoint)
+		}
+	}
+	for i := range ptx.tx.TxOut {
+		op := wire.OutPoint{Hash: txid, Index: uint32(i)}
+		if child, ok := p.spends[op]; ok {
+			p.removeLocked(child)
+		}
+	}
+}
+
+// Remove evicts a transaction (and dependents) from the pool.
+func (p *Pool) Remove(txid chainhash.Hash) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.removeLocked(txid)
+}
+
+// TxIDs returns the pooled transaction ids in admission order.
+func (p *Pool) TxIDs() []chainhash.Hash {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ptxs := make([]*poolTx, 0, len(p.pool))
+	for _, ptx := range p.pool {
+		ptxs = append(ptxs, ptx)
+	}
+	sort.Slice(ptxs, func(i, j int) bool { return ptxs[i].seq < ptxs[j].seq })
+	ids := make([]chainhash.Hash, len(ptxs))
+	for i, ptx := range ptxs {
+		ids[i] = ptx.tx.TxHash()
+	}
+	return ids
+}

@@ -1,0 +1,507 @@
+package p2p
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"typecoin/internal/chain"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/mempool"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wire"
+)
+
+// Node is one network participant: a chain, a mempool, and a set of
+// peers it gossips with.
+type Node struct {
+	chain  *chain.Chain
+	pool   *mempool.Pool
+	ledger *typecoin.Ledger // optional: enables typecoin gossip
+	magic  uint32
+	logger *log.Logger
+
+	mu       sync.Mutex
+	peers    map[int]*Peer
+	nextID   int
+	listener net.Listener
+	wg       sync.WaitGroup
+	stopped  bool
+}
+
+// NewNode creates a node over an existing chain and pool. logger may be
+// nil to disable logging.
+func NewNode(c *chain.Chain, pool *mempool.Pool, logger *log.Logger) *Node {
+	n := &Node{
+		chain:  c,
+		pool:   pool,
+		magic:  c.Params().Magic,
+		logger: logger,
+		peers:  make(map[int]*Peer),
+	}
+	c.Subscribe(n.onChainChange)
+	return n
+}
+
+func (n *Node) logf(format string, args ...interface{}) {
+	if n.logger != nil {
+		n.logger.Printf(format, args...)
+	}
+}
+
+// Chain returns the node's chain.
+func (n *Node) Chain() *chain.Chain { return n.chain }
+
+// SetLedger attaches a Typecoin ledger; the node then relays Typecoin
+// transactions, fallback lists and batches to its peers, and announces
+// received ones to the ledger. The Bitcoin layer is unaffected: carriers
+// still commit only to hashes.
+func (n *Node) SetLedger(l *typecoin.Ledger) { n.ledger = l }
+
+// Ledger returns the attached Typecoin ledger, if any.
+func (n *Node) Ledger() *typecoin.Ledger { return n.ledger }
+
+// Pool returns the node's mempool.
+func (n *Node) Pool() *mempool.Pool { return n.pool }
+
+// PeerCount returns the number of live peers.
+func (n *Node) PeerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
+}
+
+// addConn starts the message loops for a new connection.
+func (n *Node) addConn(conn net.Conn) *Peer {
+	n.mu.Lock()
+	id := n.nextID
+	n.nextID++
+	p := newPeer(n, conn, id)
+	n.peers[id] = p
+	n.mu.Unlock()
+
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		n.writeLoop(p)
+	}()
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(p)
+	}()
+
+	// Handshake: announce our version; the peer replies verack and both
+	// sides then exchange locators to sync.
+	if err := p.send(wire.CmdVersion, nil); err != nil {
+		n.logf("peer %d: version send: %v", id, err)
+	}
+	return p
+}
+
+func (n *Node) dropPeer(p *Peer) {
+	n.mu.Lock()
+	delete(n.peers, p.id)
+	n.mu.Unlock()
+}
+
+// ConnectPipe wires two in-process nodes together with a synchronous
+// duplex pipe, as used by the regtest network simulation.
+func ConnectPipe(a, b *Node) {
+	ca, cb := net.Pipe()
+	a.addConn(ca)
+	b.addConn(cb)
+}
+
+// Listen begins accepting TCP connections on addr. It returns the bound
+// address (useful with ":0").
+func (n *Node) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("p2p: listen: %w", err)
+	}
+	n.mu.Lock()
+	n.listener = l
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			n.addConn(conn)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// Dial connects to a remote node over TCP.
+func (n *Node) Dial(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("p2p: dial %s: %w", addr, err)
+	}
+	n.addConn(conn)
+	return nil
+}
+
+// Stop closes the listener and all peers and waits for loops to exit.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	l := n.listener
+	peers := make([]*Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, p := range peers {
+		p.close()
+	}
+	n.wg.Wait()
+}
+
+func (n *Node) writeLoop(p *Peer) {
+	for {
+		select {
+		case msg := <-p.sendCh:
+			if err := wire.WriteMessage(p.conn, n.magic, &wire.Message{
+				Command: msg.command, Payload: msg.payload,
+			}); err != nil {
+				p.close()
+				return
+			}
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (n *Node) readLoop(p *Peer) {
+	defer p.close()
+	for {
+		msg, err := wire.ReadMessage(p.conn, n.magic)
+		if err != nil {
+			return
+		}
+		if err := n.handleMessage(p, msg); err != nil {
+			n.logf("peer %d: %s: %v", p.id, msg.Command, err)
+			return
+		}
+	}
+}
+
+func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
+	switch msg.Command {
+	case wire.CmdVersion:
+		p.mu.Lock()
+		p.handshaken = true
+		p.mu.Unlock()
+		if err := p.send(wire.CmdVerAck, nil); err != nil {
+			return err
+		}
+		// Start initial block download from this peer.
+		return p.send(wire.CmdGetBlocks, wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash))
+
+	case wire.CmdVerAck, wire.CmdPong:
+		return nil
+
+	case wire.CmdPing:
+		return p.send(wire.CmdPong, msg.Payload)
+
+	case wire.CmdGetBlocks:
+		locator, _, err := wire.DecodeLocator(msg.Payload)
+		if err != nil {
+			return err
+		}
+		blocks := n.chain.BlocksAfter(locator, 500)
+		if len(blocks) == 0 {
+			return nil
+		}
+		invs := make([]wire.InvVect, len(blocks))
+		for i, blk := range blocks {
+			invs[i] = wire.InvVect{Type: wire.InvTypeBlock, Hash: blk.BlockHash()}
+		}
+		return p.send(wire.CmdInv, wire.EncodeInv(invs))
+
+	case wire.CmdInv:
+		invs, err := wire.DecodeInv(msg.Payload)
+		if err != nil {
+			return err
+		}
+		var want []wire.InvVect
+		for _, iv := range invs {
+			p.markKnown(iv.Type, iv.Hash)
+			switch iv.Type {
+			case wire.InvTypeBlock:
+				if !n.chain.HaveBlock(iv.Hash) {
+					want = append(want, iv)
+				}
+			case wire.InvTypeTx:
+				if !n.pool.Have(iv.Hash) {
+					if _, onChain := n.chain.TxByID(iv.Hash); !onChain {
+						want = append(want, iv)
+					}
+				}
+			}
+		}
+		if len(want) == 0 {
+			return nil
+		}
+		return p.send(wire.CmdGetData, wire.EncodeInv(want))
+
+	case wire.CmdGetData:
+		invs, err := wire.DecodeInv(msg.Payload)
+		if err != nil {
+			return err
+		}
+		for _, iv := range invs {
+			switch iv.Type {
+			case wire.InvTypeBlock:
+				if blk, ok := n.chain.BlockByHash(iv.Hash); ok {
+					if err := p.send(wire.CmdBlock, blk.Bytes()); err != nil {
+						return err
+					}
+				}
+			case wire.InvTypeTx:
+				if tx, ok := n.pool.Tx(iv.Hash); ok {
+					if err := p.send(wire.CmdTx, tx.Bytes()); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+
+	case wire.CmdBlock:
+		var blk wire.MsgBlock
+		if err := blk.Deserialize(bytes.NewReader(msg.Payload)); err != nil {
+			return err
+		}
+		hash := blk.BlockHash()
+		p.markKnown(wire.InvTypeBlock, hash)
+		status, err := n.chain.ProcessBlock(&blk)
+		if err != nil {
+			n.logf("peer %d: block %s rejected: %v", p.id, hash, err)
+			return nil // a bad block does not kill the connection
+		}
+		if status == chain.StatusMainChain || status == chain.StatusSideChain {
+			// Keep pulling if the peer has more (batch sync).
+			if err := p.send(wire.CmdGetBlocks,
+				wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case wire.CmdTx:
+		var tx wire.MsgTx
+		if err := tx.Deserialize(bytes.NewReader(msg.Payload)); err != nil {
+			return err
+		}
+		txid := tx.TxHash()
+		p.markKnown(wire.InvTypeTx, txid)
+		if _, err := n.pool.Accept(&tx); err != nil {
+			n.logf("peer %d: tx %s rejected: %v", p.id, txid, err)
+			return nil
+		}
+		n.announce(wire.InvVect{Type: wire.InvTypeTx, Hash: txid}, p)
+		return nil
+
+	case wire.CmdTcTx, wire.CmdTcList, wire.CmdTcBatch:
+		if n.ledger == nil {
+			return nil // not participating in the overlay
+		}
+		h, err := n.acceptTypecoin(msg.Command, msg.Payload)
+		if err != nil {
+			n.logf("peer %d: %s rejected: %v", p.id, msg.Command, err)
+			return nil
+		}
+		p.markKnown(invTypeTypecoin, h)
+		n.gossipTypecoin(msg.Command, msg.Payload, h, p)
+		return nil
+
+	default:
+		n.logf("peer %d: unknown command %q", p.id, msg.Command)
+		return nil
+	}
+}
+
+// invTypeTypecoin is the peer-known-set namespace for overlay gossip.
+const invTypeTypecoin uint32 = 0x7c
+
+// acceptTypecoin decodes and announces an overlay object, returning its
+// commitment hash for gossip dedup.
+func (n *Node) acceptTypecoin(command string, payload []byte) (chainhash.Hash, error) {
+	switch command {
+	case wire.CmdTcTx:
+		tx, err := typecoin.DecodeBytes(payload)
+		if err != nil {
+			return chainhash.Hash{}, err
+		}
+		n.ledger.Announce(tx)
+		return tx.Hash(), nil
+	case wire.CmdTcList:
+		r := bytes.NewReader(payload)
+		count, err := wire.ReadVarInt(r)
+		if err != nil {
+			return chainhash.Hash{}, err
+		}
+		if count == 0 || count > 64 {
+			return chainhash.Hash{}, fmt.Errorf("p2p: implausible fallback list length %d", count)
+		}
+		list := &typecoin.FallbackList{}
+		for i := uint64(0); i < count; i++ {
+			raw, err := wire.ReadVarBytes(r, "fallback member")
+			if err != nil {
+				return chainhash.Hash{}, err
+			}
+			tx, err := typecoin.DecodeBytes(raw)
+			if err != nil {
+				return chainhash.Hash{}, err
+			}
+			list.Txs = append(list.Txs, tx)
+		}
+		if r.Len() != 0 {
+			return chainhash.Hash{}, fmt.Errorf("p2p: trailing bytes after fallback list")
+		}
+		if err := list.Validate(); err != nil {
+			return chainhash.Hash{}, err
+		}
+		n.ledger.AnnounceList(list)
+		return list.Hash(), nil
+	case wire.CmdTcBatch:
+		r := bytes.NewReader(payload)
+		b, err := typecoin.DecodeBatch(r)
+		if err != nil {
+			return chainhash.Hash{}, err
+		}
+		if r.Len() != 0 {
+			return chainhash.Hash{}, fmt.Errorf("p2p: trailing bytes after batch")
+		}
+		n.ledger.AnnounceBatch(b)
+		return b.Hash(), nil
+	default:
+		return chainhash.Hash{}, fmt.Errorf("p2p: unknown overlay command %q", command)
+	}
+}
+
+// gossipTypecoin forwards an overlay payload to all peers except the
+// source, deduplicating per peer.
+func (n *Node) gossipTypecoin(command string, payload []byte, h chainhash.Hash, except *Peer) {
+	n.mu.Lock()
+	peers := make([]*Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p != except {
+			peers = append(peers, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		if p.markKnown(invTypeTypecoin, h) {
+			if err := p.send(command, payload); err != nil {
+				n.logf("typecoin gossip to peer %d: %v", p.id, err)
+			}
+		}
+	}
+}
+
+// BroadcastTypecoinTx announces a Typecoin transaction locally and
+// gossips it to the overlay.
+func (n *Node) BroadcastTypecoinTx(tx *typecoin.Tx) {
+	if n.ledger != nil {
+		n.ledger.Announce(tx)
+	}
+	n.gossipTypecoin(wire.CmdTcTx, tx.Bytes(), tx.Hash(), nil)
+}
+
+// BroadcastTypecoinList announces a fallback list and gossips it.
+func (n *Node) BroadcastTypecoinList(list *typecoin.FallbackList) error {
+	if err := list.Validate(); err != nil {
+		return err
+	}
+	if n.ledger != nil {
+		n.ledger.AnnounceList(list)
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteVarInt(&buf, uint64(len(list.Txs))); err != nil {
+		return err
+	}
+	for _, tx := range list.Txs {
+		if err := wire.WriteVarBytes(&buf, tx.Bytes()); err != nil {
+			return err
+		}
+	}
+	n.gossipTypecoin(wire.CmdTcList, buf.Bytes(), list.Hash(), nil)
+	return nil
+}
+
+// BroadcastTypecoinBatch announces a batch and gossips it.
+func (n *Node) BroadcastTypecoinBatch(b *typecoin.Batch) {
+	if n.ledger != nil {
+		n.ledger.AnnounceBatch(b)
+	}
+	n.gossipTypecoin(wire.CmdTcBatch, b.Bytes(), b.Hash(), nil)
+}
+
+// announce gossips an inventory item to all peers except the source.
+func (n *Node) announce(iv wire.InvVect, except *Peer) {
+	n.mu.Lock()
+	peers := make([]*Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p != except {
+			peers = append(peers, p)
+		}
+	}
+	n.mu.Unlock()
+	payload := wire.EncodeInv([]wire.InvVect{iv})
+	for _, p := range peers {
+		if p.markKnown(iv.Type, iv.Hash) {
+			if err := p.send(wire.CmdInv, payload); err != nil {
+				n.logf("announce to peer %d: %v", p.id, err)
+			}
+		}
+	}
+}
+
+// BroadcastTx submits a transaction locally and announces it.
+func (n *Node) BroadcastTx(tx *wire.MsgTx) error {
+	txid := tx.TxHash()
+	if !n.pool.Have(txid) {
+		if _, err := n.pool.Accept(tx); err != nil {
+			return err
+		}
+	}
+	n.announce(wire.InvVect{Type: wire.InvTypeTx, Hash: txid}, nil)
+	return nil
+}
+
+// BroadcastBlock submits a block locally and announces it (used by
+// miners).
+func (n *Node) BroadcastBlock(blk *wire.MsgBlock) error {
+	status, err := n.chain.ProcessBlock(blk)
+	if err != nil {
+		return err
+	}
+	if status == chain.StatusMainChain || status == chain.StatusSideChain {
+		n.announce(wire.InvVect{Type: wire.InvTypeBlock, Hash: blk.BlockHash()}, nil)
+	}
+	return nil
+}
+
+// onChainChange announces newly connected main-chain blocks.
+func (n *Node) onChainChange(ev chain.Notification) {
+	if ev.Connected {
+		n.announce(wire.InvVect{Type: wire.InvTypeBlock, Hash: ev.Block.BlockHash()}, nil)
+	}
+}

@@ -1,0 +1,109 @@
+// Package p2p implements the peer-to-peer network layer: nodes exchange
+// inventory announcements, transactions and blocks over duplex byte
+// streams (net.Pipe in-process for deterministic tests and simulations,
+// TCP between real processes), using the framed message envelope from the
+// wire package.
+//
+// This supplies the "peer-to-peer" half of the paper's title: Typecoin
+// inherits commitment from a network of mutually untrusting nodes that
+// all enforce the chain rules locally.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Peer is one connected neighbor. Writes are serialized through a queue;
+// the read loop runs in its own goroutine.
+type Peer struct {
+	node *Node
+	conn io.ReadWriteCloser
+	id   int
+
+	sendCh chan *queuedMsg
+	done   chan struct{}
+
+	mu         sync.Mutex
+	handshaken bool
+	closed     bool
+
+	// known tracks inventory we have seen from or announced to this
+	// peer, to damp gossip echo.
+	known map[invKey]bool
+}
+
+type invKey struct {
+	typ  uint32
+	hash [32]byte
+}
+
+type queuedMsg struct {
+	command string
+	payload []byte
+}
+
+// errPeerClosed reports writes to a closed peer.
+var errPeerClosed = errors.New("p2p: peer closed")
+
+func newPeer(n *Node, conn io.ReadWriteCloser, id int) *Peer {
+	return &Peer{
+		node:   n,
+		conn:   conn,
+		id:     id,
+		sendCh: make(chan *queuedMsg, 256),
+		done:   make(chan struct{}),
+		known:  make(map[invKey]bool),
+	}
+}
+
+// send queues a message; it drops the peer when the queue is full for
+// too long (slow consumer).
+func (p *Peer) send(command string, payload []byte) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return errPeerClosed
+	}
+	select {
+	case p.sendCh <- &queuedMsg{command, payload}:
+		return nil
+	case <-p.done:
+		return errPeerClosed
+	case <-time.After(5 * time.Second):
+		p.close()
+		return fmt.Errorf("p2p: peer %d send queue stalled", p.id)
+	}
+}
+
+func (p *Peer) markKnown(typ uint32, hash [32]byte) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := invKey{typ, hash}
+	if p.known[k] {
+		return false
+	}
+	// Bound the memory of the known-set.
+	if len(p.known) > 50000 {
+		p.known = make(map[invKey]bool)
+	}
+	p.known[k] = true
+	return true
+}
+
+func (p *Peer) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	p.conn.Close()
+	p.node.dropPeer(p)
+}

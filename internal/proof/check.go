@@ -1,0 +1,540 @@
+package proof
+
+import (
+	"fmt"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+)
+
+// Signature digests. An affine assert signs the proposition together with
+// the enclosing transaction minus its proof term ("sig signs essentially
+// the entire transaction in which it appears"); a persistent assert!
+// signs the proposition alone.
+
+// AffineAssertDigest is the digest an assert signature must cover.
+func AffineAssertDigest(p logic.Prop, txPayload []byte) chainhash.Hash {
+	body := append(logic.PropBytes(p), txPayload...)
+	return chainhash.TaggedHash("typecoin/assert", body)
+}
+
+// PersistentAssertDigest is the digest an assert! signature must cover.
+func PersistentAssertDigest(p logic.Prop) chainhash.Hash {
+	return chainhash.TaggedHash("typecoin/assert!", logic.PropBytes(p))
+}
+
+// SignAffine produces an assert signature bound to a transaction payload.
+func SignAffine(key *bkey.PrivateKey, p logic.Prop, txPayload []byte) (*bkey.Signature, error) {
+	d := AffineAssertDigest(p, txPayload)
+	return key.Sign(d[:])
+}
+
+// SignPersistent produces an assert! signature.
+func SignPersistent(key *bkey.PrivateKey, p logic.Prop) (*bkey.Signature, error) {
+	d := PersistentAssertDigest(p)
+	return key.Sign(d[:])
+}
+
+// checker state and the panic/recover error idiom (matching lf).
+
+type proofError struct{ err error }
+
+func pfail(format string, args ...interface{}) {
+	panic(&proofError{fmt.Errorf("proof: "+format, args...)})
+}
+
+func pcatch(err *error) {
+	if r := recover(); r != nil {
+		pe, ok := r.(*proofError)
+		if !ok {
+			panic(r)
+		}
+		*err = pe.err
+	}
+}
+
+// hyp is one hypothesis. Propositions are stored with the LF depth at
+// which they were bound; lookups shift them into the current LF context.
+type hyp struct {
+	id         int
+	prop       logic.Prop
+	depth      int // LF context depth at binding time
+	persistent bool
+}
+
+// used tracks which affine hypothesis ids a subterm consumed.
+type used map[int]bool
+
+func (u used) clone() used {
+	out := make(used, len(u))
+	for k := range u {
+		out[k] = true
+	}
+	return out
+}
+
+// disjointUnion merges consumption sets, failing if a resource is
+// consumed by both subterms: the affine context splits, it does not
+// duplicate.
+func disjointUnion(a, b used, what string) used {
+	out := a.clone()
+	for k := range b {
+		if out[k] {
+			pfail("affine resource consumed twice in %s", what)
+		}
+		out[k] = true
+	}
+	return out
+}
+
+// union merges consumption sets where sharing is allowed (& introduction
+// and case branches: only one alternative will run, but a resource
+// consumed by either is no longer available outside).
+func union(a, b used) used {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+type checker struct {
+	basis     *logic.Basis
+	txPayload []byte // transaction-minus-proof bytes for affine asserts
+	nextID    int
+}
+
+// env is the lexical environment: proof variables and the LF context.
+type env struct {
+	vars  map[string]hyp
+	lfCtx lf.Ctx
+}
+
+func (e env) bind(c *checker, name string, p logic.Prop, persistent bool) (env, int) {
+	id := c.nextID
+	c.nextID++
+	vars := make(map[string]hyp, len(e.vars)+1)
+	for k, v := range e.vars {
+		vars[k] = v
+	}
+	vars[name] = hyp{id: id, prop: p, depth: len(e.lfCtx), persistent: persistent}
+	return env{vars: vars, lfCtx: e.lfCtx}, id
+}
+
+func (e env) pushLF(ty lf.Family) env {
+	return env{vars: e.vars, lfCtx: e.lfCtx.Push(ty)}
+}
+
+// lookup returns the hypothesis shifted into the current LF depth.
+func (e env) lookup(name string) (hyp, logic.Prop, bool) {
+	h, ok := e.vars[name]
+	if !ok {
+		return hyp{}, nil, false
+	}
+	p := h.prop
+	if d := len(e.lfCtx) - h.depth; d > 0 {
+		p = logic.ShiftProp(p, d, 0)
+	}
+	return h, p, true
+}
+
+// mustEqual asserts definitional equality of propositions.
+func mustEqual(got, want logic.Prop, what string) {
+	eq, err := logic.PropEqual(got, want)
+	if err != nil {
+		pfail("%s: comparing types: %v", what, err)
+	}
+	if !eq {
+		pfail("%s: has type %s, want %s", what, got, want)
+	}
+}
+
+// infer computes the type of M and the set of affine hypotheses it
+// consumed. All proof terms carry enough annotations to be inferable.
+func (c *checker) infer(e env, m Term) (logic.Prop, used) {
+	switch m := m.(type) {
+	case Var:
+		h, p, ok := e.lookup(m.Name)
+		if !ok {
+			pfail("unbound variable %s", m.Name)
+		}
+		if h.persistent {
+			return p, used{}
+		}
+		return p, used{h.id: true}
+
+	case Const:
+		p, ok := c.basis.LookupProp(m.Ref)
+		if !ok {
+			pfail("unknown proof constant %s", m.Ref)
+		}
+		return p, used{}
+
+	case Lam:
+		if err := logic.CheckProp(c.basis, e.lfCtx, m.Ty); err != nil {
+			pfail("lambda annotation: %v", err)
+		}
+		e2, id := e.bind(c, m.Name, m.Ty, false)
+		body, u := c.infer(e2, m.Body)
+		delete(u, id) // affine: the bound variable need not be used
+		return logic.PLolli{A: m.Ty, B: body}, u
+
+	case App:
+		fnTy, u1 := c.infer(e, m.Fn)
+		lolli, ok := fnTy.(logic.PLolli)
+		if !ok {
+			pfail("application head has type %s, not a lolli", fnTy)
+		}
+		argTy, u2 := c.infer(e, m.Arg)
+		mustEqual(argTy, lolli.A, "application argument")
+		return lolli.B, disjointUnion(u1, u2, "application")
+
+	case Pair:
+		a, u1 := c.infer(e, m.L)
+		b, u2 := c.infer(e, m.R)
+		return logic.PTensor{A: a, B: b}, disjointUnion(u1, u2, "tensor pair")
+
+	case LetPair:
+		ofTy, u1 := c.infer(e, m.Of)
+		ten, ok := ofTy.(logic.PTensor)
+		if !ok {
+			pfail("let-pair scrutinee has type %s, not a tensor", ofTy)
+		}
+		e2, idL := e.bind(c, m.LName, ten.A, false)
+		e3, idR := e2.bind(c, m.RName, ten.B, false)
+		body, u2 := c.infer(e3, m.Body)
+		delete(u2, idL)
+		delete(u2, idR)
+		return body, disjointUnion(u1, u2, "let-pair")
+
+	case Unit:
+		return logic.POne{}, used{}
+
+	case LetUnit:
+		ofTy, u1 := c.infer(e, m.Of)
+		if _, ok := ofTy.(logic.POne); !ok {
+			pfail("let-unit scrutinee has type %s, not 1", ofTy)
+		}
+		body, u2 := c.infer(e, m.Body)
+		return body, disjointUnion(u1, u2, "let-unit")
+
+	case WithPair:
+		a, u1 := c.infer(e, m.L)
+		b, u2 := c.infer(e, m.R)
+		// Alternatives share the context: union without disjointness.
+		return logic.PWith{A: a, B: b}, union(u1, u2)
+
+	case Fst:
+		ofTy, u := c.infer(e, m.Of)
+		w, ok := ofTy.(logic.PWith)
+		if !ok {
+			pfail("fst of type %s, not a with", ofTy)
+		}
+		return w.A, u
+
+	case Snd:
+		ofTy, u := c.infer(e, m.Of)
+		w, ok := ofTy.(logic.PWith)
+		if !ok {
+			pfail("snd of type %s, not a with", ofTy)
+		}
+		return w.B, u
+
+	case Inl:
+		sum, ok := m.As.(logic.PPlus)
+		if !ok {
+			pfail("inl annotation %s is not a sum", m.As)
+		}
+		if err := logic.CheckProp(c.basis, e.lfCtx, m.As); err != nil {
+			pfail("inl annotation: %v", err)
+		}
+		got, u := c.infer(e, m.Of)
+		mustEqual(got, sum.A, "inl body")
+		return m.As, u
+
+	case Inr:
+		sum, ok := m.As.(logic.PPlus)
+		if !ok {
+			pfail("inr annotation %s is not a sum", m.As)
+		}
+		if err := logic.CheckProp(c.basis, e.lfCtx, m.As); err != nil {
+			pfail("inr annotation: %v", err)
+		}
+		got, u := c.infer(e, m.Of)
+		mustEqual(got, sum.B, "inr body")
+		return m.As, u
+
+	case Case:
+		ofTy, u1 := c.infer(e, m.Of)
+		sum, ok := ofTy.(logic.PPlus)
+		if !ok {
+			pfail("case scrutinee has type %s, not a sum", ofTy)
+		}
+		eL, idL := e.bind(c, m.LName, sum.A, false)
+		lTy, uL := c.infer(eL, m.L)
+		delete(uL, idL)
+		eR, idR := e.bind(c, m.RName, sum.B, false)
+		rTy, uR := c.infer(eR, m.R)
+		delete(uR, idR)
+		mustEqual(rTy, lTy, "case branches")
+		return lTy, disjointUnion(u1, union(uL, uR), "case")
+
+	case Abort:
+		ofTy, u := c.infer(e, m.Of)
+		if _, ok := ofTy.(logic.PZero); !ok {
+			pfail("abort of type %s, not 0", ofTy)
+		}
+		if err := logic.CheckProp(c.basis, e.lfCtx, m.As); err != nil {
+			pfail("abort annotation: %v", err)
+		}
+		return m.As, u
+
+	case BangI:
+		// !I: the body must not touch the affine context. We check it in
+		// an environment whose affine hypotheses are hidden.
+		e2 := env{vars: make(map[string]hyp, len(e.vars)), lfCtx: e.lfCtx}
+		for k, v := range e.vars {
+			if v.persistent {
+				e2.vars[k] = v
+			}
+		}
+		body, u := c.infer(e2, m.Of)
+		if len(u) != 0 {
+			pfail("bang body consumed affine resources")
+		}
+		return logic.PBang{A: body}, used{}
+
+	case LetBang:
+		ofTy, u1 := c.infer(e, m.Of)
+		bang, ok := ofTy.(logic.PBang)
+		if !ok {
+			pfail("let-bang scrutinee has type %s, not a bang", ofTy)
+		}
+		e2, _ := e.bind(c, m.Name, bang.A, true)
+		body, u2 := c.infer(e2, m.Body)
+		return body, disjointUnion(u1, u2, "let-bang")
+
+	case TLam:
+		if err := lf.CheckFamilyIsType(c.basis, e.lfCtx, m.Ty); err != nil {
+			pfail("index abstraction domain: %v", err)
+		}
+		body, u := c.infer(e.pushLF(m.Ty), m.Body)
+		return logic.PForall{Hint: m.Hint, Ty: m.Ty, Body: body}, u
+
+	case TApp:
+		fnTy, u := c.infer(e, m.Fn)
+		all, ok := fnTy.(logic.PForall)
+		if !ok {
+			pfail("index application head has type %s, not a forall", fnTy)
+		}
+		if err := lf.CheckTerm(c.basis, e.lfCtx, m.Arg, all.Ty); err != nil {
+			pfail("index argument: %v", err)
+		}
+		return logic.SubstProp(all.Body, 0, m.Arg), u
+
+	case Pack:
+		ex, ok := m.As.(logic.PExists)
+		if !ok {
+			pfail("pack annotation %s is not an existential", m.As)
+		}
+		if err := logic.CheckProp(c.basis, e.lfCtx, m.As); err != nil {
+			pfail("pack annotation: %v", err)
+		}
+		if err := lf.CheckTerm(c.basis, e.lfCtx, m.Witness, ex.Ty); err != nil {
+			pfail("pack witness: %v", err)
+		}
+		got, u := c.infer(e, m.Of)
+		mustEqual(got, logic.SubstProp(ex.Body, 0, m.Witness), "pack body")
+		return m.As, u
+
+	case Unpack:
+		ofTy, u1 := c.infer(e, m.Of)
+		ex, ok := ofTy.(logic.PExists)
+		if !ok {
+			pfail("unpack scrutinee has type %s, not an existential", ofTy)
+		}
+		e2 := e.pushLF(ex.Ty)
+		// The body proposition is already valid in the extended context.
+		e3, id := e2.bindAtCurrentDepth(c, m.Name, ex.Body, false)
+		body, u2 := c.infer(e3, m.Body)
+		delete(u2, id)
+		// The result may not mention the opened index variable; shifting
+		// down by -1 after checking no occurrence.
+		if propUsesVarZero(body) {
+			pfail("unpack result %s mentions the opened index variable", body)
+		}
+		return logic.ShiftProp(body, -1, 1), disjointUnion(u1, u2, "unpack")
+
+	case SayReturn:
+		if err := lf.CheckTerm(c.basis, e.lfCtx, m.Prin, lf.PrincipalFam); err != nil {
+			pfail("sayreturn principal: %v", err)
+		}
+		body, u := c.infer(e, m.Of)
+		return logic.PSays{Prin: m.Prin, Body: body}, u
+
+	case SayBind:
+		ofTy, u1 := c.infer(e, m.Of)
+		says, ok := ofTy.(logic.PSays)
+		if !ok {
+			pfail("saybind scrutinee has type %s, not an affirmation", ofTy)
+		}
+		e2, id := e.bind(c, m.Name, says.Body, false)
+		bodyTy, u2 := c.infer(e2, m.Body)
+		delete(u2, id)
+		says2, ok := bodyTy.(logic.PSays)
+		if !ok {
+			pfail("saybind body has type %s, not an affirmation", bodyTy)
+		}
+		eq, err := lf.TermEqual(says.Prin, says2.Prin)
+		if err != nil {
+			pfail("saybind principals: %v", err)
+		}
+		if !eq {
+			pfail("saybind crosses principals: %s vs %s", says.Prin, says2.Prin)
+		}
+		return bodyTy, disjointUnion(u1, u2, "saybind")
+
+	case Assert:
+		if m.Key == nil || m.Sig == nil {
+			pfail("assert missing key or signature")
+		}
+		if err := logic.CheckProp(c.basis, e.lfCtx, m.Prop); err != nil {
+			pfail("assert proposition: %v", err)
+		}
+		var digest chainhash.Hash
+		if m.Persistent {
+			digest = PersistentAssertDigest(m.Prop)
+		} else {
+			digest = AffineAssertDigest(m.Prop, c.txPayload)
+		}
+		if !m.Key.Verify(digest[:], m.Sig) {
+			pfail("assert signature invalid for principal %s", m.Key.Principal())
+		}
+		return logic.PSays{Prin: lf.Principal(m.Key.Principal()), Body: m.Prop}, used{}
+
+	case IfReturn:
+		if err := logic.CheckCond(c.basis, e.lfCtx, m.Cond); err != nil {
+			pfail("ifreturn condition: %v", err)
+		}
+		body, u := c.infer(e, m.Of)
+		return logic.PIf{Cond: m.Cond, Body: body}, u
+
+	case IfBind:
+		ofTy, u1 := c.infer(e, m.Of)
+		ifp, ok := ofTy.(logic.PIf)
+		if !ok {
+			pfail("ifbind scrutinee has type %s, not a conditional", ofTy)
+		}
+		e2, id := e.bind(c, m.Name, ifp.Body, false)
+		bodyTy, u2 := c.infer(e2, m.Body)
+		delete(u2, id)
+		ifp2, ok := bodyTy.(logic.PIf)
+		if !ok {
+			pfail("ifbind body has type %s, not a conditional", bodyTy)
+		}
+		eq, err := logic.CondEqual(ifp.Cond, ifp2.Cond)
+		if err != nil {
+			pfail("ifbind conditions: %v", err)
+		}
+		if !eq {
+			pfail("ifbind crosses conditions: %s vs %s", ifp.Cond, ifp2.Cond)
+		}
+		return bodyTy, disjointUnion(u1, u2, "ifbind")
+
+	case IfWeaken:
+		if err := logic.CheckCond(c.basis, e.lfCtx, m.Cond); err != nil {
+			pfail("ifweaken condition: %v", err)
+		}
+		ofTy, u := c.infer(e, m.Of)
+		ifp, ok := ofTy.(logic.PIf)
+		if !ok {
+			pfail("ifweaken of type %s, not a conditional", ofTy)
+		}
+		if !logic.EntailsCond(m.Cond, ifp.Cond) {
+			pfail("ifweaken: %s does not entail %s", m.Cond, ifp.Cond)
+		}
+		return logic.PIf{Cond: m.Cond, Body: ifp.Body}, u
+
+	case IfSay:
+		ofTy, u := c.infer(e, m.Of)
+		says, ok := ofTy.(logic.PSays)
+		if !ok {
+			pfail("if/say of type %s, not an affirmation", ofTy)
+		}
+		ifp, ok := says.Body.(logic.PIf)
+		if !ok {
+			pfail("if/say affirmation body %s is not a conditional", says.Body)
+		}
+		return logic.PIf{Cond: ifp.Cond, Body: logic.PSays{Prin: says.Prin, Body: ifp.Body}}, u
+
+	default:
+		pfail("unknown proof term %T", m)
+		return nil, nil
+	}
+}
+
+// bindAtCurrentDepth binds a hypothesis whose proposition is already
+// expressed at the current LF depth (used by Unpack, whose body
+// proposition mentions the just-opened variable).
+func (e env) bindAtCurrentDepth(c *checker, name string, p logic.Prop, persistent bool) (env, int) {
+	return e.bind(c, name, p, persistent)
+}
+
+// propUsesVarZero reports whether LF variable 0 occurs free in p.
+func propUsesVarZero(p logic.Prop) bool {
+	return logic.PropUsesVar(p, 0)
+}
+
+// Infer computes the type of a closed proof term (empty Gamma and Delta)
+// in the given basis. txPayload is the canonical encoding of the
+// enclosing transaction minus its proof term; affine asserts are checked
+// against it.
+func Infer(b *logic.Basis, txPayload []byte, m Term) (p logic.Prop, err error) {
+	defer pcatch(&err)
+	c := &checker{basis: b, txPayload: txPayload}
+	p, _ = c.infer(env{vars: map[string]hyp{}}, m)
+	return p, nil
+}
+
+// Check validates a closed proof term against an expected proposition.
+func Check(b *logic.Basis, txPayload []byte, m Term, want logic.Prop) (err error) {
+	defer pcatch(&err)
+	c := &checker{basis: b, txPayload: txPayload}
+	got, _ := c.infer(env{vars: map[string]hyp{}}, m)
+	mustEqual(got, want, "proof term")
+	return nil
+}
+
+// Hyp declares an initial hypothesis for CheckWithHyps.
+type Hyp struct {
+	Name       string
+	Prop       logic.Prop
+	Persistent bool
+}
+
+// CheckWithHyps validates a proof term under initial hypotheses; affine
+// hypotheses may be consumed at most once, persistent ones freely. It
+// returns the names of affine hypotheses the proof consumed.
+func CheckWithHyps(b *logic.Basis, txPayload []byte, hyps []Hyp, m Term, want logic.Prop) (consumed []string, err error) {
+	defer pcatch(&err)
+	c := &checker{basis: b, txPayload: txPayload}
+	e := env{vars: map[string]hyp{}}
+	ids := make(map[int]string, len(hyps))
+	for _, h := range hyps {
+		var id int
+		e, id = e.bind(c, h.Name, h.Prop, h.Persistent)
+		if !h.Persistent {
+			ids[id] = h.Name
+		}
+	}
+	got, u := c.infer(e, m)
+	mustEqual(got, want, "proof term")
+	for id, name := range ids {
+		if u[id] {
+			consumed = append(consumed, name)
+		}
+	}
+	return consumed, nil
+}

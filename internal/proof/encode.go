@@ -1,0 +1,548 @@
+package proof
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/wire"
+)
+
+// Canonical binary encoding of proof terms. The Typecoin transaction
+// hash covers the proof term ("the full Typecoin transaction, including
+// inputs, outputs, a proof term, and other material, is cryptographically
+// hashed"), and transactions travel between parties and batch servers in
+// this encoding.
+//
+// Variable names ARE encoded (unlike LF binder hints): proof terms refer
+// to hypotheses by name, so names are semantically significant.
+
+const (
+	tagVar       byte = 0x70
+	tagConst     byte = 0x71
+	tagLam       byte = 0x72
+	tagApp       byte = 0x73
+	tagPair      byte = 0x74
+	tagLetPair   byte = 0x75
+	tagUnit      byte = 0x76
+	tagLetUnit   byte = 0x77
+	tagWithPair  byte = 0x78
+	tagFst       byte = 0x79
+	tagSnd       byte = 0x7a
+	tagInl       byte = 0x7b
+	tagInr       byte = 0x7c
+	tagCase      byte = 0x7d
+	tagAbort     byte = 0x7e
+	tagBangI     byte = 0x7f
+	tagLetBang   byte = 0x80
+	tagTLam      byte = 0x81
+	tagTApp      byte = 0x82
+	tagPack      byte = 0x83
+	tagUnpack    byte = 0x84
+	tagSayReturn byte = 0x85
+	tagSayBind   byte = 0x86
+	tagAssert    byte = 0x87
+	tagIfReturn  byte = 0x88
+	tagIfBind    byte = 0x89
+	tagIfWeaken  byte = 0x8a
+	tagIfSay     byte = 0x8b
+)
+
+// ErrBadEncoding reports a malformed proof-term encoding.
+var ErrBadEncoding = errors.New("proof: malformed encoding")
+
+func writeByte(w io.Writer, b byte) error {
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+func readByte(r io.Reader) (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func writeName(w io.Writer, s string) error {
+	return wire.WriteVarBytes(w, []byte(s))
+}
+
+func readName(r io.Reader) (string, error) {
+	b, err := wire.ReadVarBytes(r, "name")
+	if err != nil {
+		return "", err
+	}
+	if len(b) > 256 {
+		return "", fmt.Errorf("%w: name too long", ErrBadEncoding)
+	}
+	return string(b), nil
+}
+
+// Encode writes a proof term.
+func Encode(w io.Writer, m Term) error {
+	switch m := m.(type) {
+	case Var:
+		if err := writeByte(w, tagVar); err != nil {
+			return err
+		}
+		return writeName(w, m.Name)
+	case Const:
+		if err := writeByte(w, tagConst); err != nil {
+			return err
+		}
+		return lf.EncodeRef(w, m.Ref)
+	case Lam:
+		if err := writeByte(w, tagLam); err != nil {
+			return err
+		}
+		if err := writeName(w, m.Name); err != nil {
+			return err
+		}
+		if err := logic.EncodeProp(w, m.Ty); err != nil {
+			return err
+		}
+		return Encode(w, m.Body)
+	case App:
+		return encode2(w, tagApp, m.Fn, m.Arg)
+	case Pair:
+		return encode2(w, tagPair, m.L, m.R)
+	case LetPair:
+		if err := writeByte(w, tagLetPair); err != nil {
+			return err
+		}
+		if err := writeName(w, m.LName); err != nil {
+			return err
+		}
+		if err := writeName(w, m.RName); err != nil {
+			return err
+		}
+		if err := Encode(w, m.Of); err != nil {
+			return err
+		}
+		return Encode(w, m.Body)
+	case Unit:
+		return writeByte(w, tagUnit)
+	case LetUnit:
+		return encode2(w, tagLetUnit, m.Of, m.Body)
+	case WithPair:
+		return encode2(w, tagWithPair, m.L, m.R)
+	case Fst:
+		return encode1(w, tagFst, m.Of)
+	case Snd:
+		return encode1(w, tagSnd, m.Of)
+	case Inl:
+		if err := writeByte(w, tagInl); err != nil {
+			return err
+		}
+		if err := logic.EncodeProp(w, m.As); err != nil {
+			return err
+		}
+		return Encode(w, m.Of)
+	case Inr:
+		if err := writeByte(w, tagInr); err != nil {
+			return err
+		}
+		if err := logic.EncodeProp(w, m.As); err != nil {
+			return err
+		}
+		return Encode(w, m.Of)
+	case Case:
+		if err := writeByte(w, tagCase); err != nil {
+			return err
+		}
+		if err := Encode(w, m.Of); err != nil {
+			return err
+		}
+		if err := writeName(w, m.LName); err != nil {
+			return err
+		}
+		if err := Encode(w, m.L); err != nil {
+			return err
+		}
+		if err := writeName(w, m.RName); err != nil {
+			return err
+		}
+		return Encode(w, m.R)
+	case Abort:
+		if err := writeByte(w, tagAbort); err != nil {
+			return err
+		}
+		if err := logic.EncodeProp(w, m.As); err != nil {
+			return err
+		}
+		return Encode(w, m.Of)
+	case BangI:
+		return encode1(w, tagBangI, m.Of)
+	case LetBang:
+		if err := writeByte(w, tagLetBang); err != nil {
+			return err
+		}
+		if err := writeName(w, m.Name); err != nil {
+			return err
+		}
+		if err := Encode(w, m.Of); err != nil {
+			return err
+		}
+		return Encode(w, m.Body)
+	case TLam:
+		if err := writeByte(w, tagTLam); err != nil {
+			return err
+		}
+		if err := lf.EncodeFamily(w, m.Ty); err != nil {
+			return err
+		}
+		return Encode(w, m.Body)
+	case TApp:
+		if err := writeByte(w, tagTApp); err != nil {
+			return err
+		}
+		if err := Encode(w, m.Fn); err != nil {
+			return err
+		}
+		return lf.EncodeTerm(w, m.Arg)
+	case Pack:
+		if err := writeByte(w, tagPack); err != nil {
+			return err
+		}
+		if err := lf.EncodeTerm(w, m.Witness); err != nil {
+			return err
+		}
+		if err := logic.EncodeProp(w, m.As); err != nil {
+			return err
+		}
+		return Encode(w, m.Of)
+	case Unpack:
+		if err := writeByte(w, tagUnpack); err != nil {
+			return err
+		}
+		if err := writeName(w, m.Name); err != nil {
+			return err
+		}
+		if err := Encode(w, m.Of); err != nil {
+			return err
+		}
+		return Encode(w, m.Body)
+	case SayReturn:
+		if err := writeByte(w, tagSayReturn); err != nil {
+			return err
+		}
+		if err := lf.EncodeTerm(w, m.Prin); err != nil {
+			return err
+		}
+		return Encode(w, m.Of)
+	case SayBind:
+		if err := writeByte(w, tagSayBind); err != nil {
+			return err
+		}
+		if err := writeName(w, m.Name); err != nil {
+			return err
+		}
+		if err := Encode(w, m.Of); err != nil {
+			return err
+		}
+		return Encode(w, m.Body)
+	case Assert:
+		if err := writeByte(w, tagAssert); err != nil {
+			return err
+		}
+		persistent := byte(0)
+		if m.Persistent {
+			persistent = 1
+		}
+		if err := writeByte(w, persistent); err != nil {
+			return err
+		}
+		if m.Key == nil || m.Sig == nil {
+			return errors.New("proof: encoding assert without key or signature")
+		}
+		if _, err := w.Write(m.Key.Serialize()); err != nil {
+			return err
+		}
+		if err := wire.WriteVarBytes(w, m.Sig.Serialize()); err != nil {
+			return err
+		}
+		return logic.EncodeProp(w, m.Prop)
+	case IfReturn:
+		if err := writeByte(w, tagIfReturn); err != nil {
+			return err
+		}
+		if err := logic.EncodeCond(w, m.Cond); err != nil {
+			return err
+		}
+		return Encode(w, m.Of)
+	case IfBind:
+		if err := writeByte(w, tagIfBind); err != nil {
+			return err
+		}
+		if err := writeName(w, m.Name); err != nil {
+			return err
+		}
+		if err := Encode(w, m.Of); err != nil {
+			return err
+		}
+		return Encode(w, m.Body)
+	case IfWeaken:
+		if err := writeByte(w, tagIfWeaken); err != nil {
+			return err
+		}
+		if err := logic.EncodeCond(w, m.Cond); err != nil {
+			return err
+		}
+		return Encode(w, m.Of)
+	case IfSay:
+		return encode1(w, tagIfSay, m.Of)
+	default:
+		return fmt.Errorf("proof: unknown term %T", m)
+	}
+}
+
+func encode1(w io.Writer, tag byte, a Term) error {
+	if err := writeByte(w, tag); err != nil {
+		return err
+	}
+	return Encode(w, a)
+}
+
+func encode2(w io.Writer, tag byte, a, b Term) error {
+	if err := writeByte(w, tag); err != nil {
+		return err
+	}
+	if err := Encode(w, a); err != nil {
+		return err
+	}
+	return Encode(w, b)
+}
+
+// Decode reads a proof term.
+func Decode(r io.Reader) (Term, error) {
+	tag, err := readByte(r)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagVar:
+		name, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		return Var{Name: name}, nil
+	case tagConst:
+		ref, err := lf.DecodeRef(r)
+		if err != nil {
+			return nil, err
+		}
+		return Const{Ref: ref}, nil
+	case tagLam:
+		name, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		ty, err := logic.DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		body, err := Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		return Lam{Name: name, Ty: ty, Body: body}, nil
+	case tagApp:
+		a, b, err := decode2(r)
+		return App{Fn: a, Arg: b}, err
+	case tagPair:
+		a, b, err := decode2(r)
+		return Pair{L: a, R: b}, err
+	case tagLetPair:
+		lname, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		rname, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		of, body, err := decode2(r)
+		return LetPair{LName: lname, RName: rname, Of: of, Body: body}, err
+	case tagUnit:
+		return Unit{}, nil
+	case tagLetUnit:
+		a, b, err := decode2(r)
+		return LetUnit{Of: a, Body: b}, err
+	case tagWithPair:
+		a, b, err := decode2(r)
+		return WithPair{L: a, R: b}, err
+	case tagFst:
+		a, err := Decode(r)
+		return Fst{Of: a}, err
+	case tagSnd:
+		a, err := Decode(r)
+		return Snd{Of: a}, err
+	case tagInl:
+		as, err := logic.DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		of, err := Decode(r)
+		return Inl{As: as, Of: of}, err
+	case tagInr:
+		as, err := logic.DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		of, err := Decode(r)
+		return Inr{As: as, Of: of}, err
+	case tagCase:
+		of, err := Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		lname, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		l, err := Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		rname, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := Decode(r)
+		return Case{Of: of, LName: lname, L: l, RName: rname, R: rr}, err
+	case tagAbort:
+		as, err := logic.DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		of, err := Decode(r)
+		return Abort{As: as, Of: of}, err
+	case tagBangI:
+		a, err := Decode(r)
+		return BangI{Of: a}, err
+	case tagLetBang:
+		name, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		of, body, err := decode2(r)
+		return LetBang{Name: name, Of: of, Body: body}, err
+	case tagTLam:
+		ty, err := lf.DecodeFamily(r)
+		if err != nil {
+			return nil, err
+		}
+		body, err := Decode(r)
+		return TLam{Hint: "u", Ty: ty, Body: body}, err
+	case tagTApp:
+		fn, err := Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := lf.DecodeTerm(r)
+		return TApp{Fn: fn, Arg: arg}, err
+	case tagPack:
+		witness, err := lf.DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		as, err := logic.DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		of, err := Decode(r)
+		return Pack{Witness: witness, As: as, Of: of}, err
+	case tagUnpack:
+		name, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		of, body, err := decode2(r)
+		return Unpack{Hint: "u", Name: name, Of: of, Body: body}, err
+	case tagSayReturn:
+		prin, err := lf.DecodeTerm(r)
+		if err != nil {
+			return nil, err
+		}
+		of, err := Decode(r)
+		return SayReturn{Prin: prin, Of: of}, err
+	case tagSayBind:
+		name, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		of, body, err := decode2(r)
+		return SayBind{Name: name, Of: of, Body: body}, err
+	case tagAssert:
+		persistent, err := readByte(r)
+		if err != nil {
+			return nil, err
+		}
+		if persistent > 1 {
+			return nil, fmt.Errorf("%w: assert flag %d", ErrBadEncoding, persistent)
+		}
+		keyBytes := make([]byte, bkey.SerializedPubKeySize)
+		if _, err := io.ReadFull(r, keyBytes); err != nil {
+			return nil, err
+		}
+		key, err := bkey.ParsePubKey(keyBytes)
+		if err != nil {
+			return nil, err
+		}
+		sigBytes, err := wire.ReadVarBytes(r, "assert signature")
+		if err != nil {
+			return nil, err
+		}
+		sig, err := bkey.ParseSignature(sigBytes)
+		if err != nil {
+			return nil, err
+		}
+		p, err := logic.DecodeProp(r)
+		if err != nil {
+			return nil, err
+		}
+		return Assert{Key: key, Prop: p, Sig: sig, Persistent: persistent == 1}, nil
+	case tagIfReturn:
+		cond, err := logic.DecodeCond(r)
+		if err != nil {
+			return nil, err
+		}
+		of, err := Decode(r)
+		return IfReturn{Cond: cond, Of: of}, err
+	case tagIfBind:
+		name, err := readName(r)
+		if err != nil {
+			return nil, err
+		}
+		of, body, err := decode2(r)
+		return IfBind{Name: name, Of: of, Body: body}, err
+	case tagIfWeaken:
+		cond, err := logic.DecodeCond(r)
+		if err != nil {
+			return nil, err
+		}
+		of, err := Decode(r)
+		return IfWeaken{Cond: cond, Of: of}, err
+	case tagIfSay:
+		of, err := Decode(r)
+		return IfSay{Of: of}, err
+	default:
+		return nil, fmt.Errorf("%w: term tag %#02x", ErrBadEncoding, tag)
+	}
+}
+
+func decode2(r io.Reader) (Term, Term, error) {
+	a, err := Decode(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := Decode(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}

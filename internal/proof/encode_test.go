@@ -1,0 +1,141 @@
+package proof
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+)
+
+// roundTrip encodes and decodes m, failing on any mismatch. Equality is
+// by re-encoding (the encoding is canonical).
+func roundTrip(t *testing.T, m Term) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatalf("Encode(%s): %v", m, err)
+	}
+	encoded := append([]byte(nil), buf.Bytes()...)
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode(%s): %v", m, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("trailing bytes after %s", m)
+	}
+	var buf2 bytes.Buffer
+	if err := Encode(&buf2, back); err != nil {
+		t.Fatalf("re-Encode(%s): %v", back, err)
+	}
+	if !bytes.Equal(encoded, buf2.Bytes()) {
+		t.Fatalf("round trip changed encoding of %s", m)
+	}
+}
+
+// TestEncodeDecodeAllForms covers every proof-term constructor.
+func TestEncodeDecodeAllForms(t *testing.T) {
+	a := logic.Atom(lf.This("a"))
+	b := logic.Atom(lf.This("b"))
+	sum := logic.Plus(a, b)
+	ex := logic.Exists("n", lf.NatFam, logic.One)
+	key, err := bkey.NewPrivateKey(&detEntropy{state: sha256.Sum256([]byte("enc"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := SignPersistent(key, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	terms := []Term{
+		V("x"),
+		Const{Ref: lf.This("merge")},
+		Lam{Name: "x", Ty: a, Body: V("x")},
+		App{Fn: V("f"), Arg: V("x")},
+		Pair{L: V("x"), R: V("y")},
+		LetPair{LName: "x", RName: "y", Of: V("p"), Body: V("x")},
+		Unit{},
+		LetUnit{Of: V("u"), Body: Unit{}},
+		WithPair{L: V("x"), R: V("y")},
+		Fst{Of: V("p")},
+		Snd{Of: V("p")},
+		Inl{Of: V("x"), As: sum},
+		Inr{Of: V("y"), As: sum},
+		Case{Of: V("s"), LName: "x", L: V("x"), RName: "y", R: V("y")},
+		Abort{Of: V("z"), As: a},
+		BangI{Of: Unit{}},
+		LetBang{Name: "x", Of: V("u"), Body: V("x")},
+		TLam{Hint: "n", Ty: lf.NatFam, Body: Unit{}},
+		TApp{Fn: V("f"), Arg: lf.Nat(7)},
+		Pack{Witness: lf.Nat(3), Of: Unit{}, As: ex},
+		Unpack{Hint: "n", Name: "x", Of: V("e"), Body: V("x")},
+		SayReturn{Prin: lf.Principal(key.Principal()), Of: Unit{}},
+		SayBind{Name: "x", Of: V("s"), Body: V("x")},
+		Assert{Key: key.PubKey(), Prop: a, Sig: sig, Persistent: true},
+		Assert{Key: key.PubKey(), Prop: a, Sig: sig, Persistent: false},
+		IfReturn{Cond: logic.Before(10), Of: Unit{}},
+		IfBind{Name: "x", Of: V("s"), Body: V("x")},
+		IfWeaken{Cond: logic.True, Of: V("s")},
+		IfSay{Of: V("s")},
+	}
+	for _, m := range terms {
+		roundTrip(t, m)
+	}
+	// A deep composite: the Figure 3 skeleton.
+	fig3 := Lam{Name: "d", Ty: logic.One,
+		Body: LetPair{LName: "ca", RName: "r", Of: V("d"),
+			Body: IfBind{Name: "z",
+				Of: IfWeaken{Cond: logic.Before(100), Of: IfSay{Of: SayBind{Name: "f",
+					Of:   Assert{Key: key.PubKey(), Prop: a, Sig: sig, Persistent: true},
+					Body: SayReturn{Prin: lf.Principal(key.Principal()), Of: App{Fn: V("f"), Arg: V("r")}}}}},
+				Body: IfReturn{Cond: logic.Before(100), Of: V("z")}}}}
+	roundTrip(t, fig3)
+}
+
+// TestDecodedProofStillChecks: checking survives serialization —
+// including the signature inside an Assert.
+func TestDecodedProofStillChecks(t *testing.T) {
+	b := testBasis(t)
+	key := newKey(t, "roundtrip")
+	payload := []byte("the payload")
+	sig, err := SignAffine(key, atomA(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Lam{Name: "x", Ty: logic.One,
+		Body: Pair{L: V("x"),
+			R: Assert{Key: key.PubKey(), Prop: atomA(), Sig: sig}}}
+	want := logic.Lolli(logic.One,
+		logic.Tensor(logic.One, logic.Says(lf.Principal(key.Principal()), atomA())))
+	if err := Check(b, payload, m, want); err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(b, payload, back, want); err != nil {
+		t.Fatalf("decoded proof rejected: %v", err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	bad := [][]byte{
+		{},           // empty
+		{0xff},       // unknown tag
+		{0x70},       // var without name
+		{0x72, 0x01}, // lam with truncated name
+	}
+	for _, raw := range bad {
+		if _, err := Decode(bytes.NewReader(raw)); err == nil {
+			t.Errorf("malformed encoding % x decoded", raw)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package proof
+
+import (
+	"testing"
+
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+)
+
+// Tests reproducing the paper's smaller in-text examples.
+
+// TestHamSandwich: "bread (x) ham -o ham_sandwich models the state change
+// that takes place when bread and ham are combined" (Section 1) — and
+// after the change, the bread and ham are gone.
+func TestHamSandwich(t *testing.T) {
+	b := logic.NewBasis(nil)
+	for _, name := range []string{"bread", "ham", "sandwich"} {
+		if err := b.DeclareFam(lf.This(name), lf.KProp{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bread := logic.Atom(lf.This("bread"))
+	ham := logic.Atom(lf.This("ham"))
+	sandwich := logic.Atom(lf.This("sandwich"))
+	rule := logic.Lolli(logic.Tensor(bread, ham), sandwich)
+	if err := b.DeclareProp(lf.This("make"), rule); err != nil {
+		t.Fatal(err)
+	}
+
+	// With bread and ham, one sandwich.
+	hyps := []Hyp{{Name: "br", Prop: bread}, {Name: "hm", Prop: ham}}
+	consumed, err := CheckWithHyps(b, nil, hyps,
+		Apply(Const{Ref: lf.This("make")}, Pair{L: V("br"), R: V("hm")}),
+		sandwich)
+	if err != nil {
+		t.Fatalf("sandwich: %v", err)
+	}
+	if len(consumed) != 2 {
+		t.Errorf("consumed %v, want both ingredients", consumed)
+	}
+
+	// The ingredients are gone: sandwich AND leftover bread is not
+	// derivable from one bread and one ham.
+	m := Pair{
+		L: Apply(Const{Ref: lf.This("make")}, Pair{L: V("br"), R: V("hm")}),
+		R: V("br"),
+	}
+	if _, err := CheckWithHyps(b, nil, hyps, m, logic.Tensor(sandwich, bread)); err == nil {
+		t.Error("ate the sandwich and kept the bread")
+	}
+}
+
+// TestCounter: "forall i. counter(i) -o counter(i+1) models the state
+// change that takes place when a counter is incremented" (Section 1).
+func TestCounter(t *testing.T) {
+	b := logic.NewBasis(nil)
+	if err := b.DeclareFam(lf.This("counter"), lf.KArrow(lf.NatFam, lf.KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	counter := func(m lf.Term) logic.Prop { return logic.Atom(lf.This("counter"), m) }
+	inc := logic.Forall("i", lf.NatFam,
+		logic.Lolli(counter(lf.Var(0, "i")), counter(lf.Add(lf.Var(0, "i"), lf.Nat(1)))))
+	if err := b.DeclareProp(lf.This("inc"), inc); err != nil {
+		t.Fatal(err)
+	}
+	// counter 5 -o counter 7 by two increments — note the definitional
+	// equality add(add(5,1),1) = 7 doing the arithmetic.
+	m := Lam{Name: "c", Ty: counter(lf.Nat(5)),
+		Body: Apply(TApply(Const{Ref: lf.This("inc")}, lf.Nat(6)),
+			Apply(TApply(Const{Ref: lf.This("inc")}, lf.Nat(5)), V("c")))}
+	if err := Check(b, nil, m, logic.Lolli(counter(lf.Nat(5)), counter(lf.Nat(7)))); err != nil {
+		t.Fatalf("double increment: %v", err)
+	}
+	// After incrementing, the old state is unavailable.
+	m2 := Lam{Name: "c", Ty: counter(lf.Nat(5)),
+		Body: Pair{
+			L: Apply(TApply(Const{Ref: lf.This("inc")}, lf.Nat(5)), V("c")),
+			R: V("c")}}
+	if err := Check(b, nil, m2,
+		logic.Lolli(counter(lf.Nat(5)), logic.Tensor(counter(lf.Nat(6)), counter(lf.Nat(5))))); err == nil {
+		t.Error("incremented the counter and kept the old value")
+	}
+}
+
+// TestTransferableResource: "<ACM> forall K. may-read(K, TOPLAS) ... can
+// be used by anyone, by filling in the principal K" (Section 2).
+func TestTransferableResource(t *testing.T) {
+	b := logic.NewBasis(nil)
+	acm := newKey(t, "acm")
+	bob := newKey(t, "bob")
+	if err := b.DeclareFam(lf.This("may-read"),
+		lf.KArrow(lf.PrincipalFam, lf.KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	mayRead := func(k lf.Term) logic.Prop { return logic.Atom(lf.This("may-read"), k) }
+	anyReader := logic.Forall("K", lf.PrincipalFam, mayRead(lf.Var(0, "K")))
+	// The holder instantiates K with himself...
+	hyps := []Hyp{{Name: "cred", Prop: logic.Says(lf.Principal(acm.Principal()), anyReader)}}
+	exercise := SayBind{Name: "f", Of: V("cred"),
+		Body: SayReturn{Prin: lf.Principal(acm.Principal()),
+			Of: TApp{Fn: V("f"), Arg: lf.Principal(bob.Principal())}}}
+	if _, err := CheckWithHyps(b, nil, hyps, exercise,
+		logic.Says(lf.Principal(acm.Principal()), mayRead(lf.Principal(bob.Principal())))); err != nil {
+		t.Fatalf("instantiate for Bob: %v", err)
+	}
+	// ...but being affine, cannot do so twice.
+	double := Pair{L: exercise, R: exercise}
+	want := logic.Tensor(
+		logic.Says(lf.Principal(acm.Principal()), mayRead(lf.Principal(bob.Principal()))),
+		logic.Says(lf.Principal(acm.Principal()), mayRead(lf.Principal(bob.Principal()))))
+	if _, err := CheckWithHyps(b, nil, hyps, double, want); err == nil {
+		t.Error("used a transferable credential twice")
+	}
+}
+
+// TestExternalChoice: "<ACM> forall K. (may-read(K, TOPLAS) &
+// may-read(K, TOCL)) — external choice allows the resource's holder to
+// choose between multiple options" (Section 2).
+func TestExternalChoice(t *testing.T) {
+	b := logic.NewBasis(nil)
+	acm := newKey(t, "acm")
+	bob := newKey(t, "bob")
+	for _, j := range []string{"toplas", "tocl"} {
+		if err := b.DeclareFam(lf.This(j), lf.KArrow(lf.PrincipalFam, lf.KProp{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	toplas := func(k lf.Term) logic.Prop { return logic.Atom(lf.This("toplas"), k) }
+	tocl := func(k lf.Term) logic.Prop { return logic.Atom(lf.This("tocl"), k) }
+	offer := logic.Forall("K", lf.PrincipalFam,
+		logic.With(toplas(lf.Var(0, "K")), tocl(lf.Var(0, "K"))))
+	hyps := []Hyp{{Name: "cred", Prop: logic.Says(lf.Principal(acm.Principal()), offer)}}
+
+	// Pick TOPLAS.
+	pickLeft := SayBind{Name: "f", Of: V("cred"),
+		Body: SayReturn{Prin: lf.Principal(acm.Principal()),
+			Of: Fst{Of: TApp{Fn: V("f"), Arg: lf.Principal(bob.Principal())}}}}
+	if _, err := CheckWithHyps(b, nil, hyps, pickLeft,
+		logic.Says(lf.Principal(acm.Principal()), toplas(lf.Principal(bob.Principal())))); err != nil {
+		t.Fatalf("choose TOPLAS: %v", err)
+	}
+	// Or pick TOCL.
+	pickRight := SayBind{Name: "f", Of: V("cred"),
+		Body: SayReturn{Prin: lf.Principal(acm.Principal()),
+			Of: Snd{Of: TApp{Fn: V("f"), Arg: lf.Principal(bob.Principal())}}}}
+	if _, err := CheckWithHyps(b, nil, hyps, pickRight,
+		logic.Says(lf.Principal(acm.Principal()), tocl(lf.Principal(bob.Principal())))); err != nil {
+		t.Fatalf("choose TOCL: %v", err)
+	}
+	// But not both: & is external choice, not tensor.
+	both := SayBind{Name: "f", Of: V("cred"),
+		Body: SayReturn{Prin: lf.Principal(acm.Principal()),
+			Of: Pair{
+				L: Fst{Of: TApp{Fn: V("f"), Arg: lf.Principal(bob.Principal())}},
+				R: Snd{Of: TApp{Fn: V("f"), Arg: lf.Principal(bob.Principal())}}}}}
+	want := logic.Says(lf.Principal(acm.Principal()),
+		logic.Tensor(toplas(lf.Principal(bob.Principal())), tocl(lf.Principal(bob.Principal()))))
+	if _, err := CheckWithHyps(b, nil, hyps, both, want); err == nil {
+		t.Error("took both journals from an external choice")
+	}
+}
+
+// TestCouponReceipt: the Section 4 receipts example — ACM recovers the
+// coupon rather than destroying it:
+//
+//	!<ACM>(coupon (x) receipt(coupon ->> ACM) -o all K. may-read K)
+func TestCouponReceipt(t *testing.T) {
+	b := logic.NewBasis(nil)
+	acm := newKey(t, "acm")
+	bob := newKey(t, "bob")
+	if err := b.DeclareFam(lf.This("coupon"), lf.KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareFam(lf.This("may-read"),
+		lf.KArrow(lf.PrincipalFam, lf.KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	coupon := logic.Atom(lf.This("coupon"))
+	mayRead := func(k lf.Term) logic.Prop { return logic.Atom(lf.This("may-read"), k) }
+	acmPrin := lf.Principal(acm.Principal())
+	offer := logic.Bang(logic.Says(acmPrin,
+		logic.Lolli(
+			logic.Tensor(coupon, logic.Receipt(coupon, 0, acmPrin)),
+			logic.Forall("K", lf.PrincipalFam, mayRead(lf.Var(0, "K"))))))
+
+	// With a coupon AND a receipt showing it was sent to ACM, the access
+	// right follows.
+	hyps := []Hyp{
+		{Name: "offer", Prop: offer, Persistent: true},
+		{Name: "c", Prop: coupon},
+		{Name: "rcpt", Prop: logic.Receipt(coupon, 0, acmPrin)},
+	}
+	m := LetBang{Name: "o", Of: V("offer"),
+		Body: SayBind{Name: "f", Of: V("o"),
+			Body: SayReturn{Prin: acmPrin,
+				Of: TApp{
+					Fn:  Apply(V("f"), Pair{L: V("c"), R: V("rcpt")}),
+					Arg: lf.Principal(bob.Principal())}}}}
+	if _, err := CheckWithHyps(b, nil, hyps, m,
+		logic.Says(acmPrin, mayRead(lf.Principal(bob.Principal())))); err != nil {
+		t.Fatalf("coupon exchange: %v", err)
+	}
+	// Without the receipt, no access: the offer demands the payment.
+	noReceipt := []Hyp{
+		{Name: "offer", Prop: offer, Persistent: true},
+		{Name: "c", Prop: coupon},
+	}
+	if _, err := CheckWithHyps(b, nil, noReceipt, m,
+		logic.Says(acmPrin, mayRead(lf.Principal(bob.Principal())))); err == nil {
+		t.Error("read TOPLAS without paying the coupon to ACM")
+	}
+}

@@ -1,0 +1,93 @@
+package proof
+
+import "fmt"
+
+// Compact, paper-flavored rendering of proof terms for error messages and
+// debugging.
+
+func (t Var) String() string   { return t.Name }
+func (t Const) String() string { return t.Ref.String() }
+
+func (t Lam) String() string {
+	return fmt.Sprintf("\\%s:%s. %s", t.Name, t.Ty, t.Body)
+}
+
+func (t App) String() string { return fmt.Sprintf("(%s %s)", t.Fn, t.Arg) }
+
+func (t Pair) String() string { return fmt.Sprintf("(%s (x) %s)", t.L, t.R) }
+
+func (t LetPair) String() string {
+	return fmt.Sprintf("let %s (x) %s = %s in %s", t.LName, t.RName, t.Of, t.Body)
+}
+
+func (t Unit) String() string { return "*" }
+
+func (t LetUnit) String() string { return fmt.Sprintf("let * = %s in %s", t.Of, t.Body) }
+
+func (t WithPair) String() string { return fmt.Sprintf("<%s, %s>", t.L, t.R) }
+
+func (t Fst) String() string { return fmt.Sprintf("fst(%s)", t.Of) }
+func (t Snd) String() string { return fmt.Sprintf("snd(%s)", t.Of) }
+
+func (t Inl) String() string { return fmt.Sprintf("inl(%s)", t.Of) }
+func (t Inr) String() string { return fmt.Sprintf("inr(%s)", t.Of) }
+
+func (t Case) String() string {
+	return fmt.Sprintf("case %s of inl %s => %s | inr %s => %s", t.Of, t.LName, t.L, t.RName, t.R)
+}
+
+func (t Abort) String() string { return fmt.Sprintf("abort(%s)", t.Of) }
+
+func (t BangI) String() string { return fmt.Sprintf("!%s", t.Of) }
+
+func (t LetBang) String() string {
+	return fmt.Sprintf("let !%s = %s in %s", t.Name, t.Of, t.Body)
+}
+
+func (t TLam) String() string {
+	return fmt.Sprintf("/\\%s:%s. %s", t.Hint, t.Ty, t.Body)
+}
+
+func (t TApp) String() string { return fmt.Sprintf("%s [%s]", t.Fn, t.Arg) }
+
+func (t Pack) String() string {
+	return fmt.Sprintf("pack(%s, %s)", t.Witness, t.Of)
+}
+
+func (t Unpack) String() string {
+	return fmt.Sprintf("let (%s, %s) = unpack %s in %s", t.Hint, t.Name, t.Of, t.Body)
+}
+
+func (t SayReturn) String() string {
+	return fmt.Sprintf("sayreturn_%s(%s)", t.Prin, t.Of)
+}
+
+func (t SayBind) String() string {
+	return fmt.Sprintf("saybind %s <- %s in %s", t.Name, t.Of, t.Body)
+}
+
+func (t Assert) String() string {
+	name := "assert"
+	if t.Persistent {
+		name = "assert!"
+	}
+	prin := "?"
+	if t.Key != nil {
+		prin = "K" + t.Key.Principal().String()[:8]
+	}
+	return fmt.Sprintf("%s(%s, %s, <sig>)", name, prin, t.Prop)
+}
+
+func (t IfReturn) String() string {
+	return fmt.Sprintf("ifreturn_%s(%s)", t.Cond, t.Of)
+}
+
+func (t IfBind) String() string {
+	return fmt.Sprintf("ifbind %s <- %s in %s", t.Name, t.Of, t.Body)
+}
+
+func (t IfWeaken) String() string {
+	return fmt.Sprintf("ifweaken_%s(%s)", t.Cond, t.Of)
+}
+
+func (t IfSay) String() string { return fmt.Sprintf("if/say(%s)", t.Of) }

@@ -1,0 +1,496 @@
+package proof
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/wire"
+)
+
+type detEntropy struct{ state [32]byte }
+
+func (d *detEntropy) Read(p []byte) (int, error) {
+	for i := range p {
+		if i%32 == 0 {
+			d.state = sha256.Sum256(d.state[:])
+		}
+		p[i] = d.state[i%32]
+	}
+	return len(p), nil
+}
+
+func newKey(t testing.TB, seed string) *bkey.PrivateKey {
+	t.Helper()
+	k, err := bkey.NewPrivateKey(&detEntropy{state: sha256.Sum256([]byte(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// testBasis declares atoms a, b, c : prop and coin : nat -> prop, plus
+// the newcoin merge rule.
+func testBasis(t testing.TB) *logic.Basis {
+	t.Helper()
+	b := logic.NewBasis(nil)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := b.DeclareFam(lf.This(name), lf.KProp{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.DeclareFam(lf.This("coin"), lf.KArrow(lf.NatFam, lf.KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	coinP := func(m lf.Term) logic.Prop { return logic.Atom(lf.This("coin"), m) }
+	merge := logic.Forall("N", lf.NatFam, logic.Forall("M", lf.NatFam, logic.Forall("P", lf.NatFam,
+		logic.Lolli(
+			logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Var(2, "N"), lf.Var(1, "M"), lf.Var(0, "P")), logic.One),
+			logic.Tensor(coinP(lf.Var(2, "N")), coinP(lf.Var(1, "M"))),
+			coinP(lf.Var(0, "P")),
+		))))
+	if err := b.DeclareProp(lf.This("merge"), merge); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func atomA() logic.Prop { return logic.Atom(lf.This("a")) }
+func atomB() logic.Prop { return logic.Atom(lf.This("b")) }
+func coin(n uint64) logic.Prop {
+	return logic.Atom(lf.This("coin"), lf.Nat(n))
+}
+
+func mustCheck(t *testing.T, b *logic.Basis, m Term, want logic.Prop) {
+	t.Helper()
+	if err := Check(b, nil, m, want); err != nil {
+		t.Fatalf("Check(%s : %s): %v", m, want, err)
+	}
+}
+
+func mustFail(t *testing.T, b *logic.Basis, m Term, want logic.Prop, why string) {
+	t.Helper()
+	if err := Check(b, nil, m, want); err == nil {
+		t.Fatalf("Check(%s : %s) succeeded; want failure (%s)", m, want, why)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	b := testBasis(t)
+	mustCheck(t, b, Lam{Name: "x", Ty: atomA(), Body: V("x")}, logic.Lolli(atomA(), atomA()))
+}
+
+func TestAffineWeakening(t *testing.T) {
+	b := testBasis(t)
+	// \x:a. * : a -o 1 — discarding a resource is legal in affine logic.
+	mustCheck(t, b, Lam{Name: "x", Ty: atomA(), Body: Unit{}}, logic.Lolli(atomA(), logic.One))
+}
+
+func TestContractionRejected(t *testing.T) {
+	b := testBasis(t)
+	// \x:a. x (x) x must fail: the affine resource is consumed twice.
+	m := Lam{Name: "x", Ty: atomA(), Body: Pair{L: V("x"), R: V("x")}}
+	err := Check(b, nil, m, logic.Lolli(atomA(), logic.Tensor(atomA(), atomA())))
+	if err == nil {
+		t.Fatal("contraction accepted")
+	}
+	if !strings.Contains(err.Error(), "twice") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestTensorCommute(t *testing.T) {
+	b := testBasis(t)
+	// \p:a*b. let x (x) y = p in y (x) x : a*b -o b*a
+	m := Lam{Name: "p", Ty: logic.Tensor(atomA(), atomB()),
+		Body: LetPair{LName: "x", RName: "y", Of: V("p"),
+			Body: Pair{L: V("y"), R: V("x")}}}
+	mustCheck(t, b, m, logic.Lolli(logic.Tensor(atomA(), atomB()), logic.Tensor(atomB(), atomA())))
+}
+
+func TestUnitElim(t *testing.T) {
+	b := testBasis(t)
+	m := Lam{Name: "u", Ty: logic.One, Body: LetUnit{Of: V("u"), Body: Unit{}}}
+	mustCheck(t, b, m, logic.Lolli(logic.One, logic.One))
+}
+
+func TestWithSharesResources(t *testing.T) {
+	b := testBasis(t)
+	// \x:a. <x, x> : a -o a & a — legal: only one alternative is used.
+	m := Lam{Name: "x", Ty: atomA(), Body: WithPair{L: V("x"), R: V("x")}}
+	mustCheck(t, b, m, logic.Lolli(atomA(), logic.With(atomA(), atomA())))
+	// Projections.
+	m2 := Lam{Name: "p", Ty: logic.With(atomA(), atomB()), Body: Fst{Of: V("p")}}
+	mustCheck(t, b, m2, logic.Lolli(logic.With(atomA(), atomB()), atomA()))
+	m3 := Lam{Name: "p", Ty: logic.With(atomA(), atomB()), Body: Snd{Of: V("p")}}
+	mustCheck(t, b, m3, logic.Lolli(logic.With(atomA(), atomB()), atomB()))
+}
+
+func TestWithConsumptionPropagates(t *testing.T) {
+	b := testBasis(t)
+	// \x:a. <x,x> (x) x must fail: x is consumed by the with-pair (in
+	// the sense that it is no longer available outside).
+	m := Lam{Name: "x", Ty: atomA(),
+		Body: Pair{L: WithPair{L: V("x"), R: V("x")}, R: V("x")}}
+	mustFail(t, b, m,
+		logic.Lolli(atomA(), logic.Tensor(logic.With(atomA(), atomA()), atomA())),
+		"resource shared between with-pair and tensor")
+}
+
+func TestSumIntroCase(t *testing.T) {
+	b := testBasis(t)
+	sum := logic.Plus(atomA(), atomB()).(logic.PPlus)
+	// inl
+	m := Lam{Name: "x", Ty: atomA(), Body: Inl{Of: V("x"), As: sum}}
+	mustCheck(t, b, m, logic.Lolli(atomA(), sum))
+	// case analysis: a+a -o a
+	aa := logic.Plus(atomA(), atomA())
+	m2 := Lam{Name: "s", Ty: aa,
+		Body: Case{Of: V("s"), LName: "x", L: V("x"), RName: "y", R: V("y")}}
+	mustCheck(t, b, m2, logic.Lolli(aa, atomA()))
+	// Branches of different types fail.
+	m3 := Lam{Name: "s", Ty: sum,
+		Body: Case{Of: V("s"), LName: "x", L: V("x"), RName: "y", R: V("y")}}
+	mustFail(t, b, m3, logic.Lolli(sum, atomA()), "mismatched branches")
+	// inl with wrong component.
+	m4 := Lam{Name: "x", Ty: atomB(), Body: Inl{Of: V("x"), As: sum}}
+	mustFail(t, b, m4, logic.Lolli(atomB(), sum), "inl of wrong side")
+}
+
+func TestCaseBranchesMayConsumeDifferently(t *testing.T) {
+	b := testBasis(t)
+	// \y:a. \s:a+a. case s of inl x => x | inr _ => y
+	// The right branch consumes y, the left does not: affine-legal.
+	m := Lam{Name: "y", Ty: atomA(), Body: Lam{Name: "s", Ty: logic.Plus(atomA(), atomA()),
+		Body: Case{Of: V("s"), LName: "x", L: V("x"), RName: "z", R: V("y")}}}
+	mustCheck(t, b, m, logic.Lolli(atomA(), logic.Plus(atomA(), atomA()), atomA()))
+}
+
+func TestAbort(t *testing.T) {
+	b := testBasis(t)
+	m := Lam{Name: "z", Ty: logic.Zero, Body: Abort{Of: V("z"), As: atomA()}}
+	mustCheck(t, b, m, logic.Lolli(logic.Zero, atomA()))
+}
+
+func TestBangRequiresEmptyDelta(t *testing.T) {
+	b := testBasis(t)
+	// !* : !1 is fine.
+	mustCheck(t, b, BangI{Of: Unit{}}, logic.Bang(logic.One))
+	// \x:a. !x must fail: the bang body consumes an affine resource.
+	m := Lam{Name: "x", Ty: atomA(), Body: BangI{Of: V("x")}}
+	mustFail(t, b, m, logic.Lolli(atomA(), logic.Bang(atomA())), "affine in bang")
+	// Persistent resources are allowed inside bangs:
+	// \u:!a. let !x = u in !(x (x) x ...) — x is persistent, so even
+	// duplication inside the bang is fine.
+	m2 := Lam{Name: "u", Ty: logic.Bang(atomA()),
+		Body: LetBang{Name: "x", Of: V("u"), Body: BangI{Of: Pair{L: V("x"), R: V("x")}}}}
+	mustCheck(t, b, m2, logic.Lolli(logic.Bang(atomA()), logic.Bang(logic.Tensor(atomA(), atomA()))))
+}
+
+func TestLetBangDuplication(t *testing.T) {
+	b := testBasis(t)
+	// !a -o a (x) a via let-bang: the exponential licenses contraction.
+	m := Lam{Name: "u", Ty: logic.Bang(atomA()),
+		Body: LetBang{Name: "x", Of: V("u"), Body: Pair{L: V("x"), R: V("x")}}}
+	mustCheck(t, b, m, logic.Lolli(logic.Bang(atomA()), logic.Tensor(atomA(), atomA())))
+}
+
+func TestForallInstantiation(t *testing.T) {
+	b := testBasis(t)
+	// /\n:nat. \x:coin n. x : all n:nat. coin n -o coin n
+	coinN := logic.Atom(lf.This("coin"), lf.Var(0, "n"))
+	m := TLam{Hint: "n", Ty: lf.NatFam, Body: Lam{Name: "x", Ty: coinN, Body: V("x")}}
+	all := logic.Forall("n", lf.NatFam, logic.Lolli(coinN, coinN))
+	mustCheck(t, b, m, all)
+	// Instantiate at 7.
+	inst := Lam{Name: "f", Ty: all, Body: TApp{Fn: V("f"), Arg: lf.Nat(7)}}
+	mustCheck(t, b, inst, logic.Lolli(all, logic.Lolli(coin(7), coin(7))))
+	// Instantiating with a principal fails.
+	var k bkey.Principal
+	bad := Lam{Name: "f", Ty: all, Body: TApp{Fn: V("f"), Arg: lf.Principal(k)}}
+	mustFail(t, b, bad, logic.Lolli(all, logic.Lolli(coin(7), coin(7))), "wrong index sort")
+}
+
+func TestExistsPackUnpack(t *testing.T) {
+	b := testBasis(t)
+	ex := logic.Exists("n", lf.NatFam, coin(0)) // some n:nat. coin 0 — body ignores n
+	// pack(3, x) where x : coin 0.
+	m := Lam{Name: "x", Ty: coin(0), Body: Pack{Witness: lf.Nat(3), Of: V("x"), As: ex}}
+	mustCheck(t, b, m, logic.Lolli(coin(0), ex))
+	// unpack
+	m2 := Lam{Name: "e", Ty: ex,
+		Body: Unpack{Hint: "n", Name: "x", Of: V("e"), Body: V("x")}}
+	mustCheck(t, b, m2, logic.Lolli(ex, coin(0)))
+}
+
+func TestExistsDependentPack(t *testing.T) {
+	b := testBasis(t)
+	// some n:nat. coin n, packed at 5 with a coin 5.
+	ex := logic.Exists("n", lf.NatFam, logic.Atom(lf.This("coin"), lf.Var(0, "n")))
+	m := Lam{Name: "x", Ty: coin(5), Body: Pack{Witness: lf.Nat(5), Of: V("x"), As: ex}}
+	mustCheck(t, b, m, logic.Lolli(coin(5), ex))
+	// Packing a coin 6 at witness 5 fails.
+	m2 := Lam{Name: "x", Ty: coin(6), Body: Pack{Witness: lf.Nat(5), Of: V("x"), As: ex}}
+	mustFail(t, b, m2, logic.Lolli(coin(6), ex), "witness/body mismatch")
+}
+
+func TestUnpackEscape(t *testing.T) {
+	b := testBasis(t)
+	// Unpacking must not let the witness variable escape into the result
+	// type. Result coin n with n opened locally is rejected.
+	ex := logic.Exists("n", lf.NatFam, logic.Atom(lf.This("coin"), lf.Var(0, "n")))
+	m := Lam{Name: "e", Ty: ex,
+		Body: Unpack{Hint: "n", Name: "x", Of: V("e"), Body: V("x")}}
+	if err := Check(b, nil, m, logic.Lolli(ex, coin(5))); err == nil {
+		t.Fatal("escaping unpack accepted")
+	}
+}
+
+func TestPlusGuardIdiom(t *testing.T) {
+	// The paper's (some x:plus N M P. 1) side-condition idiom: it is
+	// inhabited exactly when N+M=P.
+	b := testBasis(t)
+	guard := logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(2), lf.Nat(3), lf.Nat(5)), logic.One)
+	m := Pack{Witness: lf.App(lf.PlusIntro, lf.Nat(2), lf.Nat(3)), Of: Unit{}, As: guard}
+	mustCheck(t, b, m, guard)
+	// The wrong sum is uninhabitable by plus_intro.
+	bad := logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(2), lf.Nat(3), lf.Nat(6)), logic.One)
+	m2 := Pack{Witness: lf.App(lf.PlusIntro, lf.Nat(2), lf.Nat(3)), Of: Unit{}, As: bad}
+	mustFail(t, b, m2, bad, "2+3 != 6")
+}
+
+func TestMergeCoins(t *testing.T) {
+	// coin 2 (x) coin 3 -o coin 5 using the merge rule: the heart of the
+	// Section 6 newcoin example.
+	b := testBasis(t)
+	guard := Pack{
+		Witness: lf.App(lf.PlusIntro, lf.Nat(2), lf.Nat(3)),
+		Of:      Unit{},
+		As:      logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(2), lf.Nat(3), lf.Nat(5)), logic.One),
+	}
+	m := Lam{Name: "p", Ty: logic.Tensor(coin(2), coin(3)),
+		Body: Apply(
+			TApply(Const{Ref: lf.This("merge")}, lf.Nat(2), lf.Nat(3), lf.Nat(5)),
+			guard,
+			V("p"),
+		)}
+	mustCheck(t, b, m, logic.Lolli(logic.Tensor(coin(2), coin(3)), coin(5)))
+
+	// Claiming coin 6 from coin 2 and coin 3 must fail.
+	badGuard := Pack{
+		Witness: lf.App(lf.PlusIntro, lf.Nat(2), lf.Nat(3)),
+		Of:      Unit{},
+		As:      logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(2), lf.Nat(3), lf.Nat(6)), logic.One),
+	}
+	m2 := Lam{Name: "p", Ty: logic.Tensor(coin(2), coin(3)),
+		Body: Apply(
+			TApply(Const{Ref: lf.This("merge")}, lf.Nat(2), lf.Nat(3), lf.Nat(6)),
+			badGuard,
+			V("p"),
+		)}
+	mustFail(t, b, m2, logic.Lolli(logic.Tensor(coin(2), coin(3)), coin(6)), "2+3 != 6")
+}
+
+func TestSayMonad(t *testing.T) {
+	b := testBasis(t)
+	k := newKey(t, "alice")
+	alice := lf.Principal(k.Principal())
+	// sayreturn: a -o <alice>a.
+	m := Lam{Name: "x", Ty: atomA(), Body: SayReturn{Prin: alice, Of: V("x")}}
+	mustCheck(t, b, m, logic.Lolli(atomA(), logic.Says(alice, atomA())))
+	// saybind: <alice>a -o <alice>(a*1)
+	m2 := Lam{Name: "s", Ty: logic.Says(alice, atomA()),
+		Body: SayBind{Name: "x", Of: V("s"),
+			Body: SayReturn{Prin: alice, Of: Pair{L: V("x"), R: Unit{}}}}}
+	mustCheck(t, b, m2, logic.Lolli(logic.Says(alice, atomA()),
+		logic.Says(alice, logic.Tensor(atomA(), logic.One))))
+	// The bind may not cross principals.
+	k2 := newKey(t, "bob")
+	bob := lf.Principal(k2.Principal())
+	m3 := Lam{Name: "s", Ty: logic.Says(alice, atomA()),
+		Body: SayBind{Name: "x", Of: V("s"),
+			Body: SayReturn{Prin: bob, Of: V("x")}}}
+	mustFail(t, b, m3, logic.Lolli(logic.Says(alice, atomA()), logic.Says(bob, atomA())),
+		"saybind crossed principals")
+	// And <alice>a gives no bare a: there is no escape from the monad.
+	m4 := Lam{Name: "s", Ty: logic.Says(alice, atomA()),
+		Body: SayBind{Name: "x", Of: V("s"), Body: V("x")}}
+	mustFail(t, b, m4, logic.Lolli(logic.Says(alice, atomA()), atomA()), "escaped the say monad")
+}
+
+func TestAssertAffine(t *testing.T) {
+	b := testBasis(t)
+	k := newKey(t, "alice")
+	payload := []byte("the transaction minus its proof term")
+	sig, err := SignAffine(k, atomA(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Assert{Key: k.PubKey(), Prop: atomA(), Sig: sig}
+	want := logic.Says(lf.Principal(k.Principal()), atomA())
+	if err := Check(b, payload, m, want); err != nil {
+		t.Fatalf("valid assert rejected: %v", err)
+	}
+	// Replay in a different transaction: the same assert under a
+	// different payload must fail. "Signing the transaction prevents an
+	// attacker from replaying the affine resource as part of a different
+	// transaction." (Section 2).
+	if err := Check(b, []byte("another transaction"), m, want); err == nil {
+		t.Fatal("affine assert replayed across transactions")
+	}
+	// Wrong proposition fails.
+	m2 := Assert{Key: k.PubKey(), Prop: atomB(), Sig: sig}
+	if err := Check(b, payload, m2,
+		logic.Says(lf.Principal(k.Principal()), atomB())); err == nil {
+		t.Fatal("assert accepted for unsigned proposition")
+	}
+}
+
+func TestAssertPersistent(t *testing.T) {
+	b := testBasis(t)
+	k := newKey(t, "acm")
+	sig, err := SignPersistent(k, atomA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Assert{Key: k.PubKey(), Prop: atomA(), Sig: sig, Persistent: true}
+	want := logic.Says(lf.Principal(k.Principal()), atomA())
+	// Portable: verifies under any transaction payload.
+	for _, payload := range [][]byte{nil, []byte("tx1"), []byte("tx2")} {
+		if err := Check(b, payload, m, want); err != nil {
+			t.Fatalf("persistent assert under payload %q: %v", payload, err)
+		}
+	}
+	// A persistent signature does not validate an affine assert and vice
+	// versa (different signing domains).
+	mAffine := Assert{Key: k.PubKey(), Prop: atomA(), Sig: sig, Persistent: false}
+	if err := Check(b, nil, mAffine, want); err == nil {
+		t.Fatal("persistent signature accepted for affine assert")
+	}
+}
+
+func TestIfMonad(t *testing.T) {
+	b := testBasis(t)
+	phi := logic.Before(1000)
+	// ifreturn: a -o if(phi, a).
+	m := Lam{Name: "x", Ty: atomA(), Body: IfReturn{Cond: phi, Of: V("x")}}
+	mustCheck(t, b, m, logic.Lolli(atomA(), logic.If(phi, atomA())))
+	// ifbind within the same condition.
+	m2 := Lam{Name: "s", Ty: logic.If(phi, atomA()),
+		Body: IfBind{Name: "x", Of: V("s"),
+			Body: IfReturn{Cond: phi, Of: Pair{L: V("x"), R: Unit{}}}}}
+	mustCheck(t, b, m2, logic.Lolli(logic.If(phi, atomA()),
+		logic.If(phi, logic.Tensor(atomA(), logic.One))))
+	// Crossing conditions fails.
+	psi := logic.Before(2000)
+	m3 := Lam{Name: "s", Ty: logic.If(phi, atomA()),
+		Body: IfBind{Name: "x", Of: V("s"), Body: IfReturn{Cond: psi, Of: V("x")}}}
+	mustFail(t, b, m3, logic.Lolli(logic.If(phi, atomA()), logic.If(psi, atomA())),
+		"ifbind crossed conditions")
+	// No discharge: if(phi,a) -o a has no proof term. The obvious
+	// attempts fail.
+	m4 := Lam{Name: "s", Ty: logic.If(phi, atomA()),
+		Body: IfBind{Name: "x", Of: V("s"), Body: V("x")}}
+	mustFail(t, b, m4, logic.Lolli(logic.If(phi, atomA()), atomA()), "escaped the if monad")
+}
+
+func TestIfWeaken(t *testing.T) {
+	b := testBasis(t)
+	op := wire.OutPoint{Hash: chainhash.HashB([]byte("R"))}
+	// if(before(1000), a) weakens to if(~spent(R) /\ before(500), a):
+	// the stronger condition entails the weaker (500 <= 1000).
+	weak := logic.If(logic.Before(1000), atomA())
+	strong := logic.And(logic.Unspent(op), logic.Before(500))
+	m := Lam{Name: "s", Ty: weak, Body: IfWeaken{Cond: strong, Of: V("s")}}
+	mustCheck(t, b, m, logic.Lolli(weak, logic.If(strong, atomA())))
+	// The reverse direction fails: before(1500) does not entail
+	// before(1000).
+	m2 := Lam{Name: "s", Ty: weak, Body: IfWeaken{Cond: logic.Before(1500), Of: V("s")}}
+	mustFail(t, b, m2, logic.Lolli(weak, logic.If(logic.Before(1500), atomA())),
+		"entailment fails")
+}
+
+func TestIfSayCommute(t *testing.T) {
+	b := testBasis(t)
+	k := newKey(t, "banker")
+	banker := lf.Principal(k.Principal())
+	phi := logic.Before(700)
+	// <banker>if(phi,a) -o if(phi,<banker>a).
+	in := logic.Says(banker, logic.If(phi, atomA()))
+	out := logic.If(phi, logic.Says(banker, atomA()))
+	m := Lam{Name: "s", Ty: in, Body: IfSay{Of: V("s")}}
+	mustCheck(t, b, m, logic.Lolli(in, out))
+	// The reverse (say/if) is not a term former; applying IfSay to the
+	// commuted form fails.
+	m2 := Lam{Name: "s", Ty: out, Body: IfSay{Of: V("s")}}
+	mustFail(t, b, m2, logic.Lolli(out, in), "say/if direction")
+}
+
+func TestLetDerivedForm(t *testing.T) {
+	b := testBasis(t)
+	m := Lam{Name: "x", Ty: atomA(),
+		Body: Let("y", atomA(), V("x"), V("y"))}
+	mustCheck(t, b, m, logic.Lolli(atomA(), atomA()))
+}
+
+func TestCheckWithHyps(t *testing.T) {
+	b := testBasis(t)
+	hyps := []Hyp{
+		{Name: "x", Prop: atomA()},
+		{Name: "y", Prop: atomB()},
+		{Name: "p", Prop: logic.Bang(atomA()), Persistent: true},
+	}
+	consumed, err := CheckWithHyps(b, nil, hyps, V("x"), atomA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consumed) != 1 || consumed[0] != "x" {
+		t.Errorf("consumed = %v, want [x]", consumed)
+	}
+	// Unused hypotheses are fine (affine).
+	if _, err := CheckWithHyps(b, nil, hyps, Unit{}, logic.One); err != nil {
+		t.Errorf("weakening with hyps: %v", err)
+	}
+	// Persistent hypotheses may be used repeatedly.
+	if _, err := CheckWithHyps(b, nil, hyps, Pair{L: V("p"), R: V("p")},
+		logic.Tensor(logic.Bang(atomA()), logic.Bang(atomA()))); err != nil {
+		t.Errorf("persistent reuse: %v", err)
+	}
+}
+
+func TestUnboundAndUnknown(t *testing.T) {
+	b := testBasis(t)
+	if err := Check(b, nil, V("ghost"), atomA()); err == nil {
+		t.Error("unbound variable accepted")
+	}
+	if err := Check(b, nil, Const{Ref: lf.This("nonesuch")}, atomA()); err == nil {
+		t.Error("unknown constant accepted")
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	b := testBasis(t)
+	// \x:a. \x:b. x : a -o b -o b — inner binding shadows.
+	m := Lam{Name: "x", Ty: atomA(), Body: Lam{Name: "x", Ty: atomB(), Body: V("x")}}
+	mustCheck(t, b, m, logic.Lolli(atomA(), atomB(), atomB()))
+}
+
+func TestQuantifiedHypothesisShift(t *testing.T) {
+	// A hypothesis bound outside an index binder must keep meaning the
+	// same proposition inside it (de Bruijn shifting of the environment).
+	b := testBasis(t)
+	coinN := logic.Atom(lf.This("coin"), lf.Var(0, "n"))
+	// \x:coin 5. /\n:nat. \y:coin n. x (x) y
+	m := Lam{Name: "x", Ty: coin(5),
+		Body: TLam{Hint: "n", Ty: lf.NatFam,
+			Body: Lam{Name: "y", Ty: coinN,
+				Body: Pair{L: V("x"), R: V("y")}}}}
+	want := logic.Lolli(coin(5),
+		logic.Forall("n", lf.NatFam,
+			logic.Lolli(coinN, logic.Tensor(logic.ShiftProp(coin(5), 1, 0), coinN))))
+	mustCheck(t, b, m, want)
+}

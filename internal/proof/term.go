@@ -1,0 +1,338 @@
+// Package proof implements the proof terms of the Typecoin logic and the
+// proof-term typing judgement T; Sigma; Psi; Gamma; Delta |- M : A
+// (paper, Appendix A): the standard terms of dual intuitionistic affine
+// logic plus the affirmation monad (sayreturn/saybind, assert/assert!)
+// and the conditional monad (ifreturn/ifbind/ifweaken/if-say).
+//
+// The checker enforces affinity by usage tracking: every affine
+// hypothesis may be consumed at most once, and weakening is free. It also
+// verifies the digital signatures carried by assert and assert!: an
+// affine assert signs the enclosing transaction (so it cannot be lifted
+// out of it — replay protection), while a persistent assert! signs only
+// the proposition.
+package proof
+
+import (
+	"typecoin/internal/bkey"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+)
+
+// Term is a proof term.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Var references a hypothesis (affine or persistent) by name.
+type Var struct{ Name string }
+
+// Const references a persistent proof constant declared in a basis (for
+// example the newcoin merge/split rules).
+type Const struct{ Ref lf.Ref }
+
+// Lam is lolli introduction: \x:A. M.
+type Lam struct {
+	Name string
+	Ty   logic.Prop
+	Body Term
+}
+
+// App is lolli elimination.
+type App struct{ Fn, Arg Term }
+
+// Pair is tensor introduction: M (x) N.
+type Pair struct{ L, R Term }
+
+// LetPair is tensor elimination: let x (x) y = M in N.
+type LetPair struct {
+	LName, RName string
+	Of           Term
+	Body         Term
+}
+
+// Unit is the introduction of 1.
+type Unit struct{}
+
+// LetUnit is the elimination of 1: let * = M in N.
+type LetUnit struct{ Of, Body Term }
+
+// WithPair is alternative-conjunction introduction: <M, N>. Both
+// components may consume the same resources, since only one will be
+// used.
+type WithPair struct{ L, R Term }
+
+// Fst projects the first component of A & B.
+type Fst struct{ Of Term }
+
+// Snd projects the second component of A & B.
+type Snd struct{ Of Term }
+
+// Inl injects into A (+) B; As is the full sum proposition.
+type Inl struct {
+	Of Term
+	As logic.Prop
+}
+
+// Inr injects into A (+) B; As is the full sum proposition.
+type Inr struct {
+	Of Term
+	As logic.Prop
+}
+
+// Case eliminates A (+) B.
+type Case struct {
+	Of           Term
+	LName, RName string
+	L, R         Term
+}
+
+// Abort eliminates 0; As is the resulting proposition.
+type Abort struct {
+	Of Term
+	As logic.Prop
+}
+
+// BangI is exponential introduction: !M. The body may use no affine
+// resources.
+type BangI struct{ Of Term }
+
+// LetBang is exponential elimination: let !x = M in N; x becomes a
+// persistent hypothesis.
+type LetBang struct {
+	Name string
+	Of   Term
+	Body Term
+}
+
+// TLam is universal introduction: /\u:tau. M.
+type TLam struct {
+	Hint string
+	Ty   lf.Family
+	Body Term
+}
+
+// TApp is universal elimination: M [m].
+type TApp struct {
+	Fn  Term
+	Arg lf.Term
+}
+
+// Pack is existential introduction: pack(m, M) as some u:tau. A.
+type Pack struct {
+	Witness lf.Term
+	Of      Term
+	As      logic.Prop
+}
+
+// Unpack is existential elimination: let (u, x) = M in N.
+type Unpack struct {
+	Hint string // LF variable name
+	Name string // proof variable name
+	Of   Term
+	Body Term
+}
+
+// SayReturn is the affirmation monad unit: sayreturn_m(M), proving <m>A
+// from A — "every principal affirms everything provable".
+type SayReturn struct {
+	Prin lf.Term
+	Of   Term
+}
+
+// SayBind is the affirmation monad bind: saybind x <- M in N, proving
+// <m>B from <m>A when N proves <m>B under x:A.
+type SayBind struct {
+	Name string
+	Of   Term
+	Body Term
+}
+
+// Assert is a primitive affirmation <K>A backed by a digital signature.
+// When Persistent is false (assert), the signature covers the proposition
+// and the enclosing transaction minus its proof term, so the affirmation
+// cannot be replayed in another transaction. When Persistent is true
+// (assert!), the signature covers only the proposition, so the
+// affirmation is portable.
+type Assert struct {
+	Key        *bkey.PublicKey
+	Prop       logic.Prop
+	Sig        *bkey.Signature
+	Persistent bool
+}
+
+// IfReturn is the conditional monad unit: ifreturn_phi(M), weakening A to
+// if(phi, A).
+type IfReturn struct {
+	Cond logic.Cond
+	Of   Term
+}
+
+// IfBind is the conditional monad bind: ifbind x <- M in N, combining
+// if(phi,A) with x:A |- N : if(phi,B).
+type IfBind struct {
+	Name string
+	Of   Term
+	Body Term
+}
+
+// IfWeaken converts if(phi',A) to if(phi,A) provided phi entails phi'.
+type IfWeaken struct {
+	Cond logic.Cond
+	Of   Term
+}
+
+// IfSay commutes the two monads: <m>if(phi,A) to if(phi,<m>A). "The
+// opposite direction is semantically dubious and we do not include it."
+type IfSay struct{ Of Term }
+
+func (Var) isTerm()       {}
+func (Const) isTerm()     {}
+func (Lam) isTerm()       {}
+func (App) isTerm()       {}
+func (Pair) isTerm()      {}
+func (LetPair) isTerm()   {}
+func (Unit) isTerm()      {}
+func (LetUnit) isTerm()   {}
+func (WithPair) isTerm()  {}
+func (Fst) isTerm()       {}
+func (Snd) isTerm()       {}
+func (Inl) isTerm()       {}
+func (Inr) isTerm()       {}
+func (Case) isTerm()      {}
+func (Abort) isTerm()     {}
+func (BangI) isTerm()     {}
+func (LetBang) isTerm()   {}
+func (TLam) isTerm()      {}
+func (TApp) isTerm()      {}
+func (Pack) isTerm()      {}
+func (Unpack) isTerm()    {}
+func (SayReturn) isTerm() {}
+func (SayBind) isTerm()   {}
+func (Assert) isTerm()    {}
+func (IfReturn) isTerm()  {}
+func (IfBind) isTerm()    {}
+func (IfWeaken) isTerm()  {}
+func (IfSay) isTerm()     {}
+
+// V is shorthand for a variable reference.
+func V(name string) Term { return Var{Name: name} }
+
+// Apply builds left-nested applications.
+func Apply(fn Term, args ...Term) Term {
+	for _, a := range args {
+		fn = App{Fn: fn, Arg: a}
+	}
+	return fn
+}
+
+// TApply builds left-nested index-term applications M [m1] [m2] ...
+func TApply(fn Term, args ...lf.Term) Term {
+	for _, a := range args {
+		fn = TApp{Fn: fn, Arg: a}
+	}
+	return fn
+}
+
+// Let is the derived form let x = M in N, implemented as (\x:A. N) M.
+// The type annotation is required for checking.
+func Let(name string, ty logic.Prop, of, body Term) Term {
+	return App{Fn: Lam{Name: name, Ty: ty, Body: body}, Arg: of}
+}
+
+// Tensor builds a left-nested chain of tensor pairs matching
+// logic.Tensor: Tensor(a, b, c) pairs ((a, b), c). An empty call is Unit.
+func TensorIntro(terms ...Term) Term {
+	if len(terms) == 0 {
+		return Unit{}
+	}
+	out := terms[0]
+	for _, t := range terms[1:] {
+		out = Pair{L: out, R: t}
+	}
+	return out
+}
+
+// CollectRefs calls fn for every constant reference in the proof term,
+// including those inside embedded propositions and index terms.
+func CollectRefs(m Term, fn func(lf.Ref)) {
+	switch m := m.(type) {
+	case Var, Unit:
+	case Const:
+		fn(m.Ref)
+	case Lam:
+		logic.CollectPropRefs(m.Ty, fn)
+		CollectRefs(m.Body, fn)
+	case App:
+		CollectRefs(m.Fn, fn)
+		CollectRefs(m.Arg, fn)
+	case Pair:
+		CollectRefs(m.L, fn)
+		CollectRefs(m.R, fn)
+	case LetPair:
+		CollectRefs(m.Of, fn)
+		CollectRefs(m.Body, fn)
+	case LetUnit:
+		CollectRefs(m.Of, fn)
+		CollectRefs(m.Body, fn)
+	case WithPair:
+		CollectRefs(m.L, fn)
+		CollectRefs(m.R, fn)
+	case Fst:
+		CollectRefs(m.Of, fn)
+	case Snd:
+		CollectRefs(m.Of, fn)
+	case Inl:
+		logic.CollectPropRefs(m.As, fn)
+		CollectRefs(m.Of, fn)
+	case Inr:
+		logic.CollectPropRefs(m.As, fn)
+		CollectRefs(m.Of, fn)
+	case Case:
+		CollectRefs(m.Of, fn)
+		CollectRefs(m.L, fn)
+		CollectRefs(m.R, fn)
+	case Abort:
+		logic.CollectPropRefs(m.As, fn)
+		CollectRefs(m.Of, fn)
+	case BangI:
+		CollectRefs(m.Of, fn)
+	case LetBang:
+		CollectRefs(m.Of, fn)
+		CollectRefs(m.Body, fn)
+	case TLam:
+		lf.CollectFamilyRefs(m.Ty, fn)
+		CollectRefs(m.Body, fn)
+	case TApp:
+		CollectRefs(m.Fn, fn)
+		lf.CollectRefs(m.Arg, fn)
+	case Pack:
+		lf.CollectRefs(m.Witness, fn)
+		logic.CollectPropRefs(m.As, fn)
+		CollectRefs(m.Of, fn)
+	case Unpack:
+		CollectRefs(m.Of, fn)
+		CollectRefs(m.Body, fn)
+	case SayReturn:
+		lf.CollectRefs(m.Prin, fn)
+		CollectRefs(m.Of, fn)
+	case SayBind:
+		CollectRefs(m.Of, fn)
+		CollectRefs(m.Body, fn)
+	case Assert:
+		logic.CollectPropRefs(m.Prop, fn)
+	case IfReturn:
+		logic.CollectCondRefs(m.Cond, fn)
+		CollectRefs(m.Of, fn)
+	case IfBind:
+		CollectRefs(m.Of, fn)
+		CollectRefs(m.Body, fn)
+	case IfWeaken:
+		logic.CollectCondRefs(m.Cond, fn)
+		CollectRefs(m.Of, fn)
+	case IfSay:
+		CollectRefs(m.Of, fn)
+	default:
+		panic("proof: unknown term")
+	}
+}

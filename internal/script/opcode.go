@@ -1,0 +1,145 @@
+// Package script implements the Bitcoin script language: a stack machine
+// "reminiscent of Forth" (paper, Section 3.3), used to lock and unlock
+// transaction outputs.
+//
+// The package provides the execution engine, the signature-hash algorithm
+// (including the SIGHASH modes that the paper's open transactions are
+// built on, Section 7), builders for the standard script schemas, and the
+// standardness classifier: "most Bitcoin nodes will not forward
+// transactions that use non-standard scripts", which is why Typecoin must
+// embed its metadata in a standard 1-of-2 OP_CHECKMULTISIG script rather
+// than an exotic one.
+package script
+
+// Opcode values. These follow Bitcoin's assignments for the subset we
+// implement; values 0x01-0x4b push that many literal bytes.
+const (
+	OP_0         = 0x00
+	OP_PUSHDATA1 = 0x4c
+	OP_PUSHDATA2 = 0x4d
+	OP_PUSHDATA4 = 0x4e
+	OP_1NEGATE   = 0x4f
+	OP_1         = 0x51
+	OP_2         = 0x52
+	OP_3         = 0x53
+	OP_4         = 0x54
+	OP_5         = 0x55
+	OP_6         = 0x56
+	OP_7         = 0x57
+	OP_8         = 0x58
+	OP_9         = 0x59
+	OP_10        = 0x5a
+	OP_11        = 0x5b
+	OP_12        = 0x5c
+	OP_13        = 0x5d
+	OP_14        = 0x5e
+	OP_15        = 0x5f
+	OP_16        = 0x60
+
+	OP_NOP    = 0x61
+	OP_IF     = 0x63
+	OP_NOTIF  = 0x64
+	OP_ELSE   = 0x67
+	OP_ENDIF  = 0x68
+	OP_VERIFY = 0x69
+	OP_RETURN = 0x6a
+
+	OP_TOALTSTACK   = 0x6b
+	OP_FROMALTSTACK = 0x6c
+	OP_2DROP        = 0x6d
+	OP_2DUP         = 0x6e
+	OP_3DUP         = 0x6f
+	OP_2OVER        = 0x70
+	OP_2ROT         = 0x71
+	OP_2SWAP        = 0x72
+	OP_IFDUP        = 0x73
+	OP_DEPTH        = 0x74
+	OP_DROP         = 0x75
+	OP_DUP          = 0x76
+	OP_NIP          = 0x77
+	OP_OVER         = 0x78
+	OP_PICK         = 0x79
+	OP_ROLL         = 0x7a
+	OP_ROT          = 0x7b
+	OP_SWAP         = 0x7c
+	OP_TUCK         = 0x7d
+
+	OP_SIZE = 0x82
+
+	OP_EQUAL       = 0x87
+	OP_EQUALVERIFY = 0x88
+
+	OP_1ADD      = 0x8b
+	OP_1SUB      = 0x8c
+	OP_NEGATE    = 0x8f
+	OP_ABS       = 0x90
+	OP_NOT       = 0x91
+	OP_0NOTEQUAL = 0x92
+
+	OP_ADD = 0x93
+	OP_SUB = 0x94
+
+	OP_BOOLAND            = 0x9a
+	OP_BOOLOR             = 0x9b
+	OP_NUMEQUAL           = 0x9c
+	OP_NUMEQUALVERIFY     = 0x9d
+	OP_NUMNOTEQUAL        = 0x9e
+	OP_LESSTHAN           = 0x9f
+	OP_GREATERTHAN        = 0xa0
+	OP_LESSTHANOREQUAL    = 0xa1
+	OP_GREATERTHANOREQUAL = 0xa2
+	OP_MIN                = 0xa3
+	OP_MAX                = 0xa4
+	OP_WITHIN             = 0xa5
+
+	OP_SHA256  = 0xa8
+	OP_HASH160 = 0xa9
+	OP_HASH256 = 0xaa
+
+	OP_CHECKSIG            = 0xac
+	OP_CHECKSIGVERIFY      = 0xad
+	OP_CHECKMULTISIG       = 0xae
+	OP_CHECKMULTISIGVERIFY = 0xaf
+)
+
+// opName maps opcode values to their conventional names for disassembly.
+var opName = map[byte]string{
+	OP_0: "OP_0", OP_PUSHDATA1: "OP_PUSHDATA1", OP_PUSHDATA2: "OP_PUSHDATA2",
+	OP_PUSHDATA4: "OP_PUSHDATA4", OP_1NEGATE: "OP_1NEGATE",
+	OP_NOP: "OP_NOP", OP_IF: "OP_IF", OP_NOTIF: "OP_NOTIF", OP_ELSE: "OP_ELSE",
+	OP_ENDIF: "OP_ENDIF", OP_VERIFY: "OP_VERIFY", OP_RETURN: "OP_RETURN",
+	OP_TOALTSTACK: "OP_TOALTSTACK", OP_FROMALTSTACK: "OP_FROMALTSTACK",
+	OP_2DROP: "OP_2DROP", OP_2DUP: "OP_2DUP", OP_3DUP: "OP_3DUP",
+	OP_2OVER: "OP_2OVER", OP_2ROT: "OP_2ROT", OP_2SWAP: "OP_2SWAP",
+	OP_IFDUP: "OP_IFDUP", OP_DEPTH: "OP_DEPTH", OP_DROP: "OP_DROP",
+	OP_DUP: "OP_DUP", OP_NIP: "OP_NIP", OP_OVER: "OP_OVER", OP_PICK: "OP_PICK",
+	OP_ROLL: "OP_ROLL", OP_ROT: "OP_ROT", OP_SWAP: "OP_SWAP", OP_TUCK: "OP_TUCK",
+	OP_SIZE: "OP_SIZE", OP_EQUAL: "OP_EQUAL", OP_EQUALVERIFY: "OP_EQUALVERIFY",
+	OP_1ADD: "OP_1ADD", OP_1SUB: "OP_1SUB", OP_NEGATE: "OP_NEGATE",
+	OP_ABS: "OP_ABS", OP_NOT: "OP_NOT", OP_0NOTEQUAL: "OP_0NOTEQUAL",
+	OP_ADD: "OP_ADD", OP_SUB: "OP_SUB",
+	OP_BOOLAND: "OP_BOOLAND", OP_BOOLOR: "OP_BOOLOR",
+	OP_NUMEQUAL: "OP_NUMEQUAL", OP_NUMEQUALVERIFY: "OP_NUMEQUALVERIFY",
+	OP_NUMNOTEQUAL: "OP_NUMNOTEQUAL", OP_LESSTHAN: "OP_LESSTHAN",
+	OP_GREATERTHAN: "OP_GREATERTHAN", OP_LESSTHANOREQUAL: "OP_LESSTHANOREQUAL",
+	OP_GREATERTHANOREQUAL: "OP_GREATERTHANOREQUAL", OP_MIN: "OP_MIN",
+	OP_MAX: "OP_MAX", OP_WITHIN: "OP_WITHIN",
+	OP_SHA256: "OP_SHA256", OP_HASH160: "OP_HASH160", OP_HASH256: "OP_HASH256",
+	OP_CHECKSIG: "OP_CHECKSIG", OP_CHECKSIGVERIFY: "OP_CHECKSIGVERIFY",
+	OP_CHECKMULTISIG:       "OP_CHECKMULTISIG",
+	OP_CHECKMULTISIGVERIFY: "OP_CHECKMULTISIGVERIFY",
+}
+
+// smallInt returns (value, true) when op encodes a small integer push
+// (OP_0, OP_1NEGATE, OP_1..OP_16).
+func smallInt(op byte) (int, bool) {
+	switch {
+	case op == OP_0:
+		return 0, true
+	case op == OP_1NEGATE:
+		return -1, true
+	case op >= OP_1 && op <= OP_16:
+		return int(op-OP_1) + 1, true
+	}
+	return 0, false
+}

@@ -1,0 +1,651 @@
+package script
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/wire"
+)
+
+type detEntropy struct{ state [32]byte }
+
+func (d *detEntropy) Read(p []byte) (int, error) {
+	for i := range p {
+		if i%32 == 0 {
+			d.state = sha256.Sum256(d.state[:])
+		}
+		p[i] = d.state[i%32]
+	}
+	return len(p), nil
+}
+
+func newKey(t testing.TB, seed string) *bkey.PrivateKey {
+	t.Helper()
+	k, err := bkey.NewPrivateKey(&detEntropy{state: sha256.Sum256([]byte(seed))})
+	if err != nil {
+		t.Fatalf("NewPrivateKey: %v", err)
+	}
+	return k
+}
+
+// runScript executes sigScript+pkScript over a dummy transaction.
+func runScript(t *testing.T, sigScript, pkScript []byte) error {
+	t.Helper()
+	tx := wire.NewMsgTx(wire.TxVersion)
+	tx.AddTxIn(&wire.TxIn{SignatureScript: sigScript,
+		PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("p"))}})
+	tx.AddTxOut(&wire.TxOut{Value: 1})
+	return VerifyInput(tx, 0, pkScript)
+}
+
+func TestSimpleArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		pk   *Builder
+		ok   bool
+	}{
+		{"2+3=5", NewBuilder().AddInt64(2).AddInt64(3).AddOp(OP_ADD).AddInt64(5).AddOp(OP_EQUAL), true},
+		{"2+3!=6", NewBuilder().AddInt64(2).AddInt64(3).AddOp(OP_ADD).AddInt64(6).AddOp(OP_EQUAL), false},
+		{"7-3=4", NewBuilder().AddInt64(7).AddInt64(3).AddOp(OP_SUB).AddInt64(4).AddOp(OP_NUMEQUAL), true},
+		{"min(3,9)=3", NewBuilder().AddInt64(3).AddInt64(9).AddOp(OP_MIN).AddInt64(3).AddOp(OP_NUMEQUAL), true},
+		{"max(3,9)=9", NewBuilder().AddInt64(3).AddInt64(9).AddOp(OP_MAX).AddInt64(9).AddOp(OP_NUMEQUAL), true},
+		{"5 within [3,8)", NewBuilder().AddInt64(5).AddInt64(3).AddInt64(8).AddOp(OP_WITHIN), true},
+		{"8 not within [3,8)", NewBuilder().AddInt64(8).AddInt64(3).AddInt64(8).AddOp(OP_WITHIN), false},
+		{"negate", NewBuilder().AddInt64(-4).AddOp(OP_NEGATE).AddInt64(4).AddOp(OP_NUMEQUAL), true},
+		{"abs", NewBuilder().AddInt64(-4).AddOp(OP_ABS).AddInt64(4).AddOp(OP_NUMEQUAL), true},
+		{"not 0", NewBuilder().AddInt64(0).AddOp(OP_NOT), true},
+		{"bool and", NewBuilder().AddInt64(1).AddInt64(2).AddOp(OP_BOOLAND), true},
+		{"bool or", NewBuilder().AddInt64(0).AddInt64(0).AddOp(OP_BOOLOR), false},
+		{"less than", NewBuilder().AddInt64(2).AddInt64(3).AddOp(OP_LESSTHAN), true},
+		{"1add", NewBuilder().AddInt64(41).AddOp(OP_1ADD).AddInt64(42).AddOp(OP_NUMEQUAL), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pk, err := tc.pk.Script()
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = runScript(t, nil, pk)
+			if tc.ok && err != nil {
+				t.Errorf("want success, got %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("want failure, got success")
+			}
+		})
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	// IF 2 ELSE 3 ENDIF with true/false selectors.
+	pk := NewBuilder().AddOp(OP_IF).AddInt64(2).AddOp(OP_ELSE).AddInt64(3).AddOp(OP_ENDIF).
+		AddInt64(2).AddOp(OP_EQUAL).MustScript()
+	if err := runScript(t, NewBuilder().AddInt64(1).MustScript(), pk); err != nil {
+		t.Errorf("true branch: %v", err)
+	}
+	if err := runScript(t, NewBuilder().AddInt64(0).MustScript(), pk); err == nil {
+		t.Error("false branch selected 2?")
+	}
+	// Nested conditionals in non-executing branches must stay balanced.
+	nested := NewBuilder().AddInt64(0).AddOp(OP_IF).AddOp(OP_IF).AddOp(OP_ENDIF).AddOp(OP_ENDIF).
+		AddInt64(1).MustScript()
+	if err := runScript(t, nil, nested); err != nil {
+		t.Errorf("nested skip: %v", err)
+	}
+	// Unbalanced IF fails.
+	if err := runScript(t, nil, NewBuilder().AddInt64(1).AddOp(OP_IF).MustScript()); err == nil {
+		t.Error("unbalanced IF accepted")
+	}
+	if err := runScript(t, nil, NewBuilder().AddOp(OP_ENDIF).AddInt64(1).MustScript()); err == nil {
+		t.Error("stray ENDIF accepted")
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"dup", NewBuilder().AddInt64(5).AddOp(OP_DUP).AddOp(OP_NUMEQUAL)},
+		{"swap", NewBuilder().AddInt64(1).AddInt64(2).AddOp(OP_SWAP).AddOp(OP_DROP).AddInt64(2).AddOp(OP_NUMEQUAL)},
+		{"over", NewBuilder().AddInt64(7).AddInt64(8).AddOp(OP_OVER).AddInt64(7).AddOp(OP_NUMEQUAL).
+			AddOp(OP_NIP).AddOp(OP_NIP)},
+		{"rot", NewBuilder().AddInt64(1).AddInt64(2).AddInt64(3).AddOp(OP_ROT).
+			AddInt64(1).AddOp(OP_NUMEQUAL).AddOp(OP_NIP).AddOp(OP_NIP)},
+		{"tuck+depth", NewBuilder().AddInt64(1).AddInt64(2).AddOp(OP_TUCK).AddOp(OP_DEPTH).
+			AddInt64(3).AddOp(OP_NUMEQUAL).AddOp(OP_NIP).AddOp(OP_NIP)},
+		{"alt stack", NewBuilder().AddInt64(9).AddOp(OP_TOALTSTACK).AddInt64(1).AddOp(OP_DROP).
+			AddOp(OP_FROMALTSTACK).AddInt64(9).AddOp(OP_NUMEQUAL)},
+		{"pick", NewBuilder().AddInt64(10).AddInt64(20).AddInt64(1).AddOp(OP_PICK).
+			AddInt64(10).AddOp(OP_NUMEQUAL).AddOp(OP_NIP).AddOp(OP_NIP)},
+		{"roll", NewBuilder().AddInt64(10).AddInt64(20).AddInt64(1).AddOp(OP_ROLL).
+			AddInt64(10).AddOp(OP_NUMEQUAL).AddOp(OP_NIP)},
+		{"size", NewBuilder().AddData([]byte("abc")).AddOp(OP_SIZE).AddInt64(3).AddOp(OP_NUMEQUAL).AddOp(OP_NIP)},
+		{"ifdup nonzero", NewBuilder().AddInt64(5).AddOp(OP_IFDUP).AddOp(OP_NUMEQUAL)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := runScript(t, nil, tc.b.MustScript()); err != nil {
+				t.Errorf("%s: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	ops := []byte{OP_DUP, OP_DROP, OP_SWAP, OP_ADD, OP_EQUAL, OP_ROT, OP_FROMALTSTACK, OP_VERIFY}
+	for _, op := range ops {
+		if err := runScript(t, nil, []byte{op}); err == nil {
+			t.Errorf("opcode %#02x on empty stack accepted", op)
+		}
+	}
+}
+
+func TestHashOpcodes(t *testing.T) {
+	data := []byte("preimage")
+	sum := chainhash.HashB(data)
+	pk := NewBuilder().AddOp(OP_SHA256).AddData(sum[:]).AddOp(OP_EQUAL).MustScript()
+	if err := runScript(t, NewBuilder().AddData(data).MustScript(), pk); err != nil {
+		t.Errorf("sha256 preimage: %v", err)
+	}
+	dsum := chainhash.DoubleHashB(data)
+	pk2 := NewBuilder().AddOp(OP_HASH256).AddData(dsum[:]).AddOp(OP_EQUAL).MustScript()
+	if err := runScript(t, NewBuilder().AddData(data).MustScript(), pk2); err != nil {
+		t.Errorf("hash256 preimage: %v", err)
+	}
+}
+
+func TestOpReturnFails(t *testing.T) {
+	pk, err := NullDataScript([]byte("metadata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = runScript(t, nil, pk)
+	if !errors.Is(err, ErrEarlyReturn) {
+		t.Errorf("want ErrEarlyReturn, got %v", err)
+	}
+}
+
+func TestScriptNumRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		enc := encodeScriptNum(int64(v))
+		dec, err := decodeScriptNum(enc)
+		return err == nil && dec == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := decodeScriptNum([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("5-byte number accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := [][]byte{
+		{0x05, 0x01},             // push overruns
+		{OP_PUSHDATA1},           // truncated length
+		{OP_PUSHDATA1, 10, 0x01}, // payload overruns
+		{OP_PUSHDATA2, 0xff},     // truncated length
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("malformed script % x parsed", s)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	k := newKey(t, "disasm")
+	dis := Disassemble(PayToPubKeyHash(k.Principal()))
+	for _, want := range []string{"OP_DUP", "OP_HASH160", "OP_EQUALVERIFY", "OP_CHECKSIG"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly %q missing %s", dis, want)
+		}
+	}
+}
+
+// makeSpend builds a one-input one-output transaction spending a dummy
+// outpoint locked with pkScript.
+func makeSpend(pkScript []byte) *wire.MsgTx {
+	tx := wire.NewMsgTx(wire.TxVersion)
+	tx.AddTxIn(&wire.TxIn{
+		PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("funding")), Index: 0},
+		Sequence:         wire.MaxTxInSequenceNum,
+	})
+	tx.AddTxOut(&wire.TxOut{Value: 4000, PkScript: []byte{OP_1}})
+	_ = pkScript
+	return tx
+}
+
+func TestP2PKHSignAndVerify(t *testing.T) {
+	key := newKey(t, "p2pkh")
+	pkScript := PayToPubKeyHash(key.Principal())
+	tx := makeSpend(pkScript)
+	sig, err := SignatureScript(tx, 0, pkScript, SigHashAll, key)
+	if err != nil {
+		t.Fatalf("SignatureScript: %v", err)
+	}
+	tx.TxIn[0].SignatureScript = sig
+	if err := VerifyInput(tx, 0, pkScript); err != nil {
+		t.Fatalf("VerifyInput: %v", err)
+	}
+	// Mutating the transaction invalidates the signature.
+	tx.TxOut[0].Value = 9999
+	if err := VerifyInput(tx, 0, pkScript); err == nil {
+		t.Error("signature still valid after output mutation")
+	}
+}
+
+func TestP2PKHWrongKey(t *testing.T) {
+	key := newKey(t, "right")
+	wrong := newKey(t, "wrong")
+	pkScript := PayToPubKeyHash(key.Principal())
+	tx := makeSpend(pkScript)
+	if _, err := SignatureScript(tx, 0, pkScript, SigHashAll, wrong); !errors.Is(err, ErrNotMine) {
+		t.Errorf("want ErrNotMine, got %v", err)
+	}
+	// Force-sign with the wrong key by constructing the script manually.
+	digest, err := CalcSignatureHash(pkScript, SigHashAll, tx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wrong.Sign(digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = NewBuilder().
+		AddData(append(s.Serialize(), byte(SigHashAll))).
+		AddData(wrong.PubKey().Serialize()).MustScript()
+	if err := VerifyInput(tx, 0, pkScript); err == nil {
+		t.Error("wrong-key spend verified")
+	}
+}
+
+func TestP2PK(t *testing.T) {
+	key := newKey(t, "p2pk")
+	pkScript := PayToPubKey(key.PubKey())
+	if Classify(pkScript) != PubKeyTy {
+		t.Fatalf("classify = %v", Classify(pkScript))
+	}
+	tx := makeSpend(pkScript)
+	sig, err := SignatureScript(tx, 0, pkScript, SigHashAll, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = sig
+	if err := VerifyInput(tx, 0, pkScript); err != nil {
+		t.Fatalf("VerifyInput: %v", err)
+	}
+}
+
+func TestMultiSig1of2WithMetadata(t *testing.T) {
+	// The paper's metadata encoding: 1-of-2 where one slot is a hash.
+	key := newKey(t, "real")
+	meta := chainhash.TaggedHash("typecoin/tx", []byte("typecoin payload"))
+	pkScript, err := MultiSigScript(1, key.PubKey().Serialize(), MetadataKeySlot(meta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Classify(pkScript) != MultiSigTy {
+		t.Fatalf("classify = %v, want multisig", Classify(pkScript))
+	}
+	if !IsStandard(pkScript) {
+		t.Fatal("1-of-2 metadata script must be standard (Section 3.3)")
+	}
+	tx := makeSpend(pkScript)
+	sig, err := MultiSigSignatureScript(tx, 0, pkScript, SigHashAll, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = sig
+	if err := VerifyInput(tx, 0, pkScript); err != nil {
+		t.Fatalf("spend of metadata output: %v", err)
+	}
+	// The metadata must be recoverable.
+	_, slots, ok := ExtractMultiSig(pkScript)
+	if !ok {
+		t.Fatal("ExtractMultiSig failed")
+	}
+	found := false
+	for _, slot := range slots {
+		if h, isMeta := ExtractMetadataKeySlot(slot); isMeta {
+			if h != meta {
+				t.Error("metadata hash mismatch")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no metadata slot found")
+	}
+}
+
+func TestMultiSig2of3(t *testing.T) {
+	k1, k2, k3 := newKey(t, "a"), newKey(t, "b"), newKey(t, "c")
+	pkScript, err := MultiSigScript(2,
+		k1.PubKey().Serialize(), k2.PubKey().Serialize(), k3.PubKey().Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := makeSpend(pkScript)
+	// Signatures must appear in key order: (k1,k3) works.
+	sig, err := MultiSigSignatureScript(tx, 0, pkScript, SigHashAll, k1, k3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = sig
+	if err := VerifyInput(tx, 0, pkScript); err != nil {
+		t.Fatalf("2-of-3: %v", err)
+	}
+	// One signature is not enough.
+	short := NewBuilder().AddOp(OP_0)
+	digest, _ := CalcSignatureHash(pkScript, SigHashAll, tx, 0)
+	s1, err := k1.Sign(digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	short.AddData(append(s1.Serialize(), byte(SigHashAll)))
+	tx.TxIn[0].SignatureScript = short.MustScript()
+	if err := VerifyInput(tx, 0, pkScript); err == nil {
+		t.Error("1 signature satisfied 2-of-3")
+	}
+	// Duplicate signature must not count twice.
+	dup, err := MultiSigSignatureScript(tx, 0, pkScript, SigHashAll, k1, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = dup
+	if err := VerifyInput(tx, 0, pkScript); err == nil {
+		t.Error("duplicated signature satisfied 2-of-3")
+	}
+	// Out-of-order signatures fail (k3 before k1).
+	ooo, err := MultiSigSignatureScript(tx, 0, pkScript, SigHashAll, k3, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = ooo
+	if err := VerifyInput(tx, 0, pkScript); err == nil {
+		t.Error("out-of-order signatures satisfied 2-of-3")
+	}
+}
+
+func TestMultiSigScriptErrors(t *testing.T) {
+	k := newKey(t, "k")
+	if _, err := MultiSigScript(0, k.PubKey().Serialize()); err == nil {
+		t.Error("0-of-1 accepted")
+	}
+	if _, err := MultiSigScript(2, k.PubKey().Serialize()); err == nil {
+		t.Error("2-of-1 accepted")
+	}
+	if _, err := MultiSigScript(1, []byte("short")); err == nil {
+		t.Error("short key slot accepted")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	k := newKey(t, "cls")
+	nullData, err := NullDataScript([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MultiSigScript(1, k.PubKey().Serialize(), k.PubKey().Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		s    []byte
+		want ScriptClass
+	}{
+		{PayToPubKeyHash(k.Principal()), PubKeyHashTy},
+		{PayToPubKey(k.PubKey()), PubKeyTy},
+		{ms, MultiSigTy},
+		{nullData, NullDataTy},
+		{[]byte{OP_1, OP_ADD}, NonStandardTy},
+		{nil, NonStandardTy},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.s); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", Disassemble(tc.s), got, tc.want)
+		}
+	}
+	if IsStandard([]byte{OP_1, OP_ADD}) {
+		t.Error("nonstandard script passed IsStandard")
+	}
+}
+
+func TestExtractPubKeyHash(t *testing.T) {
+	k := newKey(t, "ext")
+	p, ok := ExtractPubKeyHash(PayToPubKeyHash(k.Principal()))
+	if !ok || p != k.Principal() {
+		t.Error("ExtractPubKeyHash failed")
+	}
+	if _, ok := ExtractPubKeyHash([]byte{OP_1}); ok {
+		t.Error("extracted principal from non-P2PKH")
+	}
+}
+
+func TestExtractNullData(t *testing.T) {
+	s, err := NullDataScript([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := ExtractNullData(s)
+	if !ok || !bytes.Equal(data, []byte("hello")) {
+		t.Error("ExtractNullData failed")
+	}
+	if _, err := NullDataScript(make([]byte, 100)); err == nil {
+		t.Error("oversized null data accepted")
+	}
+}
+
+func TestSigHashModes(t *testing.T) {
+	key := newKey(t, "modes")
+	pkScript := PayToPubKeyHash(key.Principal())
+
+	build := func() *wire.MsgTx {
+		tx := wire.NewMsgTx(wire.TxVersion)
+		tx.AddTxIn(&wire.TxIn{PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("f1")), Index: 0}})
+		tx.AddTxIn(&wire.TxIn{PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("f2")), Index: 1}})
+		tx.AddTxOut(&wire.TxOut{Value: 100, PkScript: []byte{OP_1}})
+		tx.AddTxOut(&wire.TxOut{Value: 200, PkScript: []byte{OP_1}})
+		return tx
+	}
+
+	t.Run("none allows output changes", func(t *testing.T) {
+		tx := build()
+		h1, err := CalcSignatureHash(pkScript, SigHashNone, tx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.TxOut[0].Value = 12345
+		h2, err := CalcSignatureHash(pkScript, SigHashNone, tx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Error("SigHashNone committed to outputs")
+		}
+	})
+
+	t.Run("single commits only to same-index output", func(t *testing.T) {
+		tx := build()
+		h1, err := CalcSignatureHash(pkScript, SigHashSingle, tx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.TxOut[1].Value = 999 // other output may change
+		h2, err := CalcSignatureHash(pkScript, SigHashSingle, tx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Error("SigHashSingle committed to other outputs")
+		}
+		tx.TxOut[0].Value = 999 // own output may not
+		h3, err := CalcSignatureHash(pkScript, SigHashSingle, tx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 == h3 {
+			t.Error("SigHashSingle ignored own output")
+		}
+	})
+
+	t.Run("single out of range", func(t *testing.T) {
+		tx := build()
+		tx.TxOut = tx.TxOut[:1]
+		if _, err := CalcSignatureHash(pkScript, SigHashSingle, tx, 1); !errors.Is(err, ErrSigHashSingleIndex) {
+			t.Errorf("want ErrSigHashSingleIndex, got %v", err)
+		}
+	})
+
+	t.Run("anyonecanpay allows added inputs", func(t *testing.T) {
+		tx := build()
+		h1, err := CalcSignatureHash(pkScript, SigHashAll|SigHashAnyOneCanPay, tx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Adding another input must not change the digest of input 0.
+		tx.TxIn = append(tx.TxIn, &wire.TxIn{
+			PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("f3"))}})
+		h2, err := CalcSignatureHash(pkScript, SigHashAll|SigHashAnyOneCanPay, tx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Error("anyonecanpay committed to other inputs")
+		}
+		// Without the flag it must change.
+		tx2 := build()
+		h3, err := CalcSignatureHash(pkScript, SigHashAll, tx2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx2.TxIn = append(tx2.TxIn, &wire.TxIn{
+			PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("f3"))}})
+		h4, err := CalcSignatureHash(pkScript, SigHashAll, tx2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h3 == h4 {
+			t.Error("SigHashAll ignored added input")
+		}
+	})
+}
+
+func TestVerifyInputRejectsNonPushSigScript(t *testing.T) {
+	tx := wire.NewMsgTx(wire.TxVersion)
+	tx.AddTxIn(&wire.TxIn{SignatureScript: []byte{OP_1, OP_1, OP_ADD}})
+	tx.AddTxOut(&wire.TxOut{Value: 1})
+	err := VerifyInput(tx, 0, []byte{OP_1})
+	if !errors.Is(err, ErrSigScriptNotPush) {
+		t.Errorf("want ErrSigScriptNotPush, got %v", err)
+	}
+}
+
+func TestOpsLimit(t *testing.T) {
+	b := NewBuilder().AddInt64(1)
+	for i := 0; i < maxOpsPerScript+1; i++ {
+		b.AddOp(OP_NOP)
+	}
+	if err := runScript(t, nil, b.MustScript()); !errors.Is(err, ErrTooManyOps) {
+		t.Errorf("want ErrTooManyOps, got %v", err)
+	}
+}
+
+func TestBuilderAddDataLarge(t *testing.T) {
+	// Pushes above 0x4b bytes need PUSHDATA1; above 255, PUSHDATA2.
+	for _, n := range []int{0x4b, 0x4c, 255, 256, 520} {
+		data := bytes.Repeat([]byte{0xaa}, n)
+		s, err := NewBuilder().AddData(data).Script()
+		if err != nil {
+			t.Fatalf("AddData(%d): %v", n, err)
+		}
+		instrs, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse after AddData(%d): %v", n, err)
+		}
+		if len(instrs) != 1 || !bytes.Equal(instrs[0].Data, data) {
+			t.Errorf("AddData(%d) did not round trip", n)
+		}
+	}
+}
+
+func TestSigHashNoneEndToEnd(t *testing.T) {
+	// A SigHashNone signature stays valid when outputs are replaced —
+	// the foundation of "erase parts of a transaction before checking
+	// its signatures" (Section 8).
+	key := newKey(t, "none")
+	pkScript := PayToPubKeyHash(key.Principal())
+	tx := makeSpend(pkScript)
+	sig, err := SignatureScript(tx, 0, pkScript, SigHashNone, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = sig
+	if err := VerifyInput(tx, 0, pkScript); err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	// Redirect the output entirely: still valid.
+	tx.TxOut[0] = &wire.TxOut{Value: 1, PkScript: []byte{OP_1}}
+	if err := VerifyInput(tx, 0, pkScript); err != nil {
+		t.Errorf("after output replacement: %v", err)
+	}
+	// But adding another input invalidates (inputs are still covered).
+	tx.TxIn = append(tx.TxIn, &wire.TxIn{
+		PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("new"))}})
+	if err := VerifyInput(tx, 0, pkScript); err == nil {
+		t.Error("SigHashNone ignored an added input")
+	}
+}
+
+func TestSigHashNoneAnyOneCanPay(t *testing.T) {
+	// None|AnyOneCanPay: only this input is covered; both outputs and
+	// other inputs may change — the maximally open signature.
+	key := newKey(t, "nacp")
+	pkScript := PayToPubKeyHash(key.Principal())
+	tx := makeSpend(pkScript)
+	ht := SigHashNone | SigHashAnyOneCanPay
+	sig, err := SignatureScript(tx, 0, pkScript, ht, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = sig
+	tx.TxOut[0] = &wire.TxOut{Value: 77, PkScript: []byte{OP_1}}
+	tx.TxIn = append(tx.TxIn, &wire.TxIn{
+		PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("other"))}})
+	if err := VerifyInput(tx, 0, pkScript); err != nil {
+		t.Errorf("none|anyonecanpay after mutations: %v", err)
+	}
+}
+
+func TestDoubleSpendWithinBlockRejected(t *testing.T) {
+	// Covered at the chain layer too, but the sighash layer must not be
+	// fooled by the same signature appearing twice in one transaction
+	// (condition 3 of Section 2 is checked elsewhere; here the two
+	// inputs have different indices, so the digests differ).
+	key := newKey(t, "dsw")
+	pkScript := PayToPubKeyHash(key.Principal())
+	tx := wire.NewMsgTx(wire.TxVersion)
+	op := wire.OutPoint{Hash: chainhash.HashB([]byte("f")), Index: 0}
+	tx.AddTxIn(&wire.TxIn{PreviousOutPoint: op})
+	tx.AddTxIn(&wire.TxIn{PreviousOutPoint: op})
+	tx.AddTxOut(&wire.TxOut{Value: 1, PkScript: []byte{OP_1}})
+	sig0, err := SignatureScript(tx, 0, pkScript, SigHashAll, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.TxIn[0].SignatureScript = sig0
+	// Reusing input 0's signature for input 1 must fail (different
+	// digest).
+	tx.TxIn[1].SignatureScript = sig0
+	if err := VerifyInput(tx, 1, pkScript); err == nil {
+		t.Error("signature reused across input indices")
+	}
+}

@@ -1,0 +1,98 @@
+package script
+
+import (
+	"bytes"
+	"errors"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/wire"
+)
+
+// SigHashType selects which parts of the spending transaction a signature
+// commits to. "Our open transactions are inspired by and generalize
+// Bitcoin's SIGHASH rules, which erase parts of a transaction before
+// checking its signatures, thereby allowing those parts to be altered."
+// (paper, Section 8).
+type SigHashType uint32
+
+const (
+	// SigHashAll commits to all inputs and outputs (the default).
+	SigHashAll SigHashType = 0x01
+	// SigHashNone commits to no outputs: anyone may redirect the value.
+	SigHashNone SigHashType = 0x02
+	// SigHashSingle commits only to the output with the same index as the
+	// signed input.
+	SigHashSingle SigHashType = 0x03
+	// SigHashAnyOneCanPay is a modifier: the signature commits only to its
+	// own input, letting others add inputs. This is the mechanism behind
+	// Typecoin's open transactions (Section 7): the issuer leaves input
+	// slots blank for anyone to fill in.
+	SigHashAnyOneCanPay SigHashType = 0x80
+
+	sigHashMask = 0x1f
+)
+
+// ErrSigHashSingleIndex is returned when SigHashSingle is used on an input
+// whose index has no corresponding output.
+var ErrSigHashSingleIndex = errors.New("script: sighash single index out of range")
+
+// CalcSignatureHash computes the digest that a signature for input idx of
+// tx signs, given the subscript (the pkScript of the output being spent)
+// and the hash type.
+func CalcSignatureHash(subscript []byte, hashType SigHashType, tx *wire.MsgTx, idx int) (chainhash.Hash, error) {
+	if idx < 0 || idx >= len(tx.TxIn) {
+		return chainhash.Hash{}, errors.New("script: sighash input index out of range")
+	}
+	if hashType&sigHashMask == SigHashSingle && idx >= len(tx.TxOut) {
+		return chainhash.Hash{}, ErrSigHashSingleIndex
+	}
+
+	txCopy := tx.Copy()
+	// Blank all input scripts, then set the signed input's script to the
+	// subscript.
+	for i := range txCopy.TxIn {
+		if i == idx {
+			txCopy.TxIn[i].SignatureScript = subscript
+		} else {
+			txCopy.TxIn[i].SignatureScript = nil
+		}
+	}
+
+	switch hashType & sigHashMask {
+	case SigHashNone:
+		txCopy.TxOut = nil
+		for i := range txCopy.TxIn {
+			if i != idx {
+				txCopy.TxIn[i].Sequence = 0
+			}
+		}
+	case SigHashSingle:
+		txCopy.TxOut = txCopy.TxOut[:idx+1]
+		for i := 0; i < idx; i++ {
+			txCopy.TxOut[i] = &wire.TxOut{Value: -1, PkScript: nil}
+		}
+		for i := range txCopy.TxIn {
+			if i != idx {
+				txCopy.TxIn[i].Sequence = 0
+			}
+		}
+	default:
+		// SigHashAll: nothing to erase.
+	}
+
+	if hashType&SigHashAnyOneCanPay != 0 {
+		txCopy.TxIn = txCopy.TxIn[idx : idx+1]
+	}
+
+	var buf bytes.Buffer
+	if err := txCopy.Serialize(&buf); err != nil {
+		return chainhash.Hash{}, err
+	}
+	var ht [4]byte
+	ht[0] = byte(hashType)
+	ht[1] = byte(hashType >> 8)
+	ht[2] = byte(hashType >> 16)
+	ht[3] = byte(hashType >> 24)
+	buf.Write(ht[:])
+	return chainhash.DoubleHashB(buf.Bytes()), nil
+}

@@ -1,0 +1,273 @@
+// Package surface implements a concrete syntax for the Typecoin logic:
+// a lexer, parser and printer for LF kinds, type families, index terms,
+// propositions and conditions, using ASCII spellings of the paper's
+// notation:
+//
+//	A -o B          affine implication
+//	A * B           simultaneous conjunction (tensor)
+//	A & B           alternative conjunction (with)
+//	A + B           disjunction
+//	1, 0            units
+//	!A              exponential
+//	all u:t. A      universal quantification
+//	some u:t. A     existential quantification
+//	<K> A           affirmation ("K says A")
+//	receipt(A / n ->> K)
+//	if(phi, A)      conditional
+//	true, c1 /\ c2, ~c, before(t), spent(txid.n)
+//	\u:t. m         LF abstraction;  Pi u:t. t'  dependent function type
+//	#hex40          principal literal;  decimal digits  nat literal
+//	this.l, txid64.l, name   constant references
+//
+// The parser resolves names against a Scope; the printer emits text the
+// parser accepts (round-trip property, experiment F1).
+package surface
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokHash // #hex principal literal
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokDot
+	tokLolli    // -o
+	tokArrow    // ->
+	tokRouted   // ->>
+	tokStar     // *
+	tokAmp      // &
+	tokPlusSym  // +
+	tokBang     // !
+	tokLAngle   // <
+	tokRAngle   // >
+	tokTilde    // ~
+	tokWedge    // /\
+	tokSlash    // /
+	tokLambda   // \
+	tokLBracket // [
+	tokRBracket // ]
+	tokEquals   // =
+	tokDArrow   // =>
+	tokPipe     // |
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokHash:
+		return "principal literal"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDot:
+		return "'.'"
+	case tokLolli:
+		return "'-o'"
+	case tokArrow:
+		return "'->'"
+	case tokRouted:
+		return "'->>'"
+	case tokStar:
+		return "'*'"
+	case tokAmp:
+		return "'&'"
+	case tokPlusSym:
+		return "'+'"
+	case tokBang:
+		return "'!'"
+	case tokLAngle:
+		return "'<'"
+	case tokRAngle:
+		return "'>'"
+	case tokTilde:
+		return "'~'"
+	case tokWedge:
+		return "'/\\'"
+	case tokSlash:
+		return "'/'"
+	case tokLambda:
+		return "'\\'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokEquals:
+		return "'='"
+	case tokDArrow:
+		return "'=>'"
+	case tokPipe:
+		return "'|'"
+	default:
+		return "?"
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a parse failure with its byte offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error renders the failure.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("surface: offset %d: %s", e.Pos, e.Msg)
+}
+
+// lex tokenizes the input. Identifiers may contain letters, digits, '-',
+// '_' and '\” (primes from the printer), starting with a letter or '_'.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '%': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '&':
+			toks = append(toks, token{tokAmp, "&", i})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlusSym, "+", i})
+			i++
+		case c == '!':
+			toks = append(toks, token{tokBang, "!", i})
+			i++
+		case c == '<':
+			toks = append(toks, token{tokLAngle, "<", i})
+			i++
+		case c == '>':
+			toks = append(toks, token{tokRAngle, ">", i})
+			i++
+		case c == '~':
+			toks = append(toks, token{tokTilde, "~", i})
+			i++
+		case c == '\\':
+			toks = append(toks, token{tokLambda, "\\", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|", i})
+			i++
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tokDArrow, "=>", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokEquals, "=", i})
+				i++
+			}
+		case c == '/':
+			if i+1 < len(src) && src[i+1] == '\\' {
+				toks = append(toks, token{tokWedge, "/\\", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSlash, "/", i})
+				i++
+			}
+		case c == '-':
+			switch {
+			case strings.HasPrefix(src[i:], "->>"):
+				toks = append(toks, token{tokRouted, "->>", i})
+				i += 3
+			case strings.HasPrefix(src[i:], "-o"):
+				toks = append(toks, token{tokLolli, "-o", i})
+				i += 2
+			case strings.HasPrefix(src[i:], "->"):
+				toks = append(toks, token{tokArrow, "->", i})
+				i += 2
+			default:
+				return nil, &SyntaxError{i, "stray '-'"}
+			}
+		case c == '#':
+			j := i + 1
+			for j < len(src) && isHexDigit(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, &SyntaxError{i, "empty principal literal"}
+			}
+			toks = append(toks, token{tokHash, src[i+1 : j], i})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (isHexDigit(src[j]) || isIdentRune(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && isIdentRune(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, &SyntaxError{i, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '-' || c == '_' || c == '\''
+}

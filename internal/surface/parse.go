@@ -1,0 +1,932 @@
+package surface
+
+import (
+	"fmt"
+	"strconv"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/wire"
+)
+
+// Scope resolves bare identifiers to constant references. Binders always
+// shadow the scope.
+type Scope interface {
+	ResolveName(name string) (lf.Ref, bool)
+}
+
+// MapScope is a Scope backed by explicit bindings, with optional
+// fall-through to this.name for unknown identifiers (convenient when
+// writing a transaction's own basis).
+type MapScope struct {
+	Bindings map[string]lf.Ref
+	// ImplicitThis resolves unknown names to this.name.
+	ImplicitThis bool
+}
+
+// NewScope creates a scope preloaded with the built-in constant names.
+func NewScope(implicitThis bool) *MapScope {
+	return &MapScope{
+		Bindings: map[string]lf.Ref{
+			"principal":  lf.Global("principal"),
+			"nat":        lf.Global("nat"),
+			"time":       lf.Global("nat"), // "the type time is actually just nat"
+			"add":        lf.Global("add"),
+			"plus":       lf.Global("plus"),
+			"plus_intro": lf.Global("plus_intro"),
+		},
+		ImplicitThis: implicitThis,
+	}
+}
+
+// Bind adds a name binding and returns the scope for chaining.
+func (s *MapScope) Bind(name string, r lf.Ref) *MapScope {
+	s.Bindings[name] = r
+	return s
+}
+
+// ResolveName implements Scope.
+func (s *MapScope) ResolveName(name string) (lf.Ref, bool) {
+	if r, ok := s.Bindings[name]; ok {
+		return r, true
+	}
+	if s.ImplicitThis {
+		return lf.This(name), true
+	}
+	return lf.Ref{}, false
+}
+
+// parser state.
+type parser struct {
+	toks  []token
+	pos   int
+	scope Scope
+	binds []string // LF de Bruijn environment, innermost last
+	// proofVars tracks bound proof-hypothesis names (they shadow
+	// constants in proof-term position).
+	proofVars []string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind) bool {
+	return p.toks[p.pos].kind == k
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, &SyntaxError{t.pos, fmt.Sprintf("expected %v, found %v %q", k, t.kind, t.text)}
+	}
+	return t, nil
+}
+
+func (p *parser) lookupBinder(name string) (int, bool) {
+	for i := len(p.binds) - 1; i >= 0; i-- {
+		if p.binds[i] == name {
+			return len(p.binds) - 1 - i, true
+		}
+	}
+	return 0, false
+}
+
+// parseRef parses a constant reference: ident, this.ident, or
+// hex64.ident. The caller has already ruled out binders.
+func (p *parser) parseRef() (lf.Ref, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if t.text == "this" && p.at(tokDot) {
+			p.next()
+			lbl, err := p.expect(tokIdent)
+			if err != nil {
+				return lf.Ref{}, err
+			}
+			return lf.This(lbl.text), nil
+		}
+		if len(t.text) == 64 && isAllHex(t.text) && p.at(tokDot) {
+			p.next()
+			lbl, err := p.expect(tokIdent)
+			if err != nil {
+				return lf.Ref{}, err
+			}
+			h, err := chainhash.NewHashFromStr(t.text)
+			if err != nil {
+				return lf.Ref{}, &SyntaxError{t.pos, err.Error()}
+			}
+			return lf.TxRef(h, lbl.text), nil
+		}
+		r, ok := p.scope.ResolveName(t.text)
+		if !ok {
+			return lf.Ref{}, &SyntaxError{t.pos, fmt.Sprintf("unknown name %q", t.text)}
+		}
+		return r, nil
+	case tokNumber:
+		if len(t.text) == 64 && isAllHex(t.text) && p.at(tokDot) {
+			p.next()
+			lbl, err := p.expect(tokIdent)
+			if err != nil {
+				return lf.Ref{}, err
+			}
+			h, err := chainhash.NewHashFromStr(t.text)
+			if err != nil {
+				return lf.Ref{}, &SyntaxError{t.pos, err.Error()}
+			}
+			return lf.TxRef(h, lbl.text), nil
+		}
+		return lf.Ref{}, &SyntaxError{t.pos, "expected a reference"}
+	default:
+		return lf.Ref{}, &SyntaxError{t.pos, fmt.Sprintf("expected a reference, found %v", t.kind)}
+	}
+}
+
+func isAllHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isHexDigit(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- LF terms ----
+
+// parseTerm parses a full term (lambda or application spine).
+func (p *parser) parseTerm() (lf.Term, error) {
+	if p.at(tokLambda) {
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseFamily()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		p.binds = append(p.binds, name.text)
+		body, err := p.parseTerm()
+		p.binds = p.binds[:len(p.binds)-1]
+		if err != nil {
+			return nil, err
+		}
+		return lf.Lam(name.text, ty, body), nil
+	}
+	head, err := p.parseTermAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.startsTermAtom() {
+		arg, err := p.parseTermAtom()
+		if err != nil {
+			return nil, err
+		}
+		head = lf.App(head, arg)
+	}
+	return head, nil
+}
+
+func (p *parser) startsTermAtom() bool {
+	switch p.peek().kind {
+	case tokNumber, tokHash, tokIdent, tokLParen:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTermAtom() (lf.Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		if len(t.text) == 64 && isAllHex(t.text) && p.toks[p.pos+1].kind == tokDot {
+			ref, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			return lf.Const(ref), nil
+		}
+		p.next()
+		n, err := strconv.ParseUint(t.text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{t.pos, "malformed number " + t.text}
+		}
+		return lf.Nat(n), nil
+	case tokHash:
+		p.next()
+		prin, err := bkey.ParsePrincipal(t.text)
+		if err != nil {
+			return nil, &SyntaxError{t.pos, err.Error()}
+		}
+		return lf.Principal(prin), nil
+	case tokIdent:
+		if idx, ok := p.lookupBinder(t.text); ok {
+			p.next()
+			return lf.Var(idx, t.text), nil
+		}
+		ref, err := p.parseRef()
+		if err != nil {
+			return nil, err
+		}
+		return lf.Const(ref), nil
+	case tokLParen:
+		p.next()
+		m, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, &SyntaxError{t.pos, fmt.Sprintf("expected a term, found %v", t.kind)}
+	}
+}
+
+// ---- LF families ----
+
+// parseFamily parses fam ('->' fam)* (right associative) with Pi
+// binders.
+func (p *parser) parseFamily() (lf.Family, error) {
+	if t := p.peek(); t.kind == tokIdent && t.text == "Pi" {
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseFamily()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		p.binds = append(p.binds, name.text)
+		body, err := p.parseFamily()
+		p.binds = p.binds[:len(p.binds)-1]
+		if err != nil {
+			return nil, err
+		}
+		return lf.Pi(name.text, arg, body), nil
+	}
+	left, err := p.parseFamilyApp()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokArrow) {
+		p.next()
+		right, err := p.parseFamily()
+		if err != nil {
+			return nil, err
+		}
+		return lf.Arrow(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseFamilyApp() (lf.Family, error) {
+	head, err := p.parseFamilyAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.startsTermAtom() {
+		arg, err := p.parseTermAtom()
+		if err != nil {
+			return nil, err
+		}
+		head = lf.FamApp(head, arg)
+	}
+	return head, nil
+}
+
+func (p *parser) parseFamilyAtom() (lf.Family, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		p.next()
+		f, err := p.parseFamily()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent, tokNumber:
+		ref, err := p.parseRef()
+		if err != nil {
+			return nil, err
+		}
+		return lf.FamConst(ref), nil
+	default:
+		return nil, &SyntaxError{t.pos, fmt.Sprintf("expected a type family, found %v", t.kind)}
+	}
+}
+
+// ---- LF kinds ----
+
+func (p *parser) parseKind() (lf.Kind, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		switch t.text {
+		case "type":
+			p.next()
+			return lf.KType{}, nil
+		case "prop":
+			p.next()
+			return lf.KProp{}, nil
+		case "Pi":
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseFamily()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokDot); err != nil {
+				return nil, err
+			}
+			p.binds = append(p.binds, name.text)
+			body, err := p.parseKind()
+			p.binds = p.binds[:len(p.binds)-1]
+			if err != nil {
+				return nil, err
+			}
+			return lf.KPi{Hint: name.text, Arg: arg, Body: body}, nil
+		}
+	}
+	// fam -> kind
+	arg, err := p.parseFamilyApp()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	body, err := p.parseKind()
+	if err != nil {
+		return nil, err
+	}
+	return lf.KArrow(arg, body), nil
+}
+
+// ---- propositions ----
+
+// parseProp parses at the lowest precedence: quantifiers and lolli.
+func (p *parser) parseProp() (logic.Prop, error) {
+	if t := p.peek(); t.kind == tokIdent && (t.text == "all" || t.text == "some") {
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseFamily()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		p.binds = append(p.binds, name.text)
+		body, err := p.parseProp()
+		p.binds = p.binds[:len(p.binds)-1]
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "all" {
+			return logic.Forall(name.text, ty, body), nil
+		}
+		return logic.Exists(name.text, ty, body), nil
+	}
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokLolli) {
+		p.next()
+		right, err := p.parseProp() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return logic.PLolli{A: left, B: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseSum() (logic.Prop, error) {
+	left, err := p.parseWith()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlusSym) {
+		p.next()
+		right, err := p.parseWith()
+		if err != nil {
+			return nil, err
+		}
+		left = logic.PPlus{A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseWith() (logic.Prop, error) {
+	left, err := p.parseTensor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokAmp) {
+		p.next()
+		right, err := p.parseTensor()
+		if err != nil {
+			return nil, err
+		}
+		left = logic.PWith{A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTensor() (logic.Prop, error) {
+	left, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokStar) {
+		p.next()
+		right, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		left = logic.PTensor{A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrefix() (logic.Prop, error) {
+	switch p.peek().kind {
+	case tokBang:
+		p.next()
+		body, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return logic.PBang{A: body}, nil
+	case tokLAngle:
+		p.next()
+		prin, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRAngle); err != nil {
+			return nil, err
+		}
+		body, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return logic.PSays{Prin: prin, Body: body}, nil
+	default:
+		return p.parsePropAtom()
+	}
+}
+
+func (p *parser) parsePropAtom() (logic.Prop, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		if t.text == "1" {
+			p.next()
+			return logic.POne{}, nil
+		}
+		if t.text == "0" {
+			p.next()
+			return logic.PZero{}, nil
+		}
+		if len(t.text) == 64 && isAllHex(t.text) {
+			return p.parseAtomApplication()
+		}
+		return nil, &SyntaxError{t.pos, "a bare number is not a proposition"}
+	case tokLParen:
+		p.next()
+		inner, err := p.parseProp()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokIdent:
+		switch t.text {
+		case "receipt":
+			return p.parseReceipt()
+		case "if":
+			p.next()
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			body, err := p.parseProp()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return logic.PIf{Cond: cond, Body: body}, nil
+		}
+		return p.parseAtomApplication()
+	default:
+		return nil, &SyntaxError{t.pos, fmt.Sprintf("expected a proposition, found %v", t.kind)}
+	}
+}
+
+// parseAtomApplication parses an atomic proposition: ref term*.
+func (p *parser) parseAtomApplication() (logic.Prop, error) {
+	ref, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	fam := lf.FamConst(ref)
+	for p.startsTermAtom() {
+		arg, err := p.parseTermAtom()
+		if err != nil {
+			return nil, err
+		}
+		fam = lf.FamApp(fam, arg)
+	}
+	return logic.PAtom{Fam: fam}, nil
+}
+
+// parseReceipt parses receipt(A / n ->> K) or receipt(n ->> K).
+func (p *parser) parseReceipt() (logic.Prop, error) {
+	p.next() // 'receipt'
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	// Amount-only form: number followed immediately by '->>'.
+	if t := p.peek(); t.kind == tokNumber && p.toks[p.pos+1].kind == tokRouted {
+		p.next()
+		amount, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{t.pos, "malformed amount"}
+		}
+		p.next() // ->>
+		to, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return logic.PReceipt{Amount: amount, To: to}, nil
+	}
+	res, err := p.parseProp()
+	if err != nil {
+		return nil, err
+	}
+	var amount int64
+	if p.at(tokSlash) {
+		p.next()
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		amount, err = strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{t.pos, "malformed amount"}
+		}
+	}
+	if _, err := p.expect(tokRouted); err != nil {
+		return nil, err
+	}
+	to, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return logic.PReceipt{Res: res, Amount: amount, To: to}, nil
+}
+
+// ---- conditions ----
+
+func (p *parser) parseCond() (logic.Cond, error) {
+	left, err := p.parseCondAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokWedge) {
+		p.next()
+		right, err := p.parseCondAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = logic.CAnd{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCondAtom() (logic.Cond, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokTilde:
+		p.next()
+		inner, err := p.parseCondAtom()
+		if err != nil {
+			return nil, err
+		}
+		return logic.CNot{C: inner}, nil
+	case t.kind == tokLParen:
+		p.next()
+		inner, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tokIdent && t.text == "true":
+		p.next()
+		return logic.CTrue{}, nil
+	case t.kind == tokIdent && t.text == "before":
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		tm, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return logic.CBefore{T: tm}, nil
+	case t.kind == tokIdent && t.text == "spent":
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		id := p.next()
+		if (id.kind != tokIdent && id.kind != tokNumber) || len(id.text) != 64 || !isAllHex(id.text) {
+			return nil, &SyntaxError{id.pos, "expected a 64-hex transaction id"}
+		}
+		h, err := chainhash.NewHashFromStr(id.text)
+		if err != nil {
+			return nil, &SyntaxError{id.pos, err.Error()}
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		idx, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseUint(idx.text, 10, 32)
+		if err != nil {
+			return nil, &SyntaxError{idx.pos, "malformed output index"}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return logic.CSpent{Out: wire.OutPoint{Hash: h, Index: uint32(n)}}, nil
+	default:
+		return nil, &SyntaxError{t.pos, fmt.Sprintf("expected a condition, found %v %q", t.kind, t.text)}
+	}
+}
+
+// ---- entry points ----
+
+func newParser(src string, sc Scope) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	if sc == nil {
+		sc = NewScope(false)
+	}
+	return &parser{toks: toks, scope: sc}, nil
+}
+
+func (p *parser) finish() error {
+	if !p.at(tokEOF) {
+		t := p.peek()
+		return &SyntaxError{t.pos, fmt.Sprintf("unexpected trailing %v %q", t.kind, t.text)}
+	}
+	return nil
+}
+
+// ParseProp parses a proposition.
+func ParseProp(src string, sc Scope) (logic.Prop, error) {
+	p, err := newParser(src, sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.parseProp()
+	if err != nil {
+		return nil, err
+	}
+	return out, p.finish()
+}
+
+// ParseCond parses a condition.
+func ParseCond(src string, sc Scope) (logic.Cond, error) {
+	p, err := newParser(src, sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	return out, p.finish()
+}
+
+// ParseTerm parses an LF index term.
+func ParseTerm(src string, sc Scope) (lf.Term, error) {
+	p, err := newParser(src, sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return out, p.finish()
+}
+
+// ParseFamily parses an LF type family.
+func ParseFamily(src string, sc Scope) (lf.Family, error) {
+	p, err := newParser(src, sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.parseFamily()
+	if err != nil {
+		return nil, err
+	}
+	return out, p.finish()
+}
+
+// ParseKind parses an LF kind.
+func ParseKind(src string, sc Scope) (lf.Kind, error) {
+	p, err := newParser(src, sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.parseKind()
+	if err != nil {
+		return nil, err
+	}
+	return out, p.finish()
+}
+
+// ParseBasis parses a sequence of declarations of the form
+//
+//	name : classifier.
+//
+// (one per line; '%' comments allowed), building a basis of this-local
+// constants. Each classifier is tried as a kind, then as an LF type
+// family, then as a proposition — mirroring the three sorts of Figure 1.
+// Earlier declarations are visible to later ones through the scope.
+func ParseBasis(src string, sc *MapScope) (*logic.Basis, error) {
+	if sc == nil {
+		sc = NewScope(false)
+	}
+	b := logic.NewBasis(nil)
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	pos := 0
+	for toks[pos].kind != tokEOF {
+		name := toks[pos]
+		if name.kind != tokIdent {
+			return nil, &SyntaxError{name.pos, "expected a declaration name"}
+		}
+		pos++
+		if toks[pos].kind != tokColon {
+			return nil, &SyntaxError{toks[pos].pos, "expected ':' after declaration name"}
+		}
+		pos++
+		// Find the terminating '.': the first parenthesis-balanced dot
+		// followed by EOF or the start of the next declaration
+		// ("ident :"). Binder dots ("all n:nat. ...") never match,
+		// because a binder body cannot be empty.
+		end := -1
+		depth := 0
+		for i := pos; toks[i].kind != tokEOF; i++ {
+			switch toks[i].kind {
+			case tokLParen:
+				depth++
+			case tokRParen:
+				depth--
+			case tokDot:
+				if depth == 0 {
+					next := toks[i+1]
+					if next.kind == tokEOF ||
+						(next.kind == tokIdent && toks[i+2].kind == tokColon) {
+						end = i
+					}
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return nil, &SyntaxError{name.pos, "declaration not terminated by '.'"}
+		}
+		body := &parser{toks: append(append([]token(nil), toks[pos:end]...),
+			token{tokEOF, "", toks[end].pos}), scope: sc}
+
+		ref := lf.This(name.text)
+		declared := false
+		// Try a kind first (kinds cannot be confused with the other
+		// sorts: they end in "type" or "prop").
+		if k, kerr := tryParse(body, func(p *parser) (interface{}, error) {
+			v, e := p.parseKind()
+			return v, e
+		}); kerr == nil {
+			if err := b.DeclareFam(ref, k.(lf.Kind)); err != nil {
+				return nil, err
+			}
+			declared = true
+		}
+		// Families and propositions share surface forms (an atom IS a
+		// family application), so disambiguate semantically: if the body
+		// is a well-formed proposition over the basis built so far,
+		// declare a proof constant; if it is a well-formed type (kind
+		// "type"), declare a term constant.
+		if !declared {
+			if p2, perr := tryParse(body, func(p *parser) (interface{}, error) {
+				v, e := p.parseProp()
+				return v, e
+			}); perr == nil {
+				if logic.CheckProp(b, nil, p2.(logic.Prop)) == nil {
+					if err := b.DeclareProp(ref, p2.(logic.Prop)); err != nil {
+						return nil, err
+					}
+					declared = true
+				}
+			}
+		}
+		if !declared {
+			f, ferr := tryParse(body, func(p *parser) (interface{}, error) {
+				v, e := p.parseFamily()
+				return v, e
+			})
+			if ferr != nil {
+				return nil, fmt.Errorf("surface: declaration %s: %w", name.text, ferr)
+			}
+			if err := lf.CheckFamilyIsType(b, nil, f.(lf.Family)); err != nil {
+				return nil, fmt.Errorf("surface: declaration %s: %w", name.text, err)
+			}
+			if err := b.DeclareTerm(ref, f.(lf.Family)); err != nil {
+				return nil, err
+			}
+		}
+		sc.Bind(name.text, ref)
+		pos = end + 1
+	}
+	return b, nil
+}
+
+// tryParse runs fn on a fresh copy of the parser and requires it to
+// consume all input.
+func tryParse(template *parser, fn func(*parser) (interface{}, error)) (interface{}, error) {
+	p := &parser{toks: template.toks, scope: template.scope}
+	v, err := fn(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.finish(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

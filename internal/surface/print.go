@@ -1,0 +1,243 @@
+package surface
+
+import (
+	"fmt"
+	"strings"
+
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+)
+
+// Full-fidelity printing: the output is accepted by the parser and
+// elaborates to the same (alpha-equivalent) syntax — the F1 round-trip
+// property. Unlike the diagnostic printers in lf and logic, principals
+// print in full and binder names are freshened against both enclosing
+// binders and a reserved word list.
+
+var reserved = map[string]bool{
+	"all": true, "some": true, "if": true, "receipt": true,
+	"before": true, "spent": true, "true": true,
+	"type": true, "prop": true, "Pi": true, "this": true,
+	"principal": true, "nat": true, "time": true,
+	"add": true, "plus": true, "plus_intro": true,
+}
+
+func freshen(hint string, names []string) string {
+	if hint == "" || hint == "_" {
+		hint = "u"
+	}
+	for reserved[hint] || contains(names, hint) {
+		hint += "'"
+	}
+	return hint
+}
+
+func contains(names []string, s string) bool {
+	for _, n := range names {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+// PrintTerm renders an LF term.
+func PrintTerm(t lf.Term) string { return printTerm(t, nil, false) }
+
+func printTerm(t lf.Term, names []string, paren bool) string {
+	switch t := t.(type) {
+	case lf.TVar:
+		if t.Index < len(names) {
+			return names[len(names)-1-t.Index]
+		}
+		return fmt.Sprintf("_free%d", t.Index)
+	case lf.TConst:
+		return t.Ref.String()
+	case lf.TNat:
+		return fmt.Sprintf("%d", t.N)
+	case lf.TPrincipal:
+		return "#" + t.K.String()
+	case lf.TLam:
+		name := freshen(t.Hint, names)
+		s := fmt.Sprintf("\\%s:%s. %s", name, printFamily(t.Arg, names, false),
+			printTerm(t.Body, append(names, name), false))
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	case lf.TApp:
+		s := fmt.Sprintf("%s %s", printTerm(t.Fn, names, headNeedsParen(t.Fn)),
+			printTerm(t.Arg, names, argNeedsParen(t.Arg)))
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return "?term"
+	}
+}
+
+func headNeedsParen(t lf.Term) bool {
+	_, isLam := t.(lf.TLam)
+	return isLam
+}
+
+func argNeedsParen(t lf.Term) bool {
+	switch t.(type) {
+	case lf.TApp, lf.TLam:
+		return true
+	}
+	return false
+}
+
+// PrintFamily renders an LF family.
+func PrintFamily(f lf.Family) string { return printFamily(f, nil, false) }
+
+func printFamily(f lf.Family, names []string, paren bool) string {
+	switch f := f.(type) {
+	case lf.FConst:
+		return f.Ref.String()
+	case lf.FApp:
+		s := fmt.Sprintf("%s %s", printFamily(f.Fam, names, false),
+			printTerm(f.Arg, names, argNeedsParen(f.Arg)))
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	case lf.FPi:
+		var s string
+		if lf.FamilyUsesVar(f.Body, 0) {
+			name := freshen(f.Hint, names)
+			s = fmt.Sprintf("Pi %s:%s. %s", name, printFamily(f.Arg, names, false),
+				printFamily(f.Body, append(names, name), false))
+		} else {
+			s = fmt.Sprintf("%s -> %s", printFamily(f.Arg, names, true),
+				printFamily(lf.SubstFamily(f.Body, 0, lf.Nat(0)), names, false))
+		}
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return "?family"
+	}
+}
+
+// PrintKind renders an LF kind.
+func PrintKind(k lf.Kind) string { return printKind(k, nil) }
+
+func printKind(k lf.Kind, names []string) string {
+	switch k := k.(type) {
+	case lf.KType:
+		return "type"
+	case lf.KProp:
+		return "prop"
+	case lf.KPi:
+		if lf.KindUsesVar(k.Body, 0) {
+			name := freshen(k.Hint, names)
+			return fmt.Sprintf("Pi %s:%s. %s", name, printFamily(k.Arg, names, false),
+				printKind(k.Body, append(names, name)))
+		}
+		return fmt.Sprintf("%s -> %s", printFamily(k.Arg, names, true),
+			printKind(lf.SubstKind(k.Body, 0, lf.Nat(0)), names))
+	default:
+		return "?kind"
+	}
+}
+
+// PrintProp renders a proposition. Precedence levels mirror the parser:
+// lolli/quantifiers (1) < plus (2) < with (3) < tensor (4) < prefix (5).
+func PrintProp(p logic.Prop) string { return printProp(p, nil, 1) }
+
+func printProp(p logic.Prop, names []string, prec int) string {
+	wrap := func(s string, level int) string {
+		if prec > level {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	switch p := p.(type) {
+	case logic.PAtom:
+		return printFamily(p.Fam, names, false)
+	case logic.PLolli:
+		return wrap(printProp(p.A, names, 2)+" -o "+printProp(p.B, names, 1), 1)
+	case logic.PPlus:
+		return wrap(printProp(p.A, names, 2)+" + "+printProp(p.B, names, 3), 2)
+	case logic.PWith:
+		return wrap(printProp(p.A, names, 3)+" & "+printProp(p.B, names, 4), 3)
+	case logic.PTensor:
+		return wrap(printProp(p.A, names, 4)+" * "+printProp(p.B, names, 5), 4)
+	case logic.PZero:
+		return "0"
+	case logic.POne:
+		return "1"
+	case logic.PBang:
+		return "!" + printProp(p.A, names, 5)
+	case logic.PForall:
+		name := freshen(p.Hint, names)
+		return wrap(fmt.Sprintf("all %s:%s. %s", name, printFamily(p.Ty, names, false),
+			printProp(p.Body, append(names, name), 1)), 1)
+	case logic.PExists:
+		name := freshen(p.Hint, names)
+		return wrap(fmt.Sprintf("some %s:%s. %s", name, printFamily(p.Ty, names, false),
+			printProp(p.Body, append(names, name), 1)), 1)
+	case logic.PSays:
+		return wrap("<"+printTerm(p.Prin, names, false)+"> "+printProp(p.Body, names, 5), 5)
+	case logic.PReceipt:
+		if p.Res == nil {
+			return fmt.Sprintf("receipt(%d ->> %s)", p.Amount, printTerm(p.To, names, false))
+		}
+		return fmt.Sprintf("receipt(%s / %d ->> %s)",
+			printProp(p.Res, names, 1), p.Amount, printTerm(p.To, names, false))
+	case logic.PIf:
+		return fmt.Sprintf("if(%s, %s)", printCond(p.Cond, names), printProp(p.Body, names, 1))
+	default:
+		return "?prop"
+	}
+}
+
+// PrintCond renders a condition.
+func PrintCond(c logic.Cond) string { return printCond(c, nil) }
+
+func printCond(c logic.Cond, names []string) string {
+	switch c := c.(type) {
+	case logic.CTrue:
+		return "true"
+	case logic.CAnd:
+		return condAtom(c.L, names) + " /\\ " + condAtom(c.R, names)
+	case logic.CNot:
+		return "~" + condAtom(c.C, names)
+	case logic.CBefore:
+		return fmt.Sprintf("before(%s)", printTerm(c.T, names, false))
+	case logic.CSpent:
+		return fmt.Sprintf("spent(%s.%d)", c.Out.Hash, c.Out.Index)
+	default:
+		return "?cond"
+	}
+}
+
+func condAtom(c logic.Cond, names []string) string {
+	if _, ok := c.(logic.CAnd); ok {
+		return "(" + printCond(c, names) + ")"
+	}
+	return printCond(c, names)
+}
+
+// PrintBasis renders a basis's local declarations as parsable lines:
+// "name : classifier." — families first, then terms, then propositions.
+func PrintBasis(b *logic.Basis) string {
+	var sb strings.Builder
+	for _, r := range b.LocalFamRefs() {
+		k, _ := b.LocalFam(r)
+		fmt.Fprintf(&sb, "%s : %s.\n", r.Label, PrintKind(k))
+	}
+	for _, r := range b.LocalTermRefs() {
+		f, _ := b.LocalTerm(r)
+		fmt.Fprintf(&sb, "%s : %s.\n", r.Label, PrintFamily(f))
+	}
+	for _, r := range b.LocalPropRefs() {
+		p, _ := b.LocalProp(r)
+		fmt.Fprintf(&sb, "%s : %s.\n", r.Label, PrintProp(p))
+	}
+	return sb.String()
+}

@@ -1,0 +1,208 @@
+package surface
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/proof"
+)
+
+type detEntropy struct{ state [32]byte }
+
+func (d *detEntropy) Read(p []byte) (int, error) {
+	for i := range p {
+		if i%32 == 0 {
+			d.state = sha256.Sum256(d.state[:])
+		}
+		p[i] = d.state[i%32]
+	}
+	return len(p), nil
+}
+
+// proofEq compares proof terms via their canonical encoding.
+func proofEq(a, b proof.Term) bool {
+	var ba, bb bytes.Buffer
+	if proof.Encode(&ba, a) != nil || proof.Encode(&bb, b) != nil {
+		return false
+	}
+	return bytes.Equal(ba.Bytes(), bb.Bytes())
+}
+
+func proofScope() *MapScope {
+	return NewScope(true)
+}
+
+func TestParseProofBasics(t *testing.T) {
+	a := logic.Atom(lf.This("a"))
+	cases := []struct {
+		src  string
+		want proof.Term
+	}{
+		{`\x:a. x`, proof.Lam{Name: "x", Ty: a, Body: proof.V("x")}},
+		{`unit`, proof.Unit{}},
+		{`pair(unit, unit)`, proof.Pair{L: proof.Unit{}, R: proof.Unit{}}},
+		{`let x * y = p in pair(y, x)`,
+			proof.LetPair{LName: "x", RName: "y", Of: proof.Const{Ref: lf.This("p")},
+				Body: proof.Pair{L: proof.V("y"), R: proof.V("x")}}},
+		{`let unit = u in unit`,
+			proof.LetUnit{Of: proof.Const{Ref: lf.This("u")}, Body: proof.Unit{}}},
+		{`<unit, unit>`, proof.WithPair{L: proof.Unit{}, R: proof.Unit{}}},
+		{`fst w`, proof.Fst{Of: proof.Const{Ref: lf.This("w")}}},
+		{`snd w`, proof.Snd{Of: proof.Const{Ref: lf.This("w")}}},
+		{`inl[a + a] unit`, proof.Inl{As: logic.Plus(a, a), Of: proof.Unit{}}},
+		{`case s of inl x => x | inr y => y`,
+			proof.Case{Of: proof.Const{Ref: lf.This("s")},
+				LName: "x", L: proof.V("x"), RName: "y", R: proof.V("y")}},
+		{`abort[a] z`, proof.Abort{As: a, Of: proof.Const{Ref: lf.This("z")}}},
+		{`!unit`, proof.BangI{Of: proof.Unit{}}},
+		{`let !x = u in pair(x, x)`,
+			proof.LetBang{Name: "x", Of: proof.Const{Ref: lf.This("u")},
+				Body: proof.Pair{L: proof.V("x"), R: proof.V("x")}}},
+		{`/\n:nat. unit`, proof.TLam{Hint: "n", Ty: lf.NatFam, Body: proof.Unit{}}},
+		{`f [7]`, proof.TApp{Fn: proof.Const{Ref: lf.This("f")}, Arg: lf.Nat(7)}},
+		{`pack[3 : some n:nat. 1](unit)`,
+			proof.Pack{Witness: lf.Nat(3),
+				As: logic.Exists("n", lf.NatFam, logic.One), Of: proof.Unit{}}},
+		{`let (n, x) = unpack e in x`,
+			proof.Unpack{Hint: "n", Name: "x", Of: proof.Const{Ref: lf.This("e")},
+				Body: proof.V("x")}},
+		{`saybind x = s in sayreturn[#0000000000000000000000000000000000000000] x`,
+			proof.SayBind{Name: "x", Of: proof.Const{Ref: lf.This("s")},
+				Body: proof.SayReturn{Prin: lf.Principal(bkey.Principal{}), Of: proof.V("x")}}},
+		{`ifbind x = s in ifreturn[before(9)] x`,
+			proof.IfBind{Name: "x", Of: proof.Const{Ref: lf.This("s")},
+				Body: proof.IfReturn{Cond: logic.Before(9), Of: proof.V("x")}}},
+		{`ifweaken[true] s`, proof.IfWeaken{Cond: logic.True, Of: proof.Const{Ref: lf.This("s")}}},
+		{`ifsay s`, proof.IfSay{Of: proof.Const{Ref: lf.This("s")}}},
+		// Application is left-associative; binders extend right.
+		{`f x y`, proof.Apply(proof.Const{Ref: lf.This("f")},
+			proof.Const{Ref: lf.This("x")}, proof.Const{Ref: lf.This("y")})},
+		{`\x:a. f x`, proof.Lam{Name: "x", Ty: a,
+			Body: proof.App{Fn: proof.Const{Ref: lf.This("f")}, Arg: proof.V("x")}}},
+	}
+	for _, tc := range cases {
+		got, err := ParseProof(tc.src, proofScope())
+		if err != nil {
+			t.Errorf("ParseProof(%q): %v", tc.src, err)
+			continue
+		}
+		if !proofEq(got, tc.want) {
+			t.Errorf("ParseProof(%q) = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseProofErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`\x. x`,                // missing annotation
+		`let x y = p in x`,     // malformed let
+		`case s of inl x => x`, // missing arm
+		`pack[3](unit)`,        // missing annotation
+		`pair(unit)`,           // arity
+		`fst`,                  // missing operand
+		`let`, `in`,            // stray keywords
+		`assert(zz, zz, 1)`, // bad hex
+	}
+	for _, src := range bad {
+		if _, err := ParseProof(src, proofScope()); err == nil {
+			t.Errorf("ParseProof(%q) succeeded", src)
+		}
+	}
+}
+
+// TestProofRoundTrip: PrintProof output reparses to the same term for
+// every constructor, including a full end-to-end check through the proof
+// checker.
+func TestProofRoundTrip(t *testing.T) {
+	key, err := bkey.NewPrivateKey(&detEntropy{state: sha256.Sum256([]byte("surface"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := logic.Atom(lf.This("a"))
+	sig, err := proof.SignPersistent(key, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := []proof.Term{
+		proof.Lam{Name: "x", Ty: a, Body: proof.V("x")},
+		proof.Lam{Name: "p", Ty: logic.Tensor(a, a),
+			Body: proof.LetPair{LName: "x", RName: "y", Of: proof.V("p"),
+				Body: proof.Pair{L: proof.V("y"), R: proof.V("x")}}},
+		proof.WithPair{L: proof.Unit{}, R: proof.Fst{Of: proof.Const{Ref: lf.This("w")}}},
+		proof.Case{Of: proof.Const{Ref: lf.This("s")},
+			LName: "x", L: proof.Inl{As: logic.Plus(a, a), Of: proof.V("x")},
+			RName: "y", R: proof.Inr{As: logic.Plus(a, a), Of: proof.V("y")}},
+		proof.LetBang{Name: "m", Of: proof.Const{Ref: lf.This("u")},
+			Body: proof.BangI{Of: proof.V("m")}},
+		proof.TLam{Hint: "n", Ty: lf.NatFam,
+			Body: proof.TApp{Fn: proof.Const{Ref: lf.This("f")}, Arg: lf.Var(0, "n")}},
+		proof.Pack{Witness: lf.App(lf.PlusIntro, lf.Nat(2), lf.Nat(3)),
+			As: logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(2), lf.Nat(3), lf.Nat(5)), logic.One),
+			Of: proof.Unit{}},
+		proof.Unpack{Hint: "n", Name: "x", Of: proof.Const{Ref: lf.This("e")},
+			Body: proof.V("x")},
+		proof.SayBind{Name: "f", Of: proof.Assert{Key: key.PubKey(), Prop: a, Sig: sig, Persistent: true},
+			Body: proof.SayReturn{Prin: lf.Principal(key.Principal()), Of: proof.V("f")}},
+		proof.IfBind{Name: "z",
+			Of: proof.IfWeaken{Cond: logic.And(logic.Before(10), logic.True),
+				Of: proof.IfSay{Of: proof.Const{Ref: lf.This("s")}}},
+			Body: proof.IfReturn{Cond: logic.And(logic.Before(10), logic.True), Of: proof.V("z")}},
+		proof.Abort{As: a, Of: proof.Const{Ref: lf.This("z")}},
+		proof.LetUnit{Of: proof.Unit{}, Body: proof.Unit{}},
+	}
+	for _, m := range terms {
+		text := PrintProof(m)
+		back, err := ParseProof(text, proofScope())
+		if err != nil {
+			t.Errorf("reparse of %q: %v", text, err)
+			continue
+		}
+		if !proofEq(back, m) {
+			t.Errorf("round trip changed:\n  term:  %s\n  text:  %s\n  back:  %s", m, text, back)
+		}
+	}
+}
+
+// TestParsedProofChecks: a proof written in concrete syntax passes the
+// proof checker — the newcoin merge, end to end from text.
+func TestParsedProofChecks(t *testing.T) {
+	basisSrc := `
+coin  : nat -> prop.
+merge : all N:nat. all M:nat. all P:nat.
+        (some x:plus N M P. 1) -o coin N * coin M -o coin P.
+`
+	sc := NewScope(false)
+	b, err := ParseBasis(basisSrc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proofSrc := `\p:coin 2 * coin 3.
+	  merge [2] [3] [5] (pack[plus_intro 2 2 : some x:plus 2 3 5. 1](unit)) p`
+	// Deliberate mistake first: plus_intro 2 2 witnesses 2+2=4, not
+	// 2+3=5.
+	m, err := ParseProof(proofSrc, sc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want, err := ParseProp("coin 2 * coin 3 -o coin 5", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Check(b, nil, m, want); err == nil {
+		t.Fatal("wrong witness accepted")
+	}
+	// Now the correct witness.
+	m2, err := ParseProof(`\p:coin 2 * coin 3.
+	  merge [2] [3] [5] (pack[plus_intro 2 3 : some x:plus 2 3 5. 1](unit)) p`, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Check(b, nil, m2, want); err != nil {
+		t.Fatalf("textual merge proof rejected: %v", err)
+	}
+}

@@ -1,0 +1,661 @@
+package surface
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/proof"
+)
+
+// Concrete syntax for proof terms, mirroring the paper's notation:
+//
+//	x                              hypothesis
+//	use, this.use, txid64.use      proof constants
+//	\x:A. M                        lolli introduction
+//	M N                            application
+//	M [m]                          index application
+//	unit                           1 introduction
+//	pair(M, N)                     tensor introduction
+//	let x * y = M in N             tensor elimination
+//	let unit = M in N              1 elimination
+//	<M, N>  fst M  snd M           alternative conjunction
+//	inl[A+B] M   inr[A+B] M        sum introduction (annotated)
+//	case M of inl x => N | inr y => P
+//	abort[A] M                     0 elimination (annotated)
+//	!M   let !x = M in N           exponential
+//	/\u:t. M                       index abstraction
+//	pack[m : A](M)                 existential introduction (A = the existential)
+//	let (u, x) = unpack M in N     existential elimination
+//	sayreturn[m] M                 affirmation unit
+//	saybind x = M in N             affirmation bind
+//	assert(keyhex, sighex, A)      affine primitive affirmation
+//	assert!(keyhex, sighex, A)     persistent primitive affirmation
+//	ifreturn[phi] M  ifweaken[phi] M  ifsay M
+//	ifbind x = M in N
+//
+// Binders extend as far right as possible; application associates left.
+
+// proofKeywords are identifiers with special meaning in proof-term
+// position; they cannot name hypotheses.
+var proofKeywords = map[string]bool{
+	"let": true, "in": true, "case": true, "of": true,
+	"inl": true, "inr": true, "fst": true, "snd": true,
+	"abort": true, "pack": true, "unpack": true, "unit": true,
+	"pair": true, "sayreturn": true, "saybind": true, "assert": true,
+	"ifreturn": true, "ifbind": true, "ifweaken": true, "ifsay": true,
+}
+
+// ParseProof parses a proof term. Bare identifiers resolve first as
+// bound hypothesis names, then through the scope as proof constants.
+func ParseProof(src string, sc Scope) (proof.Term, error) {
+	p, err := newParser(src, sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.parseProofTerm()
+	if err != nil {
+		return nil, err
+	}
+	return out, p.finish()
+}
+
+// proofBinds tracks proof-variable names so they shadow constants. We
+// reuse the parser's LF binder stack for index variables and keep a
+// separate set for proof hypotheses.
+func (p *parser) bindProof(name string) func() {
+	p.proofVars = append(p.proofVars, name)
+	return func() { p.proofVars = p.proofVars[:len(p.proofVars)-1] }
+}
+
+func (p *parser) isProofVar(name string) bool {
+	for _, v := range p.proofVars {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseProofTerm parses binders and applications.
+func (p *parser) parseProofTerm() (proof.Term, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLambda:
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseProp()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		unbind := p.bindProof(name.text)
+		body, err := p.parseProofTerm()
+		unbind()
+		if err != nil {
+			return nil, err
+		}
+		return proof.Lam{Name: name.text, Ty: ty, Body: body}, nil
+
+	case t.kind == tokWedge: // /\u:t. M
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseFamily()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		p.binds = append(p.binds, name.text)
+		body, err := p.parseProofTerm()
+		p.binds = p.binds[:len(p.binds)-1]
+		if err != nil {
+			return nil, err
+		}
+		return proof.TLam{Hint: name.text, Ty: ty, Body: body}, nil
+
+	case t.kind == tokIdent && t.text == "let":
+		return p.parseProofLet()
+
+	case t.kind == tokIdent && t.text == "case":
+		p.next()
+		of, err := p.parseProofApp()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("of"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("inl"); err != nil {
+			return nil, err
+		}
+		lname, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDArrow); err != nil {
+			return nil, err
+		}
+		unbindL := p.bindProof(lname.text)
+		l, err := p.parseProofTerm()
+		unbindL()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPipe); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("inr"); err != nil {
+			return nil, err
+		}
+		rname, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDArrow); err != nil {
+			return nil, err
+		}
+		unbindR := p.bindProof(rname.text)
+		r, err := p.parseProofTerm()
+		unbindR()
+		if err != nil {
+			return nil, err
+		}
+		return proof.Case{Of: of, LName: lname.text, L: l, RName: rname.text, R: r}, nil
+
+	case t.kind == tokIdent && (t.text == "saybind" || t.text == "ifbind"):
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		of, err := p.parseProofTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		unbind := p.bindProof(name.text)
+		body, err := p.parseProofTerm()
+		unbind()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "saybind" {
+			return proof.SayBind{Name: name.text, Of: of, Body: body}, nil
+		}
+		return proof.IfBind{Name: name.text, Of: of, Body: body}, nil
+
+	default:
+		return p.parseProofApp()
+	}
+}
+
+// parseProofLet handles the let family.
+func (p *parser) parseProofLet() (proof.Term, error) {
+	p.next() // 'let'
+	t := p.peek()
+	switch {
+	case t.kind == tokBang: // let !x = M in N
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		of, body, err := p.parseLetTail(name.text)
+		if err != nil {
+			return nil, err
+		}
+		return proof.LetBang{Name: name.text, Of: of, Body: body}, nil
+
+	case t.kind == tokIdent && t.text == "unit": // let unit = M in N
+		p.next()
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		of, err := p.parseProofTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseProofTerm()
+		if err != nil {
+			return nil, err
+		}
+		return proof.LetUnit{Of: of, Body: body}, nil
+
+	case t.kind == tokLParen: // let (u, x) = unpack M in N
+		p.next()
+		uname, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		xname, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("unpack"); err != nil {
+			return nil, err
+		}
+		of, err := p.parseProofTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		p.binds = append(p.binds, uname.text)
+		unbind := p.bindProof(xname.text)
+		body, err := p.parseProofTerm()
+		unbind()
+		p.binds = p.binds[:len(p.binds)-1]
+		if err != nil {
+			return nil, err
+		}
+		return proof.Unpack{Hint: uname.text, Name: xname.text, Of: of, Body: body}, nil
+
+	default: // let x * y = M in N
+		lname, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokStar); err != nil {
+			return nil, err
+		}
+		rname, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		of, err := p.parseProofTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		unbindL := p.bindProof(lname.text)
+		unbindR := p.bindProof(rname.text)
+		body, err := p.parseProofTerm()
+		unbindR()
+		unbindL()
+		if err != nil {
+			return nil, err
+		}
+		return proof.LetPair{LName: lname.text, RName: rname.text, Of: of, Body: body}, nil
+	}
+}
+
+// parseLetTail parses "= M in N", binding name in N.
+func (p *parser) parseLetTail(name string) (of, body proof.Term, err error) {
+	if _, err = p.expect(tokEquals); err != nil {
+		return nil, nil, err
+	}
+	if of, err = p.parseProofTerm(); err != nil {
+		return nil, nil, err
+	}
+	if err = p.expectKeyword("in"); err != nil {
+		return nil, nil, err
+	}
+	unbind := p.bindProof(name)
+	body, err = p.parseProofTerm()
+	unbind()
+	return of, body, err
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return &SyntaxError{t.pos, fmt.Sprintf("expected %q, found %q", kw, t.text)}
+	}
+	return nil
+}
+
+// parseProofApp parses application spines with [m] index arguments.
+func (p *parser) parseProofApp() (proof.Term, error) {
+	head, err := p.parseProofPrefix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.at(tokLBracket) {
+			p.next()
+			arg, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			head = proof.TApp{Fn: head, Arg: arg}
+			continue
+		}
+		if p.startsProofAtom() {
+			arg, err := p.parseProofPrefix()
+			if err != nil {
+				return nil, err
+			}
+			head = proof.App{Fn: head, Arg: arg}
+			continue
+		}
+		return head, nil
+	}
+}
+
+func (p *parser) startsProofAtom() bool {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen, tokLAngle, tokBang:
+		return true
+	case tokNumber:
+		// txid64.label constants.
+		return len(t.text) == 64 && isAllHex(t.text) && p.toks[p.pos+1].kind == tokDot
+	case tokIdent:
+		switch t.text {
+		case "in", "of": // binder terminators
+			return false
+		}
+		if proofKeywords[t.text] {
+			switch t.text {
+			case "unit", "pair", "fst", "snd", "inl", "inr", "abort",
+				"pack", "sayreturn", "assert", "ifreturn", "ifweaken", "ifsay":
+				return true
+			}
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// parseProofPrefix parses ! and keyword-prefixed forms, then atoms.
+func (p *parser) parseProofPrefix() (proof.Term, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokBang:
+		p.next()
+		of, err := p.parseProofPrefix()
+		if err != nil {
+			return nil, err
+		}
+		return proof.BangI{Of: of}, nil
+	case t.kind == tokIdent:
+		switch t.text {
+		case "fst", "snd", "ifsay":
+			p.next()
+			of, err := p.parseProofPrefix()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "fst":
+				return proof.Fst{Of: of}, nil
+			case "snd":
+				return proof.Snd{Of: of}, nil
+			default:
+				return proof.IfSay{Of: of}, nil
+			}
+		case "inl", "inr", "abort":
+			p.next()
+			if _, err := p.expect(tokLBracket); err != nil {
+				return nil, err
+			}
+			as, err := p.parseProp()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			of, err := p.parseProofPrefix()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "inl":
+				return proof.Inl{As: as, Of: of}, nil
+			case "inr":
+				return proof.Inr{As: as, Of: of}, nil
+			default:
+				return proof.Abort{As: as, Of: of}, nil
+			}
+		case "sayreturn":
+			p.next()
+			if _, err := p.expect(tokLBracket); err != nil {
+				return nil, err
+			}
+			prin, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			of, err := p.parseProofPrefix()
+			if err != nil {
+				return nil, err
+			}
+			return proof.SayReturn{Prin: prin, Of: of}, nil
+		case "ifreturn", "ifweaken":
+			p.next()
+			if _, err := p.expect(tokLBracket); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			of, err := p.parseProofPrefix()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "ifreturn" {
+				return proof.IfReturn{Cond: cond, Of: of}, nil
+			}
+			return proof.IfWeaken{Cond: cond, Of: of}, nil
+		case "pack":
+			p.next()
+			if _, err := p.expect(tokLBracket); err != nil {
+				return nil, err
+			}
+			witness, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			as, err := p.parseProp()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			of, err := p.parseProofTerm()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return proof.Pack{Witness: witness, As: as, Of: of}, nil
+		case "assert":
+			return p.parseAssert()
+		}
+	}
+	return p.parseProofAtom()
+}
+
+// parseAssert parses assert(keyhex, sighex, A) and assert!(...).
+func (p *parser) parseAssert() (proof.Term, error) {
+	p.next() // 'assert'
+	persistent := false
+	if p.at(tokBang) {
+		p.next()
+		persistent = true
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	keyTok := p.next()
+	if keyTok.kind != tokIdent && keyTok.kind != tokNumber {
+		return nil, &SyntaxError{keyTok.pos, "expected a hex public key"}
+	}
+	keyRaw, err := hex.DecodeString(keyTok.text)
+	if err != nil {
+		return nil, &SyntaxError{keyTok.pos, "bad key hex: " + err.Error()}
+	}
+	key, err := bkey.ParsePubKey(keyRaw)
+	if err != nil {
+		return nil, &SyntaxError{keyTok.pos, err.Error()}
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	sigTok := p.next()
+	if sigTok.kind != tokIdent && sigTok.kind != tokNumber {
+		return nil, &SyntaxError{sigTok.pos, "expected a hex signature"}
+	}
+	sigRaw, err := hex.DecodeString(sigTok.text)
+	if err != nil {
+		return nil, &SyntaxError{sigTok.pos, "bad signature hex: " + err.Error()}
+	}
+	sig, err := bkey.ParseSignature(sigRaw)
+	if err != nil {
+		return nil, &SyntaxError{sigTok.pos, err.Error()}
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	prop, err := p.parseProp()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return proof.Assert{Key: key, Prop: prop, Sig: sig, Persistent: persistent}, nil
+}
+
+// parseProofAtom parses leaves.
+func (p *parser) parseProofAtom() (proof.Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		p.next()
+		m, err := p.parseProofTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case tokLAngle: // <M, N>
+		p.next()
+		l, err := p.parseProofTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		r, err := p.parseProofTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRAngle); err != nil {
+			return nil, err
+		}
+		return proof.WithPair{L: l, R: r}, nil
+	case tokIdent:
+		switch t.text {
+		case "unit":
+			p.next()
+			return proof.Unit{}, nil
+		case "pair":
+			p.next()
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			l, err := p.parseProofTerm()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			r, err := p.parseProofTerm()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return proof.Pair{L: l, R: r}, nil
+		}
+		if proofKeywords[t.text] {
+			return nil, &SyntaxError{t.pos, fmt.Sprintf("unexpected keyword %q", t.text)}
+		}
+		// Hypothesis name or proof constant.
+		if p.isProofVar(t.text) {
+			p.next()
+			return proof.V(t.text), nil
+		}
+		ref, err := p.parseRef()
+		if err != nil {
+			return nil, err
+		}
+		return proof.Const{Ref: ref}, nil
+	case tokNumber:
+		if len(t.text) == 64 && isAllHex(t.text) && p.toks[p.pos+1].kind == tokDot {
+			ref, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			return proof.Const{Ref: ref}, nil
+		}
+		return nil, &SyntaxError{t.pos, "a bare number is not a proof term"}
+	default:
+		return nil, &SyntaxError{t.pos, fmt.Sprintf("expected a proof term, found %v", t.kind)}
+	}
+}

@@ -1,0 +1,134 @@
+package surface
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"typecoin/internal/proof"
+)
+
+// PrintProof renders a proof term in the concrete syntax accepted by
+// ParseProof (round-trip property). Hypothesis names are printed as-is;
+// LF binder hints are freshened against the reserved words.
+func PrintProof(m proof.Term) string { return printProof(m, nil, 0) }
+
+// Precedence: 0 = binder position (no parens), 1 = application argument
+// (parens around binders and applications), 2 = prefix-operand (parens
+// around applications too).
+func printProof(m proof.Term, lfNames []string, prec int) string {
+	wrapApp := func(s string) string {
+		if prec >= 1 {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	switch m := m.(type) {
+	case proof.Var:
+		return m.Name
+	case proof.Const:
+		return m.Ref.String()
+	case proof.Lam:
+		return wrapApp(fmt.Sprintf("\\%s:%s. %s", m.Name,
+			printProp(m.Ty, lfNames, 1), printProof(m.Body, lfNames, 0)))
+	case proof.App:
+		return wrapApp(fmt.Sprintf("%s %s",
+			printProof(m.Fn, lfNames, 0+appHeadPrec(m.Fn)),
+			printProof(m.Arg, lfNames, 1)))
+	case proof.TApp:
+		return wrapApp(fmt.Sprintf("%s [%s]",
+			printProof(m.Fn, lfNames, 0+appHeadPrec(m.Fn)),
+			printTerm(m.Arg, lfNames, false)))
+	case proof.Pair:
+		return fmt.Sprintf("pair(%s, %s)",
+			printProof(m.L, lfNames, 0), printProof(m.R, lfNames, 0))
+	case proof.LetPair:
+		return wrapApp(fmt.Sprintf("let %s * %s = %s in %s",
+			m.LName, m.RName, printProof(m.Of, lfNames, 1), printProof(m.Body, lfNames, 0)))
+	case proof.Unit:
+		return "unit"
+	case proof.LetUnit:
+		return wrapApp(fmt.Sprintf("let unit = %s in %s",
+			printProof(m.Of, lfNames, 1), printProof(m.Body, lfNames, 0)))
+	case proof.WithPair:
+		return fmt.Sprintf("<%s, %s>",
+			printProof(m.L, lfNames, 0), printProof(m.R, lfNames, 0))
+	case proof.Fst:
+		return wrapApp("fst " + printProof(m.Of, lfNames, 2))
+	case proof.Snd:
+		return wrapApp("snd " + printProof(m.Of, lfNames, 2))
+	case proof.Inl:
+		return wrapApp(fmt.Sprintf("inl[%s] %s",
+			printProp(m.As, lfNames, 1), printProof(m.Of, lfNames, 2)))
+	case proof.Inr:
+		return wrapApp(fmt.Sprintf("inr[%s] %s",
+			printProp(m.As, lfNames, 1), printProof(m.Of, lfNames, 2)))
+	case proof.Case:
+		return wrapApp(fmt.Sprintf("case %s of inl %s => %s | inr %s => %s",
+			printProof(m.Of, lfNames, 1),
+			m.LName, printProof(m.L, lfNames, 0),
+			m.RName, printProof(m.R, lfNames, 0)))
+	case proof.Abort:
+		return wrapApp(fmt.Sprintf("abort[%s] %s",
+			printProp(m.As, lfNames, 1), printProof(m.Of, lfNames, 2)))
+	case proof.BangI:
+		return wrapApp("!" + printProof(m.Of, lfNames, 2))
+	case proof.LetBang:
+		return wrapApp(fmt.Sprintf("let !%s = %s in %s",
+			m.Name, printProof(m.Of, lfNames, 1), printProof(m.Body, lfNames, 0)))
+	case proof.TLam:
+		name := freshen(m.Hint, lfNames)
+		return wrapApp(fmt.Sprintf("/\\%s:%s. %s", name,
+			printFamily(m.Ty, lfNames, false),
+			printProof(m.Body, append(lfNames, name), 0)))
+	case proof.Pack:
+		return fmt.Sprintf("pack[%s : %s](%s)",
+			printTerm(m.Witness, lfNames, false),
+			printProp(m.As, lfNames, 1),
+			printProof(m.Of, lfNames, 0))
+	case proof.Unpack:
+		name := freshen(m.Hint, lfNames)
+		return wrapApp(fmt.Sprintf("let (%s, %s) = unpack %s in %s",
+			name, m.Name, printProof(m.Of, lfNames, 1),
+			printProof(m.Body, append(lfNames, name), 0)))
+	case proof.SayReturn:
+		return wrapApp(fmt.Sprintf("sayreturn[%s] %s",
+			printTerm(m.Prin, lfNames, false), printProof(m.Of, lfNames, 2)))
+	case proof.SayBind:
+		return wrapApp(fmt.Sprintf("saybind %s = %s in %s",
+			m.Name, printProof(m.Of, lfNames, 1), printProof(m.Body, lfNames, 0)))
+	case proof.Assert:
+		bang := ""
+		if m.Persistent {
+			bang = "!"
+		}
+		return fmt.Sprintf("assert%s(%s, %s, %s)", bang,
+			hex.EncodeToString(m.Key.Serialize()),
+			hex.EncodeToString(m.Sig.Serialize()),
+			printProp(m.Prop, lfNames, 1))
+	case proof.IfReturn:
+		return wrapApp(fmt.Sprintf("ifreturn[%s] %s",
+			printCond(m.Cond, lfNames), printProof(m.Of, lfNames, 2)))
+	case proof.IfBind:
+		return wrapApp(fmt.Sprintf("ifbind %s = %s in %s",
+			m.Name, printProof(m.Of, lfNames, 1), printProof(m.Body, lfNames, 0)))
+	case proof.IfWeaken:
+		return wrapApp(fmt.Sprintf("ifweaken[%s] %s",
+			printCond(m.Cond, lfNames), printProof(m.Of, lfNames, 2)))
+	case proof.IfSay:
+		return wrapApp("ifsay " + printProof(m.Of, lfNames, 2))
+	default:
+		return "?proof"
+	}
+}
+
+// appHeadPrec: an application head that is itself an application needs
+// no parens; binders and prefix forms do.
+func appHeadPrec(m proof.Term) int {
+	switch m.(type) {
+	case proof.App, proof.TApp, proof.Var, proof.Const, proof.Pair,
+		proof.WithPair, proof.Unit, proof.Pack, proof.Assert:
+		return 0
+	default:
+		return 1
+	}
+}

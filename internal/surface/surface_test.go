@@ -1,0 +1,501 @@
+package surface
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+	"typecoin/internal/wire"
+)
+
+func scope() *MapScope {
+	return NewScope(true)
+}
+
+func mustParseProp(t *testing.T, src string) logic.Prop {
+	t.Helper()
+	p, err := ParseProp(src, scope())
+	if err != nil {
+		t.Fatalf("ParseProp(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseSimpleProps(t *testing.T) {
+	cases := []struct {
+		src  string
+		want logic.Prop
+	}{
+		{"1", logic.One},
+		{"0", logic.Zero},
+		{"coin 5", logic.Atom(lf.This("coin"), lf.Nat(5))},
+		{"bread * ham -o sandwich",
+			logic.Lolli(logic.Tensor(logic.Atom(lf.This("bread")), logic.Atom(lf.This("ham"))),
+				logic.Atom(lf.This("sandwich")))},
+		{"!a", logic.Bang(logic.Atom(lf.This("a")))},
+		{"a & b", logic.With(logic.Atom(lf.This("a")), logic.Atom(lf.This("b")))},
+		{"a + b", logic.Plus(logic.Atom(lf.This("a")), logic.Atom(lf.This("b")))},
+		{"a -o b -o c",
+			logic.Lolli(logic.Atom(lf.This("a")),
+				logic.Atom(lf.This("b")), logic.Atom(lf.This("c")))},
+		{"all n:nat. coin n",
+			logic.Forall("n", lf.NatFam, logic.Atom(lf.This("coin"), lf.Var(0, "n")))},
+		{"some x:plus 2 3 5. 1",
+			logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(2), lf.Nat(3), lf.Nat(5)), logic.One)},
+	}
+	for _, tc := range cases {
+		got := mustParseProp(t, tc.src)
+		eq, err := logic.PropEqual(got, tc.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("ParseProp(%q) = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// -o binds loosest and associates right; * binds tighter than & which
+	// binds tighter than +.
+	a, b, c := logic.Atom(lf.This("a")), logic.Atom(lf.This("b")), logic.Atom(lf.This("c"))
+	cases := []struct {
+		src  string
+		want logic.Prop
+	}{
+		{"a * b -o c", logic.Lolli(logic.Tensor(a, b), c)},
+		{"a -o b * c", logic.Lolli(a, logic.Tensor(b, c))},
+		{"a * b & c", logic.With(logic.Tensor(a, b), c)},
+		{"a & b + c", logic.Plus(logic.With(a, b), c)},
+		{"a * b * c", logic.Tensor(a, b, c)}, // left
+		{"(a -o b) -o c", logic.Lolli(logic.Lolli(a, b), c)},
+	}
+	for _, tc := range cases {
+		got := mustParseProp(t, tc.src)
+		eq, err := logic.PropEqual(got, tc.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("ParseProp(%q) = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseSaysAndPrincipal(t *testing.T) {
+	var k bkey.Principal
+	k[0], k[19] = 0xab, 0xcd
+	src := "<#" + k.String() + "> may-read TOPLAS"
+	got := mustParseProp(t, strings.ReplaceAll(src, "TOPLAS", "toplas"))
+	want := logic.Says(lf.Principal(k), logic.Atom(lf.This("may-read"), lf.Const(lf.This("toplas"))))
+	eq, err := logic.PropEqual(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseConditionsAndIf(t *testing.T) {
+	opHash := chainhash.HashB([]byte("R"))
+	src := "if(~spent(" + opHash.String() + ".2) /\\ before(1000), commodity)"
+	got := mustParseProp(t, src)
+	want := logic.If(
+		logic.And(logic.Unspent(wire.OutPoint{Hash: opHash, Index: 2}), logic.Before(1000)),
+		logic.Atom(lf.This("commodity")))
+	eq, err := logic.PropEqual(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseReceipts(t *testing.T) {
+	var k bkey.Principal
+	k[3] = 7
+	lit := "#" + k.String()
+	got := mustParseProp(t, "receipt(coupon / 0 ->> "+lit+")")
+	want := logic.Receipt(logic.Atom(lf.This("coupon")), 0, lf.Principal(k))
+	if eq, _ := logic.PropEqual(got, want); !eq {
+		t.Errorf("resource receipt: got %s", got)
+	}
+	got2 := mustParseProp(t, "receipt(500 ->> "+lit+")")
+	want2 := logic.Receipt(nil, 500, lf.Principal(k))
+	if eq, _ := logic.PropEqual(got2, want2); !eq {
+		t.Errorf("amount receipt: got %s", got2)
+	}
+}
+
+func TestParseTxRefs(t *testing.T) {
+	h := chainhash.HashB([]byte("tx"))
+	src := h.String() + ".coin 5"
+	got := mustParseProp(t, src)
+	want := logic.Atom(lf.TxRef(h, "coin"), lf.Nat(5))
+	if eq, _ := logic.PropEqual(got, want); !eq {
+		t.Errorf("got %s, want %s", got, want)
+	}
+	// this.x form.
+	got2 := mustParseProp(t, "this.coin 5")
+	if eq, _ := logic.PropEqual(got2, logic.Atom(lf.This("coin"), lf.Nat(5))); !eq {
+		t.Errorf("this ref: got %s", got2)
+	}
+}
+
+func TestParseLFTermsAndFamilies(t *testing.T) {
+	tm, err := ParseTerm(`\n:nat. add n 1`, scope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lf.Lam("n", lf.NatFam, lf.Add(lf.Var(0, "n"), lf.Nat(1)))
+	if eq, _ := lf.TermEqual(tm, want); !eq {
+		t.Errorf("got %s, want %s", tm, want)
+	}
+	fam, err := ParseFamily("Pi n:nat. plus n 0 n", scope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := lf.Pi("n", lf.NatFam, lf.FamApp(lf.PlusFam, lf.Var(0, "n"), lf.Nat(0), lf.Var(0, "n")))
+	if eq, _ := lf.FamilyEqual(fam, wantF); !eq {
+		t.Errorf("got %s, want %s", fam, wantF)
+	}
+	arrow, err := ParseFamily("nat -> nat -> nat", scope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, _ := lf.FamilyEqual(arrow, lf.Arrow(lf.NatFam, lf.Arrow(lf.NatFam, lf.NatFam))); !eq {
+		t.Errorf("arrow: got %s", arrow)
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	k, err := ParseKind("nat -> prop", scope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.String() != "nat -> prop" {
+		t.Errorf("kind = %s", k)
+	}
+	k2, err := ParseKind("type", scope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k2.(lf.KType); !ok {
+		t.Errorf("kind = %T", k2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"coin 5 extra -o",
+		"(a -o b",
+		"all n nat. coin n",
+		"<5 a", // unclosed affirmation
+		"if(true coin)",
+		"receipt(a ->>)",
+		"2",           // bare number is not a prop
+		"spent(ff.0)", // short txid in prop position
+	}
+	for _, src := range bad {
+		if _, err := ParseProp(src, scope()); err == nil {
+			t.Errorf("ParseProp(%q) succeeded", src)
+		}
+	}
+	// Unknown name without implicit-this.
+	if _, err := ParseProp("mystery", NewScope(false)); err == nil {
+		t.Error("unknown name resolved without implicit this")
+	}
+}
+
+// TestFigure1RoundTrip is experiment F1: every syntactic class of Figure
+// 1 (plus the Figure 2 conditionals) survives print-then-parse.
+func TestFigure1RoundTrip(t *testing.T) {
+	var alice bkey.Principal
+	alice[0] = 0xa1
+	h := chainhash.HashB([]byte("upstream"))
+	op := wire.OutPoint{Hash: h, Index: 3}
+
+	props := []logic.Prop{
+		logic.One,
+		logic.Zero,
+		logic.Atom(lf.This("coin"), lf.Nat(5)),
+		logic.Atom(lf.TxRef(h, "may-read"), lf.Principal(alice)),
+		logic.Lolli(logic.Atom(lf.This("bread")), logic.Atom(lf.This("sandwich"))),
+		logic.Tensor(logic.One, logic.Zero, logic.Atom(lf.This("a"))),
+		logic.With(logic.Atom(lf.This("a")), logic.Atom(lf.This("b"))),
+		logic.Plus(logic.Atom(lf.This("a")), logic.Atom(lf.This("b"))),
+		logic.Bang(logic.Lolli(logic.Atom(lf.This("coupon")),
+			logic.Forall("K", lf.PrincipalFam, logic.Atom(lf.This("may-read"), lf.Var(0, "K"))))),
+		logic.Forall("n", lf.NatFam, logic.Atom(lf.This("coin"), lf.Var(0, "n"))),
+		logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Nat(1), lf.Nat(2), lf.Nat(3)), logic.One),
+		logic.Says(lf.Principal(alice), logic.Atom(lf.This("may-write"), lf.Principal(alice))),
+		logic.Receipt(logic.Atom(lf.This("coupon")), 100, lf.Principal(alice)),
+		logic.Receipt(nil, 500, lf.Principal(alice)),
+		logic.If(logic.Before(1000), logic.Atom(lf.This("commodity"))),
+		logic.If(logic.And(logic.Unspent(op), logic.Before(99)), logic.One),
+		// Nested binder shadowing.
+		logic.Forall("n", lf.NatFam, logic.Forall("n", lf.NatFam,
+			logic.Atom(lf.This("coin"), lf.Var(1, "n")))),
+		// The full TOPLAS offer from Section 4.
+		logic.Bang(logic.Says(lf.Principal(alice),
+			logic.Lolli(
+				logic.Tensor(logic.Atom(lf.This("coupon")),
+					logic.Receipt(logic.Atom(lf.This("coupon")), 0, lf.Principal(alice))),
+				logic.Forall("K", lf.PrincipalFam, logic.Atom(lf.This("may-read"), lf.Var(0, "K")))))),
+	}
+	for _, p := range props {
+		text := PrintProp(p)
+		back, err := ParseProp(text, scope())
+		if err != nil {
+			t.Errorf("round trip parse of %q: %v", text, err)
+			continue
+		}
+		eq, err := logic.PropEqual(back, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("round trip changed %s -> %s (text %q)", p, back, text)
+		}
+	}
+
+	conds := []logic.Cond{
+		logic.True,
+		logic.Before(42),
+		logic.Spent(op),
+		logic.Unspent(op),
+		logic.And(logic.Before(1), logic.Not(logic.Spent(op)), logic.True),
+		logic.Not(logic.And(logic.Before(1), logic.Before(2))),
+	}
+	for _, c := range conds {
+		text := PrintCond(c)
+		back, err := ParseCond(text, scope())
+		if err != nil {
+			t.Errorf("round trip parse of %q: %v", text, err)
+			continue
+		}
+		eq, err := logic.CondEqual(back, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("round trip changed %s -> %s", c, back)
+		}
+	}
+
+	terms := []lf.Term{
+		lf.Nat(7),
+		lf.Principal(alice),
+		lf.Add(lf.Nat(1), lf.Nat(2)),
+		lf.Lam("n", lf.NatFam, lf.Add(lf.Var(0, "n"), lf.Nat(1))),
+		lf.App(lf.PlusIntro, lf.Nat(2), lf.Nat(3)),
+		lf.Lam("f", lf.Arrow(lf.NatFam, lf.NatFam), lf.App(lf.Var(0, "f"), lf.Nat(9))),
+	}
+	for _, m := range terms {
+		text := PrintTerm(m)
+		back, err := ParseTerm(text, scope())
+		if err != nil {
+			t.Errorf("round trip parse of %q: %v", text, err)
+			continue
+		}
+		eq, err := lf.TermEqual(back, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("round trip changed %s -> %s", m, back)
+		}
+	}
+
+	kinds := []lf.Kind{
+		lf.KType{},
+		lf.KProp{},
+		lf.KArrow(lf.NatFam, lf.KProp{}),
+		lf.KArrow(lf.PrincipalFam, lf.KArrow(lf.NatFam, lf.KType{})),
+	}
+	for _, k := range kinds {
+		text := PrintKind(k)
+		back, err := ParseKind(text, scope())
+		if err != nil {
+			t.Errorf("round trip parse of %q: %v", text, err)
+			continue
+		}
+		if back.String() != k.String() {
+			t.Errorf("round trip changed %s -> %s", k, back)
+		}
+	}
+}
+
+// TestPropertyRoundTrip generates random propositions and checks the
+// print/parse round trip.
+func TestPropertyRoundTrip(t *testing.T) {
+	var build func(depth int, binders int, seed uint64) logic.Prop
+	var buildTerm func(binders int, seed uint64) lf.Term
+	buildTerm = func(binders int, seed uint64) lf.Term {
+		if binders > 0 && seed%3 == 0 {
+			return lf.Var(int(seed/3)%binders, "u")
+		}
+		return lf.Nat(seed % 50)
+	}
+	build = func(depth, binders int, seed uint64) logic.Prop {
+		if depth == 0 {
+			switch seed % 3 {
+			case 0:
+				return logic.One
+			case 1:
+				return logic.Atom(lf.This("coin"), buildTerm(binders, seed/3))
+			default:
+				return logic.Zero
+			}
+		}
+		switch seed % 8 {
+		case 0:
+			return logic.PLolli{A: build(depth-1, binders, seed/8), B: build(depth-1, binders, seed/8+1)}
+		case 1:
+			return logic.PTensor{A: build(depth-1, binders, seed/8), B: build(depth-1, binders, seed/8+1)}
+		case 2:
+			return logic.PWith{A: build(depth-1, binders, seed/8), B: build(depth-1, binders, seed/8+1)}
+		case 3:
+			return logic.PPlus{A: build(depth-1, binders, seed/8), B: build(depth-1, binders, seed/8+1)}
+		case 4:
+			return logic.Bang(build(depth-1, binders, seed/8))
+		case 5:
+			return logic.Forall("n", lf.NatFam, build(depth-1, binders+1, seed/8))
+		case 6:
+			return logic.Exists("m", lf.NatFam, build(depth-1, binders+1, seed/8))
+		default:
+			return logic.If(logic.Before(seed%1000), build(depth-1, binders, seed/8))
+		}
+	}
+	f := func(seed uint64) bool {
+		p := build(4, 0, seed)
+		back, err := ParseProp(PrintProp(p), scope())
+		if err != nil {
+			t.Logf("parse failure for %q: %v", PrintProp(p), err)
+			return false
+		}
+		eq, err := logic.PropEqual(back, p)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrintBasis(t *testing.T) {
+	b := logic.NewBasis(nil)
+	if err := b.DeclareFam(lf.This("coin"), lf.KArrow(lf.NatFam, lf.KProp{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareProp(lf.This("issue"),
+		logic.Forall("n", lf.NatFam, logic.Atom(lf.This("coin"), lf.Var(0, "n")))); err != nil {
+		t.Fatal(err)
+	}
+	out := PrintBasis(b)
+	if !strings.Contains(out, "coin : nat -> prop.") {
+		t.Errorf("basis printing: %q", out)
+	}
+	if !strings.Contains(out, "issue : all n:nat. this.coin n.") {
+		t.Errorf("basis printing: %q", out)
+	}
+}
+
+func TestParseBasis(t *testing.T) {
+	src := `
+% The newcoin basis of Section 6, in concrete syntax.
+coin  : nat -> prop.
+merge : all N:nat. all M:nat. all P:nat.
+        (some x:plus N M P. 1) -o coin N * coin M -o coin P.
+split : all N:nat. all M:nat. all P:nat.
+        (some x:plus N M P. 1) -o coin P -o coin N * coin M.
+seed  : coin 100.
+`
+	sc := NewScope(false)
+	b, err := ParseBasis(src, sc)
+	if err != nil {
+		t.Fatalf("ParseBasis: %v", err)
+	}
+	if got := len(b.LocalFamRefs()); got != 1 {
+		t.Errorf("family decls = %d, want 1", got)
+	}
+	if got := len(b.LocalPropRefs()); got != 3 {
+		t.Errorf("prop decls = %d, want 3 (merge, split, seed)", got)
+	}
+	// The declared kind is right.
+	k, ok := b.LookupFamConst(lf.This("coin"))
+	if !ok {
+		t.Fatal("coin not declared")
+	}
+	eq, err := lf.KindEqual(k, lf.KArrow(lf.NatFam, lf.KProp{}))
+	if err != nil || !eq {
+		t.Errorf("coin kind = %s", k)
+	}
+	// merge matches the hand-built proposition.
+	merge, ok := b.LookupProp(lf.This("merge"))
+	if !ok {
+		t.Fatal("merge not declared")
+	}
+	coinP := func(m lf.Term) logic.Prop { return logic.Atom(lf.This("coin"), m) }
+	want := logic.Forall("N", lf.NatFam, logic.Forall("M", lf.NatFam, logic.Forall("P", lf.NatFam,
+		logic.Lolli(
+			logic.Exists("x", lf.FamApp(lf.PlusFam, lf.Var(2, "N"), lf.Var(1, "M"), lf.Var(0, "P")), logic.One),
+			logic.Tensor(coinP(lf.Var(2, "N")), coinP(lf.Var(1, "M"))),
+			coinP(lf.Var(0, "P"))))))
+	if eq, _ := logic.PropEqual(merge, want); !eq {
+		t.Errorf("merge = %s\nwant   %s", PrintProp(merge), PrintProp(want))
+	}
+	// The basis round-trips through PrintBasis.
+	b2, err := ParseBasis(PrintBasis(b), NewScope(true))
+	if err != nil {
+		t.Fatalf("reparse printed basis: %v", err)
+	}
+	m2, _ := b2.LookupProp(lf.This("merge"))
+	if eq, _ := logic.PropEqual(m2, merge); !eq {
+		t.Error("merge changed through PrintBasis round trip")
+	}
+	// And it passes the formation + freshness checks.
+	if err := logic.FreshBasis(b); err != nil {
+		t.Errorf("parsed basis not fresh: %v", err)
+	}
+}
+
+func TestParseBasisErrors(t *testing.T) {
+	bad := []string{
+		"coin nat -> prop.",   // missing colon
+		"coin : nat -> prop",  // missing dot
+		": nat -> prop.",      // missing name
+		"coin : ] broken [.",  // lex error
+		"a : prop. a : prop.", // duplicate
+	}
+	for _, src := range bad {
+		if _, err := ParseBasis(src, NewScope(false)); err == nil {
+			t.Errorf("ParseBasis(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseSaysBoundVariable(t *testing.T) {
+	// The affirming principal may be a bound variable:
+	// all K:principal. <K> tok  (the "issue" pattern of Section 6.1).
+	got := mustParseProp(t, "all K:principal. <K> tok")
+	want := logic.Forall("K", lf.PrincipalFam,
+		logic.Says(lf.Var(0, "K"), logic.Atom(lf.This("tok"))))
+	if eq, _ := logic.PropEqual(got, want); !eq {
+		t.Errorf("got %s, want %s", PrintProp(got), PrintProp(want))
+	}
+	// And it round-trips.
+	back, err := ParseProp(PrintProp(want), scope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, _ := logic.PropEqual(back, want); !eq {
+		t.Error("round trip changed the bound-principal affirmation")
+	}
+}

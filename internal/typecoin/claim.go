@@ -1,0 +1,149 @@
+package typecoin
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"typecoin/internal/logic"
+	"typecoin/internal/wire"
+)
+
+// Claim is the portable artifact a resource holder hands a verifier: the
+// claimed outpoint, its claimed type, and the bundle set — "the Typecoin
+// transaction T_I that outputs I, as well as 𝔗, the set of all Typecoin
+// transactions upstream of T_I" (Section 3). The proofs themselves are
+// trust-free: a claim can be moved and checked anywhere.
+type Claim struct {
+	Out     wire.OutPoint
+	Type    logic.Prop
+	Bundles []*Bundle
+}
+
+// Encode writes the claim canonically.
+func (c *Claim) Encode(w io.Writer) error {
+	if _, err := w.Write(c.Out.Hash[:]); err != nil {
+		return err
+	}
+	if err := wire.WriteVarInt(w, uint64(c.Out.Index)); err != nil {
+		return err
+	}
+	if err := logic.EncodeProp(w, c.Type); err != nil {
+		return err
+	}
+	if err := wire.WriteVarInt(w, uint64(len(c.Bundles))); err != nil {
+		return err
+	}
+	for _, b := range c.Bundles {
+		if _, err := w.Write(b.Carrier[:]); err != nil {
+			return err
+		}
+		switch {
+		case b.Tc != nil:
+			if err := wire.WriteVarInt(w, 0); err != nil {
+				return err
+			}
+			if err := wire.WriteVarBytes(w, b.Tc.Bytes()); err != nil {
+				return err
+			}
+		case b.Batch != nil:
+			if err := wire.WriteVarInt(w, 1); err != nil {
+				return err
+			}
+			if err := wire.WriteVarBytes(w, b.Batch.Bytes()); err != nil {
+				return err
+			}
+		default:
+			return errors.New("typecoin: empty bundle in claim")
+		}
+	}
+	return nil
+}
+
+// Bytes returns the canonical claim encoding.
+func (c *Claim) Bytes() []byte {
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		panic("typecoin: impossible encode failure: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// DecodeClaim reads a claim.
+func DecodeClaim(r io.Reader) (*Claim, error) {
+	c := &Claim{}
+	if _, err := io.ReadFull(r, c.Out.Hash[:]); err != nil {
+		return nil, err
+	}
+	idx, err := wire.ReadVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if idx > 0xffffffff {
+		return nil, fmt.Errorf("typecoin: bad claim index %d", idx)
+	}
+	c.Out.Index = uint32(idx)
+	if c.Type, err = logic.DecodeProp(r); err != nil {
+		return nil, err
+	}
+	n, err := wire.ReadVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 100000 {
+		return nil, fmt.Errorf("typecoin: implausible bundle count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		b := &Bundle{}
+		if _, err := io.ReadFull(r, b.Carrier[:]); err != nil {
+			return nil, err
+		}
+		kind, err := wire.ReadVarInt(r)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := wire.ReadVarBytes(r, "claim bundle")
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case 0:
+			if b.Tc, err = DecodeBytes(raw); err != nil {
+				return nil, err
+			}
+		case 1:
+			br := bytes.NewReader(raw)
+			if b.Batch, err = DecodeBatch(br); err != nil {
+				return nil, err
+			}
+			if br.Len() != 0 {
+				return nil, errors.New("typecoin: trailing bytes in batch bundle")
+			}
+		default:
+			return nil, fmt.Errorf("typecoin: unknown bundle kind %d", kind)
+		}
+		c.Bundles = append(c.Bundles, b)
+	}
+	return c, nil
+}
+
+// DecodeClaimBytes decodes a claim, rejecting trailing garbage.
+func DecodeClaimBytes(b []byte) (*Claim, error) {
+	r := bytes.NewReader(b)
+	c, err := DecodeClaim(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, errors.New("typecoin: trailing bytes after claim")
+	}
+	return c, nil
+}
+
+// VerifyClaim runs the trust-free verifier over a (possibly received)
+// claim against the verifier's own chain view.
+func VerifyClaim(view ChainView, c *Claim, minConf int) error {
+	_, err := Verify(view, c.Out, c.Type, c.Bundles, minConf)
+	return err
+}

@@ -1,0 +1,165 @@
+package typecoin
+
+import (
+	"errors"
+	"fmt"
+	"typecoin/internal/chainhash"
+
+	"typecoin/internal/logic"
+	"typecoin/internal/wire"
+)
+
+// Batch-mode (off-chain) transactions, Section 3.2. A batch server
+// records transactions without submitting them to the network. Off-chain
+// transactions are restricted relative to on-chain ones:
+//
+//   - no local basis and no affine grant (new concepts and new resources
+//     must be introduced on chain, where [txid/this] has a referent);
+//   - no receipt consumption (receipts attest on-chain payment; an
+//     off-chain transfer pays nobody on chain) — the proof's domain is
+//     C=1 (x) A (x) 1;
+//   - a trivial top-level condition ("batch-mode servers must write
+//     transactions discharging anything other than true through to the
+//     blockchain", Section 5).
+//
+// These restrictions make off-chain histories mechanically composable
+// into the single on-chain withdrawal transaction (batch.Server).
+
+// Off-chain checking errors.
+var (
+	ErrOffChainBasis   = errors.New("typecoin: off-chain transaction declares a local basis")
+	ErrOffChainGrant   = errors.New("typecoin: off-chain transaction has a non-trivial grant")
+	ErrOffChainCond    = errors.New("typecoin: off-chain transaction discharges a non-trivial condition")
+	ErrOffChainReceipt = errors.New("typecoin: off-chain proof consumes receipts")
+)
+
+// DomainOffChain is the proof domain for batch-mode transactions:
+// 1 (x) A (x) 1.
+func (tx *Tx) DomainOffChain() logic.Prop {
+	inTypes := make([]logic.Prop, len(tx.Inputs))
+	for i, in := range tx.Inputs {
+		inTypes[i] = in.Type
+	}
+	return logic.Tensor(logic.One, logic.Tensor(inTypes...), logic.One)
+}
+
+// CheckTxOffChain validates a batch-mode transaction against the state's
+// resolvable outputs (on-chain or virtual).
+func (s *State) CheckTxOffChain(tx *Tx) error {
+	if len(tx.Outputs) == 0 {
+		return ErrNoOutputs
+	}
+	if len(tx.Basis.LocalFamRefs())+len(tx.Basis.LocalTermRefs())+len(tx.Basis.LocalPropRefs()) != 0 {
+		return ErrOffChainBasis
+	}
+	if _, ok := tx.Grant.(logic.POne); !ok {
+		return ErrOffChainGrant
+	}
+	seen := make(map[wire.OutPoint]bool, len(tx.Inputs))
+	for i, in := range tx.Inputs {
+		if seen[in.Source] {
+			return fmt.Errorf("typecoin: input %d consumes %v twice", i, in.Source)
+		}
+		seen[in.Source] = true
+		if err := logic.CheckProp(s.global, nil, in.Type); err != nil {
+			return fmt.Errorf("typecoin: input %d type: %w", i, err)
+		}
+		rec, ok := s.outTypes[in.Source]
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrInputUnknown, in.Source)
+		}
+		eq, err := logic.PropEqual(in.Type, rec.prop)
+		if err != nil {
+			return err
+		}
+		if !eq {
+			return fmt.Errorf("%w: input %d claims %s, upstream output has %s",
+				ErrInputTypeWrong, i, in.Type, rec.prop)
+		}
+		if in.Amount != rec.amount {
+			return fmt.Errorf("typecoin: input %d claims %d satoshi, upstream output carries %d",
+				i, in.Amount, rec.amount)
+		}
+	}
+	for i, out := range tx.Outputs {
+		if out.Owner == nil {
+			return fmt.Errorf("typecoin: output %d has no owner", i)
+		}
+		if out.Amount < 0 {
+			return fmt.Errorf("typecoin: output %d has negative amount", i)
+		}
+		if err := logic.CheckProp(s.global, nil, out.Type); err != nil {
+			return fmt.Errorf("typecoin: output %d type: %w", i, err)
+		}
+	}
+	if tx.Proof == nil {
+		return errors.New("typecoin: transaction has no proof term")
+	}
+	got, err := proofInferOffChain(s.global, tx)
+	if err != nil {
+		return err
+	}
+	lolli, ok := got.(logic.PLolli)
+	if !ok {
+		return fmt.Errorf("%w: proof has type %s", ErrProofWrongType, got)
+	}
+	eq, err := logic.PropEqual(lolli.A, tx.DomainOffChain())
+	if err != nil {
+		return err
+	}
+	if !eq {
+		// Distinguish the receipt case for a friendlier error.
+		if full, err2 := logic.PropEqual(lolli.A, tx.Domain()); err2 == nil && full {
+			return ErrOffChainReceipt
+		}
+		return fmt.Errorf("%w: proof consumes %s, want %s",
+			ErrProofWrongType, lolli.A, tx.DomainOffChain())
+	}
+	body := lolli.B
+	if ifp, ok := body.(logic.PIf); ok {
+		if _, isTrue := ifp.Cond.(logic.CTrue); !isTrue {
+			return fmt.Errorf("%w: %s", ErrOffChainCond, ifp.Cond)
+		}
+		body = ifp.Body
+	}
+	eq, err = logic.PropEqual(body, tx.Codomain())
+	if err != nil {
+		return err
+	}
+	if !eq {
+		return fmt.Errorf("%w: proof produces %s, want %s",
+			ErrProofWrongType, body, tx.Codomain())
+	}
+	return nil
+}
+
+// proofInferOffChain infers the proof's type in the server's global
+// basis. Off-chain affine asserts sign the off-chain transaction payload,
+// exactly as on-chain ones do.
+func proofInferOffChain(global *logic.Basis, tx *Tx) (logic.Prop, error) {
+	p, err := inferProof(global, tx.SigPayload(), tx)
+	if err != nil {
+		return nil, fmt.Errorf("typecoin: proof: %w", err)
+	}
+	return p, nil
+}
+
+// ApplyOffChain records an off-chain transaction: inputs are consumed and
+// outputs appear at virtual outpoints {Hash: tx.Hash(), Index: i}. No
+// [txid/this] substitution occurs (off-chain transactions have no basis).
+func (s *State) ApplyOffChain(tx *Tx) (chainhash.Hash, error) {
+	tch := tx.Hash()
+	if _, dup := s.txs[tch]; dup {
+		return tch, fmt.Errorf("typecoin: transaction %s already applied", tch)
+	}
+	s.txs[tch] = tx
+	for _, in := range tx.Inputs {
+		delete(s.outTypes, in.Source)
+	}
+	for i, out := range tx.Outputs {
+		op := wire.OutPoint{Hash: tch, Index: uint32(i)}
+		s.outTypes[op] = outRecord{prop: out.Type, amount: out.Amount, owner: out.OwnerPrincipal()}
+		s.origin[op] = tch
+	}
+	return tch, nil
+}

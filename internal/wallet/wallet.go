@@ -1,0 +1,503 @@
+// Package wallet manages keys and unspent outputs, and builds signed
+// Bitcoin transactions, including the 1-of-2 multisig metadata outputs
+// that carry Typecoin transaction hashes (paper, Section 3.3).
+package wallet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chain"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/script"
+	"typecoin/internal/wire"
+)
+
+// Wallet errors.
+var (
+	ErrInsufficientFunds = errors.New("wallet: insufficient funds")
+	ErrUnknownKey        = errors.New("wallet: no private key for principal")
+)
+
+// Wallet holds private keys and tracks the UTXOs they control on one
+// chain. All methods are safe for concurrent use.
+type Wallet struct {
+	chain   *chain.Chain
+	entropy io.Reader
+
+	mu   sync.Mutex
+	keys map[bkey.Principal]*bkey.PrivateKey
+	// utxos tracks spendable outputs we control: confirmed chain outputs
+	// plus change from our own unconfirmed transactions, minus anything
+	// we have already spent (locked).
+	utxos  map[wire.OutPoint]walletUtxo
+	locked map[wire.OutPoint]bool
+}
+
+type walletUtxo struct {
+	value    int64
+	pkScript []byte
+	owner    bkey.Principal
+	height   int // -1 for unconfirmed self-created outputs
+	coinbase bool
+	metaSlot bool // a 1-of-2 metadata output we can reclaim
+}
+
+// New creates an empty wallet bound to c. entropy may be nil to use
+// crypto/rand.
+func New(c *chain.Chain, entropy io.Reader) *Wallet {
+	w := &Wallet{
+		chain:   c,
+		entropy: entropy,
+		keys:    make(map[bkey.Principal]*bkey.PrivateKey),
+		utxos:   make(map[wire.OutPoint]walletUtxo),
+		locked:  make(map[wire.OutPoint]bool),
+	}
+	c.Subscribe(w.onChainChange)
+	return w
+}
+
+// NewKey generates and registers a fresh key, returning its principal.
+func (w *Wallet) NewKey() (bkey.Principal, error) {
+	key, err := bkey.NewPrivateKey(w.entropy)
+	if err != nil {
+		return bkey.Principal{}, err
+	}
+	p := key.Principal()
+	w.mu.Lock()
+	w.keys[p] = key
+	w.mu.Unlock()
+	return p, nil
+}
+
+// ImportKey registers an existing key.
+func (w *Wallet) ImportKey(key *bkey.PrivateKey) bkey.Principal {
+	p := key.Principal()
+	w.mu.Lock()
+	w.keys[p] = key
+	w.mu.Unlock()
+	return p
+}
+
+// Key returns the private key for p.
+func (w *Wallet) Key(p bkey.Principal) (*bkey.PrivateKey, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	key, ok := w.keys[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownKey, p)
+	}
+	return key, nil
+}
+
+// Principals lists the wallet's principals in stable order.
+func (w *Wallet) Principals() []bkey.Principal {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]bkey.Principal, 0, len(w.keys))
+	for p := range w.keys {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// classify determines whether pkScript pays one of our keys, either as
+// P2PKH or as the genuine key slot of a 1-of-2 metadata multisig.
+func (w *Wallet) classify(pkScript []byte) (bkey.Principal, bool, bool) {
+	if p, ok := script.ExtractPubKeyHash(pkScript); ok {
+		_, mine := w.keys[p]
+		return p, mine, false
+	}
+	if m, slots, ok := script.ExtractMultiSig(pkScript); ok && m == 1 {
+		for _, slot := range slots {
+			if _, isMeta := script.ExtractMetadataKeySlot(slot); isMeta {
+				continue
+			}
+			pk, err := bkey.ParsePubKey(slot)
+			if err != nil {
+				continue
+			}
+			p := pk.Principal()
+			if _, mine := w.keys[p]; mine {
+				return p, true, true
+			}
+		}
+	}
+	return bkey.Principal{}, false, false
+}
+
+// onChainChange updates the UTXO view as blocks connect and disconnect.
+func (w *Wallet) onChainChange(n chain.Notification) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n.Connected {
+		for _, tx := range n.Block.Transactions {
+			txid := tx.TxHash()
+			for _, in := range tx.TxIn {
+				delete(w.utxos, in.PreviousOutPoint)
+				delete(w.locked, in.PreviousOutPoint)
+			}
+			for i, out := range tx.TxOut {
+				owner, mine, meta := w.classify(out.PkScript)
+				if !mine {
+					continue
+				}
+				w.utxos[wire.OutPoint{Hash: txid, Index: uint32(i)}] = walletUtxo{
+					value:    out.Value,
+					pkScript: out.PkScript,
+					owner:    owner,
+					height:   n.Height,
+					coinbase: tx.IsCoinBase(),
+					metaSlot: meta,
+				}
+			}
+		}
+		return
+	}
+	// Disconnected: a reorganization happened. The chain has already
+	// settled on its new best state (notifications are delivered after
+	// the mutation completes), so rebuild the confirmed view from the
+	// UTXO table; this both drops orphaned outputs and restores outputs
+	// the reorg resurrected. Unconfirmed self-created change (height -1)
+	// and input locks are preserved.
+	w.rescanLocked()
+}
+
+// rescanLocked rebuilds the confirmed UTXO view; the caller holds w.mu.
+func (w *Wallet) rescanLocked() {
+	kept := make(map[wire.OutPoint]walletUtxo)
+	for op, u := range w.utxos {
+		if u.height < 0 {
+			kept[op] = u // unconfirmed self-created outputs
+		}
+	}
+	w.utxos = kept
+	for _, op := range w.chain.UtxoOutpoints() {
+		entry := w.chain.LookupUtxo(op)
+		if entry == nil {
+			continue
+		}
+		owner, mine, meta := w.classify(entry.Out.PkScript)
+		if !mine {
+			continue
+		}
+		w.utxos[op] = walletUtxo{
+			value:    entry.Out.Value,
+			pkScript: entry.Out.PkScript,
+			owner:    owner,
+			height:   entry.Height,
+			coinbase: entry.IsCoinBase,
+			metaSlot: meta,
+		}
+	}
+}
+
+// Rescan rebuilds the UTXO view from the chain's unspent table. Call
+// after importing keys.
+func (w *Wallet) Rescan() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.utxos = make(map[wire.OutPoint]walletUtxo)
+	w.rescanLocked()
+}
+
+// Balance returns the spendable balance in satoshi (excluding immature
+// coinbases and locked outputs).
+func (w *Wallet) Balance() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tip := w.chain.BestHeight()
+	maturity := w.chain.Params().CoinbaseMaturity
+	var total int64
+	for op, u := range w.utxos {
+		if w.locked[op] {
+			continue
+		}
+		if u.coinbase && u.height >= 0 && tip-u.height+1 < maturity {
+			continue
+		}
+		total += u.value
+	}
+	return total
+}
+
+// Output describes one payment a transaction should make.
+type Output struct {
+	Value    int64
+	PkScript []byte
+}
+
+// BuildOptions tune transaction construction.
+type BuildOptions struct {
+	// Fee is the absolute fee to attach. Zero means
+	// mempool-minimum-compatible default.
+	Fee int64
+	// ChangeTo receives any excess; zero value means the first wallet key.
+	ChangeTo bkey.Principal
+	// ExtraInputs are outpoints that must be spent in addition to
+	// funding inputs (e.g. Typecoin resource inputs). They must be
+	// spendable by the wallet.
+	ExtraInputs []wire.OutPoint
+	// ExternalInputs are outpoints included after ExtraInputs that the
+	// wallet does NOT control: their signature scripts are left empty for
+	// external signers (escrow agents). Value is needed for balancing.
+	ExternalInputs []ExternalInput
+}
+
+// ExternalInput is an input signed by someone else.
+type ExternalInput struct {
+	OutPoint wire.OutPoint
+	Value    int64
+}
+
+// DefaultFee is the fee attached when BuildOptions.Fee is zero: the
+// paper's "typical transaction fee [of] 0.0005 bitcoin" (Section 3.2).
+const DefaultFee = 50_000
+
+// dustLimit is the smallest change output worth creating.
+const dustLimit = 1000
+
+// Build assembles and signs a transaction paying outputs, selecting
+// funding inputs from the wallet and returning change. The resulting
+// transaction is marked locked in the wallet so subsequent builds do not
+// double-select its inputs.
+func (w *Wallet) Build(outputs []Output, opts BuildOptions) (*wire.MsgTx, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	fee := opts.Fee
+	if fee == 0 {
+		fee = DefaultFee
+	}
+	var need int64 = fee
+	for _, o := range outputs {
+		need += o.Value
+	}
+
+	tx := wire.NewMsgTx(wire.TxVersion)
+	var selected []wire.OutPoint
+	var have int64
+
+	addInput := func(op wire.OutPoint) error {
+		u, ok := w.utxos[op]
+		if !ok {
+			return fmt.Errorf("wallet: outpoint %v not controlled by wallet", op)
+		}
+		if w.locked[op] {
+			return fmt.Errorf("wallet: outpoint %v already locked", op)
+		}
+		tx.AddTxIn(&wire.TxIn{PreviousOutPoint: op, Sequence: wire.MaxTxInSequenceNum})
+		selected = append(selected, op)
+		have += u.value
+		return nil
+	}
+
+	for _, op := range opts.ExtraInputs {
+		if err := addInput(op); err != nil {
+			return nil, err
+		}
+	}
+	for _, ext := range opts.ExternalInputs {
+		tx.AddTxIn(&wire.TxIn{PreviousOutPoint: ext.OutPoint, Sequence: wire.MaxTxInSequenceNum})
+		have += ext.Value
+	}
+
+	// Coin selection: deterministic largest-first over mature, unlocked,
+	// non-metadata outputs.
+	if have < need {
+		type cand struct {
+			op wire.OutPoint
+			u  walletUtxo
+		}
+		tip := w.chain.BestHeight()
+		maturity := w.chain.Params().CoinbaseMaturity
+		var cands []cand
+		for op, u := range w.utxos {
+			if w.locked[op] || u.metaSlot {
+				continue
+			}
+			if u.coinbase && u.height >= 0 && tip-u.height+1 < maturity {
+				continue
+			}
+			already := false
+			for _, sel := range selected {
+				if sel == op {
+					already = true
+					break
+				}
+			}
+			if !already {
+				cands = append(cands, cand{op, u})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].u.value != cands[j].u.value {
+				return cands[i].u.value > cands[j].u.value
+			}
+			c := chainhash.Compare(cands[i].op.Hash, cands[j].op.Hash)
+			if c != 0 {
+				return c < 0
+			}
+			return cands[i].op.Index < cands[j].op.Index
+		})
+		for _, c := range cands {
+			if have >= need {
+				break
+			}
+			if err := addInput(c.op); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if have < need {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficientFunds, have, need)
+	}
+
+	for _, o := range outputs {
+		tx.AddTxOut(&wire.TxOut{Value: o.Value, PkScript: o.PkScript})
+	}
+	if change := have - need; change >= dustLimit {
+		changeTo := opts.ChangeTo
+		if changeTo.IsZero() {
+			ps := w.principalsLocked()
+			if len(ps) == 0 {
+				return nil, errors.New("wallet: no key for change output")
+			}
+			changeTo = ps[0]
+		}
+		tx.AddTxOut(&wire.TxOut{Value: change, PkScript: script.PayToPubKeyHash(changeTo)})
+	}
+
+	if err := w.signLocked(tx, selected); err != nil {
+		return nil, err
+	}
+	for _, op := range selected {
+		w.locked[op] = true
+	}
+	// Track our own change immediately so chained builds work before
+	// confirmation.
+	txid := tx.TxHash()
+	for i, out := range tx.TxOut {
+		owner, mine, meta := w.classify(out.PkScript)
+		if mine {
+			w.utxos[wire.OutPoint{Hash: txid, Index: uint32(i)}] = walletUtxo{
+				value:    out.Value,
+				pkScript: out.PkScript,
+				owner:    owner,
+				height:   -1,
+				metaSlot: meta,
+			}
+		}
+	}
+	return tx, nil
+}
+
+func (w *Wallet) principalsLocked() []bkey.Principal {
+	out := make([]bkey.Principal, 0, len(w.keys))
+	for p := range w.keys {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// signLocked signs every selected input of tx (matching by outpoint, so
+// interleaved external inputs do not shift indices).
+func (w *Wallet) signLocked(tx *wire.MsgTx, selected []wire.OutPoint) error {
+	for _, op := range selected {
+		i := -1
+		for j, ti := range tx.TxIn {
+			if ti.PreviousOutPoint == op {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return fmt.Errorf("wallet: selected input %v not in transaction", op)
+		}
+		u, ok := w.utxos[op]
+		if !ok {
+			return fmt.Errorf("wallet: lost utxo %v during signing", op)
+		}
+		key, ok := w.keys[u.owner]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownKey, u.owner)
+		}
+		var sigScript []byte
+		var err error
+		if u.metaSlot {
+			sigScript, err = script.MultiSigSignatureScript(tx, i, u.pkScript, script.SigHashAll, key)
+		} else {
+			sigScript, err = script.SignatureScript(tx, i, u.pkScript, script.SigHashAll, key)
+		}
+		if err != nil {
+			return err
+		}
+		tx.TxIn[i].SignatureScript = sigScript
+	}
+	return nil
+}
+
+// Unlock releases outpoints locked by Build (e.g. when the transaction
+// was abandoned).
+func (w *Wallet) Unlock(tx *wire.MsgTx) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, in := range tx.TxIn {
+		delete(w.locked, in.PreviousOutPoint)
+	}
+	txid := tx.TxHash()
+	for i := range tx.TxOut {
+		op := wire.OutPoint{Hash: txid, Index: uint32(i)}
+		if u, ok := w.utxos[op]; ok && u.height < 0 {
+			delete(w.utxos, op)
+		}
+	}
+}
+
+// UtxoCount reports the number of tracked outputs (test helper).
+func (w *Wallet) UtxoCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.utxos)
+}
+
+// MetadataOutpoints lists tracked 1-of-2 metadata outputs, the targets of
+// the "cleanup" spends measured in experiment E3.
+func (w *Wallet) MetadataOutpoints() []wire.OutPoint {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []wire.OutPoint
+	for op, u := range w.utxos {
+		if u.metaSlot && !w.locked[op] {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		c := chainhash.Compare(out[i].Hash, out[j].Hash)
+		if c != 0 {
+			return c < 0
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}

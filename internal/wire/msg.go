@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"typecoin/internal/chainhash"
+)
+
+// The peer-to-peer protocol frames each message as:
+//
+//	magic (4) | command (12, NUL padded) | length (4) | checksum (4) | payload
+//
+// mirroring Bitcoin's envelope. The checksum is the first four bytes of the
+// double SHA-256 of the payload.
+
+// Network magic values distinguish chains.
+const (
+	MainNetMagic uint32 = 0xd9b4bef9
+	RegTestMagic uint32 = 0xdab5bffa
+)
+
+// Command names.
+const (
+	CmdVersion   = "version"
+	CmdVerAck    = "verack"
+	CmdInv       = "inv"
+	CmdGetData   = "getdata"
+	CmdTx        = "tx"
+	CmdBlock     = "block"
+	CmdGetBlocks = "getblocks"
+	CmdHeaders   = "headers"
+	CmdPing      = "ping"
+	CmdPong      = "pong"
+
+	// Typecoin overlay gossip: the full Typecoin objects travel between
+	// interested parties; the Bitcoin chain itself sees only hashes.
+	CmdTcTx    = "tctx"
+	CmdTcList  = "tclist"
+	CmdTcBatch = "tcbatch"
+)
+
+const commandSize = 12
+
+// maxMessagePayload bounds a single message.
+const maxMessagePayload = maxAllocation
+
+// Message is a framed p2p payload.
+type Message struct {
+	Command string
+	Payload []byte
+}
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, magic uint32, msg *Message) error {
+	if len(msg.Command) > commandSize {
+		return fmt.Errorf("wire: command %q too long", msg.Command)
+	}
+	if len(msg.Payload) > maxMessagePayload {
+		return errors.New("wire: message payload too large")
+	}
+	var hdr [24]byte
+	hdr[0] = byte(magic)
+	hdr[1] = byte(magic >> 8)
+	hdr[2] = byte(magic >> 16)
+	hdr[3] = byte(magic >> 24)
+	copy(hdr[4:16], msg.Command)
+	n := uint32(len(msg.Payload))
+	hdr[16] = byte(n)
+	hdr[17] = byte(n >> 8)
+	hdr[18] = byte(n >> 16)
+	hdr[19] = byte(n >> 24)
+	sum := chainhash.DoubleHashB(msg.Payload)
+	copy(hdr[20:24], sum[:4])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg.Payload)
+	return err
+}
+
+// ReadMessage reads one framed message, verifying magic and checksum.
+func ReadMessage(r io.Reader, magic uint32) (*Message, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	got := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+	if got != magic {
+		return nil, fmt.Errorf("wire: bad network magic %08x", got)
+	}
+	cmd := string(bytes.TrimRight(hdr[4:16], "\x00"))
+	n := uint32(hdr[16]) | uint32(hdr[17])<<8 | uint32(hdr[18])<<16 | uint32(hdr[19])<<24
+	if n > maxMessagePayload {
+		return nil, errors.New("wire: message payload too large")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	sum := chainhash.DoubleHashB(payload)
+	if !bytes.Equal(sum[:4], hdr[20:24]) {
+		return nil, errors.New("wire: bad message checksum")
+	}
+	return &Message{Command: cmd, Payload: payload}, nil
+}
+
+// Inventory vector types.
+const (
+	InvTypeTx    uint32 = 1
+	InvTypeBlock uint32 = 2
+)
+
+// InvVect names an object (transaction or block) by type and hash.
+type InvVect struct {
+	Type uint32
+	Hash chainhash.Hash
+}
+
+// EncodeInv serializes an inventory list (shared by inv and getdata).
+func EncodeInv(invs []InvVect) []byte {
+	var buf bytes.Buffer
+	// Writes to a bytes.Buffer cannot fail.
+	_ = WriteVarInt(&buf, uint64(len(invs)))
+	for _, iv := range invs {
+		_ = writeUint32(&buf, iv.Type)
+		buf.Write(iv.Hash[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeInv parses an inventory list.
+func DecodeInv(b []byte) ([]InvVect, error) {
+	r := bytes.NewReader(b)
+	n, err := ReadVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 50000 {
+		return nil, errors.New("wire: too many inventory vectors")
+	}
+	invs := make([]InvVect, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var iv InvVect
+		if iv.Type, err = readUint32(r); err != nil {
+			return nil, err
+		}
+		if _, err = io.ReadFull(r, iv.Hash[:]); err != nil {
+			return nil, err
+		}
+		invs = append(invs, iv)
+	}
+	if r.Len() != 0 {
+		return nil, errors.New("wire: trailing bytes after inventory")
+	}
+	return invs, nil
+}
+
+// EncodeLocator serializes a block locator: a list of block hashes from
+// the sender's tip backwards, used by getblocks.
+func EncodeLocator(hashes []chainhash.Hash, stop chainhash.Hash) []byte {
+	var buf bytes.Buffer
+	_ = WriteVarInt(&buf, uint64(len(hashes)))
+	for _, h := range hashes {
+		buf.Write(h[:])
+	}
+	buf.Write(stop[:])
+	return buf.Bytes()
+}
+
+// DecodeLocator parses a block locator.
+func DecodeLocator(b []byte) (hashes []chainhash.Hash, stop chainhash.Hash, err error) {
+	r := bytes.NewReader(b)
+	n, err := ReadVarInt(r)
+	if err != nil {
+		return nil, stop, err
+	}
+	if n > 2000 {
+		return nil, stop, errors.New("wire: locator too long")
+	}
+	hashes = make([]chainhash.Hash, n)
+	for i := range hashes {
+		if _, err = io.ReadFull(r, hashes[i][:]); err != nil {
+			return nil, stop, err
+		}
+	}
+	if _, err = io.ReadFull(r, stop[:]); err != nil {
+		return nil, stop, err
+	}
+	if r.Len() != 0 {
+		return nil, stop, errors.New("wire: trailing bytes after locator")
+	}
+	return hashes, stop, nil
+}

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"typecoin/internal/chainhash"
+)
+
+// Satoshi amounts. One bitcoin is 1e8 satoshi; MaxSatoshi bounds the money
+// supply for sanity checking (21 million BTC).
+const (
+	SatoshiPerBitcoin = 1e8
+	MaxSatoshi        = 21_000_000 * SatoshiPerBitcoin
+)
+
+// OutPoint identifies a particular transaction output: the txid of the
+// transaction and the index of the output within it. This is the paper's
+// "txid.n" reference.
+type OutPoint struct {
+	Hash  chainhash.Hash
+	Index uint32
+}
+
+// String renders the outpoint as "txid:n".
+func (o OutPoint) String() string {
+	return fmt.Sprintf("%s:%d", o.Hash, o.Index)
+}
+
+// TxIn is a transaction input: the outpoint it spends plus the unlocking
+// script (the digital signature material of Section 2, condition 4).
+type TxIn struct {
+	PreviousOutPoint OutPoint
+	SignatureScript  []byte
+	Sequence         uint32
+}
+
+// TxOut is a transaction output: a satoshi amount and a locking script
+// (the "public key needed to spend that output").
+type TxOut struct {
+	Value    int64
+	PkScript []byte
+}
+
+// MsgTx is a Bitcoin transaction.
+type MsgTx struct {
+	Version  uint32
+	TxIn     []*TxIn
+	TxOut    []*TxOut
+	LockTime uint32
+}
+
+// TxVersion is the default transaction version.
+const TxVersion = 1
+
+// MaxTxInSequenceNum is the final sequence number.
+const MaxTxInSequenceNum uint32 = 0xffffffff
+
+// NewMsgTx returns a transaction with the given version and no inputs or
+// outputs.
+func NewMsgTx(version uint32) *MsgTx {
+	return &MsgTx{Version: version}
+}
+
+// AddTxIn appends ti to the transaction's inputs.
+func (tx *MsgTx) AddTxIn(ti *TxIn) { tx.TxIn = append(tx.TxIn, ti) }
+
+// AddTxOut appends to to the transaction's outputs.
+func (tx *MsgTx) AddTxOut(to *TxOut) { tx.TxOut = append(tx.TxOut, to) }
+
+// Serialize writes the transaction in Bitcoin wire format.
+func (tx *MsgTx) Serialize(w io.Writer) error {
+	if err := writeUint32(w, tx.Version); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(tx.TxIn))); err != nil {
+		return err
+	}
+	for _, ti := range tx.TxIn {
+		if _, err := w.Write(ti.PreviousOutPoint.Hash[:]); err != nil {
+			return err
+		}
+		if err := writeUint32(w, ti.PreviousOutPoint.Index); err != nil {
+			return err
+		}
+		if err := WriteVarBytes(w, ti.SignatureScript); err != nil {
+			return err
+		}
+		if err := writeUint32(w, ti.Sequence); err != nil {
+			return err
+		}
+	}
+	if err := WriteVarInt(w, uint64(len(tx.TxOut))); err != nil {
+		return err
+	}
+	for _, to := range tx.TxOut {
+		if err := writeInt64(w, to.Value); err != nil {
+			return err
+		}
+		if err := WriteVarBytes(w, to.PkScript); err != nil {
+			return err
+		}
+	}
+	return writeUint32(w, tx.LockTime)
+}
+
+// Deserialize reads a transaction in Bitcoin wire format.
+func (tx *MsgTx) Deserialize(r io.Reader) error {
+	var err error
+	if tx.Version, err = readUint32(r); err != nil {
+		return err
+	}
+	nIn, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if nIn > maxAllocation/64 {
+		return errors.New("wire: too many transaction inputs")
+	}
+	tx.TxIn = make([]*TxIn, 0, nIn)
+	for i := uint64(0); i < nIn; i++ {
+		ti := &TxIn{}
+		if _, err := io.ReadFull(r, ti.PreviousOutPoint.Hash[:]); err != nil {
+			return err
+		}
+		if ti.PreviousOutPoint.Index, err = readUint32(r); err != nil {
+			return err
+		}
+		if ti.SignatureScript, err = ReadVarBytes(r, "signature script"); err != nil {
+			return err
+		}
+		if ti.Sequence, err = readUint32(r); err != nil {
+			return err
+		}
+		tx.TxIn = append(tx.TxIn, ti)
+	}
+	nOut, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if nOut > maxAllocation/16 {
+		return errors.New("wire: too many transaction outputs")
+	}
+	tx.TxOut = make([]*TxOut, 0, nOut)
+	for i := uint64(0); i < nOut; i++ {
+		to := &TxOut{}
+		if to.Value, err = readInt64(r); err != nil {
+			return err
+		}
+		if to.PkScript, err = ReadVarBytes(r, "pk script"); err != nil {
+			return err
+		}
+		tx.TxOut = append(tx.TxOut, to)
+	}
+	tx.LockTime, err = readUint32(r)
+	return err
+}
+
+// Bytes returns the serialized transaction.
+func (tx *MsgTx) Bytes() []byte {
+	var buf bytes.Buffer
+	if err := tx.Serialize(&buf); err != nil {
+		// Writing to a bytes.Buffer cannot fail.
+		panic("wire: impossible serialize failure: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// TxHash computes the transaction identifier: the double SHA-256 of the
+// serialized transaction.
+func (tx *MsgTx) TxHash() chainhash.Hash {
+	return chainhash.DoubleHashB(tx.Bytes())
+}
+
+// SerializeSize returns the length in bytes of the wire encoding.
+func (tx *MsgTx) SerializeSize() int {
+	n := 4 + 4 // version + locktime
+	n += VarIntSerializeSize(uint64(len(tx.TxIn)))
+	for _, ti := range tx.TxIn {
+		n += 32 + 4 + 4 // outpoint + sequence
+		n += VarIntSerializeSize(uint64(len(ti.SignatureScript))) + len(ti.SignatureScript)
+	}
+	n += VarIntSerializeSize(uint64(len(tx.TxOut)))
+	for _, to := range tx.TxOut {
+		n += 8
+		n += VarIntSerializeSize(uint64(len(to.PkScript))) + len(to.PkScript)
+	}
+	return n
+}
+
+// Copy returns a deep copy of the transaction. The signing code mutates
+// copies when computing signature hashes, so this must not share any
+// mutable state with the original.
+func (tx *MsgTx) Copy() *MsgTx {
+	out := &MsgTx{
+		Version:  tx.Version,
+		LockTime: tx.LockTime,
+		TxIn:     make([]*TxIn, len(tx.TxIn)),
+		TxOut:    make([]*TxOut, len(tx.TxOut)),
+	}
+	for i, ti := range tx.TxIn {
+		sc := make([]byte, len(ti.SignatureScript))
+		copy(sc, ti.SignatureScript)
+		out.TxIn[i] = &TxIn{
+			PreviousOutPoint: ti.PreviousOutPoint,
+			SignatureScript:  sc,
+			Sequence:         ti.Sequence,
+		}
+	}
+	for i, to := range tx.TxOut {
+		pk := make([]byte, len(to.PkScript))
+		copy(pk, to.PkScript)
+		out.TxOut[i] = &TxOut{Value: to.Value, PkScript: pk}
+	}
+	return out
+}
+
+// IsCoinBase reports whether the transaction is a coinbase: a single input
+// whose previous outpoint is the zero hash with index 0xffffffff.
+func (tx *MsgTx) IsCoinBase() bool {
+	if len(tx.TxIn) != 1 {
+		return false
+	}
+	prev := tx.TxIn[0].PreviousOutPoint
+	return prev.Hash.IsZero() && prev.Index == 0xffffffff
+}

@@ -1,0 +1,351 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"typecoin/internal/chainhash"
+)
+
+func TestVarIntRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 0xfc, 0xfd, 0xffff, 0x10000, 0xffffffff, 0x100000000, 1<<63 + 5}
+	for _, v := range cases {
+		var buf bytes.Buffer
+		if err := WriteVarInt(&buf, v); err != nil {
+			t.Fatalf("WriteVarInt(%d): %v", v, err)
+		}
+		if buf.Len() != VarIntSerializeSize(v) {
+			t.Errorf("size mismatch for %d: wrote %d, SerializeSize %d", v, buf.Len(), VarIntSerializeSize(v))
+		}
+		got, err := ReadVarInt(&buf)
+		if err != nil {
+			t.Fatalf("ReadVarInt(%d): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestVarIntNonCanonical(t *testing.T) {
+	// 0xfd prefix encoding a value below 0xfd is non-canonical.
+	bad := [][]byte{
+		{0xfd, 0x10, 0x00},
+		{0xfe, 0xff, 0xff, 0x00, 0x00},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00},
+	}
+	for _, b := range bad {
+		if _, err := ReadVarInt(bytes.NewReader(b)); err == nil {
+			t.Errorf("non-canonical encoding % x accepted", b)
+		}
+	}
+}
+
+func TestVarIntTruncated(t *testing.T) {
+	if _, err := ReadVarInt(bytes.NewReader([]byte{0xfd, 0x01})); err == nil {
+		t.Error("truncated varint accepted")
+	}
+}
+
+func TestVarBytesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	data := []byte("some payload")
+	if err := WriteVarBytes(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVarBytes(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip mismatch")
+	}
+}
+
+func TestReadVarBytesTooBig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVarInt(&buf, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVarBytes(&buf, "test"); err == nil {
+		t.Error("oversized length accepted")
+	}
+}
+
+func sampleTx() *MsgTx {
+	tx := NewMsgTx(TxVersion)
+	tx.AddTxIn(&TxIn{
+		PreviousOutPoint: OutPoint{Hash: chainhash.HashB([]byte("prev")), Index: 3},
+		SignatureScript:  []byte{0x01, 0x02, 0x03},
+		Sequence:         MaxTxInSequenceNum,
+	})
+	tx.AddTxOut(&TxOut{Value: 5000, PkScript: []byte{0xac}})
+	tx.AddTxOut(&TxOut{Value: 2500, PkScript: []byte{0x76, 0xa9}})
+	tx.LockTime = 7
+	return tx
+}
+
+func TestTxRoundTrip(t *testing.T) {
+	tx := sampleTx()
+	raw := tx.Bytes()
+	if len(raw) != tx.SerializeSize() {
+		t.Errorf("SerializeSize %d != actual %d", tx.SerializeSize(), len(raw))
+	}
+	var back MsgTx
+	if err := back.Deserialize(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if back.TxHash() != tx.TxHash() {
+		t.Error("round-tripped tx has different hash")
+	}
+	if back.LockTime != 7 || len(back.TxIn) != 1 || len(back.TxOut) != 2 {
+		t.Error("fields not preserved")
+	}
+}
+
+func TestTxDeserializeTruncated(t *testing.T) {
+	raw := sampleTx().Bytes()
+	for cut := 1; cut < len(raw); cut += 7 {
+		var tx MsgTx
+		if err := tx.Deserialize(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTxCopyIndependent(t *testing.T) {
+	tx := sampleTx()
+	cp := tx.Copy()
+	cp.TxIn[0].SignatureScript[0] = 0xff
+	cp.TxOut[0].Value = 1
+	if tx.TxIn[0].SignatureScript[0] == 0xff {
+		t.Error("copy shares signature script storage")
+	}
+	if tx.TxOut[0].Value == 1 {
+		t.Error("copy shares output")
+	}
+	if cp.Copy().TxHash() == tx.TxHash() {
+		t.Error("mutated copy still hashes equal")
+	}
+}
+
+func TestIsCoinBase(t *testing.T) {
+	cb := NewMsgTx(TxVersion)
+	cb.AddTxIn(&TxIn{
+		PreviousOutPoint: OutPoint{Hash: chainhash.ZeroHash, Index: 0xffffffff},
+	})
+	if !cb.IsCoinBase() {
+		t.Error("coinbase not recognized")
+	}
+	if sampleTx().IsCoinBase() {
+		t.Error("regular tx recognized as coinbase")
+	}
+	two := cb.Copy()
+	two.AddTxIn(&TxIn{PreviousOutPoint: OutPoint{Hash: chainhash.ZeroHash, Index: 0xffffffff}})
+	if two.IsCoinBase() {
+		t.Error("two-input tx recognized as coinbase")
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	blk := &MsgBlock{
+		Header: BlockHeader{
+			Version:    1,
+			PrevBlock:  chainhash.HashB([]byte("prev")),
+			MerkleRoot: chainhash.HashB([]byte("root")),
+			Timestamp:  time.Unix(1431475200, 0).UTC(),
+			Bits:       0x207fffff,
+			Nonce:      42,
+		},
+		Transactions: []*MsgTx{sampleTx()},
+	}
+	raw := blk.Bytes()
+	var back MsgBlock
+	if err := back.Deserialize(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if back.BlockHash() != blk.BlockHash() {
+		t.Error("block hash changed through round trip")
+	}
+	if !back.Header.Timestamp.Equal(blk.Header.Timestamp) {
+		t.Error("timestamp not preserved")
+	}
+}
+
+func TestHeaderHashDependsOnEveryField(t *testing.T) {
+	base := BlockHeader{
+		Version: 1, PrevBlock: chainhash.HashB([]byte("p")),
+		MerkleRoot: chainhash.HashB([]byte("m")),
+		Timestamp:  time.Unix(1000, 0), Bits: 0x207fffff, Nonce: 0,
+	}
+	h0 := base.BlockHash()
+	mut := []func(*BlockHeader){
+		func(h *BlockHeader) { h.Version = 2 },
+		func(h *BlockHeader) { h.PrevBlock[0] ^= 1 },
+		func(h *BlockHeader) { h.MerkleRoot[0] ^= 1 },
+		func(h *BlockHeader) { h.Timestamp = h.Timestamp.Add(time.Second) },
+		func(h *BlockHeader) { h.Bits ^= 1 },
+		func(h *BlockHeader) { h.Nonce++ },
+	}
+	for i, m := range mut {
+		hh := base
+		m(&hh)
+		if hh.BlockHash() == h0 {
+			t.Errorf("mutation %d did not change block hash", i)
+		}
+	}
+}
+
+func TestMerkleRoot(t *testing.T) {
+	if ComputeMerkleRoot(nil) != chainhash.ZeroHash {
+		t.Error("empty merkle root not zero")
+	}
+	tx := sampleTx()
+	if ComputeMerkleRoot([]*MsgTx{tx}) != tx.TxHash() {
+		t.Error("single-tx merkle root != txid")
+	}
+	// Root must depend on order.
+	tx2 := sampleTx()
+	tx2.LockTime = 99
+	a := ComputeMerkleRoot([]*MsgTx{tx, tx2})
+	b := ComputeMerkleRoot([]*MsgTx{tx2, tx})
+	if a == b {
+		t.Error("merkle root independent of order")
+	}
+}
+
+func TestMerkleBranch(t *testing.T) {
+	txs := make([]*MsgTx, 7)
+	for i := range txs {
+		txs[i] = sampleTx()
+		txs[i].LockTime = uint32(i)
+	}
+	root := ComputeMerkleRoot(txs)
+	for i, tx := range txs {
+		br, err := BuildMerkleBranch(txs, i)
+		if err != nil {
+			t.Fatalf("BuildMerkleBranch(%d): %v", i, err)
+		}
+		if !br.Verify(tx.TxHash(), root) {
+			t.Errorf("branch %d does not verify", i)
+		}
+		// Wrong leaf must fail.
+		if br.Verify(chainhash.HashB([]byte("bogus")), root) {
+			t.Errorf("branch %d verified wrong leaf", i)
+		}
+	}
+	if _, err := BuildMerkleBranch(txs, len(txs)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := &Message{Command: CmdTx, Payload: []byte("payload")}
+	if err := WriteMessage(&buf, RegTestMagic, msg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMessage(&buf, RegTestMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Command != CmdTx || !bytes.Equal(back.Payload, msg.Payload) {
+		t.Error("message round trip mismatch")
+	}
+}
+
+func TestMessageBadMagicAndChecksum(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, RegTestMagic, &Message{Command: CmdPing}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(bytes.NewReader(buf.Bytes()), MainNetMagic); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	raw := buf.Bytes()
+	raw[20] ^= 0xff // corrupt checksum
+	if _, err := ReadMessage(bytes.NewReader(raw), RegTestMagic); err == nil {
+		t.Error("corrupt checksum accepted")
+	}
+}
+
+func TestMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, RegTestMagic, &Message{Command: CmdTx, Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadMessage(bytes.NewReader(raw[:len(raw)-1]), RegTestMagic); err != io.ErrUnexpectedEOF {
+		t.Errorf("want unexpected EOF, got %v", err)
+	}
+}
+
+func TestInvRoundTrip(t *testing.T) {
+	invs := []InvVect{
+		{Type: InvTypeTx, Hash: chainhash.HashB([]byte("a"))},
+		{Type: InvTypeBlock, Hash: chainhash.HashB([]byte("b"))},
+	}
+	back, err := DecodeInv(EncodeInv(invs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != invs[0] || back[1] != invs[1] {
+		t.Error("inv round trip mismatch")
+	}
+	if _, err := DecodeInv(append(EncodeInv(invs), 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestLocatorRoundTrip(t *testing.T) {
+	hashes := []chainhash.Hash{chainhash.HashB([]byte("1")), chainhash.HashB([]byte("2"))}
+	stop := chainhash.HashB([]byte("stop"))
+	h2, s2, err := DecodeLocator(EncodeLocator(hashes, stop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2) != 2 || h2[0] != hashes[0] || h2[1] != hashes[1] || s2 != stop {
+		t.Error("locator round trip mismatch")
+	}
+}
+
+func TestPropertyVarIntRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var buf bytes.Buffer
+		if err := WriteVarInt(&buf, v); err != nil {
+			return false
+		}
+		got, err := ReadVarInt(&buf)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTxRoundTrip(t *testing.T) {
+	f := func(value int64, scriptBytes []byte, lockTime uint32, index uint32) bool {
+		if len(scriptBytes) > 1000 {
+			scriptBytes = scriptBytes[:1000]
+		}
+		tx := NewMsgTx(TxVersion)
+		tx.AddTxIn(&TxIn{
+			PreviousOutPoint: OutPoint{Hash: chainhash.HashB(scriptBytes), Index: index},
+			SignatureScript:  scriptBytes,
+			Sequence:         lockTime,
+		})
+		tx.AddTxOut(&TxOut{Value: value, PkScript: scriptBytes})
+		tx.LockTime = lockTime
+		var back MsgTx
+		if err := back.Deserialize(bytes.NewReader(tx.Bytes())); err != nil {
+			return false
+		}
+		return back.TxHash() == tx.TxHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
