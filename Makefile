@@ -1,0 +1,24 @@
+GO ?= go
+
+# Packages whose correctness depends on concurrency (the parallel block
+# validation pipeline and its clients) get a dedicated -race pass.
+RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/...
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+check: vet build test race
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -4,12 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"typecoin/internal/chainhash"
 	"typecoin/internal/clock"
+	"typecoin/internal/sigcache"
 	"typecoin/internal/wire"
 )
 
@@ -54,6 +57,15 @@ type Notification struct {
 	Height    int
 }
 
+// txLoc places a main-chain transaction: the block containing it and its
+// position within that block's transaction list. Recording the index
+// makes transaction retrieval O(1) instead of a hash-per-transaction
+// scan of the block.
+type txLoc struct {
+	block chainhash.Hash
+	index int
+}
+
 // Chain is the blockchain state machine for one node. It tracks the full
 // block tree, selects the best chain by accumulated work, and maintains
 // the UTXO table and spent-journal for the best chain. All methods are
@@ -62,21 +74,41 @@ type Chain struct {
 	params *Params
 	clock  clock.Clock
 
-	mu        sync.RWMutex
-	index     map[chainhash.Hash]*blockNode
-	tip       *blockNode
-	utxo      *UtxoSet
-	spent     map[wire.OutPoint]SpendRecord
-	txToBlock map[chainhash.Hash]chainhash.Hash   // main-chain txid -> block hash
-	mainChain []*blockNode                        // by height
-	orphans   map[chainhash.Hash][]*wire.MsgBlock // parent hash -> waiting blocks
+	// sigCache caches successful signature verifications across the
+	// mempool (relay time) and block connect; may be nil. It has its own
+	// internal lock and is read by parallel script workers.
+	sigCache *sigcache.Cache
+
+	mu            sync.RWMutex
+	index         map[chainhash.Hash]*blockNode
+	tip           *blockNode
+	utxo          *UtxoSet
+	spent         map[wire.OutPoint]SpendRecord
+	txToBlock     map[chainhash.Hash]txLoc            // main-chain txid -> location
+	mainChain     []*blockNode                        // by height
+	orphans       map[chainhash.Hash][]*wire.MsgBlock // parent hash -> waiting blocks
+	scriptWorkers int                                 // goroutines for block script checks; 0 = GOMAXPROCS
 
 	subsMu sync.Mutex
 	subs   []func(Notification)
 }
 
-// New creates a chain containing only the genesis block of params.
+// New creates a chain containing only the genesis block of params, with a
+// default-sized signature cache. The environment variable
+// TYPECOIN_SIGCACHE=off disables the cache, and TYPECOIN_SCRIPT_WORKERS=n
+// pins the script-verification worker count (default GOMAXPROCS; 1 means
+// serial) — both are benchmarking/debugging knobs.
 func New(params *Params, clk clock.Clock) *Chain {
+	var sc *sigcache.Cache
+	if os.Getenv("TYPECOIN_SIGCACHE") != "off" {
+		sc = sigcache.New(sigcache.DefaultCapacity)
+	}
+	return NewWithSigCache(params, clk, sc)
+}
+
+// NewWithSigCache is New with an explicit signature cache; sc may be nil
+// to disable signature caching entirely.
+func NewWithSigCache(params *Params, clk clock.Clock, sc *sigcache.Cache) *Chain {
 	if clk == nil {
 		clk = clock.System{}
 	}
@@ -91,25 +123,45 @@ func New(params *Params, clk clock.Clock) *Chain {
 	c := &Chain{
 		params:    params,
 		clock:     clk,
+		sigCache:  sc,
 		index:     map[chainhash.Hash]*blockNode{gnode.hash: gnode},
 		tip:       gnode,
 		utxo:      NewUtxoSet(),
 		spent:     make(map[wire.OutPoint]SpendRecord),
-		txToBlock: make(map[chainhash.Hash]chainhash.Hash),
+		txToBlock: make(map[chainhash.Hash]txLoc),
 		mainChain: []*blockNode{gnode},
 		orphans:   make(map[chainhash.Hash][]*wire.MsgBlock),
 	}
+	if n, err := strconv.Atoi(os.Getenv("TYPECOIN_SCRIPT_WORKERS")); err == nil && n > 0 {
+		c.scriptWorkers = n
+	}
 	// Genesis outputs enter the UTXO table (ours is OP_RETURN, so in
 	// practice nothing does; the call keeps the invariant uniform).
-	for _, tx := range genesis.Transactions {
+	for i, tx := range genesis.Transactions {
 		c.utxo.add(tx, 0)
-		c.txToBlock[tx.TxHash()] = gnode.hash
+		c.txToBlock[tx.TxHash()] = txLoc{block: gnode.hash, index: i}
 	}
 	return c
 }
 
 // Params returns the chain's parameters.
 func (c *Chain) Params() *Params { return c.params }
+
+// SigCache returns the signature verification cache so the mempool can
+// share it; may be nil.
+func (c *Chain) SigCache() *sigcache.Cache { return c.sigCache }
+
+// SetScriptWorkers sets the number of goroutines used to verify block
+// scripts: 1 forces serial verification, n <= 0 restores the default
+// (GOMAXPROCS).
+func (c *Chain) SetScriptWorkers(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.scriptWorkers = n
+}
 
 // Subscribe registers fn to receive main-chain change notifications. The
 // callback runs synchronously after the chain mutation completes, in
@@ -264,11 +316,17 @@ func (c *Chain) acceptBlock(blk *wire.MsgBlock, parent *blockNode) (BlockStatus,
 
 // connectBlock attaches node (whose parent is the current tip) to the
 // main chain, updating the UTXO table, spent journal and indexes.
+//
+// Validation runs as a two-phase pipeline. Phase one walks transactions
+// in block order — spends may chain within a block, so input resolution
+// and UTXO mutation stay serial and ordered — checking amounts/maturity,
+// spending inputs, adding outputs, and capturing one script job per
+// input with the locking script it resolved. Phase two fans all captured
+// script/signature checks out across a bounded worker pool (consulting
+// the shared signature cache), with fail-fast cancellation; on failure
+// the phase-one mutations are rolled back via the undo journal.
 func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 	blk := node.block
-	// Validate inputs and scripts against the current view before
-	// mutating it. Transactions may spend outputs of earlier transactions
-	// in the same block, so we interleave checking and spending.
 	var undo []undoItem
 	rollback := func() {
 		for i := len(undo) - 1; i >= 0; i-- {
@@ -282,20 +340,18 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 	}
 
 	var totalFees int64
+	var jobs []scriptJob
 	for i, tx := range blk.Transactions {
 		if i > 0 {
-			fee, err := CheckTransactionInputs(tx, node.height, c.utxo, c.params.CoinbaseMaturity)
+			fee, entries, err := CheckTransactionInputs(tx, node.height, c.utxo, c.params.CoinbaseMaturity)
 			if err != nil {
-				rollback()
-				return nil, err
-			}
-			if err := checkScripts(tx, c.utxo); err != nil {
 				rollback()
 				return nil, err
 			}
 			totalFees += fee
 			txid := tx.TxHash()
 			for j, in := range tx.TxIn {
+				jobs = append(jobs, scriptJob{tx: tx, txIdx: i, in: j, pkScript: entries[j].Out.PkScript})
 				entry, err := c.utxo.spend(in.PreviousOutPoint)
 				if err != nil {
 					rollback()
@@ -310,7 +366,7 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 			}
 		}
 		c.utxo.add(tx, node.height)
-		c.txToBlock[tx.TxHash()] = node.hash
+		c.txToBlock[tx.TxHash()] = txLoc{block: node.hash, index: i}
 	}
 
 	// Coinbase value check: subsidy plus fees.
@@ -321,6 +377,14 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 	if maxOut := c.params.CalcBlockSubsidy(node.height) + totalFees; cbOut > maxOut {
 		rollback()
 		return nil, fmt.Errorf("%w: coinbase pays %d, max %d", ErrBadCoinbase, cbOut, maxOut)
+	}
+
+	// Phase two: parallel script/signature verification of every input.
+	// The jobs carry the resolved locking scripts, so they are independent
+	// of the (already mutated) UTXO view.
+	if err := runScriptJobs(jobs, c.scriptWorkers, c.sigCache); err != nil {
+		rollback()
+		return nil, err
 	}
 
 	node.undo = undo
@@ -484,6 +548,33 @@ func (c *Chain) MedianTimePast() time.Time {
 	return c.tip.medianTimePast()
 }
 
+// Snapshot is a consistent view of the main-chain tip, taken under one
+// lock acquisition. Callers that need several tip properties together
+// (e.g. the miner pairing a parent hash with the next height) must use
+// this rather than separate accessors, which may observe different tips.
+type Snapshot struct {
+	Hash       chainhash.Hash
+	Height     int
+	Bits       uint32   // difficulty bits of the tip block
+	NextBits   uint32   // required difficulty of the block after the tip
+	Work       *big.Int // cumulative work of the tip (caller-owned copy)
+	MedianTime time.Time
+}
+
+// BestSnapshot returns a consistent snapshot of the main-chain tip.
+func (c *Chain) BestSnapshot() Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Snapshot{
+		Hash:       c.tip.hash,
+		Height:     c.tip.height,
+		Bits:       c.tip.block.Header.Bits,
+		NextBits:   c.nextRequiredDifficulty(c.tip),
+		Work:       new(big.Int).Set(c.tip.workSum),
+		MedianTime: c.tip.medianTimePast(),
+	}
+}
+
 // LookupUtxo returns the unspent entry for op, or nil.
 func (c *Chain) LookupUtxo(op wire.OutPoint) *UtxoEntry {
 	c.mu.RLock()
@@ -527,15 +618,25 @@ func (c *Chain) IsSpent(op wire.OutPoint) (SpendRecord, bool) {
 func (c *Chain) Confirmations(txid chainhash.Hash) int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	blockHash, ok := c.txToBlock[txid]
-	if !ok {
-		return 0
-	}
-	node := c.index[blockHash]
-	if node == nil || !node.inMain {
+	node := c.mainNodeOf(txid)
+	if node == nil {
 		return 0
 	}
 	return c.tip.height - node.height + 1
+}
+
+// mainNodeOf resolves txid to its main-chain block node, or nil. Callers
+// must hold c.mu.
+func (c *Chain) mainNodeOf(txid chainhash.Hash) *blockNode {
+	loc, ok := c.txToBlock[txid]
+	if !ok {
+		return nil
+	}
+	node := c.index[loc.block]
+	if node == nil || !node.inMain {
+		return nil
+	}
+	return node
 }
 
 // BlockOf returns the main-chain block containing txid along with its
@@ -543,29 +644,27 @@ func (c *Chain) Confirmations(txid chainhash.Hash) int {
 func (c *Chain) BlockOf(txid chainhash.Hash) (*wire.MsgBlock, int, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	blockHash, ok := c.txToBlock[txid]
-	if !ok {
-		return nil, 0, false
-	}
-	node := c.index[blockHash]
-	if node == nil || !node.inMain {
+	node := c.mainNodeOf(txid)
+	if node == nil {
 		return nil, 0, false
 	}
 	return node.block, node.height, true
 }
 
-// TxByID returns a main-chain transaction by id.
+// TxByID returns a main-chain transaction by id in O(1) via the location
+// index, rather than rehashing every transaction of the containing block.
 func (c *Chain) TxByID(txid chainhash.Hash) (*wire.MsgTx, bool) {
-	blk, _, ok := c.BlockOf(txid)
-	if !ok {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	node := c.mainNodeOf(txid)
+	if node == nil {
 		return nil, false
 	}
-	for _, tx := range blk.Transactions {
-		if tx.TxHash() == txid {
-			return tx, true
-		}
+	i := c.txToBlock[txid].index
+	if i < 0 || i >= len(node.block.Transactions) {
+		return nil, false
 	}
-	return nil, false
+	return node.block.Transactions[i], true
 }
 
 // BlockByHash returns any known block (main or side chain) by hash.

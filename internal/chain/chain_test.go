@@ -290,15 +290,18 @@ func TestRejectPrematureCoinbaseSpend(t *testing.T) {
 	spend.AddTxIn(&wire.TxIn{PreviousOutPoint: wire.OutPoint{Hash: cb.TxHash(), Index: 0}})
 	spend.AddTxOut(&wire.TxOut{Value: 90, PkScript: []byte{0x51}})
 
-	if _, err := CheckTransactionInputs(spend, 15, view, 10); !errors.Is(err, ErrImmatureSpend) {
+	if _, _, err := CheckTransactionInputs(spend, 15, view, 10); !errors.Is(err, ErrImmatureSpend) {
 		t.Errorf("immature spend: %v", err)
 	}
-	fee, err := CheckTransactionInputs(spend, 20, view, 10)
+	fee, entries, err := CheckTransactionInputs(spend, 20, view, 10)
 	if err != nil {
 		t.Errorf("mature spend: %v", err)
 	}
 	if fee != 10 {
 		t.Errorf("fee = %d, want 10", fee)
+	}
+	if len(entries) != 1 || entries[0] == nil || entries[0].Out.Value != 100 {
+		t.Errorf("resolved entries = %v, want the 100-value coinbase output", entries)
 	}
 }
 
@@ -307,7 +310,7 @@ func TestCheckTransactionInputsMissing(t *testing.T) {
 	spend := wire.NewMsgTx(wire.TxVersion)
 	spend.AddTxIn(&wire.TxIn{PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("x"))}})
 	spend.AddTxOut(&wire.TxOut{Value: 1, PkScript: []byte{0x51}})
-	if _, err := CheckTransactionInputs(spend, 1, view, 10); !errors.Is(err, ErrDoubleSpend) {
+	if _, _, err := CheckTransactionInputs(spend, 1, view, 10); !errors.Is(err, ErrDoubleSpend) {
 		t.Errorf("want ErrDoubleSpend, got %v", err)
 	}
 }
@@ -583,8 +586,10 @@ func TestGreedyCoinbaseRejected(t *testing.T) {
 	c, clk := newTestChain(t)
 	ts := clk.Advance(time.Minute)
 	blk := mineEmpty(t, c, c.BestHash(), 1, ts, 0)
-	// Inflate the subsidy and re-solve.
+	// Inflate the subsidy and re-solve. The direct field write bypasses
+	// the tx mutators, so drop the memoized hash by hand.
 	blk.Transactions[0].TxOut[0].Value = c.Params().CalcBlockSubsidy(1) + 1
+	blk.Transactions[0].InvalidateCache()
 	blk.Header.MerkleRoot = wire.ComputeMerkleRoot(blk.Transactions)
 	solve(t, blk, c.Params())
 	if _, err := c.ProcessBlock(blk); !errors.Is(err, ErrBadCoinbase) {
@@ -665,6 +670,7 @@ func TestSubsidyHalvingOnChain(t *testing.T) {
 	ts := clk.Advance(time.Minute)
 	greedy := mineEmpty(t, c, c.BestHash(), 150, ts, 0)
 	greedy.Transactions[0].TxOut[0].Value = c.Params().BaseSubsidy
+	greedy.Transactions[0].InvalidateCache()
 	greedy.Header.MerkleRoot = wire.ComputeMerkleRoot(greedy.Transactions)
 	solve(t, greedy, c.Params())
 	if _, err := c.ProcessBlock(greedy); !errors.Is(err, ErrBadCoinbase) {

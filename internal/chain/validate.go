@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"typecoin/internal/chainhash"
-	"typecoin/internal/script"
 	"typecoin/internal/wire"
 )
 
@@ -126,22 +125,27 @@ func (c *Chain) checkBlockContext(blk *wire.MsgBlock, parent *blockNode) error {
 }
 
 // CheckTransactionInputs validates tx against the UTXO table (conditions
-// 1-3 of Section 2 between transactions), returning the fee. The view
-// must already reflect any earlier transactions in the same block.
-func CheckTransactionInputs(tx *wire.MsgTx, height int, view *UtxoSet, maturity int) (int64, error) {
+// 1-3 of Section 2 between transactions), returning the fee and the
+// resolved entry for each input, aligned with tx.TxIn. The view must
+// already reflect any earlier transactions in the same block. Returning
+// the entries lets the script-check stage reuse this lookup instead of
+// re-resolving every outpoint.
+func CheckTransactionInputs(tx *wire.MsgTx, height int, view *UtxoSet, maturity int) (int64, []*UtxoEntry, error) {
 	var totalIn int64
-	for _, in := range tx.TxIn {
+	entries := make([]*UtxoEntry, len(tx.TxIn))
+	for i, in := range tx.TxIn {
 		entry := view.Lookup(in.PreviousOutPoint)
 		if entry == nil {
-			return 0, fmt.Errorf("%w: %v", ErrDoubleSpend, in.PreviousOutPoint)
+			return 0, nil, fmt.Errorf("%w: %v", ErrDoubleSpend, in.PreviousOutPoint)
 		}
 		if entry.IsCoinBase && height-entry.Height < maturity {
-			return 0, fmt.Errorf("%w: %v at height %d spent at %d",
+			return 0, nil, fmt.Errorf("%w: %v at height %d spent at %d",
 				ErrImmatureSpend, in.PreviousOutPoint, entry.Height, height)
 		}
+		entries[i] = entry
 		totalIn += entry.Out.Value
 		if totalIn > wire.MaxSatoshi {
-			return 0, fmt.Errorf("%w: input total overflows", ErrBadTxValue)
+			return 0, nil, fmt.Errorf("%w: input total overflows", ErrBadTxValue)
 		}
 	}
 	var totalOut int64
@@ -151,22 +155,7 @@ func CheckTransactionInputs(tx *wire.MsgTx, height int, view *UtxoSet, maturity 
 	// Condition 1, generalized by Typecoin: inputs must cover outputs;
 	// the difference is the miner's fee.
 	if totalIn < totalOut {
-		return 0, fmt.Errorf("%w: in %d < out %d", ErrInsufficientFee, totalIn, totalOut)
+		return 0, nil, fmt.Errorf("%w: in %d < out %d", ErrInsufficientFee, totalIn, totalOut)
 	}
-	return totalIn - totalOut, nil
-}
-
-// checkScripts runs the script engine over every input of tx (condition 4
-// of Section 2). The view must still contain the spent entries.
-func checkScripts(tx *wire.MsgTx, view *UtxoSet) error {
-	for i, in := range tx.TxIn {
-		entry := view.Lookup(in.PreviousOutPoint)
-		if entry == nil {
-			return fmt.Errorf("%w: %v", ErrDoubleSpend, in.PreviousOutPoint)
-		}
-		if err := script.VerifyInput(tx, i, entry.Out.PkScript); err != nil {
-			return fmt.Errorf("chain: input %d of %s: %w", i, tx.TxHash(), err)
-		}
-	}
-	return nil
+	return totalIn - totalOut, entries, nil
 }

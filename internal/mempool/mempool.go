@@ -100,9 +100,11 @@ func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
 
 	// Build the input view: confirmed UTXOs plus outputs of pooled
 	// transactions (chained unconfirmed spends are allowed), minus
-	// anything a pooled transaction already spends.
+	// anything a pooled transaction already spends. Resolve each output
+	// once, keeping its locking script for the verification pass below.
 	var totalIn int64
-	for _, in := range tx.TxIn {
+	pkScripts := make([][]byte, len(tx.TxIn))
+	for i, in := range tx.TxIn {
 		if spender, ok := p.spends[in.PreviousOutPoint]; ok {
 			return 0, fmt.Errorf("%w: %v already spent by %s", ErrPoolConflict,
 				in.PreviousOutPoint, spender)
@@ -112,7 +114,7 @@ func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
 			return 0, err
 		}
 		totalIn += value
-		_ = pkScript
+		pkScripts[i] = pkScript
 	}
 	var totalOut int64
 	for _, out := range tx.TxOut {
@@ -126,13 +128,11 @@ func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
 		return 0, fmt.Errorf("%w: fee %d < %d", ErrFeeTooLow, fee, p.minRelayFee)
 	}
 
-	// Verify every input script.
-	for i, in := range tx.TxIn {
-		_, pkScript, err := p.lookupOutputLocked(in.PreviousOutPoint)
-		if err != nil {
-			return 0, err
-		}
-		if err := script.VerifyInput(tx, i, pkScript); err != nil {
+	// Verify every input script, recording successful signature checks in
+	// the chain's shared cache so block connect can skip the ECDSA work
+	// for transactions already verified at relay time.
+	for i := range tx.TxIn {
+		if err := script.VerifyInputCached(tx, i, pkScripts[i], p.chain.SigCache()); err != nil {
 			return 0, err
 		}
 	}

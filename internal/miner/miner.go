@@ -50,8 +50,12 @@ var errNonceExhausted = errors.New("miner: nonce space exhausted")
 // BuildBlock assembles an unmined block paying payout on top of the
 // current tip.
 func (m *Miner) BuildBlock(payout bkey.Principal) (*wire.MsgBlock, error) {
-	tipHash := m.chain.BestHash()
-	height := m.chain.BestHeight() + 1
+	// One snapshot keeps the parent hash, height, difficulty and
+	// median-time-past mutually consistent even if the tip moves while we
+	// assemble the block.
+	snap := m.chain.BestSnapshot()
+	tipHash := snap.Hash
+	height := snap.Height + 1
 
 	var txs []*wire.MsgTx
 	var fees int64
@@ -72,8 +76,8 @@ func (m *Miner) BuildBlock(payout bkey.Principal) (*wire.MsgBlock, error) {
 	all := append([]*wire.MsgTx{coinbase}, txs...)
 
 	ts := m.clock.Now().UTC().Truncate(time.Second)
-	if mtp := m.chain.MedianTimePast(); !ts.After(mtp) {
-		ts = mtp.Add(time.Second)
+	if !ts.After(snap.MedianTime) {
+		ts = snap.MedianTime.Add(time.Second)
 	}
 	blk := &wire.MsgBlock{
 		Header: wire.BlockHeader{
@@ -81,7 +85,7 @@ func (m *Miner) BuildBlock(payout bkey.Principal) (*wire.MsgBlock, error) {
 			PrevBlock:  tipHash,
 			MerkleRoot: wire.ComputeMerkleRoot(all),
 			Timestamp:  ts,
-			Bits:       m.chain.NextRequiredDifficulty(),
+			Bits:       snap.NextBits,
 		},
 		Transactions: all,
 	}

@@ -78,6 +78,53 @@ func TestMineCollectsFees(t *testing.T) {
 	}
 }
 
+func TestSigCacheSharedAcrossMempoolAndConnect(t *testing.T) {
+	// A transaction verified at relay time must not pay for ECDSA again
+	// at block connect: the mempool records each successful signature
+	// check in the chain's shared cache, and the connect-time script
+	// workers consult it.
+	h := testutil.NewHarness(t, t.Name())
+	sc := h.Chain.SigCache()
+	if sc == nil {
+		t.Skip("signature cache disabled via TYPECOIN_SIGCACHE")
+	}
+	h.Fund(t)
+	dest, err := h.Wallet.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := h.Wallet.Build([]wallet.Output{
+		{Value: 1_0000_0000, PkScript: script.PayToPubKeyHash(dest)},
+	}, wallet.BuildOptions{Fee: 70_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Pool.Accept(tx); err != nil {
+		t.Fatal(err)
+	}
+	before := sc.Stats()
+	if before.Size == 0 {
+		t.Fatal("mempool admission did not populate the signature cache")
+	}
+
+	blk, _, err := h.Miner.Mine(h.MinerKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Transactions) != 2 {
+		t.Fatalf("block has %d txs, want coinbase + pooled tx", len(blk.Transactions))
+	}
+	after := sc.Stats()
+	if after.Hits <= before.Hits {
+		t.Errorf("block connect did not hit the signature cache: hits %d -> %d",
+			before.Hits, after.Hits)
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("block connect re-verified %d signatures already checked at relay time",
+			after.Misses-before.Misses)
+	}
+}
+
 func TestSolveBlockMeetsTarget(t *testing.T) {
 	h := testutil.NewHarness(t, t.Name())
 	blk, err := h.Miner.BuildBlock(h.MinerKey)

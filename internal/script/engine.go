@@ -35,11 +35,24 @@ var (
 	ErrCleanStack       = errors.New("script: stack not clean after execution")
 )
 
+// SigVerifier caches known-good ECDSA verifications. Exists reports
+// whether the (signature hash, signature, public key) triple verified
+// before; Add records a triple that just verified. Implementations must
+// be safe for concurrent use — the chain consults one from many script
+// workers at once. Both methods must tolerate being the no-op (the
+// sigcache package's nil *Cache satisfies this), so callers may inject
+// whatever they were handed.
+type SigVerifier interface {
+	Exists(sigHash chainhash.Hash, sig, pubKey []byte) bool
+	Add(sigHash chainhash.Hash, sig, pubKey []byte)
+}
+
 // engine executes one script over a shared stack.
 type engine struct {
 	tx        *wire.MsgTx
 	idx       int
 	subscript []byte // the script being signed (pkScript of the spent output)
+	sigCache  SigVerifier
 	stack     [][]byte
 	altStack  [][]byte
 	condStack []bool // conditional execution states, innermost last
@@ -508,11 +521,20 @@ func (e *engine) step(in Instruction) error {
 
 // checkSig verifies a script signature (DER signature || 1-byte hash type)
 // against a serialized public key over the transaction's signature hash.
+// When a SigVerifier is injected, a cached triple skips both the parsing
+// and the ECDSA verification; fresh successes are added to the cache.
 func (e *engine) checkSig(sigBytes, pkBytes []byte) bool {
 	if len(sigBytes) < 2 {
 		return false
 	}
 	hashType := SigHashType(sigBytes[len(sigBytes)-1])
+	digest, err := CalcSignatureHash(e.subscript, hashType, e.tx, e.idx)
+	if err != nil {
+		return false
+	}
+	if e.sigCache != nil && e.sigCache.Exists(digest, sigBytes, pkBytes) {
+		return true
+	}
 	sig, err := bkey.ParseSignature(sigBytes[:len(sigBytes)-1])
 	if err != nil {
 		return false
@@ -521,11 +543,13 @@ func (e *engine) checkSig(sigBytes, pkBytes []byte) bool {
 	if err != nil {
 		return false
 	}
-	digest, err := CalcSignatureHash(e.subscript, hashType, e.tx, e.idx)
-	if err != nil {
+	if !pk.Verify(digest[:], sig) {
 		return false
 	}
-	return pk.Verify(digest[:], sig)
+	if e.sigCache != nil {
+		e.sigCache.Add(digest, sigBytes, pkBytes)
+	}
+	return true
 }
 
 // checkMultiSig implements OP_CHECKMULTISIG: pops n, n pubkeys, m, m
@@ -598,6 +622,14 @@ func IsPushOnly(s []byte) bool {
 // the locking script pkScript of the output it spends, and reports whether
 // the combination authorizes the spend (Section 2, condition 4).
 func VerifyInput(tx *wire.MsgTx, idx int, pkScript []byte) error {
+	return VerifyInputCached(tx, idx, pkScript, nil)
+}
+
+// VerifyInputCached is VerifyInput with an injected signature
+// verification cache; sv may be nil for uncached verification. The
+// mempool and the chain pass the same cache so relay-time verification
+// pays for block connect.
+func VerifyInputCached(tx *wire.MsgTx, idx int, pkScript []byte, sv SigVerifier) error {
 	if idx < 0 || idx >= len(tx.TxIn) {
 		return fmt.Errorf("script: input index %d out of range", idx)
 	}
@@ -605,7 +637,7 @@ func VerifyInput(tx *wire.MsgTx, idx int, pkScript []byte) error {
 	if !IsPushOnly(sigScript) {
 		return ErrSigScriptNotPush
 	}
-	e := &engine{tx: tx, idx: idx, subscript: pkScript}
+	e := &engine{tx: tx, idx: idx, subscript: pkScript, sigCache: sv}
 	if err := e.run(sigScript); err != nil {
 		return fmt.Errorf("script: signature script: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"typecoin/internal/chainhash"
 )
@@ -44,12 +45,31 @@ type TxOut struct {
 	PkScript []byte
 }
 
+// txMemo caches the serialized form and identifier of a transaction.
+// Both are derived purely from the transaction's content, so the memo is
+// computed at most once and shared by every reader; the struct is
+// immutable after construction.
+type txMemo struct {
+	ser  []byte
+	hash chainhash.Hash
+}
+
 // MsgTx is a Bitcoin transaction.
+//
+// The serialized form and txid are memoized on first use: a transaction
+// is hashed once, not once per Bytes/TxHash call. The memo is dropped by
+// AddTxIn, AddTxOut and Deserialize, and Copy starts with an empty memo,
+// so the invariant callers must keep is: a transaction is immutable once
+// it has been hashed. Code that mutates exported fields of an
+// already-hashed transaction directly must call InvalidateCache before
+// the next Bytes/TxHash.
 type MsgTx struct {
 	Version  uint32
 	TxIn     []*TxIn
 	TxOut    []*TxOut
 	LockTime uint32
+
+	memo atomic.Pointer[txMemo]
 }
 
 // TxVersion is the default transaction version.
@@ -65,10 +85,41 @@ func NewMsgTx(version uint32) *MsgTx {
 }
 
 // AddTxIn appends ti to the transaction's inputs.
-func (tx *MsgTx) AddTxIn(ti *TxIn) { tx.TxIn = append(tx.TxIn, ti) }
+func (tx *MsgTx) AddTxIn(ti *TxIn) {
+	tx.TxIn = append(tx.TxIn, ti)
+	tx.memo.Store(nil)
+}
 
 // AddTxOut appends to to the transaction's outputs.
-func (tx *MsgTx) AddTxOut(to *TxOut) { tx.TxOut = append(tx.TxOut, to) }
+func (tx *MsgTx) AddTxOut(to *TxOut) {
+	tx.TxOut = append(tx.TxOut, to)
+	tx.memo.Store(nil)
+}
+
+// InvalidateCache drops the memoized serialization and txid. AddTxIn,
+// AddTxOut, Copy and Deserialize invalidate automatically; only code that
+// writes exported fields of an already-hashed transaction needs to call
+// this explicitly.
+func (tx *MsgTx) InvalidateCache() { tx.memo.Store(nil) }
+
+// memoized returns the cached serialization/txid pair, computing and
+// publishing it on first use. Concurrent first calls may each serialize,
+// but they produce identical memos, so whichever store wins is correct.
+func (tx *MsgTx) memoized() *txMemo {
+	if m := tx.memo.Load(); m != nil {
+		return m
+	}
+	var buf bytes.Buffer
+	buf.Grow(tx.SerializeSize())
+	if err := tx.Serialize(&buf); err != nil {
+		// Writing to a bytes.Buffer cannot fail.
+		panic("wire: impossible serialize failure: " + err.Error())
+	}
+	m := &txMemo{ser: buf.Bytes()}
+	m.hash = chainhash.DoubleHashB(m.ser)
+	tx.memo.Store(m)
+	return m
+}
 
 // Serialize writes the transaction in Bitcoin wire format.
 func (tx *MsgTx) Serialize(w io.Writer) error {
@@ -108,6 +159,7 @@ func (tx *MsgTx) Serialize(w io.Writer) error {
 
 // Deserialize reads a transaction in Bitcoin wire format.
 func (tx *MsgTx) Deserialize(r io.Reader) error {
+	tx.memo.Store(nil)
 	var err error
 	if tx.Version, err = readUint32(r); err != nil {
 		return err
@@ -158,20 +210,19 @@ func (tx *MsgTx) Deserialize(r io.Reader) error {
 	return err
 }
 
-// Bytes returns the serialized transaction.
+// Bytes returns the serialized transaction. The encoding is memoized;
+// the returned slice is a fresh copy the caller may freely modify.
 func (tx *MsgTx) Bytes() []byte {
-	var buf bytes.Buffer
-	if err := tx.Serialize(&buf); err != nil {
-		// Writing to a bytes.Buffer cannot fail.
-		panic("wire: impossible serialize failure: " + err.Error())
-	}
-	return buf.Bytes()
+	ser := tx.memoized().ser
+	out := make([]byte, len(ser))
+	copy(out, ser)
+	return out
 }
 
-// TxHash computes the transaction identifier: the double SHA-256 of the
-// serialized transaction.
+// TxHash returns the transaction identifier: the double SHA-256 of the
+// serialized transaction, memoized after the first computation.
 func (tx *MsgTx) TxHash() chainhash.Hash {
-	return chainhash.DoubleHashB(tx.Bytes())
+	return tx.memoized().hash
 }
 
 // SerializeSize returns the length in bytes of the wire encoding.

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"typecoin/internal/chainhash"
+)
+
+func cacheTestTx(tag byte) *MsgTx {
+	tx := NewMsgTx(TxVersion)
+	tx.AddTxIn(&TxIn{
+		PreviousOutPoint: OutPoint{Hash: chainhash.HashB([]byte{tag}), Index: 1},
+		SignatureScript:  []byte{tag, tag},
+		Sequence:         MaxTxInSequenceNum,
+	})
+	tx.AddTxOut(&TxOut{Value: 1000, PkScript: []byte{0x51, tag}})
+	return tx
+}
+
+func TestTxHashMemoMatchesSerialization(t *testing.T) {
+	tx := cacheTestTx(1)
+	want := chainhash.DoubleHashB(tx.Bytes())
+	if tx.TxHash() != want {
+		t.Fatal("memoized TxHash disagrees with serialization")
+	}
+	// Repeated calls are stable.
+	if tx.TxHash() != want {
+		t.Fatal("second TxHash call changed")
+	}
+}
+
+func TestTxMemoInvalidatedByMutators(t *testing.T) {
+	tx := cacheTestTx(2)
+	before := tx.TxHash()
+
+	tx.AddTxOut(&TxOut{Value: 7, PkScript: []byte{0x51}})
+	after := tx.TxHash()
+	if after == before {
+		t.Fatal("AddTxOut did not invalidate the txid memo")
+	}
+	if after != chainhash.DoubleHashB(tx.Bytes()) {
+		t.Fatal("recomputed txid wrong after AddTxOut")
+	}
+
+	tx.AddTxIn(&TxIn{PreviousOutPoint: OutPoint{Hash: chainhash.HashB([]byte("x"))}})
+	if tx.TxHash() == after {
+		t.Fatal("AddTxIn did not invalidate the txid memo")
+	}
+}
+
+func TestTxMemoInvalidateCache(t *testing.T) {
+	tx := cacheTestTx(3)
+	before := tx.TxHash()
+	// Direct field mutation bypasses the mutating helpers; the documented
+	// contract is an explicit InvalidateCache call.
+	tx.LockTime = 99
+	tx.InvalidateCache()
+	if tx.TxHash() == before {
+		t.Fatal("InvalidateCache did not drop the memo")
+	}
+}
+
+func TestTxMemoFreshOnCopyAndDeserialize(t *testing.T) {
+	tx := cacheTestTx(4)
+	orig := tx.TxHash()
+
+	cp := tx.Copy()
+	if cp.TxHash() != orig {
+		t.Fatal("copy hashes differently")
+	}
+	cp.TxIn[0].SignatureScript[0] ^= 0xff
+	cp.InvalidateCache()
+	if cp.TxHash() == orig {
+		t.Fatal("mutated copy kept the original txid")
+	}
+	if tx.TxHash() != orig {
+		t.Fatal("mutating the copy changed the original's txid")
+	}
+
+	var back MsgTx
+	if err := back.Deserialize(bytes.NewReader(tx.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if back.TxHash() != orig {
+		t.Fatal("deserialized tx hashes differently")
+	}
+}
+
+func TestTxBytesReturnsCopy(t *testing.T) {
+	tx := cacheTestTx(5)
+	b := tx.Bytes()
+	b[0] ^= 0xff
+	if !bytes.Equal(tx.Bytes(), append([]byte{b[0] ^ 0xff}, b[1:]...)) {
+		t.Fatal("mutating Bytes() result corrupted the memo")
+	}
+}
+
+func TestTxHashConcurrent(t *testing.T) {
+	tx := cacheTestTx(6)
+	want := chainhash.DoubleHashB(tx.Bytes())
+	tx.InvalidateCache()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if tx.TxHash() != want {
+					t.Error("concurrent TxHash mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
