@@ -1,10 +1,15 @@
 GO ?= go
 
 # Packages whose correctness depends on concurrency (the parallel block
-# validation pipeline and its clients) get a dedicated -race pass.
-RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/...
+# validation pipeline, the p2p node and its fault simulator) get a
+# dedicated -race pass.
+RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/...
 
-.PHONY: build test race vet check bench
+# Native fuzz targets over the three attacker-facing decoders. Each runs
+# for a short smoke budget; override FUZZTIME for longer campaigns.
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet check bench fuzz-smoke sim
 
 build:
 	$(GO) build ./...
@@ -22,3 +27,13 @@ check: vet build test race
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -fuzz FuzzMsgTxDeserialize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/proof/ -fuzz FuzzProofDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/logic/ -fuzz FuzzLogicDecode -fuzztime $(FUZZTIME)
+
+# The adversarial network-simulation suite. SIM_SEED=<n> replays a
+# single seed; otherwise the built-in seed set runs.
+sim:
+	$(GO) test ./internal/p2p/ -race -run TestSim -count=1 -v

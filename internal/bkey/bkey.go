@@ -10,8 +10,10 @@
 package bkey
 
 import (
+	"bytes"
 	"crypto/ecdsa"
 	"crypto/elliptic"
+	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/asn1"
@@ -64,15 +66,30 @@ type PrivateKey struct {
 
 // NewPrivateKey generates a fresh key pair from the given entropy source
 // (crypto/rand.Reader in production; a deterministic reader in tests).
+// The scalar is rejection-sampled directly from the reader rather than
+// via ecdsa.GenerateKey, which deliberately randomizes its consumption
+// of the reader and would defeat seeded-entropy reproducibility.
 func NewPrivateKey(entropy io.Reader) (*PrivateKey, error) {
 	if entropy == nil {
 		entropy = rand.Reader
 	}
-	ec, err := ecdsa.GenerateKey(elliptic.P256(), entropy)
-	if err != nil {
-		return nil, fmt.Errorf("bkey: generate: %w", err)
+	curve := elliptic.P256()
+	buf := make([]byte, 32)
+	for {
+		if _, err := io.ReadFull(entropy, buf); err != nil {
+			return nil, fmt.Errorf("bkey: generate: %w", err)
+		}
+		d := new(big.Int).SetBytes(buf)
+		if d.Sign() == 0 || d.Cmp(curve.Params().N) >= 0 {
+			continue
+		}
+		priv := ecdsa.PrivateKey{
+			PublicKey: ecdsa.PublicKey{Curve: curve},
+			D:         d,
+		}
+		priv.PublicKey.X, priv.PublicKey.Y = curve.ScalarBaseMult(buf)
+		return &PrivateKey{ec: priv}, nil
 	}
-	return &PrivateKey{ec: *ec}, nil
 }
 
 // PubKey returns the public half of the key.
@@ -151,16 +168,87 @@ type asn1Sig struct {
 	R, S *big.Int
 }
 
-// Sign signs the 32-byte digest and returns the signature.
+// Sign signs the 32-byte digest and returns the signature. Nonces are
+// derived deterministically from the key and digest per RFC 6979, as
+// Bitcoin implementations do: the same key and digest always produce
+// the same signature, so transaction ids — and therefore block hashes —
+// are replayable, which the simulation harness relies on for
+// seed-exact reproduction of failing runs.
 func (k *PrivateKey) Sign(digest []byte) (*Signature, error) {
 	if len(digest) != 32 {
 		return nil, fmt.Errorf("bkey: sign wants a 32-byte digest, got %d", len(digest))
 	}
-	r, s, err := ecdsa.Sign(rand.Reader, &k.ec, digest)
-	if err != nil {
-		return nil, fmt.Errorf("bkey: sign: %w", err)
+	q := k.ec.Curve.Params().N
+	z := new(big.Int).SetBytes(digest) // qlen == hlen == 256 for P-256/SHA-256
+	for kb := newNonceRFC6979(q, k.ec.D, digest); ; {
+		nonce := kb.next()
+		rx, _ := k.ec.Curve.ScalarBaseMult(nonce.FillBytes(make([]byte, 32)))
+		r := new(big.Int).Mod(rx, q)
+		if r.Sign() == 0 {
+			continue
+		}
+		s := new(big.Int).Mul(r, k.ec.D)
+		s.Add(s, z)
+		s.Mul(s, new(big.Int).ModInverse(nonce, q))
+		s.Mod(s, q)
+		if s.Sign() == 0 {
+			continue
+		}
+		return &Signature{R: r, S: s}, nil
 	}
-	return &Signature{R: r, S: s}, nil
+}
+
+// nonceRFC6979 is the HMAC-SHA256 DRBG of RFC 6979 section 3.2,
+// specialized to qlen == hlen == 256: it yields the deterministic
+// candidate nonces for signing digest under private scalar x.
+type nonceRFC6979 struct {
+	q    *big.Int
+	kmac []byte
+	v    []byte
+}
+
+func newNonceRFC6979(q, x *big.Int, digest []byte) *nonceRFC6979 {
+	h1 := new(big.Int).SetBytes(digest)
+	h1.Mod(h1, q) // bits2octets
+	seed := make([]byte, 0, 64)
+	seed = append(seed, x.FillBytes(make([]byte, 32))...)
+	seed = append(seed, h1.FillBytes(make([]byte, 32))...)
+
+	g := &nonceRFC6979{
+		q:    q,
+		kmac: make([]byte, 32), // K = 0x00..00
+		v:    bytes.Repeat([]byte{0x01}, 32),
+	}
+	g.update(0x00, seed)
+	g.update(0x01, seed)
+	return g
+}
+
+// update performs one K/V ratchet step: K = HMAC_K(V || sep || seed),
+// V = HMAC_K(V).
+func (g *nonceRFC6979) update(sep byte, seed []byte) {
+	mac := hmac.New(sha256.New, g.kmac)
+	mac.Write(g.v)
+	mac.Write([]byte{sep})
+	mac.Write(seed)
+	g.kmac = mac.Sum(nil)
+	mac = hmac.New(sha256.New, g.kmac)
+	mac.Write(g.v)
+	g.v = mac.Sum(nil)
+}
+
+// next returns the next candidate nonce in [1, q-1].
+func (g *nonceRFC6979) next() *big.Int {
+	for {
+		mac := hmac.New(sha256.New, g.kmac)
+		mac.Write(g.v)
+		g.v = mac.Sum(nil)
+		k := new(big.Int).SetBytes(g.v)
+		if k.Sign() > 0 && k.Cmp(g.q) < 0 {
+			return k
+		}
+		g.update(0x00, nil)
+	}
 }
 
 // Verify reports whether sig is a valid signature of digest under p.

@@ -3,6 +3,8 @@ package bkey
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -211,5 +213,61 @@ func TestPropertySignVerifyDistinctDigests(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 20}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSignDeterministic: the same key and digest must always produce the
+// same signature (RFC 6979 nonces) — transaction ids are replayable.
+func TestSignDeterministic(t *testing.T) {
+	k := newKey(t)
+	digest := sha256.Sum256([]byte("replay me"))
+	first, err := k.Sign(digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		sig, err := k.Sign(digest[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.R.Cmp(first.R) != 0 || sig.S.Cmp(first.S) != 0 {
+			t.Fatalf("signature %d differs: (%v,%v) vs (%v,%v)",
+				i, sig.R, sig.S, first.R, first.S)
+		}
+	}
+	// Distinct digests still get distinct nonces (r components differ).
+	other := sha256.Sum256([]byte("different"))
+	sig2, err := k.Sign(other[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig2.R.Cmp(first.R) == 0 {
+		t.Fatal("distinct digests reused a nonce")
+	}
+}
+
+// TestSignRFC6979Vector checks the P-256/SHA-256 test vector from RFC
+// 6979 appendix A.2.5 (message "sample").
+func TestSignRFC6979Vector(t *testing.T) {
+	kb, _ := hex.DecodeString("C9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721")
+	k, err := ParsePrivateKey(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("sample"))
+	sig, err := k.Sign(digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := "EFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716"
+	wantS := "F7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8"
+	if got := fmt.Sprintf("%064X", sig.R); got != wantR {
+		t.Errorf("r = %s, want %s", got, wantR)
+	}
+	if got := fmt.Sprintf("%064X", sig.S); got != wantS {
+		t.Errorf("s = %s, want %s", got, wantS)
+	}
+	if !k.PubKey().Verify(digest[:], sig) {
+		t.Error("vector signature does not verify")
 	}
 }

@@ -42,6 +42,79 @@ func TestSimulatedConcurrent(t *testing.T) {
 	}
 }
 
+func TestAfterFuncFiresInDueOrder(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	var order []int
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	c.AfterFunc(10*time.Second, func() { order = append(order, 10) })
+	c.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired order = %v, want [1 2 3]", order)
+	}
+	c.Advance(5 * time.Second)
+	if len(order) != 4 || order[3] != 10 {
+		t.Fatalf("fired order = %v, want trailing 10", order)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	fired := false
+	timer := c.AfterFunc(time.Second, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop before firing should return true")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop should return false")
+	}
+
+	t2 := c.AfterFunc(time.Second, func() {})
+	c.Advance(2 * time.Second)
+	if t2.Stop() {
+		t.Fatal("Stop after firing should return false")
+	}
+}
+
+func TestSubscribeSeesEveryChange(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	var seen []int64
+	c.Subscribe(func(now time.Time) { seen = append(seen, now.Unix()) })
+	c.Advance(time.Second)
+	c.Set(time.Unix(50, 0))
+	c.Advance(time.Second)
+	want := []int64{1, 50, 51}
+	if len(seen) != len(want) {
+		t.Fatalf("subscriber saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("subscriber saw %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestTimerCallbackMayUseClock guards against the callback deadlocking on
+// the clock's own lock.
+func TestTimerCallbackMayUseClock(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	var rescheduled bool
+	c.AfterFunc(time.Second, func() {
+		_ = c.Now()
+		c.AfterFunc(time.Hour, func() {})
+		rescheduled = true
+	})
+	c.Advance(2 * time.Second)
+	if !rescheduled {
+		t.Fatal("timer callback did not run")
+	}
+}
+
 func TestSystemClock(t *testing.T) {
 	before := time.Now().Add(-time.Second)
 	got := System{}.Now()

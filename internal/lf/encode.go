@@ -40,6 +40,14 @@ const (
 // ErrBadEncoding reports a malformed LF encoding.
 var ErrBadEncoding = errors.New("lf: malformed encoding")
 
+// MaxDecodeDepth bounds decoder recursion. Honest objects are shallow
+// (proof trees a few dozen levels deep at most); without a cap a crafted
+// byte string one tag per level could drive the mutually recursive
+// decoders arbitrarily deep and exhaust the stack.
+const MaxDecodeDepth = 512
+
+var errTooDeep = fmt.Errorf("%w: nesting deeper than %d", ErrBadEncoding, MaxDecodeDepth)
+
 func writeByte(w io.Writer, b byte) error {
 	_, err := w.Write([]byte{b})
 	return err
@@ -128,7 +136,12 @@ func EncodeKind(w io.Writer, k Kind) error {
 }
 
 // DecodeKind reads a kind.
-func DecodeKind(r io.Reader) (Kind, error) {
+func DecodeKind(r io.Reader) (Kind, error) { return decodeKind(r, 0) }
+
+func decodeKind(r io.Reader, depth int) (Kind, error) {
+	if depth > MaxDecodeDepth {
+		return nil, errTooDeep
+	}
 	tag, err := readByte(r)
 	if err != nil {
 		return nil, err
@@ -139,11 +152,11 @@ func DecodeKind(r io.Reader) (Kind, error) {
 	case tagKProp:
 		return KProp{}, nil
 	case tagKPi:
-		arg, err := DecodeFamily(r)
+		arg, err := decodeFamily(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		body, err := DecodeKind(r)
+		body, err := decodeKind(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +197,12 @@ func EncodeFamily(w io.Writer, f Family) error {
 }
 
 // DecodeFamily reads a family.
-func DecodeFamily(r io.Reader) (Family, error) {
+func DecodeFamily(r io.Reader) (Family, error) { return decodeFamily(r, 0) }
+
+func decodeFamily(r io.Reader, depth int) (Family, error) {
+	if depth > MaxDecodeDepth {
+		return nil, errTooDeep
+	}
 	tag, err := readByte(r)
 	if err != nil {
 		return nil, err
@@ -197,21 +215,21 @@ func DecodeFamily(r io.Reader) (Family, error) {
 		}
 		return FConst{Ref: ref}, nil
 	case tagFApp:
-		fam, err := DecodeFamily(r)
+		fam, err := decodeFamily(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		arg, err := DecodeTerm(r)
+		arg, err := decodeTerm(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		return FApp{Fam: fam, Arg: arg}, nil
 	case tagFPi:
-		arg, err := DecodeFamily(r)
+		arg, err := decodeFamily(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		body, err := DecodeFamily(r)
+		body, err := decodeFamily(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +285,12 @@ func EncodeTerm(w io.Writer, t Term) error {
 }
 
 // DecodeTerm reads a term.
-func DecodeTerm(r io.Reader) (Term, error) {
+func DecodeTerm(r io.Reader) (Term, error) { return decodeTerm(r, 0) }
+
+func decodeTerm(r io.Reader, depth int) (Term, error) {
+	if depth > MaxDecodeDepth {
+		return nil, errTooDeep
+	}
 	tag, err := readByte(r)
 	if err != nil {
 		return nil, err
@@ -289,21 +312,21 @@ func DecodeTerm(r io.Reader) (Term, error) {
 		}
 		return TConst{Ref: ref}, nil
 	case tagTLam:
-		arg, err := DecodeFamily(r)
+		arg, err := decodeFamily(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		body, err := DecodeTerm(r)
+		body, err := decodeTerm(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		return TLam{Hint: "u", Arg: arg, Body: body}, nil
 	case tagTApp:
-		fn, err := DecodeTerm(r)
+		fn, err := decodeTerm(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		arg, err := DecodeTerm(r)
+		arg, err := decodeTerm(r, depth+1)
 		if err != nil {
 			return nil, err
 		}

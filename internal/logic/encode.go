@@ -45,6 +45,9 @@ const (
 // ErrBadEncoding reports a malformed logic encoding.
 var ErrBadEncoding = errors.New("logic: malformed encoding")
 
+// errTooDeep bounds Prop/Cond recursion, mirroring the lf decoder cap.
+var errTooDeep = fmt.Errorf("%w: nesting deeper than %d", ErrBadEncoding, lf.MaxDecodeDepth)
+
 func writeByte(w io.Writer, b byte) error {
 	_, err := w.Write([]byte{b})
 	return err
@@ -149,7 +152,12 @@ func encodeBinder(w io.Writer, tag byte, ty lf.Family, body Prop) error {
 }
 
 // DecodeProp reads a proposition.
-func DecodeProp(r io.Reader) (Prop, error) {
+func DecodeProp(r io.Reader) (Prop, error) { return decodeProp(r, 0) }
+
+func decodeProp(r io.Reader, depth int) (Prop, error) {
+	if depth > lf.MaxDecodeDepth {
+		return nil, errTooDeep
+	}
 	tag, err := readByte(r)
 	if err != nil {
 		return nil, err
@@ -162,11 +170,11 @@ func DecodeProp(r io.Reader) (Prop, error) {
 		}
 		return PAtom{Fam: f}, nil
 	case tagPLolli, tagPTensor, tagPWith, tagPPlus:
-		a, err := DecodeProp(r)
+		a, err := decodeProp(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		b, err := DecodeProp(r)
+		b, err := decodeProp(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +193,7 @@ func DecodeProp(r io.Reader) (Prop, error) {
 	case tagPOne:
 		return POne{}, nil
 	case tagPBang:
-		a, err := DecodeProp(r)
+		a, err := decodeProp(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +203,7 @@ func DecodeProp(r io.Reader) (Prop, error) {
 		if err != nil {
 			return nil, err
 		}
-		body, err := DecodeProp(r)
+		body, err := decodeProp(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -208,7 +216,7 @@ func DecodeProp(r io.Reader) (Prop, error) {
 		if err != nil {
 			return nil, err
 		}
-		body, err := DecodeProp(r)
+		body, err := decodeProp(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +228,7 @@ func DecodeProp(r io.Reader) (Prop, error) {
 		}
 		var res Prop
 		if hasRes == 1 {
-			if res, err = DecodeProp(r); err != nil {
+			if res, err = decodeProp(r, depth+1); err != nil {
 				return nil, err
 			}
 		} else if hasRes != 0 {
@@ -239,11 +247,11 @@ func DecodeProp(r io.Reader) (Prop, error) {
 		}
 		return PReceipt{Res: res, Amount: int64(amount), To: to}, nil
 	case tagPIf:
-		cond, err := DecodeCond(r)
+		cond, err := decodeCond(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		body, err := DecodeProp(r)
+		body, err := decodeProp(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -290,7 +298,12 @@ func EncodeCond(w io.Writer, c Cond) error {
 }
 
 // DecodeCond reads a condition.
-func DecodeCond(r io.Reader) (Cond, error) {
+func DecodeCond(r io.Reader) (Cond, error) { return decodeCond(r, 0) }
+
+func decodeCond(r io.Reader, depth int) (Cond, error) {
+	if depth > lf.MaxDecodeDepth {
+		return nil, errTooDeep
+	}
 	tag, err := readByte(r)
 	if err != nil {
 		return nil, err
@@ -299,17 +312,17 @@ func DecodeCond(r io.Reader) (Cond, error) {
 	case tagCTrue:
 		return CTrue{}, nil
 	case tagCAnd:
-		l, err := DecodeCond(r)
+		l, err := decodeCond(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := DecodeCond(r)
+		rr, err := decodeCond(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		return CAnd{L: l, R: rr}, nil
 	case tagCNot:
-		c, err := DecodeCond(r)
+		c, err := decodeCond(r, depth+1)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,336 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chain"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/clock"
+	"typecoin/internal/mempool"
+	"typecoin/internal/miner"
+	"typecoin/internal/p2p"
+	"typecoin/internal/testutil"
+	"typecoin/internal/typecoin"
+	"typecoin/internal/wallet"
+	"typecoin/internal/wire"
+)
+
+// Harness is a multi-node scenario: N full nodes (chain, mempool,
+// ledger, wallet, miner) gossiping over one simulated Network on one
+// virtual clock. Faults are scripted through the Network (Partition,
+// StallOneWay, SetLink) and the harness asserts the system invariants
+// after heal via AssertConverged.
+type Harness struct {
+	T       testing.TB
+	Seed    int64
+	Params  *chain.Params
+	Clk     *clock.Simulated
+	Net     *Network
+	Nodes   []*p2p.Node
+	Ledgers []*typecoin.Ledger
+	Wallets []*wallet.Wallet
+	Miners  []*miner.Miner
+	Payouts []bkey.Principal
+
+	base   time.Time // virtual time origin for the block schedule
+	blocks int       // global mined-block counter
+	edges  [][2]int  // dialed topology (from, to), for reconnects
+}
+
+// NewHarness builds n nodes over a fresh Network with the given seed and
+// default link configuration, and stops them on test cleanup. Nodes are
+// not connected; call Connect to build a topology.
+func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
+	t.Helper()
+	params := chain.RegTestParams()
+	start := params.GenesisBlock.Header.Timestamp.Add(time.Minute)
+	clk := clock.NewSimulated(start)
+	h := &Harness{
+		T:      t,
+		Seed:   seed,
+		Params: params,
+		Clk:    clk,
+		Net:    New(clk, seed, cfg),
+		base:   start,
+	}
+	for i := 0; i < n; i++ {
+		c := chain.New(params, clk)
+		pool := mempool.New(c, -1)
+		node := p2p.NewNode(c, pool, nil)
+		node.SetTransport(h.Net.Transport(h.Host(i)))
+		// Generous real-time redial budget: a partition must not
+		// exhaust it before the heal.
+		node.SetRedial(12, 10*time.Millisecond)
+		ledger := typecoin.NewLedger(c, 1)
+		node.SetLedger(ledger)
+		if _, err := node.Listen(""); err != nil {
+			t.Fatalf("node %d listen: %v", i, err)
+		}
+		w := wallet.New(c, testutil.NewEntropy(fmt.Sprintf("netsim/%d/node%d", seed, i)))
+		payout, err := w.NewKey()
+		if err != nil {
+			t.Fatalf("node %d payout key: %v", i, err)
+		}
+		h.Nodes = append(h.Nodes, node)
+		h.Ledgers = append(h.Ledgers, ledger)
+		h.Wallets = append(h.Wallets, w)
+		h.Miners = append(h.Miners, miner.New(c, pool, clk))
+		h.Payouts = append(h.Payouts, payout)
+	}
+	t.Cleanup(func() {
+		for _, node := range h.Nodes {
+			node.Stop()
+		}
+	})
+	return h
+}
+
+// Host names node i on the simulated network.
+func (h *Harness) Host(i int) string { return fmt.Sprintf("n%d", i) }
+
+// Connect dials node i -> node j and remembers the edge for reconnects.
+func (h *Harness) Connect(i, j int) {
+	h.T.Helper()
+	if err := h.Nodes[i].Dial(h.Host(j)); err != nil {
+		h.T.Fatalf("connect %d->%d: %v", i, j, err)
+	}
+	h.edges = append(h.edges, [2]int{i, j})
+}
+
+// Settle advances virtual time in small ticks, yielding real time
+// between ticks so node goroutines drain their queues.
+func (h *Harness) Settle(ticks int) {
+	for k := 0; k < ticks; k++ {
+		h.Clk.Advance(20 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// WaitFor polls cond while driving the virtual clock, failing the test
+// after a generous real-time deadline. Every ~100 ticks it makes all
+// nodes re-sync from their peers: lossy links can swallow a one-shot
+// inv/getdata exchange, and the protocol has no per-message retry, so
+// liveness under faults comes from periodic resync (as in Bitcoin).
+func (h *Harness) WaitFor(what string, cond func() bool) {
+	h.T.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for k := 0; time.Now().Before(deadline); k++ {
+		if cond() {
+			return
+		}
+		h.Clk.Advance(20 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+		if k%100 == 99 {
+			for _, node := range h.Nodes {
+				node.SyncPeers()
+			}
+		}
+	}
+	h.T.Fatalf("timeout waiting for %s", what)
+}
+
+// Mine mines one block on node i at the next slot of a fixed virtual
+// timestamp schedule (one minute per block, globally ordered), so block
+// hashes depend only on their content — not on how long the scenario
+// settled in between.
+func (h *Harness) Mine(i int) *wire.MsgBlock {
+	h.T.Helper()
+	h.blocks++
+	target := h.base.Add(time.Duration(h.blocks) * time.Minute)
+	if h.Clk.Now().Before(target) {
+		h.Clk.Set(target)
+	} else {
+		h.Clk.Advance(time.Minute)
+	}
+	blk, _, err := h.Miners[i].Mine(h.Payouts[i])
+	if err != nil {
+		h.T.Fatalf("mine on node %d: %v", i, err)
+	}
+	h.Settle(5)
+	return blk
+}
+
+// MineN mines n blocks on node i.
+func (h *Harness) MineN(i, n int) {
+	h.T.Helper()
+	for k := 0; k < n; k++ {
+		h.Mine(i)
+	}
+}
+
+// Partition splits the network into groups of node indices.
+func (h *Harness) Partition(groups ...[]int) {
+	named := make([][]string, len(groups))
+	for gi, g := range groups {
+		for _, i := range g {
+			named[gi] = append(named[gi], h.Host(i))
+		}
+	}
+	h.Net.SetPartition(named...)
+}
+
+// Heal removes all faults, restores the dialed topology (connections
+// killed by corruption may have exhausted their redial budget during the
+// partition), and triggers a full resync on every node.
+func (h *Harness) Heal() {
+	h.T.Helper()
+	h.Net.Heal()
+	h.Settle(10)
+	h.Reconnect()
+	h.Settle(10)
+	for _, node := range h.Nodes {
+		node.SyncPeers()
+	}
+	h.Settle(10)
+}
+
+// Reconnect re-dials every recorded edge whose outbound connection is
+// gone.
+func (h *Harness) Reconnect() {
+	for _, e := range h.edges {
+		if !h.Nodes[e[0]].HasPeerAddr(h.Host(e[1])) {
+			// Ignore errors: the redial loop may be mid-flight.
+			_ = h.Nodes[e[0]].Dial(h.Host(e[1]))
+		}
+	}
+}
+
+// WaitConverged waits until every node reports the same best hash.
+func (h *Harness) WaitConverged() {
+	h.T.Helper()
+	h.WaitFor("best-hash convergence", func() bool {
+		best := h.Nodes[0].Chain().BestHash()
+		for _, node := range h.Nodes[1:] {
+			if node.Chain().BestHash() != best {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// AssertConverged checks the four system invariants and returns the
+// converged best hash:
+//
+//  1. every node reports the same best hash;
+//  2. no UTXO is spent twice across the converged chain's history, and
+//     the UTXO set equals created-minus-spent;
+//  3. the Typecoin affine invariant holds on every node's ledger, and
+//     all ledgers applied the same number of carriers;
+//  4. no mempool holds a transaction conflicting with the converged
+//     chain.
+func (h *Harness) AssertConverged() chainhash.Hash {
+	h.T.Helper()
+	best := h.Nodes[0].Chain().BestHash()
+	for i, node := range h.Nodes {
+		if got := node.Chain().BestHash(); got != best {
+			h.T.Fatalf("invariant 1: node %d best hash %s, node 0 has %s (heights %d vs %d)",
+				i, got, best, node.Chain().BestHeight(), h.Nodes[0].Chain().BestHeight())
+		}
+	}
+	if err := AuditChainUTXO(h.Nodes[0].Chain()); err != nil {
+		h.T.Fatalf("invariant 2: %v", err)
+	}
+	for i, l := range h.Ledgers {
+		if err := l.AuditAffine(); err != nil {
+			h.T.Fatalf("invariant 3: node %d: %v", i, err)
+		}
+		if got, want := l.AppliedCount(), h.Ledgers[0].AppliedCount(); got != want {
+			h.T.Fatalf("invariant 3: node %d applied %d typecoin carriers, node 0 applied %d",
+				i, got, want)
+		}
+	}
+	for i, node := range h.Nodes {
+		if err := AuditMempoolAgainstChain(node.Pool(), node.Chain()); err != nil {
+			h.T.Fatalf("invariant 4: node %d: %v", i, err)
+		}
+	}
+	return best
+}
+
+// AuditChainUTXO re-walks a chain's main-chain history from genesis and
+// verifies Bitcoin's between-transaction affine guarantee: every spend
+// consumes an output that exists and was not consumed before, and the
+// chain's UTXO set is exactly the outputs created and never spent.
+func AuditChainUTXO(c *chain.Chain) error {
+	created := make(map[wire.OutPoint]bool)
+	// Provably unspendable outputs (leading OP_RETURN) are pruned from
+	// the node's table, so the audit must not demand them back.
+	unspendable := make(map[wire.OutPoint]bool)
+	spent := make(map[wire.OutPoint]chainhash.Hash)
+	for height := 0; ; height++ {
+		blk, ok := c.BlockAtHeight(height)
+		if !ok {
+			if height <= c.BestHeight() {
+				return fmt.Errorf("missing block at height %d", height)
+			}
+			break
+		}
+		for ti, tx := range blk.Transactions {
+			txid := tx.TxHash()
+			if ti > 0 { // the coinbase consumes nothing
+				for _, in := range tx.TxIn {
+					op := in.PreviousOutPoint
+					if by, dup := spent[op]; dup {
+						return fmt.Errorf("utxo %v spent twice: by %s and %s (height %d)",
+							op, by, txid, height)
+					}
+					if !created[op] {
+						return fmt.Errorf("tx %s at height %d spends nonexistent output %v",
+							txid, height, op)
+					}
+					spent[op] = txid
+				}
+			}
+			for idx, out := range tx.TxOut {
+				op := wire.OutPoint{Hash: txid, Index: uint32(idx)}
+				created[op] = true
+				if len(out.PkScript) > 0 && out.PkScript[0] == 0x6a { // OP_RETURN
+					unspendable[op] = true
+				}
+			}
+		}
+	}
+	// The chain's UTXO set must be exactly created minus spent.
+	live := make(map[wire.OutPoint]bool)
+	for _, op := range c.UtxoOutpoints() {
+		live[op] = true
+		if !created[op] {
+			return fmt.Errorf("utxo set contains never-created output %v", op)
+		}
+		if by, dup := spent[op]; dup {
+			return fmt.Errorf("utxo set contains output %v spent by %s", op, by)
+		}
+	}
+	for op := range created {
+		if _, wasSpent := spent[op]; !wasSpent && !live[op] && !unspendable[op] {
+			return fmt.Errorf("unspent output %v missing from utxo set", op)
+		}
+	}
+	return nil
+}
+
+// AuditMempoolAgainstChain verifies that no pooled transaction conflicts
+// with the chain: none is already confirmed and none spends an outpoint
+// the chain has consumed.
+func AuditMempoolAgainstChain(pool *mempool.Pool, c *chain.Chain) error {
+	for _, txid := range pool.TxIDs() {
+		if _, onChain := c.TxByID(txid); onChain {
+			return fmt.Errorf("mempool tx %s is already confirmed", txid)
+		}
+		tx, ok := pool.Tx(txid)
+		if !ok {
+			continue
+		}
+		for _, in := range tx.TxIn {
+			if rec, isSpent := c.IsSpent(in.PreviousOutPoint); isSpent {
+				return fmt.Errorf("mempool tx %s double-spends %v (consumed on chain: %+v)",
+					txid, in.PreviousOutPoint, rec)
+			}
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"typecoin/internal/chain"
 	"typecoin/internal/chainhash"
@@ -14,19 +15,41 @@ import (
 	"typecoin/internal/wire"
 )
 
+// Transport abstracts how a node reaches its peers: real TCP in
+// production, the netsim fault simulator in adversarial tests.
+type Transport interface {
+	Listen(addr string) (net.Listener, error)
+	Dial(addr string) (net.Conn, error)
+}
+
+// tcpTransport is the production transport.
+type tcpTransport struct{}
+
+func (tcpTransport) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+func (tcpTransport) Dial(addr string) (net.Conn, error)       { return net.Dial("tcp", addr) }
+
 // Node is one network participant: a chain, a mempool, and a set of
 // peers it gossips with.
 type Node struct {
-	chain  *chain.Chain
-	pool   *mempool.Pool
-	ledger *typecoin.Ledger // optional: enables typecoin gossip
-	magic  uint32
-	logger *log.Logger
+	chain     *chain.Chain
+	pool      *mempool.Pool
+	magic     uint32
+	logger    *log.Logger
+	transport Transport
+
+	// Tunables, fixed before Listen/Dial (setters below).
+	sendTimeout      time.Duration
+	handshakeTimeout time.Duration
+	redialAttempts   int
+	redialBase       time.Duration
 
 	mu       sync.Mutex
+	ledger   *typecoin.Ledger // optional: enables typecoin gossip
 	peers    map[int]*Peer
 	nextID   int
 	listener net.Listener
+	dialing  map[string]bool // addrs with a redial loop in flight
+	quit     chan struct{}
 	wg       sync.WaitGroup
 	stopped  bool
 }
@@ -35,14 +58,39 @@ type Node struct {
 // nil to disable logging.
 func NewNode(c *chain.Chain, pool *mempool.Pool, logger *log.Logger) *Node {
 	n := &Node{
-		chain:  c,
-		pool:   pool,
-		magic:  c.Params().Magic,
-		logger: logger,
-		peers:  make(map[int]*Peer),
+		chain:            c,
+		pool:             pool,
+		magic:            c.Params().Magic,
+		logger:           logger,
+		transport:        tcpTransport{},
+		sendTimeout:      5 * time.Second,
+		handshakeTimeout: 10 * time.Second,
+		redialAttempts:   6,
+		redialBase:       25 * time.Millisecond,
+		peers:            make(map[int]*Peer),
+		dialing:          make(map[string]bool),
+		quit:             make(chan struct{}),
 	}
 	c.Subscribe(n.onChainChange)
 	return n
+}
+
+// SetTransport replaces the transport. Call before Listen or Dial.
+func (n *Node) SetTransport(t Transport) { n.transport = t }
+
+// SetTimeouts adjusts the send-queue stall and handshake timeouts. A
+// zero handshake timeout disables reaping. Call before Listen or Dial.
+func (n *Node) SetTimeouts(send, handshake time.Duration) {
+	n.sendTimeout = send
+	n.handshakeTimeout = handshake
+}
+
+// SetRedial adjusts the bounded redial policy for dialed peers that
+// drop: up to attempts tries with exponential backoff starting at base.
+// Call before Listen or Dial.
+func (n *Node) SetRedial(attempts int, base time.Duration) {
+	n.redialAttempts = attempts
+	n.redialBase = base
 }
 
 func (n *Node) logf(format string, args ...interface{}) {
@@ -58,10 +106,18 @@ func (n *Node) Chain() *chain.Chain { return n.chain }
 // transactions, fallback lists and batches to its peers, and announces
 // received ones to the ledger. The Bitcoin layer is unaffected: carriers
 // still commit only to hashes.
-func (n *Node) SetLedger(l *typecoin.Ledger) { n.ledger = l }
+func (n *Node) SetLedger(l *typecoin.Ledger) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ledger = l
+}
 
 // Ledger returns the attached Typecoin ledger, if any.
-func (n *Node) Ledger() *typecoin.Ledger { return n.ledger }
+func (n *Node) Ledger() *typecoin.Ledger {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ledger
+}
 
 // Pool returns the node's mempool.
 func (n *Node) Pool() *mempool.Pool { return n.pool }
@@ -73,16 +129,38 @@ func (n *Node) PeerCount() int {
 	return len(n.peers)
 }
 
-// addConn starts the message loops for a new connection.
-func (n *Node) addConn(conn net.Conn) *Peer {
+// HasPeerAddr reports whether a live peer was dialed at addr (inbound
+// peers have no dial address).
+func (n *Node) HasPeerAddr(addr string) bool {
 	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		if p.dialAddr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// addConn starts the message loops for a new connection. dialAddr is
+// non-empty for outbound connections and enables redial on failure.
+func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		conn.Close()
+		return nil
+	}
 	id := n.nextID
 	n.nextID++
 	p := newPeer(n, conn, id)
+	p.dialAddr = dialAddr
 	n.peers[id] = p
+	// Registering the loops while holding n.mu (with stopped false)
+	// orders the Add before Stop's Wait.
+	n.wg.Add(2)
 	n.mu.Unlock()
 
-	n.wg.Add(2)
 	go func() {
 		defer n.wg.Done()
 		n.writeLoop(p)
@@ -92,6 +170,20 @@ func (n *Node) addConn(conn net.Conn) *Peer {
 		n.readLoop(p)
 	}()
 
+	// A peer that never completes the handshake (hangs mid-handshake,
+	// wrong magic killing the read loop on their side) is reaped.
+	if n.handshakeTimeout > 0 {
+		p.setHandshakeTimer(time.AfterFunc(n.handshakeTimeout, func() {
+			p.mu.Lock()
+			done := p.handshaken
+			p.mu.Unlock()
+			if !done {
+				n.logf("peer %d: handshake timeout", p.id)
+				p.close()
+			}
+		}))
+	}
+
 	// Handshake: announce our version; the peer replies verack and both
 	// sides then exchange locators to sync.
 	if err := p.send(wire.CmdVersion, nil); err != nil {
@@ -100,31 +192,84 @@ func (n *Node) addConn(conn net.Conn) *Peer {
 	return p
 }
 
+// dropPeer unregisters a dead peer and, for dialed peers, starts a
+// bounded redial loop so a mid-stream connection failure does not
+// silently shrink the peer set.
 func (n *Node) dropPeer(p *Peer) {
 	n.mu.Lock()
 	delete(n.peers, p.id)
+	redial := p.dialAddr != "" && !n.stopped && n.redialAttempts > 0 && !n.dialing[p.dialAddr]
+	if redial {
+		n.dialing[p.dialAddr] = true
+		// Safe: the first close of a peer always happens while at least
+		// one of its loop goroutines still holds a wg slot.
+		n.wg.Add(1)
+	}
 	n.mu.Unlock()
+	if redial {
+		go func() {
+			defer n.wg.Done()
+			n.redial(p.dialAddr)
+		}()
+	}
+}
+
+// redial retries an outbound address with exponential backoff.
+func (n *Node) redial(addr string) {
+	defer func() {
+		n.mu.Lock()
+		delete(n.dialing, addr)
+		n.mu.Unlock()
+	}()
+	backoff := n.redialBase
+	for attempt := 1; attempt <= n.redialAttempts; attempt++ {
+		select {
+		case <-n.quit:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		conn, err := n.transport.Dial(addr)
+		if err != nil {
+			n.logf("redial %s attempt %d/%d: %v", addr, attempt, n.redialAttempts, err)
+			continue
+		}
+		n.logf("redial %s succeeded on attempt %d", addr, attempt)
+		// Clear the in-flight marker before registering the peer so an
+		// immediate re-drop can schedule a fresh redial loop.
+		n.mu.Lock()
+		delete(n.dialing, addr)
+		n.mu.Unlock()
+		n.addConn(conn, addr)
+		return
+	}
+	n.logf("redial %s: giving up after %d attempts", addr, n.redialAttempts)
 }
 
 // ConnectPipe wires two in-process nodes together with a synchronous
 // duplex pipe, as used by the regtest network simulation.
 func ConnectPipe(a, b *Node) {
 	ca, cb := net.Pipe()
-	a.addConn(ca)
-	b.addConn(cb)
+	a.addConn(ca, "")
+	b.addConn(cb, "")
 }
 
-// Listen begins accepting TCP connections on addr. It returns the bound
-// address (useful with ":0").
+// Listen begins accepting connections on addr via the node's transport
+// (TCP by default). It returns the bound address (useful with ":0").
 func (n *Node) Listen(addr string) (string, error) {
-	l, err := net.Listen("tcp", addr)
+	l, err := n.transport.Listen(addr)
 	if err != nil {
 		return "", fmt.Errorf("p2p: listen: %w", err)
 	}
 	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		l.Close()
+		return "", fmt.Errorf("p2p: node stopped")
+	}
 	n.listener = l
-	n.mu.Unlock()
 	n.wg.Add(1)
+	n.mu.Unlock()
 	go func() {
 		defer n.wg.Done()
 		for {
@@ -132,19 +277,21 @@ func (n *Node) Listen(addr string) (string, error) {
 			if err != nil {
 				return
 			}
-			n.addConn(conn)
+			n.addConn(conn, "")
 		}
 	}()
 	return l.Addr().String(), nil
 }
 
-// Dial connects to a remote node over TCP.
+// Dial connects to a remote node via the node's transport. The address
+// is remembered: if the connection later fails mid-stream, the node
+// redials it with bounded backoff.
 func (n *Node) Dial(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := n.transport.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}
-	n.addConn(conn)
+	n.addConn(conn, addr)
 	return nil
 }
 
@@ -156,6 +303,7 @@ func (n *Node) Stop() {
 		return
 	}
 	n.stopped = true
+	close(n.quit)
 	l := n.listener
 	peers := make([]*Peer, 0, len(n.peers))
 	for _, p := range n.peers {
@@ -204,16 +352,18 @@ func (n *Node) readLoop(p *Peer) {
 func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 	switch msg.Command {
 	case wire.CmdVersion:
-		p.mu.Lock()
-		p.handshaken = true
-		p.mu.Unlock()
+		p.markHandshaken()
 		if err := p.send(wire.CmdVerAck, nil); err != nil {
 			return err
 		}
 		// Start initial block download from this peer.
 		return p.send(wire.CmdGetBlocks, wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash))
 
-	case wire.CmdVerAck, wire.CmdPong:
+	case wire.CmdVerAck:
+		p.markHandshaken()
+		return nil
+
+	case wire.CmdPong:
 		return nil
 
 	case wire.CmdPing:
@@ -295,8 +445,18 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 			n.logf("peer %d: block %s rejected: %v", p.id, hash, err)
 			return nil // a bad block does not kill the connection
 		}
-		if status == chain.StatusMainChain || status == chain.StatusSideChain {
+		switch status {
+		case chain.StatusMainChain, chain.StatusSideChain:
 			// Keep pulling if the peer has more (batch sync).
+			if err := p.send(wire.CmdGetBlocks,
+				wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)); err != nil {
+				return err
+			}
+			// The block may commit to overlay objects this node never
+			// received (gossiped into a partition); re-request them.
+			n.requestMissingTypecoin()
+		case chain.StatusOrphan:
+			// We are missing ancestors: ask this peer to fill the gap.
 			if err := p.send(wire.CmdGetBlocks,
 				wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)); err != nil {
 				return err
@@ -319,16 +479,37 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		return nil
 
 	case wire.CmdTcTx, wire.CmdTcList, wire.CmdTcBatch:
-		if n.ledger == nil {
+		ledger := n.Ledger()
+		if ledger == nil {
 			return nil // not participating in the overlay
 		}
-		h, err := n.acceptTypecoin(msg.Command, msg.Payload)
+		h, err := n.acceptTypecoin(ledger, msg.Command, msg.Payload)
 		if err != nil {
 			n.logf("peer %d: %s rejected: %v", p.id, msg.Command, err)
 			return nil
 		}
 		p.markKnown(invTypeTypecoin, h)
 		n.gossipTypecoin(msg.Command, msg.Payload, h, p)
+		return nil
+
+	case wire.CmdTcGet:
+		ledger := n.Ledger()
+		if ledger == nil {
+			return nil
+		}
+		invs, err := wire.DecodeInv(msg.Payload)
+		if err != nil {
+			return err
+		}
+		for _, iv := range invs {
+			obj, ok := ledger.KnownObject(iv.Hash)
+			if !ok {
+				continue
+			}
+			if err := n.sendTypecoinObject(p, obj); err != nil {
+				return err
+			}
+		}
 		return nil
 
 	default:
@@ -340,16 +521,92 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 // invTypeTypecoin is the peer-known-set namespace for overlay gossip.
 const invTypeTypecoin uint32 = 0x7c
 
+// sendTypecoinObject re-encodes an announced overlay object for the
+// gossip command matching its shape (answering a tcget).
+func (n *Node) sendTypecoinObject(p *Peer, obj interface{}) error {
+	switch obj := obj.(type) {
+	case *typecoin.FallbackList:
+		if len(obj.Txs) == 1 {
+			// Singleton lists hash as their sole transaction.
+			return p.send(wire.CmdTcTx, obj.Txs[0].Bytes())
+		}
+		var buf bytes.Buffer
+		if err := wire.WriteVarInt(&buf, uint64(len(obj.Txs))); err != nil {
+			return err
+		}
+		for _, tx := range obj.Txs {
+			if err := wire.WriteVarBytes(&buf, tx.Bytes()); err != nil {
+				return err
+			}
+		}
+		return p.send(wire.CmdTcList, buf.Bytes())
+	case *typecoin.Batch:
+		return p.send(wire.CmdTcBatch, obj.Bytes())
+	default:
+		return nil
+	}
+}
+
+// requestMissingTypecoin asks every peer for overlay objects whose
+// carriers this node has seen confirm without ever receiving the object
+// (the announce-after-mine hole a partition opens).
+func (n *Node) requestMissingTypecoin() {
+	ledger := n.Ledger()
+	if ledger == nil {
+		return
+	}
+	missing := ledger.MissingAnnouncements()
+	if len(missing) == 0 {
+		return
+	}
+	invs := make([]wire.InvVect, len(missing))
+	for i, h := range missing {
+		invs[i] = wire.InvVect{Type: invTypeTypecoin, Hash: h}
+	}
+	payload := wire.EncodeInv(invs)
+	for _, p := range n.peerSnapshot(nil) {
+		if err := p.send(wire.CmdTcGet, payload); err != nil {
+			n.logf("tcget to peer %d: %v", p.id, err)
+		}
+	}
+}
+
+// SyncPeers re-requests chain and overlay state from every peer: the
+// recovery entry point after a partition heals, when announcements made
+// during the partition were swallowed silently.
+func (n *Node) SyncPeers() {
+	payload := wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)
+	for _, p := range n.peerSnapshot(nil) {
+		if err := p.send(wire.CmdGetBlocks, payload); err != nil {
+			n.logf("sync to peer %d: %v", p.id, err)
+		}
+	}
+	n.requestMissingTypecoin()
+}
+
+// peerSnapshot returns the live peers except the given one.
+func (n *Node) peerSnapshot(except *Peer) []*Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	peers := make([]*Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p != except {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
 // acceptTypecoin decodes and announces an overlay object, returning its
 // commitment hash for gossip dedup.
-func (n *Node) acceptTypecoin(command string, payload []byte) (chainhash.Hash, error) {
+func (n *Node) acceptTypecoin(ledger *typecoin.Ledger, command string, payload []byte) (chainhash.Hash, error) {
 	switch command {
 	case wire.CmdTcTx:
 		tx, err := typecoin.DecodeBytes(payload)
 		if err != nil {
 			return chainhash.Hash{}, err
 		}
-		n.ledger.Announce(tx)
+		ledger.Announce(tx)
 		return tx.Hash(), nil
 	case wire.CmdTcList:
 		r := bytes.NewReader(payload)
@@ -378,7 +635,7 @@ func (n *Node) acceptTypecoin(command string, payload []byte) (chainhash.Hash, e
 		if err := list.Validate(); err != nil {
 			return chainhash.Hash{}, err
 		}
-		n.ledger.AnnounceList(list)
+		ledger.AnnounceList(list)
 		return list.Hash(), nil
 	case wire.CmdTcBatch:
 		r := bytes.NewReader(payload)
@@ -389,7 +646,7 @@ func (n *Node) acceptTypecoin(command string, payload []byte) (chainhash.Hash, e
 		if r.Len() != 0 {
 			return chainhash.Hash{}, fmt.Errorf("p2p: trailing bytes after batch")
 		}
-		n.ledger.AnnounceBatch(b)
+		ledger.AnnounceBatch(b)
 		return b.Hash(), nil
 	default:
 		return chainhash.Hash{}, fmt.Errorf("p2p: unknown overlay command %q", command)
@@ -399,15 +656,7 @@ func (n *Node) acceptTypecoin(command string, payload []byte) (chainhash.Hash, e
 // gossipTypecoin forwards an overlay payload to all peers except the
 // source, deduplicating per peer.
 func (n *Node) gossipTypecoin(command string, payload []byte, h chainhash.Hash, except *Peer) {
-	n.mu.Lock()
-	peers := make([]*Peer, 0, len(n.peers))
-	for _, p := range n.peers {
-		if p != except {
-			peers = append(peers, p)
-		}
-	}
-	n.mu.Unlock()
-	for _, p := range peers {
+	for _, p := range n.peerSnapshot(except) {
 		if p.markKnown(invTypeTypecoin, h) {
 			if err := p.send(command, payload); err != nil {
 				n.logf("typecoin gossip to peer %d: %v", p.id, err)
@@ -419,8 +668,8 @@ func (n *Node) gossipTypecoin(command string, payload []byte, h chainhash.Hash, 
 // BroadcastTypecoinTx announces a Typecoin transaction locally and
 // gossips it to the overlay.
 func (n *Node) BroadcastTypecoinTx(tx *typecoin.Tx) {
-	if n.ledger != nil {
-		n.ledger.Announce(tx)
+	if ledger := n.Ledger(); ledger != nil {
+		ledger.Announce(tx)
 	}
 	n.gossipTypecoin(wire.CmdTcTx, tx.Bytes(), tx.Hash(), nil)
 }
@@ -430,8 +679,8 @@ func (n *Node) BroadcastTypecoinList(list *typecoin.FallbackList) error {
 	if err := list.Validate(); err != nil {
 		return err
 	}
-	if n.ledger != nil {
-		n.ledger.AnnounceList(list)
+	if ledger := n.Ledger(); ledger != nil {
+		ledger.AnnounceList(list)
 	}
 	var buf bytes.Buffer
 	if err := wire.WriteVarInt(&buf, uint64(len(list.Txs))); err != nil {
@@ -448,24 +697,16 @@ func (n *Node) BroadcastTypecoinList(list *typecoin.FallbackList) error {
 
 // BroadcastTypecoinBatch announces a batch and gossips it.
 func (n *Node) BroadcastTypecoinBatch(b *typecoin.Batch) {
-	if n.ledger != nil {
-		n.ledger.AnnounceBatch(b)
+	if ledger := n.Ledger(); ledger != nil {
+		ledger.AnnounceBatch(b)
 	}
 	n.gossipTypecoin(wire.CmdTcBatch, b.Bytes(), b.Hash(), nil)
 }
 
 // announce gossips an inventory item to all peers except the source.
 func (n *Node) announce(iv wire.InvVect, except *Peer) {
-	n.mu.Lock()
-	peers := make([]*Peer, 0, len(n.peers))
-	for _, p := range n.peers {
-		if p != except {
-			peers = append(peers, p)
-		}
-	}
-	n.mu.Unlock()
 	payload := wire.EncodeInv([]wire.InvVect{iv})
-	for _, p := range peers {
+	for _, p := range n.peerSnapshot(except) {
 		if p.markKnown(iv.Type, iv.Hash) {
 			if err := p.send(wire.CmdInv, payload); err != nil {
 				n.logf("announce to peer %d: %v", p.id, err)

@@ -414,3 +414,160 @@ func TestTypecoinOverlayGossip(t *testing.T) {
 		})
 	}
 }
+
+// dialRaw opens a raw TCP connection to addr for speaking the protocol
+// by hand (or violating it).
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// stopWithin fails the test if node.Stop does not return within d: a
+// misbehaving peer must never wedge shutdown.
+func stopWithin(t *testing.T, node *p2p.Node, d time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		node.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("Stop wedged by misbehaving peer")
+	}
+}
+
+// TestHandshakeHangReaped: a peer that connects and then says nothing is
+// reaped by the handshake timer, and Stop is never blocked by it.
+func TestHandshakeHangReaped(t *testing.T) {
+	h := newNetHarness(t, 1)
+	h.nodes[0].SetTimeouts(time.Second, 100*time.Millisecond)
+	addr, err := h.nodes[0].Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialRaw(t, addr)
+	waitFor(t, "silent peer registered", func() bool {
+		return h.nodes[0].PeerCount() == 1
+	})
+	waitFor(t, "silent peer reaped", func() bool {
+		return h.nodes[0].PeerCount() == 0
+	})
+	_ = conn // still open on our side; the node must have dropped it anyway
+	stopWithin(t, h.nodes[0], 5*time.Second)
+}
+
+// TestWrongMagicDropped: a peer framing messages with a foreign network
+// magic is dropped without disturbing honest peers.
+func TestWrongMagicDropped(t *testing.T) {
+	h := newNetHarness(t, 2)
+	p2p.ConnectPipe(h.nodes[0], h.nodes[1])
+	addr, err := h.nodes[0].Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialRaw(t, addr)
+	var buf bytes.Buffer
+	if err := wire.WriteMessage(&buf, wire.MainNetMagic, &wire.Message{
+		Command: wire.CmdVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "wrong-magic peer dropped", func() bool {
+		return h.nodes[0].PeerCount() == 1 // only the honest pipe peer
+	})
+	stopWithin(t, h.nodes[0], 5*time.Second)
+}
+
+// TestCloseMidMessageReaped: a peer that completes the handshake, then
+// sends half a frame and disappears, is reaped cleanly.
+func TestCloseMidMessageReaped(t *testing.T) {
+	h := newNetHarness(t, 1)
+	h.nodes[0].SetTimeouts(time.Second, time.Second)
+	addr, err := h.nodes[0].Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialRaw(t, addr)
+	var hello bytes.Buffer
+	if err := wire.WriteMessage(&hello, wire.RegTestMagic, &wire.Message{
+		Command: wire.CmdVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hello.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "handshake", func() bool {
+		return h.nodes[0].PeerCount() == 1
+	})
+	// Half a frame: a valid message truncated mid-payload, then EOF.
+	var frame bytes.Buffer
+	if err := wire.WriteMessage(&frame, wire.RegTestMagic, &wire.Message{
+		Command: wire.CmdTx, Payload: bytes.Repeat([]byte{0x55}, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame.Bytes()[:frame.Len()/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitFor(t, "truncated peer reaped", func() bool {
+		return h.nodes[0].PeerCount() == 0
+	})
+	stopWithin(t, h.nodes[0], 5*time.Second)
+}
+
+// TestSetLedgerConcurrentWithGossip: attaching/detaching the ledger
+// while typecoin gossip arrives must be race-free (regression test for
+// the unsynchronized Node.ledger field; run under -race).
+func TestSetLedgerConcurrentWithGossip(t *testing.T) {
+	h := newNetHarness(t, 1)
+	addr, err := h.nodes[0].Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialRaw(t, addr)
+	var hello bytes.Buffer
+	if err := wire.WriteMessage(&hello, wire.RegTestMagic, &wire.Message{
+		Command: wire.CmdVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hello.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "handshake", func() bool {
+		return h.nodes[0].PeerCount() == 1
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Hammer the typecoin receive path; the payloads fail to decode,
+		// but the handler reads n.ledger on every message.
+		for i := 0; i < 400; i++ {
+			var buf bytes.Buffer
+			if err := wire.WriteMessage(&buf, wire.RegTestMagic, &wire.Message{
+				Command: wire.CmdTcTx, Payload: []byte{0xde, 0xad}}); err != nil {
+				return
+			}
+			if _, err := conn.Write(buf.Bytes()); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 400; i++ {
+		h.nodes[0].SetLedger(typecoin.NewLedger(h.nodes[0].Chain(), 1))
+		_ = h.nodes[0].Ledger()
+	}
+	<-done
+	if h.nodes[0].PeerCount() != 1 {
+		t.Error("peer lost during ledger churn")
+	}
+}

@@ -24,6 +24,12 @@ type Peer struct {
 	conn io.ReadWriteCloser
 	id   int
 
+	// dialAddr is the address this peer was dialed at; empty for
+	// inbound/pipe peers. Non-empty enables redial after a drop.
+	dialAddr string
+	// handshakeTimer reaps the peer if no version/verack arrives.
+	handshakeTimer *time.Timer
+
 	sendCh chan *queuedMsg
 	done   chan struct{}
 
@@ -74,10 +80,29 @@ func (p *Peer) send(command string, payload []byte) error {
 		return nil
 	case <-p.done:
 		return errPeerClosed
-	case <-time.After(5 * time.Second):
+	case <-time.After(p.node.sendTimeout):
 		p.close()
 		return fmt.Errorf("p2p: peer %d send queue stalled", p.id)
 	}
+}
+
+// markHandshaken records a completed handshake and cancels the reaper.
+func (p *Peer) markHandshaken() {
+	p.mu.Lock()
+	p.handshaken = true
+	t := p.handshakeTimer
+	p.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// setHandshakeTimer installs the reaper timer (guarded by p.mu: the read
+// loop may race ahead of the registering goroutine).
+func (p *Peer) setHandshakeTimer(t *time.Timer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handshakeTimer = t
 }
 
 func (p *Peer) markKnown(typ uint32, hash [32]byte) bool {
@@ -102,7 +127,11 @@ func (p *Peer) close() {
 		return
 	}
 	p.closed = true
+	t := p.handshakeTimer
 	p.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
 	close(p.done)
 	p.conn.Close()
 	p.node.dropPeer(p)

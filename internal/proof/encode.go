@@ -54,6 +54,9 @@ const (
 // ErrBadEncoding reports a malformed proof-term encoding.
 var ErrBadEncoding = errors.New("proof: malformed encoding")
 
+// errTooDeep bounds proof-term recursion, mirroring the lf decoder cap.
+var errTooDeep = fmt.Errorf("%w: nesting deeper than %d", ErrBadEncoding, lf.MaxDecodeDepth)
+
 func writeByte(w io.Writer, b byte) error {
 	_, err := w.Write([]byte{b})
 	return err
@@ -318,7 +321,12 @@ func encode2(w io.Writer, tag byte, a, b Term) error {
 }
 
 // Decode reads a proof term.
-func Decode(r io.Reader) (Term, error) {
+func Decode(r io.Reader) (Term, error) { return decode(r, 0) }
+
+func decode(r io.Reader, depth int) (Term, error) {
+	if depth > lf.MaxDecodeDepth {
+		return nil, errTooDeep
+	}
 	tag, err := readByte(r)
 	if err != nil {
 		return nil, err
@@ -345,16 +353,16 @@ func Decode(r io.Reader) (Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		body, err := Decode(r)
+		body, err := decode(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		return Lam{Name: name, Ty: ty, Body: body}, nil
 	case tagApp:
-		a, b, err := decode2(r)
+		a, b, err := decode2(r, depth)
 		return App{Fn: a, Arg: b}, err
 	case tagPair:
-		a, b, err := decode2(r)
+		a, b, err := decode2(r, depth)
 		return Pair{L: a, R: b}, err
 	case tagLetPair:
 		lname, err := readName(r)
@@ -365,38 +373,38 @@ func Decode(r io.Reader) (Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		of, body, err := decode2(r)
+		of, body, err := decode2(r, depth)
 		return LetPair{LName: lname, RName: rname, Of: of, Body: body}, err
 	case tagUnit:
 		return Unit{}, nil
 	case tagLetUnit:
-		a, b, err := decode2(r)
+		a, b, err := decode2(r, depth)
 		return LetUnit{Of: a, Body: b}, err
 	case tagWithPair:
-		a, b, err := decode2(r)
+		a, b, err := decode2(r, depth)
 		return WithPair{L: a, R: b}, err
 	case tagFst:
-		a, err := Decode(r)
+		a, err := decode(r, depth+1)
 		return Fst{Of: a}, err
 	case tagSnd:
-		a, err := Decode(r)
+		a, err := decode(r, depth+1)
 		return Snd{Of: a}, err
 	case tagInl:
 		as, err := logic.DecodeProp(r)
 		if err != nil {
 			return nil, err
 		}
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		return Inl{As: as, Of: of}, err
 	case tagInr:
 		as, err := logic.DecodeProp(r)
 		if err != nil {
 			return nil, err
 		}
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		return Inr{As: as, Of: of}, err
 	case tagCase:
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -404,7 +412,7 @@ func Decode(r io.Reader) (Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		l, err := Decode(r)
+		l, err := decode(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -412,34 +420,34 @@ func Decode(r io.Reader) (Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		rr, err := Decode(r)
+		rr, err := decode(r, depth+1)
 		return Case{Of: of, LName: lname, L: l, RName: rname, R: rr}, err
 	case tagAbort:
 		as, err := logic.DecodeProp(r)
 		if err != nil {
 			return nil, err
 		}
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		return Abort{As: as, Of: of}, err
 	case tagBangI:
-		a, err := Decode(r)
+		a, err := decode(r, depth+1)
 		return BangI{Of: a}, err
 	case tagLetBang:
 		name, err := readName(r)
 		if err != nil {
 			return nil, err
 		}
-		of, body, err := decode2(r)
+		of, body, err := decode2(r, depth)
 		return LetBang{Name: name, Of: of, Body: body}, err
 	case tagTLam:
 		ty, err := lf.DecodeFamily(r)
 		if err != nil {
 			return nil, err
 		}
-		body, err := Decode(r)
+		body, err := decode(r, depth+1)
 		return TLam{Hint: "u", Ty: ty, Body: body}, err
 	case tagTApp:
-		fn, err := Decode(r)
+		fn, err := decode(r, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -454,28 +462,28 @@ func Decode(r io.Reader) (Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		return Pack{Witness: witness, As: as, Of: of}, err
 	case tagUnpack:
 		name, err := readName(r)
 		if err != nil {
 			return nil, err
 		}
-		of, body, err := decode2(r)
+		of, body, err := decode2(r, depth)
 		return Unpack{Hint: "u", Name: name, Of: of, Body: body}, err
 	case tagSayReturn:
 		prin, err := lf.DecodeTerm(r)
 		if err != nil {
 			return nil, err
 		}
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		return SayReturn{Prin: prin, Of: of}, err
 	case tagSayBind:
 		name, err := readName(r)
 		if err != nil {
 			return nil, err
 		}
-		of, body, err := decode2(r)
+		of, body, err := decode2(r, depth)
 		return SayBind{Name: name, Of: of, Body: body}, err
 	case tagAssert:
 		persistent, err := readByte(r)
@@ -511,36 +519,36 @@ func Decode(r io.Reader) (Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		return IfReturn{Cond: cond, Of: of}, err
 	case tagIfBind:
 		name, err := readName(r)
 		if err != nil {
 			return nil, err
 		}
-		of, body, err := decode2(r)
+		of, body, err := decode2(r, depth)
 		return IfBind{Name: name, Of: of, Body: body}, err
 	case tagIfWeaken:
 		cond, err := logic.DecodeCond(r)
 		if err != nil {
 			return nil, err
 		}
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		return IfWeaken{Cond: cond, Of: of}, err
 	case tagIfSay:
-		of, err := Decode(r)
+		of, err := decode(r, depth+1)
 		return IfSay{Of: of}, err
 	default:
 		return nil, fmt.Errorf("%w: term tag %#02x", ErrBadEncoding, tag)
 	}
 }
 
-func decode2(r io.Reader) (Term, Term, error) {
-	a, err := Decode(r)
+func decode2(r io.Reader, depth int) (Term, Term, error) {
+	a, err := decode(r, depth+1)
 	if err != nil {
 		return nil, nil, err
 	}
-	b, err := Decode(r)
+	b, err := decode(r, depth+1)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,74 @@
+package proof
+
+import (
+	"bytes"
+	"testing"
+
+	"typecoin/internal/lf"
+	"typecoin/internal/logic"
+)
+
+// FuzzProofDecode feeds arbitrary bytes to the proof-term decoder. It
+// must never panic or recurse without bound, and any input that decodes
+// must re-encode canonically (the encoding is the identity of a proof).
+func FuzzProofDecode(f *testing.F) {
+	a := logic.Atom(lf.This("a"))
+	ex := logic.Exists("n", lf.NatFam, logic.One)
+	seeds := []Term{
+		Unit{},
+		V("x"),
+		Const{Ref: lf.This("merge")},
+		Lam{Name: "x", Ty: a, Body: V("x")},
+		App{Fn: V("f"), Arg: V("x")},
+		LetPair{LName: "c", RName: "r", Of: V("d"), Body: V("r")},
+		Case{Of: V("s"), LName: "l", L: V("l"), RName: "r", R: V("r")},
+		TLam{Hint: "n", Ty: lf.NatFam, Body: Unit{}},
+		TApp{Fn: V("f"), Arg: lf.Nat(7)},
+		Pack{Witness: lf.Nat(3), Of: Unit{}, As: ex},
+		BangI{Of: Unit{}},
+		IfWeaken{Cond: logic.Before(9), Of: Unit{}},
+	}
+	for _, m := range seeds {
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			f.Fatalf("seed encode %s: %v", m, err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Depth bomb: a projection chain nested past the decoder cap. The
+	// encoder (plain recursion on an in-memory term) handles it; the
+	// decoder must reject it rather than recurse toward stack overflow.
+	deep := Term(Unit{})
+	for i := 0; i < lf.MaxDecodeDepth+64; i++ {
+		deep = Fst{Of: deep}
+	}
+	var bomb bytes.Buffer
+	if err := Encode(&bomb, deep); err != nil {
+		f.Fatalf("encode depth bomb: %v", err)
+	}
+	f.Add(bomb.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, m); err != nil {
+			t.Fatalf("decoded term fails to encode: %v", err)
+		}
+		back, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := Encode(&out2, back); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("encoding is not a fixed point after one round trip")
+		}
+	})
+}

@@ -294,10 +294,16 @@ func (s *State) ApplyBatch(b *Batch, carrierID chainhash.Hash) error {
 	if _, dup := s.batches[bh]; dup {
 		return fmt.Errorf("typecoin: batch %s already applied", bh)
 	}
+	for _, src := range b.Sources {
+		if by, spent := s.spends[src.Source]; spent {
+			return fmt.Errorf("typecoin: affine violation: source %v already consumed by %s", src.Source, by)
+		}
+	}
 	s.batches[bh] = b
 	s.carriers[bh] = carrierID
 	for _, src := range b.Sources {
 		delete(s.outTypes, src.Source)
+		s.spends[src.Source] = bh
 	}
 	for i, leaf := range b.Leaves {
 		op := wire.OutPoint{Hash: carrierID, Index: uint32(i)}

@@ -32,6 +32,7 @@ type State struct {
 	batches  map[chainhash.Hash]*Batch         // by batch hash
 	carriers map[chainhash.Hash]chainhash.Hash // Typecoin/batch hash -> carrier txid
 	origin   map[wire.OutPoint]chainhash.Hash  // carrier outpoint -> producing hash
+	spends   map[wire.OutPoint]chainhash.Hash  // consumed outpoint -> consuming hash
 }
 
 type outRecord struct {
@@ -49,6 +50,7 @@ func NewState() *State {
 		batches:  make(map[chainhash.Hash]*Batch),
 		carriers: make(map[chainhash.Hash]chainhash.Hash),
 		origin:   make(map[wire.OutPoint]chainhash.Hash),
+		spends:   make(map[wire.OutPoint]chainhash.Hash),
 	}
 }
 
@@ -257,11 +259,20 @@ func (s *State) Apply(tx *Tx, carrierID chainhash.Hash) error {
 	if _, dup := s.txs[tch]; dup {
 		return fmt.Errorf("typecoin: transaction %s already applied", tch)
 	}
+	// Affine guard: no input may have been consumed by an earlier
+	// transaction in this state (CheckTx verifies this against outTypes,
+	// but Apply is also reachable via fallback selection paths).
+	for _, in := range tx.Inputs {
+		if by, spent := s.spends[in.Source]; spent {
+			return fmt.Errorf("typecoin: affine violation: input %v already consumed by %s", in.Source, by)
+		}
+	}
 	s.global = newGlobal
 	s.txs[tch] = tx
 	s.carriers[tch] = carrierID
 	for _, in := range tx.Inputs {
 		delete(s.outTypes, in.Source)
+		s.spends[in.Source] = tch
 	}
 	for i, out := range tx.Outputs {
 		op := wire.OutPoint{Hash: carrierID, Index: uint32(i)}
@@ -278,6 +289,52 @@ func (s *State) Apply(tx *Tx, carrierID chainhash.Hash) error {
 // OutputCount reports how many unconsumed typed outputs the state tracks
 // (test and bench helper).
 func (s *State) OutputCount() int { return len(s.outTypes) }
+
+// AuditAffine verifies the between-transaction affine invariant the paper
+// inherits from Bitcoin: no typed output is both live and consumed, each
+// consumed output names exactly one applied consumer, every applied
+// transaction's inputs are recorded as consumed by it, and every live
+// output traces to an applied producer. It returns the first violation.
+func (s *State) AuditAffine() error {
+	for op, by := range s.spends {
+		if _, live := s.outTypes[op]; live {
+			return fmt.Errorf("typecoin: affine violation: output %v both live and consumed by %s", op, by)
+		}
+		if _, ok := s.txs[by]; !ok {
+			if _, ok := s.batches[by]; !ok {
+				return fmt.Errorf("typecoin: output %v consumed by unapplied transaction %s", op, by)
+			}
+		}
+	}
+	for tch, tx := range s.txs {
+		for _, in := range tx.Inputs {
+			if by, ok := s.spends[in.Source]; !ok || by != tch {
+				return fmt.Errorf("typecoin: applied transaction %s input %v recorded as consumed by %s",
+					tch, in.Source, by)
+			}
+		}
+	}
+	for bh, b := range s.batches {
+		for _, src := range b.Sources {
+			if by, ok := s.spends[src.Source]; !ok || by != bh {
+				return fmt.Errorf("typecoin: applied batch %s source %v recorded as consumed by %s",
+					bh, src.Source, by)
+			}
+		}
+	}
+	for op := range s.outTypes {
+		oh, ok := s.origin[op]
+		if !ok {
+			continue // seeded outputs (SeedOutput) carry no origin
+		}
+		if _, okT := s.txs[oh]; !okT {
+			if _, okB := s.batches[oh]; !okB {
+				return fmt.Errorf("typecoin: live output %v produced by unapplied transaction %s", op, oh)
+			}
+		}
+	}
+	return nil
+}
 
 // NewStateForBatch creates a state sharing an existing global basis with
 // no outputs: batch servers replay their off-chain history against it.

@@ -87,11 +87,55 @@ func (l *Ledger) announce(h chainhash.Hash, obj interface{}) {
 	}
 	// The carrier may already be on chain (announce-after-mine): the
 	// seen index remembers every metadata-bearing carrier.
+	rebuild := false
 	if carrierID, ok := l.seen[h]; ok && !l.applied[carrierID] {
 		l.waiting[carrierID] = h
+		// If carriers later in blockchain order have already been
+		// applied, merely sweeping would apply this one out of order —
+		// and a Typecoin double-spend would then be resolved by arrival
+		// order instead of blockchain order, diverging between nodes.
+		// Replay from scratch so blockchain order decides.
+		rebuild = l.appliedAfterLocked(carrierID)
 	}
 	l.mu.Unlock()
+	if rebuild {
+		l.rebuild()
+		return
+	}
 	l.sweep()
+}
+
+// appliedAfterLocked reports whether any already-applied carrier sits
+// after carrierID in blockchain (height, position) order.
+func (l *Ledger) appliedAfterLocked(carrierID chainhash.Hash) bool {
+	height, pos, ok := l.carrierPosLocked(carrierID)
+	if !ok {
+		return false
+	}
+	for applied := range l.applied {
+		ah, apos, ok := l.carrierPosLocked(applied)
+		if !ok {
+			continue
+		}
+		if ah > height || (ah == height && apos > pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// carrierPosLocked locates a carrier on the main chain.
+func (l *Ledger) carrierPosLocked(carrierID chainhash.Hash) (height, pos int, ok bool) {
+	blk, height, ok := l.chain.BlockOf(carrierID)
+	if !ok {
+		return 0, 0, false
+	}
+	for i, btx := range blk.Transactions {
+		if btx.TxHash() == carrierID {
+			return height, i, true
+		}
+	}
+	return 0, 0, false
 }
 
 // onChainChange reacts to block connects/disconnects.
@@ -432,3 +476,52 @@ func (l *Ledger) originByCarrierLocked(carrierID chainhash.Hash) (chainhash.Hash
 // Rescan rebuilds the ledger state from the whole main chain against the
 // currently known announcement set.
 func (l *Ledger) Rescan() { l.rebuild() }
+
+// KnownObject returns the announced object (a *FallbackList or *Batch)
+// for a commitment hash, so a node can answer overlay re-requests
+// (tcget) from peers that saw the carrier confirm without the object.
+func (l *Ledger) KnownObject(h chainhash.Hash) (interface{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	obj, ok := l.known[h]
+	return obj, ok
+}
+
+// MissingAnnouncements returns the commitment hashes of metadata-bearing
+// carriers observed on the main chain whose Typecoin objects have never
+// been announced to this ledger — the set to re-request from peers after
+// a partition heals.
+func (l *Ledger) MissingAnnouncements() []chainhash.Hash {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var missing []chainhash.Hash
+	for h := range l.seen {
+		if _, ok := l.known[h]; !ok {
+			missing = append(missing, h)
+		}
+	}
+	return missing
+}
+
+// AuditAffine checks the ledger's affine invariant: the state audit plus
+// the requirement that every applied carrier is still on the main chain.
+func (l *Ledger) AuditAffine() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.state.AuditAffine(); err != nil {
+		return err
+	}
+	for carrierID := range l.applied {
+		if _, _, ok := l.chain.BlockOf(carrierID); !ok {
+			return fmt.Errorf("typecoin: applied carrier %s is not on the main chain", carrierID)
+		}
+	}
+	return nil
+}
+
+// AppliedCount reports how many carriers have been applied (test helper).
+func (l *Ledger) AppliedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.applied)
+}

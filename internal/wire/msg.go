@@ -40,6 +40,10 @@ const (
 	CmdTcTx    = "tctx"
 	CmdTcList  = "tclist"
 	CmdTcBatch = "tcbatch"
+	// CmdTcGet requests announced overlay objects by commitment hash
+	// (inv-encoded); a node that saw a carrier confirm without ever
+	// receiving the object re-requests it this way after a partition.
+	CmdTcGet = "tcget"
 )
 
 const commandSize = 12
@@ -53,7 +57,9 @@ type Message struct {
 	Payload []byte
 }
 
-// WriteMessage frames and writes a message.
+// WriteMessage frames and writes a message. The frame is emitted as a
+// single Write so message-oriented transports (net Buffers, the netsim
+// fault simulator) see exactly one frame per protocol message.
 func WriteMessage(w io.Writer, magic uint32, msg *Message) error {
 	if len(msg.Command) > commandSize {
 		return fmt.Errorf("wire: command %q too long", msg.Command)
@@ -61,23 +67,21 @@ func WriteMessage(w io.Writer, magic uint32, msg *Message) error {
 	if len(msg.Payload) > maxMessagePayload {
 		return errors.New("wire: message payload too large")
 	}
-	var hdr [24]byte
-	hdr[0] = byte(magic)
-	hdr[1] = byte(magic >> 8)
-	hdr[2] = byte(magic >> 16)
-	hdr[3] = byte(magic >> 24)
-	copy(hdr[4:16], msg.Command)
+	buf := make([]byte, 24+len(msg.Payload))
+	buf[0] = byte(magic)
+	buf[1] = byte(magic >> 8)
+	buf[2] = byte(magic >> 16)
+	buf[3] = byte(magic >> 24)
+	copy(buf[4:16], msg.Command)
 	n := uint32(len(msg.Payload))
-	hdr[16] = byte(n)
-	hdr[17] = byte(n >> 8)
-	hdr[18] = byte(n >> 16)
-	hdr[19] = byte(n >> 24)
+	buf[16] = byte(n)
+	buf[17] = byte(n >> 8)
+	buf[18] = byte(n >> 16)
+	buf[19] = byte(n >> 24)
 	sum := chainhash.DoubleHashB(msg.Payload)
-	copy(hdr[20:24], sum[:4])
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(msg.Payload)
+	copy(buf[20:24], sum[:4])
+	copy(buf[24:], msg.Payload)
+	_, err := w.Write(buf)
 	return err
 }
 
