@@ -3,13 +3,13 @@ GO ?= go
 # Packages whose correctness depends on concurrency (the parallel block
 # validation pipeline, the p2p node and its fault simulator) get a
 # dedicated -race pass.
-RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/...
+RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/...
 
 # Native fuzz targets over the three attacker-facing decoders. Each runs
 # for a short smoke budget; override FUZZTIME for longer campaigns.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet check bench fuzz-smoke sim
+.PHONY: build test race vet check bench fuzz-smoke sim recovery
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,15 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -fuzz FuzzMsgTxDeserialize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proof/ -fuzz FuzzProofDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/logic/ -fuzz FuzzLogicDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store/ -fuzz FuzzKVRecordDecode -fuzztime $(FUZZTIME)
+
+# Crash-recovery suite: store-level torn-write tests, the fault-injected
+# full-stack recovery test, and the SIGKILL daemon end-to-end test.
+recovery:
+	$(GO) test ./internal/store/ -count=1 -v
+	$(GO) test ./internal/chain/ -run 'TestReopen|TestReorgAfterReopen|TestIntraBlockSpendDisconnect|TestStoreFailure|TestOpenRejectsTampered' -count=1 -v
+	$(GO) test ./cmd/typecoind/ -run 'TestCrash|TestMempoolPersist|TestDaemonKillRecovery' -count=1 -v
+	$(GO) test ./internal/p2p/ -run TestSimRestartResync -count=1 -v
 
 # The adversarial network-simulation suite. SIM_SEED=<n> replays a
 # single seed; otherwise the built-in seed set runs.

@@ -2,7 +2,19 @@
 // chain with mempool, miner, wallet, TCP peer-to-peer networking and a
 // Typecoin ledger, controlled over a small JSON/HTTP API.
 //
-//	typecoind -listen :18444 -http :18332 [-connect host:port]
+//	typecoind -listen :18444 -http :18332 [-connect host:port] [-datadir dir]
+//
+// With -datadir the node is persistent: chain, wallet, ledger and
+// mempool state live in a crash-safe store under the directory, and a
+// restart (clean or not) resumes from the recorded tip — peers then
+// supply only the blocks mined since. Without -datadir everything is
+// held in memory and dies with the process.
+//
+// On SIGINT/SIGTERM the node shuts down gracefully: the HTTP API and
+// p2p layer stop, the mempool is snapshotted, and the store is flushed
+// and closed. A crash (SIGKILL, power loss) skips all of that and is
+// recovered on the next start by journal replay, a tip integrity check
+// and (unless -audit=false) a from-genesis UTXO and ledger audit.
 //
 // Endpoints (all JSON):
 //
@@ -13,17 +25,24 @@
 //	POST /send               {"to": principal, "amount": satoshi}
 //	GET  /block/{height}     block summary
 //	GET  /typecoin/{outpoint} resolve a typed output ("txid:n")
+//	GET  /audit              run the full consistency audit now
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"typecoin/internal/bkey"
 	"typecoin/internal/chain"
@@ -33,6 +52,8 @@ import (
 	"typecoin/internal/miner"
 	"typecoin/internal/p2p"
 	"typecoin/internal/script"
+	"typecoin/internal/sigcache"
+	"typecoin/internal/store"
 	"typecoin/internal/surface"
 	"typecoin/internal/typecoin"
 	"typecoin/internal/wallet"
@@ -50,29 +71,119 @@ type server struct {
 }
 
 func main() {
-	listen := flag.String("listen", ":18444", "p2p TCP listen address")
-	httpAddr := flag.String("http", ":18332", "HTTP control address")
-	connect := flag.String("connect", "", "comma-separated peers to dial")
-	minConf := flag.Int("minconf", 1, "typecoin confirmation depth")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main minus os.Exit, so the recovery tests can drive a real
+// daemon as a helper process.
+func run(args []string) int {
+	fs := flag.NewFlagSet("typecoind", flag.ExitOnError)
+	listen := fs.String("listen", ":18444", "p2p TCP listen address (empty disables)")
+	httpAddr := fs.String("http", ":18332", "HTTP control address")
+	connect := fs.String("connect", "", "comma-separated peers to dial")
+	minConf := fs.Int("minconf", 1, "typecoin confirmation depth")
+	datadir := fs.String("datadir", "", "data directory for persistent state (empty = in-memory)")
+	audit := fs.Bool("audit", true, "run the from-genesis consistency audit on startup")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Storage: file-backed under -datadir, in-memory otherwise.
+	var st store.Store
+	var fileStore *store.File
+	if *datadir != "" {
+		var err error
+		fileStore, err = store.OpenFile(*datadir)
+		if err != nil {
+			log.Printf("open store in %s: %v", *datadir, err)
+			return 1
+		}
+		st = fileStore
+		if n := fileStore.TruncatedBytes(); n > 0 {
+			log.Printf("store: recovery truncated %d bytes of torn journal tail", n)
+		}
+	} else {
+		st = store.NewMem()
+	}
 
 	params := chain.RegTestParams()
-	ch := chain.New(params, clock.System{})
-	pool := mempool.New(ch, -1)
-	w := wallet.New(ch, nil)
-	payout, err := w.NewKey()
+	ch, err := chain.Open(chain.Config{
+		Params:   params,
+		Clock:    clock.System{},
+		SigCache: sigcache.New(sigcache.DefaultCapacity),
+		Store:    st,
+	})
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("open chain: %v", err)
+		return 1
 	}
+	log.Printf("chain: height %d tip %s", ch.BestHeight(), ch.BestHash())
+
+	pool := mempool.New(ch, -1)
+
+	// Wallet and ledger: persistent variants share the chain's store and
+	// ride its commit batches.
+	var w *wallet.Wallet
+	var ledger *typecoin.Ledger
+	if *datadir != "" {
+		w, err = wallet.Open(ch, nil)
+		if err != nil {
+			log.Printf("open wallet: %v", err)
+			return 1
+		}
+		ledger, err = typecoin.OpenLedger(ch, *minConf)
+		if err != nil {
+			log.Printf("open ledger: %v", err)
+			return 1
+		}
+	} else {
+		w = wallet.New(ch, nil)
+		ledger = typecoin.NewLedger(ch, *minConf)
+	}
+
+	// Reuse the recovered payout key when there is one.
+	var payout bkey.Principal
+	if ps := w.Principals(); len(ps) > 0 {
+		payout = ps[0]
+	} else if payout, err = w.NewKey(); err != nil {
+		log.Printf("create key: %v", err)
+		return 1
+	}
+
+	// Reload the mempool snapshot, revalidating against the recovered
+	// tip; surviving transactions re-lock their wallet inputs.
+	if *datadir != "" {
+		kept, dropped, err := pool.Restore(w.ObserveUnconfirmed)
+		if err != nil {
+			log.Printf("restore mempool: %v", err)
+			return 1
+		}
+		if kept > 0 || dropped > 0 {
+			log.Printf("mempool: restored %d transactions, dropped %d", kept, dropped)
+		}
+	}
+
+	if *audit {
+		if err := ch.AuditFromGenesis(); err != nil {
+			log.Printf("startup audit: %v", err)
+			return 1
+		}
+		if err := ledger.AuditAffine(); err != nil {
+			log.Printf("startup ledger audit: %v", err)
+			return 1
+		}
+		log.Printf("startup audit: chain and ledger consistent")
+	}
+
 	m := miner.New(ch, pool, clock.System{})
 	node := p2p.NewNode(ch, pool, log.New(os.Stderr, "p2p: ", log.LstdFlags))
-	ledger := typecoin.NewLedger(ch, *minConf)
 	node.SetLedger(ledger)
 
 	if *listen != "" {
 		addr, err := node.Listen(*listen)
 		if err != nil {
-			log.Fatal(err)
+			log.Printf("p2p listen: %v", err)
+			return 1
 		}
 		log.Printf("p2p listening on %s", addr)
 	}
@@ -97,8 +208,64 @@ func main() {
 	mux.HandleFunc("POST /send", s.handleSend)
 	mux.HandleFunc("GET /block/", s.handleBlock)
 	mux.HandleFunc("GET /typecoin/", s.handleTypecoin)
-	log.Printf("http listening on %s (wallet principal %s)", *httpAddr, payout)
-	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+	mux.HandleFunc("GET /audit", s.handleAudit)
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Printf("http listen: %v", err)
+		return 1
+	}
+	log.Printf("http listening on %s (wallet principal %s)", ln.Addr(), payout)
+	if *datadir != "" {
+		// Record the resolved address (ports may be kernel-assigned) so
+		// tooling and tests can find a daemon by its data directory.
+		addrFile := filepath.Join(*datadir, "http.addr")
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Printf("write %s: %v", addrFile, err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: mux}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down")
+	case err := <-httpErr:
+		log.Printf("http server: %v", err)
+		return 1
+	}
+
+	// Graceful shutdown: stop taking work (HTTP, then p2p), snapshot the
+	// mempool, then flush and close the store. Flush errors are real data
+	// loss and fail the exit status.
+	failed := false
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	node.Stop()
+	if err := pool.Persist(); err != nil {
+		log.Printf("persist mempool: %v", err)
+		failed = true
+	}
+	if err := st.Flush(); err != nil {
+		log.Printf("flush store: %v", err)
+		failed = true
+	}
+	if err := st.Close(); err != nil {
+		log.Printf("close store: %v", err)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	log.Printf("shutdown complete")
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -241,4 +408,18 @@ func (s *server) handleTypecoin(w http.ResponseWriter, r *http.Request) {
 		"outpoint": op.String(),
 		"type":     surface.PrintProp(prop),
 	})
+}
+
+// handleAudit runs the full consistency audit on demand: the chain's
+// from-genesis UTXO/spend-journal replay plus the ledger's affine audit.
+func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if err := s.chain.AuditFromGenesis(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := s.ledger.AuditAffine(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
 }

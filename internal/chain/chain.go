@@ -4,15 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"os"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
 	"typecoin/internal/chainhash"
 	"typecoin/internal/clock"
 	"typecoin/internal/sigcache"
+	"typecoin/internal/store"
 	"typecoin/internal/wire"
 )
 
@@ -26,12 +25,12 @@ type blockNode struct {
 	workSum *big.Int // cumulative work from genesis
 	block   *wire.MsgBlock
 	inMain  bool
-
-	// undo journal captured when the block was connected to the main
-	// chain: the UTXO entries its transactions spent, in spend order.
-	undo []undoItem
 }
 
+// undoItem is one row of a block's spend journal: an outpoint the block
+// consumed and the entry it held. The journal is persisted with the
+// block's commit batch (see persist.go) and read back to disconnect,
+// so reorgs work identically on a freshly restarted node.
 type undoItem struct {
 	op    wire.OutPoint
 	entry *UtxoEntry
@@ -79,6 +78,15 @@ type Chain struct {
 	// internal lock and is read by parallel script workers.
 	sigCache *sigcache.Cache
 
+	// st is the persistence engine. The resident maps below are the
+	// working state; every main-chain mutation is also committed to st
+	// as one atomic batch before it takes effect, and Open rebuilds the
+	// maps from st on restart.
+	st store.Store
+	// persisters contribute subsystem rows (wallet view, ledger index)
+	// to each commit batch; they run under mu while the batch is built.
+	persisters []PersistFunc
+
 	mu            sync.RWMutex
 	index         map[chainhash.Hash]*blockNode
 	tip           *blockNode
@@ -91,57 +99,6 @@ type Chain struct {
 
 	subsMu sync.Mutex
 	subs   []func(Notification)
-}
-
-// New creates a chain containing only the genesis block of params, with a
-// default-sized signature cache. The environment variable
-// TYPECOIN_SIGCACHE=off disables the cache, and TYPECOIN_SCRIPT_WORKERS=n
-// pins the script-verification worker count (default GOMAXPROCS; 1 means
-// serial) — both are benchmarking/debugging knobs.
-func New(params *Params, clk clock.Clock) *Chain {
-	var sc *sigcache.Cache
-	if os.Getenv("TYPECOIN_SIGCACHE") != "off" {
-		sc = sigcache.New(sigcache.DefaultCapacity)
-	}
-	return NewWithSigCache(params, clk, sc)
-}
-
-// NewWithSigCache is New with an explicit signature cache; sc may be nil
-// to disable signature caching entirely.
-func NewWithSigCache(params *Params, clk clock.Clock, sc *sigcache.Cache) *Chain {
-	if clk == nil {
-		clk = clock.System{}
-	}
-	genesis := params.GenesisBlock
-	gnode := &blockNode{
-		hash:    genesis.BlockHash(),
-		height:  0,
-		workSum: CalcWork(genesis.Header.Bits),
-		block:   genesis,
-		inMain:  true,
-	}
-	c := &Chain{
-		params:    params,
-		clock:     clk,
-		sigCache:  sc,
-		index:     map[chainhash.Hash]*blockNode{gnode.hash: gnode},
-		tip:       gnode,
-		utxo:      NewUtxoSet(),
-		spent:     make(map[wire.OutPoint]SpendRecord),
-		txToBlock: make(map[chainhash.Hash]txLoc),
-		mainChain: []*blockNode{gnode},
-		orphans:   make(map[chainhash.Hash][]*wire.MsgBlock),
-	}
-	if n, err := strconv.Atoi(os.Getenv("TYPECOIN_SCRIPT_WORKERS")); err == nil && n > 0 {
-		c.scriptWorkers = n
-	}
-	// Genesis outputs enter the UTXO table (ours is OP_RETURN, so in
-	// practice nothing does; the call keeps the invariant uniform).
-	for i, tx := range genesis.Transactions {
-		c.utxo.add(tx, 0)
-		c.txToBlock[tx.TxHash()] = txLoc{block: gnode.hash, index: i}
-	}
-	return c
 }
 
 // Params returns the chain's parameters.
@@ -290,6 +247,12 @@ func (c *Chain) acceptBlock(blk *wire.MsgBlock, parent *blockNode) (BlockStatus,
 
 	if node.workSum.Cmp(c.tip.workSum) <= 0 {
 		// Not enough work to become the best chain: store on the side.
+		// Side blocks are persisted too (a restart must still be able to
+		// reorganize onto them), but outside any commit batch — they
+		// carry no state of their own.
+		if err := c.persistSideBlock(node); err != nil {
+			return StatusInvalid, nil, err
+		}
 		c.index[node.hash] = node
 		return StatusSideChain, nil, nil
 	}
@@ -387,7 +350,15 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 		return nil, err
 	}
 
-	node.undo = undo
+	// Durably commit the change as one atomic batch (block data, index
+	// row, tip, UTXO deltas, spend journal, subscriber rows) before the
+	// tip moves. If the store refuses, the block is rejected and the
+	// resident maps are rolled back — memory never runs ahead of disk.
+	if err := c.commitConnect(node, undo); err != nil {
+		rollback()
+		return nil, fmt.Errorf("chain: persist connect %s: %w", node.hash, err)
+	}
+
 	node.inMain = true
 	c.tip = node
 	c.mainChain = append(c.mainChain, node)
@@ -395,22 +366,34 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 }
 
 // disconnectBlock detaches the current tip from the main chain, undoing
-// its UTXO and journal effects.
+// its UTXO and journal effects. The spend journal is read back from the
+// store rather than resident memory — the only copy that provably
+// survived a restart — and the undoing batch is committed before any
+// resident map changes, so a store failure leaves memory untouched.
 func (c *Chain) disconnectBlock() (Notification, error) {
 	node := c.tip
 	if node.parent == nil {
 		return Notification{}, errors.New("chain: cannot disconnect genesis")
 	}
+	undo, err := c.loadUndo(node.hash)
+	if err != nil {
+		return Notification{}, err
+	}
+	if err := c.commitDisconnect(node, undo); err != nil {
+		return Notification{}, fmt.Errorf("chain: persist disconnect %s: %w", node.hash, err)
+	}
+	// Restore spent entries first, then remove the block's outputs: an
+	// outpoint created and consumed within this block is restored by its
+	// undo row and then correctly deleted again by the removal pass.
+	for i := len(undo) - 1; i >= 0; i-- {
+		item := undo[i]
+		c.utxo.restore(item.op, item.entry)
+		delete(c.spent, item.op)
+	}
 	for _, tx := range node.block.Transactions {
 		c.utxo.remove(tx)
 		delete(c.txToBlock, tx.TxHash())
 	}
-	for i := len(node.undo) - 1; i >= 0; i-- {
-		item := node.undo[i]
-		c.utxo.restore(item.op, item.entry)
-		delete(c.spent, item.op)
-	}
-	node.undo = nil
 	node.inMain = false
 	c.tip = node.parent
 	c.mainChain = c.mainChain[:len(c.mainChain)-1]

@@ -1,0 +1,781 @@
+package chain
+
+// Chain persistence: every main-chain mutation commits exactly one
+// atomic store batch, and Open reloads the block index, UTXO table and
+// spend journal from the store. The same code path runs against the
+// in-memory engine (tests, throwaway nodes) and the file engine
+// (durable nodes); the only difference is whether the batch outlives
+// the process.
+//
+// Key schema (single byte prefixes; fixed-width big-endian heights so
+// lexicographic order is height order):
+//
+//	T                 -> tip hash + height
+//	m + be32(height)  -> main-chain block hash at height
+//	b + hash          -> BlockRef of the serialized block (main or side)
+//	u + outpoint      -> UtxoEntry (value, height, coinbase, pkScript)
+//	s + outpoint      -> SpendRecord (spender, input index, height)
+//	U + hash          -> per-block spend journal: the entries the block
+//	                     consumed, in spend order. Disconnect replays
+//	                     this journal rather than trusting resident
+//	                     state, so a reorg works identically on a node
+//	                     that just restarted.
+//
+// Subsystems above the chain (wallet view, ledger seen-index) join the
+// same batch through SubscribePersist, so a crash can never commit a
+// block without their matching rows.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"os"
+	"strconv"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/clock"
+	"typecoin/internal/sigcache"
+	"typecoin/internal/store"
+	"typecoin/internal/wire"
+)
+
+// ErrCorruptState reports persistent chain state that fails integrity
+// checks on load (bad linkage, missing blocks, checksum violations
+// surfaced by the store).
+var ErrCorruptState = errors.New("chain: corrupt persistent state")
+
+// Key builders.
+
+var keyTip = []byte("T")
+
+func keyMain(height int) []byte {
+	k := make([]byte, 5)
+	k[0] = 'm'
+	binary.BigEndian.PutUint32(k[1:], uint32(height))
+	return k
+}
+
+func keyBlock(h chainhash.Hash) []byte { return append([]byte("b"), h[:]...) }
+
+func keyUndo(h chainhash.Hash) []byte { return append([]byte("U"), h[:]...) }
+
+func appendOutPoint(dst []byte, op wire.OutPoint) []byte {
+	dst = append(dst, op.Hash[:]...)
+	var idx [4]byte
+	binary.LittleEndian.PutUint32(idx[:], op.Index)
+	return append(dst, idx[:]...)
+}
+
+const outPointSize = 36
+
+func decodeOutPoint(b []byte) (wire.OutPoint, error) {
+	var op wire.OutPoint
+	if len(b) != outPointSize {
+		return op, fmt.Errorf("%w: outpoint is %d bytes", ErrCorruptState, len(b))
+	}
+	copy(op.Hash[:], b[:32])
+	op.Index = binary.LittleEndian.Uint32(b[32:])
+	return op, nil
+}
+
+func keyUtxo(op wire.OutPoint) []byte  { return appendOutPoint([]byte("u"), op) }
+func keySpent(op wire.OutPoint) []byte { return appendOutPoint([]byte("s"), op) }
+
+// Value codecs. All integers are unsigned varints; heights and values
+// in this system are non-negative.
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// cursor is a destructive slice reader for the small fixed codecs.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: truncated %s", ErrCorruptState, what)
+	}
+}
+
+func (c *cursor) bytes(n int, what string) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if len(c.b) < n {
+		c.fail(what)
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) hash(what string) chainhash.Hash {
+	var h chainhash.Hash
+	copy(h[:], c.bytes(32, what))
+	return h
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptState, len(c.b))
+	}
+	return nil
+}
+
+func encodeTip(h chainhash.Hash, height int) []byte {
+	out := append([]byte(nil), h[:]...)
+	return appendUvarint(out, uint64(height))
+}
+
+func decodeTip(b []byte) (chainhash.Hash, int, error) {
+	c := &cursor{b: b}
+	h := c.hash("tip hash")
+	height := c.uvarint("tip height")
+	return h, int(height), c.done()
+}
+
+func encodeBlockRef(ref store.BlockRef) []byte {
+	out := make([]byte, 12)
+	binary.LittleEndian.PutUint64(out[:8], ref.Offset)
+	binary.LittleEndian.PutUint32(out[8:], ref.Len)
+	return out
+}
+
+func decodeBlockRef(b []byte) (store.BlockRef, error) {
+	if len(b) != 12 {
+		return store.BlockRef{}, fmt.Errorf("%w: block ref is %d bytes", ErrCorruptState, len(b))
+	}
+	return store.BlockRef{
+		Offset: binary.LittleEndian.Uint64(b[:8]),
+		Len:    binary.LittleEndian.Uint32(b[8:]),
+	}, nil
+}
+
+func appendUtxoEntry(dst []byte, e *UtxoEntry) []byte {
+	var flags byte
+	if e.IsCoinBase {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = appendUvarint(dst, uint64(e.Height))
+	dst = appendUvarint(dst, uint64(e.Out.Value))
+	dst = appendUvarint(dst, uint64(len(e.Out.PkScript)))
+	return append(dst, e.Out.PkScript...)
+}
+
+func decodeUtxoEntryFrom(c *cursor) *UtxoEntry {
+	flags := c.bytes(1, "utxo flags")
+	height := c.uvarint("utxo height")
+	value := c.uvarint("utxo value")
+	slen := c.uvarint("utxo script length")
+	var script []byte
+	if c.err == nil {
+		script = append([]byte(nil), c.bytes(int(slen), "utxo script")...)
+	}
+	if c.err != nil {
+		return nil
+	}
+	return &UtxoEntry{
+		Out:        wire.TxOut{Value: int64(value), PkScript: script},
+		Height:     int(height),
+		IsCoinBase: flags[0]&1 != 0,
+	}
+}
+
+func decodeUtxoEntry(b []byte) (*UtxoEntry, error) {
+	c := &cursor{b: b}
+	e := decodeUtxoEntryFrom(c)
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func encodeSpendRecord(rec SpendRecord) []byte {
+	out := append([]byte(nil), rec.Spender[:]...)
+	var idx [4]byte
+	binary.LittleEndian.PutUint32(idx[:], rec.SpentBy.Index)
+	out = append(out, idx[:]...)
+	return appendUvarint(out, uint64(rec.Height))
+}
+
+func decodeSpendRecord(b []byte) (SpendRecord, error) {
+	c := &cursor{b: b}
+	spender := c.hash("spend record spender")
+	idx := c.bytes(4, "spend record index")
+	height := c.uvarint("spend record height")
+	if err := c.done(); err != nil {
+		return SpendRecord{}, err
+	}
+	index := binary.LittleEndian.Uint32(idx)
+	return SpendRecord{
+		SpentBy: wire.OutPoint{Hash: spender, Index: index},
+		Spender: spender,
+		Height:  int(height),
+	}, nil
+}
+
+func encodeUndo(undo []undoItem) []byte {
+	out := appendUvarint(nil, uint64(len(undo)))
+	for _, item := range undo {
+		out = appendOutPoint(out, item.op)
+		out = appendUtxoEntry(out, item.entry)
+	}
+	return out
+}
+
+func decodeUndo(b []byte) ([]undoItem, error) {
+	c := &cursor{b: b}
+	count := c.uvarint("undo count")
+	if count > uint64(len(b)) {
+		return nil, fmt.Errorf("%w: undo count %d exceeds payload", ErrCorruptState, count)
+	}
+	items := make([]undoItem, 0, count)
+	for i := uint64(0); i < count && c.err == nil; i++ {
+		opBytes := c.bytes(outPointSize, "undo outpoint")
+		entry := decodeUtxoEntryFrom(c)
+		if c.err != nil {
+			break
+		}
+		op, err := decodeOutPoint(opBytes)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, undoItem{op: op, entry: entry})
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// SpentOutput pairs a consumed outpoint with the entry it held — the
+// spend-journal row exposed to persist subscribers.
+type SpentOutput struct {
+	OutPoint wire.OutPoint
+	Entry    *UtxoEntry
+}
+
+// PersistEvent describes a main-chain change while its atomic commit
+// batch is still open. Connected reports direction (like Notification);
+// Spent lists the UTXO entries the block consumed (connect) or is
+// giving back (disconnect), in spend order.
+type PersistEvent struct {
+	Connected bool
+	Block     *wire.MsgBlock
+	Height    int
+	Spent     []SpentOutput
+}
+
+// PersistFunc contributes subsystem rows to the atomic batch committed
+// for a main-chain change. It runs under the chain lock while the batch
+// is assembled: it must not call back into Chain methods, and any
+// subsystem locks it takes must never be held while waiting on the
+// chain elsewhere.
+type PersistFunc func(ev PersistEvent, b *store.Batch)
+
+// SubscribePersist registers fn to contribute to every future commit
+// batch. Register before processing blocks.
+func (c *Chain) SubscribePersist(fn PersistFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.persisters = append(c.persisters, fn)
+}
+
+// Store returns the store backing this chain, so sibling subsystems
+// (wallet, ledger, mempool) persist into the same engine and share its
+// durability.
+func (c *Chain) Store() store.Store { return c.st }
+
+// Config configures Open.
+type Config struct {
+	// Params selects the chain parameters; required.
+	Params *Params
+	// Clock provides time; nil means the system clock.
+	Clock clock.Clock
+	// SigCache is the shared signature-verification cache; nil disables
+	// caching.
+	SigCache *sigcache.Cache
+	// Store is the persistence engine; nil means a fresh in-memory
+	// store (the state dies with the process).
+	Store store.Store
+}
+
+// New creates an in-memory chain containing only the genesis block of
+// params, with a default-sized signature cache. The environment
+// variable TYPECOIN_SIGCACHE=off disables the cache, and
+// TYPECOIN_SCRIPT_WORKERS=n pins the script-verification worker count
+// (default GOMAXPROCS; 1 means serial) — both are benchmarking and
+// debugging knobs.
+func New(params *Params, clk clock.Clock) *Chain {
+	var sc *sigcache.Cache
+	if os.Getenv("TYPECOIN_SIGCACHE") != "off" {
+		sc = sigcache.New(sigcache.DefaultCapacity)
+	}
+	return NewWithSigCache(params, clk, sc)
+}
+
+// NewWithSigCache is New with an explicit signature cache; sc may be
+// nil to disable signature caching entirely.
+func NewWithSigCache(params *Params, clk clock.Clock, sc *sigcache.Cache) *Chain {
+	c, err := Open(Config{Params: params, Clock: clk, SigCache: sc})
+	if err != nil {
+		// A fresh in-memory store has nothing to load, so Open cannot
+		// fail on it.
+		panic("chain: impossible in-memory open failure: " + err.Error())
+	}
+	return c
+}
+
+// Open creates a chain over cfg.Store, loading persisted state when the
+// store holds any and bootstrapping genesis otherwise. Opening verifies
+// the stored chain: genesis must match params, every main-chain block
+// must hash-link to its parent, and the stored tip must be the last
+// linked block — violations return ErrCorruptState rather than a
+// half-loaded chain.
+func Open(cfg Config) (*Chain, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMem()
+	}
+	c := &Chain{
+		params:    cfg.Params,
+		clock:     clk,
+		sigCache:  cfg.SigCache,
+		st:        st,
+		index:     make(map[chainhash.Hash]*blockNode),
+		utxo:      NewUtxoSet(),
+		spent:     make(map[wire.OutPoint]SpendRecord),
+		txToBlock: make(map[chainhash.Hash]txLoc),
+		orphans:   make(map[chainhash.Hash][]*wire.MsgBlock),
+	}
+	if n, err := strconv.Atoi(os.Getenv("TYPECOIN_SCRIPT_WORKERS")); err == nil && n > 0 {
+		c.scriptWorkers = n
+	}
+	hasTip, err := st.Has(keyTip)
+	if err != nil {
+		return nil, err
+	}
+	if !hasTip {
+		if err := c.bootstrap(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// bootstrap initializes an empty store with the genesis block.
+func (c *Chain) bootstrap() error {
+	genesis := c.params.GenesisBlock
+	gnode := &blockNode{
+		hash:    genesis.BlockHash(),
+		height:  0,
+		workSum: CalcWork(genesis.Header.Bits),
+		block:   genesis,
+		inMain:  true,
+	}
+	c.index[gnode.hash] = gnode
+	c.tip = gnode
+	c.mainChain = []*blockNode{gnode}
+
+	b := store.NewBatch()
+	ref, err := c.st.AppendBlock(genesis.Bytes())
+	if err != nil {
+		return err
+	}
+	b.Put(keyBlock(gnode.hash), encodeBlockRef(ref))
+	b.Put(keyMain(0), gnode.hash[:])
+	b.Put(keyTip, encodeTip(gnode.hash, 0))
+	// Genesis outputs enter the UTXO table (ours is OP_RETURN, so in
+	// practice nothing does; the loop keeps the invariant uniform).
+	for i, tx := range genesis.Transactions {
+		c.utxo.add(tx, 0)
+		txid := tx.TxHash()
+		c.txToBlock[txid] = txLoc{block: gnode.hash, index: i}
+		for j := range tx.TxOut {
+			op := wire.OutPoint{Hash: txid, Index: uint32(j)}
+			if e := c.utxo.Lookup(op); e != nil {
+				b.Put(keyUtxo(op), appendUtxoEntry(nil, e))
+			}
+		}
+	}
+	return c.st.Apply(b)
+}
+
+// readBlock fetches and decodes a stored block by hash.
+func (c *Chain) readBlock(h chainhash.Hash) (*wire.MsgBlock, error) {
+	raw, err := c.st.Get(keyBlock(h))
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing block %s (%v)", ErrCorruptState, h, err)
+	}
+	ref, err := decodeBlockRef(raw)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := c.st.ReadBlock(ref)
+	if err != nil {
+		return nil, fmt.Errorf("%w: block %s unreadable (%v)", ErrCorruptState, h, err)
+	}
+	blk := &wire.MsgBlock{}
+	if err := blk.Deserialize(bytes.NewReader(blob)); err != nil {
+		return nil, fmt.Errorf("%w: block %s undecodable (%v)", ErrCorruptState, h, err)
+	}
+	return blk, nil
+}
+
+// load rebuilds the resident chain state from the store: the linked
+// main chain (verifying hashes and linkage — the tip integrity check),
+// any stored side-chain blocks that still attach, the UTXO table and
+// the spend journal.
+func (c *Chain) load() error {
+	tipRaw, err := c.st.Get(keyTip)
+	if err != nil {
+		return err
+	}
+	tipHash, tipHeight, err := decodeTip(tipRaw)
+	if err != nil {
+		return err
+	}
+
+	var parent *blockNode
+	work := new(big.Int)
+	for h := 0; h <= tipHeight; h++ {
+		hashRaw, err := c.st.Get(keyMain(h))
+		if err != nil {
+			return fmt.Errorf("%w: missing main-chain hash at height %d", ErrCorruptState, h)
+		}
+		want, err := chainhash.NewHashFromBytes(hashRaw)
+		if err != nil {
+			return fmt.Errorf("%w: bad main-chain hash at height %d", ErrCorruptState, h)
+		}
+		blk, err := c.readBlock(want)
+		if err != nil {
+			return err
+		}
+		if got := blk.BlockHash(); got != want {
+			return fmt.Errorf("%w: block at height %d hashes to %s, index says %s",
+				ErrCorruptState, h, got, want)
+		}
+		if h == 0 {
+			if want != c.params.GenesisBlock.BlockHash() {
+				return fmt.Errorf("%w: stored genesis %s does not match network %s",
+					ErrCorruptState, want, c.params.GenesisBlock.BlockHash())
+			}
+		} else if blk.Header.PrevBlock != parent.hash {
+			return fmt.Errorf("%w: block at height %d links to %s, parent is %s",
+				ErrCorruptState, h, blk.Header.PrevBlock, parent.hash)
+		}
+		work = new(big.Int).Add(work, CalcWork(blk.Header.Bits))
+		node := &blockNode{
+			hash:    want,
+			parent:  parent,
+			height:  h,
+			workSum: new(big.Int).Set(work),
+			block:   blk,
+			inMain:  true,
+		}
+		c.index[want] = node
+		c.mainChain = append(c.mainChain, node)
+		for i, tx := range blk.Transactions {
+			c.txToBlock[tx.TxHash()] = txLoc{block: want, index: i}
+		}
+		parent = node
+	}
+	if parent.hash != tipHash {
+		return fmt.Errorf("%w: main chain ends at %s, tip record says %s",
+			ErrCorruptState, parent.hash, tipHash)
+	}
+	c.tip = parent
+
+	// Side-chain blocks: reattach everything that still links to a
+	// known block. Blocks whose branch point is gone are dropped.
+	pending := make(map[chainhash.Hash]*wire.MsgBlock)
+	err = c.st.Iterate([]byte("b"), func(k, v []byte) error {
+		var h chainhash.Hash
+		if len(k) != 1+32 {
+			return fmt.Errorf("%w: malformed block key", ErrCorruptState)
+		}
+		copy(h[:], k[1:])
+		if _, ok := c.index[h]; ok {
+			return nil
+		}
+		blk, err := c.readBlock(h)
+		if err != nil {
+			return err
+		}
+		pending[h] = blk
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for progressed := true; progressed && len(pending) > 0; {
+		progressed = false
+		for h, blk := range pending {
+			p, ok := c.index[blk.Header.PrevBlock]
+			if !ok {
+				continue
+			}
+			c.index[h] = &blockNode{
+				hash:    h,
+				parent:  p,
+				height:  p.height + 1,
+				workSum: new(big.Int).Add(p.workSum, CalcWork(blk.Header.Bits)),
+				block:   blk,
+			}
+			delete(pending, h)
+			progressed = true
+		}
+	}
+
+	// UTXO table and spend journal.
+	err = c.st.Iterate([]byte("u"), func(k, v []byte) error {
+		op, err := decodeOutPoint(k[1:])
+		if err != nil {
+			return err
+		}
+		entry, err := decodeUtxoEntry(v)
+		if err != nil {
+			return err
+		}
+		c.utxo.restore(op, entry)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return c.st.Iterate([]byte("s"), func(k, v []byte) error {
+		op, err := decodeOutPoint(k[1:])
+		if err != nil {
+			return err
+		}
+		rec, err := decodeSpendRecord(v)
+		if err != nil {
+			return err
+		}
+		c.spent[op] = rec
+		return nil
+	})
+}
+
+// persistSideBlock stores a side-chain block's data and index row so a
+// restarted node can still reorganize onto the branch.
+func (c *Chain) persistSideBlock(node *blockNode) error {
+	has, err := c.st.Has(keyBlock(node.hash))
+	if err != nil {
+		return err
+	}
+	if has {
+		return nil
+	}
+	ref, err := c.st.AppendBlock(node.block.Bytes())
+	if err != nil {
+		return err
+	}
+	b := store.NewBatch()
+	b.Put(keyBlock(node.hash), encodeBlockRef(ref))
+	return c.st.Apply(b)
+}
+
+// commitConnect assembles and applies the atomic batch for connecting
+// node. Caller holds c.mu; the chain's resident maps have already been
+// mutated and will be rolled back by the caller if the commit fails.
+func (c *Chain) commitConnect(node *blockNode, undo []undoItem) error {
+	b := store.NewBatch()
+	blkHash := node.hash
+	has, err := c.st.Has(keyBlock(blkHash))
+	if err != nil {
+		return err
+	}
+	if !has {
+		ref, err := c.st.AppendBlock(node.block.Bytes())
+		if err != nil {
+			return err
+		}
+		b.Put(keyBlock(blkHash), encodeBlockRef(ref))
+	}
+	b.Put(keyMain(node.height), blkHash[:])
+	b.Put(keyTip, encodeTip(blkHash, node.height))
+	b.Put(keyUndo(blkHash), encodeUndo(undo))
+	spent := make([]SpentOutput, 0, len(undo))
+	for _, item := range undo {
+		b.Delete(keyUtxo(item.op))
+		b.Put(keySpent(item.op), encodeSpendRecord(c.spent[item.op]))
+		spent = append(spent, SpentOutput{OutPoint: item.op, Entry: item.entry})
+	}
+	for _, tx := range node.block.Transactions {
+		txid := tx.TxHash()
+		for i := range tx.TxOut {
+			op := wire.OutPoint{Hash: txid, Index: uint32(i)}
+			if e := c.utxo.Lookup(op); e != nil {
+				b.Put(keyUtxo(op), appendUtxoEntry(nil, e))
+			}
+		}
+	}
+	ev := PersistEvent{Connected: true, Block: node.block, Height: node.height, Spent: spent}
+	for _, fn := range c.persisters {
+		fn(ev, b)
+	}
+	return c.st.Apply(b)
+}
+
+// commitDisconnect assembles and applies the atomic batch for
+// disconnecting the tip, given its decoded spend journal. Caller holds
+// c.mu and mutates resident state only after this succeeds.
+func (c *Chain) commitDisconnect(node *blockNode, undo []undoItem) error {
+	b := store.NewBatch()
+	b.Delete(keyMain(node.height))
+	b.Delete(keyUndo(node.hash))
+	parent := node.parent
+	b.Put(keyTip, encodeTip(parent.hash, parent.height))
+	// Restore-then-delete, matching the resident order: batch ops apply
+	// in sequence, so an outpoint created and consumed within this block
+	// is restored by its undo row and then deleted by the removal pass.
+	spent := make([]SpentOutput, 0, len(undo))
+	for _, item := range undo {
+		b.Put(keyUtxo(item.op), appendUtxoEntry(nil, item.entry))
+		b.Delete(keySpent(item.op))
+		spent = append(spent, SpentOutput{OutPoint: item.op, Entry: item.entry})
+	}
+	for _, tx := range node.block.Transactions {
+		txid := tx.TxHash()
+		for i := range tx.TxOut {
+			b.Delete(keyUtxo(wire.OutPoint{Hash: txid, Index: uint32(i)}))
+		}
+	}
+	ev := PersistEvent{Connected: false, Block: node.block, Height: node.height, Spent: spent}
+	for _, fn := range c.persisters {
+		fn(ev, b)
+	}
+	return c.st.Apply(b)
+}
+
+// loadUndo fetches and decodes the spend journal of a connected block.
+func (c *Chain) loadUndo(h chainhash.Hash) ([]undoItem, error) {
+	raw, err := c.st.Get(keyUndo(h))
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing spend journal for %s (%v)", ErrCorruptState, h, err)
+	}
+	return decodeUndo(raw)
+}
+
+// AuditFromGenesis structurally replays the whole main chain and checks
+// the resident UTXO table and spend journal against the replay: every
+// spend consumes an output that exists, nothing is spent twice, the
+// UTXO table is exactly created-minus-spent (modulo provably
+// unspendable outputs, which are pruned), and the spend journal names
+// the correct spender for every consumed outpoint. This is the startup
+// recovery audit for persistent nodes and the convergence audit used by
+// the network simulator.
+func (c *Chain) AuditFromGenesis() error {
+	created := make(map[wire.OutPoint]bool)
+	unspendable := make(map[wire.OutPoint]bool)
+	spent := make(map[wire.OutPoint]chainhash.Hash)
+	tipHeight := c.BestHeight()
+	for height := 0; ; height++ {
+		blk, ok := c.BlockAtHeight(height)
+		if !ok {
+			if height <= tipHeight {
+				return fmt.Errorf("chain audit: missing block at height %d", height)
+			}
+			break
+		}
+		for ti, tx := range blk.Transactions {
+			txid := tx.TxHash()
+			if ti > 0 { // the coinbase consumes nothing
+				for _, in := range tx.TxIn {
+					op := in.PreviousOutPoint
+					if by, dup := spent[op]; dup {
+						return fmt.Errorf("chain audit: utxo %v spent twice: by %s and %s (height %d)",
+							op, by, txid, height)
+					}
+					if !created[op] {
+						return fmt.Errorf("chain audit: tx %s at height %d spends nonexistent output %v",
+							txid, height, op)
+					}
+					spent[op] = txid
+				}
+			}
+			for idx, out := range tx.TxOut {
+				op := wire.OutPoint{Hash: txid, Index: uint32(idx)}
+				created[op] = true
+				if isUnspendable(out.PkScript) {
+					unspendable[op] = true
+				}
+			}
+		}
+	}
+	// The resident UTXO table must be exactly created minus spent.
+	live := make(map[wire.OutPoint]bool)
+	for _, op := range c.UtxoOutpoints() {
+		live[op] = true
+		if !created[op] {
+			return fmt.Errorf("chain audit: utxo set contains never-created output %v", op)
+		}
+		if by, dup := spent[op]; dup {
+			return fmt.Errorf("chain audit: utxo set contains output %v spent by %s", op, by)
+		}
+	}
+	for op := range created {
+		if _, wasSpent := spent[op]; !wasSpent && !live[op] && !unspendable[op] {
+			return fmt.Errorf("chain audit: unspent output %v missing from utxo set", op)
+		}
+	}
+	// The spend journal must name exactly the replayed spends.
+	c.mu.RLock()
+	journalSize := len(c.spent)
+	bad := ""
+	for op, txid := range spent {
+		rec, ok := c.spent[op]
+		if !ok {
+			bad = fmt.Sprintf("spend of %v (by %s) missing from journal", op, txid)
+			break
+		}
+		if rec.Spender != txid {
+			bad = fmt.Sprintf("journal says %v spent by %s, replay says %s", op, rec.Spender, txid)
+			break
+		}
+	}
+	c.mu.RUnlock()
+	if bad != "" {
+		return fmt.Errorf("chain audit: %s", bad)
+	}
+	if journalSize != len(spent) {
+		return fmt.Errorf("chain audit: spend journal has %d records, replay produced %d",
+			journalSize, len(spent))
+	}
+	return nil
+}
+

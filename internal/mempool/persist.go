@@ -1,0 +1,92 @@
+package mempool
+
+// Mempool persistence. The pool is not crash-critical state — every
+// transaction in it is by definition unconfirmed — so it does not ride
+// the chain's commit batches. Instead Persist snapshots the pool on
+// graceful shutdown (P + txid -> tx bytes in the chain's store), and
+// Restore replays the snapshot through the full Accept path on startup,
+// so anything that conflicts with the recovered chain is dropped rather
+// than trusted.
+
+import (
+	"bytes"
+	"errors"
+
+	"typecoin/internal/store"
+	"typecoin/internal/wire"
+)
+
+func keyPooled(txid [32]byte) []byte { return append([]byte("P"), txid[:]...) }
+
+// Persist snapshots the current pool contents into the chain's store,
+// replacing any previous snapshot. Call on graceful shutdown.
+func (p *Pool) Persist() error {
+	st := p.chain.Store()
+	b := store.NewBatch()
+	if err := st.Iterate([]byte("P"), func(k, v []byte) error {
+		b.Delete(k)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, txid := range p.TxIDs() {
+		if tx, ok := p.Tx(txid); ok {
+			b.Put(keyPooled(txid), tx.Bytes())
+		}
+	}
+	return st.Apply(b)
+}
+
+// Restore reloads a persisted snapshot, revalidating every transaction
+// against the recovered chain through the normal Accept path: spends of
+// outputs the recovered chain has consumed, fee violations and invalid
+// scripts are all dropped. Transactions are retried in rounds so chained
+// unconfirmed spends readmit regardless of snapshot order. observe, when
+// non-nil, is called for each readmitted transaction (the wallet uses it
+// to re-lock inputs and re-track unconfirmed change). The snapshot in
+// the store is rewritten to the surviving set.
+func (p *Pool) Restore(observe func(*wire.MsgTx)) (kept, dropped int, err error) {
+	st := p.chain.Store()
+	var txs []*wire.MsgTx
+	err = st.Iterate([]byte("P"), func(k, v []byte) error {
+		tx := &wire.MsgTx{}
+		if derr := tx.Deserialize(bytes.NewReader(v)); derr != nil {
+			dropped++
+			return nil
+		}
+		txs = append(txs, tx)
+		return nil
+	})
+	if err != nil {
+		return 0, dropped, err
+	}
+
+	remaining := txs
+	for len(remaining) > 0 {
+		var orphans []*wire.MsgTx
+		progressed := false
+		for _, tx := range remaining {
+			switch _, aerr := p.Accept(tx); {
+			case aerr == nil:
+				kept++
+				progressed = true
+				if observe != nil {
+					observe(tx)
+				}
+			case errors.Is(aerr, ErrOrphanTx):
+				// Possibly a chained spend whose parent is later in this
+				// round; retry next round.
+				orphans = append(orphans, tx)
+			default:
+				dropped++
+			}
+		}
+		if !progressed {
+			dropped += len(orphans)
+			break
+		}
+		remaining = orphans
+	}
+
+	return kept, dropped, p.Persist()
+}

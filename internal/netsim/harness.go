@@ -254,63 +254,12 @@ func (h *Harness) AssertConverged() chainhash.Hash {
 // AuditChainUTXO re-walks a chain's main-chain history from genesis and
 // verifies Bitcoin's between-transaction affine guarantee: every spend
 // consumes an output that exists and was not consumed before, and the
-// chain's UTXO set is exactly the outputs created and never spent.
+// chain's UTXO set is exactly the outputs created and never spent. It
+// delegates to the chain's own from-genesis audit, which additionally
+// cross-checks the spend journal — the same audit persistent nodes run
+// after crash recovery.
 func AuditChainUTXO(c *chain.Chain) error {
-	created := make(map[wire.OutPoint]bool)
-	// Provably unspendable outputs (leading OP_RETURN) are pruned from
-	// the node's table, so the audit must not demand them back.
-	unspendable := make(map[wire.OutPoint]bool)
-	spent := make(map[wire.OutPoint]chainhash.Hash)
-	for height := 0; ; height++ {
-		blk, ok := c.BlockAtHeight(height)
-		if !ok {
-			if height <= c.BestHeight() {
-				return fmt.Errorf("missing block at height %d", height)
-			}
-			break
-		}
-		for ti, tx := range blk.Transactions {
-			txid := tx.TxHash()
-			if ti > 0 { // the coinbase consumes nothing
-				for _, in := range tx.TxIn {
-					op := in.PreviousOutPoint
-					if by, dup := spent[op]; dup {
-						return fmt.Errorf("utxo %v spent twice: by %s and %s (height %d)",
-							op, by, txid, height)
-					}
-					if !created[op] {
-						return fmt.Errorf("tx %s at height %d spends nonexistent output %v",
-							txid, height, op)
-					}
-					spent[op] = txid
-				}
-			}
-			for idx, out := range tx.TxOut {
-				op := wire.OutPoint{Hash: txid, Index: uint32(idx)}
-				created[op] = true
-				if len(out.PkScript) > 0 && out.PkScript[0] == 0x6a { // OP_RETURN
-					unspendable[op] = true
-				}
-			}
-		}
-	}
-	// The chain's UTXO set must be exactly created minus spent.
-	live := make(map[wire.OutPoint]bool)
-	for _, op := range c.UtxoOutpoints() {
-		live[op] = true
-		if !created[op] {
-			return fmt.Errorf("utxo set contains never-created output %v", op)
-		}
-		if by, dup := spent[op]; dup {
-			return fmt.Errorf("utxo set contains output %v spent by %s", op, by)
-		}
-	}
-	for op := range created {
-		if _, wasSpent := spent[op]; !wasSpent && !live[op] && !unspendable[op] {
-			return fmt.Errorf("unspent output %v missing from utxo set", op)
-		}
-	}
-	return nil
+	return c.AuditFromGenesis()
 }
 
 // AuditMempoolAgainstChain verifies that no pooled transaction conflicts

@@ -1,0 +1,145 @@
+package p2p_test
+
+import (
+	"testing"
+	"time"
+
+	"typecoin/internal/chain"
+	"typecoin/internal/clock"
+	"typecoin/internal/mempool"
+	"typecoin/internal/miner"
+	"typecoin/internal/netsim"
+	"typecoin/internal/p2p"
+	"typecoin/internal/store"
+	"typecoin/internal/testutil"
+	"typecoin/internal/wallet"
+)
+
+// TestSimRestartResyncFromPersistedTip: a persistent node that synced
+// part of the chain, shut down, and restarted from the same data
+// directory must come back at its recorded tip — not genesis — and
+// fetch only the blocks mined while it was offline.
+func TestSimRestartResyncFromPersistedTip(t *testing.T) {
+	params := chain.RegTestParams()
+	start := params.GenesisBlock.Header.Timestamp.Add(time.Minute)
+	clk := clock.NewSimulated(start)
+	net := netsim.New(clk, 5, netsim.LinkConfig{Latency: time.Millisecond})
+
+	settle := func(ticks int) {
+		for k := 0; k < ticks; k++ {
+			clk.Advance(20 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Node A: the always-up in-memory peer that mines.
+	chA := chain.New(params, clk)
+	poolA := mempool.New(chA, -1)
+	nodeA := p2p.NewNode(chA, poolA, nil)
+	nodeA.SetTransport(net.Transport("a"))
+	if _, err := nodeA.Listen(""); err != nil {
+		t.Fatalf("node A listen: %v", err)
+	}
+	defer nodeA.Stop()
+	wA := wallet.New(chA, testutil.NewEntropy("p2p/restart"))
+	payout, err := wA.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mA := miner.New(chA, poolA, clk)
+
+	blocks := 0
+	mine := func(n int) {
+		t.Helper()
+		for k := 0; k < n; k++ {
+			blocks++
+			target := start.Add(time.Duration(blocks) * time.Minute)
+			if clk.Now().Before(target) {
+				clk.Set(target)
+			} else {
+				clk.Advance(time.Minute)
+			}
+			if _, _, err := mA.Mine(payout); err != nil {
+				t.Fatalf("mine: %v", err)
+			}
+			settle(5)
+		}
+	}
+
+	// Node B: persistent; openB builds a full fresh stack over the same
+	// data directory, as a restart would.
+	dir := t.TempDir()
+	openB := func() (*chain.Chain, *p2p.Node, *store.File) {
+		t.Helper()
+		st, err := store.OpenFile(dir)
+		if err != nil {
+			t.Fatalf("open store: %v", err)
+		}
+		chB, err := chain.Open(chain.Config{Params: params, Clock: clk, Store: st})
+		if err != nil {
+			t.Fatalf("open chain: %v", err)
+		}
+		poolB := mempool.New(chB, -1)
+		nodeB := p2p.NewNode(chB, poolB, nil)
+		nodeB.SetTransport(net.Transport("b"))
+		if _, err := nodeB.Listen(""); err != nil {
+			t.Fatalf("node B listen: %v", err)
+		}
+		if err := nodeB.Dial("a"); err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return chB, nodeB, st
+	}
+
+	waitHeight := func(c *chain.Chain, nodes []*p2p.Node, want int) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for k := 0; time.Now().Before(deadline); k++ {
+			if c.BestHeight() == want && c.BestHash() == chA.BestHash() {
+				return
+			}
+			clk.Advance(20 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+			if k%100 == 99 {
+				for _, node := range nodes {
+					node.SyncPeers()
+				}
+			}
+		}
+		t.Fatalf("timeout: height %d (want %d)", c.BestHeight(), want)
+	}
+
+	// Phase 1: B syncs the first 20 blocks, then shuts down cleanly.
+	chB, nodeB, stB := openB()
+	mine(20)
+	waitHeight(chB, []*p2p.Node{nodeA, nodeB}, 20)
+	tipAt20 := chB.BestHash()
+	nodeB.Stop()
+	if err := stB.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := stB.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Phase 2: A mines on while B is down.
+	mine(10)
+
+	// Phase 3: B restarts from the same directory. Before any network
+	// traffic settles it must already be at its persisted tip — that
+	// restored height is what makes the subsequent sync a delta fetch.
+	chB2, nodeB2, stB2 := openB()
+	defer func() { nodeB2.Stop(); stB2.Close() }()
+	if got := chB2.BestHeight(); got != 20 {
+		t.Fatalf("restarted at height %d, want persisted 20", got)
+	}
+	if chB2.BestHash() != tipAt20 {
+		t.Fatalf("restarted tip %s, want %s", chB2.BestHash(), tipAt20)
+	}
+
+	// The periodic resync fetches blocks 21..30 from A.
+	waitHeight(chB2, []*p2p.Node{nodeA, nodeB2}, 30)
+	if err := chB2.AuditFromGenesis(); err != nil {
+		t.Fatalf("post-resync audit: %v", err)
+	}
+}

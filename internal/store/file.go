@@ -1,0 +1,480 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is the durable engine: a log-structured KV plus an append-only
+// block log, stdlib only.
+//
+// Directory layout:
+//
+//	MANIFEST      names the live KV generation (atomic tmp+rename swap)
+//	kv-<gen>.log  the KV journal: one CRC frame per applied batch
+//	blocks.dat    append-only CRC-framed block bodies
+//
+// The journal doubles as the write-ahead log: Apply appends exactly one
+// frame, so a batch is either fully on disk or detectably torn. Open
+// replays the journal into memory, truncating a torn or corrupt tail —
+// that is the whole crash-recovery story for the KV. Compaction rewrites
+// the live pairs as a single snapshot frame into the next generation and
+// swings MANIFEST over with an atomic rename; a crash anywhere in that
+// sequence leaves either the old or the new generation live, never a
+// mix, and stray generations are swept on Open.
+//
+// The working set (current key -> value) stays resident, as in any
+// log-structured store with an in-memory index; values here are small
+// (UTXO entries, refs, journal rows) and bulk data lives in blocks.dat,
+// reached through BlockRef values.
+type File struct {
+	mu  sync.Mutex
+	dir string
+
+	gen     uint64
+	log     *os.File
+	logSize int64
+
+	blocks     *os.File
+	blocksSize int64
+
+	data      map[string][]byte
+	liveBytes int64 // payload bytes of live pairs, for the compaction trigger
+
+	// compactMin is the journal size below which compaction never
+	// triggers; compaction fires when the journal exceeds it and holds
+	// less than 1/4 live data.
+	compactMin int64
+
+	syncEvery bool // fsync the journal on every Apply
+
+	// crashBytes, when >= 0, makes the next Apply write only that many
+	// bytes of the frame and then poison the store — a torn write, as a
+	// kill mid-write would leave. Test hook; see CrashNextApply.
+	crashBytes int
+
+	// truncatedBytes records how many trailing journal bytes Open
+	// discarded as torn.
+	truncatedBytes int64
+
+	closed bool
+}
+
+const (
+	manifestName   = "MANIFEST"
+	blocksName     = "blocks.dat"
+	manifestHeader = "typecoin-store v1"
+
+	defaultCompactMin = 1 << 20
+)
+
+// OpenFile opens (creating if needed) the store rooted at dir and
+// replays its journal. A torn tail — the signature of a crash mid-batch
+// — is truncated and reported via TruncatedBytes.
+func OpenFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f := &File{
+		dir:        dir,
+		data:       make(map[string][]byte),
+		compactMin: defaultCompactMin,
+		crashBytes: -1,
+	}
+	gen, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if gen == 0 {
+		// Fresh directory (or one that crashed before its first
+		// manifest write): start generation 1. Stray logs from such a
+		// crash are removed by the sweep below.
+		gen = 1
+	}
+	f.gen = gen
+	f.sweepStaleGenerations()
+
+	logPath := f.logPath(f.gen)
+	f.log, err = os.OpenFile(logPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.replayJournal(); err != nil {
+		f.log.Close()
+		return nil, err
+	}
+	if err := writeManifest(dir, f.gen); err != nil {
+		f.log.Close()
+		return nil, err
+	}
+
+	f.blocks, err = os.OpenFile(filepath.Join(dir, blocksName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		f.log.Close()
+		return nil, err
+	}
+	st, err := f.blocks.Stat()
+	if err != nil {
+		f.log.Close()
+		f.blocks.Close()
+		return nil, err
+	}
+	f.blocksSize = st.Size()
+	return f, nil
+}
+
+func (f *File) logPath(gen uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("kv-%d.log", gen))
+}
+
+// readManifest returns the generation named by MANIFEST, or 0 when the
+// manifest does not exist.
+func readManifest(dir string) (uint64, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 || lines[0] != manifestHeader {
+		return 0, fmt.Errorf("%w: bad manifest", ErrCorrupt)
+	}
+	var gen uint64
+	if _, err := fmt.Sscanf(lines[1], "gen %d", &gen); err != nil || gen == 0 {
+		return 0, fmt.Errorf("%w: bad manifest generation line %q", ErrCorrupt, lines[1])
+	}
+	return gen, nil
+}
+
+// writeManifest atomically installs gen as the live generation.
+func writeManifest(dir string, gen uint64) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	content := fmt.Sprintf("%s\ngen %d\n", manifestHeader, gen)
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return err
+	}
+	// Make the content durable before the rename makes it visible.
+	if tf, err := os.OpenFile(tmp, os.O_RDWR, 0); err == nil {
+		tf.Sync()
+		tf.Close()
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+// sweepStaleGenerations removes KV logs other than the live generation:
+// leftovers of a compaction that crashed on either side of the manifest
+// swap.
+func (f *File) sweepStaleGenerations() {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var gen uint64
+		if _, err := fmt.Sscanf(e.Name(), "kv-%d.log", &gen); err == nil && gen != f.gen {
+			os.Remove(filepath.Join(f.dir, e.Name()))
+		}
+	}
+	os.Remove(filepath.Join(f.dir, manifestName+".tmp"))
+}
+
+// replayJournal loads every committed batch of the live journal into the
+// in-memory table, truncating the file at the first torn or corrupt
+// frame.
+func (f *File) replayJournal() error {
+	raw, err := io.ReadAll(f.log)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(raw) {
+		payload, n, err := readFrame(raw[off:])
+		if err != nil {
+			break // torn tail: everything before off is committed
+		}
+		ops, err := decodeBatchPayload(payload)
+		if err != nil {
+			break
+		}
+		f.applyToTable(ops)
+		off += n
+	}
+	f.truncatedBytes = int64(len(raw) - off)
+	if f.truncatedBytes > 0 {
+		if err := f.log.Truncate(int64(off)); err != nil {
+			return err
+		}
+	}
+	if _, err := f.log.Seek(int64(off), io.SeekStart); err != nil {
+		return err
+	}
+	f.logSize = int64(off)
+	return nil
+}
+
+// applyToTable folds ops into the resident table, maintaining the
+// live-bytes estimate.
+func (f *File) applyToTable(ops []op) {
+	for _, o := range ops {
+		k := string(o.key)
+		if prev, ok := f.data[k]; ok {
+			f.liveBytes -= int64(len(k) + len(prev))
+		}
+		if o.delete {
+			delete(f.data, k)
+		} else {
+			f.data[k] = o.value
+			f.liveBytes += int64(len(k) + len(o.value))
+		}
+	}
+}
+
+// TruncatedBytes reports how many trailing journal bytes the last Open
+// discarded as torn — nonzero exactly when the previous process died
+// mid-batch.
+func (f *File) TruncatedBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.truncatedBytes
+}
+
+// SetSyncEvery makes every Apply fsync the journal (power-loss
+// durability per batch) instead of only on Flush/Close. Default off:
+// a process kill never loses OS-buffered writes, and the daemon flushes
+// on shutdown.
+func (f *File) SetSyncEvery(sync bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncEvery = sync
+}
+
+// SetCompactMin overrides the minimum journal size for compaction
+// (testing knob).
+func (f *File) SetCompactMin(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.compactMin = n
+}
+
+// CrashNextApply arms the torn-write fault: the next Apply writes only
+// the first n bytes of its frame to the journal, then fails with
+// ErrClosed and poisons the store — exactly the on-disk state a SIGKILL
+// mid-write leaves behind. Reopening the directory recovers.
+func (f *File) CrashNextApply(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashBytes = n
+}
+
+// Get implements Store.
+func (f *File) Get(key []byte) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	v, ok := f.data[string(key)]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Has implements Store.
+func (f *File) Has(key []byte) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false, ErrClosed
+	}
+	_, ok := f.data[string(key)]
+	return ok, nil
+}
+
+// Iterate implements Store.
+func (f *File) Iterate(prefix []byte, fn func(key, value []byte) error) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	pairs := sortedPairs(f.data, prefix)
+	f.mu.Unlock()
+	for _, kv := range pairs {
+		if err := fn(kv[0], kv[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply implements Store: encode the batch as one frame, append it to
+// the journal, then fold it into the resident table.
+func (f *File) Apply(b *Batch) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	frame := appendFrame(nil, encodeBatchPayload(b))
+	if f.crashBytes >= 0 {
+		n := f.crashBytes
+		if n > len(frame) {
+			n = len(frame)
+		}
+		f.log.Write(frame[:n])
+		f.closed = true // poisoned: the "process" is dead
+		return fmt.Errorf("%w: injected crash mid-batch", ErrClosed)
+	}
+	if _, err := f.log.Write(frame); err != nil {
+		return err
+	}
+	f.logSize += int64(len(frame))
+	if f.syncEvery {
+		if err := f.log.Sync(); err != nil {
+			return err
+		}
+	}
+	f.applyToTable(b.ops)
+	if f.logSize > f.compactMin && f.liveBytes*4 < f.logSize {
+		return f.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the live pairs as one snapshot frame in the
+// next generation and atomically swings the manifest over.
+func (f *File) compactLocked() error {
+	snap := &Batch{}
+	for _, kv := range sortedPairs(f.data, nil) {
+		snap.ops = append(snap.ops, op{key: kv[0], value: kv[1]})
+	}
+	frame := appendFrame(nil, encodeBatchPayload(snap))
+
+	newGen := f.gen + 1
+	newPath := f.logPath(newGen)
+	nf, err := os.OpenFile(newPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Write(frame); err != nil {
+		nf.Close()
+		os.Remove(newPath)
+		return err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(newPath)
+		return err
+	}
+	// The new generation is durable; make it live. After this rename a
+	// crash recovers the compacted state.
+	if err := writeManifest(f.dir, newGen); err != nil {
+		nf.Close()
+		os.Remove(newPath)
+		return err
+	}
+	oldPath := f.logPath(f.gen)
+	f.log.Close()
+	os.Remove(oldPath)
+	f.log = nf
+	f.gen = newGen
+	f.logSize = int64(len(frame))
+	return nil
+}
+
+// AppendBlock implements Store.
+func (f *File) AppendBlock(data []byte) (BlockRef, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return BlockRef{}, ErrClosed
+	}
+	frame := appendFrame(nil, data)
+	if _, err := f.blocks.WriteAt(frame, f.blocksSize); err != nil {
+		return BlockRef{}, err
+	}
+	ref := BlockRef{Offset: uint64(f.blocksSize), Len: uint32(len(data))}
+	f.blocksSize += int64(len(frame))
+	return ref, nil
+}
+
+// ReadBlock implements Store.
+func (f *File) ReadBlock(ref BlockRef) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if int64(ref.Offset)+frameHeaderSize+int64(ref.Len) > f.blocksSize {
+		return nil, ErrNotFound
+	}
+	buf := make([]byte, frameHeaderSize+int(ref.Len))
+	if _, err := f.blocks.ReadAt(buf, int64(ref.Offset)); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != ref.Len {
+		return nil, fmt.Errorf("%w: block length mismatch at %d", ErrCorrupt, ref.Offset)
+	}
+	payload := buf[frameHeaderSize:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, fmt.Errorf("%w: block checksum mismatch at %d", ErrCorrupt, ref.Offset)
+	}
+	return payload, nil
+}
+
+// Flush implements Store: fsync both files.
+func (f *File) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if err := f.log.Sync(); err != nil {
+		return err
+	}
+	return f.blocks.Sync()
+}
+
+// Close implements Store.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	err := f.log.Sync()
+	if berr := f.blocks.Sync(); err == nil {
+		err = berr
+	}
+	f.log.Close()
+	f.blocks.Close()
+	return err
+}
+
+// sortedPairs snapshots the table's pairs with the given prefix in
+// ascending key order. Caller holds the store lock.
+func sortedPairs(data map[string][]byte, prefix []byte) [][2][]byte {
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		if len(prefix) == 0 || strings.HasPrefix(k, string(prefix)) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([][2][]byte, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, [2][]byte{[]byte(k), append([]byte(nil), data[k]...)})
+	}
+	return out
+}

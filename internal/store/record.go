@@ -1,0 +1,174 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk framing, shared by the KV journal and the block log:
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// A frame is valid only if the full payload is present and its checksum
+// matches, which is what lets recovery distinguish a torn tail (the
+// bytes a crash cut mid-write) from committed data: replay stops at the
+// first bad frame and truncates the file there.
+//
+// A KV journal payload is one batch:
+//
+//	varint opCount, then per op:
+//	  u8 kind (0 put, 1 delete), varint keyLen, key,
+//	  and for puts: varint valueLen, value
+//
+// so a batch is exactly one frame — the unit of atomicity.
+
+const frameHeaderSize = 8
+
+// castagnoli is the CRC-32C table (the polynomial used by modern
+// storage systems for its hardware support).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxFrameSize bounds a single frame; larger lengths are treated as
+// corruption rather than allocated.
+const maxFrameSize = 64 << 20
+
+const (
+	opKindPut    = 0
+	opKindDelete = 1
+)
+
+// appendFrame appends the framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrame extracts the first frame from buf, returning the payload and
+// the total bytes consumed. err is ErrCorrupt for checksum/length
+// violations and errShortFrame when buf ends before the frame does (a
+// torn tail).
+func readFrame(buf []byte) (payload []byte, n int, err error) {
+	if len(buf) < frameHeaderSize {
+		return nil, 0, errShortFrame
+	}
+	plen := binary.LittleEndian.Uint32(buf[0:4])
+	if plen > maxFrameSize {
+		return nil, 0, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, plen)
+	}
+	want := binary.LittleEndian.Uint32(buf[4:8])
+	end := frameHeaderSize + int(plen)
+	if len(buf) < end {
+		return nil, 0, errShortFrame
+	}
+	payload = buf[frameHeaderSize:end]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, 0, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	}
+	return payload, end, nil
+}
+
+// errShortFrame marks a frame cut off by the end of the buffer.
+var errShortFrame = fmt.Errorf("%w: truncated frame", ErrCorrupt)
+
+// appendUvarint appends v in unsigned varint encoding.
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// encodeBatchPayload serializes a batch into one journal payload.
+func encodeBatchPayload(b *Batch) []byte {
+	size := binary.MaxVarintLen64
+	for _, o := range b.ops {
+		size += 1 + 2*binary.MaxVarintLen64 + len(o.key) + len(o.value)
+	}
+	out := make([]byte, 0, size)
+	out = appendUvarint(out, uint64(len(b.ops)))
+	for _, o := range b.ops {
+		if o.delete {
+			out = append(out, opKindDelete)
+		} else {
+			out = append(out, opKindPut)
+		}
+		out = appendUvarint(out, uint64(len(o.key)))
+		out = append(out, o.key...)
+		if !o.delete {
+			out = appendUvarint(out, uint64(len(o.value)))
+			out = append(out, o.value...)
+		}
+	}
+	return out
+}
+
+// readCanonicalUvarint decodes a varint, rejecting non-minimal
+// encodings so every payload has exactly one valid byte representation
+// (replayed journals re-encode bit-identically).
+func readCanonicalUvarint(p []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	if n > 1 && p[n-1] == 0 {
+		return 0, 0, fmt.Errorf("%w: non-minimal varint", ErrCorrupt)
+	}
+	return v, n, nil
+}
+
+// decodeBatchPayload parses a journal payload back into ops. It is the
+// inverse of encodeBatchPayload and rejects trailing garbage, oversized
+// counts and truncated fields — it must be total: arbitrary input ends
+// in a value or an error, never a panic (it has a fuzz target).
+func decodeBatchPayload(p []byte) ([]op, error) {
+	count, n, err := readCanonicalUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad op count", ErrCorrupt)
+	}
+	p = p[n:]
+	if count > uint64(len(p))+1 { // every op costs at least 1 byte beyond the count
+		return nil, fmt.Errorf("%w: op count %d exceeds payload", ErrCorrupt, count)
+	}
+	ops := make([]op, 0, count)
+	readChunk := func() ([]byte, error) {
+		l, n, err := readCanonicalUvarint(p)
+		if err != nil || l > uint64(len(p[n:])) {
+			return nil, fmt.Errorf("%w: truncated field", ErrCorrupt)
+		}
+		chunk := p[n : n+int(l)]
+		p = p[n+int(l):]
+		return chunk, nil
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("%w: missing op kind", ErrCorrupt)
+		}
+		kind := p[0]
+		p = p[1:]
+		key, err := readChunk()
+		if err != nil {
+			return nil, err
+		}
+		o := op{key: append([]byte(nil), key...)}
+		switch kind {
+		case opKindPut:
+			val, err := readChunk()
+			if err != nil {
+				return nil, err
+			}
+			o.value = append([]byte(nil), val...)
+		case opKindDelete:
+			o.delete = true
+		default:
+			return nil, fmt.Errorf("%w: unknown op kind %d", ErrCorrupt, kind)
+		}
+		ops = append(ops, o)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrCorrupt, len(p))
+	}
+	return ops, nil
+}

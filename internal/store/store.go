@@ -1,0 +1,91 @@
+// Package store is the persistence seam under the node: a small
+// key-value store with atomic batched writes plus an append-only block
+// log for bulk block bodies.
+//
+// The paper piggybacks on Bitcoin precisely because the chain provides
+// durable commitment — a typecoin proposition must survive node
+// restarts. Two engines implement the same contract: Mem (plain maps,
+// the default for tests and in-memory nodes) and File (a CRC-framed
+// log-structured KV whose journal doubles as the write-ahead log, with
+// an atomic manifest swap on compaction). Everything above the seam —
+// chain, wallet, ledger, mempool — speaks only this interface, so a
+// node is made durable by swapping the engine.
+package store
+
+import "errors"
+
+// Sentinel errors shared by the engines.
+var (
+	// ErrNotFound reports a missing key (Get) or block (ReadBlock).
+	ErrNotFound = errors.New("store: not found")
+	// ErrClosed reports use after Close (or after a poisoning fault).
+	ErrClosed = errors.New("store: closed")
+	// ErrCorrupt reports a framing or checksum violation in persisted
+	// state that recovery could not repair.
+	ErrCorrupt = errors.New("store: corrupt data")
+)
+
+// BlockRef locates one blob in the append-only block log. Refs are
+// handed out by AppendBlock and are only meaningful against the store
+// that produced them; they are stored as values in the KV so the blob
+// becomes reachable exactly when the batch referencing it commits.
+type BlockRef struct {
+	Offset uint64
+	Len    uint32
+}
+
+// op is one staged mutation.
+type op struct {
+	key    []byte
+	value  []byte
+	delete bool
+}
+
+// Batch is an ordered set of puts and deletes applied atomically: after
+// a crash, either every op in the batch is visible or none is. Batches
+// are built by one goroutine and consumed once by Apply.
+type Batch struct {
+	ops []op
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Put stages key = value. The byte slices are copied, so callers may
+// reuse their buffers.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, op{key: append([]byte(nil), key...), value: append([]byte(nil), value...)})
+}
+
+// Delete stages removal of key. Deleting an absent key is a no-op.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, op{key: append([]byte(nil), key...), delete: true})
+}
+
+// Len reports the number of staged ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Store is the persistence contract. Implementations are safe for
+// concurrent use. Reads observe only applied batches.
+type Store interface {
+	// Get returns the value for key, or ErrNotFound.
+	Get(key []byte) ([]byte, error)
+	// Has reports whether key exists.
+	Has(key []byte) (bool, error)
+	// Iterate visits every key with the given prefix in ascending byte
+	// order. Returning a non-nil error from fn stops the scan and is
+	// returned verbatim.
+	Iterate(prefix []byte, fn func(key, value []byte) error) error
+	// Apply commits b atomically.
+	Apply(b *Batch) error
+	// AppendBlock appends data to the append-only block log and returns
+	// its ref. The blob becomes reachable once a batch storing the ref
+	// commits; unreferenced tails left by a crash are harmless garbage.
+	AppendBlock(data []byte) (BlockRef, error)
+	// ReadBlock returns the blob at ref, verifying its checksum.
+	ReadBlock(ref BlockRef) ([]byte, error)
+	// Flush forces buffered state to stable storage (fsync for File).
+	Flush() error
+	// Close flushes and releases the store. Further use returns ErrClosed.
+	Close() error
+}

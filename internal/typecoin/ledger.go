@@ -9,6 +9,7 @@ import (
 	"typecoin/internal/chain"
 	"typecoin/internal/chainhash"
 	"typecoin/internal/logic"
+	"typecoin/internal/store"
 	"typecoin/internal/wire"
 )
 
@@ -23,6 +24,11 @@ import (
 type Ledger struct {
 	chain   *chain.Chain
 	minConf int
+
+	// st is non-nil for ledgers created with OpenLedger: announcements
+	// and applied markers are written through to the chain's store (see
+	// persist.go). The typed state itself is replay-derived on startup.
+	st store.Store
 
 	mu    sync.Mutex
 	state *State
@@ -84,6 +90,9 @@ func (l *Ledger) announce(h chainhash.Hash, obj interface{}) {
 	l.mu.Lock()
 	if _, ok := l.known[h]; !ok {
 		l.known[h] = obj
+		// Announcements travel out of band and cannot be rederived from
+		// the chain, so they are persisted the moment they arrive.
+		l.persistAnnouncementLocked(h, obj)
 	}
 	// The carrier may already be on chain (announce-after-mine): the
 	// seen index remembers every metadata-bearing carrier.
@@ -233,6 +242,7 @@ func (l *Ledger) sweepLocked() {
 	// (a false condition at their block — the "spoiled inputs" hazard of
 	// Section 5) are simply re-rejected each time, which is cheap and
 	// bounded by the number of such carriers.
+	l.syncAppliedLocked()
 }
 
 // readyLocked reports whether the announced object's inputs all resolve

@@ -1,0 +1,260 @@
+package typecoin
+
+// Ledger persistence. The typed state (global basis, unconsumed typed
+// outputs) is a deterministic function of the chain and the announced
+// object set, so it is never serialized: OpenLedger replays it from the
+// recovered chain. What is persisted:
+//
+//	ka + commitment hash -> announced object ('L' fallback list / 'B'
+//	                        batch). Announcements arrive out of band and
+//	                        are written at Announce time — the one piece
+//	                        of ledger state the chain cannot reproduce.
+//	ls + commitment hash -> carrier txid. The seen index, contributed to
+//	                        each block's atomic commit batch; redundant
+//	                        with the chain and cross-checked on startup.
+//	la + carrier txid    -> marker. Written after a carrier's Typecoin
+//	                        transaction is applied. On startup every
+//	                        marker must be reproduced by the replay —
+//	                        a marker the replay cannot justify means the
+//	                        store and chain diverged, and OpenLedger
+//	                        refuses to proceed.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"typecoin/internal/chain"
+	"typecoin/internal/chainhash"
+	"typecoin/internal/store"
+)
+
+// ErrStateDiverged reports persisted ledger state that the chain replay
+// cannot reproduce — the recovered chain and ledger disagree about what
+// was applied.
+var ErrStateDiverged = errors.New("typecoin: persisted ledger state diverges from chain replay")
+
+func keyKnown(h chainhash.Hash) []byte   { return append([]byte("ka"), h[:]...) }
+func keySeen(h chainhash.Hash) []byte    { return append([]byte("ls"), h[:]...) }
+func keyApplied(id chainhash.Hash) []byte { return append([]byte("la"), id[:]...) }
+
+const (
+	annKindList  = 'L'
+	annKindBatch = 'B'
+)
+
+func encodeAnnouncement(obj interface{}) []byte {
+	switch obj := obj.(type) {
+	case *FallbackList:
+		out := []byte{annKindList, byte(len(obj.Txs))}
+		for _, tx := range obj.Txs {
+			b := tx.Bytes()
+			out = append(out, byte(len(b)), byte(len(b)>>8), byte(len(b)>>16))
+			out = append(out, b...)
+		}
+		return out
+	case *Batch:
+		return append([]byte{annKindBatch}, obj.Bytes()...)
+	default:
+		return nil
+	}
+}
+
+func decodeAnnouncement(b []byte) (interface{}, error) {
+	bad := errors.New("typecoin: corrupt announcement row")
+	if len(b) < 1 {
+		return nil, bad
+	}
+	switch b[0] {
+	case annKindList:
+		if len(b) < 2 {
+			return nil, bad
+		}
+		n := int(b[1])
+		b = b[2:]
+		list := &FallbackList{}
+		for i := 0; i < n; i++ {
+			if len(b) < 3 {
+				return nil, bad
+			}
+			l := int(b[0]) | int(b[1])<<8 | int(b[2])<<16
+			b = b[3:]
+			if len(b) < l {
+				return nil, bad
+			}
+			tx, err := DecodeBytes(b[:l])
+			if err != nil {
+				return nil, err
+			}
+			list.Txs = append(list.Txs, tx)
+			b = b[l:]
+		}
+		if len(b) != 0 {
+			return nil, bad
+		}
+		return list, nil
+	case annKindBatch:
+		return DecodeBatch(bytes.NewReader(b[1:]))
+	default:
+		return nil, bad
+	}
+}
+
+// OpenLedger creates a ledger persisted in c's store: previously
+// announced objects are reloaded, the typed state is replayed from the
+// recovered chain, and every persisted applied marker is verified
+// against the replay (a marker the replay cannot reproduce returns
+// ErrStateDiverged). New announcements and applied markers are written
+// through as they happen.
+func OpenLedger(c *chain.Chain, minConf int) (*Ledger, error) {
+	if minConf < 1 {
+		minConf = 1
+	}
+	l := &Ledger{
+		chain:   c,
+		minConf: minConf,
+		st:      c.Store(),
+		state:   NewState(),
+		known:   make(map[chainhash.Hash]interface{}),
+		waiting: make(map[chainhash.Hash]chainhash.Hash),
+		seen:    make(map[chainhash.Hash]chainhash.Hash),
+		applied: make(map[chainhash.Hash]bool),
+	}
+	err := l.st.Iterate([]byte("ka"), func(k, v []byte) error {
+		if len(k) != 2+32 {
+			return errors.New("typecoin: malformed announcement key")
+		}
+		var h chainhash.Hash
+		copy(h[:], k[2:])
+		obj, err := decodeAnnouncement(v)
+		if err != nil {
+			return err
+		}
+		l.known[h] = obj
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Subscribe(l.onChainChange)
+	c.SubscribePersist(l.contribute)
+
+	// Replay the recovered chain against the reloaded announcement set.
+	// rebuild takes l.mu itself and ends in a sweep, which also rewrites
+	// the applied markers to match the replay.
+	l.rebuild()
+
+	// Divergence check: anything a previous run recorded as applied must
+	// be reproduced by this replay. (The converse — replay applying more
+	// than was recorded — is normal: the crash may have cut markers that
+	// the journal-recovered chain still justifies.)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var diverged error
+	check := func(prefix string, verify func(h chainhash.Hash, v []byte) error) error {
+		return l.st.Iterate([]byte(prefix), func(k, v []byte) error {
+			if diverged != nil {
+				return diverged
+			}
+			if len(k) != 2+32 {
+				return fmt.Errorf("typecoin: malformed %s key", prefix)
+			}
+			var h chainhash.Hash
+			copy(h[:], k[2:])
+			diverged = verify(h, v)
+			return diverged
+		})
+	}
+	err = check("la", func(id chainhash.Hash, _ []byte) error {
+		if !l.applied[id] {
+			return fmt.Errorf("%w: recorded applied carrier %s not reproduced", ErrStateDiverged, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = check("ls", func(h chainhash.Hash, v []byte) error {
+		carrier, ok := l.seen[h]
+		if !ok || !bytes.Equal(carrier[:], v) {
+			return fmt.Errorf("%w: seen index row %s not reproduced", ErrStateDiverged, h)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// persistAnnouncementLocked writes a ka row; caller holds l.mu. A no-op
+// for memory-only ledgers.
+func (l *Ledger) persistAnnouncementLocked(h chainhash.Hash, obj interface{}) {
+	if l.st == nil {
+		return
+	}
+	enc := encodeAnnouncement(obj)
+	if enc == nil {
+		return
+	}
+	b := store.NewBatch()
+	b.Put(keyKnown(h), enc)
+	// A dead store cannot be helped from here; the resident announcement
+	// still works for this process and re-announcement after restart is
+	// the overlay's job (tcget).
+	_ = l.st.Apply(b)
+}
+
+// contribute adds the seen-index rows for a block to its chain commit
+// batch. It runs under the chain lock and is a pure function of the
+// block — it must not take l.mu (sweep holds l.mu while reading chain
+// state).
+func (l *Ledger) contribute(ev chain.PersistEvent, b *store.Batch) {
+	for _, btx := range ev.Block.Transactions {
+		h, ok := ExtractMetaHash(btx)
+		if !ok {
+			continue
+		}
+		if ev.Connected {
+			b.Put(keySeen(h), btx.TxHash().Bytes())
+		} else {
+			// If another main-chain carrier bears the same commitment
+			// hash the row briefly vanishes; the reconnects of the same
+			// reorg restore it, and startup only cross-checks rows that
+			// exist.
+			b.Delete(keySeen(h))
+		}
+	}
+}
+
+// syncAppliedLocked reconciles the persisted applied markers with the
+// resident applied set; caller holds l.mu. A no-op for memory-only
+// ledgers.
+func (l *Ledger) syncAppliedLocked() {
+	if l.st == nil {
+		return
+	}
+	b := store.NewBatch()
+	present := make(map[chainhash.Hash]bool)
+	_ = l.st.Iterate([]byte("la"), func(k, v []byte) error {
+		if len(k) != 2+32 {
+			return nil
+		}
+		var id chainhash.Hash
+		copy(id[:], k[2:])
+		if l.applied[id] {
+			present[id] = true
+		} else {
+			b.Delete(append([]byte(nil), k...))
+		}
+		return nil
+	})
+	for id := range l.applied {
+		if !present[id] {
+			b.Put(keyApplied(id), []byte{1})
+		}
+	}
+	if b.Len() > 0 {
+		_ = l.st.Apply(b)
+	}
+}

@@ -29,8 +29,18 @@ type Wallet struct {
 	chain   *chain.Chain
 	entropy io.Reader
 
-	mu   sync.Mutex
-	keys map[bkey.Principal]*bkey.PrivateKey
+	// persist is non-nil for wallets created with Open: keys and the
+	// confirmed UTXO view are written through to the chain's store.
+	persist *persister
+
+	// keysMu guards keys alone. It is separate from mu because script
+	// classification runs inside the chain's commit batch (under the
+	// chain lock), which must never wait on mu — Build holds mu while
+	// calling into the chain.
+	keysMu sync.Mutex
+	keys   map[bkey.Principal]*bkey.PrivateKey
+
+	mu sync.Mutex
 	// utxos tracks spendable outputs we control: confirmed chain outputs
 	// plus change from our own unconfirmed transactions, minus anything
 	// we have already spent (locked).
@@ -68,25 +78,31 @@ func (w *Wallet) NewKey() (bkey.Principal, error) {
 		return bkey.Principal{}, err
 	}
 	p := key.Principal()
-	w.mu.Lock()
+	w.keysMu.Lock()
 	w.keys[p] = key
-	w.mu.Unlock()
+	w.keysMu.Unlock()
+	if err := w.persistKey(p, key); err != nil {
+		return bkey.Principal{}, err
+	}
 	return p, nil
 }
 
 // ImportKey registers an existing key.
 func (w *Wallet) ImportKey(key *bkey.PrivateKey) bkey.Principal {
 	p := key.Principal()
-	w.mu.Lock()
+	w.keysMu.Lock()
 	w.keys[p] = key
-	w.mu.Unlock()
+	w.keysMu.Unlock()
+	// A store that refuses the write will refuse everything else too;
+	// the resident key still works for this process.
+	_ = w.persistKey(p, key)
 	return p
 }
 
 // Key returns the private key for p.
 func (w *Wallet) Key(p bkey.Principal) (*bkey.PrivateKey, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.keysMu.Lock()
+	defer w.keysMu.Unlock()
 	key, ok := w.keys[p]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownKey, p)
@@ -96,26 +112,18 @@ func (w *Wallet) Key(p bkey.Principal) (*bkey.PrivateKey, error) {
 
 // Principals lists the wallet's principals in stable order.
 func (w *Wallet) Principals() []bkey.Principal {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make([]bkey.Principal, 0, len(w.keys))
-	for p := range w.keys {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		for k := range out[i] {
-			if out[i][k] != out[j][k] {
-				return out[i][k] < out[j][k]
-			}
-		}
-		return false
-	})
-	return out
+	w.keysMu.Lock()
+	defer w.keysMu.Unlock()
+	return w.principalsLocked()
 }
 
 // classify determines whether pkScript pays one of our keys, either as
-// P2PKH or as the genuine key slot of a 1-of-2 metadata multisig.
+// P2PKH or as the genuine key slot of a 1-of-2 metadata multisig. It
+// takes only keysMu, so it is safe both under mu and from the chain's
+// persist hook.
 func (w *Wallet) classify(pkScript []byte) (bkey.Principal, bool, bool) {
+	w.keysMu.Lock()
+	defer w.keysMu.Unlock()
 	if p, ok := script.ExtractPubKeyHash(pkScript); ok {
 		_, mine := w.keys[p]
 		return p, mine, false
@@ -371,7 +379,9 @@ func (w *Wallet) Build(outputs []Output, opts BuildOptions) (*wire.MsgTx, error)
 	if change := have - need; change >= dustLimit {
 		changeTo := opts.ChangeTo
 		if changeTo.IsZero() {
+			w.keysMu.Lock()
 			ps := w.principalsLocked()
+			w.keysMu.Unlock()
 			if len(ps) == 0 {
 				return nil, errors.New("wallet: no key for change output")
 			}
@@ -404,6 +414,7 @@ func (w *Wallet) Build(outputs []Output, opts BuildOptions) (*wire.MsgTx, error)
 	return tx, nil
 }
 
+// principalsLocked lists principals in stable order; caller holds keysMu.
 func (w *Wallet) principalsLocked() []bkey.Principal {
 	out := make([]bkey.Principal, 0, len(w.keys))
 	for p := range w.keys {
@@ -438,7 +449,9 @@ func (w *Wallet) signLocked(tx *wire.MsgTx, selected []wire.OutPoint) error {
 		if !ok {
 			return fmt.Errorf("wallet: lost utxo %v during signing", op)
 		}
+		w.keysMu.Lock()
 		key, ok := w.keys[u.owner]
+		w.keysMu.Unlock()
 		if !ok {
 			return fmt.Errorf("%w: %s", ErrUnknownKey, u.owner)
 		}
