@@ -3,13 +3,13 @@ GO ?= go
 # Packages whose correctness depends on concurrency (the parallel block
 # validation pipeline, the p2p node and its fault simulator) get a
 # dedicated -race pass.
-RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/...
+RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/... ./internal/banscore/...
 
 # Native fuzz targets over the three attacker-facing decoders. Each runs
 # for a short smoke budget; override FUZZTIME for longer campaigns.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet check bench fuzz-smoke sim recovery
+.PHONY: build test race vet check bench fuzz-smoke sim recovery byzantine
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ bench:
 
 fuzz-smoke:
 	$(GO) test ./internal/wire/ -fuzz FuzzMsgTxDeserialize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -fuzz FuzzReadMessage -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proof/ -fuzz FuzzProofDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/logic/ -fuzz FuzzLogicDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store/ -fuzz FuzzKVRecordDecode -fuzztime $(FUZZTIME)
@@ -46,3 +47,9 @@ recovery:
 # single seed; otherwise the built-in seed set runs.
 sim:
 	$(GO) test ./internal/p2p/ -race -run TestSim -count=1 -v
+
+# Byzantine-actor scenarios: five hostile peer classes (flooder,
+# garbage-sender, inv-spammer, block-withholder, equivocator) attack an
+# honest ring across five seeds. SIM_SEED=<n> replays a single seed.
+byzantine:
+	$(GO) test ./internal/netsim/ -race -run TestByzantineScenarios -count=1 -v

@@ -84,6 +84,9 @@ func run(args []string) int {
 	minConf := fs.Int("minconf", 1, "typecoin confirmation depth")
 	datadir := fs.String("datadir", "", "data directory for persistent state (empty = in-memory)")
 	audit := fs.Bool("audit", true, "run the from-genesis consistency audit on startup")
+	maxPeers := fs.Int("maxpeers", 0, "max inbound connections (0 = default)")
+	banThreshold := fs.Int("banthreshold", 0, "misbehavior score that bans a peer (0 = default)")
+	banDuration := fs.Duration("banduration", 0, "how long a triggered ban lasts (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -178,6 +181,19 @@ func run(args []string) int {
 	m := miner.New(ch, pool, clock.System{})
 	node := p2p.NewNode(ch, pool, log.New(os.Stderr, "p2p: ", log.LstdFlags))
 	node.SetLedger(ledger)
+	if *maxPeers > 0 || *banThreshold > 0 || *banDuration > 0 {
+		pol := p2p.DefaultPolicy()
+		if *maxPeers > 0 {
+			pol.MaxInbound = *maxPeers
+		}
+		if *banThreshold > 0 {
+			pol.BanThreshold = int32(*banThreshold)
+		}
+		if *banDuration > 0 {
+			pol.BanDuration = *banDuration
+		}
+		node.SetPolicy(pol)
+	}
 
 	if *listen != "" {
 		addr, err := node.Listen(*listen)

@@ -1,0 +1,49 @@
+package banscore
+
+import "time"
+
+// Bucket is a token bucket for per-peer rate limiting: capacity burst,
+// refilled at rate tokens per second. It is not self-locking — each
+// peer owns its buckets and takes from them on its own read loop, so
+// callers needing cross-goroutine access must wrap it.
+//
+// Refill is driven by the caller-supplied now, which under the
+// simulator is virtual time: a scenario that advances the clock slowly
+// while pumping frames exhausts the burst and starts reporting
+// violations, exactly the resource-bound behavior the adversarial
+// tests assert.
+type Bucket struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	level float64
+	last  time.Time
+}
+
+// NewBucket returns a full bucket. A non-positive rate or burst
+// disables limiting: Take always succeeds.
+func NewBucket(rate, burst float64) *Bucket {
+	return &Bucket{rate: rate, burst: burst, level: burst}
+}
+
+// Take refills for the elapsed time and consumes n tokens, reporting
+// whether the bucket held them. On failure nothing is consumed.
+func (b *Bucket) Take(now time.Time, n float64) bool {
+	if b.rate <= 0 || b.burst <= 0 {
+		return true
+	}
+	if b.last.IsZero() {
+		b.last = now
+	}
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.level += elapsed.Seconds() * b.rate
+		if b.level > b.burst {
+			b.level = b.burst
+		}
+	}
+	b.last = now
+	if b.level < n {
+		return false
+	}
+	b.level -= n
+	return true
+}

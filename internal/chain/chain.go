@@ -95,14 +95,64 @@ type Chain struct {
 	txToBlock     map[chainhash.Hash]txLoc            // main-chain txid -> location
 	mainChain     []*blockNode                        // by height
 	orphans       map[chainhash.Hash][]*wire.MsgBlock // parent hash -> waiting blocks
-	scriptWorkers int                                 // goroutines for block script checks; 0 = GOMAXPROCS
+	orphanIndex   map[chainhash.Hash]orphanMeta       // orphan hash -> metadata
+	orphanFIFO    []chainhash.Hash                    // orphan hashes in arrival order
+	orphanBytes   int64
+	maxOrphans    int   // cap on held orphan blocks (0 = default)
+	maxOrphanByte int64 // cap on total orphan bytes (0 = default)
+	scriptWorkers int   // goroutines for block script checks; 0 = GOMAXPROCS
 
 	subsMu sync.Mutex
 	subs   []func(Notification)
 }
 
+// orphanMeta locates one held orphan block for O(1) membership tests
+// and byte accounting during eviction.
+type orphanMeta struct {
+	parent chainhash.Hash
+	size   int64
+}
+
+// Orphan pool bounds: a peer can always fabricate valid-PoW blocks with
+// unknown parents (regtest difficulty is trivial; on mainnet withheld
+// side branches serve the same purpose), so the pool of parentless
+// blocks must be capped or it is a memory exhaustion vector.
+const (
+	DefaultMaxOrphans     = 64
+	DefaultMaxOrphanBytes = 4 << 20
+)
+
 // Params returns the chain's parameters.
 func (c *Chain) Params() *Params { return c.params }
+
+// Clock returns the chain's time source, shared with layers (p2p ban
+// bookkeeping, mempool fee floor decay) that must agree with the chain
+// about what "now" means — in simulation, virtual time.
+func (c *Chain) Clock() clock.Clock { return c.clock }
+
+// SetOrphanLimits overrides the orphan pool bounds. Non-positive values
+// restore the defaults. Lowering the limits takes effect on the next
+// orphan arrival.
+func (c *Chain) SetOrphanLimits(maxBlocks int, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxOrphans = maxBlocks
+	c.maxOrphanByte = maxBytes
+}
+
+// OrphanCount returns the number of held orphan blocks.
+func (c *Chain) OrphanCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.orphanIndex)
+}
+
+// OrphanBytes returns the serialized size of all held orphan blocks.
+func (c *Chain) OrphanBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.orphanBytes
+}
 
 // SigCache returns the signature verification cache so the mempool can
 // share it; may be nil.
@@ -198,7 +248,10 @@ func (c *Chain) processLocked(blk *wire.MsgBlock) (BlockStatus, []Notification, 
 	}
 	parent, ok := c.index[blk.Header.PrevBlock]
 	if !ok {
-		c.orphans[blk.Header.PrevBlock] = append(c.orphans[blk.Header.PrevBlock], blk)
+		if _, held := c.orphanIndex[hash]; held {
+			return StatusDuplicate, nil, nil
+		}
+		c.addOrphanLocked(hash, blk)
 		return StatusOrphan, nil, nil
 	}
 	status, events, err := c.acceptBlock(blk, parent)
@@ -219,17 +272,77 @@ func (c *Chain) adoptOrphans(parentHash chainhash.Hash) []Notification {
 		waiting := c.orphans[ph]
 		delete(c.orphans, ph)
 		for _, blk := range waiting {
+			h := blk.BlockHash()
+			if meta, held := c.orphanIndex[h]; held {
+				delete(c.orphanIndex, h)
+				c.orphanBytes -= meta.size
+			}
 			parent := c.index[ph]
 			if parent == nil {
 				continue
 			}
 			if _, evs, err := c.acceptBlock(blk, parent); err == nil {
 				events = append(events, evs...)
-				queue = append(queue, blk.BlockHash())
+				queue = append(queue, h)
 			}
 		}
 	}
 	return events
+}
+
+// addOrphanLocked holds a parentless block, evicting oldest-first past
+// the pool bounds.
+func (c *Chain) addOrphanLocked(hash chainhash.Hash, blk *wire.MsgBlock) {
+	parent := blk.Header.PrevBlock
+	size := int64(len(blk.Bytes()))
+	c.orphans[parent] = append(c.orphans[parent], blk)
+	c.orphanIndex[hash] = orphanMeta{parent: parent, size: size}
+	c.orphanFIFO = append(c.orphanFIFO, hash)
+	c.orphanBytes += size
+
+	maxN, maxB := c.maxOrphans, c.maxOrphanByte
+	if maxN <= 0 {
+		maxN = DefaultMaxOrphans
+	}
+	if maxB <= 0 {
+		maxB = DefaultMaxOrphanBytes
+	}
+	for (len(c.orphanIndex) > maxN || c.orphanBytes > maxB) && len(c.orphanFIFO) > 0 {
+		h := c.orphanFIFO[0]
+		c.orphanFIFO = c.orphanFIFO[1:]
+		meta, held := c.orphanIndex[h]
+		if !held {
+			continue // already adopted; stale FIFO entry
+		}
+		c.removeOrphanLocked(h, meta)
+	}
+	// Compact stale FIFO entries (orphans adopted out of order) so the
+	// queue cannot grow without bound relative to the pool.
+	if len(c.orphanFIFO) > 4*len(c.orphanIndex)+16 {
+		live := c.orphanFIFO[:0]
+		for _, h := range c.orphanFIFO {
+			if _, held := c.orphanIndex[h]; held {
+				live = append(live, h)
+			}
+		}
+		c.orphanFIFO = live
+	}
+}
+
+// removeOrphanLocked drops one held orphan block.
+func (c *Chain) removeOrphanLocked(hash chainhash.Hash, meta orphanMeta) {
+	delete(c.orphanIndex, hash)
+	c.orphanBytes -= meta.size
+	waiting := c.orphans[meta.parent]
+	for i, b := range waiting {
+		if b.BlockHash() == hash {
+			c.orphans[meta.parent] = append(waiting[:i], waiting[i+1:]...)
+			break
+		}
+	}
+	if len(c.orphans[meta.parent]) == 0 {
+		delete(c.orphans, meta.parent)
+	}
 }
 
 // acceptBlock adds a block whose parent is known.
@@ -678,14 +791,8 @@ func (c *Chain) HaveBlock(h chainhash.Hash) bool {
 	if _, ok := c.index[h]; ok {
 		return true
 	}
-	for _, blks := range c.orphans {
-		for _, b := range blks {
-			if b.BlockHash() == h {
-				return true
-			}
-		}
-	}
-	return false
+	_, held := c.orphanIndex[h]
+	return held
 }
 
 // Locator builds a block locator for the main chain: recent hashes

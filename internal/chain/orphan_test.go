@@ -1,0 +1,84 @@
+package chain
+
+import "testing"
+
+// TestOrphanPoolBounded feeds a long run of parentless blocks and checks
+// the orphan pool caps at its block limit, evicts oldest-first, and
+// still lets the chain catch up once the missing span arrives.
+func TestOrphanPoolBounded(t *testing.T) {
+	donor, dclk := newTestChain(t)
+	blocks := extend(t, donor, dclk, 10, 0)
+
+	c, _ := newTestChain(t)
+	c.SetOrphanLimits(4, 1<<20)
+
+	// Blocks 2..10 all miss their parents: every one is an orphan, and
+	// the pool never exceeds the cap.
+	for i, blk := range blocks[1:] {
+		status, err := c.ProcessBlock(blk)
+		if err != nil {
+			t.Fatalf("orphan %d: %v", i+2, err)
+		}
+		if status != StatusOrphan {
+			t.Fatalf("orphan %d: status %v, want orphan", i+2, status)
+		}
+		if got := c.OrphanCount(); got > 4 {
+			t.Fatalf("after orphan %d: pool holds %d blocks, cap 4", i+2, got)
+		}
+	}
+	if got := c.OrphanCount(); got != 4 {
+		t.Fatalf("pool holds %d orphans, want the 4 newest", got)
+	}
+
+	// Oldest-first eviction: blocks 2..6 are gone, so connecting block 1
+	// adopts nothing and the held tail (7..10) stays orphaned.
+	if status, err := c.ProcessBlock(blocks[0]); err != nil || status != StatusMainChain {
+		t.Fatalf("block 1: status %v err %v", status, err)
+	}
+	if got := c.BestHeight(); got != 1 {
+		t.Fatalf("height %d after block 1, want 1 (2..6 were evicted)", got)
+	}
+	if got := c.OrphanCount(); got != 4 {
+		t.Fatalf("pool holds %d orphans after block 1, want 4", got)
+	}
+
+	// Re-feeding the evicted span adopts the held tail: full catch-up.
+	for i, blk := range blocks[1:6] {
+		if _, err := c.ProcessBlock(blk); err != nil {
+			t.Fatalf("refeed block %d: %v", i+2, err)
+		}
+	}
+	if got := c.BestHeight(); got != 10 {
+		t.Fatalf("height %d after refeed, want 10", got)
+	}
+	if got := c.OrphanCount(); got != 0 {
+		t.Fatalf("pool holds %d orphans after catch-up, want 0", got)
+	}
+	if got := c.OrphanBytes(); got != 0 {
+		t.Fatalf("pool accounts %d orphan bytes after catch-up, want 0", got)
+	}
+}
+
+// TestOrphanPoolByteBound checks the byte cap binds independently of the
+// block-count cap.
+func TestOrphanPoolByteBound(t *testing.T) {
+	donor, dclk := newTestChain(t)
+	blocks := extend(t, donor, dclk, 6, 0)
+
+	c, _ := newTestChain(t)
+	// Room for two typical orphans, generous block-count cap.
+	cap2 := int64(len(blocks[1].Bytes())*2 + 1)
+	c.SetOrphanLimits(100, cap2)
+
+	for i, blk := range blocks[1:] {
+		if _, err := c.ProcessBlock(blk); err != nil {
+			t.Fatalf("orphan %d: %v", i+2, err)
+		}
+		if got := c.OrphanBytes(); got > cap2 {
+			t.Fatalf("after orphan %d: pool accounts %d bytes, cap %d", i+2, got, cap2)
+		}
+	}
+	if got := c.OrphanCount(); got != 2 {
+		t.Fatalf("pool holds %d orphans, want 2 under the byte cap", got)
+	}
+}

@@ -376,6 +376,7 @@ func Open(cfg Config) (*Chain, error) {
 		spent:     make(map[wire.OutPoint]SpendRecord),
 		txToBlock: make(map[chainhash.Hash]txLoc),
 		orphans:   make(map[chainhash.Hash][]*wire.MsgBlock),
+		orphanIndex: make(map[chainhash.Hash]orphanMeta),
 	}
 	if n, err := strconv.Atoi(os.Getenv("TYPECOIN_SCRIPT_WORKERS")); err == nil && n > 0 {
 		c.scriptWorkers = n

@@ -1,0 +1,120 @@
+package mempool_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"typecoin/internal/mempool"
+	"typecoin/internal/script"
+	"typecoin/internal/testutil"
+	"typecoin/internal/wallet"
+	"typecoin/internal/wire"
+)
+
+// TestMempoolCapEvictsLowestFeeRate fills a capped pool and checks that
+// a better-paying newcomer evicts the lowest fee-rate transaction, that
+// the eviction raises a fee floor rejecting the evicted rate, and that
+// the floor decays back to zero.
+func TestMempoolCapEvictsLowestFeeRate(t *testing.T) {
+	h := testutil.NewHarness(t, t.Name())
+	// Enough mature coinbases for eight independent spends.
+	h.MineBlocks(t, h.Params.CoinbaseMaturity+8)
+	h.Pool.SetLimits(5, 16<<20)
+
+	dest, err := h.Wallet.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := make([]*wire.MsgTx, 8)
+	for i := range txs {
+		// Strictly increasing absolute fees on near-identical
+		// transactions: index order is fee-rate order.
+		tx, err := h.Wallet.Build([]wallet.Output{
+			{Value: 1_000_000, PkScript: script.PayToPubKeyHash(dest)},
+		}, wallet.BuildOptions{Fee: int64(50_000 + i*25_000)})
+		if err != nil {
+			t.Fatalf("build tx %d: %v", i, err)
+		}
+		txs[i] = tx
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := h.Pool.Accept(txs[i]); err != nil {
+			t.Fatalf("accept tx %d: %v", i, err)
+		}
+	}
+	if got := h.Pool.Size(); got != 5 {
+		t.Fatalf("pool size %d, want 5", got)
+	}
+	if got := h.Pool.Bytes(); got <= 0 {
+		t.Fatalf("pool byte accounting %d, want positive", got)
+	}
+
+	// A better-paying newcomer displaces the cheapest resident.
+	if _, err := h.Pool.Accept(txs[5]); err != nil {
+		t.Fatalf("accept displacing tx: %v", err)
+	}
+	if got := h.Pool.Size(); got != 5 {
+		t.Fatalf("pool size %d after displacement, want 5", got)
+	}
+	if h.Pool.Have(txs[0].TxHash()) {
+		t.Fatal("lowest fee-rate tx still pooled after displacement")
+	}
+	if !h.Pool.Have(txs[5].TxHash()) {
+		t.Fatal("displacing tx not pooled")
+	}
+
+	// The eviction raised a dynamic floor: the evicted rate is now
+	// refused outright, without touching the pool.
+	if _, err := h.Pool.Accept(txs[0]); !errors.Is(err, mempool.ErrMempoolFull) {
+		t.Fatalf("re-offering evicted rate: err %v, want ErrMempoolFull", err)
+	}
+	if got := h.Pool.FeeFloor(); got <= 0 {
+		t.Fatalf("fee floor %d after eviction, want positive", got)
+	}
+
+	// The floor decays: after enough half-lives it is gone.
+	h.Clock.Advance(2 * time.Hour)
+	if got := h.Pool.FeeFloor(); got != 0 {
+		t.Fatalf("fee floor %d after 2h decay, want 0", got)
+	}
+}
+
+// TestMempoolByteCap checks the byte bound evicts independently of the
+// transaction-count bound.
+func TestMempoolByteCap(t *testing.T) {
+	h := testutil.NewHarness(t, t.Name())
+	h.MineBlocks(t, h.Params.CoinbaseMaturity+4)
+
+	dest, err := h.Wallet.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var built []*wire.MsgTx
+	for i := 0; i < 4; i++ {
+		tx, err := h.Wallet.Build([]wallet.Output{
+			{Value: 1_000_000, PkScript: script.PayToPubKeyHash(dest)},
+		}, wallet.BuildOptions{Fee: int64(50_000 + i*25_000)})
+		if err != nil {
+			t.Fatalf("build tx %d: %v", i, err)
+		}
+		built = append(built, tx)
+	}
+	// Cap at two typical transactions, generous count cap.
+	capBytes := int64(built[0].SerializeSize()*2 + 1)
+	h.Pool.SetLimits(1000, capBytes)
+
+	for i, tx := range built {
+		_, err := h.Pool.Accept(tx)
+		if err != nil && !errors.Is(err, mempool.ErrMempoolFull) {
+			t.Fatalf("accept tx %d: %v", i, err)
+		}
+		if got := h.Pool.Bytes(); got > capBytes {
+			t.Fatalf("after tx %d: pool accounts %d bytes, cap %d", i, got, capBytes)
+		}
+	}
+	if got := h.Pool.Size(); got > 2 {
+		t.Fatalf("pool holds %d txs, want at most 2 under byte cap", got)
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"typecoin/internal/chain"
 	"typecoin/internal/chainhash"
+	"typecoin/internal/clock"
 	"typecoin/internal/script"
 	"typecoin/internal/wire"
 )
@@ -27,6 +29,11 @@ var (
 	ErrOrphanTx       = errors.New("mempool: references unknown outputs")
 	ErrFeeTooLow      = errors.New("mempool: fee below relay minimum")
 	ErrCoinbaseInPool = errors.New("mempool: coinbase transactions are not relayable")
+	// ErrMempoolFull rejects a transaction whose fee rate does not beat
+	// the eviction floor of a pool at capacity. Like the other policy
+	// errors it carries no misbehavior implication: honest wallets hit it
+	// under load.
+	ErrMempoolFull = errors.New("mempool: pool full, fee rate below floor")
 )
 
 // DefaultMinRelayFee is the minimum fee in satoshi per transaction. The
@@ -34,6 +41,19 @@ var (
 // uses this constant as the per-transaction cost that batch mode
 // amortizes.
 const DefaultMinRelayFee = 50_000 // 0.0005 BTC in satoshi
+
+// Pool capacity defaults: a transaction flood (valid, fee-paying spam)
+// must not exhaust memory, so past these bounds the lowest-fee-rate
+// transactions are evicted and a dynamic fee floor rises behind them.
+const (
+	DefaultMaxPoolTxs   = 20_000
+	DefaultMaxPoolBytes = 16 << 20
+	// floorIncrement is added (in satoshi per kB) above the evicted fee
+	// rate, so a replacement must strictly beat what was thrown away.
+	floorIncrement = 1_000
+	// floorHalfLife halves the dynamic floor as pressure subsides.
+	floorHalfLife = 10 * time.Minute
+)
 
 // poolTx is one pooled transaction with cached metadata.
 type poolTx struct {
@@ -48,11 +68,17 @@ type poolTx struct {
 type Pool struct {
 	chain       *chain.Chain
 	minRelayFee int64
+	clk         clock.Clock
 
-	mu      sync.RWMutex
-	pool    map[chainhash.Hash]*poolTx
-	spends  map[wire.OutPoint]chainhash.Hash // outpoint -> pooled spender
-	nextSeq uint64
+	mu       sync.RWMutex
+	pool     map[chainhash.Hash]*poolTx
+	spends   map[wire.OutPoint]chainhash.Hash // outpoint -> pooled spender
+	nextSeq  uint64
+	bytes    int64 // serialized size of all pooled transactions
+	maxTxs   int   // 0 = default
+	maxBytes int64 // 0 = default
+	feeFloor int64 // dynamic floor in satoshi per kB; 0 = inactive
+	floorAt  time.Time
 }
 
 // New creates a pool. A negative minRelayFee selects the default.
@@ -63,11 +89,106 @@ func New(c *chain.Chain, minRelayFee int64) *Pool {
 	p := &Pool{
 		chain:       c,
 		minRelayFee: minRelayFee,
+		clk:         c.Clock(),
 		pool:        make(map[chainhash.Hash]*poolTx),
 		spends:      make(map[wire.OutPoint]chainhash.Hash),
 	}
 	c.Subscribe(p.onChainChange)
 	return p
+}
+
+// SetLimits overrides the pool capacity bounds. Non-positive values
+// restore the defaults. Shrinking the limits takes effect on the next
+// admission.
+func (p *Pool) SetLimits(maxTxs int, maxBytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.maxTxs = maxTxs
+	p.maxBytes = maxBytes
+}
+
+// Bytes returns the serialized size of the pooled transactions.
+func (p *Pool) Bytes() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.bytes
+}
+
+// FeeFloor returns the current dynamic fee floor in satoshi per kB
+// (zero when the pool has not recently evicted for capacity).
+func (p *Pool) FeeFloor() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.floorLocked(p.clk.Now())
+}
+
+// floorLocked returns the decayed dynamic floor, halving per
+// floorHalfLife elapsed since it was last raised.
+func (p *Pool) floorLocked(now time.Time) int64 {
+	if p.feeFloor <= 0 {
+		return 0
+	}
+	steps := int64(0)
+	if elapsed := now.Sub(p.floorAt); elapsed > 0 {
+		steps = int64(elapsed / floorHalfLife)
+	}
+	if steps > 0 {
+		if steps > 62 {
+			steps = 62
+		}
+		p.feeFloor >>= uint(steps)
+		p.floorAt = p.floorAt.Add(time.Duration(steps) * floorHalfLife)
+		if p.feeFloor < floorIncrement {
+			p.feeFloor = 0
+		}
+	}
+	return p.feeFloor
+}
+
+// feeRate is satoshi per kB.
+func feeRate(fee int64, size int) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return fee * 1000 / int64(size)
+}
+
+// enforceLimitsLocked evicts lowest-fee-rate transactions (descendants
+// cascade with them) until the pool fits its bounds, raising the
+// dynamic floor past each evicted rate.
+func (p *Pool) enforceLimitsLocked(now time.Time) {
+	maxTxs, maxBytes := p.maxTxs, p.maxBytes
+	if maxTxs <= 0 {
+		maxTxs = DefaultMaxPoolTxs
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxPoolBytes
+	}
+	for len(p.pool) > maxTxs || p.bytes > maxBytes {
+		var victim *poolTx
+		var victimID chainhash.Hash
+		for txid, ptx := range p.pool {
+			if victim == nil {
+				victim, victimID = ptx, txid
+				continue
+			}
+			// Lowest fee rate first; oldest admission breaks ties, so the
+			// scan is deterministic despite map order.
+			fi := ptx.fee * int64(victim.size)
+			fj := victim.fee * int64(ptx.size)
+			if fi < fj || (fi == fj && ptx.seq < victim.seq) {
+				victim, victimID = ptx, txid
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if floor := feeRate(victim.fee, victim.size) + floorIncrement; floor > p.floorLocked(now) {
+			p.feeFloor = floor
+			p.floorAt = now
+		}
+		p.removeLocked(victimID)
+	}
 }
 
 // Accept validates tx against the chain and pool policy and admits it.
@@ -127,6 +248,12 @@ func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
 	if fee < p.minRelayFee {
 		return 0, fmt.Errorf("%w: fee %d < %d", ErrFeeTooLow, fee, p.minRelayFee)
 	}
+	size := tx.SerializeSize()
+	now := p.clk.Now()
+	if floor := p.floorLocked(now); floor > 0 && feeRate(fee, size) < floor {
+		return 0, fmt.Errorf("%w: fee rate %d/kB < floor %d/kB",
+			ErrMempoolFull, feeRate(fee, size), floor)
+	}
 
 	// Verify every input script, recording successful signature checks in
 	// the chain's shared cache so block connect can skip the ECDSA work
@@ -137,10 +264,19 @@ func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
 		}
 	}
 
-	p.pool[txid] = &poolTx{tx: tx, fee: fee, size: tx.SerializeSize(), seq: p.nextSeq}
+	p.pool[txid] = &poolTx{tx: tx, fee: fee, size: size, seq: p.nextSeq}
 	p.nextSeq++
+	p.bytes += int64(size)
 	for _, in := range tx.TxIn {
 		p.spends[in.PreviousOutPoint] = txid
+	}
+	// Capacity: evict lowest-fee-rate transactions past the bounds. The
+	// newcomer itself may lose that contest, in which case admission
+	// fails with the floor it would have to beat.
+	p.enforceLimitsLocked(now)
+	if _, stillIn := p.pool[txid]; !stillIn {
+		return 0, fmt.Errorf("%w: fee rate %d/kB evicted at capacity",
+			ErrMempoolFull, feeRate(fee, size))
 	}
 	return fee, nil
 }
@@ -269,6 +405,7 @@ func (p *Pool) removeLocked(txid chainhash.Hash) {
 		return
 	}
 	delete(p.pool, txid)
+	p.bytes -= int64(ptx.size)
 	for _, in := range ptx.tx.TxIn {
 		if p.spends[in.PreviousOutPoint] == txid {
 			delete(p.spends, in.PreviousOutPoint)

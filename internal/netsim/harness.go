@@ -38,6 +38,22 @@ type Harness struct {
 	base   time.Time // virtual time origin for the block schedule
 	blocks int       // global mined-block counter
 	edges  [][2]int  // dialed topology (from, to), for reconnects
+
+	// bounds holds the resource limits configured by SetDefense, for
+	// AssertBounds; nil until SetDefense is called.
+	bounds *Bounds
+}
+
+// Bounds are the resource limits a defended scenario enforces on every
+// node. AssertBounds checks they were never exceeded (the underlying
+// mechanisms cap continuously, so observing compliance at any instant
+// plus the mechanisms' own tests covers the invariant).
+type Bounds struct {
+	MaxOrphans     int
+	MaxOrphanBytes int64
+	MaxPoolTxs     int
+	MaxPoolBytes   int64
+	MaxPeers       int // total peers per node, inbound plus outbound
 }
 
 // NewHarness builds n nodes over a fresh Network with the given seed and
@@ -86,6 +102,47 @@ func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
 		}
 	})
 	return h
+}
+
+// SetDefense applies an adversarial-defense policy and resource bounds
+// to every node in the harness. Call it before (or after) connecting;
+// policies take effect for new penalties immediately.
+func (h *Harness) SetDefense(pol p2p.Policy, b Bounds) {
+	h.bounds = &b
+	for _, node := range h.Nodes {
+		node.SetPolicy(pol)
+		node.Chain().SetOrphanLimits(b.MaxOrphans, b.MaxOrphanBytes)
+		node.Pool().SetLimits(b.MaxPoolTxs, b.MaxPoolBytes)
+	}
+}
+
+// AssertBounds fails the test if any node currently exceeds the resource
+// bounds configured by SetDefense. Safe to call repeatedly, including
+// inside WaitFor conditions, to sample the invariant throughout a
+// scenario.
+func (h *Harness) AssertBounds() {
+	h.T.Helper()
+	if h.bounds == nil {
+		h.T.Fatalf("AssertBounds called without SetDefense")
+	}
+	b := h.bounds
+	for i, node := range h.Nodes {
+		if got := node.Chain().OrphanCount(); got > b.MaxOrphans {
+			h.T.Fatalf("node %d holds %d orphans, bound %d", i, got, b.MaxOrphans)
+		}
+		if got := node.Chain().OrphanBytes(); got > b.MaxOrphanBytes {
+			h.T.Fatalf("node %d holds %d orphan bytes, bound %d", i, got, b.MaxOrphanBytes)
+		}
+		if got := node.Pool().Size(); got > b.MaxPoolTxs {
+			h.T.Fatalf("node %d pools %d txs, bound %d", i, got, b.MaxPoolTxs)
+		}
+		if got := node.Pool().Bytes(); got > b.MaxPoolBytes {
+			h.T.Fatalf("node %d pools %d tx bytes, bound %d", i, got, b.MaxPoolBytes)
+		}
+		if got := node.PeerCount(); got > b.MaxPeers {
+			h.T.Fatalf("node %d has %d peers, bound %d", i, got, b.MaxPeers)
+		}
+	}
 }
 
 // Host names node i on the simulated network.

@@ -2,14 +2,17 @@ package p2p
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
 	"time"
 
+	"typecoin/internal/banscore"
 	"typecoin/internal/chain"
 	"typecoin/internal/chainhash"
+	"typecoin/internal/clock"
 	"typecoin/internal/mempool"
 	"typecoin/internal/typecoin"
 	"typecoin/internal/wire"
@@ -36,6 +39,7 @@ type Node struct {
 	magic     uint32
 	logger    *log.Logger
 	transport Transport
+	clk       clock.Clock
 
 	// Tunables, fixed before Listen/Dial (setters below).
 	sendTimeout      time.Duration
@@ -52,7 +56,26 @@ type Node struct {
 	quit     chan struct{}
 	wg       sync.WaitGroup
 	stopped  bool
+	policy   Policy
+	scores   *banscore.Keeper
+
+	// orphanSrc remembers which address delivered each orphan block so
+	// orphans that never connect are charged back to their source.
+	orphMu        sync.Mutex
+	orphanSrc     map[chainhash.Hash]orphanSource
+	orphanSweepAt time.Time
 }
+
+// orphanSource attributes one held orphan block.
+type orphanSource struct {
+	addr string
+	at   time.Time
+}
+
+// maxTrackedOrphanSources bounds the orphan attribution table; past it,
+// new orphans simply go unattributed (the chain's own orphan pool is
+// bounded independently).
+const maxTrackedOrphanSources = 1024
 
 // NewNode creates a node over an existing chain and pool. logger may be
 // nil to disable logging.
@@ -63,6 +86,7 @@ func NewNode(c *chain.Chain, pool *mempool.Pool, logger *log.Logger) *Node {
 		magic:            c.Params().Magic,
 		logger:           logger,
 		transport:        tcpTransport{},
+		clk:              c.Clock(),
 		sendTimeout:      5 * time.Second,
 		handshakeTimeout: 10 * time.Second,
 		redialAttempts:   6,
@@ -70,9 +94,123 @@ func NewNode(c *chain.Chain, pool *mempool.Pool, logger *log.Logger) *Node {
 		peers:            make(map[int]*Peer),
 		dialing:          make(map[string]bool),
 		quit:             make(chan struct{}),
+		policy:           DefaultPolicy(),
+		orphanSrc:        make(map[chainhash.Hash]orphanSource),
 	}
+	n.scores = n.newKeeper(n.policy)
 	c.Subscribe(n.onChainChange)
 	return n
+}
+
+// newKeeper builds the misbehavior keeper for pol, loading the
+// persisted ban table from the chain's store.
+func (n *Node) newKeeper(pol Policy) *banscore.Keeper {
+	k := banscore.New(n.clk, banscore.Config{
+		Threshold:   pol.BanThreshold,
+		BanDuration: pol.BanDuration,
+		HalfLife:    pol.ScoreHalfLife,
+	})
+	if st := n.chain.Store(); st != nil {
+		if err := k.AttachStore(st); err != nil {
+			n.logf("ban table load: %v", err)
+		}
+	}
+	return k
+}
+
+// SetPolicy replaces the defense policy. Zero fields keep their
+// defaults. Rate buckets of already-connected peers are unchanged; the
+// scoring keeper is rebuilt (reloading persisted bans), so configure
+// before connecting when scores must carry over.
+func (n *Node) SetPolicy(pol Policy) {
+	pol = pol.withDefaults()
+	k := n.newKeeper(pol)
+	n.mu.Lock()
+	n.policy = pol
+	n.scores = k
+	n.mu.Unlock()
+}
+
+// getPolicy returns the current policy.
+func (n *Node) getPolicy() Policy {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.policy
+}
+
+// keeper returns the current misbehavior keeper.
+func (n *Node) keeper() *banscore.Keeper {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.scores
+}
+
+// addrKeyOf reduces a network address to its scoring/ban key: the host,
+// so reconnects from new ephemeral ports accumulate on one score.
+func addrKeyOf(addr string) string {
+	if host, _, err := net.SplitHostPort(addr); err == nil && host != "" {
+		return host
+	}
+	return addr
+}
+
+// IsBanned reports whether addr's host is currently banned.
+func (n *Node) IsBanned(addr string) bool {
+	return n.keeper().IsBanned(addrKeyOf(addr))
+}
+
+// Ban bans addr's host for d (the policy duration when d <= 0) and
+// disconnects any current peers from it.
+func (n *Node) Ban(addr string, d time.Duration) {
+	key := addrKeyOf(addr)
+	n.keeper().Ban(key, d)
+	n.disconnectAddr(key)
+}
+
+// Unban lifts a ban.
+func (n *Node) Unban(addr string) { n.keeper().Unban(addrKeyOf(addr)) }
+
+// BanScore returns addr's current decayed misbehavior score.
+func (n *Node) BanScore(addr string) int32 {
+	return n.keeper().Score(addrKeyOf(addr))
+}
+
+// disconnectAddr closes every live peer scored under key.
+func (n *Node) disconnectAddr(key string) {
+	var victims []*Peer
+	n.mu.Lock()
+	for _, p := range n.peers {
+		if p.addrKey == key {
+			victims = append(victims, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range victims {
+		p.close()
+	}
+}
+
+// penalize charges points against p's address. When the score crosses
+// the ban threshold every connection from that address is dropped and
+// banned=true is returned.
+func (n *Node) penalize(p *Peer, points int32, reason string) bool {
+	if p.addrKey == "" {
+		return false
+	}
+	return n.penalizeAddr(p.addrKey, points, reason)
+}
+
+// penalizeAddr is penalize for addresses without a live peer (e.g. the
+// source of an expired orphan that has since disconnected).
+func (n *Node) penalizeAddr(key string, points int32, reason string) bool {
+	score, banned := n.keeper().Penalize(key, points)
+	if !banned {
+		n.logf("peer %s: misbehavior +%d (%s), score %d", key, points, reason, score)
+		return false
+	}
+	n.logf("peer %s: banned (score %d crossed threshold; last offense: %s)", key, score, reason)
+	n.disconnectAddr(key)
+	return true
 }
 
 // SetTransport replaces the transport. Call before Listen or Dial.
@@ -129,6 +267,20 @@ func (n *Node) PeerCount() int {
 	return len(n.peers)
 }
 
+// PeerCounts returns the live inbound and outbound peer counts.
+func (n *Node) PeerCounts() (inbound, outbound int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		if p.inbound {
+			inbound++
+		} else {
+			outbound++
+		}
+	}
+	return inbound, outbound
+}
+
 // HasPeerAddr reports whether a live peer was dialed at addr (inbound
 // peers have no dial address).
 func (n *Node) HasPeerAddr(addr string) bool {
@@ -144,22 +296,92 @@ func (n *Node) HasPeerAddr(addr string) bool {
 
 // addConn starts the message loops for a new connection. dialAddr is
 // non-empty for outbound connections and enables redial on failure.
+// Banned addresses, peers beyond the inbound/outbound caps, and
+// duplicate connections are refused here — the single choke point for
+// accept, dial, redial and pipe connections alike.
 func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
+	inbound := dialAddr == ""
+	raw := dialAddr
+	if inbound {
+		if ra := conn.RemoteAddr(); ra != nil {
+			raw = ra.String()
+		}
+	}
+	key := addrKeyOf(raw)
+
 	n.mu.Lock()
 	if n.stopped {
 		n.mu.Unlock()
 		conn.Close()
 		return nil
 	}
+	pol := n.policy
+	if key != "" && n.scores.IsBanned(key) {
+		n.mu.Unlock()
+		n.logf("refusing connection: %s is banned", key)
+		conn.Close()
+		return nil
+	}
+	// evict, when set, is an older connection this one supersedes.
+	var evict *Peer
+	if inbound {
+		count := 0
+		for _, q := range n.peers {
+			if q.inbound {
+				count++
+			}
+			// A second inbound connection from the same host supersedes
+			// the first: after a crash or network break the remote
+			// redials before this side notices the old conn is dead, so
+			// keeping the old one would wedge the reconnect. net.Pipe
+			// connections all share the "pipe" address and are exempt.
+			if evict == nil && q.inbound && key != "" && key != "pipe" && q.addrKey == key {
+				evict = q
+			}
+		}
+		if evict == nil && count >= pol.MaxInbound {
+			n.mu.Unlock()
+			n.logf("refusing inbound %s: at cap %d", key, pol.MaxInbound)
+			conn.Close()
+			return nil
+		}
+	} else {
+		count := 0
+		dup := false
+		for _, q := range n.peers {
+			if !q.inbound {
+				count++
+			}
+			if q.dialAddr == dialAddr {
+				dup = true
+			}
+		}
+		if dup || count >= pol.MaxOutbound {
+			n.mu.Unlock()
+			if dup {
+				n.logf("refusing duplicate dial to %s", dialAddr)
+			} else {
+				n.logf("refusing dial to %s: at cap %d", dialAddr, pol.MaxOutbound)
+			}
+			conn.Close()
+			return nil
+		}
+	}
 	id := n.nextID
 	n.nextID++
-	p := newPeer(n, conn, id)
+	p := newPeer(n, conn, id, pol, n.clk.Now())
 	p.dialAddr = dialAddr
+	p.addrKey = key
+	p.inbound = inbound
 	n.peers[id] = p
 	// Registering the loops while holding n.mu (with stopped false)
 	// orders the Add before Stop's Wait.
 	n.wg.Add(2)
 	n.mu.Unlock()
+	if evict != nil {
+		n.logf("inbound %s supersedes peer %d", key, evict.id)
+		evict.close()
+	}
 
 	go func() {
 		defer n.wg.Done()
@@ -198,7 +420,8 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 func (n *Node) dropPeer(p *Peer) {
 	n.mu.Lock()
 	delete(n.peers, p.id)
-	redial := p.dialAddr != "" && !n.stopped && n.redialAttempts > 0 && !n.dialing[p.dialAddr]
+	redial := p.dialAddr != "" && !n.stopped && n.redialAttempts > 0 && !n.dialing[p.dialAddr] &&
+		!n.scores.IsBanned(addrKeyOf(p.dialAddr))
 	if redial {
 		n.dialing[p.dialAddr] = true
 		// Safe: the first close of a peer always happens while at least
@@ -229,6 +452,13 @@ func (n *Node) redial(addr string) {
 		case <-time.After(backoff):
 		}
 		backoff *= 2
+		// A ban (imposed locally at any point) permanently ends the
+		// redial loop: reconnecting to a misbehaving address would just
+		// re-open the attack surface.
+		if n.keeper().IsBanned(addrKeyOf(addr)) {
+			n.logf("redial %s: address banned, giving up", addr)
+			return
+		}
 		conn, err := n.transport.Dial(addr)
 		if err != nil {
 			n.logf("redial %s attempt %d/%d: %v", addr, attempt, n.redialAttempts, err)
@@ -287,6 +517,9 @@ func (n *Node) Listen(addr string) (string, error) {
 // is remembered: if the connection later fails mid-stream, the node
 // redials it with bounded backoff.
 func (n *Node) Dial(addr string) error {
+	if n.keeper().IsBanned(addrKeyOf(addr)) {
+		return fmt.Errorf("p2p: dial %s: address is banned", addr)
+	}
 	conn, err := n.transport.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("p2p: dial %s: %w", addr, err)
@@ -340,16 +573,117 @@ func (n *Node) readLoop(p *Peer) {
 	for {
 		msg, err := wire.ReadMessage(p.conn, n.magic)
 		if err != nil {
+			// Wire-level framing garbage is peer-attributable but scored
+			// low: on a lossy link honest peers' frames arrive corrupted
+			// too. A clean EOF or transport error scores nothing.
+			if errors.Is(err, wire.ErrBadMagic) || errors.Is(err, wire.ErrBadChecksum) ||
+				errors.Is(err, wire.ErrPayloadTooLarge) {
+				n.penalize(p, n.getPolicy().PenaltyFrame, err.Error())
+			}
 			return
+		}
+		pol := n.getPolicy()
+		now := n.clk.Now()
+		if !p.takeTokens(now, 24+len(msg.Payload)) {
+			// Drop the frame unprocessed; repeated violations ban.
+			if n.penalize(p, pol.PenaltyRateLimit, "rate limit exceeded") {
+				return
+			}
+			continue
 		}
 		if err := n.handleMessage(p, msg); err != nil {
 			n.logf("peer %d: %s: %v", p.id, msg.Command, err)
 			return
 		}
+		if stalls := p.sweep(now, pol); stalls > 0 {
+			// The peer advertised data it never served: charge it and
+			// rotate the sync to the remaining peers.
+			if !n.penalize(p, pol.PenaltyStall, "sync stall") {
+				n.rotateSync(p)
+			}
+		}
+		n.sweepOrphans(now, pol)
 	}
 }
 
+// rotateSync re-requests blocks from every peer except the stalled one.
+func (n *Node) rotateSync(except *Peer) {
+	payload := wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)
+	for _, p := range n.peerSnapshot(except) {
+		if err := p.send(wire.CmdGetBlocks, payload); err != nil {
+			n.logf("rotate sync to peer %d: %v", p.id, err)
+		}
+	}
+}
+
+// noteOrphan attributes an orphan block to the peer that delivered it;
+// sweepOrphans charges the source if it never connects.
+func (n *Node) noteOrphan(h chainhash.Hash, p *Peer) {
+	if p.addrKey == "" {
+		return
+	}
+	n.orphMu.Lock()
+	defer n.orphMu.Unlock()
+	if len(n.orphanSrc) >= maxTrackedOrphanSources {
+		return
+	}
+	if _, ok := n.orphanSrc[h]; !ok {
+		n.orphanSrc[h] = orphanSource{addr: p.addrKey, at: n.clk.Now()}
+	}
+}
+
+// sweepOrphans drops attribution rows for orphans that connected and
+// penalizes sources of orphans that expired without ever connecting.
+func (n *Node) sweepOrphans(now time.Time, pol Policy) {
+	n.orphMu.Lock()
+	if len(n.orphanSrc) == 0 ||
+		(!n.orphanSweepAt.IsZero() && now.Sub(n.orphanSweepAt) < pol.OrphanExpiry/4) {
+		n.orphMu.Unlock()
+		return
+	}
+	n.orphanSweepAt = now
+	var resolved []chainhash.Hash
+	var punish []string
+	for h, src := range n.orphanSrc {
+		// BlockByHash sees only connected blocks (main or side), not the
+		// orphan pool: presence means the ancestry arrived.
+		if _, connected := n.chain.BlockByHash(h); connected {
+			resolved = append(resolved, h)
+			continue
+		}
+		if now.Sub(src.at) >= pol.OrphanExpiry {
+			resolved = append(resolved, h)
+			punish = append(punish, src.addr)
+		}
+	}
+	for _, h := range resolved {
+		delete(n.orphanSrc, h)
+	}
+	n.orphMu.Unlock()
+	for _, addr := range punish {
+		n.penalizeAddr(addr, pol.PenaltyOrphan, "orphan block never connected")
+	}
+}
+
+// isTxPenaltyWorthy classifies a mempool rejection: policy rejections
+// honest relays produce under races, partitions and load (duplicates,
+// orphans, pool conflicts, fee policy) are free; anything else —
+// sanity, script, value violations — cannot come from an honest peer.
+func isTxPenaltyWorthy(err error) bool {
+	switch {
+	case errors.Is(err, mempool.ErrAlreadyKnown),
+		errors.Is(err, mempool.ErrOrphanTx),
+		errors.Is(err, mempool.ErrPoolConflict),
+		errors.Is(err, mempool.ErrFeeTooLow),
+		errors.Is(err, mempool.ErrMempoolFull):
+		return false
+	}
+	return true
+}
+
 func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
+	pol := n.getPolicy()
+	now := n.clk.Now()
 	switch msg.Command {
 	case wire.CmdVersion:
 		p.markHandshaken()
@@ -372,6 +706,7 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 	case wire.CmdGetBlocks:
 		locator, _, err := wire.DecodeLocator(msg.Payload)
 		if err != nil {
+			n.penalize(p, pol.PenaltyMalformed, "malformed locator")
 			return err
 		}
 		blocks := n.chain.BlocksAfter(locator, 500)
@@ -387,7 +722,15 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 	case wire.CmdInv:
 		invs, err := wire.DecodeInv(msg.Payload)
 		if err != nil {
+			n.penalize(p, pol.PenaltyMalformed, "malformed inv")
 			return err
+		}
+		if len(invs) > pol.MaxInvEntries {
+			// The protocol never batches more than 500 blocks per inv;
+			// outsized batches are advertisement spam. Ignore entirely.
+			n.penalize(p, pol.PenaltyOversized,
+				fmt.Sprintf("inv with %d entries (cap %d)", len(invs), pol.MaxInvEntries))
+			return nil
 		}
 		var want []wire.InvVect
 		for _, iv := range invs {
@@ -395,12 +738,16 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 			switch iv.Type {
 			case wire.InvTypeBlock:
 				if !n.chain.HaveBlock(iv.Hash) {
-					want = append(want, iv)
+					if p.noteRequested(iv.Type, iv.Hash, now, pol.MaxInflight) {
+						want = append(want, iv)
+					}
 				}
 			case wire.InvTypeTx:
 				if !n.pool.Have(iv.Hash) {
 					if _, onChain := n.chain.TxByID(iv.Hash); !onChain {
-						want = append(want, iv)
+						if p.noteRequested(iv.Type, iv.Hash, now, pol.MaxInflight) {
+							want = append(want, iv)
+						}
 					}
 				}
 			}
@@ -413,7 +760,14 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 	case wire.CmdGetData:
 		invs, err := wire.DecodeInv(msg.Payload)
 		if err != nil {
+			n.penalize(p, pol.PenaltyMalformed, "malformed getdata")
 			return err
+		}
+		if len(invs) > pol.MaxInvEntries {
+			// Serving a giant getdata costs this node bandwidth; refuse.
+			n.penalize(p, pol.PenaltyOversized,
+				fmt.Sprintf("getdata with %d entries (cap %d)", len(invs), pol.MaxInvEntries))
+			return nil
 		}
 		for _, iv := range invs {
 			switch iv.Type {
@@ -436,14 +790,28 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 	case wire.CmdBlock:
 		var blk wire.MsgBlock
 		if err := blk.Deserialize(bytes.NewReader(msg.Payload)); err != nil {
+			n.penalize(p, pol.PenaltyMalformed, "malformed block payload")
 			return err
 		}
 		hash := blk.BlockHash()
 		p.markKnown(wire.InvTypeBlock, hash)
+		solicited := p.consumeRequest(wire.InvTypeBlock, hash, now)
 		status, err := n.chain.ProcessBlock(&blk)
 		if err != nil {
 			n.logf("peer %d: block %s rejected: %v", p.id, hash, err)
+			// An invalid block cannot be honest: proof of work and the
+			// checksummed frame rule out accidents.
+			n.penalize(p, pol.PenaltyInvalidBlock, fmt.Sprintf("invalid block %s", hash))
 			return nil // a bad block does not kill the connection
+		}
+		if !solicited && status != chain.StatusMainChain {
+			// Pushed without a getdata and it did not advance the chain:
+			// duplicates, stale forks and parentless pushes only an
+			// equivocating or replaying peer produces. (A duplicated
+			// frame of a block we did request stays solicited via the
+			// request grace window.)
+			n.penalize(p, pol.PenaltyUnsolicited,
+				fmt.Sprintf("unsolicited %s block %s", status, hash))
 		}
 		switch status {
 		case chain.StatusMainChain, chain.StatusSideChain:
@@ -456,6 +824,7 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 			// received (gossiped into a partition); re-request them.
 			n.requestMissingTypecoin()
 		case chain.StatusOrphan:
+			n.noteOrphan(hash, p)
 			// We are missing ancestors: ask this peer to fill the gap.
 			if err := p.send(wire.CmdGetBlocks,
 				wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)); err != nil {
@@ -467,12 +836,19 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 	case wire.CmdTx:
 		var tx wire.MsgTx
 		if err := tx.Deserialize(bytes.NewReader(msg.Payload)); err != nil {
+			n.penalize(p, pol.PenaltyMalformed, "malformed tx payload")
 			return err
 		}
 		txid := tx.TxHash()
 		p.markKnown(wire.InvTypeTx, txid)
+		solicited := p.consumeRequest(wire.InvTypeTx, txid, now)
 		if _, err := n.pool.Accept(&tx); err != nil {
 			n.logf("peer %d: tx %s rejected: %v", p.id, txid, err)
+			if isTxPenaltyWorthy(err) {
+				n.penalize(p, pol.PenaltyInvalidTx, fmt.Sprintf("invalid tx %s: %v", txid, err))
+			} else if !solicited && errors.Is(err, mempool.ErrAlreadyKnown) {
+				n.penalize(p, pol.PenaltyUnsolicited, fmt.Sprintf("unsolicited duplicate tx %s", txid))
+			}
 			return nil
 		}
 		n.announce(wire.InvVect{Type: wire.InvTypeTx, Hash: txid}, p)
@@ -486,6 +862,10 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		h, err := n.acceptTypecoin(ledger, msg.Command, msg.Payload)
 		if err != nil {
 			n.logf("peer %d: %s rejected: %v", p.id, msg.Command, err)
+			// Overlay objects are checksummed end to end; an undecodable
+			// or invalid one is sender-made. The connection survives
+			// unless the score crosses the threshold.
+			n.penalize(p, pol.PenaltyMalformed, fmt.Sprintf("bad %s: %v", msg.Command, err))
 			return nil
 		}
 		p.markKnown(invTypeTypecoin, h)
@@ -499,7 +879,13 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		}
 		invs, err := wire.DecodeInv(msg.Payload)
 		if err != nil {
+			n.penalize(p, pol.PenaltyMalformed, "malformed tcget")
 			return err
+		}
+		if len(invs) > pol.MaxInvEntries {
+			n.penalize(p, pol.PenaltyOversized,
+				fmt.Sprintf("tcget with %d entries (cap %d)", len(invs), pol.MaxInvEntries))
+			return nil
 		}
 		for _, iv := range invs {
 			obj, ok := ledger.KnownObject(iv.Hash)
@@ -513,7 +899,10 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		return nil
 
 	default:
+		// Unknown commands are tolerated (forward compatibility) but not
+		// free, so a command-name fuzzer still accumulates score.
 		n.logf("peer %d: unknown command %q", p.id, msg.Command)
+		n.penalize(p, pol.PenaltyUnknownCmd, fmt.Sprintf("unknown command %q", msg.Command))
 		return nil
 	}
 }
@@ -575,13 +964,23 @@ func (n *Node) requestMissingTypecoin() {
 // recovery entry point after a partition heals, when announcements made
 // during the partition were swallowed silently.
 func (n *Node) SyncPeers() {
+	pol := n.getPolicy()
+	now := n.clk.Now()
 	payload := wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)
 	for _, p := range n.peerSnapshot(nil) {
+		// Periodic resync doubles as the stall detector for peers that
+		// went completely silent after advertising data.
+		if stalls := p.sweep(now, pol); stalls > 0 {
+			if n.penalize(p, pol.PenaltyStall, "sync stall") {
+				continue
+			}
+		}
 		if err := p.send(wire.CmdGetBlocks, payload); err != nil {
 			n.logf("sync to peer %d: %v", p.id, err)
 		}
 	}
 	n.requestMissingTypecoin()
+	n.sweepOrphans(now, pol)
 }
 
 // peerSnapshot returns the live peers except the given one.

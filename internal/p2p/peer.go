@@ -15,6 +15,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"typecoin/internal/banscore"
 )
 
 // Peer is one connected neighbor. Writes are serialized through a queue;
@@ -27,6 +29,13 @@ type Peer struct {
 	// dialAddr is the address this peer was dialed at; empty for
 	// inbound/pipe peers. Non-empty enables redial after a drop.
 	dialAddr string
+	// addrKey is the host this peer's misbehavior is scored under (both
+	// directions of a connection and successive reconnects share it);
+	// empty disables scoring.
+	addrKey string
+	// inbound records which side initiated the connection, for the
+	// peer-count caps.
+	inbound bool
 	// handshakeTimer reaps the peer if no version/verack arrives.
 	handshakeTimer *time.Timer
 
@@ -40,6 +49,26 @@ type Peer struct {
 	// known tracks inventory we have seen from or announced to this
 	// peer, to damp gossip echo.
 	known map[invKey]bool
+
+	// Per-peer resource accounting (all guarded by mu). The buckets
+	// bound message and byte rates; requested tracks outstanding
+	// getdata requests for stall detection and solicited-delivery
+	// classification.
+	msgBucket  *banscore.Bucket
+	byteBucket *banscore.Bucket
+	requested  map[invKey]*reqInfo
+	// lastDelivery is the last time this peer satisfied any request; a
+	// stall is only charged when the peer is silent on all of them.
+	lastDelivery time.Time
+	lastSweep    time.Time
+}
+
+// reqInfo is one tracked getdata request. Delivered entries linger for
+// the policy's RequestMemory so a link-duplicated re-delivery is still
+// recognized as solicited.
+type reqInfo struct {
+	at        time.Time
+	delivered bool
 }
 
 type invKey struct {
@@ -55,15 +84,95 @@ type queuedMsg struct {
 // errPeerClosed reports writes to a closed peer.
 var errPeerClosed = errors.New("p2p: peer closed")
 
-func newPeer(n *Node, conn io.ReadWriteCloser, id int) *Peer {
+func newPeer(n *Node, conn io.ReadWriteCloser, id int, pol Policy, now time.Time) *Peer {
 	return &Peer{
-		node:   n,
-		conn:   conn,
-		id:     id,
-		sendCh: make(chan *queuedMsg, 256),
-		done:   make(chan struct{}),
-		known:  make(map[invKey]bool),
+		node:         n,
+		conn:         conn,
+		id:           id,
+		sendCh:       make(chan *queuedMsg, 256),
+		done:         make(chan struct{}),
+		known:        make(map[invKey]bool),
+		msgBucket:    banscore.NewBucket(pol.MsgRate, pol.MsgBurst),
+		byteBucket:   banscore.NewBucket(pol.ByteRate, pol.ByteBurst),
+		requested:    make(map[invKey]*reqInfo),
+		lastDelivery: now,
+		lastSweep:    now,
 	}
+}
+
+// takeTokens charges one received frame of the given size against the
+// peer's rate buckets, reporting whether it is admitted.
+func (p *Peer) takeTokens(now time.Time, bytes int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.msgBucket.Take(now, 1) && p.byteBucket.Take(now, float64(bytes))
+}
+
+// noteRequested records an outstanding getdata request (refreshing an
+// existing entry), reporting false when the peer already has
+// maxInflight undelivered requests — the caller then simply does not
+// request, and periodic resync retries later.
+func (p *Peer) noteRequested(typ uint32, hash [32]byte, now time.Time, maxInflight int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := invKey{typ, hash}
+	if e, ok := p.requested[k]; ok {
+		e.at = now
+		e.delivered = false
+		return true
+	}
+	undelivered := 0
+	for _, e := range p.requested {
+		if !e.delivered {
+			undelivered++
+		}
+	}
+	if undelivered >= maxInflight {
+		return false
+	}
+	p.requested[k] = &reqInfo{at: now}
+	return true
+}
+
+// consumeRequest marks a delivery against an outstanding (or recently
+// delivered) request, reporting whether the object was solicited.
+func (p *Peer) consumeRequest(typ uint32, hash [32]byte, now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.requested[invKey{typ, hash}]
+	if !ok {
+		return false
+	}
+	e.delivered = true
+	e.at = now
+	p.lastDelivery = now
+	return true
+}
+
+// sweep expires delivered request memory and counts stalled requests
+// (undelivered past StallTimeout while the peer delivered nothing at
+// all); stalled entries are dropped so each is charged once. Sweeps are
+// rate-limited to one per second of (possibly virtual) time.
+func (p *Peer) sweep(now time.Time, pol Policy) (stalls int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now.Sub(p.lastSweep) < time.Second {
+		return 0
+	}
+	p.lastSweep = now
+	for k, e := range p.requested {
+		if e.delivered {
+			if now.Sub(e.at) > pol.RequestMemory {
+				delete(p.requested, k)
+			}
+			continue
+		}
+		if now.Sub(e.at) > pol.StallTimeout && now.Sub(p.lastDelivery) > pol.StallTimeout {
+			stalls++
+			delete(p.requested, k)
+		}
+	}
+	return stalls
 }
 
 // send queues a message; it drops the peer when the queue is full for

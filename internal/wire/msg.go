@@ -51,6 +51,18 @@ const commandSize = 12
 // maxMessagePayload bounds a single message.
 const maxMessagePayload = maxAllocation
 
+// Framing errors, exported so the p2p layer can classify a failed read
+// (peer-attributable garbage vs. a clean EOF) when scoring misbehavior.
+var (
+	// ErrBadMagic reports a frame whose magic does not match the network.
+	ErrBadMagic = errors.New("wire: bad network magic")
+	// ErrBadChecksum reports a payload that fails its frame checksum.
+	ErrBadChecksum = errors.New("wire: bad message checksum")
+	// ErrPayloadTooLarge reports a frame whose declared length exceeds
+	// the protocol maximum.
+	ErrPayloadTooLarge = errors.New("wire: message payload too large")
+)
+
 // Message is a framed p2p payload.
 type Message struct {
 	Command string
@@ -65,7 +77,7 @@ func WriteMessage(w io.Writer, magic uint32, msg *Message) error {
 		return fmt.Errorf("wire: command %q too long", msg.Command)
 	}
 	if len(msg.Payload) > maxMessagePayload {
-		return errors.New("wire: message payload too large")
+		return ErrPayloadTooLarge
 	}
 	buf := make([]byte, 24+len(msg.Payload))
 	buf[0] = byte(magic)
@@ -93,12 +105,12 @@ func ReadMessage(r io.Reader, magic uint32) (*Message, error) {
 	}
 	got := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
 	if got != magic {
-		return nil, fmt.Errorf("wire: bad network magic %08x", got)
+		return nil, fmt.Errorf("%w: %08x", ErrBadMagic, got)
 	}
 	cmd := string(bytes.TrimRight(hdr[4:16], "\x00"))
 	n := uint32(hdr[16]) | uint32(hdr[17])<<8 | uint32(hdr[18])<<16 | uint32(hdr[19])<<24
 	if n > maxMessagePayload {
-		return nil, errors.New("wire: message payload too large")
+		return nil, ErrPayloadTooLarge
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -106,7 +118,7 @@ func ReadMessage(r io.Reader, magic uint32) (*Message, error) {
 	}
 	sum := chainhash.DoubleHashB(payload)
 	if !bytes.Equal(sum[:4], hdr[20:24]) {
-		return nil, errors.New("wire: bad message checksum")
+		return nil, ErrBadChecksum
 	}
 	return &Message{Command: cmd, Payload: payload}, nil
 }
