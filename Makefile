@@ -3,13 +3,13 @@ GO ?= go
 # Packages whose correctness depends on concurrency (the parallel block
 # validation pipeline, the p2p node and its fault simulator) get a
 # dedicated -race pass.
-RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/... ./internal/banscore/...
+RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/... ./internal/banscore/... ./internal/telemetry/...
 
 # Native fuzz targets over the three attacker-facing decoders. Each runs
 # for a short smoke budget; override FUZZTIME for longer campaigns.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet check bench fuzz-smoke sim recovery byzantine
+.PHONY: build test race vet check bench bench-json metrics-smoke fuzz-smoke sim recovery byzantine
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,18 @@ check: vet build test race
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Machine-readable perf trajectory: run the full benchmark suite and
+# record every series (ns/op, B/op, allocs/op) as JSON. BENCH_JSON
+# names the snapshot file; PR snapshots are checked in for diffing.
+BENCH_JSON ?= BENCH_PR5.json
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# Observability smoke test: boots a real daemon, scrapes /metrics, and
+# fails on malformed exposition output or missing metric families.
+metrics-smoke:
+	$(GO) test ./cmd/typecoind/ -run TestMetricsSmoke -count=1 -v
 
 fuzz-smoke:
 	$(GO) test ./internal/wire/ -fuzz FuzzMsgTxDeserialize -fuzztime $(FUZZTIME)

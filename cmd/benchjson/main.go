@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON perf trajectory. It reads the benchmark output
+// on stdin and writes one JSON document describing every benchmark
+// (series label, iterations, ns/op, B/op, allocs/op) plus the platform
+// it ran on:
+//
+//	go test -run xxx -bench . -benchmem . | go run ./cmd/benchjson -out BENCH_PR5.json
+//
+// Checked-in snapshots (BENCH_PR5.json) let future changes diff their
+// numbers against this PR's without re-parsing free text.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark line.
+type benchResult struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -P GOMAXPROCS suffix, e.g. "BenchmarkConnectBlock/parallel-8".
+	Name string `json:"name"`
+	// Series is the stable label for cross-run comparison: the name
+	// without the GOMAXPROCS suffix.
+	Series     string  `json:"series"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are -1 when the run lacked -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type document struct {
+	Go         string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchLine matches one result row of `go test -bench` output:
+//
+//	BenchmarkFoo/sub-8  123  456.7 ns/op  89 B/op  10 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// procSuffix is the trailing -GOMAXPROCS marker on benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var doc document
+	doc.Go = runtime.Version()
+	doc.GOOS = runtime.GOOS
+	doc.GOARCH = runtime.GOARCH
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{
+			Name:        m[1],
+			Series:      procSuffix.ReplaceAllString(m[1], ""),
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	raw, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}

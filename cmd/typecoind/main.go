@@ -29,16 +29,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -55,6 +57,7 @@ import (
 	"typecoin/internal/sigcache"
 	"typecoin/internal/store"
 	"typecoin/internal/surface"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/typecoin"
 	"typecoin/internal/wallet"
 	"typecoin/internal/wire"
@@ -68,6 +71,7 @@ type server struct {
 	node   *p2p.Node
 	ledger *typecoin.Ledger
 	payout bkey.Principal
+	start  time.Time
 }
 
 func main() {
@@ -87,23 +91,35 @@ func run(args []string) int {
 	maxPeers := fs.Int("maxpeers", 0, "max inbound connections (0 = default)")
 	banThreshold := fs.Int("banthreshold", 0, "misbehavior score that bans a peer (0 = default)")
 	banDuration := fs.Duration("banduration", 0, "how long a triggered ban lasts (0 = default)")
+	loglevel := fs.String("loglevel", "info", "log verbosity: debug, info, warn, error")
+	logjson := fs.Bool("logjson", false, "emit logs as JSON lines instead of text")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	level, err := telemetry.ParseLevel(*loglevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "typecoind: %v\n", err)
+		return 2
+	}
+	base := telemetry.NewLogger(os.Stderr, level, *logjson)
+	logMain := telemetry.Component(base, "daemon")
+	logStore := telemetry.Component(base, "store")
+	logChain := telemetry.Component(base, "chain")
+	logPool := telemetry.Component(base, "mempool")
 
 	// Storage: file-backed under -datadir, in-memory otherwise.
 	var st store.Store
 	var fileStore *store.File
 	if *datadir != "" {
-		var err error
 		fileStore, err = store.OpenFile(*datadir)
 		if err != nil {
-			log.Printf("open store in %s: %v", *datadir, err)
+			logStore.Error("open store failed", "dir", *datadir, "err", err)
 			return 1
 		}
 		st = fileStore
 		if n := fileStore.TruncatedBytes(); n > 0 {
-			log.Printf("store: recovery truncated %d bytes of torn journal tail", n)
+			logStore.Warn("recovery truncated torn journal tail", "bytes", n)
 		}
 	} else {
 		st = store.NewMem()
@@ -117,10 +133,10 @@ func run(args []string) int {
 		Store:    st,
 	})
 	if err != nil {
-		log.Printf("open chain: %v", err)
+		logChain.Error("open chain failed", "err", err)
 		return 1
 	}
-	log.Printf("chain: height %d tip %s", ch.BestHeight(), ch.BestHash())
+	logChain.Info("chain opened", "height", ch.BestHeight(), "tip", ch.BestHash().String())
 
 	pool := mempool.New(ch, -1)
 
@@ -131,12 +147,12 @@ func run(args []string) int {
 	if *datadir != "" {
 		w, err = wallet.Open(ch, nil)
 		if err != nil {
-			log.Printf("open wallet: %v", err)
+			logMain.Error("open wallet failed", "err", err)
 			return 1
 		}
 		ledger, err = typecoin.OpenLedger(ch, *minConf)
 		if err != nil {
-			log.Printf("open ledger: %v", err)
+			logMain.Error("open ledger failed", "err", err)
 			return 1
 		}
 	} else {
@@ -149,7 +165,7 @@ func run(args []string) int {
 	if ps := w.Principals(); len(ps) > 0 {
 		payout = ps[0]
 	} else if payout, err = w.NewKey(); err != nil {
-		log.Printf("create key: %v", err)
+		logMain.Error("create key failed", "err", err)
 		return 1
 	}
 
@@ -158,28 +174,28 @@ func run(args []string) int {
 	if *datadir != "" {
 		kept, dropped, err := pool.Restore(w.ObserveUnconfirmed)
 		if err != nil {
-			log.Printf("restore mempool: %v", err)
+			logPool.Error("mempool restore failed", "err", err)
 			return 1
 		}
 		if kept > 0 || dropped > 0 {
-			log.Printf("mempool: restored %d transactions, dropped %d", kept, dropped)
+			logPool.Info("mempool restored", "kept", kept, "dropped", dropped)
 		}
 	}
 
 	if *audit {
 		if err := ch.AuditFromGenesis(); err != nil {
-			log.Printf("startup audit: %v", err)
+			logChain.Error("startup audit failed", "err", err)
 			return 1
 		}
 		if err := ledger.AuditAffine(); err != nil {
-			log.Printf("startup ledger audit: %v", err)
+			logMain.Error("startup ledger audit failed", "err", err)
 			return 1
 		}
-		log.Printf("startup audit: chain and ledger consistent")
+		logMain.Info("startup audit passed: chain and ledger consistent")
 	}
 
 	m := miner.New(ch, pool, clock.System{})
-	node := p2p.NewNode(ch, pool, log.New(os.Stderr, "p2p: ", log.LstdFlags))
+	node := p2p.NewNode(ch, pool, telemetry.Component(base, "p2p"))
 	node.SetLedger(ledger)
 	if *maxPeers > 0 || *banThreshold > 0 || *banDuration > 0 {
 		pol := p2p.DefaultPolicy()
@@ -195,27 +211,61 @@ func run(args []string) int {
 		node.SetPolicy(pol)
 	}
 
+	// Telemetry: one registry and one block-lifecycle tracer shared by
+	// every subsystem, exposed at /metrics and /debug/events below.
+	// Registered before Listen/Dial so no peer event is missed.
+	startTime := time.Now()
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultTraceCapacity, clock.System{})
+	ch.SetTelemetry(reg, tracer)
+	pool.SetTelemetry(reg, tracer)
+	m.SetTelemetry(reg)
+	node.SetTelemetry(reg, tracer)
+	if fileStore != nil {
+		f := fileStore
+		reg.GaugeFunc("store_journal_bytes", "Size of the write-ahead journal on disk.", func() float64 {
+			return float64(f.JournalBytes())
+		})
+		reg.GaugeFunc("store_blocklog_bytes", "Size of the block log on disk.", func() float64 {
+			return float64(f.BlockLogBytes())
+		})
+		reg.CounterFunc("store_compactions_total", "Journal compactions performed.", func() float64 {
+			return float64(f.Compactions())
+		})
+	}
+	reg.GaugeFunc("process_uptime_seconds", "Seconds since the daemon started.", func() float64 {
+		return time.Since(startTime).Seconds()
+	})
+	reg.GaugeFunc("process_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("process_heap_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+
 	if *listen != "" {
 		addr, err := node.Listen(*listen)
 		if err != nil {
-			log.Printf("p2p listen: %v", err)
+			logMain.Error("p2p listen failed", "err", err)
 			return 1
 		}
-		log.Printf("p2p listening on %s", addr)
+		logMain.Info("p2p listening", "addr", addr)
 	}
 	for _, peer := range strings.Split(*connect, ",") {
 		if peer == "" {
 			continue
 		}
 		if err := node.Dial(peer); err != nil {
-			log.Printf("dial %s: %v", peer, err)
+			logMain.Warn("dial failed", "peer", peer, "err", err)
 		} else {
-			log.Printf("connected to %s", peer)
+			logMain.Info("connected", "peer", peer)
 		}
 	}
 
 	s := &server{chain: ch, pool: pool, miner: m, wallet: w, node: node,
-		ledger: ledger, payout: payout}
+		ledger: ledger, payout: payout, start: startTime}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("POST /mine", s.handleMine)
@@ -225,19 +275,26 @@ func run(args []string) int {
 	mux.HandleFunc("GET /block/", s.handleBlock)
 	mux.HandleFunc("GET /typecoin/", s.handleTypecoin)
 	mux.HandleFunc("GET /audit", s.handleAudit)
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/events", tracer.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
-		log.Printf("http listen: %v", err)
+		logMain.Error("http listen failed", "err", err)
 		return 1
 	}
-	log.Printf("http listening on %s (wallet principal %s)", ln.Addr(), payout)
+	logMain.Info("http listening", "addr", ln.Addr().String(), "principal", payout.String())
 	if *datadir != "" {
 		// Record the resolved address (ports may be kernel-assigned) so
 		// tooling and tests can find a daemon by its data directory.
 		addrFile := filepath.Join(*datadir, "http.addr")
 		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			log.Printf("write %s: %v", addrFile, err)
+			logMain.Warn("address file write failed", "path", addrFile, "err", err)
 		}
 	}
 
@@ -249,9 +306,9 @@ func run(args []string) int {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		logMain.Info("shutting down")
 	case err := <-httpErr:
-		log.Printf("http server: %v", err)
+		logMain.Error("http server failed", "err", err)
 		return 1
 	}
 
@@ -262,33 +319,44 @@ func run(args []string) int {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logMain.Warn("http shutdown failed", "err", err)
 	}
 	node.Stop()
 	if err := pool.Persist(); err != nil {
-		log.Printf("persist mempool: %v", err)
+		logPool.Error("persist mempool failed", "err", err)
 		failed = true
 	}
+	if *datadir != "" {
+		// Final metrics snapshot: the last observed state of every series,
+		// for post-mortem diffing against the next run's /metrics.
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err == nil {
+			snapPath := filepath.Join(*datadir, "metrics.last")
+			if err := os.WriteFile(snapPath, buf.Bytes(), 0o644); err != nil {
+				logMain.Warn("metrics snapshot write failed", "path", snapPath, "err", err)
+			}
+		}
+	}
 	if err := st.Flush(); err != nil {
-		log.Printf("flush store: %v", err)
+		logStore.Error("flush store failed", "err", err)
 		failed = true
 	}
 	if err := st.Close(); err != nil {
-		log.Printf("close store: %v", err)
+		logStore.Error("close store failed", "err", err)
 		failed = true
 	}
 	if failed {
 		return 1
 	}
-	log.Printf("shutdown complete")
+	logMain.Info("shutdown complete")
 	return 0
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
+	// An encode error here means the client went away mid-response;
+	// there is nothing useful to do about it.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
@@ -297,13 +365,21 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]interface{}{
-		"height":   s.chain.BestHeight(),
-		"tip":      s.chain.BestHash().String(),
-		"peers":    s.node.PeerCount(),
-		"mempool":  s.pool.Size(),
-		"utxoSize": s.chain.UtxoSize(),
-	})
+	status := map[string]interface{}{
+		"height":       s.chain.BestHeight(),
+		"tip":          s.chain.BestHash().String(),
+		"peers":        s.node.PeerCount(),
+		"mempool":      s.pool.Size(),
+		"mempoolBytes": s.pool.Bytes(),
+		"utxoSize":     s.chain.UtxoSize(),
+	}
+	if !s.start.IsZero() {
+		status["uptimeSeconds"] = time.Since(s.start).Seconds()
+	}
+	if blk, ok := s.chain.BlockAtHeight(s.chain.BestHeight()); ok {
+		status["tipAgeSeconds"] = time.Since(blk.Header.Timestamp).Seconds()
+	}
+	writeJSON(w, status)
 }
 
 func (s *server) handleMine(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"typecoin/internal/clock"
 	"typecoin/internal/sigcache"
 	"typecoin/internal/store"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/wire"
 )
 
@@ -101,6 +102,10 @@ type Chain struct {
 	maxOrphans    int   // cap on held orphan blocks (0 = default)
 	maxOrphanByte int64 // cap on total orphan bytes (0 = default)
 	scriptWorkers int   // goroutines for block script checks; 0 = GOMAXPROCS
+
+	// tel carries the registered collectors; the zero value (all nil
+	// pointers) disables instrumentation. See telemetry.go.
+	tel chainTelemetry
 
 	subsMu sync.Mutex
 	subs   []func(Notification)
@@ -229,9 +234,14 @@ func (s BlockStatus) String() string {
 // reorganizing the main chain if the block's branch carries more work.
 // Orphan blocks are retained and retried when their parent arrives.
 func (c *Chain) ProcessBlock(blk *wire.MsgBlock) (BlockStatus, error) {
+	hash := blk.BlockHash()
+	if c.tel.tracer != nil {
+		c.tel.tracer.Record(telemetry.EvBlockSeen, hash.String(), "")
+	}
 	c.mu.Lock()
 	status, events, err := c.processLocked(blk)
 	c.mu.Unlock()
+	c.recordStatus(hash, status, err)
 	if len(events) > 0 {
 		c.notify(events)
 	}
@@ -402,6 +412,7 @@ func (c *Chain) acceptBlock(blk *wire.MsgBlock, parent *blockNode) (BlockStatus,
 // the shared signature cache), with fail-fast cancellation; on failure
 // the phase-one mutations are rolled back via the undo journal.
 func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
+	start := time.Now()
 	blk := node.block
 	var undo []undoItem
 	rollback := func() {
@@ -458,9 +469,14 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 	// Phase two: parallel script/signature verification of every input.
 	// The jobs carry the resolved locking scripts, so they are independent
 	// of the (already mutated) UTXO view.
+	scriptStart := time.Now()
 	if err := runScriptJobs(jobs, c.scriptWorkers, c.sigCache); err != nil {
 		rollback()
 		return nil, err
+	}
+	if c.tel.scriptSeconds != nil {
+		observeSince(c.tel.scriptSeconds, scriptStart)
+		c.tel.scriptJobs.Add(uint64(len(jobs)))
 	}
 
 	// Durably commit the change as one atomic batch (block data, index
@@ -475,6 +491,11 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 	node.inMain = true
 	c.tip = node
 	c.mainChain = append(c.mainChain, node)
+	c.tel.connects.Inc()
+	if c.tel.connectSeconds != nil {
+		observeSince(c.tel.connectSeconds, start)
+	}
+	c.traceConnected(node)
 	return []Notification{{Connected: true, Block: blk, Height: node.height}}, nil
 }
 
@@ -484,6 +505,7 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 // survived a restart — and the undoing batch is committed before any
 // resident map changes, so a store failure leaves memory untouched.
 func (c *Chain) disconnectBlock() (Notification, error) {
+	start := time.Now()
 	node := c.tip
 	if node.parent == nil {
 		return Notification{}, errors.New("chain: cannot disconnect genesis")
@@ -510,6 +532,12 @@ func (c *Chain) disconnectBlock() (Notification, error) {
 	node.inMain = false
 	c.tip = node.parent
 	c.mainChain = c.mainChain[:len(c.mainChain)-1]
+	c.tel.disconnects.Inc()
+	if c.tel.disconnectSeconds != nil {
+		observeSince(c.tel.disconnectSeconds, start)
+		c.tel.tracer.Record(telemetry.EvBlockDisconnected, node.hash.String(),
+			fmt.Sprintf("height=%d", node.height))
+	}
 	return Notification{Connected: false, Block: node.block, Height: node.height}, nil
 }
 
@@ -570,6 +598,12 @@ func (c *Chain) reorganize(newTip *blockNode) ([]Notification, error) {
 			return events, err
 		}
 		events = append(events, evs...)
+	}
+	c.tel.reorgs.Inc()
+	if c.tel.reorgDepth != nil {
+		c.tel.reorgDepth.Observe(float64(len(detached)))
+		c.tel.tracer.Record(telemetry.EvReorg, newTip.hash.String(),
+			fmt.Sprintf("detached=%d attached=%d height=%d", len(detached), len(attach), newTip.height))
 	}
 	return events, nil
 }

@@ -33,6 +33,7 @@ import (
 	"math/big"
 	"os"
 	"strconv"
+	"time"
 
 	"typecoin/internal/chainhash"
 	"typecoin/internal/clock"
@@ -367,15 +368,15 @@ func Open(cfg Config) (*Chain, error) {
 		st = store.NewMem()
 	}
 	c := &Chain{
-		params:    cfg.Params,
-		clock:     clk,
-		sigCache:  cfg.SigCache,
-		st:        st,
-		index:     make(map[chainhash.Hash]*blockNode),
-		utxo:      NewUtxoSet(),
-		spent:     make(map[wire.OutPoint]SpendRecord),
-		txToBlock: make(map[chainhash.Hash]txLoc),
-		orphans:   make(map[chainhash.Hash][]*wire.MsgBlock),
+		params:      cfg.Params,
+		clock:       clk,
+		sigCache:    cfg.SigCache,
+		st:          st,
+		index:       make(map[chainhash.Hash]*blockNode),
+		utxo:        NewUtxoSet(),
+		spent:       make(map[wire.OutPoint]SpendRecord),
+		txToBlock:   make(map[chainhash.Hash]txLoc),
+		orphans:     make(map[chainhash.Hash][]*wire.MsgBlock),
 		orphanIndex: make(map[chainhash.Hash]orphanMeta),
 	}
 	if n, err := strconv.Atoi(os.Getenv("TYPECOIN_SCRIPT_WORKERS")); err == nil && n > 0 {
@@ -649,7 +650,21 @@ func (c *Chain) commitConnect(node *blockNode, undo []undoItem) error {
 	for _, fn := range c.persisters {
 		fn(ev, b)
 	}
-	return c.st.Apply(b)
+	return c.applyBatch(b)
+}
+
+// applyBatch commits b, timing the store round trip.
+func (c *Chain) applyBatch(b *store.Batch) error {
+	start := time.Now()
+	err := c.st.Apply(b)
+	if c.tel.commitSeconds != nil {
+		observeSince(c.tel.commitSeconds, start)
+		c.tel.commitOps.Observe(float64(b.Len()))
+	}
+	if err == nil {
+		c.tel.commits.Inc()
+	}
+	return err
 }
 
 // commitDisconnect assembles and applies the atomic batch for
@@ -680,7 +695,7 @@ func (c *Chain) commitDisconnect(node *blockNode, undo []undoItem) error {
 	for _, fn := range c.persisters {
 		fn(ev, b)
 	}
-	return c.st.Apply(b)
+	return c.applyBatch(b)
 }
 
 // loadUndo fetches and decodes the spend journal of a connected block.
@@ -779,4 +794,3 @@ func (c *Chain) AuditFromGenesis() error {
 	}
 	return nil
 }
-

@@ -18,6 +18,7 @@ import (
 	"typecoin/internal/chainhash"
 	"typecoin/internal/clock"
 	"typecoin/internal/script"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/wire"
 )
 
@@ -79,6 +80,10 @@ type Pool struct {
 	maxBytes int64 // 0 = default
 	feeFloor int64 // dynamic floor in satoshi per kB; 0 = inactive
 	floorAt  time.Time
+
+	// tel carries the registered collectors; the zero value disables
+	// instrumentation. See telemetry.go.
+	tel poolTelemetry
 }
 
 // New creates a pool. A negative minRelayFee selects the default.
@@ -187,13 +192,36 @@ func (p *Pool) enforceLimitsLocked(now time.Time) {
 			p.feeFloor = floor
 			p.floorAt = now
 		}
+		if p.tel.tracer != nil {
+			p.tel.tracer.Record(telemetry.EvTxEvicted, victimID.String(),
+				fmt.Sprintf("fee_rate=%d", feeRate(victim.fee, victim.size)))
+		}
+		before := len(p.pool)
 		p.removeLocked(victimID)
+		p.tel.evicted.Add(uint64(before - len(p.pool)))
 	}
 }
 
 // Accept validates tx against the chain and pool policy and admits it.
 // It returns the transaction's fee.
 func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
+	fee, err := p.accept(tx)
+	if err != nil {
+		p.tel.rejected.With(rejectReason(err)).Inc()
+		if p.tel.tracer != nil {
+			p.tel.tracer.Record(telemetry.EvTxRejected, tx.TxHash().String(), err.Error())
+		}
+		return fee, err
+	}
+	p.tel.accepted.Inc()
+	if p.tel.tracer != nil {
+		p.tel.tracer.Record(telemetry.EvTxAccepted, tx.TxHash().String(),
+			fmt.Sprintf("fee=%d size=%d", fee, tx.SerializeSize()))
+	}
+	return fee, nil
+}
+
+func (p *Pool) accept(tx *wire.MsgTx) (int64, error) {
 	if tx.IsCoinBase() {
 		return 0, ErrCoinbaseInPool
 	}
@@ -375,11 +403,21 @@ func (p *Pool) onChainChange(n chain.Notification) {
 	if n.Connected {
 		p.mu.Lock()
 		for _, tx := range n.Block.Transactions {
-			p.removeLocked(tx.TxHash())
+			txid := tx.TxHash()
+			if _, pooled := p.pool[txid]; pooled {
+				p.tel.mined.Inc()
+				if p.tel.tracer != nil {
+					p.tel.tracer.Record(telemetry.EvTxMined, txid.String(),
+						fmt.Sprintf("height=%d", n.Height))
+				}
+			}
+			p.removeLocked(txid)
 			// Evict anything that now conflicts with a confirmed spend.
 			for _, in := range tx.TxIn {
 				if spender, ok := p.spends[in.PreviousOutPoint]; ok {
+					before := len(p.pool)
 					p.removeLocked(spender)
+					p.tel.conflicts.Add(uint64(before - len(p.pool)))
 				}
 			}
 		}
@@ -392,8 +430,9 @@ func (p *Pool) onChainChange(n chain.Notification) {
 			continue
 		}
 		// Best effort; conflicts with the new chain are simply dropped.
-		_, err := p.Accept(tx)
-		_ = err
+		if _, err := p.Accept(tx); err == nil {
+			p.tel.recycled.Inc()
+		}
 	}
 }
 

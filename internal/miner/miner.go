@@ -20,6 +20,7 @@ import (
 	"typecoin/internal/clock"
 	"typecoin/internal/mempool"
 	"typecoin/internal/script"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/wire"
 )
 
@@ -29,6 +30,19 @@ type Miner struct {
 	pool  *mempool.Pool // may be nil for empty blocks
 	clock clock.Clock
 	extra uint64 // extraNonce so identical payout addresses yield distinct coinbases
+
+	// Registered collectors; nil (the default) disables instrumentation.
+	attempts    *telemetry.Counter
+	blocksFound *telemetry.Counter
+	blockTxs    *telemetry.Histogram
+}
+
+// SetTelemetry registers the miner's metrics on reg. Call once, before
+// mining; reg may be nil.
+func (m *Miner) SetTelemetry(reg *telemetry.Registry) {
+	m.attempts = reg.Counter("miner_hash_attempts_total", "Header nonce attempts ground while solving blocks.")
+	m.blocksFound = reg.Counter("miner_blocks_found_total", "Blocks successfully mined and accepted by the chain.")
+	m.blockTxs = reg.Histogram("miner_block_txs", "Transactions per mined block (including the coinbase).", telemetry.ExpBuckets(1, 4, 7))
 }
 
 // New creates a miner. pool may be nil, in which case blocks contain only
@@ -150,15 +164,22 @@ func (m *Miner) buildCoinbase(payout bkey.Principal, height int, value int64) (*
 // (Section 1). It fails only if the entire 32-bit nonce space misses,
 // which at regtest difficulty is implausible.
 func SolveBlock(blk *wire.MsgBlock) error {
+	_, err := solve(blk)
+	return err
+}
+
+// solve is SolveBlock returning the number of nonce attempts, so the
+// miner can account hash work.
+func solve(blk *wire.MsgBlock) (uint64, error) {
 	target := chain.CompactToBig(blk.Header.Bits)
 	for nonce := uint64(0); nonce <= 0xffffffff; nonce++ {
 		blk.Header.Nonce = uint32(nonce)
 		h := blk.Header.BlockHash()
 		if chain.HashToBig(h).Cmp(target) <= 0 {
-			return nil
+			return nonce + 1, nil
 		}
 	}
-	return errNonceExhausted
+	return 1 << 32, errNonceExhausted
 }
 
 // Mine builds, solves and submits one block paying payout, returning the
@@ -168,13 +189,17 @@ func (m *Miner) Mine(payout bkey.Principal) (*wire.MsgBlock, chain.BlockStatus, 
 	if err != nil {
 		return nil, chain.StatusInvalid, err
 	}
-	if err := SolveBlock(blk); err != nil {
+	n, err := solve(blk)
+	m.attempts.Add(n)
+	if err != nil {
 		return nil, chain.StatusInvalid, err
 	}
 	status, err := m.chain.ProcessBlock(blk)
 	if err != nil {
 		return nil, status, fmt.Errorf("miner: mined block rejected: %w", err)
 	}
+	m.blocksFound.Inc()
+	m.blockTxs.Observe(float64(len(blk.Transactions)))
 	return blk, status, nil
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"typecoin/internal/p2p"
 	"typecoin/internal/script"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/wallet"
 )
 
@@ -166,6 +167,35 @@ func runByzantineScenario(t *testing.T, seed int64) {
 	})
 	if elapsed := h.Clk.Now().Sub(attackStart); elapsed > banBound {
 		t.Fatalf("banning all adversaries took %v of virtual time, bound %v", elapsed, banBound)
+	}
+
+	// The same facts at the metric level: every victim's ban counter and
+	// banned-address gauge moved, misbehavior points accumulated, and the
+	// ban landed in the victim's event trace under the adversary's name.
+	for name, vi := range victims {
+		if got := h.Metric(vi, "p2p_bans_total"); got < 1 {
+			t.Fatalf("node %d banned %s but p2p_bans_total = %v", vi, name, got)
+		}
+		if got := h.Metric(vi, "p2p_misbehavior_points_total"); got <= 0 {
+			t.Fatalf("node %d: p2p_misbehavior_points_total = %v after attack", vi, got)
+		}
+		if got := h.Metric(vi, "p2p_banned_addrs"); got < 1 {
+			t.Fatalf("node %d: p2p_banned_addrs = %v after banning %s", vi, got, name)
+		}
+		if events := h.Tracers[vi].Events(name, 0); len(events) == 0 {
+			t.Fatalf("node %d has no trace events for banned adversary %s", vi, name)
+		}
+	}
+	// Honest counters stay clean: no node's trace records a ban of an
+	// honest ring member.
+	for i := range h.Nodes {
+		for j := range h.Nodes {
+			for _, ev := range h.Tracers[i].Events(h.Host(j), 0) {
+				if ev.Kind == telemetry.EvPeerBanned {
+					t.Fatalf("node %d trace records a ban of honest node %d: %+v", i, j, ev)
+				}
+			}
+		}
 	}
 
 	// Banned actors keep redialing; the accept path must refuse them.

@@ -12,6 +12,7 @@ import (
 	"typecoin/internal/mempool"
 	"typecoin/internal/miner"
 	"typecoin/internal/p2p"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/testutil"
 	"typecoin/internal/typecoin"
 	"typecoin/internal/wallet"
@@ -34,6 +35,12 @@ type Harness struct {
 	Wallets []*wallet.Wallet
 	Miners  []*miner.Miner
 	Payouts []bkey.Principal
+
+	// Per-node observability: one registry and one block-lifecycle
+	// tracer per node, so scenarios can assert on defense and chain
+	// counters (see Metric).
+	Regs    []*telemetry.Registry
+	Tracers []*telemetry.Tracer
 
 	base   time.Time // virtual time origin for the block schedule
 	blocks int       // global mined-block counter
@@ -76,6 +83,11 @@ func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
 		c := chain.New(params, clk)
 		pool := mempool.New(c, -1)
 		node := p2p.NewNode(c, pool, nil)
+		reg := telemetry.NewRegistry()
+		tr := telemetry.NewTracer(telemetry.DefaultTraceCapacity, clk)
+		c.SetTelemetry(reg, tr)
+		pool.SetTelemetry(reg, tr)
+		node.SetTelemetry(reg, tr)
 		node.SetTransport(h.Net.Transport(h.Host(i)))
 		// Generous real-time redial budget: a partition must not
 		// exhaust it before the heal.
@@ -90,11 +102,15 @@ func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
 		if err != nil {
 			t.Fatalf("node %d payout key: %v", i, err)
 		}
+		mn := miner.New(c, pool, clk)
+		mn.SetTelemetry(reg)
 		h.Nodes = append(h.Nodes, node)
 		h.Ledgers = append(h.Ledgers, ledger)
 		h.Wallets = append(h.Wallets, w)
-		h.Miners = append(h.Miners, miner.New(c, pool, clk))
+		h.Miners = append(h.Miners, mn)
 		h.Payouts = append(h.Payouts, payout)
+		h.Regs = append(h.Regs, reg)
+		h.Tracers = append(h.Tracers, tr)
 	}
 	t.Cleanup(func() {
 		for _, node := range h.Nodes {
@@ -143,6 +159,14 @@ func (h *Harness) AssertBounds() {
 			h.T.Fatalf("node %d has %d peers, bound %d", i, got, b.MaxPeers)
 		}
 	}
+}
+
+// Metric returns the current value of a metric on node i (counter sum,
+// gauge, vec total or histogram count; see telemetry.Registry.Value).
+// Unregistered names read as zero so assertions stay simple.
+func (h *Harness) Metric(i int, name string) float64 {
+	v, _ := h.Regs[i].Value(name)
+	return v
 }
 
 // Host names node i on the simulated network.

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -14,6 +14,7 @@ import (
 	"typecoin/internal/chainhash"
 	"typecoin/internal/clock"
 	"typecoin/internal/mempool"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/typecoin"
 	"typecoin/internal/wire"
 )
@@ -37,9 +38,13 @@ type Node struct {
 	chain     *chain.Chain
 	pool      *mempool.Pool
 	magic     uint32
-	logger    *log.Logger
+	logger    *slog.Logger
 	transport Transport
 	clk       clock.Clock
+
+	// tel carries the registered collectors; the zero value disables
+	// instrumentation. See telemetry.go.
+	tel nodeTelemetry
 
 	// Tunables, fixed before Listen/Dial (setters below).
 	sendTimeout      time.Duration
@@ -77,9 +82,10 @@ type orphanSource struct {
 // bounded independently).
 const maxTrackedOrphanSources = 1024
 
-// NewNode creates a node over an existing chain and pool. logger may be
-// nil to disable logging.
-func NewNode(c *chain.Chain, pool *mempool.Pool, logger *log.Logger) *Node {
+// NewNode creates a node over an existing chain and pool. logger is a
+// structured component logger (see telemetry.Component); nil disables
+// logging.
+func NewNode(c *chain.Chain, pool *mempool.Pool, logger *slog.Logger) *Node {
 	n := &Node{
 		chain:            c,
 		pool:             pool,
@@ -112,7 +118,7 @@ func (n *Node) newKeeper(pol Policy) *banscore.Keeper {
 	})
 	if st := n.chain.Store(); st != nil {
 		if err := k.AttachStore(st); err != nil {
-			n.logf("ban table load: %v", err)
+			n.logWarn("ban table load failed", "err", err)
 		}
 	}
 	return k
@@ -164,6 +170,10 @@ func (n *Node) IsBanned(addr string) bool {
 func (n *Node) Ban(addr string, d time.Duration) {
 	key := addrKeyOf(addr)
 	n.keeper().Ban(key, d)
+	n.tel.bans.Inc()
+	if n.tel.tracer != nil {
+		n.tel.tracer.Record(telemetry.EvPeerBanned, key, "manual ban")
+	}
 	n.disconnectAddr(key)
 }
 
@@ -204,11 +214,16 @@ func (n *Node) penalize(p *Peer, points int32, reason string) bool {
 // source of an expired orphan that has since disconnected).
 func (n *Node) penalizeAddr(key string, points int32, reason string) bool {
 	score, banned := n.keeper().Penalize(key, points)
+	n.tel.misbehavior.Add(uint64(points))
 	if !banned {
-		n.logf("peer %s: misbehavior +%d (%s), score %d", key, points, reason, score)
+		n.logWarn("peer misbehavior", "addr", key, "points", points, "reason", reason, "score", score)
 		return false
 	}
-	n.logf("peer %s: banned (score %d crossed threshold; last offense: %s)", key, score, reason)
+	n.tel.bans.Inc()
+	if n.tel.tracer != nil {
+		n.tel.tracer.Record(telemetry.EvPeerBanned, key, reason)
+	}
+	n.logWarn("peer banned", "addr", key, "score", score, "reason", reason)
 	n.disconnectAddr(key)
 	return true
 }
@@ -229,12 +244,6 @@ func (n *Node) SetTimeouts(send, handshake time.Duration) {
 func (n *Node) SetRedial(attempts int, base time.Duration) {
 	n.redialAttempts = attempts
 	n.redialBase = base
-}
-
-func (n *Node) logf(format string, args ...interface{}) {
-	if n.logger != nil {
-		n.logger.Printf(format, args...)
-	}
 }
 
 // Chain returns the node's chain.
@@ -318,7 +327,8 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 	pol := n.policy
 	if key != "" && n.scores.IsBanned(key) {
 		n.mu.Unlock()
-		n.logf("refusing connection: %s is banned", key)
+		n.tel.refused.With("banned").Inc()
+		n.logInfo("refusing connection from banned address", "addr", key)
 		conn.Close()
 		return nil
 	}
@@ -341,7 +351,8 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 		}
 		if evict == nil && count >= pol.MaxInbound {
 			n.mu.Unlock()
-			n.logf("refusing inbound %s: at cap %d", key, pol.MaxInbound)
+			n.tel.refused.With("inbound_cap").Inc()
+			n.logDebug("refusing inbound connection at cap", "addr", key, "cap", pol.MaxInbound)
 			conn.Close()
 			return nil
 		}
@@ -359,9 +370,11 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 		if dup || count >= pol.MaxOutbound {
 			n.mu.Unlock()
 			if dup {
-				n.logf("refusing duplicate dial to %s", dialAddr)
+				n.tel.refused.With("duplicate").Inc()
+				n.logDebug("refusing duplicate dial", "addr", dialAddr)
 			} else {
-				n.logf("refusing dial to %s: at cap %d", dialAddr, pol.MaxOutbound)
+				n.tel.refused.With("outbound_cap").Inc()
+				n.logDebug("refusing dial at cap", "addr", dialAddr, "cap", pol.MaxOutbound)
 			}
 			conn.Close()
 			return nil
@@ -378,8 +391,18 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 	// orders the Add before Stop's Wait.
 	n.wg.Add(2)
 	n.mu.Unlock()
+	n.bindPeerCounters(p)
+	direction := "outbound"
+	if inbound {
+		direction = "inbound"
+	}
+	n.tel.connects.With(direction).Inc()
+	if n.tel.tracer != nil {
+		n.tel.tracer.Record(telemetry.EvPeerConnected, key, direction)
+	}
+	n.logDebug("peer connected", "addr", key, "peer", id, "direction", direction)
 	if evict != nil {
-		n.logf("inbound %s supersedes peer %d", key, evict.id)
+		n.logDebug("inbound connection supersedes existing peer", "addr", key, "peer", evict.id)
 		evict.close()
 	}
 
@@ -400,7 +423,7 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 			done := p.handshaken
 			p.mu.Unlock()
 			if !done {
-				n.logf("peer %d: handshake timeout", p.id)
+				n.logDebug("handshake timeout", "peer", p.id)
 				p.close()
 			}
 		}))
@@ -409,7 +432,7 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 	// Handshake: announce our version; the peer replies verack and both
 	// sides then exchange locators to sync.
 	if err := p.send(wire.CmdVersion, nil); err != nil {
-		n.logf("peer %d: version send: %v", id, err)
+		n.logDebug("version send failed", "peer", id, "err", err)
 	}
 	return p
 }
@@ -418,6 +441,11 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 // bounded redial loop so a mid-stream connection failure does not
 // silently shrink the peer set.
 func (n *Node) dropPeer(p *Peer) {
+	n.tel.disconnects.Inc()
+	if n.tel.tracer != nil {
+		n.tel.tracer.Record(telemetry.EvPeerDisconnected, p.addrKey, "")
+	}
+	n.logDebug("peer disconnected", "addr", p.addrKey, "peer", p.id)
 	n.mu.Lock()
 	delete(n.peers, p.id)
 	redial := p.dialAddr != "" && !n.stopped && n.redialAttempts > 0 && !n.dialing[p.dialAddr] &&
@@ -456,15 +484,16 @@ func (n *Node) redial(addr string) {
 		// redial loop: reconnecting to a misbehaving address would just
 		// re-open the attack surface.
 		if n.keeper().IsBanned(addrKeyOf(addr)) {
-			n.logf("redial %s: address banned, giving up", addr)
+			n.logDebug("redial abandoned: address banned", "addr", addr)
 			return
 		}
+		n.tel.redials.Inc()
 		conn, err := n.transport.Dial(addr)
 		if err != nil {
-			n.logf("redial %s attempt %d/%d: %v", addr, attempt, n.redialAttempts, err)
+			n.logDebug("redial attempt failed", "addr", addr, "attempt", attempt, "max", n.redialAttempts, "err", err)
 			continue
 		}
-		n.logf("redial %s succeeded on attempt %d", addr, attempt)
+		n.logDebug("redial succeeded", "addr", addr, "attempt", attempt)
 		// Clear the in-flight marker before registering the peer so an
 		// immediate re-drop can schedule a fresh redial loop.
 		n.mu.Lock()
@@ -473,7 +502,7 @@ func (n *Node) redial(addr string) {
 		n.addConn(conn, addr)
 		return
 	}
-	n.logf("redial %s: giving up after %d attempts", addr, n.redialAttempts)
+	n.logInfo("redial giving up", "addr", addr, "attempts", n.redialAttempts)
 }
 
 // ConnectPipe wires two in-process nodes together with a synchronous
@@ -562,6 +591,8 @@ func (n *Node) writeLoop(p *Peer) {
 				p.close()
 				return
 			}
+			p.cSentMsgs.Inc()
+			p.cSentBytes.Add(uint64(24 + len(msg.payload)))
 		case <-p.done:
 			return
 		}
@@ -582,22 +613,26 @@ func (n *Node) readLoop(p *Peer) {
 			}
 			return
 		}
+		p.cRecvMsgs.Inc()
+		p.cRecvBytes.Add(uint64(24 + len(msg.Payload)))
 		pol := n.getPolicy()
 		now := n.clk.Now()
 		if !p.takeTokens(now, 24+len(msg.Payload)) {
 			// Drop the frame unprocessed; repeated violations ban.
+			n.tel.rateLimited.Inc()
 			if n.penalize(p, pol.PenaltyRateLimit, "rate limit exceeded") {
 				return
 			}
 			continue
 		}
 		if err := n.handleMessage(p, msg); err != nil {
-			n.logf("peer %d: %s: %v", p.id, msg.Command, err)
+			n.logDebug("message handling failed", "peer", p.id, "command", msg.Command, "err", err)
 			return
 		}
 		if stalls := p.sweep(now, pol); stalls > 0 {
 			// The peer advertised data it never served: charge it and
 			// rotate the sync to the remaining peers.
+			n.tel.stalls.Add(uint64(stalls))
 			if !n.penalize(p, pol.PenaltyStall, "sync stall") {
 				n.rotateSync(p)
 			}
@@ -611,7 +646,7 @@ func (n *Node) rotateSync(except *Peer) {
 	payload := wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)
 	for _, p := range n.peerSnapshot(except) {
 		if err := p.send(wire.CmdGetBlocks, payload); err != nil {
-			n.logf("rotate sync to peer %d: %v", p.id, err)
+			n.logDebug("rotate sync send failed", "peer", p.id, "err", err)
 		}
 	}
 }
@@ -798,7 +833,7 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		solicited := p.consumeRequest(wire.InvTypeBlock, hash, now)
 		status, err := n.chain.ProcessBlock(&blk)
 		if err != nil {
-			n.logf("peer %d: block %s rejected: %v", p.id, hash, err)
+			n.logDebug("block rejected", "peer", p.id, "block", hash.String(), "err", err)
 			// An invalid block cannot be honest: proof of work and the
 			// checksummed frame rule out accidents.
 			n.penalize(p, pol.PenaltyInvalidBlock, fmt.Sprintf("invalid block %s", hash))
@@ -843,7 +878,7 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		p.markKnown(wire.InvTypeTx, txid)
 		solicited := p.consumeRequest(wire.InvTypeTx, txid, now)
 		if _, err := n.pool.Accept(&tx); err != nil {
-			n.logf("peer %d: tx %s rejected: %v", p.id, txid, err)
+			n.logDebug("tx rejected", "peer", p.id, "tx", txid.String(), "err", err)
 			if isTxPenaltyWorthy(err) {
 				n.penalize(p, pol.PenaltyInvalidTx, fmt.Sprintf("invalid tx %s: %v", txid, err))
 			} else if !solicited && errors.Is(err, mempool.ErrAlreadyKnown) {
@@ -861,7 +896,7 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		}
 		h, err := n.acceptTypecoin(ledger, msg.Command, msg.Payload)
 		if err != nil {
-			n.logf("peer %d: %s rejected: %v", p.id, msg.Command, err)
+			n.logDebug("overlay object rejected", "peer", p.id, "command", msg.Command, "err", err)
 			// Overlay objects are checksummed end to end; an undecodable
 			// or invalid one is sender-made. The connection survives
 			// unless the score crosses the threshold.
@@ -901,7 +936,8 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 	default:
 		// Unknown commands are tolerated (forward compatibility) but not
 		// free, so a command-name fuzzer still accumulates score.
-		n.logf("peer %d: unknown command %q", p.id, msg.Command)
+		n.tel.unknownCmds.Inc()
+		n.logDebug("unknown command", "peer", p.id, "command", msg.Command)
 		n.penalize(p, pol.PenaltyUnknownCmd, fmt.Sprintf("unknown command %q", msg.Command))
 		return nil
 	}
@@ -955,7 +991,7 @@ func (n *Node) requestMissingTypecoin() {
 	payload := wire.EncodeInv(invs)
 	for _, p := range n.peerSnapshot(nil) {
 		if err := p.send(wire.CmdTcGet, payload); err != nil {
-			n.logf("tcget to peer %d: %v", p.id, err)
+			n.logDebug("tcget send failed", "peer", p.id, "err", err)
 		}
 	}
 }
@@ -976,7 +1012,7 @@ func (n *Node) SyncPeers() {
 			}
 		}
 		if err := p.send(wire.CmdGetBlocks, payload); err != nil {
-			n.logf("sync to peer %d: %v", p.id, err)
+			n.logDebug("sync send failed", "peer", p.id, "err", err)
 		}
 	}
 	n.requestMissingTypecoin()
@@ -1058,7 +1094,7 @@ func (n *Node) gossipTypecoin(command string, payload []byte, h chainhash.Hash, 
 	for _, p := range n.peerSnapshot(except) {
 		if p.markKnown(invTypeTypecoin, h) {
 			if err := p.send(command, payload); err != nil {
-				n.logf("typecoin gossip to peer %d: %v", p.id, err)
+				n.logDebug("typecoin gossip send failed", "peer", p.id, "err", err)
 			}
 		}
 	}
@@ -1108,7 +1144,7 @@ func (n *Node) announce(iv wire.InvVect, except *Peer) {
 	for _, p := range n.peerSnapshot(except) {
 		if p.markKnown(iv.Type, iv.Hash) {
 			if err := p.send(wire.CmdInv, payload); err != nil {
-				n.logf("announce to peer %d: %v", p.id, err)
+				n.logDebug("announce send failed", "peer", p.id, "err", err)
 			}
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"typecoin/internal/banscore"
+	"typecoin/internal/telemetry"
 )
 
 // Peer is one connected neighbor. Writes are serialized through a queue;
@@ -38,6 +39,14 @@ type Peer struct {
 	inbound bool
 	// handshakeTimer reaps the peer if no version/verack arrives.
 	handshakeTimer *time.Timer
+
+	// Cached per-peer counter children (see bindPeerCounters); nil when
+	// telemetry is disabled. Kept on the peer so the read and write
+	// loops skip the vec lookup per message.
+	cRecvMsgs  *telemetry.Counter
+	cRecvBytes *telemetry.Counter
+	cSentMsgs  *telemetry.Counter
+	cSentBytes *telemetry.Counter
 
 	sendCh chan *queuedMsg
 	done   chan struct{}

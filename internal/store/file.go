@@ -64,6 +64,9 @@ type File struct {
 	// discarded as torn.
 	truncatedBytes int64
 
+	// compactions counts journal compactions since Open, for telemetry.
+	compactions uint64
+
 	closed bool
 }
 
@@ -389,7 +392,29 @@ func (f *File) compactLocked() error {
 	f.log = nf
 	f.gen = newGen
 	f.logSize = int64(len(frame))
+	f.compactions++
 	return nil
+}
+
+// JournalBytes returns the current size of the KV journal.
+func (f *File) JournalBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.logSize
+}
+
+// BlockLogBytes returns the current size of the append-only block log.
+func (f *File) BlockLogBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.blocksSize
+}
+
+// Compactions returns the number of journal compactions since Open.
+func (f *File) Compactions() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.compactions
 }
 
 // AppendBlock implements Store.

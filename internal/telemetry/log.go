@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Logging conventions: one base slog.Logger per process, one child per
+// component (chain, p2p, mempool, store, miner, ledger) distinguished by
+// the "component" attribute. Levels follow operator intent:
+//
+//	DEBUG  per-message protocol chatter, redial attempts
+//	INFO   lifecycle milestones: listen addresses, sync progress, shutdown
+//	WARN   misbehavior penalties, bans, recoverable store trouble
+//	ERROR  data-loss risks and fatal startup failures
+//
+// Tests and the network simulator pass no logger at all and stay quiet;
+// typecoind defaults to INFO and -loglevel debug opens the firehose.
+
+// ParseLevel maps a -loglevel flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds the process base logger writing to w at the given
+// level, in logfmt-style text or JSON (-logjson).
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// Component derives the child logger for one subsystem. A nil base
+// yields nil, which every consumer treats as logging disabled.
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		return nil
+	}
+	return base.With("component", name)
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"WARN":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(&b, slog.LevelWarn, false)
+	lg.Info("quiet")
+	lg.Warn("loud")
+	out := b.String()
+	if strings.Contains(out, "quiet") {
+		t.Errorf("INFO leaked through WARN filter: %q", out)
+	}
+	if !strings.Contains(out, "loud") {
+		t.Errorf("WARN missing: %q", out)
+	}
+}
+
+func TestLoggerJSONAndComponent(t *testing.T) {
+	var b strings.Builder
+	lg := Component(NewLogger(&b, slog.LevelInfo, true), "p2p")
+	lg.Info("peer connected", "addr", "1.2.3.4:9")
+	var rec map[string]interface{}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, b.String())
+	}
+	if rec["component"] != "p2p" || rec["addr"] != "1.2.3.4:9" || rec["msg"] != "peer connected" {
+		t.Fatalf("wrong record: %v", rec)
+	}
+}
+
+func TestComponentNil(t *testing.T) {
+	if Component(nil, "chain") != nil {
+		t.Fatal("Component(nil) must be nil")
+	}
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"typecoin/internal/clock"
+)
+
+// Event kinds recorded by the block-lifecycle tracer. Blocks move
+// through first-seen -> {connected, side-chain, orphaned, invalid,
+// duplicate} -> possibly disconnected during a reorg; transactions move
+// through accepted -> {mined, evicted, recycled}. Peer lifecycle events
+// share the buffer so an operator can correlate a ban with the blocks
+// and transactions around it.
+const (
+	EvBlockSeen         = "block_seen"
+	EvBlockConnected    = "block_connected"
+	EvBlockDisconnected = "block_disconnected"
+	EvBlockSideChain    = "block_side_chain"
+	EvBlockOrphaned     = "block_orphaned"
+	EvBlockInvalid      = "block_invalid"
+	EvReorg             = "reorg"
+	EvTxAccepted        = "tx_accepted"
+	EvTxMined           = "tx_mined"
+	EvTxEvicted         = "tx_evicted"
+	EvTxRejected        = "tx_rejected"
+	EvPeerConnected     = "peer_connected"
+	EvPeerDisconnected  = "peer_disconnected"
+	EvPeerBanned        = "peer_banned"
+)
+
+// Event is one timestamped lifecycle record. Ref carries the correlating
+// identity — a block or transaction hash, or a peer address — so a
+// block's whole history is one filter away.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Ref    string    `json:"ref"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of lifecycle events. Recording is
+// cheap (one mutex, no allocation beyond the event itself) and the
+// buffer evicts oldest-first, so it is safe to leave on in production.
+// All methods are nil-safe.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int // index of the oldest event
+	n     int // number of live events
+	seq   uint64
+	clk   clock.Clock
+}
+
+// DefaultTraceCapacity bounds the default event ring.
+const DefaultTraceCapacity = 4096
+
+// NewTracer creates a tracer holding up to capacity events (<= 0 selects
+// DefaultTraceCapacity). clk may be nil for the system clock; the
+// network simulator passes its virtual clock so event times line up with
+// simulated scenarios.
+func NewTracer(capacity int, clk clock.Clock) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Tracer{buf: make([]Event, capacity), clk: clk}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (t *Tracer) Record(kind, ref, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	ev := Event{Seq: t.seq, Time: t.clk.Now(), Kind: kind, Ref: ref, Detail: detail}
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = ev
+		t.n++
+	} else {
+		t.buf[t.start] = ev
+		t.start = (t.start + 1) % len(t.buf)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns up to limit most-recent events (0 = all buffered),
+// oldest first, optionally filtered to those whose Ref equals ref.
+func (t *Tracer) Events(ref string, limit int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	all := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		ev := t.buf[(t.start+i)%len(t.buf)]
+		if ref == "" || ev.Ref == ref {
+			all = append(all, ev)
+		}
+	}
+	t.mu.Unlock()
+	if limit > 0 && len(all) > limit {
+		all = all[len(all)-limit:]
+	}
+	return all
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Handler serves the buffer as JSON (GET /debug/events). Query
+// parameters: ref=<hash|addr> filters by correlating identity,
+// limit=<n> caps the result to the n most recent matches.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		events := t.Events(r.URL.Query().Get("ref"), limit)
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{
+			"count":  len(events),
+			"events": events,
+		})
+	})
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"typecoin/internal/clock"
+)
+
+func TestTracerEvictionOrder(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(1000, 0))
+	tr := NewTracer(4, clk)
+	for i := 0; i < 7; i++ {
+		tr.Record(EvBlockSeen, fmt.Sprintf("h%d", i), "")
+		clk.Advance(time.Second)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (capacity)", tr.Len())
+	}
+	evs := tr.Events("", 0)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	// Oldest three (h0..h2) were evicted; survivors are h3..h6 in order.
+	for i, ev := range evs {
+		wantRef := fmt.Sprintf("h%d", i+3)
+		if ev.Ref != wantRef {
+			t.Errorf("event %d ref = %q, want %q", i, ev.Ref, wantRef)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("seq not increasing: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+		if i > 0 && evs[i].Time.Before(evs[i-1].Time) {
+			t.Errorf("time not monotonic at %d", i)
+		}
+	}
+}
+
+func TestTracerRefFilterAndLimit(t *testing.T) {
+	tr := NewTracer(16, clock.NewSimulated(time.Unix(0, 0)))
+	tr.Record(EvBlockSeen, "a", "")
+	tr.Record(EvTxAccepted, "b", "")
+	tr.Record(EvBlockConnected, "a", "height=1")
+	tr.Record(EvTxMined, "b", "block=a")
+
+	got := tr.Events("a", 0)
+	if len(got) != 2 || got[0].Kind != EvBlockSeen || got[1].Kind != EvBlockConnected {
+		t.Fatalf("ref filter wrong: %+v", got)
+	}
+	// limit keeps the most recent matches.
+	got = tr.Events("", 2)
+	if len(got) != 2 || got[0].Kind != EvBlockConnected || got[1].Kind != EvTxMined {
+		t.Fatalf("limit wrong: %+v", got)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(EvBlockSeen, "x", "")
+	if tr.Len() != 0 || tr.Events("", 0) != nil {
+		t.Fatal("nil tracer must no-op")
+	}
+}
+
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(8, clock.NewSimulated(time.Unix(42, 0)))
+	tr.Record(EvBlockSeen, "aa", "")
+	tr.Record(EvBlockConnected, "aa", "height=1")
+	tr.Record(EvBlockSeen, "bb", "")
+
+	req := httptest.NewRequest("GET", "/debug/events?ref=aa", nil)
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var body struct {
+		Count  int     `json:"count"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if body.Count != 2 || len(body.Events) != 2 {
+		t.Fatalf("count = %d events = %d, want 2/2", body.Count, len(body.Events))
+	}
+	if body.Events[0].Kind != EvBlockSeen || body.Events[1].Kind != EvBlockConnected {
+		t.Fatalf("wrong events: %+v", body.Events)
+	}
+}
