@@ -77,7 +77,9 @@ func TestMetricsSmoke(t *testing.T) {
 		t.Skip("spawns child processes")
 	}
 	dir := t.TempDir()
-	d := startDaemon(t, dir)
+	// Run with the async group-commit pipeline on so its metric families
+	// (flush lag, group size, watermark) are registered and scraped too.
+	d := startDaemon(t, dir, "-commit-interval", "25ms")
 
 	// The exposition must parse and span every instrumented subsystem.
 	samples := scrapeMetrics(t, d)
@@ -92,6 +94,9 @@ func TestMetricsSmoke(t *testing.T) {
 		"p2p_peers", "p2p_bans_total",
 		"miner_blocks_found_total", "miner_hash_attempts_total",
 		"store_journal_bytes", "store_commits_total",
+		"store_flushed_height", "store_pending_batches",
+		"store_flush_lag_seconds_count", "store_group_commit_batches_count",
+		"store_group_flushes_total", "chain_utxo_shard_size",
 		"process_uptime_seconds",
 	} {
 		if !names[want] {
@@ -166,5 +171,10 @@ func TestMetricsSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(snap), "chain_height 3") {
 		t.Errorf("metrics.last does not record final chain_height:\n%.500s", snap)
+	}
+	// Shutdown drains the pipeline before snapshotting, so the snapshot
+	// must show the durability watermark caught up with the tip.
+	if !strings.Contains(string(snap), "store_flushed_height 3") {
+		t.Errorf("metrics.last watermark did not catch the tip:\n%.500s", snap)
 	}
 }

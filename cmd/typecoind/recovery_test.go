@@ -25,6 +25,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -245,6 +247,220 @@ func TestCrashMidCommitRecoversConsistent(t *testing.T) {
 	}
 }
 
+// TestCrashInGroupCommitWindowRecovers is the group-commit variant of
+// TestCrashMidCommitRecoversConsistent: the same full stack runs over
+// the async pipeline with a window that never expires, so every write
+// of the run coalesces into one giant group. The fault store under the
+// pipeline tears a frame on the 17th batch of that group when it
+// finally drains — a crash inside the commit window. Recovery must
+// yield a clean prefix of whole batches and, after resync, match a
+// never-crashed control node on every layer.
+func TestCrashInGroupCommitWindowRecovers(t *testing.T) {
+	params := chain.RegTestParams()
+	clk := clock.NewSimulated(params.GenesisBlock.Header.Timestamp.Add(time.Minute))
+
+	const entropySeed = "recovery/group"
+	chC := chain.New(params, clk)
+	poolC := mempool.New(chC, -1)
+	wC := wallet.New(chC, testutil.NewEntropy(entropySeed))
+	payout, err := wC.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledgerC := typecoin.NewLedger(chC, 1)
+	minerC := miner.New(chC, poolC, clk)
+
+	// Crash node: File under Fault under Group. Fault does not implement
+	// ApplyGroup, so the committer applies batch by batch and the tear
+	// lands mid-coalesced-group rather than before or after it.
+	dir := t.TempDir()
+	fileSt, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := store.NewFault(fileSt, 17, 10)
+	g := store.NewGroup(fault, store.GroupConfig{Interval: time.Hour, MaxBatches: 1 << 30})
+	chF, err := chain.Open(chain.Config{Params: params, Clock: clk, Store: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wF, err := wallet.Open(chF, testutil.NewEntropy(entropySeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wF.NewKey(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wF.NewKey(); err != nil {
+		t.Fatal(err)
+	}
+	dest, err := wC.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledgerF, err := typecoin.OpenLedger(chF, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inside the window every connect succeeds instantly against the
+	// overlay — unlike the synchronous test, no mine can fail here.
+	var blks []*wire.MsgBlock
+	mine := func() {
+		t.Helper()
+		clk.Advance(time.Minute)
+		blk, _, err := minerC.Mine(payout)
+		if err != nil {
+			t.Fatalf("mine: %v", err)
+		}
+		blks = append(blks, blk)
+		if _, err := chF.ProcessBlock(blk); err != nil {
+			t.Fatalf("crash node rejected block inside the window: %v", err)
+		}
+	}
+
+	for i := 0; i < params.CoinbaseMaturity+1; i++ {
+		mine()
+	}
+	// The whole chain is pending: the tip has advanced but nothing is
+	// durable yet, and the watermark says so.
+	if got := chF.FlushedHeight(); got != 0 {
+		t.Fatalf("FlushedHeight = %d with the whole chain pending, want 0", got)
+	}
+
+	// Grant a typed token and confirm its carrier, all inside the window.
+	ownerKey, err := wC.Key(payout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant := typecoin.NewTx()
+	if err := grant.Basis.DeclareFam(lf.This("tok"), lf.KProp{}); err != nil {
+		t.Fatal(err)
+	}
+	tok := logic.Atom(lf.This("tok"))
+	grant.Grant = tok
+	grant.Outputs = []typecoin.Output{{Type: tok, Amount: 5_000, Owner: ownerKey.PubKey()}}
+	grant.Proof = proof.Lam{Name: "d", Ty: grant.Domain(),
+		Body: proof.LetPair{LName: "ca", RName: "r", Of: proof.V("d"),
+			Body: proof.LetPair{LName: "c", RName: "a", Of: proof.V("ca"),
+				Body: proof.V("c")}}}
+	outs, err := typecoin.CarrierOutputs(grant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wOuts := make([]wallet.Output, len(outs))
+	for i, o := range outs {
+		wOuts[i] = wallet.Output{Value: o.Value, PkScript: o.PkScript}
+	}
+	carrier, err := wC.Build(wOuts, wallet.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledgerC.Announce(grant)
+	ledgerF.Announce(grant)
+	if _, err := poolC.Accept(carrier); err != nil {
+		t.Fatalf("accept carrier: %v", err)
+	}
+	mine() // confirms the carrier
+
+	spend, err := wC.Build([]wallet.Output{
+		{Value: 1_000_000, PkScript: script.PayToPubKeyHash(dest)},
+	}, wallet.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := poolC.Accept(spend); err != nil {
+		t.Fatalf("accept spend: %v", err)
+	}
+	mine()
+	mine()
+	mine()
+
+	// Crash: draining the pipeline replays the coalesced group into the
+	// fault, which tears batch 17 mid-frame and poisons everything after.
+	if got := g.PendingBatches(); got < 17 {
+		t.Fatalf("only %d batches pending; the fault would not fire mid-group", got)
+	}
+	if err := g.Flush(); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("flush over dying store: err = %v, want ErrClosed", err)
+	}
+	if err := g.Apply(store.NewBatch()); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("Apply after poison: %v, want ErrClosed", err)
+	}
+	g.Close()
+	_ = fault.Close()
+
+	// Reopen: replay must truncate the torn frame and recover exactly the
+	// durable prefix of whole batches.
+	st2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer st2.Close()
+	if st2.TruncatedBytes() == 0 {
+		t.Error("reopen found no torn frame to truncate")
+	}
+	ch2, err := chain.Open(chain.Config{Params: params, Clock: clk, Store: st2})
+	if err != nil {
+		t.Fatalf("reopen chain: %v", err)
+	}
+	if got := ch2.BestHeight(); got >= chC.BestHeight() {
+		t.Fatalf("recovered height %d, want < control %d", got, chC.BestHeight())
+	}
+	// Synchronous store after reopen: watermark and tip coincide.
+	if got, want := ch2.FlushedHeight(), ch2.BestHeight(); got != want {
+		t.Fatalf("recovered FlushedHeight = %d, tip = %d", got, want)
+	}
+	if err := ch2.AuditFromGenesis(); err != nil {
+		t.Fatalf("recovered chain audit: %v", err)
+	}
+	w2, err := wallet.Open(ch2, testutil.NewEntropy("recovery/unused"))
+	if err != nil {
+		t.Fatalf("reopen wallet: %v", err)
+	}
+	ledger2, err := typecoin.OpenLedger(ch2, 1)
+	if err != nil {
+		t.Fatalf("reopen ledger: %v", err)
+	}
+	listHash := (&typecoin.FallbackList{Txs: []*typecoin.Tx{grant}}).Hash()
+	if _, ok := ledger2.KnownObject(listHash); !ok {
+		t.Error("recovered ledger lost the persisted announcement")
+	}
+	pool2 := mempool.New(ch2, -1)
+	if _, _, err := pool2.Restore(w2.ObserveUnconfirmed); err != nil {
+		t.Fatalf("restore mempool: %v", err)
+	}
+
+	for _, blk := range blks {
+		if _, err := ch2.ProcessBlock(blk); err != nil {
+			t.Fatalf("resync block: %v", err)
+		}
+	}
+
+	if ch2.BestHash() != chC.BestHash() || ch2.BestHeight() != chC.BestHeight() {
+		t.Fatalf("chain mismatch: recovered %s@%d, control %s@%d",
+			ch2.BestHash(), ch2.BestHeight(), chC.BestHash(), chC.BestHeight())
+	}
+	if got, want := ch2.UtxoSize(), chC.UtxoSize(); got != want {
+		t.Fatalf("utxo set size %d, control %d", got, want)
+	}
+	if err := ch2.AuditFromGenesis(); err != nil {
+		t.Fatalf("resynced chain audit: %v", err)
+	}
+	if err := ledger2.AuditAffine(); err != nil {
+		t.Fatalf("recovered ledger audit: %v", err)
+	}
+	if !ledger2.Applied(carrier.TxHash()) {
+		t.Fatal("recovered ledger did not apply the grant carrier")
+	}
+	if got, want := ledger2.AppliedCount(), ledgerC.AppliedCount(); got != want {
+		t.Fatalf("ledger applied %d carriers, control %d", got, want)
+	}
+	if got, want := w2.Balance(), wC.Balance(); got != want {
+		t.Fatalf("wallet balance %d, control %d", got, want)
+	}
+}
+
 func TestMempoolPersistAcrossRestart(t *testing.T) {
 	params := chain.RegTestParams()
 	clk := clock.NewSimulated(params.GenesisBlock.Header.Timestamp.Add(time.Minute))
@@ -359,12 +575,14 @@ type daemon struct {
 	logs *bytes.Buffer
 }
 
-func startDaemon(t *testing.T, dir string) *daemon {
+func startDaemon(t *testing.T, dir string, extra ...string) *daemon {
 	t.Helper()
 	addrFile := filepath.Join(dir, "http.addr")
 	_ = os.Remove(addrFile)
-	cmd := exec.Command(os.Args[0], "-test.run=TestDaemonHelper", "--",
-		"-datadir", dir, "-http", "127.0.0.1:0", "-listen", "")
+	args := []string{"-test.run=TestDaemonHelper", "--",
+		"-datadir", dir, "-http", "127.0.0.1:0", "-listen", ""}
+	args = append(args, extra...)
+	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), "TYPECOIND_HELPER=1")
 	logs := &bytes.Buffer{}
 	cmd.Stdout = logs
@@ -504,7 +722,9 @@ func TestDaemonKillRecovery(t *testing.T) {
 		t.Fatalf("graceful shutdown exit: %v\nlogs:\n%s", err, d2.logs.String())
 	}
 
-	d3 := startDaemon(t, dir)
+	// The last incarnation runs with the async group-commit pipeline on:
+	// same datadir, same state, different durability schedule.
+	d3 := startDaemon(t, dir, "-commit-interval", "25ms")
 	st3 := d3.status(t)
 	if got := st3["mempool"].(float64); got != 1 {
 		t.Fatalf("restored mempool size %v, want 1\nlogs:\n%s", got, d3.logs.String())
@@ -512,10 +732,44 @@ func TestDaemonKillRecovery(t *testing.T) {
 	if st3["height"].(float64) != before["height"].(float64)+1 {
 		t.Fatalf("height after graceful restart: %v", st3["height"])
 	}
+	// Mine through the pipeline so the watermark has a marked flush to
+	// advance past, then shut down gracefully: Flush drains the pipeline
+	// before the final metrics snapshot, so the snapshot must show the
+	// durability watermark caught up with the tip.
+	d3.post(t, "/mine", map[string]int{"blocks": 1})
 	if err := d3.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
 	if err := d3.cmd.Wait(); err != nil {
 		t.Fatalf("final shutdown exit: %v\nlogs:\n%s", err, d3.logs.String())
 	}
+	snap, err := os.ReadFile(filepath.Join(dir, "metrics.last"))
+	if err != nil {
+		t.Fatalf("metrics.last after graceful group-commit shutdown: %v", err)
+	}
+	tip := snapshotMetric(t, snap, "chain_height")
+	if want := before["height"].(float64) + 2; tip != want {
+		t.Fatalf("final chain_height = %v, want %v", tip, want)
+	}
+	if got := snapshotMetric(t, snap, "store_flushed_height"); got != tip {
+		t.Fatalf("store_flushed_height = %v after graceful shutdown, want tip %v\nlogs:\n%s",
+			got, tip, d3.logs.String())
+	}
+}
+
+// snapshotMetric extracts one bare-name sample from a metrics.last
+// snapshot written at graceful shutdown.
+func snapshotMetric(t *testing.T, snap []byte, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(string(snap), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metrics.last %s: bad value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %q missing from metrics.last:\n%.500s", name, snap)
+	return 0
 }

@@ -279,7 +279,7 @@ func TestConfirmations(t *testing.T) {
 func TestRejectPrematureCoinbaseSpend(t *testing.T) {
 	// Covered end-to-end in the integration test; here we exercise
 	// CheckTransactionInputs directly.
-	view := NewUtxoSet()
+	view := NewUtxoView()
 	cb := wire.NewMsgTx(wire.TxVersion)
 	cb.AddTxIn(&wire.TxIn{PreviousOutPoint: wire.OutPoint{Hash: chainhash.ZeroHash, Index: 0xffffffff},
 		SignatureScript: []byte{1, 2}})
@@ -306,7 +306,7 @@ func TestRejectPrematureCoinbaseSpend(t *testing.T) {
 }
 
 func TestCheckTransactionInputsMissing(t *testing.T) {
-	view := NewUtxoSet()
+	view := NewUtxoView()
 	spend := wire.NewMsgTx(wire.TxVersion)
 	spend.AddTxIn(&wire.TxIn{PreviousOutPoint: wire.OutPoint{Hash: chainhash.HashB([]byte("x"))}})
 	spend.AddTxOut(&wire.TxOut{Value: 1, PkScript: []byte{0x51}})

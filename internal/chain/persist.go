@@ -84,6 +84,19 @@ func decodeOutPoint(b []byte) (wire.OutPoint, error) {
 func keyUtxo(op wire.OutPoint) []byte  { return appendOutPoint([]byte("u"), op) }
 func keySpent(op wire.OutPoint) []byte { return appendOutPoint([]byte("s"), op) }
 
+// outPointKey is a stack-friendly reusable buffer for the u/s keys: the
+// commit paths write hundreds of outpoint keys per block, and building
+// each with keyUtxo/keySpent costs an allocation apiece. Batch.Put
+// copies its arguments, so one buffer serves every op.
+type outPointKey [1 + outPointSize]byte
+
+func (k *outPointKey) set(prefix byte, op wire.OutPoint) []byte {
+	k[0] = prefix
+	copy(k[1:33], op.Hash[:])
+	binary.LittleEndian.PutUint32(k[33:], op.Index)
+	return k[:]
+}
+
 // Value codecs. All integers are unsigned varints; heights and values
 // in this system are non-negative.
 
@@ -216,12 +229,16 @@ func decodeUtxoEntry(b []byte) (*UtxoEntry, error) {
 	return e, nil
 }
 
-func encodeSpendRecord(rec SpendRecord) []byte {
-	out := append([]byte(nil), rec.Spender[:]...)
+func appendSpendRecord(dst []byte, rec SpendRecord) []byte {
+	dst = append(dst, rec.Spender[:]...)
 	var idx [4]byte
 	binary.LittleEndian.PutUint32(idx[:], rec.SpentBy.Index)
-	out = append(out, idx[:]...)
-	return appendUvarint(out, uint64(rec.Height))
+	dst = append(dst, idx[:]...)
+	return appendUvarint(dst, uint64(rec.Height))
+}
+
+func encodeSpendRecord(rec SpendRecord) []byte {
+	return appendSpendRecord(nil, rec)
 }
 
 func decodeSpendRecord(b []byte) (SpendRecord, error) {
@@ -373,7 +390,7 @@ func Open(cfg Config) (*Chain, error) {
 		sigCache:    cfg.SigCache,
 		st:          st,
 		index:       make(map[chainhash.Hash]*blockNode),
-		utxo:        NewUtxoSet(),
+		utxo:        NewUtxoView(),
 		spent:       make(map[wire.OutPoint]SpendRecord),
 		txToBlock:   make(map[chainhash.Hash]txLoc),
 		orphans:     make(map[chainhash.Hash][]*wire.MsgBlock),
@@ -390,11 +407,10 @@ func Open(cfg Config) (*Chain, error) {
 		if err := c.bootstrap(); err != nil {
 			return nil, err
 		}
-		return c, nil
-	}
-	if err := c.load(); err != nil {
+	} else if err := c.load(); err != nil {
 		return nil, err
 	}
+	c.baseFlushed = c.tip.height
 	return c, nil
 }
 
@@ -631,32 +647,50 @@ func (c *Chain) commitConnect(node *blockNode, undo []undoItem) error {
 	b.Put(keyMain(node.height), blkHash[:])
 	b.Put(keyTip, encodeTip(blkHash, node.height))
 	b.Put(keyUndo(blkHash), encodeUndo(undo))
+	var key outPointKey
+	var rowBuf []byte
 	spent := make([]SpentOutput, 0, len(undo))
 	for _, item := range undo {
-		b.Delete(keyUtxo(item.op))
-		b.Put(keySpent(item.op), encodeSpendRecord(c.spent[item.op]))
+		b.Delete(key.set('u', item.op))
+		rowBuf = appendSpendRecord(rowBuf[:0], c.spent[item.op])
+		b.Put(key.set('s', item.op), rowBuf)
 		spent = append(spent, SpentOutput{OutPoint: item.op, Entry: item.entry})
 	}
 	for _, tx := range node.block.Transactions {
 		txid := tx.TxHash()
 		for i := range tx.TxOut {
 			op := wire.OutPoint{Hash: txid, Index: uint32(i)}
-			if e := c.utxo.Lookup(op); e != nil {
-				b.Put(keyUtxo(op), appendUtxoEntry(nil, e))
+			e := c.utxo.Lookup(op)
+			if e == nil {
+				continue
 			}
+			row := c.utxo.encodedRow(op)
+			if row == nil {
+				rowBuf = appendUtxoEntry(rowBuf[:0], e)
+				row = rowBuf
+			}
+			b.Put(key.set('u', op), row)
 		}
 	}
 	ev := PersistEvent{Connected: true, Block: node.block, Height: node.height, Spent: spent}
 	for _, fn := range c.persisters {
 		fn(ev, b)
 	}
-	return c.applyBatch(b)
+	return c.applyBatch(b, node.height)
 }
 
-// applyBatch commits b, timing the store round trip.
-func (c *Chain) applyBatch(b *store.Batch) error {
+// applyBatch commits b, timing the store round trip. When the store is
+// a group-commit pipeline, the batch carries its block height so the
+// durability watermark advances as it flushes; height < 0 means the
+// batch moves no block boundary (side blocks, bootstrap).
+func (c *Chain) applyBatch(b *store.Batch, height int) error {
 	start := time.Now()
-	err := c.st.Apply(b)
+	var err error
+	if ma, ok := c.st.(markedApplier); ok && height >= 0 {
+		err = ma.ApplyMarked(b, height)
+	} else {
+		err = c.st.Apply(b)
+	}
 	if c.tel.commitSeconds != nil {
 		observeSince(c.tel.commitSeconds, start)
 		c.tel.commitOps.Observe(float64(b.Len()))
@@ -666,6 +700,24 @@ func (c *Chain) applyBatch(b *store.Batch) error {
 	}
 	return err
 }
+
+// The store decorations the chain knows how to exploit, discovered by
+// interface probe so every store.Store still works unmodified.
+type (
+	// markedApplier tags a batch with the block height it makes durable
+	// (store.Group).
+	markedApplier interface {
+		ApplyMarked(b *store.Batch, height int) error
+	}
+	// drainer forces enqueued batches down to the inner store.
+	drainer interface {
+		Drain() error
+	}
+	// watermarked reports the highest block height known durable.
+	watermarked interface {
+		Flushed() int
+	}
+)
 
 // commitDisconnect assembles and applies the atomic batch for
 // disconnecting the tip, given its decoded spend journal. Caller holds
@@ -679,23 +731,28 @@ func (c *Chain) commitDisconnect(node *blockNode, undo []undoItem) error {
 	// Restore-then-delete, matching the resident order: batch ops apply
 	// in sequence, so an outpoint created and consumed within this block
 	// is restored by its undo row and then deleted by the removal pass.
+	var key outPointKey
+	var rowBuf []byte
 	spent := make([]SpentOutput, 0, len(undo))
 	for _, item := range undo {
-		b.Put(keyUtxo(item.op), appendUtxoEntry(nil, item.entry))
-		b.Delete(keySpent(item.op))
+		rowBuf = appendUtxoEntry(rowBuf[:0], item.entry)
+		b.Put(key.set('u', item.op), rowBuf)
+		b.Delete(key.set('s', item.op))
 		spent = append(spent, SpentOutput{OutPoint: item.op, Entry: item.entry})
 	}
 	for _, tx := range node.block.Transactions {
 		txid := tx.TxHash()
 		for i := range tx.TxOut {
-			b.Delete(keyUtxo(wire.OutPoint{Hash: txid, Index: uint32(i)}))
+			b.Delete(key.set('u', wire.OutPoint{Hash: txid, Index: uint32(i)}))
 		}
 	}
 	ev := PersistEvent{Connected: false, Block: node.block, Height: node.height, Spent: spent}
 	for _, fn := range c.persisters {
 		fn(ev, b)
 	}
-	return c.applyBatch(b)
+	// The new tip is the parent: once this batch is durable, the chain
+	// can only replay to parent or later, never to the detached block.
+	return c.applyBatch(b, node.parent.height)
 }
 
 // loadUndo fetches and decodes the spend journal of a connected block.

@@ -130,7 +130,7 @@ func (c *Chain) checkBlockContext(blk *wire.MsgBlock, parent *blockNode) error {
 // already reflect any earlier transactions in the same block. Returning
 // the entries lets the script-check stage reuse this lookup instead of
 // re-resolving every outpoint.
-func CheckTransactionInputs(tx *wire.MsgTx, height int, view *UtxoSet, maturity int) (int64, []*UtxoEntry, error) {
+func CheckTransactionInputs(tx *wire.MsgTx, height int, view *UtxoView, maturity int) (int64, []*UtxoEntry, error) {
 	var totalIn int64
 	entries := make([]*UtxoEntry, len(tx.TxIn))
 	for i, in := range tx.TxIn {

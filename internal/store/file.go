@@ -41,6 +41,17 @@ type File struct {
 	gen     uint64
 	log     *os.File
 	logSize int64
+	// logCap is the allocated size of the journal file, grown ahead of
+	// logSize in chunks so appends rarely extend the file. The gap past
+	// logSize is zeros; replay treats it as a torn tail, and Close and
+	// compaction truncate it away.
+	logCap int64
+
+	// scratch is the reusable frame-encoding buffer: Apply re-encodes
+	// every record, and without reuse that is two allocations per batch
+	// plus a payload copy (the dominant share of the ~28k allocs/op the
+	// persistent connect bench used to show).
+	scratch []byte
 
 	blocks     *os.File
 	blocksSize int64
@@ -76,6 +87,10 @@ const (
 	manifestHeader = "typecoin-store v1"
 
 	defaultCompactMin = 1 << 20
+
+	// journalPreallocChunk is how far past the current tail the journal
+	// file is extended when an append outgrows it.
+	journalPreallocChunk = 256 << 10
 )
 
 // OpenFile opens (creating if needed) the store rooted at dir and
@@ -217,10 +232,8 @@ func (f *File) replayJournal() error {
 			return err
 		}
 	}
-	if _, err := f.log.Seek(int64(off), io.SeekStart); err != nil {
-		return err
-	}
 	f.logSize = int64(off)
+	f.logCap = int64(off)
 	return nil
 }
 
@@ -328,28 +341,73 @@ func (f *File) Apply(b *Batch) error {
 	if f.closed {
 		return ErrClosed
 	}
-	frame := appendFrame(nil, encodeBatchPayload(b))
-	if f.crashBytes >= 0 {
-		n := f.crashBytes
-		if n > len(frame) {
-			n = len(frame)
-		}
-		f.log.Write(frame[:n])
-		f.closed = true // poisoned: the "process" is dead
-		return fmt.Errorf("%w: injected crash mid-batch", ErrClosed)
-	}
-	if _, err := f.log.Write(frame); err != nil {
+	f.scratch = appendBatchFrame(f.scratch[:0], b)
+	if err := f.writeFramesLocked(f.scratch); err != nil {
 		return err
-	}
-	f.logSize += int64(len(frame))
-	if f.syncEvery {
-		if err := f.log.Sync(); err != nil {
-			return err
-		}
 	}
 	f.applyToTable(b.ops)
 	if f.logSize > f.compactMin && f.liveBytes*4 < f.logSize {
 		return f.compactLocked()
+	}
+	return nil
+}
+
+// ApplyGroup commits several batches as consecutive journal frames with
+// a single write (and at most one fsync). Each batch keeps its own
+// frame, so per-batch atomicity is unchanged: a crash mid-group leaves
+// a prefix of whole batches on disk, never a partial one. This is the
+// fast path the group-commit pipeline uses to amortize the per-Apply
+// syscall and fsync cost across blocks.
+func (f *File) ApplyGroup(batches []*Batch) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.scratch = f.scratch[:0]
+	for _, b := range batches {
+		f.scratch = appendBatchFrame(f.scratch, b)
+	}
+	if err := f.writeFramesLocked(f.scratch); err != nil {
+		return err
+	}
+	for _, b := range batches {
+		f.applyToTable(b.ops)
+	}
+	if f.logSize > f.compactMin && f.liveBytes*4 < f.logSize {
+		return f.compactLocked()
+	}
+	return nil
+}
+
+// writeFramesLocked appends already-framed bytes to the journal,
+// preallocating capacity ahead of the tail and honoring the armed crash
+// fault and the per-apply fsync policy. Caller holds f.mu.
+func (f *File) writeFramesLocked(frames []byte) error {
+	if f.crashBytes >= 0 {
+		n := f.crashBytes
+		if n > len(frames) {
+			n = len(frames)
+		}
+		f.log.WriteAt(frames[:n], f.logSize)
+		f.closed = true // poisoned: the "process" is dead
+		return fmt.Errorf("%w: injected crash mid-batch", ErrClosed)
+	}
+	end := f.logSize + int64(len(frames))
+	if end > f.logCap {
+		grown := end + journalPreallocChunk
+		if f.log.Truncate(grown) == nil {
+			f.logCap = grown
+		} else {
+			f.logCap = end // WriteAt below extends the file itself
+		}
+	}
+	if _, err := f.log.WriteAt(frames, f.logSize); err != nil {
+		return err
+	}
+	f.logSize = end
+	if f.syncEvery {
+		return f.log.Sync()
 	}
 	return nil
 }
@@ -392,6 +450,7 @@ func (f *File) compactLocked() error {
 	f.log = nf
 	f.gen = newGen
 	f.logSize = int64(len(frame))
+	f.logCap = f.logSize
 	f.compactions++
 	return nil
 }
@@ -478,7 +537,17 @@ func (f *File) Close() error {
 		return nil
 	}
 	f.closed = true
-	err := f.log.Sync()
+	// Trim preallocated capacity so the file ends exactly at the last
+	// committed frame (keeps "file length == committed bytes" for clean
+	// shutdowns; crashes leave the zero tail for replay to discard).
+	var err error
+	if f.logCap > f.logSize {
+		err = f.log.Truncate(f.logSize)
+		f.logCap = f.logSize
+	}
+	if serr := f.log.Sync(); err == nil {
+		err = serr
+	}
 	if berr := f.blocks.Sync(); err == nil {
 		err = berr
 	}

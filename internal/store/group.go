@@ -1,0 +1,445 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Group is the async group-commit pipeline: a Store decorator that
+// makes Apply enqueue-and-return instead of write-and-return. A
+// committer goroutine coalesces the pending batches into one journal
+// write (one frame per batch, so per-batch atomicity is untouched) and
+// fsyncs on a configurable cadence. This is the paper's batching
+// argument applied one layer down: E2 amortizes per-commitment cost by
+// batching propositions into a transaction; Group amortizes per-block
+// durability cost by batching commit frames into a write.
+//
+// Reads see read-your-writes semantics through an overlay of the
+// not-yet-flushed ops, so the chain above cannot observe the pipeline
+// at all — except through the durability watermark: batches may carry a
+// block height mark (ApplyMarked), and Flushed reports the highest
+// marked height whose batch has reached the inner store. A crash while
+// batches are pending loses exactly the unflushed tail — whole blocks
+// from the tip, which sync re-downloads — never a half-applied batch.
+//
+// Write ordering is preserved: batches reach the inner store in Apply
+// order, and a group write is a contiguous run of them, so the inner
+// journal is byte-identical in content to the synchronous schedule.
+type Group struct {
+	inner Store
+	cfg   GroupConfig
+
+	mu       sync.Mutex
+	waiters  *sync.Cond // broadcast when durable/sticky/flushedHeight change
+	pending  []groupBatch
+	overlay  map[string]overlayEntry
+	seq      uint64 // last enqueued batch
+	durable  uint64 // last batch applied to the inner store
+	flushed  int    // highest marked height known durable; -1 before any
+	force    bool   // a Drain wants an immediate flush
+	flushes  uint64 // completed group flushes, for the SyncEvery cadence
+	sticky   error  // first inner-store failure; poisons the pipeline
+	closed   bool
+	onFlush  func(batches int, lag time.Duration)
+	pendChan chan struct{} // kick: work or force arrived (buffered 1)
+	quit     chan struct{}
+	done     chan struct{}
+}
+
+// GroupConfig tunes the committer.
+type GroupConfig struct {
+	// Interval is how long the committer lingers after the first pending
+	// batch arrives, collecting more before flushing. Zero means flush
+	// as soon as the committer wakes (still coalescing whatever queued
+	// while a previous flush was in progress).
+	Interval time.Duration
+	// MaxBatches flushes early once this many batches are pending.
+	// Zero means 32.
+	MaxBatches int
+	// SyncEvery fsyncs the inner store every Nth group flush. Zero means
+	// no periodic fsync — durability only on Flush/Close, matching the
+	// synchronous engine's default.
+	SyncEvery int
+}
+
+type groupBatch struct {
+	b        *Batch
+	seq      uint64
+	height   int // marked block height, or -1
+	enqueued time.Time
+}
+
+type overlayEntry struct {
+	value []byte
+	del   bool
+	seq   uint64 // batch that last wrote this key
+}
+
+// NewGroup wraps inner in a group-commit pipeline and starts its
+// committer goroutine. Close stops the committer and closes inner.
+func NewGroup(inner Store, cfg GroupConfig) *Group {
+	if cfg.MaxBatches <= 0 {
+		cfg.MaxBatches = 32
+	}
+	g := &Group{
+		inner:    inner,
+		cfg:      cfg,
+		overlay:  make(map[string]overlayEntry),
+		flushed:  -1,
+		pendChan: make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	g.waiters = sync.NewCond(&g.mu)
+	go g.committer()
+	return g
+}
+
+// SetOnFlush installs a hook observed after every successful group
+// flush with the group size and the flush lag (time the oldest batch
+// spent pending). Telemetry seam; call before concurrent use.
+func (g *Group) SetOnFlush(fn func(batches int, lag time.Duration)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onFlush = fn
+}
+
+// kick wakes the committer without blocking.
+func (g *Group) kick() {
+	select {
+	case g.pendChan <- struct{}{}:
+	default:
+	}
+}
+
+// Apply implements Store: the batch is enqueued for the committer and
+// immediately visible to reads through the overlay. The batch is
+// retained by the pipeline until flushed; callers must not mutate it
+// after Apply (chain and mempool build fresh batches per commit, so
+// this holds everywhere in-tree).
+func (g *Group) Apply(b *Batch) error { return g.enqueue(b, -1) }
+
+// ApplyMarked is Apply plus a durability mark: once this batch reaches
+// the inner store, Flushed reports at least height. The chain marks
+// every block-connect batch with its block height, which is what makes
+// the watermark mean "blocks ≤ h survive any crash".
+func (g *Group) ApplyMarked(b *Batch, height int) error { return g.enqueue(b, height) }
+
+func (g *Group) enqueue(b *Batch, height int) error {
+	g.mu.Lock()
+	if g.sticky != nil {
+		err := g.sticky
+		g.mu.Unlock()
+		return err
+	}
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	g.seq++
+	gb := groupBatch{b: b, seq: g.seq, height: height, enqueued: time.Now()}
+	g.pending = append(g.pending, gb)
+	for _, o := range b.ops {
+		g.overlay[string(o.key)] = overlayEntry{value: o.value, del: o.delete, seq: gb.seq}
+	}
+	g.mu.Unlock()
+	g.kick()
+	return nil
+}
+
+// committer is the single flusher goroutine: wait for work, linger up
+// to Interval collecting more, then flush the whole pending run.
+func (g *Group) committer() {
+	defer close(g.done)
+	for {
+		select {
+		case <-g.quit:
+			g.flushPending()
+			return
+		case <-g.pendChan:
+		}
+		timer := time.NewTimer(g.cfg.Interval)
+	linger:
+		for g.cfg.Interval > 0 {
+			g.mu.Lock()
+			full := len(g.pending) >= g.cfg.MaxBatches || g.force || len(g.pending) == 0
+			g.mu.Unlock()
+			if full {
+				break
+			}
+			select {
+			case <-g.quit:
+				timer.Stop()
+				g.flushPending()
+				return
+			case <-g.pendChan:
+			case <-timer.C:
+				break linger
+			}
+		}
+		timer.Stop()
+		g.flushPending()
+	}
+}
+
+// groupApplier is the engine fast path: commit a run of batches with
+// one write. File implements it; Fault deliberately does not, so fault
+// injection keeps counting individual Apply calls even under a Group.
+type groupApplier interface {
+	ApplyGroup(batches []*Batch) error
+}
+
+// flushPending writes every pending batch to the inner store, advances
+// the durability watermark, and prunes the overlay.
+func (g *Group) flushPending() {
+	g.mu.Lock()
+	take := g.pending
+	g.pending = nil
+	g.force = false
+	if len(take) == 0 || g.sticky != nil {
+		g.waiters.Broadcast()
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+
+	var err error
+	if ga, ok := g.inner.(groupApplier); ok {
+		batches := make([]*Batch, len(take))
+		for i, gb := range take {
+			batches[i] = gb.b
+		}
+		err = ga.ApplyGroup(batches)
+	} else {
+		for _, gb := range take {
+			if err = g.inner.Apply(gb.b); err != nil {
+				break
+			}
+		}
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flushes++
+	if err == nil && g.cfg.SyncEvery > 0 && g.flushes%uint64(g.cfg.SyncEvery) == 0 {
+		g.mu.Unlock()
+		err = g.inner.Flush()
+		g.mu.Lock()
+	}
+	if err != nil {
+		// The inner store rejected (or tore) a batch: reads must stop
+		// pretending the enqueued tail exists. Poison the pipeline —
+		// recovery is reopening the directory, same as a crash.
+		g.sticky = fmt.Errorf("group commit: %w", err)
+		g.waiters.Broadcast()
+		return
+	}
+	last := take[len(take)-1]
+	g.durable = last.seq
+	for _, gb := range take {
+		if gb.height > g.flushed {
+			g.flushed = gb.height
+		}
+	}
+	for k, e := range g.overlay {
+		if e.seq <= g.durable {
+			delete(g.overlay, k)
+		}
+	}
+	if g.onFlush != nil {
+		g.onFlush(len(take), time.Since(take[0].enqueued))
+	}
+	g.waiters.Broadcast()
+}
+
+// Drain blocks until every batch enqueued before the call is durable in
+// the inner store (or the pipeline has failed). The chain drains before
+// reorg disconnects so undo replay reads a store that is caught up with
+// the overlay, and Flush/Close drain as part of their contract.
+func (g *Group) Drain() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	target := g.seq
+	for g.durable < target && g.sticky == nil {
+		g.force = true
+		g.kick()
+		g.waiters.Wait()
+	}
+	return g.sticky
+}
+
+// Flushed reports the durability watermark: the highest marked height
+// whose batch has reached the inner store, or -1 if no marked batch has
+// been flushed since Open.
+func (g *Group) Flushed() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.flushed
+}
+
+// PendingBatches reports the number of enqueued, not-yet-flushed
+// batches (telemetry).
+func (g *Group) PendingBatches() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
+// Get implements Store, consulting the unflushed overlay first.
+func (g *Group) Get(key []byte) ([]byte, error) {
+	g.mu.Lock()
+	if err := g.stateErrLocked(); err != nil {
+		g.mu.Unlock()
+		return nil, err
+	}
+	if e, ok := g.overlay[string(key)]; ok {
+		g.mu.Unlock()
+		if e.del {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.value...), nil
+	}
+	g.mu.Unlock()
+	return g.inner.Get(key)
+}
+
+// Has implements Store.
+func (g *Group) Has(key []byte) (bool, error) {
+	g.mu.Lock()
+	if err := g.stateErrLocked(); err != nil {
+		g.mu.Unlock()
+		return false, err
+	}
+	if e, ok := g.overlay[string(key)]; ok {
+		g.mu.Unlock()
+		return !e.del, nil
+	}
+	g.mu.Unlock()
+	return g.inner.Has(key)
+}
+
+// Iterate implements Store: a sorted merge of the inner store's pairs
+// with a point-in-time snapshot of the overlay (overlay wins, deletes
+// mask inner keys). The stores above only Iterate from a single writer
+// or at startup, so the two snapshots observing slightly different
+// instants is not visible in practice.
+func (g *Group) Iterate(prefix []byte, fn func(key, value []byte) error) error {
+	g.mu.Lock()
+	if err := g.stateErrLocked(); err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	type kv struct {
+		key   string
+		value []byte
+		del   bool
+	}
+	var over []kv
+	p := string(prefix)
+	for k, e := range g.overlay {
+		if len(p) == 0 || (len(k) >= len(p) && k[:len(p)] == p) {
+			over = append(over, kv{key: k, value: e.value, del: e.del})
+		}
+	}
+	g.mu.Unlock()
+	sort.Slice(over, func(i, j int) bool { return over[i].key < over[j].key })
+
+	i := 0
+	emitOverlay := func(e kv) error {
+		if e.del {
+			return nil
+		}
+		return fn([]byte(e.key), append([]byte(nil), e.value...))
+	}
+	err := g.inner.Iterate(prefix, func(key, value []byte) error {
+		ks := string(key)
+		for i < len(over) && over[i].key < ks {
+			if err := emitOverlay(over[i]); err != nil {
+				return err
+			}
+			i++
+		}
+		if i < len(over) && over[i].key == ks {
+			e := over[i]
+			i++
+			return emitOverlay(e)
+		}
+		return fn(key, value)
+	})
+	if err != nil {
+		return err
+	}
+	for ; i < len(over); i++ {
+		if err := emitOverlay(over[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendBlock implements Store: block bodies go straight to the inner
+// append-only log. The blob only becomes reachable when the batch
+// holding its ref commits, so writing it eagerly is safe — a crash
+// before the ref flushes leaves harmless garbage, exactly as today.
+func (g *Group) AppendBlock(data []byte) (BlockRef, error) {
+	if err := g.stateErr(); err != nil {
+		return BlockRef{}, err
+	}
+	return g.inner.AppendBlock(data)
+}
+
+// ReadBlock implements Store.
+func (g *Group) ReadBlock(ref BlockRef) ([]byte, error) {
+	if err := g.stateErr(); err != nil {
+		return nil, err
+	}
+	return g.inner.ReadBlock(ref)
+}
+
+// Flush implements Store: drain the pipeline, then fsync the inner
+// store. After Flush returns, every batch enqueued before the call is
+// power-loss durable.
+func (g *Group) Flush() error {
+	if err := g.Drain(); err != nil {
+		return err
+	}
+	return g.inner.Flush()
+}
+
+// Close implements Store: stop the committer (which flushes whatever is
+// pending on its way out), then close the inner store. A poisoned
+// pipeline still closes the inner store and reports the sticky error.
+func (g *Group) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.quit)
+	<-g.done
+	err := g.sticky
+	if cerr := g.inner.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (g *Group) stateErr() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stateErrLocked()
+}
+
+func (g *Group) stateErrLocked() error {
+	if g.sticky != nil {
+		return g.sticky
+	}
+	if g.closed {
+		return ErrClosed
+	}
+	return nil
+}

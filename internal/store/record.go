@@ -81,28 +81,52 @@ func appendUvarint(dst []byte, v uint64) []byte {
 	return append(dst, tmp[:n]...)
 }
 
-// encodeBatchPayload serializes a batch into one journal payload.
-func encodeBatchPayload(b *Batch) []byte {
-	size := binary.MaxVarintLen64
+// batchFrameSize returns an upper bound on the framed size of b, for
+// pre-sizing scratch buffers so encoding never reallocates mid-append.
+func batchFrameSize(b *Batch) int {
+	size := frameHeaderSize + binary.MaxVarintLen64
 	for _, o := range b.ops {
 		size += 1 + 2*binary.MaxVarintLen64 + len(o.key) + len(o.value)
 	}
-	out := make([]byte, 0, size)
-	out = appendUvarint(out, uint64(len(b.ops)))
+	return size
+}
+
+// appendBatchPayload appends the journal payload for b to dst.
+func appendBatchPayload(dst []byte, b *Batch) []byte {
+	dst = appendUvarint(dst, uint64(len(b.ops)))
 	for _, o := range b.ops {
 		if o.delete {
-			out = append(out, opKindDelete)
+			dst = append(dst, opKindDelete)
 		} else {
-			out = append(out, opKindPut)
+			dst = append(dst, opKindPut)
 		}
-		out = appendUvarint(out, uint64(len(o.key)))
-		out = append(out, o.key...)
+		dst = appendUvarint(dst, uint64(len(o.key)))
+		dst = append(dst, o.key...)
 		if !o.delete {
-			out = appendUvarint(out, uint64(len(o.value)))
-			out = append(out, o.value...)
+			dst = appendUvarint(dst, uint64(len(o.value)))
+			dst = append(dst, o.value...)
 		}
 	}
-	return out
+	return dst
+}
+
+// appendBatchFrame appends the complete journal frame for b to dst in a
+// single pass: the header is reserved up front, the payload encoded in
+// place, and the length/CRC backfilled — no intermediate payload copy.
+func appendBatchFrame(dst []byte, b *Batch) []byte {
+	start := len(dst)
+	var hdr [frameHeaderSize]byte
+	dst = append(dst, hdr[:]...)
+	dst = appendBatchPayload(dst, b)
+	payload := dst[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// encodeBatchPayload serializes a batch into one journal payload.
+func encodeBatchPayload(b *Batch) []byte {
+	return appendBatchPayload(make([]byte, 0, batchFrameSize(b)-frameHeaderSize), b)
 }
 
 // readCanonicalUvarint decodes a varint, rejecting non-minimal

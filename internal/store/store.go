@@ -46,20 +46,46 @@ type op struct {
 // are built by one goroutine and consumed once by Apply.
 type Batch struct {
 	ops []op
+	// arena backs the copied keys and values of this batch's ops, so a
+	// thousand-op commit costs a handful of chunk allocations instead of
+	// two per op (measured on the persistent block-connect path).
+	arena []byte
 }
 
 // NewBatch returns an empty batch.
 func NewBatch() *Batch { return &Batch{} }
 
+// batchArenaChunk is the allocation unit of a batch's copy arena.
+const batchArenaChunk = 16 << 10
+
+// copyBytes copies p into the batch arena and returns the stable copy.
+// Full chunks are abandoned to earlier ops (which keep referencing
+// them) and a fresh chunk is started, so returned slices never move.
+func (b *Batch) copyBytes(p []byte) []byte {
+	if len(p) == 0 {
+		return nil
+	}
+	if cap(b.arena)-len(b.arena) < len(p) {
+		size := batchArenaChunk
+		if len(p) > size {
+			size = len(p)
+		}
+		b.arena = make([]byte, 0, size)
+	}
+	start := len(b.arena)
+	b.arena = append(b.arena, p...)
+	return b.arena[start:len(b.arena):len(b.arena)]
+}
+
 // Put stages key = value. The byte slices are copied, so callers may
 // reuse their buffers.
 func (b *Batch) Put(key, value []byte) {
-	b.ops = append(b.ops, op{key: append([]byte(nil), key...), value: append([]byte(nil), value...)})
+	b.ops = append(b.ops, op{key: b.copyBytes(key), value: b.copyBytes(value)})
 }
 
 // Delete stages removal of key. Deleting an absent key is a no-op.
 func (b *Batch) Delete(key []byte) {
-	b.ops = append(b.ops, op{key: append([]byte(nil), key...), delete: true})
+	b.ops = append(b.ops, op{key: b.copyBytes(key), delete: true})
 }
 
 // Len reports the number of staged ops.

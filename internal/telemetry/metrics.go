@@ -238,6 +238,13 @@ func escapeLabel(s string) string {
 	return r.Replace(s)
 }
 
+// LabeledValue is one sample of a labeled gauge family: the value for
+// one label value.
+type LabeledValue struct {
+	Label string
+	Value float64
+}
+
 // family is one registered series (or vec of series) with its metadata.
 type family struct {
 	name string
@@ -249,6 +256,11 @@ type family struct {
 	hist    *Histogram
 	vec     *CounterVec
 	fn      func() float64 // counterFunc / gaugeFunc
+
+	// labeledFn renders a whole labeled gauge family at scrape time
+	// (LabeledGaugeFunc); labelName names its single label.
+	labeledFn func() []LabeledValue
+	labelName string
 }
 
 // Registry holds a node's metric families and renders them in the
@@ -341,6 +353,19 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.register(&family{name: name, help: help, typ: "counter", fn: fn})
 }
 
+// LabeledGaugeFunc registers a gauge family with one label whose full
+// sample set is read from fn at scrape time — for per-partition views
+// of a subsystem's own state (e.g. UTXO entries per shard), where
+// materializing N Gauge objects would just mirror state the subsystem
+// already holds. fn must be safe to call concurrently and must not call
+// back into the registry.
+func (r *Registry) LabeledGaugeFunc(name, help, label string, fn func() []LabeledValue) {
+	if r == nil {
+		return
+	}
+	r.register(&family{name: name, help: help, typ: "gauge", labeledFn: fn, labelName: label})
+}
+
 // formatFloat renders a sample value the way Prometheus expects.
 func formatFloat(v float64) string {
 	switch {
@@ -376,6 +401,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", f.name, f.gauge.Value())
 		case f.fn != nil:
 			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+		case f.labeledFn != nil:
+			for _, lv := range f.labeledFn() {
+				fmt.Fprintf(&b, "%s%s %s\n", f.name,
+					labelKey([]string{f.labelName}, []string{lv.Label}), formatFloat(lv.Value))
+			}
 		case f.vec != nil:
 			f.vec.mu.Lock()
 			keys := append([]string(nil), f.vec.order...)
@@ -432,6 +462,12 @@ func (r *Registry) Value(name string) (v float64, ok bool) {
 		return float64(f.gauge.Value()), true
 	case f.fn != nil:
 		return f.fn(), true
+	case f.labeledFn != nil:
+		var sum float64
+		for _, lv := range f.labeledFn() {
+			sum += lv.Value
+		}
+		return sum, true
 	case f.vec != nil:
 		return float64(f.vec.Total()), true
 	case f.hist != nil:
