@@ -3,13 +3,13 @@ GO ?= go
 # Packages whose correctness depends on concurrency (the parallel block
 # validation pipeline, the p2p node and its fault simulator) get a
 # dedicated -race pass.
-RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/... ./internal/banscore/... ./internal/telemetry/...
+RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/... ./internal/banscore/... ./internal/telemetry/... ./internal/index/...
 
 # Native fuzz targets over the three attacker-facing decoders. Each runs
 # for a short smoke budget; override FUZZTIME for longer campaigns.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet check bench bench-json bench-diff metrics-smoke fuzz-smoke sim recovery byzantine
+.PHONY: build test race vet check bench bench-json bench-diff metrics-smoke fuzz-smoke sim recovery byzantine index-load
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ bench:
 # benchmark's samples minutes apart, unlike -count=N's back-to-back
 # runs). BENCH_JSON names the snapshot file; PR snapshots are checked
 # in for diffing.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	{ $(GO) test -run xxx -bench . -benchmem .; \
 	  $(GO) test -run xxx -bench . -benchmem .; \
@@ -45,7 +45,7 @@ bench-json:
 # baseline: per-series ns/op and allocs/op deltas, failing on >20%
 # ns/op regressions in any series present on both sides (after
 # normalizing out host drift, the median shift across shared series).
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR6.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -current $(BENCH_JSON)
 
@@ -60,19 +60,28 @@ fuzz-smoke:
 	$(GO) test ./internal/proof/ -fuzz FuzzProofDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/logic/ -fuzz FuzzLogicDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store/ -fuzz FuzzKVRecordDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index/ -fuzz FuzzIndexQuery -fuzztime $(FUZZTIME)
 
 # Crash-recovery suite: store-level torn-write tests, the fault-injected
-# full-stack recovery test, and the SIGKILL daemon end-to-end test.
+# full-stack recovery test, and the SIGKILL daemon end-to-end tests
+# (chain state and the chain index).
 recovery:
 	$(GO) test ./internal/store/ -count=1 -v
 	$(GO) test ./internal/chain/ -run 'TestReopen|TestReorgAfterReopen|TestIntraBlockSpendDisconnect|TestStoreFailure|TestOpenRejectsTampered' -count=1 -v
-	$(GO) test ./cmd/typecoind/ -run 'TestCrash|TestMempoolPersist|TestDaemonKillRecovery' -count=1 -v
+	$(GO) test ./cmd/typecoind/ -run 'TestCrash|TestMempoolPersist|TestDaemonKillRecovery|TestDaemonKillIndexRecovery' -count=1 -v
+	$(GO) test ./internal/index/ -run TestIndexCrashMidCommitRecovers -count=1 -v
 	$(GO) test ./internal/p2p/ -run TestSimRestartResync -count=1 -v
 
 # The adversarial network-simulation suite. SIM_SEED=<n> replays a
 # single seed; otherwise the built-in seed set runs.
 sim:
 	$(GO) test ./internal/p2p/ -race -run TestSim -count=1 -v
+
+# Chain-index proof suite under the race detector: the seeded
+# reorg-consistency property (INDEX_SEED=<n> replays one seed) and the
+# many-client query/subscription load test.
+index-load:
+	$(GO) test ./internal/index/ -race -run 'TestReorgConsistencyProperty|TestIndexManyClientLoad' -count=1 -v
 
 # Byzantine-actor scenarios: five hostile peer classes (flooder,
 # garbage-sender, inv-spammer, block-withholder, equivocator) attack an

@@ -26,6 +26,9 @@
 //	GET  /block/{height}     block summary
 //	GET  /typecoin/{outpoint} resolve a typed output ("txid:n")
 //	GET  /audit              run the full consistency audit now
+//	GET  /index/...          chain index: address history, outpoint
+//	                         spends, principal activity, bulk sync and
+//	                         streaming subscriptions (see internal/index)
 package main
 
 import (
@@ -50,6 +53,7 @@ import (
 	"typecoin/internal/chain"
 	"typecoin/internal/chainhash"
 	"typecoin/internal/clock"
+	"typecoin/internal/index"
 	"typecoin/internal/mempool"
 	"typecoin/internal/miner"
 	"typecoin/internal/p2p"
@@ -155,7 +159,18 @@ func run(args []string) int {
 	}
 	logChain.Info("chain opened", "height", ch.BestHeight(), "tip", ch.BestHash().String())
 
+	// Chain index: subscribes to the chain's persist hook so its rows
+	// ride every connect/disconnect batch, and catches up (or rebuilds)
+	// here if the store predates the index. Must open before any block
+	// is processed.
+	ix, err := index.Open(ch)
+	if err != nil {
+		logChain.Error("open index failed", "err", err)
+		return 1
+	}
+
 	pool := mempool.New(ch, -1)
+	pool.SetOnAccept(ix.PublishTx)
 
 	// Wallet and ledger: persistent variants share the chain's store and
 	// ride its commit batches.
@@ -238,6 +253,7 @@ func run(args []string) int {
 	pool.SetTelemetry(reg, tracer)
 	m.SetTelemetry(reg)
 	node.SetTelemetry(reg, tracer)
+	ix.SetTelemetry(reg, tracer)
 	if fileStore != nil {
 		f := fileStore
 		reg.GaugeFunc("store_journal_bytes", "Size of the write-ahead journal on disk.", func() float64 {
@@ -306,6 +322,7 @@ func run(args []string) int {
 	mux.HandleFunc("GET /block/", s.handleBlock)
 	mux.HandleFunc("GET /typecoin/", s.handleTypecoin)
 	mux.HandleFunc("GET /audit", s.handleAudit)
+	mux.Handle("/index/", http.StripPrefix("/index", ix.Handler()))
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /debug/events", tracer.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)

@@ -708,6 +708,11 @@ type Snapshot struct {
 func (c *Chain) BestSnapshot() Snapshot {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	return c.snapshotLocked()
+}
+
+// snapshotLocked builds a tip snapshot. Callers must hold c.mu.
+func (c *Chain) snapshotLocked() Snapshot {
 	return Snapshot{
 		Hash:       c.tip.hash,
 		Height:     c.tip.height,

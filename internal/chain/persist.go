@@ -324,6 +324,21 @@ func (c *Chain) SubscribePersist(fn PersistFunc) {
 	c.persisters = append(c.persisters, fn)
 }
 
+// SubscribePersistWithTip registers fn like SubscribePersist and
+// returns the tip snapshot taken under the same lock acquisition: every
+// main-chain change at heights above the returned snapshot is
+// guaranteed to reach fn, and nothing at or below it will. A subsystem
+// that builds derived state by scanning history (the chain indexer's
+// bulk initial sync) uses this to know exactly where its scan must stop
+// and its event-driven updates begin — with two separate calls a block
+// could connect in between and be missed by both.
+func (c *Chain) SubscribePersistWithTip(fn PersistFunc) Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.persisters = append(c.persisters, fn)
+	return c.snapshotLocked()
+}
+
 // Store returns the store backing this chain, so sibling subsystems
 // (wallet, ledger, mempool) persist into the same engine and share its
 // durability.

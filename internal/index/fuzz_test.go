@@ -1,0 +1,67 @@
+package index
+
+// Fuzz the query-parameter parsers that sit directly on the HTTP
+// surface. They must never panic, and the accepting paths must uphold
+// their invariants: cursors round-trip, limits stay in range, outpoints
+// and address lists re-serialize to what was parsed.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzIndexQuery(f *testing.F) {
+	f.Add("", "", "", "")
+	f.Add("12.3", "100", "deadbeef:0", "a,b,c")
+	f.Add("0.0", "1", ":", ",")
+	f.Add("4294967295.4294967295", "1000", strings.Repeat("f", 64)+":4294967295", strings.Repeat("0", 64))
+	f.Add("1.2.3", "-5", "abc:xyz", strings.Repeat("a", 4096))
+	f.Add("18446744073709551616.0", "9999999999999999999", strings.Repeat("0", 64)+":-1", "0,,1")
+
+	f.Fuzz(func(t *testing.T, cursor, limit, outpoint, addrs string) {
+		c, err := ParseCursor(cursor)
+		if err == nil {
+			if cursor == "" {
+				if c.Set {
+					t.Fatalf("empty cursor parsed as set: %+v", c)
+				}
+			} else {
+				// Accepted cursors round-trip through their canonical form.
+				back, err := ParseCursor(FormatCursor(c))
+				if err != nil {
+					t.Fatalf("canonical cursor %q rejected: %v", FormatCursor(c), err)
+				}
+				if back != c {
+					t.Fatalf("cursor round-trip: %+v -> %q -> %+v", c, FormatCursor(c), back)
+				}
+			}
+		}
+
+		n, err := ParseLimit(limit)
+		if err == nil && (n < 1 || n > MaxPageLimit) {
+			t.Fatalf("ParseLimit(%q) = %d outside [1,%d]", limit, n, MaxPageLimit)
+		}
+
+		op, err := ParseOutpoint(outpoint)
+		if err == nil {
+			// Accepted outpoints re-serialize to an equal value.
+			back, err := ParseOutpoint(op.String())
+			if err != nil {
+				t.Fatalf("canonical outpoint %q rejected: %v", op.String(), err)
+			}
+			if back != op {
+				t.Fatalf("outpoint round-trip: %v -> %v", op, back)
+			}
+		}
+
+		ps, err := ParseAddrList(addrs)
+		if err == nil {
+			for _, p := range ps {
+				back, err := ParseAddrList(p.String())
+				if err != nil || len(back) != 1 || back[0] != p {
+					t.Fatalf("address round-trip %v: %v %v", p, back, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package index
+
+// The subscription hub fans chain and mempool events out to long-lived
+// API clients. Publishing never blocks: each subscriber owns a buffered
+// channel, and a subscriber that cannot keep up loses events (counted,
+// and reported to it as a gap marker) rather than stalling block
+// processing. Subscribers are registered with an interest set so a
+// wallet watching two addresses is not woken for every block.
+
+import (
+	"sync"
+
+	"typecoin/internal/bkey"
+	"typecoin/internal/chainhash"
+)
+
+// BlockEvent announces a main-chain change.
+type BlockEvent struct {
+	Hash      chainhash.Hash
+	Height    int
+	Connected bool
+	TxCount   int
+}
+
+// TxEvent announces an unconfirmed transaction accepted to the mempool.
+type TxEvent struct {
+	TxID chainhash.Hash
+}
+
+// AddrEvent announces confirmed activity on one address: one
+// transaction's aggregate effect, as stored in the history row.
+// Connected is false when the activity is being rolled back by a reorg.
+type AddrEvent struct {
+	Principal bkey.Principal
+	TxID      chainhash.Hash
+	Height    int
+	TxIndex   int
+	Flags     byte
+	Funded    int64
+	Spent     int64
+	Connected bool
+}
+
+// Event is the tagged union delivered to subscribers.
+type Event struct {
+	Block *BlockEvent
+	Tx    *TxEvent
+	Addr  *AddrEvent
+	// Dropped reports how many events this subscriber lost since the
+	// previous delivery; clients treat it as a resync hint.
+	Dropped int
+}
+
+// subscriberBuffer is each subscriber's channel depth. Deep enough to
+// absorb a burst of address activity from one large block; a subscriber
+// further behind than this is losing events anyway.
+const subscriberBuffer = 256
+
+// subscriber is one registered event consumer.
+type subscriber struct {
+	ch         chan Event
+	wantBlocks bool
+	wantTxs    bool
+	addrs      map[bkey.Principal]bool // nil with wantAddrs=false means none
+
+	mu      sync.Mutex
+	dropped int // events lost since the last successful delivery
+}
+
+type hub struct {
+	mu   sync.Mutex
+	subs map[*subscriber]bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]bool)}
+}
+
+// subscribe registers a consumer. addrs may be empty.
+func (h *hub) subscribe(wantBlocks, wantTxs bool, addrs []bkey.Principal) *subscriber {
+	s := &subscriber{
+		ch:         make(chan Event, subscriberBuffer),
+		wantBlocks: wantBlocks,
+		wantTxs:    wantTxs,
+	}
+	if len(addrs) > 0 {
+		s.addrs = make(map[bkey.Principal]bool, len(addrs))
+		for _, a := range addrs {
+			s.addrs[a] = true
+		}
+	}
+	h.mu.Lock()
+	h.subs[s] = true
+	h.mu.Unlock()
+	return s
+}
+
+// unsubscribe removes a consumer. Its channel is not closed — the
+// serving goroutine exits via its request context, and an unclosed
+// buffered channel is simply collected.
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.mu.Unlock()
+}
+
+// active returns the live subscriber count.
+func (h *hub) active() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// snapshot copies the subscriber set so delivery runs without the hub
+// lock (a slow subscriber must not block subscribe/unsubscribe).
+func (h *hub) snapshot() []*subscriber {
+	h.mu.Lock()
+	out := make([]*subscriber, 0, len(h.subs))
+	for s := range h.subs {
+		out = append(out, s)
+	}
+	h.mu.Unlock()
+	return out
+}
+
+// deliver offers ev to s without blocking; returns 1 if it was dropped.
+func (s *subscriber) deliver(ev Event) int {
+	s.mu.Lock()
+	ev.Dropped = s.dropped
+	select {
+	case s.ch <- ev:
+		s.dropped = 0
+		s.mu.Unlock()
+		return 0
+	default:
+		s.dropped++
+		s.mu.Unlock()
+		return 1
+	}
+}
+
+func (h *hub) publishBlock(ev BlockEvent) int {
+	dropped := 0
+	for _, s := range h.snapshot() {
+		if s.wantBlocks {
+			dropped += s.deliver(Event{Block: &ev})
+		}
+	}
+	return dropped
+}
+
+func (h *hub) publishTx(ev TxEvent) int {
+	dropped := 0
+	for _, s := range h.snapshot() {
+		if s.wantTxs {
+			dropped += s.deliver(Event{Tx: &ev})
+		}
+	}
+	return dropped
+}
+
+func (h *hub) publishAddr(ev AddrEvent) int {
+	dropped := 0
+	for _, s := range h.snapshot() {
+		if s.addrs[ev.Principal] {
+			dropped += s.deliver(Event{Addr: &ev})
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,55 @@
+package index
+
+// Index observability, following the chain's convention: collectors are
+// nil until SetTelemetry, every collector type no-ops on nil, so an
+// uninstrumented indexer pays only dead branches.
+
+import (
+	"fmt"
+
+	"typecoin/internal/telemetry"
+)
+
+const evIndexSubscriber = telemetry.EvIndexSubscriber
+
+type indexTelemetry struct {
+	tracer *telemetry.Tracer
+
+	rowsWritten   *telemetry.Counter
+	rowsDeleted   *telemetry.Counter
+	eventsDropped *telemetry.Counter
+	subscribes    *telemetry.Counter
+	queries       *telemetry.CounterVec
+	querySeconds  *telemetry.Histogram
+}
+
+// SetTelemetry registers the indexer's metrics on reg and routes
+// lifecycle events to tr; either may be nil. Call once, after Open.
+// The catch-up that already ran inside Open is reported here
+// retroactively (as a counter and one trace event), since telemetry is
+// wired after the subsystems exist.
+func (ix *Indexer) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	ix.tel = indexTelemetry{
+		tracer: tr,
+
+		rowsWritten:   reg.Counter("index_rows_written_total", "Index rows written by connect batches."),
+		rowsDeleted:   reg.Counter("index_rows_deleted_total", "Index rows deleted by disconnect batches."),
+		eventsDropped: reg.Counter("index_events_dropped_total", "Subscription events dropped on full client buffers."),
+		subscribes:    reg.Counter("index_subscriptions_total", "Subscription streams opened."),
+		queries:       reg.CounterVec("index_queries_total", "Index API queries served.", "endpoint"),
+		querySeconds:  reg.Histogram("index_query_seconds", "Wall time to serve one index query.", telemetry.LatencyBuckets),
+	}
+	reg.CounterFunc("index_catchup_blocks_total", "Blocks indexed by the bulk catch-up replay at open.", func() float64 {
+		return float64(ix.catchupBlocks)
+	})
+	reg.GaugeFunc("index_tip_height", "Height of the committed index tip.", func() float64 {
+		return float64(ix.TipHeight())
+	})
+	reg.GaugeFunc("index_active_subscriptions", "Live subscription streams.", func() float64 {
+		return float64(ix.hub.active())
+	})
+	if tr != nil && ix.catchupBlocks > 0 {
+		tr.Record(telemetry.EvIndexCatchup, "",
+			fmt.Sprintf("blocks=%d tip=%d", ix.catchupBlocks, ix.TipHeight()))
+	}
+}

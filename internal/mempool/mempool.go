@@ -84,6 +84,21 @@ type Pool struct {
 	// tel carries the registered collectors; the zero value disables
 	// instrumentation. See telemetry.go.
 	tel poolTelemetry
+
+	// onAccept, when set, is invoked after every successful admission,
+	// outside the pool lock — the push-notification hook the indexer's
+	// subscription hub uses for new-tx events.
+	onAcceptMu sync.RWMutex
+	onAccept   func(*wire.MsgTx)
+}
+
+// SetOnAccept registers fn to run after every successful Accept, with
+// the admitted transaction. The callback runs outside the pool lock and
+// must not block; nil clears the hook.
+func (p *Pool) SetOnAccept(fn func(*wire.MsgTx)) {
+	p.onAcceptMu.Lock()
+	p.onAccept = fn
+	p.onAcceptMu.Unlock()
 }
 
 // New creates a pool. A negative minRelayFee selects the default.
@@ -217,6 +232,12 @@ func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
 	if p.tel.tracer != nil {
 		p.tel.tracer.Record(telemetry.EvTxAccepted, tx.TxHash().String(),
 			fmt.Sprintf("fee=%d size=%d", fee, tx.SerializeSize()))
+	}
+	p.onAcceptMu.RLock()
+	hook := p.onAccept
+	p.onAcceptMu.RUnlock()
+	if hook != nil {
+		hook(tx)
 	}
 	return fee, nil
 }

@@ -9,6 +9,7 @@ import (
 	"typecoin/internal/chain"
 	"typecoin/internal/chainhash"
 	"typecoin/internal/clock"
+	"typecoin/internal/index"
 	"typecoin/internal/mempool"
 	"typecoin/internal/miner"
 	"typecoin/internal/p2p"
@@ -35,6 +36,7 @@ type Harness struct {
 	Wallets []*wallet.Wallet
 	Miners  []*miner.Miner
 	Payouts []bkey.Principal
+	Indexes []*index.Indexer
 
 	// Per-node observability: one registry and one block-lifecycle
 	// tracer per node, so scenarios can assert on defense and chain
@@ -88,6 +90,13 @@ func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
 		c.SetTelemetry(reg, tr)
 		pool.SetTelemetry(reg, tr)
 		node.SetTelemetry(reg, tr)
+		// Every node runs a chain index, so scenarios that reorg nodes
+		// through partitions exercise the index's disconnect path too.
+		ix, err := index.Open(c)
+		if err != nil {
+			t.Fatalf("node %d index: %v", i, err)
+		}
+		ix.SetTelemetry(reg, tr)
 		node.SetTransport(h.Net.Transport(h.Host(i)))
 		// Generous real-time redial budget: a partition must not
 		// exhaust it before the heal.
@@ -109,6 +118,7 @@ func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
 		h.Wallets = append(h.Wallets, w)
 		h.Miners = append(h.Miners, mn)
 		h.Payouts = append(h.Payouts, payout)
+		h.Indexes = append(h.Indexes, ix)
 		h.Regs = append(h.Regs, reg)
 		h.Tracers = append(h.Tracers, tr)
 	}
@@ -302,7 +312,10 @@ func (h *Harness) WaitConverged() {
 //  3. the Typecoin affine invariant holds on every node's ledger, and
 //     all ledgers applied the same number of carriers;
 //  4. no mempool holds a transaction conflicting with the converged
-//     chain.
+//     chain;
+//  5. every node's chain index sits at the converged tip and its rows —
+//     built incrementally through whatever partitions and reorgs the
+//     scenario ran — are bit-for-bit what a from-genesis rebuild yields.
 func (h *Harness) AssertConverged() chainhash.Hash {
 	h.T.Helper()
 	best := h.Nodes[0].Chain().BestHash()
@@ -327,6 +340,19 @@ func (h *Harness) AssertConverged() chainhash.Hash {
 	for i, node := range h.Nodes {
 		if err := AuditMempoolAgainstChain(node.Pool(), node.Chain()); err != nil {
 			h.T.Fatalf("invariant 4: node %d: %v", i, err)
+		}
+	}
+	for i, ix := range h.Indexes {
+		tipHash, tipHeight, err := ix.Tip()
+		if err != nil {
+			h.T.Fatalf("invariant 5: node %d index tip: %v", i, err)
+		}
+		if tipHash != best || tipHeight != h.Nodes[i].Chain().BestHeight() {
+			h.T.Fatalf("invariant 5: node %d index tip %s@%d, chain tip %s@%d",
+				i, tipHash, tipHeight, best, h.Nodes[i].Chain().BestHeight())
+		}
+		if err := ix.AuditRebuild(); err != nil {
+			h.T.Fatalf("invariant 5: node %d: %v", i, err)
 		}
 	}
 	return best

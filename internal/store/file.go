@@ -333,6 +333,34 @@ func (f *File) Iterate(prefix []byte, fn func(key, value []byte) error) error {
 	return nil
 }
 
+// IterateFrom implements the seek fast path: only keys >= start within
+// the prefix are snapshotted and visited.
+func (f *File) IterateFrom(prefix, start []byte, fn func(key, value []byte) error) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(f.data))
+	for k := range f.data {
+		if strings.HasPrefix(k, string(prefix)) && k >= string(start) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	pairs := make([][2][]byte, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, [2][]byte{[]byte(k), append([]byte(nil), f.data[k]...)})
+	}
+	f.mu.Unlock()
+	for _, kv := range pairs {
+		if err := fn(kv[0], kv[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Apply implements Store: encode the batch as one frame, append it to
 // the journal, then fold it into the resident table.
 func (f *File) Apply(b *Batch) error {

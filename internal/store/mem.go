@@ -78,6 +78,34 @@ func (m *Mem) Iterate(prefix []byte, fn func(key, value []byte) error) error {
 	return nil
 }
 
+// IterateFrom implements the seek fast path: only keys >= start within
+// the prefix are collected and visited.
+func (m *Mem) IterateFrom(prefix, start []byte, fn func(key, value []byte) error) error {
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(m.data))
+	for k := range m.data {
+		if bytes.HasPrefix([]byte(k), prefix) && k >= string(start) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	pairs := make([][2][]byte, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, [2][]byte{[]byte(k), append([]byte(nil), m.data[k]...)})
+	}
+	m.mu.RUnlock()
+	for _, kv := range pairs {
+		if err := fn(kv[0], kv[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Apply implements Store.
 func (m *Mem) Apply(b *Batch) error {
 	m.mu.Lock()

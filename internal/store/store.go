@@ -12,7 +12,10 @@
 // node is made durable by swapping the engine.
 package store
 
-import "errors"
+import (
+	"bytes"
+	"errors"
+)
 
 // Sentinel errors shared by the engines.
 var (
@@ -114,4 +117,29 @@ type Store interface {
 	Flush() error
 	// Close flushes and releases the store. Further use returns ErrClosed.
 	Close() error
+}
+
+// fromIterator is an optional fast path for seek-style iteration: an
+// engine that keeps its keys sorted can start the scan at an arbitrary
+// key instead of filtering from the beginning of the prefix.
+type fromIterator interface {
+	IterateFrom(prefix, start []byte, fn func(key, value []byte) error) error
+}
+
+// IterateFrom visits every key with the given prefix that is >= start,
+// in ascending byte order — the seek primitive behind cursor-paginated
+// index queries. Engines that implement the fromIterator fast path skip
+// straight to start; any other Store (including wrappers like Fault and
+// Group) falls back to a filtered full-prefix scan, so the helper works
+// against every engine unmodified.
+func IterateFrom(st Store, prefix, start []byte, fn func(key, value []byte) error) error {
+	if fi, ok := st.(fromIterator); ok {
+		return fi.IterateFrom(prefix, start, fn)
+	}
+	return st.Iterate(prefix, func(key, value []byte) error {
+		if bytes.Compare(key, start) < 0 {
+			return nil
+		}
+		return fn(key, value)
+	})
 }

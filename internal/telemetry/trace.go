@@ -31,6 +31,10 @@ const (
 	EvPeerConnected     = "peer_connected"
 	EvPeerDisconnected  = "peer_disconnected"
 	EvPeerBanned        = "peer_banned"
+	// Index lifecycle: a bulk catch-up run (ref: tip hash reached) and
+	// subscriber churn on the push API (ref: remote address).
+	EvIndexCatchup    = "index_catchup"
+	EvIndexSubscriber = "index_subscriber"
 )
 
 // Event is one timestamped lifecycle record. Ref carries the correlating
