@@ -35,7 +35,7 @@ bench:
 # benchmark's samples minutes apart, unlike -count=N's back-to-back
 # runs). BENCH_JSON names the snapshot file; PR snapshots are checked
 # in for diffing.
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	{ $(GO) test -run xxx -bench . -benchmem .; \
 	  $(GO) test -run xxx -bench . -benchmem .; \
@@ -45,7 +45,7 @@ bench-json:
 # baseline: per-series ns/op and allocs/op deltas, failing on >20%
 # ns/op regressions in any series present on both sides (after
 # normalizing out host drift, the median shift across shared series).
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR7.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -current $(BENCH_JSON)
 
@@ -57,6 +57,8 @@ metrics-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/wire/ -fuzz FuzzMsgTxDeserialize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -fuzz FuzzReadMessage -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -fuzz FuzzMsgHeadersDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -fuzz FuzzLocatorDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proof/ -fuzz FuzzProofDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/logic/ -fuzz FuzzLogicDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store/ -fuzz FuzzKVRecordDecode -fuzztime $(FUZZTIME)
@@ -83,8 +85,9 @@ sim:
 index-load:
 	$(GO) test ./internal/index/ -race -run 'TestReorgConsistencyProperty|TestIndexManyClientLoad' -count=1 -v
 
-# Byzantine-actor scenarios: five hostile peer classes (flooder,
-# garbage-sender, inv-spammer, block-withholder, equivocator) attack an
-# honest ring across five seeds. SIM_SEED=<n> replays a single seed.
+# Byzantine-actor scenarios: seven hostile peer classes (flooder,
+# garbage-sender, inv-spammer, block-withholder, equivocator, and the
+# headers-first skeleton withholder/corrupter) attack an honest ring
+# across five seeds. SIM_SEED=<n> replays a single seed.
 byzantine:
 	$(GO) test ./internal/netsim/ -race -run TestByzantineScenarios -count=1 -v

@@ -1,6 +1,7 @@
 // Command typecoin-cli talks to a typecoind's HTTP control API.
 //
 //	typecoin-cli [-node http://localhost:18332] status
+//	typecoin-cli sync
 //	typecoin-cli mine [n]
 //	typecoin-cli balance
 //	typecoin-cli newkey
@@ -35,6 +36,9 @@ func main() {
 	switch args[0] {
 	case "status":
 		out, err = get(*node + "/status")
+	case "sync":
+		syncProgress(*node)
+		return
 	case "mine":
 		n := 1
 		if len(args) > 1 {
@@ -83,6 +87,34 @@ func main() {
 	}
 }
 
+// syncProgress renders the headers-first download state from /status:
+// how far the header skeleton runs ahead of the connected tip, and how
+// many bodies are in flight across how many peers.
+func syncProgress(node string) {
+	raw, err := get(node + "/status")
+	if err != nil {
+		fatal(err)
+	}
+	var st struct {
+		Height         int  `json:"height"`
+		HeaderHeight   int  `json:"headerHeight"`
+		InflightBodies int  `json:"inflightBodies"`
+		DownloadPeers  int  `json:"downloadPeers"`
+		ParkedBodies   int  `json:"parkedBodies"`
+		Syncing        bool `json:"syncing"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("headers:  %d\nblocks:   %d\n", st.HeaderHeight, st.Height)
+	if st.Syncing {
+		fmt.Printf("syncing:  %d bodies behind, %d in flight from %d peers, %d parked\n",
+			st.HeaderHeight-st.Height, st.InflightBodies, st.DownloadPeers, st.ParkedBodies)
+	} else {
+		fmt.Println("syncing:  caught up")
+	}
+}
+
 func get(url string) ([]byte, error) {
 	resp, err := http.Get(url)
 	if err != nil {
@@ -114,6 +146,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: typecoin-cli [-node url] <command>
 commands:
   status            chain and node status
+  sync              headers-first sync progress
   mine [n]          mine n blocks (default 1)
   balance           wallet balance in satoshi
   newkey            generate a wallet key

@@ -18,7 +18,7 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /status             chain height, tip, peers, mempool, utxo size
+//	GET  /status             chain height, tip, sync progress, peers, mempool
 //	POST /mine               {"blocks": n} mine n blocks to the wallet
 //	GET  /balance            wallet balance in satoshi
 //	POST /newkey             generate a key; returns the principal
@@ -95,6 +95,7 @@ func run(args []string) int {
 	syncEvery := fs.Int("sync-every", 0, "fsync cadence: every Nth group flush under -commit-interval, or (any value >= 1) every commit in synchronous mode; 0 = fsync only on flush/shutdown")
 	audit := fs.Bool("audit", true, "run the from-genesis consistency audit on startup")
 	maxPeers := fs.Int("maxpeers", 0, "max inbound connections (0 = default)")
+	syncWindow := fs.Int("syncwindow", 0, "in-flight body downloads per peer during headers-first sync (0 = default)")
 	banThreshold := fs.Int("banthreshold", 0, "misbehavior score that bans a peer (0 = default)")
 	banDuration := fs.Duration("banduration", 0, "how long a triggered ban lasts (0 = default)")
 	loglevel := fs.String("loglevel", "info", "log verbosity: debug, info, warn, error")
@@ -229,7 +230,7 @@ func run(args []string) int {
 	m := miner.New(ch, pool, clock.System{})
 	node := p2p.NewNode(ch, pool, telemetry.Component(base, "p2p"))
 	node.SetLedger(ledger)
-	if *maxPeers > 0 || *banThreshold > 0 || *banDuration > 0 {
+	if *maxPeers > 0 || *banThreshold > 0 || *banDuration > 0 || *syncWindow > 0 {
 		pol := p2p.DefaultPolicy()
 		if *maxPeers > 0 {
 			pol.MaxInbound = *maxPeers
@@ -239,6 +240,9 @@ func run(args []string) int {
 		}
 		if *banDuration > 0 {
 			pol.BanDuration = *banDuration
+		}
+		if *syncWindow > 0 {
+			pol.SyncWindow = *syncWindow
 		}
 		node.SetPolicy(pol)
 	}
@@ -416,6 +420,7 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sync := s.node.SyncStatus()
 	status := map[string]interface{}{
 		"height":       s.chain.BestHeight(),
 		"tip":          s.chain.BestHash().String(),
@@ -423,6 +428,13 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"mempool":      s.pool.Size(),
 		"mempoolBytes": s.pool.Bytes(),
 		"utxoSize":     s.chain.UtxoSize(),
+		// Headers-first sync progress: the skeleton tip runs ahead of
+		// the connected tip while bodies download in parallel windows.
+		"headerHeight":   sync.HeaderHeight,
+		"inflightBodies": sync.InflightBodies,
+		"downloadPeers":  sync.DownloadPeers,
+		"parkedBodies":   sync.ParkedBodies,
+		"syncing":        sync.HeaderHeight > sync.Height,
 	}
 	if !s.start.IsZero() {
 		status["uptimeSeconds"] = time.Since(s.start).Seconds()

@@ -72,6 +72,12 @@ func TestStatusAndMine(t *testing.T) {
 	if out["height"].(float64) != 3 {
 		t.Errorf("height after mine = %v", out["height"])
 	}
+	if out["headerHeight"].(float64) != 3 {
+		t.Errorf("headerHeight after mine = %v, want 3", out["headerHeight"])
+	}
+	if out["syncing"].(bool) {
+		t.Errorf("node reports syncing with no body backlog: %v", out)
+	}
 }
 
 func TestBalanceNewKeySend(t *testing.T) {

@@ -97,6 +97,7 @@ func TestMetricsSmoke(t *testing.T) {
 		"store_flushed_height", "store_pending_batches",
 		"store_flush_lag_seconds_count", "store_group_commit_batches_count",
 		"store_group_flushes_total", "chain_utxo_shard_size",
+		"chain_header_height", "p2p_inflight_bodies", "p2p_download_peers",
 		"process_uptime_seconds",
 	} {
 		if !names[want] {
@@ -140,12 +141,25 @@ func TestMetricsSmoke(t *testing.T) {
 		t.Errorf("%d block_connected events, want >= 3", connected)
 	}
 
-	// /status carries the new operational fields.
+	// /status carries the new operational fields, including headers-first
+	// sync progress; a node that mined its own chain is caught up.
 	st := d.status(t)
-	for _, field := range []string{"uptimeSeconds", "tipAgeSeconds", "mempoolBytes"} {
+	for _, field := range []string{"uptimeSeconds", "tipAgeSeconds", "mempoolBytes",
+		"headerHeight", "inflightBodies", "downloadPeers", "syncing"} {
 		if _, ok := st[field]; !ok {
 			t.Errorf("/status missing %q: %v", field, st)
 		}
+	}
+	if st["headerHeight"].(float64) != st["height"].(float64) {
+		t.Errorf("/status headerHeight %v != height %v on a caught-up node",
+			st["headerHeight"], st["height"])
+	}
+	if st["syncing"].(bool) {
+		t.Errorf("/status reports syncing on a caught-up node: %v", st)
+	}
+	if after["chain_header_height"] != after["chain_height"] {
+		t.Errorf("chain_header_height %v != chain_height %v on a caught-up node",
+			after["chain_header_height"], after["chain_height"])
 	}
 
 	// pprof is wired under /debug/pprof/.

@@ -91,6 +91,12 @@ type Chain struct {
 	mu            sync.RWMutex
 	index         map[chainhash.Hash]*blockNode
 	tip           *blockNode
+	headers       map[chainhash.Hash]*headerNode      // full header index (see headers.go)
+	headerTip     *headerNode                         // best-header tip; work >= tip's
+	hmain         []*headerNode                       // best header chain by height
+	hdrDirty      []*headerNode                       // accepted headers awaiting a commit batch
+	parked        map[chainhash.Hash]*wire.MsgBlock   // validated-header bodies awaiting predecessors
+	parkedBytes   int64
 	utxo          *UtxoView
 	spent         map[wire.OutPoint]SpendRecord
 	txToBlock     map[chainhash.Hash]txLoc            // main-chain txid -> location
@@ -217,6 +223,11 @@ const (
 	StatusOrphan
 	// StatusDuplicate means the block was already known.
 	StatusDuplicate
+	// StatusParked means the block's header is validated on the best
+	// header chain but its predecessor body has not connected yet; the
+	// body is held and connected in order (headers-first sync delivers
+	// bodies out of order).
+	StatusParked
 )
 
 // String names the status.
@@ -230,6 +241,8 @@ func (s BlockStatus) String() string {
 		return "orphan"
 	case StatusDuplicate:
 		return "duplicate"
+	case StatusParked:
+		return "parked"
 	default:
 		return "invalid"
 	}
@@ -263,6 +276,18 @@ func (c *Chain) processLocked(blk *wire.MsgBlock) (BlockStatus, []Notification, 
 	}
 	parent, ok := c.index[blk.Header.PrevBlock]
 	if !ok {
+		if _, held := c.parked[hash]; held {
+			return StatusDuplicate, nil, nil
+		}
+		// A body ahead of the connected chain whose header is already
+		// validated in the header index is parked, not orphaned: the
+		// skeleton vouches for it, and the download scheduler delivers
+		// bodies out of order by design. Blocks with unknown headers
+		// still take the (penalizable, tightly bounded) orphan path.
+		if hn, known := c.headers[hash]; known && hn.parent != nil {
+			c.parkBlockLocked(hash, blk)
+			return StatusParked, nil, nil
+		}
 		if _, held := c.orphanIndex[hash]; held {
 			return StatusDuplicate, nil, nil
 		}
@@ -273,8 +298,10 @@ func (c *Chain) processLocked(blk *wire.MsgBlock) (BlockStatus, []Notification, 
 	if err != nil {
 		return status, events, err
 	}
-	// Adopt any orphans waiting on this block (recursively).
+	// Adopt any orphans waiting on this block (recursively), then any
+	// parked bodies the new connections unblocked.
 	events = append(events, c.adoptOrphans(hash)...)
+	events = append(events, c.adoptParked()...)
 	return status, events, nil
 }
 
@@ -360,9 +387,13 @@ func (c *Chain) removeOrphanLocked(hash chainhash.Hash, meta orphanMeta) {
 	}
 }
 
-// acceptBlock adds a block whose parent is known.
+// acceptBlock adds a block whose parent is known. Contextual validation
+// (difficulty schedule, timestamps) happens on the block's header via
+// the header index: a body whose header the skeleton already validated
+// is not re-checked, and a body arriving ahead of its header extends
+// the header index as a side effect.
 func (c *Chain) acceptBlock(blk *wire.MsgBlock, parent *blockNode) (BlockStatus, []Notification, error) {
-	if err := c.checkBlockContext(blk, parent); err != nil {
+	if _, err := c.acceptHeaderLocked(&blk.Header); err != nil {
 		return StatusInvalid, nil, err
 	}
 	node := &blockNode{
@@ -622,36 +653,11 @@ func (c *Chain) reorganize(newTip *blockNode) ([]Notification, error) {
 }
 
 // nextRequiredDifficulty computes the difficulty for the block following
-// parent.
+// parent. Every block node has a header node (acceptBlock indexes the
+// header first), so this delegates to the header-index implementation —
+// the single copy of the retargeting rules.
 func (c *Chain) nextRequiredDifficulty(parent *blockNode) uint32 {
-	if c.params.NoRetarget || c.params.RetargetInterval <= 0 {
-		return c.params.PowLimitBits
-	}
-	nextHeight := parent.height + 1
-	if nextHeight%c.params.RetargetInterval != 0 {
-		return parent.block.Header.Bits
-	}
-	// Walk back to the first block of the window.
-	first := parent
-	for i := 0; i < c.params.RetargetInterval-1 && first.parent != nil; i++ {
-		first = first.parent
-	}
-	actual := parent.block.Header.Timestamp.Sub(first.block.Header.Timestamp)
-	target := c.params.TargetTimespan
-	// Clamp adjustment to 4x in either direction, as Bitcoin does.
-	if actual < target/4 {
-		actual = target / 4
-	}
-	if actual > target*4 {
-		actual = target * 4
-	}
-	oldTarget := CompactToBig(parent.block.Header.Bits)
-	newTarget := new(big.Int).Mul(oldTarget, big.NewInt(int64(actual/time.Second)))
-	newTarget.Div(newTarget, big.NewInt(int64(target/time.Second)))
-	if newTarget.Cmp(c.params.PowLimit) > 0 {
-		newTarget.Set(c.params.PowLimit)
-	}
-	return BigToCompact(newTarget)
+	return c.nextRequiredDifficultyHeader(c.headers[parent.hash])
 }
 
 // NextRequiredDifficulty returns the difficulty bits required of the next
@@ -858,11 +864,15 @@ func (c *Chain) BlockAtHeight(h int) (*wire.MsgBlock, bool) {
 	return c.mainChain[h].block, true
 }
 
-// HaveBlock reports whether the block is known (main, side or orphan).
+// HaveBlock reports whether the block body is known (main, side, parked
+// or orphan).
 func (c *Chain) HaveBlock(h chainhash.Hash) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if _, ok := c.index[h]; ok {
+		return true
+	}
+	if _, held := c.parked[h]; held {
 		return true
 	}
 	_, held := c.orphanIndex[h]

@@ -1,0 +1,416 @@
+package chain
+
+// Headers-first synchronization: the chain tracks a header index beside
+// the block tree. Headers are cheap to validate (80 bytes: proof of
+// work, linkage, difficulty schedule, timestamps) so a syncing node
+// first extends a best-header skeleton from its peers, then downloads
+// block bodies for the skeleton in parallel from many peers and
+// connects them in height order. The header index therefore tracks a
+// best-header tip that runs ahead of the fully-connected tip, and
+// bodies that arrive before their predecessor has connected are parked
+// until the gap fills.
+//
+// Every connected or side block keeps an entry in the header index (its
+// header was necessarily accepted first), so the header tip's work is
+// always >= the connected tip's work.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/store"
+	"typecoin/internal/wire"
+)
+
+// ErrOrphanHeader reports a header whose parent is not in the header
+// index: the skeleton a peer sent does not connect to anything we know.
+var ErrOrphanHeader = errors.New("chain: header does not connect")
+
+// headerNode is one entry in the header index. It mirrors blockNode but
+// carries only the 80-byte header; the body may not have arrived yet.
+type headerNode struct {
+	hash    chainhash.Hash
+	parent  *headerNode
+	height  int
+	workSum *big.Int // cumulative work from genesis
+	header  wire.BlockHeader
+}
+
+// medianTimePast computes the median timestamp of the last
+// medianTimeBlocks ancestors (including the node itself), over the
+// header index. Identical to blockNode.medianTimePast — headers and
+// bodies share timestamps — but usable before any body arrives.
+func (n *headerNode) medianTimePast() time.Time {
+	times := make([]time.Time, 0, medianTimeBlocks)
+	for iter := n; iter != nil && len(times) < medianTimeBlocks; iter = iter.parent {
+		times = append(times, iter.header.Timestamp)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	return times[len(times)/2]
+}
+
+// Parked-body bounds. Parked blocks have validated headers (real proof
+// of work on their chain), so they are far harder to fabricate than
+// orphans, but the pool is still capped: a sliding-window download can
+// legitimately hold a few windows' worth of out-of-order bodies, not an
+// unbounded backlog.
+const (
+	defaultMaxParked      = 4096
+	defaultMaxParkedBytes = 32 << 20
+)
+
+// checkHeaderContext validates hdr against its parent header: proof of
+// work against its own claimed bits, the difficulty schedule, and the
+// timestamp rules. These are exactly the contextual checks bodies used
+// to get from checkBlockContext, now applied to the skeleton before any
+// body is trusted.
+func (c *Chain) checkHeaderContext(hdr *wire.BlockHeader, parent *headerNode) error {
+	if err := CheckProofOfWork(hdr.BlockHash(), hdr.Bits, c.params.PowLimit); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProofOfWork, err)
+	}
+	wantBits := c.nextRequiredDifficultyHeader(parent)
+	if hdr.Bits != wantBits {
+		return fmt.Errorf("%w: header bits %08x, want %08x", ErrBadProofOfWork,
+			hdr.Bits, wantBits)
+	}
+	if !hdr.Timestamp.After(parent.medianTimePast()) {
+		return ErrTimeTooOld
+	}
+	if hdr.Timestamp.After(c.clock.Now().Add(maxFutureBlockTime)) {
+		return ErrTimeTooNew
+	}
+	return nil
+}
+
+// nextRequiredDifficultyHeader computes the difficulty for the block
+// following parent, walking the header index. nextRequiredDifficulty
+// (the blockNode variant) delegates here: every block node has a header
+// node, and headers carry everything retargeting needs.
+func (c *Chain) nextRequiredDifficultyHeader(parent *headerNode) uint32 {
+	if c.params.NoRetarget || c.params.RetargetInterval <= 0 {
+		return c.params.PowLimitBits
+	}
+	nextHeight := parent.height + 1
+	if nextHeight%c.params.RetargetInterval != 0 {
+		return parent.header.Bits
+	}
+	// Walk back to the first block of the window.
+	first := parent
+	for i := 0; i < c.params.RetargetInterval-1 && first.parent != nil; i++ {
+		first = first.parent
+	}
+	actual := parent.header.Timestamp.Sub(first.header.Timestamp)
+	target := c.params.TargetTimespan
+	// Clamp adjustment to 4x in either direction, as Bitcoin does.
+	if actual < target/4 {
+		actual = target / 4
+	}
+	if actual > target*4 {
+		actual = target * 4
+	}
+	oldTarget := CompactToBig(parent.header.Bits)
+	newTarget := new(big.Int).Mul(oldTarget, big.NewInt(int64(actual/time.Second)))
+	newTarget.Div(newTarget, big.NewInt(int64(target/time.Second)))
+	if newTarget.Cmp(c.params.PowLimit) > 0 {
+		newTarget.Set(c.params.PowLimit)
+	}
+	return BigToCompact(newTarget)
+}
+
+// acceptHeaderLocked validates hdr and adds it to the header index,
+// staging its store row for the next commit batch. Known headers return
+// their existing node; the parent header must already be indexed.
+// Callers hold c.mu.
+func (c *Chain) acceptHeaderLocked(hdr *wire.BlockHeader) (*headerNode, error) {
+	hash := hdr.BlockHash()
+	if hn, ok := c.headers[hash]; ok {
+		return hn, nil
+	}
+	parent, ok := c.headers[hdr.PrevBlock]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s links to unknown %s", ErrOrphanHeader, hash, hdr.PrevBlock)
+	}
+	if err := c.checkHeaderContext(hdr, parent); err != nil {
+		return nil, err
+	}
+	hn := &headerNode{
+		hash:    hash,
+		parent:  parent,
+		height:  parent.height + 1,
+		workSum: new(big.Int).Add(parent.workSum, CalcWork(hdr.Bits)),
+		header:  *hdr,
+	}
+	c.addHeaderNodeLocked(hn, true)
+	c.tel.headersAcc.Inc()
+	return hn, nil
+}
+
+// addHeaderNodeLocked indexes hn, advances the best-header tip when it
+// carries strictly more work, and optionally stages its store row
+// (nodes rebuilt during load are already persisted).
+func (c *Chain) addHeaderNodeLocked(hn *headerNode, stage bool) {
+	c.headers[hn.hash] = hn
+	if stage {
+		c.hdrDirty = append(c.hdrDirty, hn)
+	}
+	if c.headerTip == nil || hn.workSum.Cmp(c.headerTip.workSum) > 0 {
+		c.setHeaderTipLocked(hn)
+	}
+}
+
+// setHeaderTipLocked moves the best-header tip to hn and reconciles the
+// by-height view: walk hn's ancestry down until it rejoins the existing
+// best header chain, rewriting only the divergent suffix.
+func (c *Chain) setHeaderTipLocked(hn *headerNode) {
+	c.headerTip = hn
+	if len(c.hmain) > hn.height+1 {
+		c.hmain = c.hmain[:hn.height+1]
+	}
+	for len(c.hmain) < hn.height+1 {
+		c.hmain = append(c.hmain, nil)
+	}
+	for n := hn; n != nil; n = n.parent {
+		if c.hmain[n.height] == n {
+			break
+		}
+		c.hmain[n.height] = n
+	}
+}
+
+// stageHeaderRows moves accepted-but-unpersisted header rows into b.
+// Every commit batch drains the staging list, so header rows ride the
+// same atomic batches as the state they justify (and a headers-only
+// batch in ProcessHeaders when no body commit is in flight).
+func (c *Chain) stageHeaderRows(b *store.Batch) {
+	for _, hn := range c.hdrDirty {
+		b.Put(keyHeader(hn.hash), hn.header.Bytes())
+	}
+	c.hdrDirty = c.hdrDirty[:0]
+}
+
+// ProcessHeaders validates a batch of headers (in order) against the
+// header index, persisting accepted ones as one atomic batch. It
+// returns how many of the headers are now indexed (including ones
+// already known) and the first validation error, if any. A header whose
+// parent is unknown fails with ErrOrphanHeader, which the p2p layer
+// treats as a stale-locator signal rather than hostility.
+func (c *Chain) ProcessHeaders(headers []wire.BlockHeader) (int, error) {
+	if len(headers) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	accepted := 0
+	var firstErr error
+	for i := range headers {
+		if _, err := c.acceptHeaderLocked(&headers[i]); err != nil {
+			firstErr = err
+			break
+		}
+		accepted++
+	}
+	if len(c.hdrDirty) > 0 {
+		b := store.NewBatch()
+		c.stageHeaderRows(b)
+		if err := c.applyBatch(b, -1); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return accepted, firstErr
+}
+
+// HeaderHeight returns the height of the best-header tip. It is >= the
+// connected BestHeight; the gap is the sync backlog.
+func (c *Chain) HeaderHeight() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.headerTip.height
+}
+
+// HeaderTipHash returns the hash of the best-header tip.
+func (c *Chain) HeaderTipHash() chainhash.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.headerTip.hash
+}
+
+// HeaderLocator builds a block locator over the best header chain:
+// recent hashes densely, then exponentially sparser back to genesis.
+// This is what getheaders requests carry — it must reflect the header
+// skeleton, not just connected bodies, or a restarted node would refetch
+// headers it already validated.
+func (c *Chain) HeaderLocator() []chainhash.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []chainhash.Hash
+	step := 1
+	for h := c.headerTip.height; h >= 0; h -= step {
+		out = append(out, c.hmain[h].hash)
+		if len(out) >= 10 {
+			step *= 2
+		}
+	}
+	if out[len(out)-1] != c.hmain[0].hash {
+		out = append(out, c.hmain[0].hash)
+	}
+	return out
+}
+
+// HeadersAfter returns up to limit best-header-chain headers after the
+// first locator hash found on the best header chain (genesis if none
+// match) — the serving side of getheaders. Serving stops at the first
+// skeleton entry whose body this node cannot itself serve: a header a
+// peer accepts makes this node a download target for its body, and
+// relaying an unbacked skeleton would both amplify a body-withholding
+// attack and earn this node the attacker's stall penalties.
+func (c *Chain) HeadersAfter(locator []chainhash.Hash, limit int) []wire.BlockHeader {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	start := 0
+	for _, h := range locator {
+		if hn, ok := c.headers[h]; ok && hn.height < len(c.hmain) && c.hmain[hn.height] == hn {
+			start = hn.height
+			break
+		}
+	}
+	var out []wire.BlockHeader
+	for h := start + 1; h <= c.headerTip.height && len(out) < limit; h++ {
+		hn := c.hmain[h]
+		if _, have := c.index[hn.hash]; !have {
+			break
+		}
+		out = append(out, hn.header)
+	}
+	return out
+}
+
+// NeededBody is one body the header skeleton still needs, with the
+// height its header occupies on the best header chain — the download
+// scheduler matches it against each peer's servable height.
+type NeededBody struct {
+	Hash   chainhash.Hash
+	Height int
+}
+
+// NextNeededBodies returns up to max blocks, in height order, whose
+// headers are on the best header chain above the connected chain's fork
+// point with it but whose bodies this node has not yet seen. This
+// drives the download scheduler: bodies are fetched in skeleton order,
+// not inbound announcement order.
+func (c *Chain) NextNeededBodies(max int) []NeededBody {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// Find the fork point between the connected tip and the best header
+	// chain; everything above it is the sync backlog.
+	fork := 0
+	for n := c.tip; n != nil; n = n.parent {
+		if n.height < len(c.hmain) && c.hmain[n.height] != nil && c.hmain[n.height].hash == n.hash {
+			fork = n.height
+			break
+		}
+	}
+	var out []NeededBody
+	for h := fork + 1; h <= c.headerTip.height && len(out) < max; h++ {
+		hn := c.hmain[h]
+		if _, have := c.index[hn.hash]; have {
+			continue
+		}
+		if _, held := c.parked[hn.hash]; held {
+			continue
+		}
+		out = append(out, NeededBody{Hash: hn.hash, Height: h})
+	}
+	return out
+}
+
+// ServableHeight reports how far up the current best header chain a
+// peer whose best announced header is bestKnown can serve bodies: the
+// height of bestKnown's highest ancestor on the skeleton (bestKnown
+// itself when it is on the skeleton). Zero when the header is unknown —
+// an unverified claim earns no download assignments, so a peer that is
+// behind, on a different fork, or silent is never charged a stall for
+// bodies it never claimed to have.
+func (c *Chain) ServableHeight(bestKnown chainhash.Hash) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	hn, ok := c.headers[bestKnown]
+	if !ok {
+		return 0
+	}
+	for ; hn != nil; hn = hn.parent {
+		if hn.height < len(c.hmain) && c.hmain[hn.height] == hn {
+			return hn.height
+		}
+	}
+	return 0
+}
+
+// ParkedCount returns the number of bodies parked awaiting their
+// predecessors.
+func (c *Chain) ParkedCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.parked)
+}
+
+// parkBlockLocked holds a body whose header is validated but whose
+// predecessor body has not connected yet. Past the pool bounds the
+// block is dropped instead: NextNeededBodies will list it again and the
+// scheduler refetches it once the backlog drains.
+func (c *Chain) parkBlockLocked(hash chainhash.Hash, blk *wire.MsgBlock) {
+	size := int64(len(blk.Bytes()))
+	if len(c.parked)+1 > defaultMaxParked || c.parkedBytes+size > defaultMaxParkedBytes {
+		return
+	}
+	c.parked[hash] = blk
+	c.parkedBytes += size
+	c.tel.parked.Inc()
+}
+
+// adoptParked connects parked bodies whose predecessors have arrived,
+// lowest height first (deterministically — map order must not influence
+// which sibling connects first), cascading until no parked block can
+// make progress. Callers hold c.mu.
+func (c *Chain) adoptParked() []Notification {
+	var events []Notification
+	for {
+		type ready struct {
+			hash chainhash.Hash
+			blk  *wire.MsgBlock
+		}
+		var batch []ready
+		for hash, blk := range c.parked {
+			if _, ok := c.index[blk.Header.PrevBlock]; ok {
+				batch = append(batch, ready{hash, blk})
+			}
+		}
+		if len(batch) == 0 {
+			return events
+		}
+		sort.Slice(batch, func(i, j int) bool {
+			hi, hj := c.headers[batch[i].hash].height, c.headers[batch[j].hash].height
+			if hi != hj {
+				return hi < hj
+			}
+			return bytes.Compare(batch[i].hash[:], batch[j].hash[:]) < 0
+		})
+		for _, r := range batch {
+			delete(c.parked, r.hash)
+			c.parkedBytes -= int64(len(r.blk.Bytes()))
+			parent, ok := c.index[r.blk.Header.PrevBlock]
+			if !ok {
+				continue // a sibling earlier in the batch replaced its branch
+			}
+			if _, evs, err := c.acceptBlock(r.blk, parent); err == nil {
+				events = append(events, evs...)
+				// A connected body can in turn free orphans waiting on it.
+				events = append(events, c.adoptOrphans(r.hash)...)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"typecoin/internal/chainhash"
+	"typecoin/internal/clock"
+	"typecoin/internal/store"
+	"typecoin/internal/wire"
+)
+
+// mineChainBlocks builds a donor chain of n blocks and returns them, so
+// tests can feed headers and bodies to a separate chain in any order.
+func mineChainBlocks(t testing.TB, n int) (*Chain, *clock.Simulated, []*wire.MsgBlock) {
+	t.Helper()
+	donor, clk := newTestChain(t)
+	blocks := extend(t, donor, clk, n, 0xd0)
+	return donor, clk, blocks
+}
+
+func headersOf(blocks []*wire.MsgBlock) []wire.BlockHeader {
+	out := make([]wire.BlockHeader, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Header
+	}
+	return out
+}
+
+func TestProcessHeadersExtendsHeaderTip(t *testing.T) {
+	_, clk, blocks := mineChainBlocks(t, 30)
+	c := New(RegTestParams(), clk)
+	accepted, err := c.ProcessHeaders(headersOf(blocks))
+	if err != nil {
+		t.Fatalf("ProcessHeaders: %v", err)
+	}
+	if accepted != 30 {
+		t.Fatalf("accepted = %d, want 30", accepted)
+	}
+	if got := c.HeaderHeight(); got != 30 {
+		t.Fatalf("header height = %d, want 30", got)
+	}
+	if c.BestHeight() != 0 {
+		t.Fatalf("connected height = %d, want 0 (no bodies yet)", c.BestHeight())
+	}
+	if c.HeaderTipHash() != blocks[29].BlockHash() {
+		t.Fatal("header tip is not the last header")
+	}
+	// Re-offering the same headers is a no-op, not an error.
+	if accepted, err := c.ProcessHeaders(headersOf(blocks)); err != nil || accepted != 30 {
+		t.Fatalf("re-process: accepted=%d err=%v", accepted, err)
+	}
+}
+
+func TestProcessHeadersRejectsOrphanSkeleton(t *testing.T) {
+	_, clk, blocks := mineChainBlocks(t, 10)
+	c := New(RegTestParams(), clk)
+	// Headers that skip the connecting prefix cannot attach.
+	accepted, err := c.ProcessHeaders(headersOf(blocks[5:]))
+	if !errors.Is(err, ErrOrphanHeader) {
+		t.Fatalf("err = %v, want ErrOrphanHeader", err)
+	}
+	if accepted != 0 {
+		t.Fatalf("accepted = %d, want 0", accepted)
+	}
+	// A partial batch accepts the connecting prefix, then fails.
+	mixed := append(headersOf(blocks[:3]), headersOf(blocks[6:])...)
+	accepted, err = c.ProcessHeaders(mixed)
+	if !errors.Is(err, ErrOrphanHeader) || accepted != 3 {
+		t.Fatalf("mixed batch: accepted=%d err=%v", accepted, err)
+	}
+}
+
+func TestProcessHeadersRejectsInvalid(t *testing.T) {
+	_, clk, blocks := mineChainBlocks(t, 3)
+	c := New(RegTestParams(), clk)
+	bad := headersOf(blocks)
+	bad[1].Timestamp = bad[1].Timestamp.Add(3 * time.Hour) // future; also breaks PoW solution
+	if _, err := c.ProcessHeaders(bad); err == nil {
+		t.Fatal("tampered header accepted")
+	}
+	// An unsolved header fails proof of work.
+	unsolved := headersOf(blocks)
+	unsolved[2].Nonce++
+	if accepted, err := c.ProcessHeaders(unsolved); !errors.Is(err, ErrBadProofOfWork) {
+		t.Fatalf("accepted=%d err=%v, want ErrBadProofOfWork", accepted, err)
+	}
+}
+
+func TestOutOfOrderBodiesParkAndConnect(t *testing.T) {
+	_, clk, blocks := mineChainBlocks(t, 12)
+	c := New(RegTestParams(), clk)
+	if _, err := c.ProcessHeaders(headersOf(blocks)); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver bodies in reverse: all but the first park.
+	for i := len(blocks) - 1; i > 0; i-- {
+		status, err := c.ProcessBlock(blocks[i])
+		if err != nil {
+			t.Fatalf("body %d: %v", i, err)
+		}
+		if status != StatusParked {
+			t.Fatalf("body %d status = %v, want parked", i, status)
+		}
+	}
+	if got := c.ParkedCount(); got != 11 {
+		t.Fatalf("parked = %d, want 11", got)
+	}
+	// The first body unblocks the whole parked run.
+	status, err := c.ProcessBlock(blocks[0])
+	if err != nil || status != StatusMainChain {
+		t.Fatalf("body 0: status=%v err=%v", status, err)
+	}
+	if c.BestHeight() != 12 {
+		t.Fatalf("connected height = %d, want 12", c.BestHeight())
+	}
+	if c.ParkedCount() != 0 {
+		t.Fatalf("parked = %d after connect, want 0", c.ParkedCount())
+	}
+	if err := c.AuditFromGenesis(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextNeededBodiesFollowsSkeleton(t *testing.T) {
+	_, clk, blocks := mineChainBlocks(t, 8)
+	c := New(RegTestParams(), clk)
+	if got := c.NextNeededBodies(16); len(got) != 0 {
+		t.Fatalf("fresh chain needs %d bodies, want 0", len(got))
+	}
+	if _, err := c.ProcessHeaders(headersOf(blocks)); err != nil {
+		t.Fatal(err)
+	}
+	need := c.NextNeededBodies(16)
+	if len(need) != 8 {
+		t.Fatalf("need %d bodies, want 8", len(need))
+	}
+	for i, nb := range need {
+		if nb.Hash != blocks[i].BlockHash() || nb.Height != i+1 {
+			t.Fatalf("need[%d] out of skeleton order", i)
+		}
+	}
+	// A parked body and a connected body both leave the list; the cap is
+	// honored.
+	if _, err := c.ProcessBlock(blocks[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProcessBlock(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	need = c.NextNeededBodies(3)
+	want := []int{1, 3, 4}
+	if len(need) != 3 {
+		t.Fatalf("need %d bodies, want 3", len(need))
+	}
+	for i, idx := range want {
+		if need[i].Hash != blocks[idx].BlockHash() {
+			t.Fatalf("need[%d] = %s, want block %d", i, need[i].Hash, idx)
+		}
+	}
+}
+
+func TestHeaderLocatorAndHeadersAfter(t *testing.T) {
+	_, clk, blocks := mineChainBlocks(t, 40)
+	c := New(RegTestParams(), clk)
+	if _, err := c.ProcessHeaders(headersOf(blocks)); err != nil {
+		t.Fatal(err)
+	}
+	// Headers are only served once their bodies are: a bare skeleton is
+	// not relayed (see HeadersAfter). Before any body connects, a fresh
+	// peer gets nothing.
+	fresh := New(RegTestParams(), clk)
+	if got := c.HeadersAfter(fresh.HeaderLocator(), wire.MaxHeadersPerMsg); len(got) != 0 {
+		t.Fatalf("bodyless skeleton served %d headers, want 0", len(got))
+	}
+	// Connect the first 30 bodies: serving stops at the body frontier.
+	for _, blk := range blocks[:30] {
+		if _, err := c.ProcessBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.HeadersAfter(fresh.HeaderLocator(), wire.MaxHeadersPerMsg); len(got) != 30 {
+		t.Fatalf("partially-backed skeleton served %d headers, want 30", len(got))
+	}
+	for _, blk := range blocks[30:] {
+		if _, err := c.ProcessBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loc := c.HeaderLocator()
+	if loc[0] != blocks[39].BlockHash() {
+		t.Fatal("locator does not start at the header tip")
+	}
+	if loc[len(loc)-1] != c.Params().GenesisBlock.BlockHash() {
+		t.Fatal("locator does not end at genesis")
+	}
+	// A peer with the same skeleton gets nothing after the locator.
+	if got := c.HeadersAfter(loc, wire.MaxHeadersPerMsg); len(got) != 0 {
+		t.Fatalf("caught-up peer got %d headers", len(got))
+	}
+	// A peer 40 behind gets the whole skeleton from its genesis locator.
+	got := c.HeadersAfter(fresh.HeaderLocator(), wire.MaxHeadersPerMsg)
+	if len(got) != 40 {
+		t.Fatalf("fresh peer got %d headers, want 40", len(got))
+	}
+	if got[0].BlockHash() != blocks[0].BlockHash() {
+		t.Fatal("headers do not start after genesis")
+	}
+	// The serve limit is honored.
+	if got := c.HeadersAfter(fresh.HeaderLocator(), 7); len(got) != 7 {
+		t.Fatalf("limited serve returned %d headers", len(got))
+	}
+}
+
+func TestHeaderIndexSurvivesReopen(t *testing.T) {
+	_, clk, blocks := mineChainBlocks(t, 25)
+	st := store.NewMem()
+	c, err := Open(Config{Params: RegTestParams(), Clock: clk, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accept the full skeleton but connect only the first 10 bodies:
+	// the persisted header tip must run ahead of the connected tip.
+	if _, err := c.ProcessHeaders(headersOf(blocks)); err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range blocks[:10] {
+		if _, err := c.ProcessBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.BestHeight() != 10 || c.HeaderHeight() != 25 {
+		t.Fatalf("pre-reopen heights: connected=%d header=%d", c.BestHeight(), c.HeaderHeight())
+	}
+
+	re, err := Open(Config{Params: RegTestParams(), Clock: clk, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.BestHeight() != 10 {
+		t.Fatalf("reopened connected height = %d, want 10", re.BestHeight())
+	}
+	if re.HeaderHeight() != 25 {
+		t.Fatalf("reopened header height = %d, want 25 (skeleton lost)", re.HeaderHeight())
+	}
+	if re.HeaderTipHash() != blocks[24].BlockHash() {
+		t.Fatal("reopened header tip mismatch")
+	}
+	// The reopened node knows exactly which bodies it still needs, and
+	// connecting them resumes where it left off.
+	need := re.NextNeededBodies(100)
+	if len(need) != 15 || need[0].Hash != blocks[10].BlockHash() {
+		t.Fatalf("reopened node needs %d bodies starting at %v", len(need), need)
+	}
+	for _, blk := range blocks[10:] {
+		if status, err := re.ProcessBlock(blk); err != nil || status != StatusMainChain {
+			t.Fatalf("resume connect: status=%v err=%v", status, err)
+		}
+	}
+	if re.BestHeight() != 25 {
+		t.Fatalf("resumed height = %d, want 25", re.BestHeight())
+	}
+	if err := re.AuditFromGenesis(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderReorgPrefersMoreWork(t *testing.T) {
+	// Two donors fork at height 5: branch A reaches 8, branch B reaches
+	// 12. A node that saw A's skeleton first must switch its header tip
+	// and body schedule to B.
+	donor, clk, shared := mineChainBlocks(t, 5)
+	branchA := extend(t, donor, clk, 3, 0xaa)
+
+	donorB := New(RegTestParams(), clk)
+	for _, blk := range shared {
+		if _, err := donorB.ProcessBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var branchB []*wire.MsgBlock
+	for i := 0; i < 7; i++ {
+		// Offset timestamps so branch B's blocks differ from branch A's.
+		ts := clk.Now().Add(time.Duration(i+1) * time.Minute)
+		blk := mineEmpty(t, donorB, donorB.BestHash(), donorB.BestHeight()+1, ts, 0xbb)
+		if _, err := donorB.ProcessBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+		branchB = append(branchB, blk)
+	}
+
+	c := New(RegTestParams(), clk)
+	if _, err := c.ProcessHeaders(headersOf(append(append([]*wire.MsgBlock{}, shared...), branchA...))); err != nil {
+		t.Fatal(err)
+	}
+	if c.HeaderHeight() != 8 {
+		t.Fatalf("header height = %d, want 8", c.HeaderHeight())
+	}
+	if _, err := c.ProcessHeaders(headersOf(branchB)); err != nil {
+		t.Fatal(err)
+	}
+	if c.HeaderHeight() != 12 {
+		t.Fatalf("header height after reorg = %d, want 12", c.HeaderHeight())
+	}
+	if c.HeaderTipHash() != branchB[6].BlockHash() {
+		t.Fatal("header tip did not move to the heavier branch")
+	}
+	// The body schedule follows the heavier skeleton.
+	need := c.NextNeededBodies(100)
+	if len(need) != 12 {
+		t.Fatalf("need %d bodies, want 12", len(need))
+	}
+	if need[5].Hash != branchB[0].BlockHash() {
+		t.Fatal("body schedule still follows the lighter branch")
+	}
+	// Availability is per chain, not per height: a peer whose best
+	// announced header is branch A's tip can only serve up to the fork
+	// point of the now-heavier skeleton.
+	if got := c.ServableHeight(branchB[6].BlockHash()); got != 12 {
+		t.Fatalf("ServableHeight(tip B) = %d, want 12", got)
+	}
+	if got := c.ServableHeight(branchA[2].BlockHash()); got != 5 {
+		t.Fatalf("ServableHeight(tip A) = %d, want 5 (fork point)", got)
+	}
+	if got := c.ServableHeight(chainhash.Hash{0xde, 0xad}); got != 0 {
+		t.Fatalf("ServableHeight(unknown) = %d, want 0", got)
+	}
+}

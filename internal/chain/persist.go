@@ -20,6 +20,15 @@ package chain
 //	                     this journal rather than trusting resident
 //	                     state, so a reorg works identically on a node
 //	                     that just restarted.
+//	h + hash          -> 80-byte block header in the header index
+//	                     (headers-first sync). Rows are written when the
+//	                     header is accepted — which may be long before
+//	                     its body arrives — so a crash mid-sync restarts
+//	                     with header tip >= connected tip. Load also
+//	                     derives headers from stored blocks, making the
+//	                     rows redundant for blocks we hold; the
+//	                     best-header tip itself is not stored but
+//	                     recomputed as the maximum-work header on load.
 //
 // Subsystems above the chain (wallet view, ledger seen-index) join the
 // same batch through SubscribePersist, so a crash can never commit a
@@ -61,6 +70,8 @@ func keyMain(height int) []byte {
 func keyBlock(h chainhash.Hash) []byte { return append([]byte("b"), h[:]...) }
 
 func keyUndo(h chainhash.Hash) []byte { return append([]byte("U"), h[:]...) }
+
+func keyHeader(h chainhash.Hash) []byte { return append([]byte("h"), h[:]...) }
 
 func appendOutPoint(dst []byte, op wire.OutPoint) []byte {
 	dst = append(dst, op.Hash[:]...)
@@ -405,6 +416,8 @@ func Open(cfg Config) (*Chain, error) {
 		sigCache:    cfg.SigCache,
 		st:          st,
 		index:       make(map[chainhash.Hash]*blockNode),
+		headers:     make(map[chainhash.Hash]*headerNode),
+		parked:      make(map[chainhash.Hash]*wire.MsgBlock),
 		utxo:        NewUtxoView(),
 		spent:       make(map[wire.OutPoint]SpendRecord),
 		txToBlock:   make(map[chainhash.Hash]txLoc),
@@ -442,6 +455,12 @@ func (c *Chain) bootstrap() error {
 	c.index[gnode.hash] = gnode
 	c.tip = gnode
 	c.mainChain = []*blockNode{gnode}
+	c.addHeaderNodeLocked(&headerNode{
+		hash:    gnode.hash,
+		height:  0,
+		workSum: new(big.Int).Set(gnode.workSum),
+		header:  genesis.Header,
+	}, false)
 
 	b := store.NewBatch()
 	ref, err := c.st.AppendBlock(genesis.Bytes())
@@ -593,6 +612,90 @@ func (c *Chain) load() error {
 		}
 	}
 
+	// Header index. Every stored block contributes its header; the 'h'
+	// rows add the persisted skeleton — headers validated ahead of their
+	// bodies — on top, so a node killed mid-sync restarts with its
+	// header tip at or ahead of the connected tip. Both sets are linked
+	// progressively from genesis (height and work derive from the
+	// parent); rows whose ancestry no longer reaches a known header are
+	// dropped, to be refetched from peers.
+	c.addHeaderNodeLocked(&headerNode{
+		hash:    c.mainChain[0].hash,
+		height:  0,
+		workSum: new(big.Int).Set(c.mainChain[0].workSum),
+		header:  c.mainChain[0].block.Header,
+	}, false)
+	for _, node := range c.mainChain[1:] {
+		c.addHeaderNodeLocked(&headerNode{
+			hash:    node.hash,
+			parent:  c.headers[node.parent.hash],
+			height:  node.height,
+			workSum: new(big.Int).Set(node.workSum),
+			header:  node.block.Header,
+		}, false)
+	}
+	pendingHdrs := make(map[chainhash.Hash]wire.BlockHeader)
+	for h, node := range c.index {
+		if _, ok := c.headers[h]; !ok {
+			pendingHdrs[h] = node.block.Header
+		}
+	}
+	err = c.st.Iterate([]byte("h"), func(k, v []byte) error {
+		if len(k) != 1+32 {
+			return fmt.Errorf("%w: malformed header key", ErrCorruptState)
+		}
+		var h chainhash.Hash
+		copy(h[:], k[1:])
+		if _, ok := c.headers[h]; ok {
+			return nil
+		}
+		if _, ok := pendingHdrs[h]; ok {
+			return nil
+		}
+		var hdr wire.BlockHeader
+		if err := hdr.Deserialize(bytes.NewReader(v)); err != nil {
+			return fmt.Errorf("%w: header %s undecodable (%v)", ErrCorruptState, h, err)
+		}
+		if hdr.BlockHash() != h {
+			return fmt.Errorf("%w: header row %s hashes to %s", ErrCorruptState, h, hdr.BlockHash())
+		}
+		pendingHdrs[h] = hdr
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for progressed := true; progressed && len(pendingHdrs) > 0; {
+		progressed = false
+		for h, hdr := range pendingHdrs {
+			parent, ok := c.headers[hdr.PrevBlock]
+			if !ok {
+				continue
+			}
+			c.addHeaderNodeLocked(&headerNode{
+				hash:    h,
+				parent:  parent,
+				height:  parent.height + 1,
+				workSum: new(big.Int).Add(parent.workSum, CalcWork(hdr.Bits)),
+				header:  hdr,
+			}, false)
+			delete(pendingHdrs, h)
+			progressed = true
+		}
+	}
+	// Recompute the best-header tip deterministically: map iteration
+	// order above must not pick among equal-work branches. The connected
+	// tip's header wins ties; among strictly heavier candidates, lowest
+	// hash wins.
+	best := c.headers[c.tip.hash]
+	for _, hn := range c.headers {
+		cmp := hn.workSum.Cmp(best.workSum)
+		if cmp > 0 || (cmp == 0 && best != c.headers[c.tip.hash] && bytes.Compare(hn.hash[:], best.hash[:]) < 0) {
+			best = hn
+		}
+	}
+	c.setHeaderTipLocked(best)
+
 	// UTXO table and spend journal.
 	err = c.st.Iterate([]byte("u"), func(k, v []byte) error {
 		op, err := decodeOutPoint(k[1:])
@@ -639,6 +742,7 @@ func (c *Chain) persistSideBlock(node *blockNode) error {
 	}
 	b := store.NewBatch()
 	b.Put(keyBlock(node.hash), encodeBlockRef(ref))
+	c.stageHeaderRows(b)
 	return c.st.Apply(b)
 }
 
@@ -691,6 +795,9 @@ func (c *Chain) commitConnect(node *blockNode, undo []undoItem) error {
 	for _, fn := range c.persisters {
 		fn(ev, b)
 	}
+	// Any headers accepted since the last commit (including this block's
+	// own, when it is new) ride the same atomic batch.
+	c.stageHeaderRows(b)
 	return c.applyBatch(b, node.height)
 }
 
@@ -765,6 +872,7 @@ func (c *Chain) commitDisconnect(node *blockNode, undo []undoItem) error {
 	for _, fn := range c.persisters {
 		fn(ev, b)
 	}
+	c.stageHeaderRows(b)
 	// The new tip is the parent: once this batch is durable, the chain
 	// can only replay to parent or later, never to the detached block.
 	return c.applyBatch(b, node.parent.height)

@@ -27,6 +27,8 @@ type chainTelemetry struct {
 	orphaned    *telemetry.Counter
 	sideBlocks  *telemetry.Counter
 	duplicates  *telemetry.Counter
+	parked      *telemetry.Counter
+	headersAcc  *telemetry.Counter
 
 	connectSeconds    *telemetry.Histogram
 	disconnectSeconds *telemetry.Histogram
@@ -54,6 +56,8 @@ func (c *Chain) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		orphaned:    reg.Counter("chain_orphan_blocks_total", "Blocks held as orphans pending their parent."),
 		sideBlocks:  reg.Counter("chain_side_blocks_total", "Blocks stored on side branches."),
 		duplicates:  reg.Counter("chain_duplicate_blocks_total", "Already-known blocks offered again."),
+		parked:      reg.Counter("chain_parked_blocks_total", "Out-of-order bodies parked until their predecessor connects."),
+		headersAcc:  reg.Counter("chain_headers_accepted_total", "Headers validated into the header index."),
 
 		connectSeconds:    reg.Histogram("chain_connect_seconds", "Wall time to validate, persist and connect one block.", telemetry.LatencyBuckets),
 		disconnectSeconds: reg.Histogram("chain_disconnect_seconds", "Wall time to disconnect one block.", telemetry.LatencyBuckets),
@@ -67,6 +71,12 @@ func (c *Chain) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	}
 	reg.GaugeFunc("chain_height", "Height of the main-chain tip.", func() float64 {
 		return float64(c.BestHeight())
+	})
+	reg.GaugeFunc("chain_header_height", "Height of the best-header tip; the gap above chain_height is the sync backlog.", func() float64 {
+		return float64(c.HeaderHeight())
+	})
+	reg.GaugeFunc("chain_parked_bodies", "Out-of-order bodies currently parked awaiting predecessors.", func() float64 {
+		return float64(c.ParkedCount())
 	})
 	reg.GaugeFunc("chain_utxo_size", "Entries in the unspent-txout table (the paper's deadweight metric).", func() float64 {
 		return float64(c.UtxoSize())
@@ -126,6 +136,9 @@ func (c *Chain) recordStatus(hash chainhash.Hash, status BlockStatus, err error)
 		}
 	case StatusDuplicate:
 		c.tel.duplicates.Inc()
+	case StatusParked:
+		// Counted in parkBlockLocked (an over-cap park is dropped, not
+		// held); nothing to record here.
 	case StatusInvalid:
 		c.tel.invalid.Inc()
 		if c.tel.tracer != nil {

@@ -110,20 +110,6 @@ func (c *Chain) checkBlockSanity(blk *wire.MsgBlock) error {
 	return nil
 }
 
-// checkBlockContext performs checks that need the parent node: difficulty
-// and median-time-past.
-func (c *Chain) checkBlockContext(blk *wire.MsgBlock, parent *blockNode) error {
-	wantBits := c.nextRequiredDifficulty(parent)
-	if blk.Header.Bits != wantBits {
-		return fmt.Errorf("%w: block bits %08x, want %08x", ErrBadProofOfWork,
-			blk.Header.Bits, wantBits)
-	}
-	if !blk.Header.Timestamp.After(parent.medianTimePast()) {
-		return ErrTimeTooOld
-	}
-	return nil
-}
-
 // CheckTransactionInputs validates tx against the UTXO table (conditions
 // 1-3 of Section 2 between transactions), returning the fee and the
 // resolved entry for each input, aligned with tx.TxIn. The view must

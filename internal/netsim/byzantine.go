@@ -20,6 +20,14 @@ package netsim
 //     the victim's sync until stall detection rotates and charges it.
 //   - Equivocator: pre-mines two conflicting low-work forks and pushes
 //     their blocks unsolicited, replaying them forever.
+//   - SkeletonWithholder: serves a valid, heavier header skeleton on
+//     getheaders and then ignores every body request — the headers-first
+//     attack surface. The victim adopts the skeleton, schedules its
+//     bodies on the actor (and only the actor: no other peer claims that
+//     chain), and stall detection charges and eventually bans it.
+//   - SkeletonCorrupter: same skeleton, but serves bodies whose payload
+//     bytes are tampered. The merkle commitment fails, each delivery is
+//     charged as an invalid block, and the ban lands immediately.
 //
 // A banned actor keeps redialing; the victim's accept path refuses the
 // connection outright, which the scenarios assert.
@@ -54,6 +62,14 @@ type Actor struct {
 	target string
 	magic  uint32
 	behave func(a *Actor)
+	// onMsg, when set, turns the read side from a bit bucket into a
+	// protocol server: every decoded frame from the victim is dispatched
+	// to it (skeleton-serving actors answer getheaders/getdata there).
+	onMsg func(a *Actor, msg *wire.Message)
+	// hello is the version payload sent on every (re)dial; skeleton
+	// actors use it to announce their private fork tip as claimed chain
+	// knowledge.
+	hello []byte
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -70,6 +86,14 @@ type Actor struct {
 // before the harness stops its nodes (LIFO), so actor goroutines are
 // gone before the network is torn down.
 func startActor(h *Harness, name string, target int, behave func(*Actor)) *Actor {
+	return startServingActor(h, name, target, behave, nil, nil)
+}
+
+// startServingActor is startActor for actors that also answer the
+// victim's requests: onMsg receives every decoded inbound frame, and
+// hello is the version payload announced on each dial.
+func startServingActor(h *Harness, name string, target int, behave func(*Actor),
+	onMsg func(*Actor, *wire.Message), hello []byte) *Actor {
 	seedHash := fnv.New64a()
 	seedHash.Write([]byte(name))
 	a := &Actor{
@@ -78,6 +102,8 @@ func startActor(h *Harness, name string, target int, behave func(*Actor)) *Actor
 		target: h.Host(target),
 		magic:  h.Params.Magic,
 		behave: behave,
+		onMsg:  onMsg,
+		hello:  hello,
 		rng:    rand.New(rand.NewSource(h.Seed ^ int64(seedHash.Sum64()))),
 	}
 	h.T.Cleanup(a.Stop)
@@ -115,7 +141,7 @@ func (a *Actor) onTick(now time.Time) {
 
 // dialLocked attempts one connection to the target and, on success,
 // opens with a version message so the victim completes its handshake.
-// The read side is discarded: no actor honors requests.
+// The read side is discarded unless the actor serves requests (onMsg).
 func (a *Actor) dialLocked() {
 	c, err := a.h.Net.Dial(a.Name, a.target)
 	if err != nil {
@@ -124,8 +150,37 @@ func (a *Actor) dialLocked() {
 	a.conn = c
 	a.dead = false
 	a.dials++
-	go a.discard(c)
-	a.writeLocked(wire.CmdVersion, nil)
+	if a.onMsg != nil {
+		go a.serve(c)
+	} else {
+		go a.discard(c)
+	}
+	a.writeLocked(wire.CmdVersion, a.hello)
+}
+
+// serve decodes the victim's frames and dispatches them to onMsg until
+// the connection dies.
+func (a *Actor) serve(c net.Conn) {
+	for {
+		msg, err := wire.ReadMessage(c, a.magic)
+		if err != nil {
+			a.mu.Lock()
+			if a.conn == c {
+				a.dead = true
+			}
+			a.mu.Unlock()
+			return
+		}
+		a.onMsg(a, msg)
+	}
+}
+
+// write frames and sends one message, for callers (the serve goroutine)
+// that do not hold a.mu.
+func (a *Actor) write(cmd string, payload []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.writeLocked(cmd, payload)
 }
 
 // discard drains everything the victim sends until the connection dies
@@ -256,6 +311,120 @@ func StartEquivocator(h *Harness, name string, target int) *Actor {
 		a.writeLocked(wire.CmdBlock, blocks[order[next%len(order)]])
 		next++
 	})
+}
+
+// skeletonFork is a pre-mined private fork a skeleton actor serves
+// headers (and possibly corrupted bodies) from.
+type skeletonFork struct {
+	tip     chainhash.Hash
+	headers []wire.BlockHeader        // heights 1..depth
+	heights map[chainhash.Hash]int    // genesis and every fork block
+	bodies  map[chainhash.Hash][]byte // serialized fork blocks
+}
+
+// mineSkeletonFork mines a private fork of the given depth from genesis.
+// Its coinbases pay a fork-private principal, so its blocks are disjoint
+// from the honest chain at every height.
+func mineSkeletonFork(h *Harness, name string, depth int) *skeletonFork {
+	h.T.Helper()
+	c := chain.New(h.Params, h.Clk)
+	w := wallet.New(c, testutil.NewEntropy(fmt.Sprintf("netsim/skeleton/%d/%s", h.Seed, name)))
+	payout, err := w.NewKey()
+	if err != nil {
+		h.T.Fatalf("skeleton payout key: %v", err)
+	}
+	m := miner.New(c, nil, h.Clk)
+	f := &skeletonFork{
+		heights: map[chainhash.Hash]int{h.Params.GenesisBlock.BlockHash(): 0},
+		bodies:  make(map[chainhash.Hash][]byte),
+	}
+	for k := 0; k < depth; k++ {
+		blk, _, err := m.Mine(payout)
+		if err != nil {
+			h.T.Fatalf("skeleton pre-mine block %d: %v", k, err)
+		}
+		hash := blk.BlockHash()
+		f.headers = append(f.headers, blk.Header)
+		f.heights[hash] = k + 1
+		f.bodies[hash] = blk.Bytes()
+		f.tip = hash
+	}
+	return f
+}
+
+// serveHeaders answers one getheaders request from the fork skeleton:
+// headers above the highest locator entry on the fork (genesis when the
+// victim's chain shares nothing else), capped at the protocol batch
+// size. A caught-up locator gets an empty batch, like an honest peer.
+func (f *skeletonFork) serveHeaders(a *Actor, payload []byte) {
+	locator, _, err := wire.DecodeLocator(payload)
+	if err != nil {
+		return
+	}
+	start := 0
+	for _, hsh := range locator {
+		if ht, ok := f.heights[hsh]; ok {
+			start = ht
+			break
+		}
+	}
+	batch := f.headers[start:]
+	if len(batch) > wire.MaxHeadersPerMsg {
+		batch = batch[:wire.MaxHeadersPerMsg]
+	}
+	a.write(wire.CmdHeaders, wire.EncodeHeaders(batch))
+}
+
+// StartSkeletonWithholder launches an actor that serves a valid private
+// header skeleton of the given depth (mine it heavier than the honest
+// chain) and withholds every body. The victim adopts the skeleton,
+// schedules its bodies on the actor — no honest peer claims that chain,
+// so none is asked, and none is charged — and the stall sweep penalizes
+// the actor until it is banned. The victim's connected chain never
+// moves: headers alone carry no state.
+func StartSkeletonWithholder(h *Harness, name string, target, depth int) *Actor {
+	fork := mineSkeletonFork(h, name, depth)
+	onMsg := func(a *Actor, msg *wire.Message) {
+		if msg.Command == wire.CmdGetHeaders {
+			fork.serveHeaders(a, msg.Payload)
+		}
+		// Every getdata is ignored: the skeleton's bodies never come.
+	}
+	hello := wire.EncodeVersion(fork.tip, uint64(depth))
+	return startServingActor(h, name, target, func(*Actor) {}, onMsg, hello)
+}
+
+// StartSkeletonCorrupter launches an actor that serves the same valid
+// header skeleton but answers body requests with tampered payloads: the
+// header (and thus the requested hash) is intact while the transaction
+// bytes are flipped, so the delivery is solicited but its merkle
+// commitment fails. Each corrupt body is charged as an invalid block.
+func StartSkeletonCorrupter(h *Harness, name string, target, depth int) *Actor {
+	fork := mineSkeletonFork(h, name, depth)
+	corrupt := make(map[chainhash.Hash][]byte, len(fork.bodies))
+	for hash, body := range fork.bodies {
+		bad := append([]byte(nil), body...)
+		bad[len(bad)-1] ^= 0xff // last byte of the last tx: body, not header
+		corrupt[hash] = bad
+	}
+	onMsg := func(a *Actor, msg *wire.Message) {
+		switch msg.Command {
+		case wire.CmdGetHeaders:
+			fork.serveHeaders(a, msg.Payload)
+		case wire.CmdGetData:
+			invs, err := wire.DecodeInv(msg.Payload)
+			if err != nil {
+				return
+			}
+			for _, iv := range invs {
+				if body, ok := corrupt[iv.Hash]; ok && iv.Type == wire.InvTypeBlock {
+					a.write(wire.CmdBlock, body)
+				}
+			}
+		}
+	}
+	hello := wire.EncodeVersion(fork.tip, uint64(depth))
+	return startServingActor(h, name, target, func(*Actor) {}, onMsg, hello)
 }
 
 // EquivocationBlocks mines two conflicting private forks of the given

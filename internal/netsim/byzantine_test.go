@@ -244,3 +244,106 @@ func TestByzantineScenarios(t *testing.T) {
 		})
 	}
 }
+
+// runHeaderSkeletonScenario attacks the headers-first download manager
+// itself: an actor serves a valid header skeleton heavier than the
+// honest chain and then withholds (or corrupts) every body. The victim
+// must adopt the skeleton, charge the only peer claiming that chain,
+// ban it, leave the honest ring untouched, and converge once the honest
+// chain outruns the dead fork.
+func runHeaderSkeletonScenario(t *testing.T, seed int64, corrupt bool) {
+	cfg := LinkConfig{Latency: 2 * time.Millisecond, Jitter: time.Millisecond}
+	h := NewHarness(t, seed, 3, cfg)
+	h.SetDefense(byzantinePolicy(), byzantineBounds())
+	h.Connect(0, 1)
+	h.Connect(1, 2)
+	h.Connect(2, 0)
+	h.Settle(10)
+
+	const honestHeight = 8
+	const forkDepth = 20 // heavier than the honest chain at attack time
+	h.MineN(0, honestHeight)
+	h.WaitConverged()
+
+	attackStart := h.Clk.Now()
+	victim := 0
+	var a *Actor
+	if corrupt {
+		a = StartSkeletonCorrupter(h, "skelcorrupt", victim, forkDepth)
+	} else {
+		a = StartSkeletonWithholder(h, "skelwithhold", victim, forkDepth)
+	}
+
+	// The skeleton is valid and heavier, so the victim must adopt it —
+	// headers-first cannot tell it apart from an honest better chain.
+	h.WaitFor("victim adopts the hostile skeleton", func() bool {
+		h.AssertBounds()
+		return h.Nodes[victim].Chain().HeaderHeight() == forkDepth
+	})
+
+	// Bodies never materialize (or never validate), so the ban must land
+	// within the virtual-time bound, with the connected chain unmoved.
+	h.WaitFor("skeleton actor banned", func() bool {
+		h.AssertBounds()
+		return h.Nodes[victim].IsBanned(a.Name)
+	})
+	if elapsed := h.Clk.Now().Sub(attackStart); elapsed > banBound {
+		t.Fatalf("banning the skeleton actor took %v of virtual time, bound %v", elapsed, banBound)
+	}
+	if got := h.Nodes[victim].Chain().BestHeight(); got != honestHeight {
+		t.Fatalf("victim's connected chain moved to %d on a bodyless skeleton, want %d",
+			got, honestHeight)
+	}
+	if corrupt {
+		// Each tampered body is charged as an invalid block.
+		if got := h.Metric(victim, "p2p_misbehavior_points_total"); got < 100 {
+			t.Fatalf("p2p_misbehavior_points_total = %v after corrupt bodies, want >= 100", got)
+		}
+	} else {
+		// The withheld bodies are charged through the stall sweep.
+		if got := h.Metric(victim, "p2p_stalls_total"); got < 1 {
+			t.Fatalf("p2p_stalls_total = %v after withheld bodies, want >= 1", got)
+		}
+	}
+	// The fork's bodies were only ever scheduled on the actor: no honest
+	// node is banned or even meaningfully scored as collateral.
+	for i, node := range h.Nodes {
+		for j := range h.Nodes {
+			if i != j && node.IsBanned(h.Host(j)) {
+				t.Fatalf("node %d banned honest node %d (score %d)", i, j, node.BanScore(h.Host(j)))
+			}
+		}
+	}
+	for j := range h.Nodes {
+		if j != victim {
+			if score := h.Nodes[victim].BanScore(h.Host(j)); score > 0 {
+				t.Fatalf("victim charged honest node %d with %d points for the hostile skeleton",
+					j, score)
+			}
+		}
+	}
+
+	a.Stop()
+	h.Settle(10)
+
+	// Once the honest chain outruns the dead fork, the victim's header
+	// tip returns to the honest skeleton and everything converges.
+	h.MineN(1, forkDepth-honestHeight+2)
+	h.WaitConverged()
+	h.AssertConverged()
+	if hh, bh := h.Nodes[victim].Chain().HeaderHeight(), h.Nodes[victim].Chain().BestHeight(); hh != bh {
+		t.Fatalf("victim header tip %d still off the connected chain %d after recovery", hh, bh)
+	}
+	h.AssertBounds()
+}
+
+func TestByzantineScenariosHeaderSkeleton(t *testing.T) {
+	for _, seed := range byzantineSeeds(t) {
+		t.Run(fmt.Sprintf("withhold/seed=%d", seed), func(t *testing.T) {
+			runHeaderSkeletonScenario(t, seed, false)
+		})
+		t.Run(fmt.Sprintf("corrupt/seed=%d", seed), func(t *testing.T) {
+			runHeaderSkeletonScenario(t, seed, true)
+		})
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package netsim
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// comparisons (virtual ticks to tip, bytes on the wire) are meaningless
+// under the detector's 5-20x goroutine slowdown, so the comparative
+// scenarios skip themselves; correctness invariants keep running.
+const raceEnabled = true

@@ -52,6 +52,9 @@ type Node struct {
 	redialAttempts   int
 	redialBase       time.Duration
 
+	// sync is the headers-first download manager (see syncmgr.go).
+	sync *syncMgr
+
 	mu       sync.Mutex
 	ledger   *typecoin.Ledger // optional: enables typecoin gossip
 	peers    map[int]*Peer
@@ -97,6 +100,7 @@ func NewNode(c *chain.Chain, pool *mempool.Pool, logger *slog.Logger) *Node {
 		handshakeTimeout: 10 * time.Second,
 		redialAttempts:   6,
 		redialBase:       25 * time.Millisecond,
+		sync:             newSyncMgr(),
 		peers:            make(map[int]*Peer),
 		dialing:          make(map[string]bool),
 		quit:             make(chan struct{}),
@@ -429,9 +433,11 @@ func (n *Node) addConn(conn net.Conn, dialAddr string) *Peer {
 		}))
 	}
 
-	// Handshake: announce our version; the peer replies verack and both
-	// sides then exchange locators to sync.
-	if err := p.send(wire.CmdVersion, nil); err != nil {
+	// Handshake: announce our version — carrying our best-header tip, so
+	// the peer can seed its download scheduler with our claimed chain
+	// knowledge; the peer replies verack and both sides then sync.
+	payload := wire.EncodeVersion(n.chain.HeaderTipHash(), uint64(n.chain.HeaderHeight()))
+	if err := p.send(wire.CmdVersion, payload); err != nil {
 		n.logDebug("version send failed", "peer", id, "err", err)
 	}
 	return p
@@ -457,6 +463,11 @@ func (n *Node) dropPeer(p *Peer) {
 		n.wg.Add(1)
 	}
 	n.mu.Unlock()
+	// Free the peer's download window; its slots move to the survivors.
+	if n.releaseSyncSlots(p) {
+		n.electSyncPeer(p)
+	}
+	n.scheduleBodies(p)
 	if redial {
 		go func() {
 			defer n.wg.Done()
@@ -641,14 +652,21 @@ func (n *Node) readLoop(p *Peer) {
 	}
 }
 
-// rotateSync re-requests blocks from every peer except the stalled one.
+// rotateSync moves sync work away from a stalled peer: its download
+// slots are freed and reassigned to the remaining peers, the skeleton
+// source moves if the stalled peer held it, and everyone else is asked
+// for headers in case the stalled peer was the only one serving them.
 func (n *Node) rotateSync(except *Peer) {
-	payload := wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)
-	for _, p := range n.peerSnapshot(except) {
-		if err := p.send(wire.CmdGetBlocks, payload); err != nil {
+	if n.releaseSyncSlots(except) {
+		n.electSyncPeer(except)
+	}
+	payload := wire.EncodeLocator(n.chain.HeaderLocator(), chainhash.ZeroHash)
+	for _, p := range n.readyPeers(except) {
+		if err := p.send(wire.CmdGetHeaders, payload); err != nil {
 			n.logDebug("rotate sync send failed", "peer", p.id, "err", err)
 		}
 	}
+	n.scheduleBodies(except)
 }
 
 // noteOrphan attributes an orphan block to the peer that delivered it;
@@ -721,15 +739,25 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 	now := n.clk.Now()
 	switch msg.Command {
 	case wire.CmdVersion:
+		if tip, _, err := wire.DecodeVersion(msg.Payload); err != nil {
+			n.penalize(p, pol.PenaltyMalformed, "malformed version payload")
+		} else if tip != chainhash.ZeroHash {
+			// The claimed tip seeds body scheduling; a false claim earns
+			// stall penalties once the peer fails to serve.
+			p.setBestKnown(tip)
+		}
 		p.markHandshaken()
 		if err := p.send(wire.CmdVerAck, nil); err != nil {
 			return err
 		}
-		// Start initial block download from this peer.
-		return p.send(wire.CmdGetBlocks, wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash))
+		// Start headers-first download: the first ready peer serves the
+		// skeleton, every ready peer serves bodies.
+		n.onPeerReady(p)
+		return nil
 
 	case wire.CmdVerAck:
 		p.markHandshaken()
+		n.onPeerReady(p)
 		return nil
 
 	case wire.CmdPong:
@@ -754,6 +782,58 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		}
 		return p.send(wire.CmdInv, wire.EncodeInv(invs))
 
+	case wire.CmdGetHeaders:
+		locator, _, err := wire.DecodeLocator(msg.Payload)
+		if err != nil {
+			n.penalize(p, pol.PenaltyMalformed, "malformed getheaders locator")
+			return err
+		}
+		// Always reply, even with an empty batch: the requester uses the
+		// response to tell "caught up" from "peer went silent".
+		headers := n.chain.HeadersAfter(locator, wire.MaxHeadersPerMsg)
+		return p.send(wire.CmdHeaders, wire.EncodeHeaders(headers))
+
+	case wire.CmdHeaders:
+		headers, err := wire.DecodeHeaders(msg.Payload)
+		if err != nil {
+			if errors.Is(err, wire.ErrTooManyHeaders) {
+				// The protocol itself caps batches at MaxHeadersPerMsg;
+				// an oversized batch is deliberate.
+				n.penalize(p, pol.PenaltyOversized, "oversized headers batch")
+			} else {
+				n.penalize(p, pol.PenaltyMalformed, "malformed headers payload")
+			}
+			return err
+		}
+		if len(headers) == 0 {
+			// Caught up with this peer's skeleton; bodies may remain.
+			n.scheduleBodies(nil)
+			return nil
+		}
+		accepted, err := n.chain.ProcessHeaders(headers)
+		if err != nil {
+			if errors.Is(err, chain.ErrOrphanHeader) {
+				// A skeleton that does not connect can be an honest answer
+				// to a locator that raced a reorg; score it mildly.
+				n.penalize(p, pol.PenaltyUnsolicited, "disconnected header skeleton")
+			} else {
+				// Headers carry their own proof of work: an invalid one
+				// cannot be honest.
+				n.penalize(p, pol.PenaltyInvalidBlock, fmt.Sprintf("invalid header: %v", err))
+			}
+		}
+		if accepted > 0 {
+			// The peer proved knowledge of the skeleton up to the last
+			// header it served; widen its body-scheduling range.
+			n.advanceBestKnown(p, headers[accepted-1].BlockHash())
+		}
+		if accepted > 0 && len(headers) == wire.MaxHeadersPerMsg {
+			// A full batch means the peer likely has more skeleton.
+			n.requestHeaders(p)
+		}
+		n.scheduleBodies(nil)
+		return nil
+
 	case wire.CmdInv:
 		invs, err := wire.DecodeInv(msg.Payload)
 		if err != nil {
@@ -773,8 +853,15 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 			switch iv.Type {
 			case wire.InvTypeBlock:
 				if !n.chain.HaveBlock(iv.Hash) {
-					if p.noteRequested(iv.Type, iv.Hash, now, pol.MaxInflight) {
-						want = append(want, iv)
+					// Route the request through the download manager so a
+					// block two peers announce (or one the window refill
+					// already scheduled) is fetched once.
+					if n.reserveBody(p, iv.Hash, now) {
+						if p.noteRequested(iv.Type, iv.Hash, now, pol.MaxInflight) {
+							want = append(want, iv)
+						} else {
+							n.syncDelivered(iv.Hash)
+						}
 					}
 				}
 			case wire.InvTypeTx:
@@ -831,12 +918,17 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		hash := blk.BlockHash()
 		p.markKnown(wire.InvTypeBlock, hash)
 		solicited := p.consumeRequest(wire.InvTypeBlock, hash, now)
+		// Any delivery settles the download assignment — even an invalid
+		// or duplicate one frees the slot for rescheduling.
+		n.syncDelivered(hash)
 		status, err := n.chain.ProcessBlock(&blk)
 		if err != nil {
 			n.logDebug("block rejected", "peer", p.id, "block", hash.String(), "err", err)
 			// An invalid block cannot be honest: proof of work and the
 			// checksummed frame rule out accidents.
 			n.penalize(p, pol.PenaltyInvalidBlock, fmt.Sprintf("invalid block %s", hash))
+			// The body is still needed; refetch it from the other peers.
+			n.scheduleBodies(p)
 			return nil // a bad block does not kill the connection
 		}
 		if !solicited && status != chain.StatusMainChain {
@@ -849,22 +941,21 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 				fmt.Sprintf("unsolicited %s block %s", status, hash))
 		}
 		switch status {
-		case chain.StatusMainChain, chain.StatusSideChain:
-			// Keep pulling if the peer has more (batch sync).
-			if err := p.send(wire.CmdGetBlocks,
-				wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)); err != nil {
-				return err
-			}
+		case chain.StatusMainChain, chain.StatusSideChain, chain.StatusParked:
+			// Serving a body proves the peer's chain reaches it.
+			n.advanceBestKnown(p, hash)
+			// Refill the freed window slot with the next needed body.
+			n.scheduleBodies(nil)
 			// The block may commit to overlay objects this node never
 			// received (gossiped into a partition); re-request them.
-			n.requestMissingTypecoin()
+			if status != chain.StatusParked {
+				n.requestMissingTypecoin()
+			}
 		case chain.StatusOrphan:
 			n.noteOrphan(hash, p)
-			// We are missing ancestors: ask this peer to fill the gap.
-			if err := p.send(wire.CmdGetBlocks,
-				wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)); err != nil {
-				return err
-			}
+			// We are missing the header skeleton above this block's
+			// ancestors: ask this peer for it.
+			n.requestHeaders(p)
 		}
 		return nil
 
@@ -998,23 +1089,32 @@ func (n *Node) requestMissingTypecoin() {
 
 // SyncPeers re-requests chain and overlay state from every peer: the
 // recovery entry point after a partition heals, when announcements made
-// during the partition were swallowed silently.
+// during the partition were swallowed silently. A caught-up peer answers
+// a getheaders with an empty batch, so the periodic probe is cheap.
 func (n *Node) SyncPeers() {
 	pol := n.getPolicy()
 	now := n.clk.Now()
-	payload := wire.EncodeLocator(n.chain.Locator(), chainhash.ZeroHash)
+	payload := wire.EncodeLocator(n.chain.HeaderLocator(), chainhash.ZeroHash)
+	var stalled []*Peer
 	for _, p := range n.peerSnapshot(nil) {
 		// Periodic resync doubles as the stall detector for peers that
 		// went completely silent after advertising data.
 		if stalls := p.sweep(now, pol); stalls > 0 {
+			n.tel.stalls.Add(uint64(stalls))
 			if n.penalize(p, pol.PenaltyStall, "sync stall") {
 				continue
 			}
+			stalled = append(stalled, p)
+			continue
 		}
-		if err := p.send(wire.CmdGetBlocks, payload); err != nil {
+		if err := p.send(wire.CmdGetHeaders, payload); err != nil {
 			n.logDebug("sync send failed", "peer", p.id, "err", err)
 		}
 	}
+	for _, p := range stalled {
+		n.rotateSync(p)
+	}
+	n.scheduleBodies(nil)
 	n.requestMissingTypecoin()
 	n.sweepOrphans(now, pol)
 }

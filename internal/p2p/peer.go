@@ -54,6 +54,15 @@ type Peer struct {
 	mu         sync.Mutex
 	handshaken bool
 	closed     bool
+	// syncStarted latches the one-time onPeerReady work (sync-peer
+	// election, initial getheaders) — the handshake delivers both a
+	// version and a verack, and only the first may trigger it.
+	syncStarted bool
+	// bestKnown is the best header this peer is known (or, from its
+	// version announce, claims) to have. The download scheduler resolves
+	// it against the header index at assignment time: bodies are only
+	// scheduled on peers whose announced chain covers them.
+	bestKnown [32]byte
 
 	// known tracks inventory we have seen from or announced to this
 	// peer, to damp gossip echo.
@@ -213,6 +222,28 @@ func (p *Peer) markHandshaken() {
 	if t != nil {
 		t.Stop()
 	}
+}
+
+// isHandshaken reports whether the handshake completed; only such peers
+// are eligible for download scheduling.
+func (p *Peer) isHandshaken() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.handshaken
+}
+
+// setBestKnown records the peer's best announced header.
+func (p *Peer) setBestKnown(h [32]byte) {
+	p.mu.Lock()
+	p.bestKnown = h
+	p.mu.Unlock()
+}
+
+// bestKnownHeader returns the peer's best announced header.
+func (p *Peer) bestKnownHeader() [32]byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bestKnown
 }
 
 // setHandshakeTimer installs the reaper timer (guarded by p.mu: the read

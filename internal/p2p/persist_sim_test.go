@@ -11,6 +11,7 @@ import (
 	"typecoin/internal/netsim"
 	"typecoin/internal/p2p"
 	"typecoin/internal/store"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/testutil"
 	"typecoin/internal/wallet"
 )
@@ -136,10 +137,138 @@ func TestSimRestartResyncFromPersistedTip(t *testing.T) {
 	if chB2.BestHash() != tipAt20 {
 		t.Fatalf("restarted tip %s, want %s", chB2.BestHash(), tipAt20)
 	}
+	// The persisted header index must restore alongside the blocks: the
+	// best-header tip is never below the connected tip.
+	if got := chB2.HeaderHeight(); got < chB2.BestHeight() {
+		t.Fatalf("restarted header height %d below connected height %d", got, chB2.BestHeight())
+	}
 
 	// The periodic resync fetches blocks 21..30 from A.
 	waitHeight(chB2, []*p2p.Node{nodeA, nodeB2}, 30)
 	if err := chB2.AuditFromGenesis(); err != nil {
 		t.Fatalf("post-resync audit: %v", err)
+	}
+}
+
+// TestSimRestartResyncAfterCrashMidSync: a persistent node killed in the
+// middle of a headers-first catch-up — header skeleton fully persisted,
+// bodies only partially connected, the in-flight journal write torn —
+// must reopen with its header tip at or above its connected tip, resume
+// the body download from where it stopped, and not refetch any body it
+// had already connected.
+func TestSimRestartResyncAfterCrashMidSync(t *testing.T) {
+	params := chain.RegTestParams()
+	start := params.GenesisBlock.Header.Timestamp.Add(time.Minute)
+	clk := clock.NewSimulated(start)
+	net := netsim.New(clk, 5, netsim.LinkConfig{Latency: time.Millisecond})
+
+	// Node A: in-memory peer with the full chain mined up front, so B's
+	// whole run is one cold headers-first sync.
+	chA := chain.New(params, clk)
+	poolA := mempool.New(chA, -1)
+	nodeA := p2p.NewNode(chA, poolA, nil)
+	nodeA.SetTransport(net.Transport("a"))
+	if _, err := nodeA.Listen(""); err != nil {
+		t.Fatalf("node A listen: %v", err)
+	}
+	defer nodeA.Stop()
+	wA := wallet.New(chA, testutil.NewEntropy("p2p/crash-mid-sync"))
+	payout, err := wA.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mA := miner.New(chA, poolA, clk)
+	const tipHeight = 60
+	for k := 0; k < tipHeight; k++ {
+		clk.Set(start.Add(time.Duration(k+1) * time.Minute))
+		if _, _, err := mA.Mine(payout); err != nil {
+			t.Fatalf("mine: %v", err)
+		}
+	}
+
+	dir := t.TempDir()
+	openB := func() (*chain.Chain, *p2p.Node, *store.File, *telemetry.Registry) {
+		t.Helper()
+		st, err := store.OpenFile(dir)
+		if err != nil {
+			t.Fatalf("open store: %v", err)
+		}
+		chB, err := chain.Open(chain.Config{Params: params, Clock: clk, Store: st})
+		if err != nil {
+			t.Fatalf("open chain: %v", err)
+		}
+		reg := telemetry.NewRegistry()
+		chB.SetTelemetry(reg, nil)
+		poolB := mempool.New(chB, -1)
+		nodeB := p2p.NewNode(chB, poolB, nil)
+		nodeB.SetTransport(net.Transport("b"))
+		if _, err := nodeB.Listen(""); err != nil {
+			t.Fatalf("node B listen: %v", err)
+		}
+		if err := nodeB.Dial("a"); err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return chB, nodeB, st, reg
+	}
+
+	// Phase 1: B syncs until the skeleton is complete but the body
+	// download is still in flight, then the next journal write tears —
+	// the on-disk state a SIGKILL mid-write leaves behind.
+	chB, nodeB, stB, _ := openB()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached mid-sync: header %d connected %d",
+				chB.HeaderHeight(), chB.BestHeight())
+		}
+		if chB.HeaderHeight() == tipHeight && chB.BestHeight() > 0 && chB.BestHeight() < tipHeight {
+			break
+		}
+		clk.Advance(20 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	connectedAtCrash := chB.BestHeight()
+	stB.CrashNextApply(10)
+	for k := 0; k < 10; k++ {
+		clk.Advance(20 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	nodeB.Stop()
+	_ = stB.Close() // poisoned: the torn frame already hit the disk
+
+	// Phase 2: reopen. The header skeleton was persisted before the
+	// crash, the torn body connect must be discarded, and the header tip
+	// must sit at or above whatever body progress survived.
+	chB2, nodeB2, stB2, regB2 := openB()
+	defer func() { nodeB2.Stop(); stB2.Close() }()
+	if got := chB2.BestHeight(); got <= 0 || got > connectedAtCrash {
+		t.Fatalf("reopened at height %d, want in (0, %d]", got, connectedAtCrash)
+	}
+	if got := chB2.HeaderHeight(); got < chB2.BestHeight() {
+		t.Fatalf("reopened header height %d below connected height %d", got, chB2.BestHeight())
+	}
+	if got := chB2.HeaderHeight(); got != tipHeight {
+		t.Fatalf("reopened header height %d, want persisted skeleton %d", got, tipHeight)
+	}
+
+	// Phase 3: the resumed download fetches only the missing suffix —
+	// every already-connected body stays local (no duplicate deliveries).
+	deadline = time.Now().Add(30 * time.Second)
+	for k := 0; chB2.BestHash() != chA.BestHash(); k++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("resync stuck at height %d (want %d)", chB2.BestHeight(), tipHeight)
+		}
+		clk.Advance(20 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+		if k%100 == 99 {
+			nodeA.SyncPeers()
+			nodeB2.SyncPeers()
+		}
+	}
+	if dup, _ := regB2.Value("chain_duplicate_blocks_total"); dup != 0 {
+		t.Fatalf("resync refetched %v already-connected bodies", dup)
+	}
+	if err := chB2.AuditFromGenesis(); err != nil {
+		t.Fatalf("post-crash audit: %v", err)
 	}
 }

@@ -70,6 +70,10 @@ type Policy struct {
 	MaxInvEntries int
 	// MaxInflight caps tracked outstanding getdata requests per peer.
 	MaxInflight int
+	// SyncWindow is the per-peer sliding window of the headers-first
+	// download manager: how many block bodies may be in flight to one
+	// peer at a time.
+	SyncWindow int
 	// StallTimeout is how long a requested object may stay undelivered
 	// (with no other delivery from that peer) before it counts as a
 	// stall.
@@ -111,6 +115,7 @@ func DefaultPolicy() Policy {
 
 		MaxInvEntries: 1000,
 		MaxInflight:   1024,
+		SyncWindow:    16,
 		StallTimeout:  30 * time.Second,
 		RequestMemory: 2 * time.Minute,
 		OrphanExpiry:  2 * time.Minute,
@@ -180,6 +185,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.MaxInflight <= 0 {
 		p.MaxInflight = d.MaxInflight
+	}
+	if p.SyncWindow <= 0 {
+		p.SyncWindow = d.SyncWindow
 	}
 	if p.StallTimeout <= 0 {
 		p.StallTimeout = d.StallTimeout

@@ -8,6 +8,8 @@ package p2p
 // no-ops on nil.
 
 import (
+	"strconv"
+
 	"typecoin/internal/telemetry"
 )
 
@@ -67,6 +69,20 @@ func (n *Node) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	})
 	reg.GaugeFunc("p2p_banned_addrs", "Addresses currently banned.", func() float64 {
 		return float64(len(n.keeper().Banned()))
+	})
+	reg.GaugeFunc("p2p_inflight_bodies", "Block bodies requested and not yet delivered, across all peers.", func() float64 {
+		return float64(n.SyncStatus().InflightBodies)
+	})
+	reg.GaugeFunc("p2p_download_peers", "Peers currently holding at least one in-flight body request.", func() float64 {
+		return float64(n.SyncStatus().DownloadPeers)
+	})
+	reg.LabeledGaugeFunc("p2p_peer_inflight_bodies", "In-flight body requests per peer id.", "peer", func() []telemetry.LabeledValue {
+		perPeer := n.inflightPerPeer()
+		out := make([]telemetry.LabeledValue, 0, len(perPeer))
+		for id, c := range perPeer {
+			out = append(out, telemetry.LabeledValue{Label: strconv.Itoa(id), Value: float64(c)})
+		}
+		return out
 	})
 }
 

@@ -194,6 +194,21 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// Snapshot returns every child's current value keyed by its rendered
+// label set (e.g. `{peer="n3"}`) — the per-label view Total collapses.
+func (v *CounterVec) Snapshot() map[string]uint64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]uint64, len(v.children))
+	for key, c := range v.children {
+		out[key] = c.Value()
+	}
+	return out
+}
+
 // Total returns the sum across all children.
 func (v *CounterVec) Total() uint64 {
 	if v == nil {
@@ -474,6 +489,21 @@ func (r *Registry) Value(name string) (v float64, ok bool) {
 		return float64(f.hist.Count()), true
 	}
 	return 0, false
+}
+
+// VecValues returns the per-label values of a labeled counter family,
+// keyed by rendered label set. Nil for unknown or unlabeled families.
+func (r *Registry) VecValues(name string) map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok || f.vec == nil {
+		return nil
+	}
+	return f.vec.Snapshot()
 }
 
 // Names returns the registered family names, sorted.

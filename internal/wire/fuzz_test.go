@@ -136,3 +136,79 @@ func FuzzReadMessage(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMsgHeadersDecode feeds arbitrary bytes to the headers-batch
+// decoder used by headers-first sync. The count cap must hold before any
+// allocation (size bombs: a huge declared count must not allocate), the
+// decoder must never panic, and every accepted payload must re-encode to
+// exactly the input.
+func FuzzMsgHeadersDecode(f *testing.F) {
+	hdr := BlockHeader{Version: 1, Bits: 0x207fffff, Nonce: 7}
+	hdr.PrevBlock = chainhash.HashB([]byte("prev"))
+	hdr.MerkleRoot = chainhash.HashB([]byte("root"))
+
+	f.Add(EncodeHeaders(nil))
+	f.Add(EncodeHeaders([]BlockHeader{hdr}))
+	many := make([]BlockHeader, 64)
+	for i := range many {
+		many[i] = hdr
+		many[i].Nonce = uint32(i)
+	}
+	f.Add(EncodeHeaders(many))
+
+	// Size bombs and truncations: a max-count message with no bodies, a
+	// count one past the cap, a 9-byte varint claiming 2^64-1 headers,
+	// a truncated header, and trailing garbage after a valid batch.
+	f.Add([]byte{0xfd, 0xd0, 0x07})
+	f.Add([]byte{0xfd, 0xd1, 0x07})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(EncodeHeaders([]BlockHeader{hdr})[:40])
+	f.Add(append(EncodeHeaders([]BlockHeader{hdr}), 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		headers, err := DecodeHeaders(data)
+		if err != nil {
+			return
+		}
+		if len(headers) > MaxHeadersPerMsg {
+			t.Fatalf("decoded %d headers past the cap", len(headers))
+		}
+		if !bytes.Equal(EncodeHeaders(headers), data) {
+			t.Fatal("headers round-trip mismatch")
+		}
+	})
+}
+
+// FuzzLocatorDecode feeds arbitrary bytes to the block-locator decoder,
+// the request side of getheaders/getblocks. Depth bombs (huge declared
+// hash counts) must be rejected before allocation and accepted locators
+// must round-trip canonically.
+func FuzzLocatorDecode(f *testing.F) {
+	var hashes []chainhash.Hash
+	for i := 0; i < 12; i++ {
+		hashes = append(hashes, chainhash.HashB([]byte{byte(i)}))
+	}
+	f.Add(EncodeLocator(nil, chainhash.Hash{}))
+	f.Add(EncodeLocator(hashes[:1], hashes[1]))
+	f.Add(EncodeLocator(hashes, chainhash.Hash{}))
+
+	// Depth bombs and truncations: count past the cap, maximal varint
+	// count, a truncated hash list, and trailing garbage.
+	f.Add([]byte{0xfd, 0xd1, 0x07})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(EncodeLocator(hashes, chainhash.Hash{})[:50])
+	f.Add(append(EncodeLocator(hashes[:2], chainhash.Hash{}), 0xaa))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hashes, stop, err := DecodeLocator(data)
+		if err != nil {
+			return
+		}
+		if len(hashes) > 2000 {
+			t.Fatalf("decoded %d locator hashes past the cap", len(hashes))
+		}
+		if !bytes.Equal(EncodeLocator(hashes, stop), data) {
+			t.Fatal("locator round-trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"typecoin/internal/chainhash"
+)
+
+func TestHeadersRoundTrip(t *testing.T) {
+	var headers []BlockHeader
+	prev := chainhash.Hash{}
+	for i := 0; i < 5; i++ {
+		h := BlockHeader{
+			Version:    1,
+			PrevBlock:  prev,
+			MerkleRoot: chainhash.HashB([]byte{byte(i)}),
+			Bits:       0x207fffff,
+			Nonce:      uint32(i),
+		}
+		prev = h.BlockHash()
+		headers = append(headers, h)
+	}
+	for _, in := range [][]BlockHeader{nil, headers[:1], headers} {
+		enc := EncodeHeaders(in)
+		out, err := DecodeHeaders(enc)
+		if err != nil {
+			t.Fatalf("decode %d headers: %v", len(in), err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("got %d headers, want %d", len(out), len(in))
+		}
+		for i := range in {
+			if out[i].BlockHash() != in[i].BlockHash() {
+				t.Fatalf("header %d hash changed in round trip", i)
+			}
+		}
+		if !bytes.Equal(EncodeHeaders(out), enc) {
+			t.Fatal("re-encode differs")
+		}
+	}
+}
+
+func TestDecodeHeadersRejectsOversized(t *testing.T) {
+	// A declared count past the cap must fail with the sentinel before
+	// any header bytes are examined.
+	var buf bytes.Buffer
+	_ = WriteVarInt(&buf, MaxHeadersPerMsg+1)
+	if _, err := DecodeHeaders(buf.Bytes()); !errors.Is(err, ErrTooManyHeaders) {
+		t.Fatalf("got %v, want ErrTooManyHeaders", err)
+	}
+	// A maximal 2000-header message is within protocol bounds.
+	max := make([]BlockHeader, MaxHeadersPerMsg)
+	if _, err := DecodeHeaders(EncodeHeaders(max)); err != nil {
+		t.Fatalf("max batch rejected: %v", err)
+	}
+}
+
+func TestDecodeHeadersRejectsMalformed(t *testing.T) {
+	one := EncodeHeaders([]BlockHeader{{Version: 1}})
+	cases := map[string][]byte{
+		"truncated header": one[:len(one)-3],
+		"trailing bytes":   append(append([]byte{}, one...), 0x00),
+		"empty input":      {},
+		"count only":       {0x03},
+	}
+	for name, in := range cases {
+		if _, err := DecodeHeaders(in); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}

@@ -24,16 +24,17 @@ const (
 
 // Command names.
 const (
-	CmdVersion   = "version"
-	CmdVerAck    = "verack"
-	CmdInv       = "inv"
-	CmdGetData   = "getdata"
-	CmdTx        = "tx"
-	CmdBlock     = "block"
-	CmdGetBlocks = "getblocks"
-	CmdHeaders   = "headers"
-	CmdPing      = "ping"
-	CmdPong      = "pong"
+	CmdVersion    = "version"
+	CmdVerAck     = "verack"
+	CmdInv        = "inv"
+	CmdGetData    = "getdata"
+	CmdTx         = "tx"
+	CmdBlock      = "block"
+	CmdGetBlocks  = "getblocks"
+	CmdGetHeaders = "getheaders"
+	CmdHeaders    = "headers"
+	CmdPing       = "ping"
+	CmdPong       = "pong"
 
 	// Typecoin overlay gossip: the full Typecoin objects travel between
 	// interested parties; the Bitcoin chain itself sees only hashes.

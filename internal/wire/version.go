@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"typecoin/internal/chainhash"
+)
+
+// The version handshake carries the sender's best-header tip. The
+// receiver records it as the peer's claimed chain knowledge, which
+// seeds the headers-first download scheduler: bodies are only assigned
+// to peers whose announced chain covers them. The claim is cheap and
+// unproven — a peer that overstates it simply earns stall penalties for
+// bodies it then cannot serve, and a peer that understates it is just
+// scheduled less.
+
+// versionPayloadLen is the serialized size of a version payload: the
+// 32-byte tip hash followed by a uint64 height.
+const versionPayloadLen = chainhash.HashSize + 8
+
+// ErrBadVersionPayload marks a version payload of the wrong length.
+var ErrBadVersionPayload = errors.New("wire: bad version payload length")
+
+// EncodeVersion serializes a version payload announcing the sender's
+// best-header tip.
+func EncodeVersion(tip chainhash.Hash, height uint64) []byte {
+	out := make([]byte, versionPayloadLen)
+	copy(out, tip[:])
+	binary.LittleEndian.PutUint64(out[chainhash.HashSize:], height)
+	return out
+}
+
+// DecodeVersion parses a version payload. An empty payload is the
+// legacy handshake and decodes to the zero tip (no claimed knowledge).
+func DecodeVersion(b []byte) (tip chainhash.Hash, height uint64, err error) {
+	if len(b) == 0 {
+		return chainhash.Hash{}, 0, nil
+	}
+	if len(b) != versionPayloadLen {
+		return chainhash.Hash{}, 0, ErrBadVersionPayload
+	}
+	copy(tip[:], b[:chainhash.HashSize])
+	return tip, binary.LittleEndian.Uint64(b[chainhash.HashSize:]), nil
+}
