@@ -3,13 +3,13 @@ GO ?= go
 # Packages whose correctness depends on concurrency (the parallel block
 # validation pipeline, the p2p node and its fault simulator) get a
 # dedicated -race pass.
-RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/... ./internal/banscore/... ./internal/telemetry/... ./internal/index/...
+RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... ./internal/wire/... ./internal/miner/... ./internal/p2p/... ./internal/netsim/... ./internal/clock/... ./internal/store/... ./internal/banscore/... ./internal/telemetry/... ./internal/index/... ./internal/crashpoint/...
 
 # Native fuzz targets over the three attacker-facing decoders. Each runs
 # for a short smoke budget; override FUZZTIME for longer campaigns.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet check bench bench-json bench-diff metrics-smoke fuzz-smoke sim recovery byzantine index-load
+.PHONY: build test race vet check chaos bench bench-json bench-diff metrics-smoke fuzz-smoke sim recovery byzantine index-load
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,17 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: vet build test race
+check: vet build test race chaos
+
+# Hostile-disk suite: the crash-point explorer (every physical
+# write/fsync boundary of the sync, group-commit, and compaction paths
+# must recover) plus the netsim chaos scenario (sticky write EIOs under
+# a partition: degrade to read-only, keep serving, reconverge) across
+# five seeds. FAULT_SEED=<n> replays a single chaos seed.
+chaos:
+	$(GO) test ./internal/crashpoint/ -count=1 -v
+	$(GO) test ./internal/chain/ -run TestCrashPoints -count=1 -v
+	$(GO) test ./internal/netsim/ -race -run TestChaosStoreFaults -count=1 -v
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
@@ -35,7 +45,7 @@ bench:
 # benchmark's samples minutes apart, unlike -count=N's back-to-back
 # runs). BENCH_JSON names the snapshot file; PR snapshots are checked
 # in for diffing.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
 	{ $(GO) test -run xxx -bench . -benchmem .; \
 	  $(GO) test -run xxx -bench . -benchmem .; \
@@ -45,7 +55,7 @@ bench-json:
 # baseline: per-series ns/op and allocs/op deltas, failing on >20%
 # ns/op regressions in any series present on both sides (after
 # normalizing out host drift, the median shift across shared series).
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR8.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -current $(BENCH_JSON)
 

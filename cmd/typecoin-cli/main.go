@@ -2,6 +2,7 @@
 //
 //	typecoin-cli [-node http://localhost:18332] status
 //	typecoin-cli sync
+//	typecoin-cli health
 //	typecoin-cli mine [n]
 //	typecoin-cli balance
 //	typecoin-cli newkey
@@ -38,6 +39,9 @@ func main() {
 		out, err = get(*node + "/status")
 	case "sync":
 		syncProgress(*node)
+		return
+	case "health":
+		health(*node)
 		return
 	case "mine":
 		n := 1
@@ -115,6 +119,36 @@ func syncProgress(node string) {
 	}
 }
 
+// health renders the store health state from /status: the state machine
+// position (healthy | recovering | degraded-readonly), what degraded it,
+// and the retry counters an operator watches during an incident.
+func health(node string) {
+	raw, err := get(node + "/status")
+	if err != nil {
+		fatal(err)
+	}
+	var st struct {
+		StoreHealth        string `json:"storeHealth"`
+		StoreHealthCause   string `json:"storeHealthCause"`
+		StoreRetriesTotal  uint64 `json:"storeRetriesTotal"`
+		StoreDegradesTotal uint64 `json:"storeDegradesTotal"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		fatal(err)
+	}
+	if st.StoreHealth == "" {
+		st.StoreHealth = "healthy"
+	}
+	fmt.Printf("store:    %s\n", st.StoreHealth)
+	if st.StoreHealthCause != "" {
+		fmt.Printf("cause:    %s\n", st.StoreHealthCause)
+	}
+	fmt.Printf("retries:  %d\ndegrades: %d\n", st.StoreRetriesTotal, st.StoreDegradesTotal)
+	if st.StoreHealth == "degraded-readonly" {
+		os.Exit(1)
+	}
+}
+
 func get(url string) ([]byte, error) {
 	resp, err := http.Get(url)
 	if err != nil {
@@ -147,6 +181,7 @@ func usage() {
 commands:
   status            chain and node status
   sync              headers-first sync progress
+  health            store health state and retry counters
   mine [n]          mine n blocks (default 1)
   balance           wallet balance in satoshi
   newkey            generate a wallet key

@@ -35,6 +35,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -76,6 +77,10 @@ type server struct {
 	ledger *typecoin.Ledger
 	payout bkey.Principal
 	start  time.Time
+	// health is the store's retry/degradation wrapper; nil when the
+	// store runs unwrapped (-store-retries=0). Mining and /status
+	// consult it so a degraded node refuses new write obligations.
+	health *store.Retry
 }
 
 func main() {
@@ -93,6 +98,8 @@ func run(args []string) int {
 	datadir := fs.String("datadir", "", "data directory for persistent state (empty = in-memory)")
 	commitInterval := fs.Duration("commit-interval", 0, "group-commit window: coalesce store batches for up to this long before writing (0 = synchronous commits)")
 	syncEvery := fs.Int("sync-every", 0, "fsync cadence: every Nth group flush under -commit-interval, or (any value >= 1) every commit in synchronous mode; 0 = fsync only on flush/shutdown")
+	storeRetries := fs.Int("store-retries", 5, "write attempts (with capped backoff) before the store degrades to read-only; 0 runs the store unwrapped")
+	degradedOK := fs.Bool("degraded-ok", true, "keep serving reads when the store degrades; with =false the daemon shuts down instead")
 	audit := fs.Bool("audit", true, "run the from-genesis consistency audit on startup")
 	maxPeers := fs.Int("maxpeers", 0, "max inbound connections (0 = default)")
 	syncWindow := fs.Int("syncwindow", 0, "in-flight body downloads per peer during headers-first sync (0 = default)")
@@ -145,6 +152,15 @@ func run(args []string) int {
 		}
 	} else {
 		st = store.NewMem()
+	}
+
+	// Health wrapper: transparent retries for transient write errors,
+	// degraded-readonly instead of a dead process for persistent ones.
+	// Sits above the group pipeline so it also hears async flush errors.
+	var retryStore *store.Retry
+	if *storeRetries > 0 {
+		retryStore = store.NewRetry(st, store.RetryConfig{Attempts: *storeRetries})
+		st = retryStore
 	}
 
 	params := chain.RegTestParams()
@@ -284,6 +300,59 @@ func run(args []string) int {
 			flushLag.Observe(lag.Seconds())
 		})
 	}
+	// storeDead delivers the degradation cause when -degraded-ok=false
+	// turns a degraded store into a shutdown.
+	storeDead := make(chan error, 1)
+	if retryStore != nil {
+		rs := retryStore
+		reg.GaugeFunc("store_health",
+			"Store health state (0 healthy, 1 recovering, 2 degraded-readonly).",
+			func() float64 {
+				h, _ := rs.Health()
+				return float64(h)
+			})
+		reg.CounterFunc("store_retries_total", "Write attempts beyond each first try.", func() float64 {
+			return float64(rs.Retries())
+		})
+		reg.CounterFunc("store_degrades_total", "Transitions into degraded-readonly.", func() float64 {
+			return float64(rs.Degrades())
+		})
+		faults := reg.CounterVec("store_faults_total",
+			"Storage faults observed, by operation and kind.", "op", "kind")
+		rs.SetOnFault(func(op string, err error) {
+			faults.With(op, faultKind(err)).Inc()
+			tracer.Record(telemetry.EvStoreFault, op, err.Error())
+		})
+		rs.SetOnState(func(h store.Health, cause error) {
+			switch h {
+			case store.HealthDegraded:
+				msg := "persistent write failure"
+				if cause != nil {
+					msg = cause.Error()
+				}
+				logStore.Error("store degraded to read-only", "cause", msg)
+				tracer.Record(telemetry.EvStoreDegraded, "store", msg)
+				if !*degradedOK {
+					select {
+					case storeDead <- cause:
+					default:
+					}
+				}
+			case store.HealthRecovering:
+				logStore.Warn("store recovering: probe succeeded, awaiting first write")
+				tracer.Record(telemetry.EvStoreRecovered, "store", "recovering")
+			case store.HealthHealthy:
+				logStore.Info("store healthy again")
+				tracer.Record(telemetry.EvStoreRecovered, "store", "healthy")
+			}
+		})
+		// A degraded node stops taking on mempool obligations while it
+		// keeps answering queries.
+		pool.SetGate(func() bool {
+			h, _ := rs.Health()
+			return h != store.HealthDegraded
+		})
+	}
 	reg.GaugeFunc("process_uptime_seconds", "Seconds since the daemon started.", func() float64 {
 		return time.Since(startTime).Seconds()
 	})
@@ -316,7 +385,7 @@ func run(args []string) int {
 	}
 
 	s := &server{chain: ch, pool: pool, miner: m, wallet: w, node: node,
-		ledger: ledger, payout: payout, start: startTime}
+		ledger: ledger, payout: payout, start: startTime, health: retryStore}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("POST /mine", s.handleMine)
@@ -356,18 +425,21 @@ func run(args []string) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	failed := false
 	select {
 	case <-ctx.Done():
 		logMain.Info("shutting down")
 	case err := <-httpErr:
 		logMain.Error("http server failed", "err", err)
 		return 1
+	case cause := <-storeDead:
+		logMain.Error("store degraded with -degraded-ok=false, shutting down", "cause", cause)
+		failed = true
 	}
 
 	// Graceful shutdown: stop taking work (HTTP, then p2p), snapshot the
 	// mempool, then flush and close the store. Flush errors are real data
 	// loss and fail the exit status.
-	failed := false
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -407,6 +479,26 @@ func run(args []string) int {
 	return 0
 }
 
+// faultKind maps a storage error onto its store_faults_total kind label.
+func faultKind(err error) string {
+	switch {
+	case errors.Is(err, store.ErrNoSpace), errors.Is(err, syscall.ENOSPC):
+		return "enospc"
+	case errors.Is(err, store.ErrCorrupt):
+		return "corrupt"
+	case errors.Is(err, store.ErrBackpressure):
+		return "backpressure"
+	case errors.Is(err, store.ErrDegraded):
+		return "degraded"
+	case errors.Is(err, store.ErrClosed):
+		return "closed"
+	case errors.Is(err, store.ErrIO), errors.Is(err, syscall.EIO):
+		return "eio"
+	default:
+		return "other"
+	}
+}
+
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	// An encode error here means the client went away mid-response;
@@ -436,6 +528,17 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"parkedBodies":   sync.ParkedBodies,
 		"syncing":        sync.HeaderHeight > sync.Height,
 	}
+	if s.health != nil {
+		h, cause := s.health.Health()
+		status["storeHealth"] = h.String()
+		if cause != nil {
+			status["storeHealthCause"] = cause.Error()
+		}
+		status["storeRetriesTotal"] = s.health.Retries()
+		status["storeDegradesTotal"] = s.health.Degrades()
+	} else {
+		status["storeHealth"] = store.HealthHealthy.String()
+	}
 	if !s.start.IsZero() {
 		status["uptimeSeconds"] = time.Since(s.start).Seconds()
 	}
@@ -455,6 +558,15 @@ func (s *server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Blocks <= 0 {
 		req.Blocks = 1
+	}
+	// A degraded store cannot persist a connect; refuse to mine rather
+	// than fail partway through the batch.
+	if s.health != nil {
+		if h, cause := s.health.Health(); h == store.HealthDegraded {
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("store degraded-readonly, mining disabled: %v", cause))
+			return
+		}
 	}
 	var hashes []string
 	for i := 0; i < req.Blocks; i++ {

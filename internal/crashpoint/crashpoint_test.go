@@ -1,0 +1,213 @@
+package crashpoint
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"typecoin/internal/store"
+)
+
+// put applies a single-key batch.
+func put(t *testing.T, st *store.File, key, value string) {
+	t.Helper()
+	b := store.NewBatch()
+	b.Put([]byte(key), []byte(value))
+	if err := st.Apply(b); err != nil {
+		t.Fatalf("apply %s: %v", key, err)
+	}
+}
+
+// reopen opens the store at dir, failing the test on error.
+func reopen(t *testing.T, dir string) *store.File {
+	t.Helper()
+	st, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatalf("reopen %s: %v", dir, err)
+	}
+	return st
+}
+
+// TestExploreApplyWindow records two journaled batches and asserts full
+// recovery from every crash state of the window: pre-window keys always
+// survive, each batch is atomic, and the second batch never commits
+// without the first (journal order).
+func TestExploreApplyWindow(t *testing.T) {
+	base := t.TempDir()
+	dataDir := filepath.Join(base, "data")
+	st, err := store.OpenFile(dataDir)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	put(t, st, "base/a", "alpha")
+	put(t, st, "base/b", "beta")
+	if err := st.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	snap := filepath.Join(base, "snap")
+	if err := Snapshot(snap, dataDir); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	rec := &Recorder{}
+	st.SetDiskHook(rec)
+	st.SetSyncEvery(true)
+	put(t, st, "win/1", "first")
+	put(t, st, "win/2", "second")
+	st.SetDiskHook(nil)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("recorder captured no events")
+	}
+
+	n, err := Explore(filepath.Join(base, "scratch"), snap, events, func(dir string, p Point) error {
+		st2, err := store.OpenFile(dir)
+		if err != nil {
+			return fmt.Errorf("recovery open: %w", err)
+		}
+		defer st2.Close()
+		for k, want := range map[string]string{"base/a": "alpha", "base/b": "beta"} {
+			got, err := st2.Get([]byte(k))
+			if err != nil {
+				return fmt.Errorf("pre-window key %s lost: %w", k, err)
+			}
+			if !bytes.Equal(got, []byte(want)) {
+				return fmt.Errorf("pre-window key %s = %q, want %q", k, got, want)
+			}
+		}
+		has1, err1 := st2.Has([]byte("win/1"))
+		has2, err2 := st2.Has([]byte("win/2"))
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("window lookups: %v, %v", err1, err2)
+		}
+		if has2 && !has1 {
+			return fmt.Errorf("second batch recovered without the first")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two batches with per-apply fsync must produce at least a write and
+	// a sync each, and every boundary plus three torn variants per write.
+	if n < len(events)+1 {
+		t.Fatalf("explored %d states over %d events", n, len(events))
+	}
+	t.Logf("explored %d crash states over %d physical ops", n, len(events))
+}
+
+// TestExploreCompactionWindow drives a compaction (new-generation
+// snapshot write, manifest tmp write + fsync + rename, old-generation
+// remove) and asserts every crash state inside it recovers the full
+// logical contents: compaction must be invisible to recovery no matter
+// where it is cut.
+func TestExploreCompactionWindow(t *testing.T) {
+	base := t.TempDir()
+	dataDir := filepath.Join(base, "data")
+	st, err := store.OpenFile(dataDir)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	// Churn: overwrite the same keys until the journal is mostly dead
+	// bytes, so the compaction trigger fires on the next apply.
+	want := make(map[string]string)
+	for round := 0; round < 40; round++ {
+		for k := 0; k < 8; k++ {
+			key := fmt.Sprintf("key/%d", k)
+			val := fmt.Sprintf("round-%d-%060d", round, k)
+			put(t, st, key, val)
+			want[key] = val
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	snap := filepath.Join(base, "snap")
+	if err := Snapshot(snap, dataDir); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	rec := &Recorder{}
+	st.SetDiskHook(rec)
+	st.SetCompactMin(1) // next apply meets size trigger; churn met ratio
+	put(t, st, "trigger", "tock")
+	st.SetDiskHook(nil)
+	if c := st.Compactions(); c != 1 {
+		t.Fatalf("compactions = %d, want 1 (journal %d bytes)", c, st.JournalBytes())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	events := rec.Events()
+	var sawRename, sawRemove bool
+	for _, e := range events {
+		sawRename = sawRename || e.Op == store.DiskRename
+		sawRemove = sawRemove || e.Op == store.DiskRemove
+	}
+	if !sawRename || !sawRemove {
+		t.Fatalf("window missed compaction ops (rename=%v remove=%v): %v", sawRename, sawRemove, events)
+	}
+
+	n, err := Explore(filepath.Join(base, "scratch"), snap, events, func(dir string, p Point) error {
+		st2, err := store.OpenFile(dir)
+		if err != nil {
+			return fmt.Errorf("recovery open: %w", err)
+		}
+		defer st2.Close()
+		for k, v := range want {
+			got, err := st2.Get([]byte(k))
+			if err != nil {
+				return fmt.Errorf("churned key %s lost: %w", k, err)
+			}
+			if !bytes.Equal(got, []byte(v)) {
+				return fmt.Errorf("churned key %s = %q, want %q", k, got, v)
+			}
+		}
+		// The triggering batch is atomic: fully there or fully absent.
+		if got, err := st2.Get([]byte("trigger")); err == nil {
+			if !bytes.Equal(got, []byte("tock")) {
+				return fmt.Errorf("trigger key torn: %q", got)
+			}
+		} else if err != store.ErrNotFound {
+			return fmt.Errorf("trigger lookup: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d crash states over %d physical ops", n, len(events))
+}
+
+// TestPointsTornVariants checks the matrix enumeration: every
+// payload-carrying op grows torn variants, boundaries are complete, and
+// single-byte writes get none.
+func TestPointsTornVariants(t *testing.T) {
+	events := []Event{
+		{Op: store.DiskWrite, Name: "f", Data: []byte("abcdef")},
+		{Op: store.DiskSync, Name: "f"},
+		{Op: store.DiskWrite, Name: "f", Data: []byte("x")},
+	}
+	pts := Points(events)
+	clean, torn := 0, 0
+	for _, p := range pts {
+		if p.Tear >= 0 {
+			torn++
+			if p.N != 0 {
+				t.Fatalf("torn variant on op %d, only op 0 carries >1 byte", p.N)
+			}
+		} else {
+			clean++
+		}
+	}
+	if clean != len(events)+1 {
+		t.Fatalf("clean boundaries = %d, want %d", clean, len(events)+1)
+	}
+	if torn != 3 {
+		t.Fatalf("torn variants = %d, want 3 (cuts 1, 3, 5)", torn)
+	}
+}

@@ -35,6 +35,11 @@ var (
 	// errors it carries no misbehavior implication: honest wallets hit it
 	// under load.
 	ErrMempoolFull = errors.New("mempool: pool full, fee rate below floor")
+	// ErrDegraded rejects admissions while the node's store is in
+	// degraded-readonly mode (see SetGate): a pooled transaction promises
+	// eventual mining, and a node that cannot write blocks cannot keep
+	// that promise. Carries no misbehavior implication.
+	ErrDegraded = errors.New("mempool: node degraded, not accepting transactions")
 )
 
 // DefaultMinRelayFee is the minimum fee in satoshi per transaction. The
@@ -90,6 +95,30 @@ type Pool struct {
 	// subscription hub uses for new-tx events.
 	onAcceptMu sync.RWMutex
 	onAccept   func(*wire.MsgTx)
+
+	// gate, when set, is consulted before any validation work: a false
+	// return rejects the admission with ErrDegraded. The node wires this
+	// to its store health so a degraded node stops taking on mempool
+	// obligations while still serving queries.
+	gateMu sync.RWMutex
+	gate   func() bool
+}
+
+// SetGate registers fn as the admission gate: Accept refuses new
+// transactions with ErrDegraded whenever fn returns false. The callback
+// runs outside the pool lock and must not block; nil clears the gate.
+func (p *Pool) SetGate(fn func() bool) {
+	p.gateMu.Lock()
+	p.gate = fn
+	p.gateMu.Unlock()
+}
+
+// gated reports whether admissions are currently refused.
+func (p *Pool) gated() bool {
+	p.gateMu.RLock()
+	fn := p.gate
+	p.gateMu.RUnlock()
+	return fn != nil && !fn()
 }
 
 // SetOnAccept registers fn to run after every successful Accept, with
@@ -243,6 +272,9 @@ func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
 }
 
 func (p *Pool) accept(tx *wire.MsgTx) (int64, error) {
+	if p.gated() {
+		return 0, ErrDegraded
+	}
 	if tx.IsCoinBase() {
 		return 0, ErrCoinbaseInPool
 	}

@@ -66,6 +66,8 @@ func rejectReason(err error) string {
 		return "coinbase"
 	case errors.Is(err, ErrMempoolFull):
 		return "full"
+	case errors.Is(err, ErrDegraded):
+		return "degraded"
 	}
 	return "invalid"
 }

@@ -13,6 +13,7 @@ import (
 	"typecoin/internal/mempool"
 	"typecoin/internal/miner"
 	"typecoin/internal/p2p"
+	"typecoin/internal/store"
 	"typecoin/internal/telemetry"
 	"typecoin/internal/testutil"
 	"typecoin/internal/typecoin"
@@ -37,6 +38,11 @@ type Harness struct {
 	Miners  []*miner.Miner
 	Payouts []bkey.Principal
 	Indexes []*index.Indexer
+	// Stores holds each node's persistence stack when the harness was
+	// built with NewHarnessWithStores; nil entries mean the default
+	// in-memory store. Chaos scenarios reach through it to script fault
+	// engines mid-run.
+	Stores []store.Store
 
 	// Per-node observability: one registry and one block-lifecycle
 	// tracer per node, so scenarios can assert on defense and chain
@@ -69,6 +75,19 @@ type Bounds struct {
 // default link configuration, and stops them on test cleanup. Nodes are
 // not connected; call Connect to build a topology.
 func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
+	return NewHarnessWithStores(t, seed, n, cfg, nil)
+}
+
+// NewHarnessWithStores is NewHarness with an explicit persistence stack
+// per node: storeFor(i) supplies node i's store (nil falls back to a
+// fresh in-memory store). Supplied stores are closed on test cleanup,
+// after the nodes stop. When a store reports health
+// (store.HealthReporter — the Retry degradation wrapper does), the
+// harness registers a store_health gauge on the node's telemetry
+// registry and gates its mempool on the store being writable, matching
+// the daemon's wiring — which is what lets chaos scenarios assert
+// degraded-readonly behavior through the same metrics an operator sees.
+func NewHarnessWithStores(t testing.TB, seed int64, n int, cfg LinkConfig, storeFor func(i int) store.Store) *Harness {
 	t.Helper()
 	params := chain.RegTestParams()
 	start := params.GenesisBlock.Header.Timestamp.Add(time.Minute)
@@ -82,7 +101,21 @@ func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
 		base:   start,
 	}
 	for i := 0; i < n; i++ {
-		c := chain.New(params, clk)
+		var st store.Store
+		if storeFor != nil {
+			st = storeFor(i)
+		}
+		var c *chain.Chain
+		if st != nil {
+			var err error
+			c, err = chain.Open(chain.Config{Params: params, Clock: clk, Store: st})
+			if err != nil {
+				t.Fatalf("node %d chain open: %v", i, err)
+			}
+		} else {
+			c = chain.New(params, clk)
+		}
+		h.Stores = append(h.Stores, st)
 		pool := mempool.New(c, -1)
 		node := p2p.NewNode(c, pool, nil)
 		reg := telemetry.NewRegistry()
@@ -113,6 +146,18 @@ func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
 		}
 		mn := miner.New(c, pool, clk)
 		mn.SetTelemetry(reg)
+		if hr, ok := st.(store.HealthReporter); ok {
+			reg.GaugeFunc("store_health",
+				"Store health state (0 healthy, 1 recovering, 2 degraded-readonly).",
+				func() float64 {
+					s, _ := hr.Health()
+					return float64(s)
+				})
+			pool.SetGate(func() bool {
+				s, _ := hr.Health()
+				return s != store.HealthDegraded
+			})
+		}
 		h.Nodes = append(h.Nodes, node)
 		h.Ledgers = append(h.Ledgers, ledger)
 		h.Wallets = append(h.Wallets, w)
@@ -125,6 +170,11 @@ func NewHarness(t testing.TB, seed int64, n int, cfg LinkConfig) *Harness {
 	t.Cleanup(func() {
 		for _, node := range h.Nodes {
 			node.Stop()
+		}
+		for _, st := range h.Stores {
+			if st != nil {
+				st.Close()
+			}
 		}
 	})
 	return h

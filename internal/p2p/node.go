@@ -14,6 +14,7 @@ import (
 	"typecoin/internal/chainhash"
 	"typecoin/internal/clock"
 	"typecoin/internal/mempool"
+	"typecoin/internal/store"
 	"typecoin/internal/telemetry"
 	"typecoin/internal/typecoin"
 	"typecoin/internal/wire"
@@ -720,15 +721,21 @@ func (n *Node) sweepOrphans(now time.Time, pol Policy) {
 
 // isTxPenaltyWorthy classifies a mempool rejection: policy rejections
 // honest relays produce under races, partitions and load (duplicates,
-// orphans, pool conflicts, fee policy) are free; anything else —
-// sanity, script, value violations — cannot come from an honest peer.
+// orphans, pool conflicts, fee policy, a degraded local store) are
+// free; anything else — sanity, script, value violations — cannot come
+// from an honest peer.
 func isTxPenaltyWorthy(err error) bool {
 	switch {
 	case errors.Is(err, mempool.ErrAlreadyKnown),
 		errors.Is(err, mempool.ErrOrphanTx),
 		errors.Is(err, mempool.ErrPoolConflict),
 		errors.Is(err, mempool.ErrFeeTooLow),
-		errors.Is(err, mempool.ErrMempoolFull):
+		errors.Is(err, mempool.ErrMempoolFull),
+		errors.Is(err, mempool.ErrDegraded):
+		return false
+	case store.IsStoreFault(err):
+		// Our own storage failing mid-validation is never the sender's
+		// fault.
 		return false
 	}
 	return true
@@ -816,6 +823,10 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 				// A skeleton that does not connect can be an honest answer
 				// to a locator that raced a reorg; score it mildly.
 				n.penalize(p, pol.PenaltyUnsolicited, "disconnected header skeleton")
+			} else if store.IsStoreFault(err) {
+				// Persisting the rows failed locally; the skeleton itself
+				// may be honest. No score.
+				n.logDebug("header persist failed", "peer", p.id, "err", err)
 			} else {
 				// Headers carry their own proof of work: an invalid one
 				// cannot be honest.
@@ -924,6 +935,13 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 		status, err := n.chain.ProcessBlock(&blk)
 		if err != nil {
 			n.logDebug("block rejected", "peer", p.id, "block", hash.String(), "err", err)
+			if store.IsStoreFault(err) {
+				// Our disk failed, not the peer: the block may be
+				// perfectly valid. Leave the peer's score alone and let
+				// the scheduler retry the body once the store recovers.
+				n.scheduleBodies(nil)
+				return nil
+			}
 			// An invalid block cannot be honest: proof of work and the
 			// checksummed frame rule out accidents.
 			n.penalize(p, pol.PenaltyInvalidBlock, fmt.Sprintf("invalid block %s", hash))

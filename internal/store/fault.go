@@ -1,135 +1,32 @@
 package store
 
-import (
-	"fmt"
-	"sync"
-)
-
-// Fault wraps a Store and kills it on the Nth Apply, for crash-recovery
-// tests: the failing batch is not applied (or, against a *File with
-// TearBytes >= 0, is torn mid-frame on disk first), and every later
-// operation returns ErrClosed — from the node's point of view the
-// storage died mid-commit. The layers above must leave both their
-// resident state and the reopened store consistent.
+// Fault is the legacy crash injector, kept as a thin script over the
+// generalized FaultEngine: kill the store on the Nth Apply, optionally
+// tearing the dying batch's frame on disk first (against a *File).
+// From the node's point of view the storage died mid-commit; the
+// layers above must leave both their resident state and the reopened
+// store consistent. New tests should script a FaultEngine directly —
+// it speaks every failure mode, not just this one.
 type Fault struct {
-	inner Store
-
-	mu sync.Mutex
-	// failAt is the 1-based Apply call that dies; 0 disables.
-	failAt int
-	// tearBytes, when >= 0 and inner is a *File, arms the torn-write
-	// hook so the dying batch leaves a partial frame on disk.
-	tearBytes int
-	applies   int
-	dead      bool
+	*FaultEngine
 }
 
 // NewFault wraps inner, failing the failAt'th Apply (1-based; 0 never
 // fails). tearBytes < 0 fails cleanly; >= 0 additionally tears the
 // frame when inner is a *File.
 func NewFault(inner Store, failAt, tearBytes int) *Fault {
-	return &Fault{inner: inner, failAt: failAt, tearBytes: tearBytes}
+	e := NewFaultEngine(inner, 0)
+	if failAt > 0 {
+		e.Inject(FaultRule{
+			Op:        OpApply,
+			Kind:      KindKill,
+			Mode:      ModeOneShot,
+			After:     failAt - 1,
+			TearBytes: tearBytes,
+		})
+	}
+	return &Fault{FaultEngine: e}
 }
 
 // Applies reports how many Apply calls have been attempted.
-func (f *Fault) Applies() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.applies
-}
-
-func (f *Fault) check() error {
-	if f.dead {
-		return fmt.Errorf("%w: store killed by fault injection", ErrClosed)
-	}
-	return nil
-}
-
-// Get implements Store.
-func (f *Fault) Get(key []byte) ([]byte, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if err := f.check(); err != nil {
-		return nil, err
-	}
-	return f.inner.Get(key)
-}
-
-// Has implements Store.
-func (f *Fault) Has(key []byte) (bool, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if err := f.check(); err != nil {
-		return false, err
-	}
-	return f.inner.Has(key)
-}
-
-// Iterate implements Store.
-func (f *Fault) Iterate(prefix []byte, fn func(key, value []byte) error) error {
-	f.mu.Lock()
-	if err := f.check(); err != nil {
-		f.mu.Unlock()
-		return err
-	}
-	f.mu.Unlock()
-	return f.inner.Iterate(prefix, fn)
-}
-
-// Apply implements Store, dying on the armed call.
-func (f *Fault) Apply(b *Batch) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if err := f.check(); err != nil {
-		return err
-	}
-	f.applies++
-	if f.failAt > 0 && f.applies == f.failAt {
-		f.dead = true
-		if file, ok := f.inner.(*File); ok && f.tearBytes >= 0 {
-			file.CrashNextApply(f.tearBytes)
-			return file.Apply(b) // writes the torn prefix, then fails
-		}
-		return fmt.Errorf("%w: injected failure on apply %d", ErrClosed, f.applies)
-	}
-	return f.inner.Apply(b)
-}
-
-// AppendBlock implements Store.
-func (f *Fault) AppendBlock(data []byte) (BlockRef, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if err := f.check(); err != nil {
-		return BlockRef{}, err
-	}
-	return f.inner.AppendBlock(data)
-}
-
-// ReadBlock implements Store.
-func (f *Fault) ReadBlock(ref BlockRef) ([]byte, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if err := f.check(); err != nil {
-		return nil, err
-	}
-	return f.inner.ReadBlock(ref)
-}
-
-// Flush implements Store.
-func (f *Fault) Flush() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if err := f.check(); err != nil {
-		return err
-	}
-	return f.inner.Flush()
-}
-
-// Close implements Store. Closing a dead store closes the underlying
-// files without flushing further state.
-func (f *Fault) Close() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.dead = true
-	return f.inner.Close()
-}
+func (f *Fault) Applies() int { return f.OpCalls(OpApply) }

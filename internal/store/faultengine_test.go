@@ -1,0 +1,181 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// applyOne applies a single Put through st.
+func applyOne(t *testing.T, st Store, key, value string) error {
+	t.Helper()
+	b := NewBatch()
+	b.Put([]byte(key), []byte(value))
+	return st.Apply(b)
+}
+
+func TestFaultEngineOneShotFiresOnce(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(FaultRule{Op: OpApply, Kind: KindEIO, Mode: ModeOneShot})
+	if err := applyOne(t, e, "a", "1"); !errors.Is(err, ErrIO) {
+		t.Fatalf("first apply: %v, want ErrIO", err)
+	}
+	if err := applyOne(t, e, "a", "1"); err != nil {
+		t.Fatalf("second apply: %v", err)
+	}
+	if got := e.Counts()["apply/eio"]; got != 1 {
+		t.Fatalf("apply/eio count = %d, want 1", got)
+	}
+}
+
+func TestFaultEngineStickyUntilClear(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(FaultRule{Op: OpFlush, Kind: KindENOSPC, Mode: ModeSticky})
+	for i := 0; i < 3; i++ {
+		if err := e.Flush(); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("flush %d: %v, want ErrNoSpace", i, err)
+		}
+		if got := Classify(e.Flush()); got != ClassPersistent {
+			t.Fatalf("classify = %v, want persistent", got)
+		}
+	}
+	e.Clear()
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush after clear: %v", err)
+	}
+}
+
+func TestFaultEngineAfterSkipsEarlyCalls(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(FaultRule{Op: OpApply, Kind: KindEIO, Mode: ModeSticky, After: 2})
+	for i := 0; i < 2; i++ {
+		if err := applyOne(t, e, "k", "v"); err != nil {
+			t.Fatalf("apply %d should be clean: %v", i, err)
+		}
+	}
+	if err := applyOne(t, e, "k", "v"); !errors.Is(err, ErrIO) {
+		t.Fatalf("third apply: %v, want ErrIO", err)
+	}
+	if calls := e.OpCalls(OpApply); calls != 3 {
+		t.Fatalf("OpCalls(apply) = %d, want 3", calls)
+	}
+}
+
+// TestFaultEngineProbReplaysFromSeed is the FAULT_SEED guarantee at the
+// engine level: two engines scripted identically with the same seed
+// fail exactly the same calls.
+func TestFaultEngineProbReplaysFromSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		e := NewFaultEngine(NewMem(), seed)
+		e.Inject(FaultRule{Op: OpApply, Kind: KindEIO, Mode: ModeProb, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = applyOne(t, e, fmt.Sprintf("k%d", i), "v") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged between identically seeded engines", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob rule fired %d/%d times; expected a mix", fired, len(a))
+	}
+}
+
+func TestFaultEngineFsyncDropLies(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(FaultRule{Op: OpFlush, Kind: KindFsyncDrop, Mode: ModeSticky})
+	if err := e.Flush(); err != nil {
+		t.Fatalf("lying fsync must report success, got %v", err)
+	}
+	if got := e.DroppedFsyncs(); got != 1 {
+		t.Fatalf("DroppedFsyncs = %d, want 1", got)
+	}
+}
+
+func TestFaultEngineBitFlipReturnsCorruptError(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 7)
+	payload := []byte("a block body long enough to flip bits in")
+	ref, err := e.AppendBlock(payload)
+	if err != nil {
+		t.Fatalf("AppendBlock: %v", err)
+	}
+	e.Inject(FaultRule{Op: OpReadBlock, Kind: KindBitFlip, Mode: ModeOneShot})
+	_, err = e.ReadBlock(ref)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bit flip returned %v, want *CorruptError", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("CorruptError must unwrap to ErrCorrupt, got %v", err)
+	}
+	if ce.WantCRC == ce.GotCRC {
+		t.Fatalf("flip did not change the checksum: %08x", ce.WantCRC)
+	}
+	got, err := e.ReadBlock(ref)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read after one-shot flip: %q, %v", got, err)
+	}
+}
+
+func TestFaultEngineKillPoisons(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(FaultRule{Op: OpApply, Kind: KindKill, Mode: ModeOneShot, TearBytes: -1})
+	if err := applyOne(t, e, "k", "v"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("killed apply: %v, want ErrClosed", err)
+	}
+	// The device vanished: every later op fails too, even after Clear.
+	e.Clear()
+	if _, err := e.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("get after kill: %v, want ErrClosed", err)
+	}
+	if got := Classify(errors.New("wrapped")); got != ClassTransient {
+		t.Fatalf("unknown errors must classify transient, got %v", got)
+	}
+}
+
+func TestFaultEngineShortWriteSurvivable(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	e := NewFaultEngine(f, 1)
+	if err := applyOne(t, e, "base", "stays"); err != nil {
+		t.Fatalf("base apply: %v", err)
+	}
+	e.Inject(FaultRule{Op: OpApply, Kind: KindShortWrite, Mode: ModeOneShot, TearBytes: 3})
+	if err := applyOne(t, e, "torn", "lost"); !errors.Is(err, ErrIO) {
+		t.Fatalf("short write: %v, want ErrIO", err)
+	}
+	// Unlike a kill, a short write leaves the store alive: the next
+	// apply overwrites the torn bytes and commits.
+	if err := applyOne(t, e, "next", "lands"); err != nil {
+		t.Fatalf("apply after short write: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer f2.Close()
+	for key, want := range map[string]string{"base": "stays", "next": "lands"} {
+		got, err := f2.Get([]byte(key))
+		if err != nil || string(got) != want {
+			t.Fatalf("recovered %s = %q, %v; want %q", key, got, err, want)
+		}
+	}
+	if _, err := f2.Get([]byte("torn")); err != ErrNotFound {
+		t.Fatalf("torn batch resurfaced: %v", err)
+	}
+}

@@ -71,6 +71,25 @@ type File struct {
 	// kill mid-write would leave. Test hook; see CrashNextApply.
 	crashBytes int
 
+	// tearNext, when >= 0, makes the next Apply write only that many
+	// bytes of the frame and fail with a transient ErrIO — a short
+	// write the device survives, unlike crashBytes' fatal tear. The
+	// store stays usable; the garbage past logSize is overwritten by
+	// the next successful append or truncated on close. See
+	// TearNextApply.
+	tearNext int
+
+	// hook, when non-nil, observes (and may fail) every physical
+	// filesystem operation. See disk.go.
+	hook DiskHook
+
+	// compactRetrySize defers compaction retries after a failure until
+	// the journal grows past it, so a full disk does not pay a failed
+	// snapshot rewrite on every commit.
+	compactRetrySize int64
+	compactErrs      uint64
+	lastCompactErr   error
+
 	// truncatedBytes records how many trailing journal bytes Open
 	// discarded as torn.
 	truncatedBytes int64
@@ -105,6 +124,7 @@ func OpenFile(dir string) (*File, error) {
 		data:       make(map[string][]byte),
 		compactMin: defaultCompactMin,
 		crashBytes: -1,
+		tearNext:   -1,
 	}
 	gen, err := readManifest(dir)
 	if err != nil {
@@ -291,6 +311,17 @@ func (f *File) CrashNextApply(n int) {
 	f.crashBytes = n
 }
 
+// TearNextApply arms the transient short-write fault: the next Apply
+// writes only the first n bytes of its frame and fails with ErrIO, but
+// the store survives — the journal tail is not advanced, so the next
+// successful append overwrites the partial frame, and a crash before
+// that is recovered as an ordinary torn tail.
+func (f *File) TearNextApply(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tearNext = n
+}
+
 // Get implements Store.
 func (f *File) Get(key []byte) ([]byte, error) {
 	f.mu.Lock()
@@ -374,9 +405,7 @@ func (f *File) Apply(b *Batch) error {
 		return err
 	}
 	f.applyToTable(b.ops)
-	if f.logSize > f.compactMin && f.liveBytes*4 < f.logSize {
-		return f.compactLocked()
-	}
+	f.maybeCompactLocked()
 	return nil
 }
 
@@ -402,10 +431,39 @@ func (f *File) ApplyGroup(batches []*Batch) error {
 	for _, b := range batches {
 		f.applyToTable(b.ops)
 	}
-	if f.logSize > f.compactMin && f.liveBytes*4 < f.logSize {
-		return f.compactLocked()
-	}
+	f.maybeCompactLocked()
 	return nil
+}
+
+// maybeCompactLocked compacts when the journal merits it, absorbing
+// failures: by the time compaction runs the commit is already durable,
+// so a failed snapshot rewrite (full disk mid-swap) must not fail the
+// Apply that triggered it. The attempt is deferred until the journal
+// grows another preallocation chunk, and the error is kept for
+// telemetry (CompactionErr).
+func (f *File) maybeCompactLocked() {
+	if f.logSize <= f.compactMin || f.liveBytes*4 >= f.logSize {
+		return
+	}
+	if f.compactRetrySize > 0 && f.logSize < f.compactRetrySize {
+		return
+	}
+	if err := f.compactLocked(); err != nil {
+		f.compactErrs++
+		f.lastCompactErr = err
+		f.compactRetrySize = f.logSize + journalPreallocChunk
+		return
+	}
+	f.compactRetrySize = 0
+	f.lastCompactErr = nil
+}
+
+// CompactionErr reports how many compaction attempts have failed since
+// Open and the most recent failure (nil when the last attempt worked).
+func (f *File) CompactionErr() (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.compactErrs, f.lastCompactErr
 }
 
 // writeFramesLocked appends already-framed bytes to the journal,
@@ -421,24 +479,38 @@ func (f *File) writeFramesLocked(frames []byte) error {
 		f.closed = true // poisoned: the "process" is dead
 		return fmt.Errorf("%w: injected crash mid-batch", ErrClosed)
 	}
+	if f.tearNext >= 0 {
+		n := f.tearNext
+		f.tearNext = -1
+		if n > len(frames) {
+			n = len(frames)
+		}
+		f.log.WriteAt(frames[:n], f.logSize)
+		// logSize stays put: the partial frame is garbage past the tail,
+		// overwritten by the next append or discarded by replay.
+		return fmt.Errorf("%w: short write (%d of %d bytes)", ErrIO, n, len(frames))
+	}
 	end := f.logSize + int64(len(frames))
 	if end > f.logCap {
 		grown := end + journalPreallocChunk
-		if f.log.Truncate(grown) == nil {
+		if f.hookedTruncate(f.log, f.kvName(), grown) == nil {
 			f.logCap = grown
 		} else {
 			f.logCap = end // WriteAt below extends the file itself
 		}
 	}
-	if _, err := f.log.WriteAt(frames, f.logSize); err != nil {
+	if err := f.hookedWriteAt(f.log, f.kvName(), frames, f.logSize); err != nil {
 		return err
 	}
 	f.logSize = end
 	if f.syncEvery {
-		return f.log.Sync()
+		return f.hookedSync(f.log, f.kvName())
 	}
 	return nil
 }
+
+// kvName is the base name of the live journal file.
+func (f *File) kvName() string { return fmt.Sprintf("kv-%d.log", f.gen) }
 
 // compactLocked rewrites the live pairs as one snapshot frame in the
 // next generation and atomically swings the manifest over.
@@ -451,29 +523,34 @@ func (f *File) compactLocked() error {
 
 	newGen := f.gen + 1
 	newPath := f.logPath(newGen)
+	newName := fmt.Sprintf("kv-%d.log", newGen)
 	nf, err := os.OpenFile(newPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := nf.Write(frame); err != nil {
+	if err := f.hookedWriteAt(nf, newName, frame, 0); err != nil {
 		nf.Close()
 		os.Remove(newPath)
 		return err
 	}
-	if err := nf.Sync(); err != nil {
+	if err := f.hookedSync(nf, newName); err != nil {
 		nf.Close()
 		os.Remove(newPath)
 		return err
 	}
 	// The new generation is durable; make it live. After this rename a
 	// crash recovers the compacted state.
-	if err := writeManifest(f.dir, newGen); err != nil {
+	if err := f.writeManifestLocked(newGen); err != nil {
 		nf.Close()
 		os.Remove(newPath)
 		return err
 	}
+	oldName := f.kvName()
 	oldPath := f.logPath(f.gen)
 	f.log.Close()
+	if f.hook != nil {
+		f.hook.Disk(DiskEvent{Op: DiskRemove, Name: oldName})
+	}
 	os.Remove(oldPath)
 	f.log = nf
 	f.gen = newGen
@@ -481,6 +558,36 @@ func (f *File) compactLocked() error {
 	f.logCap = f.logSize
 	f.compactions++
 	return nil
+}
+
+// writeManifestLocked is writeManifest routed through the disk hook,
+// so fault injection can fail (and the crash-point recorder observe)
+// each step of the swap: tmp write, tmp fsync, atomic rename.
+func (f *File) writeManifestLocked(gen uint64) error {
+	if f.hook == nil {
+		return writeManifest(f.dir, gen)
+	}
+	tmpName := manifestName + ".tmp"
+	tmp := filepath.Join(f.dir, tmpName)
+	content := []byte(fmt.Sprintf("%s\ngen %d\n", manifestHeader, gen))
+	if _, err := f.hook.Disk(DiskEvent{Op: DiskWriteFile, Name: tmpName, Data: content}); err != nil {
+		return err
+	}
+	if err := os.WriteFile(tmp, content, 0o644); err != nil {
+		return err
+	}
+	if tf, err := os.OpenFile(tmp, os.O_RDWR, 0); err == nil {
+		if _, herr := f.hook.Disk(DiskEvent{Op: DiskSync, Name: tmpName}); herr != nil {
+			tf.Close()
+			return herr
+		}
+		tf.Sync()
+		tf.Close()
+	}
+	if _, err := f.hook.Disk(DiskEvent{Op: DiskRename, Name: tmpName, To: manifestName}); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(f.dir, manifestName))
 }
 
 // JournalBytes returns the current size of the KV journal.
@@ -512,7 +619,7 @@ func (f *File) AppendBlock(data []byte) (BlockRef, error) {
 		return BlockRef{}, ErrClosed
 	}
 	frame := appendFrame(nil, data)
-	if _, err := f.blocks.WriteAt(frame, f.blocksSize); err != nil {
+	if err := f.hookedWriteAt(f.blocks, blocksName, frame, f.blocksSize); err != nil {
 		return BlockRef{}, err
 	}
 	ref := BlockRef{Offset: uint64(f.blocksSize), Len: uint32(len(data))}
@@ -534,12 +641,14 @@ func (f *File) ReadBlock(ref BlockRef) ([]byte, error) {
 	if _, err := f.blocks.ReadAt(buf, int64(ref.Offset)); err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint32(buf[0:4]) != ref.Len {
-		return nil, fmt.Errorf("%w: block length mismatch at %d", ErrCorrupt, ref.Offset)
+	if got := binary.LittleEndian.Uint32(buf[0:4]); got != ref.Len {
+		return nil, &CorruptError{Offset: int64(ref.Offset),
+			Reason: fmt.Sprintf("block length %d, ref wants %d", got, ref.Len)}
 	}
 	payload := buf[frameHeaderSize:]
-	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[4:8]) {
-		return nil, fmt.Errorf("%w: block checksum mismatch at %d", ErrCorrupt, ref.Offset)
+	want := binary.LittleEndian.Uint32(buf[4:8])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, &CorruptError{Offset: int64(ref.Offset), WantCRC: want, GotCRC: got}
 	}
 	return payload, nil
 }
@@ -551,10 +660,10 @@ func (f *File) Flush() error {
 	if f.closed {
 		return ErrClosed
 	}
-	if err := f.log.Sync(); err != nil {
+	if err := f.hookedSync(f.log, f.kvName()); err != nil {
 		return err
 	}
-	return f.blocks.Sync()
+	return f.hookedSync(f.blocks, blocksName)
 }
 
 // Close implements Store.

@@ -31,21 +31,30 @@ type Group struct {
 	inner Store
 	cfg   GroupConfig
 
-	mu       sync.Mutex
-	waiters  *sync.Cond // broadcast when durable/sticky/flushedHeight change
-	pending  []groupBatch
-	overlay  map[string]overlayEntry
-	seq      uint64 // last enqueued batch
-	durable  uint64 // last batch applied to the inner store
-	flushed  int    // highest marked height known durable; -1 before any
-	force    bool   // a Drain wants an immediate flush
-	flushes  uint64 // completed group flushes, for the SyncEvery cadence
-	sticky   error  // first inner-store failure; poisons the pipeline
-	closed   bool
-	onFlush  func(batches int, lag time.Duration)
-	pendChan chan struct{} // kick: work or force arrived (buffered 1)
-	quit     chan struct{}
-	done     chan struct{}
+	mu      sync.Mutex
+	waiters *sync.Cond // broadcast when durable/sticky/flushedHeight change
+	pending []groupBatch
+	overlay map[string]overlayEntry
+	seq     uint64 // last enqueued batch
+	durable uint64 // last batch applied to the inner store
+	flushed int    // highest marked height known durable; -1 before any
+	force   bool   // a Drain wants an immediate flush
+	flushes uint64 // completed group flushes, for the SyncEvery cadence
+	sticky  error  // first FATAL inner-store failure; poisons the pipeline
+	// lastErr/consecFails track the current transient failure streak:
+	// the committer keeps the batches (requeued in order) and retries
+	// with capped exponential backoff instead of poisoning, so an EIO
+	// blip costs latency, not the node. Enqueues beyond MaxPending are
+	// refused with ErrBackpressure while the streak lasts.
+	lastErr     error
+	consecFails int
+	needSync    bool // a due fsync failed transiently; retry it
+	closed      bool
+	onFlush     func(batches int, lag time.Duration)
+	onError     func(err error, fatal bool, consecutive int)
+	pendChan    chan struct{} // kick: work or force arrived (buffered 1)
+	quit        chan struct{}
+	done        chan struct{}
 }
 
 // GroupConfig tunes the committer.
@@ -62,7 +71,24 @@ type GroupConfig struct {
 	// no periodic fsync — durability only on Flush/Close, matching the
 	// synchronous engine's default.
 	SyncEvery int
+	// MaxPending bounds enqueued-but-unflushed batches. While the inner
+	// store is failing, enqueues beyond the bound are refused with
+	// ErrBackpressure instead of growing the overlay without limit.
+	// Zero means 4096.
+	MaxPending int
+	// RetryBackoff is the committer's initial delay before retrying a
+	// transiently failed flush, doubling up to RetryBackoffMax.
+	// Zeros mean 10ms and 2s.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 }
+
+// groupGiveUpAfter is the failure streak at which Drain stops waiting
+// and reports the transient error instead: callers that need the store
+// caught up (reorg disconnects, shutdown flushes) must not hang on a
+// device that keeps failing. The batches stay queued; a later recovery
+// still flushes them.
+const groupGiveUpAfter = 3
 
 type groupBatch struct {
 	b        *Batch
@@ -82,6 +108,15 @@ type overlayEntry struct {
 func NewGroup(inner Store, cfg GroupConfig) *Group {
 	if cfg.MaxBatches <= 0 {
 		cfg.MaxBatches = 32
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4096
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 2 * time.Second
 	}
 	g := &Group{
 		inner:    inner,
@@ -104,6 +139,29 @@ func (g *Group) SetOnFlush(fn func(batches int, lag time.Duration)) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.onFlush = fn
+}
+
+// SetOnError installs a hook observed (without the group lock held)
+// whenever an inner-store flush fails — fatal reports whether the
+// pipeline poisoned itself, consecutive the length of the failure
+// streak — and once with a nil err when a streak ends in a successful
+// flush. Health-tracking seam; call before concurrent use.
+func (g *Group) SetOnError(fn func(err error, fatal bool, consecutive int)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onError = fn
+}
+
+// Err reports the pipeline's current failure, if any: the fatal sticky
+// error, or the transient error the committer is retrying. Nil means
+// the last flush attempt (if any) succeeded.
+func (g *Group) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.sticky != nil {
+		return g.sticky
+	}
+	return g.lastErr
 }
 
 // kick wakes the committer without blocking.
@@ -138,6 +196,17 @@ func (g *Group) enqueue(b *Batch, height int) error {
 		g.mu.Unlock()
 		return ErrClosed
 	}
+	if len(g.pending) >= g.cfg.MaxPending {
+		// The committer cannot keep up — usually because the inner store
+		// is failing and every flush is being retried. Refuse new work
+		// instead of buffering the chain's writes without bound.
+		cause := g.lastErr
+		g.mu.Unlock()
+		if cause != nil {
+			return fmt.Errorf("%w (%d batches pending): %v", ErrBackpressure, g.cfg.MaxPending, cause)
+		}
+		return fmt.Errorf("%w (%d batches pending)", ErrBackpressure, g.cfg.MaxPending)
+	}
 	g.seq++
 	gb := groupBatch{b: b, seq: g.seq, height: height, enqueued: time.Now()}
 	g.pending = append(g.pending, gb)
@@ -150,9 +219,12 @@ func (g *Group) enqueue(b *Batch, height int) error {
 }
 
 // committer is the single flusher goroutine: wait for work, linger up
-// to Interval collecting more, then flush the whole pending run.
+// to Interval collecting more, then flush the whole pending run. A
+// transiently failed flush is retried with capped exponential backoff
+// until it succeeds, turns fatal, or the pipeline closes.
 func (g *Group) committer() {
 	defer close(g.done)
+	backoff := g.cfg.RetryBackoff
 	for {
 		select {
 		case <-g.quit:
@@ -180,7 +252,25 @@ func (g *Group) committer() {
 			}
 		}
 		timer.Stop()
-		g.flushPending()
+		for !g.flushPending() {
+			g.mu.Lock()
+			stuck := g.sticky != nil || (len(g.pending) == 0 && !g.needSync)
+			g.mu.Unlock()
+			if stuck {
+				break
+			}
+			select {
+			case <-g.quit:
+				g.flushPending() // final best effort before Close
+				return
+			case <-time.After(backoff):
+			case <-g.pendChan: // a Drain or new batch wants action now
+			}
+			if backoff *= 2; backoff > g.cfg.RetryBackoffMax {
+				backoff = g.cfg.RetryBackoffMax
+			}
+		}
+		backoff = g.cfg.RetryBackoff
 	}
 }
 
@@ -192,82 +282,164 @@ type groupApplier interface {
 }
 
 // flushPending writes every pending batch to the inner store, advances
-// the durability watermark, and prunes the overlay.
-func (g *Group) flushPending() {
+// the durability watermark, and prunes the overlay. It returns false
+// when the flush failed transiently and should be retried: the batches
+// were requeued (or, for a failed fsync, needSync was set) and nothing
+// was lost. Fatal failures poison the pipeline and return true — there
+// is nothing left to retry; recovery is reopening the directory, same
+// as a crash.
+func (g *Group) flushPending() bool {
 	g.mu.Lock()
 	take := g.pending
 	g.pending = nil
 	g.force = false
-	if len(take) == 0 || g.sticky != nil {
+	needSync := g.needSync
+	if (len(take) == 0 && !needSync) || g.sticky != nil {
 		g.waiters.Broadcast()
 		g.mu.Unlock()
-		return
+		return true
 	}
 	g.mu.Unlock()
 
 	var err error
-	if ga, ok := g.inner.(groupApplier); ok {
-		batches := make([]*Batch, len(take))
-		for i, gb := range take {
-			batches[i] = gb.b
-		}
-		err = ga.ApplyGroup(batches)
-	} else {
-		for _, gb := range take {
-			if err = g.inner.Apply(gb.b); err != nil {
-				break
+	if len(take) > 0 {
+		if ga, ok := g.inner.(groupApplier); ok {
+			batches := make([]*Batch, len(take))
+			for i, gb := range take {
+				batches[i] = gb.b
+			}
+			err = ga.ApplyGroup(batches)
+		} else {
+			for _, gb := range take {
+				if err = g.inner.Apply(gb.b); err != nil {
+					break
+				}
 			}
 		}
 	}
 
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.flushes++
-	if err == nil && g.cfg.SyncEvery > 0 && g.flushes%uint64(g.cfg.SyncEvery) == 0 {
-		g.mu.Unlock()
-		err = g.inner.Flush()
-		g.mu.Lock()
-	}
 	if err != nil {
-		// The inner store rejected (or tore) a batch: reads must stop
-		// pretending the enqueued tail exists. Poison the pipeline —
-		// recovery is reopening the directory, same as a crash.
+		ok := g.noteFlushErrLocked(err)
+		if !ok {
+			// Transient: requeue ahead of anything enqueued while the
+			// write was in flight — order to the inner store must match
+			// Apply order. A batch the non-group path already applied is
+			// reapplied on retry; journal replay is last-writer-wins, so
+			// the duplicate frames are harmless.
+			g.pending = append(take, g.pending...)
+		}
+		g.finishFlushAndUnlock(err)
+		return ok
+	}
+
+	if len(take) > 0 {
+		g.flushes++
+	}
+	syncDue := needSync ||
+		(len(take) > 0 && g.cfg.SyncEvery > 0 && g.flushes%uint64(g.cfg.SyncEvery) == 0)
+	var syncErr error
+	if syncDue {
+		g.mu.Unlock()
+		syncErr = g.inner.Flush()
+		g.mu.Lock()
+		if syncErr != nil {
+			// The batches reached the inner store, so the watermark still
+			// advances (Flushed means "applied", not "fsynced"); only the
+			// periodic-fsync cadence is owed a retry.
+			g.noteFlushErrLocked(syncErr)
+			g.needSync = true
+		} else {
+			g.needSync = false
+		}
+	}
+
+	if len(take) > 0 {
+		last := take[len(take)-1]
+		g.durable = last.seq
+		for _, gb := range take {
+			if gb.height > g.flushed {
+				g.flushed = gb.height
+			}
+		}
+		for k, e := range g.overlay {
+			if e.seq <= g.durable {
+				delete(g.overlay, k)
+			}
+		}
+		if g.onFlush != nil {
+			g.onFlush(len(take), time.Since(take[0].enqueued))
+		}
+	}
+	retryNeeded := syncErr != nil && g.sticky == nil
+	g.finishFlushAndUnlock(syncErr)
+	return !retryNeeded
+}
+
+// noteFlushErrLocked classifies a flush failure, poisoning the pipeline
+// when it is fatal. It reports whether the failure was fatal (true
+// means: do not retry).
+func (g *Group) noteFlushErrLocked(err error) bool {
+	if Classify(err) == ClassFatal {
 		g.sticky = fmt.Errorf("group commit: %w", err)
-		g.waiters.Broadcast()
-		return
+		return true
 	}
-	last := take[len(take)-1]
-	g.durable = last.seq
-	for _, gb := range take {
-		if gb.height > g.flushed {
-			g.flushed = gb.height
+	g.lastErr = err
+	g.consecFails++
+	return false
+}
+
+// finishFlushAndUnlock ends a flushPending pass: it settles the failure
+// streak, wakes waiters, releases g.mu, and fires the error hook
+// outside the lock. err is the failure this pass hit, nil on success.
+func (g *Group) finishFlushAndUnlock(err error) {
+	var (
+		cb    func(error, bool, int)
+		fatal = g.sticky != nil
+		n     = g.consecFails
+	)
+	if err == nil && g.sticky == nil {
+		if g.consecFails > 0 {
+			// A streak just ended: let the health layer know with err=nil.
+			cb = g.onError
+			n = 0
 		}
-	}
-	for k, e := range g.overlay {
-		if e.seq <= g.durable {
-			delete(g.overlay, k)
-		}
-	}
-	if g.onFlush != nil {
-		g.onFlush(len(take), time.Since(take[0].enqueued))
+		g.consecFails = 0
+		g.lastErr = nil
+	} else {
+		cb = g.onError
 	}
 	g.waiters.Broadcast()
+	g.mu.Unlock()
+	if cb != nil {
+		cb(err, fatal, n)
+	}
 }
 
 // Drain blocks until every batch enqueued before the call is durable in
 // the inner store (or the pipeline has failed). The chain drains before
 // reorg disconnects so undo replay reads a store that is caught up with
-// the overlay, and Flush/Close drain as part of their contract.
+// the overlay, and Flush/Close drain as part of their contract. When
+// the committer has failed groupGiveUpAfter flushes in a row, Drain
+// reports the transient error instead of waiting out a device that may
+// never heal; the batches stay queued and a later retry still flushes
+// them.
 func (g *Group) Drain() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	target := g.seq
-	for g.durable < target && g.sticky == nil {
+	for g.durable < target && g.sticky == nil && g.consecFails < groupGiveUpAfter {
 		g.force = true
 		g.kick()
 		g.waiters.Wait()
 	}
-	return g.sticky
+	if g.sticky != nil {
+		return g.sticky
+	}
+	if g.durable < target && g.lastErr != nil {
+		return fmt.Errorf("group drain: %w", g.lastErr)
+	}
+	return nil
 }
 
 // Flushed reports the durability watermark: the highest marked height

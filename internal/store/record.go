@@ -65,8 +65,10 @@ func readFrame(buf []byte) (payload []byte, n int, err error) {
 		return nil, 0, errShortFrame
 	}
 	payload = buf[frameHeaderSize:end]
-	if crc32.Checksum(payload, castagnoli) != want {
-		return nil, 0, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		// Offset -1: readFrame sees a detached buffer; callers that know
+		// the file position (journal replay) report it themselves.
+		return nil, 0, &CorruptError{Offset: -1, WantCRC: want, GotCRC: got}
 	}
 	return payload, end, nil
 }

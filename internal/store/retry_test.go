@@ -1,0 +1,208 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// tightRetry wraps inner with microsecond backoffs so state-machine
+// tests run in real time without meaningful sleeps.
+func tightRetry(inner Store, attempts int) *Retry {
+	return NewRetry(inner, RetryConfig{
+		Attempts:   attempts,
+		Backoff:    50 * time.Microsecond,
+		BackoffMax: time.Millisecond,
+	})
+}
+
+// waitHealth polls until r reports want or the deadline passes.
+func waitHealth(t *testing.T, r *Retry, want Health) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if h, _ := r.Health(); h == want {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	h, cause := r.Health()
+	t.Fatalf("health stuck at %v (cause %v), want %v", h, cause, want)
+}
+
+func TestRetryTransparentOnTransientBlips(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	// Two one-shot EIOs: the write lands on the third attempt, inside
+	// the budget, and the caller never sees the blips.
+	e.Inject(
+		FaultRule{Op: OpApply, Kind: KindEIO, Mode: ModeOneShot},
+		FaultRule{Op: OpApply, Kind: KindEIO, Mode: ModeOneShot},
+	)
+	r := tightRetry(e, 5)
+	defer r.Close()
+	if err := applyOne(t, r, "k", "v"); err != nil {
+		t.Fatalf("apply should absorb transient blips: %v", err)
+	}
+	if h, _ := r.Health(); h != HealthHealthy {
+		t.Fatalf("health = %v after absorbed blips, want healthy", h)
+	}
+	if got := r.Retries(); got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+	if v, err := r.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+}
+
+func TestRetryDegradesAndFailsFast(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	if err := applyOne(t, e, "pre", "fault"); err != nil {
+		t.Fatalf("seed apply: %v", err)
+	}
+	e.Inject(
+		FaultRule{Op: OpApply, Kind: KindEIO, Mode: ModeSticky},
+		FaultRule{Op: OpFlush, Kind: KindEIO, Mode: ModeSticky},
+	)
+	r := tightRetry(e, 3)
+	defer r.Close()
+
+	var states []Health
+	r.SetOnState(func(h Health, cause error) { states = append(states, h) })
+
+	err := applyOne(t, r, "k", "v")
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("exhausted apply: %v, want ErrIO", err)
+	}
+	h, cause := r.Health()
+	if h != HealthDegraded || cause == nil {
+		t.Fatalf("health = %v, cause %v; want degraded with cause", h, cause)
+	}
+	if got := r.Degrades(); got != 1 {
+		t.Fatalf("Degrades = %d, want 1", got)
+	}
+	// Writes now fail fast with the typed sentinel...
+	if err := applyOne(t, r, "k", "v"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded apply: %v, want ErrDegraded", err)
+	}
+	// ...while reads keep flowing: that is the whole point.
+	if v, err := r.Get([]byte("pre")); err != nil || string(v) != "fault" {
+		t.Fatalf("degraded get = %q, %v", v, err)
+	}
+	if len(states) == 0 || states[len(states)-1] != HealthDegraded {
+		t.Fatalf("onState transitions = %v, want ending degraded", states)
+	}
+}
+
+func TestRetryENOSPCDegradesWithoutRetrying(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(
+		FaultRule{Op: OpApply, Kind: KindENOSPC, Mode: ModeSticky},
+		FaultRule{Op: OpFlush, Kind: KindENOSPC, Mode: ModeSticky},
+	)
+	r := tightRetry(e, 5)
+	defer r.Close()
+	if err := applyOne(t, r, "k", "v"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("apply on full disk: %v, want ErrNoSpace", err)
+	}
+	// A full disk is persistent: no retry budget is burned on it.
+	if got := r.Retries(); got != 0 {
+		t.Fatalf("Retries = %d on ENOSPC, want 0", got)
+	}
+	if h, _ := r.Health(); h != HealthDegraded {
+		t.Fatalf("health = %v, want degraded", h)
+	}
+}
+
+func TestRetryRecoversThroughProbe(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(
+		FaultRule{Op: OpApply, Kind: KindEIO, Mode: ModeSticky},
+		FaultRule{Op: OpFlush, Kind: KindEIO, Mode: ModeSticky},
+	)
+	r := tightRetry(e, 2)
+	defer r.Close()
+	if err := applyOne(t, r, "k", "v"); err == nil {
+		t.Fatal("apply should fail under sticky EIO")
+	}
+	waitHealth(t, r, HealthDegraded)
+
+	// The disk is repaired: the background probe's Flush succeeds and
+	// moves the machine to recovering; the next write closes the loop.
+	e.Clear()
+	waitHealth(t, r, HealthRecovering)
+	if err := applyOne(t, r, "k", "v"); err != nil {
+		t.Fatalf("apply while recovering: %v", err)
+	}
+	waitHealth(t, r, HealthHealthy)
+	if _, cause := r.Health(); cause != nil {
+		t.Fatalf("healthy with residual cause %v", cause)
+	}
+}
+
+func TestRetryReadsNeverDegrade(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(FaultRule{Op: OpGet, Kind: KindEIO, Mode: ModeSticky})
+	r := tightRetry(e, 3)
+	defer r.Close()
+	var faults int
+	r.SetOnFault(func(op string, err error) { faults++ })
+	for i := 0; i < 4; i++ {
+		if _, err := r.Get([]byte("k")); !errors.Is(err, ErrIO) {
+			t.Fatalf("get %d: %v, want ErrIO passed through", i, err)
+		}
+	}
+	if h, _ := r.Health(); h != HealthHealthy {
+		t.Fatalf("read failures degraded the store: %v", h)
+	}
+	if faults != 4 {
+		t.Fatalf("onFault saw %d read faults, want 4", faults)
+	}
+}
+
+// TestRetryHearsGroupCommitterErrors wires the full production stack —
+// Retry over Group over the fault engine — and checks the async path:
+// a background flush failure streak degrades the store even though no
+// synchronous write ever returned an error.
+func TestRetryHearsGroupCommitterErrors(t *testing.T) {
+	e := NewFaultEngine(NewMem(), 1)
+	e.Inject(
+		FaultRule{Op: OpApply, Kind: KindEIO, Mode: ModeSticky},
+		FaultRule{Op: OpFlush, Kind: KindEIO, Mode: ModeSticky},
+	)
+	g := NewGroup(e, GroupConfig{
+		Interval:        time.Millisecond,
+		RetryBackoff:    50 * time.Microsecond,
+		RetryBackoffMax: time.Millisecond,
+	})
+	r := tightRetry(g, 2)
+	defer r.Close()
+	// Enqueue succeeds instantly; the committer then fails in the
+	// background until the streak crosses the budget.
+	if err := applyOne(t, r, "k", "v"); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	waitHealth(t, r, HealthDegraded)
+
+	e.Clear()
+	// The committer retries the stuck batch on its own; once it lands
+	// the streak-ended notification plus the probe move the machine
+	// back through recovering, and a fresh write completes the loop.
+	waitHealth(t, r, HealthRecovering)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := applyOne(t, r, "k2", "v2"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes never recovered after the fault cleared")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	waitHealth(t, r, HealthHealthy)
+	if err := r.Drain(); err != nil {
+		t.Fatalf("drain after recovery: %v", err)
+	}
+	if v, err := r.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("stuck batch lost: %q, %v", v, err)
+	}
+}

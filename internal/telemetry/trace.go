@@ -35,6 +35,12 @@ const (
 	// subscriber churn on the push API (ref: remote address).
 	EvIndexCatchup    = "index_catchup"
 	EvIndexSubscriber = "index_subscriber"
+	// Storage health lifecycle: a store fault the health layer observed
+	// (ref: operation name), the node entering degraded-readonly mode,
+	// and the transitions back out (ref: health state name).
+	EvStoreFault     = "store_fault"
+	EvStoreDegraded  = "store_degraded"
+	EvStoreRecovered = "store_recovered"
 )
 
 // Event is one timestamped lifecycle record. Ref carries the correlating
