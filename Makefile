@@ -9,7 +9,7 @@ RACE_PKGS = ./internal/chain/... ./internal/mempool/... ./internal/sigcache/... 
 # for a short smoke budget; override FUZZTIME for longer campaigns.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet check chaos bench bench-json bench-diff metrics-smoke fuzz-smoke sim recovery byzantine index-load
+.PHONY: build test race vet check chaos bench bench-json bench-diff metrics-smoke fuzz-smoke sim recovery byzantine index-load latency-report
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,7 @@ bench:
 # benchmark's samples minutes apart, unlike -count=N's back-to-back
 # runs). BENCH_JSON names the snapshot file; PR snapshots are checked
 # in for diffing.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	{ $(GO) test -run xxx -bench . -benchmem .; \
 	  $(GO) test -run xxx -bench . -benchmem .; \
@@ -55,7 +55,7 @@ bench-json:
 # baseline: per-series ns/op and allocs/op deltas, failing on >20%
 # ns/op regressions in any series present on both sides (after
 # normalizing out host drift, the median shift across shared series).
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR9.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -current $(BENCH_JSON)
 
@@ -69,6 +69,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -fuzz FuzzReadMessage -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -fuzz FuzzMsgHeadersDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -fuzz FuzzLocatorDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -fuzz FuzzTraceContextDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proof/ -fuzz FuzzProofDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/logic/ -fuzz FuzzLogicDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store/ -fuzz FuzzKVRecordDecode -fuzztime $(FUZZTIME)
@@ -94,6 +95,14 @@ sim:
 # many-client query/subscription load test.
 index-load:
 	$(GO) test ./internal/index/ -race -run 'TestReorgConsistencyProperty|TestIndexManyClientLoad' -count=1 -v
+
+# Cluster-wide commitment-latency budget: a 10-node netsim mesh under
+# sustained wallet load, every span merged into cluster timelines and
+# reduced to per-stage p50/p99 (printed with -v), plus the Byzantine
+# slow-relay variant showing which stage an attacker inflates. The
+# report is deterministic: SIM_SEED=<n> replays one seed bit-for-bit.
+latency-report:
+	$(GO) test ./internal/netsim/ -run 'TestLatencyBudget' -count=1 -v
 
 # Byzantine-actor scenarios: seven hostile peer classes (flooder,
 # garbage-sender, inv-spammer, block-withholder, equivocator, and the

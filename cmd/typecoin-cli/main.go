@@ -9,6 +9,7 @@
 //	typecoin-cli send <principal> <satoshi>
 //	typecoin-cli block <height>
 //	typecoin-cli typecoin <txid:n>
+//	typecoin-cli trace <txid|blockhash>
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
+	"time"
 )
 
 func main() {
@@ -76,6 +79,12 @@ func main() {
 			usage()
 		}
 		out, err = get(*node + "/typecoin/" + args[1])
+	case "trace":
+		if len(args) != 2 {
+			usage()
+		}
+		trace(*node, args[1])
+		return
 	default:
 		usage()
 	}
@@ -149,6 +158,76 @@ func health(node string) {
 	}
 }
 
+// trace renders a subject's commitment-latency span from /debug/spans as
+// a stage waterfall: each stage with its timestamp, the delta from the
+// previous stage, and the cumulative delta from the first stage, followed
+// by the relay hops the trace context recorded. Cross-machine clocks are
+// not comparable, so hop send/receive times are shown raw.
+func trace(node, ref string) {
+	resp, err := http.Get(node + "/debug/spans?ref=" + ref)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw))))
+	}
+	var body struct {
+		Spans []struct {
+			Ref      string `json:"ref"`
+			Kind     string `json:"kind"`
+			Origin   uint64 `json:"origin"`
+			HopCount int    `json:"hopCount"`
+			Height   int    `json:"height"`
+			Stages   []struct {
+				Stage string    `json:"stage"`
+				Time  time.Time `json:"time"`
+			} `json:"stages"`
+			Hops []struct {
+				From   string    `json:"from"`
+				Count  int       `json:"count"`
+				Origin uint64    `json:"origin"`
+				SentAt time.Time `json:"sentAt"`
+				RecvAt time.Time `json:"recvAt"`
+			} `json:"hops"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		fatal(err)
+	}
+	if len(body.Spans) == 0 {
+		fatal(fmt.Errorf("no span for %s", ref))
+	}
+	sp := body.Spans[0]
+	fmt.Printf("%s %s  origin=%d hops=%d", sp.Kind, sp.Ref, sp.Origin, sp.HopCount)
+	if sp.Height > 0 {
+		fmt.Printf(" height=%d", sp.Height)
+	}
+	fmt.Println()
+	if len(sp.Stages) == 0 {
+		return
+	}
+	start := sp.Stages[0].Time
+	prev := start
+	fmt.Printf("  %-11s %-30s %12s %12s\n", "stage", "at", "+prev", "+total")
+	for _, m := range sp.Stages {
+		fmt.Printf("  %-11s %-30s %12s %12s\n",
+			m.Stage, m.Time.Format(time.RFC3339Nano),
+			m.Time.Sub(prev).Round(time.Microsecond).String(),
+			m.Time.Sub(start).Round(time.Microsecond).String())
+		prev = m.Time
+	}
+	for _, hop := range sp.Hops {
+		fmt.Printf("  hop via %s  count=%d origin=%d sent=%s recv=%s\n",
+			hop.From, hop.Count, hop.Origin,
+			hop.SentAt.Format(time.RFC3339Nano), hop.RecvAt.Format(time.RFC3339Nano))
+	}
+}
+
 func get(url string) ([]byte, error) {
 	resp, err := http.Get(url)
 	if err != nil {
@@ -187,6 +266,7 @@ commands:
   newkey            generate a wallet key
   send <to> <sat>   pay satoshi to a principal
   block <height>    block summary
-  typecoin <txid:n> resolve a typed output`)
+  typecoin <txid:n> resolve a typed output
+  trace <hash>      commitment-latency waterfall for a tx or block`)
 	os.Exit(2)
 }

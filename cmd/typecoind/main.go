@@ -38,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -105,6 +106,7 @@ func run(args []string) int {
 	syncWindow := fs.Int("syncwindow", 0, "in-flight body downloads per peer during headers-first sync (0 = default)")
 	banThreshold := fs.Int("banthreshold", 0, "misbehavior score that bans a peer (0 = default)")
 	banDuration := fs.Duration("banduration", 0, "how long a triggered ban lasts (0 = default)")
+	traceSpans := fs.Int("trace-spans", telemetry.DefaultSpanCapacity, "commitment-latency spans kept in memory, served at /debug/spans (0 disables span tracing)")
 	loglevel := fs.String("loglevel", "info", "log verbosity: debug, info, warn, error")
 	logjson := fs.Bool("logjson", false, "emit logs as JSON lines instead of text")
 	if err := fs.Parse(args); err != nil {
@@ -274,6 +276,20 @@ func run(args []string) int {
 	m.SetTelemetry(reg)
 	node.SetTelemetry(reg, tracer)
 	ix.SetTelemetry(reg, tracer)
+	// Commitment-latency spans: a bounded store beside the tracer,
+	// wired through every stage of the commitment pipeline and exported
+	// as per-stage histograms plus the /debug/spans API.
+	var spans *telemetry.SpanStore
+	if *traceSpans > 0 {
+		spans = telemetry.NewSpanStore(*traceSpans, clock.System{})
+		spans.SetOrigin(originID(*listen, *httpAddr))
+		telemetry.RegisterSpanMetrics(reg, spans)
+		ch.SetSpans(spans)
+		pool.SetSpans(spans)
+		m.SetSpans(spans)
+		node.SetSpans(spans)
+		ix.SetSpans(spans)
+	}
 	if fileStore != nil {
 		f := fileStore
 		reg.GaugeFunc("store_journal_bytes", "Size of the write-ahead journal on disk.", func() float64 {
@@ -298,6 +314,9 @@ func run(args []string) int {
 			flushes.Inc()
 			groupSize.Observe(float64(batches))
 			flushLag.Observe(lag.Seconds())
+			// The durability watermark just advanced: stamp the durable
+			// stage on every span the flush covered.
+			spans.NotifyDurable(ch.FlushedHeight())
 		})
 	}
 	// storeDead delivers the degradation cause when -degraded-ok=false
@@ -372,6 +391,14 @@ func run(args []string) int {
 			return 1
 		}
 		logMain.Info("p2p listening", "addr", addr)
+		if *datadir != "" {
+			// Like http.addr: record the resolved p2p address so tooling
+			// can point -connect at a daemon with a kernel-assigned port.
+			p2pFile := filepath.Join(*datadir, "p2p.addr")
+			if err := os.WriteFile(p2pFile, []byte(addr), 0o644); err != nil {
+				logMain.Warn("address file write failed", "path", p2pFile, "err", err)
+			}
+		}
 	}
 	for _, peer := range strings.Split(*connect, ",") {
 		if peer == "" {
@@ -398,6 +425,7 @@ func run(args []string) int {
 	mux.Handle("/index/", http.StripPrefix("/index", ix.Handler()))
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /debug/events", tracer.Handler())
+	mux.Handle("GET /debug/spans", spans.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -689,4 +717,20 @@ func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// originID derives the opaque node identity stamped on locally created
+// latency spans and propagated in wire trace contexts. Any value that
+// distinguishes nodes of one deployment will do; the listen addresses
+// are what an operator configures distinctly per node.
+func originID(listen, httpAddr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(listen))
+	h.Write([]byte{0})
+	h.Write([]byte(httpAddr))
+	id := h.Sum64()
+	if id == 0 {
+		id = 1 // 0 means "unset" in hop adoption
+	}
+	return id
 }

@@ -99,6 +99,9 @@ func TestMetricsSmoke(t *testing.T) {
 		"store_group_flushes_total", "chain_utxo_shard_size",
 		"chain_header_height", "p2p_inflight_bodies", "p2p_download_peers",
 		"process_uptime_seconds",
+		"tx_submit_to_accept_seconds_count", "tx_accept_to_mined_seconds_count",
+		"tx_mined_to_durable_seconds_count", "tx_durable_to_indexed_seconds_count",
+		"block_first_seen_to_connected_seconds_count",
 	} {
 		if !names[want] {
 			t.Errorf("metric family %q missing from /metrics", want)

@@ -256,6 +256,9 @@ func (c *Chain) ProcessBlock(blk *wire.MsgBlock) (BlockStatus, error) {
 	if c.tel.tracer != nil {
 		c.tel.tracer.Record(telemetry.EvBlockSeen, hash.String(), "")
 	}
+	// First sight starts the block's latency span; the connect stage (or
+	// eviction from the bounded store) ends its life cycle.
+	c.tel.spans.Record(telemetry.SpanBlock, hash, telemetry.StageFirstSeen)
 	c.mu.Lock()
 	status, events, err := c.processLocked(blk)
 	c.mu.Unlock()
@@ -532,6 +535,7 @@ func (c *Chain) connectBlock(node *blockNode) ([]Notification, error) {
 		observeSince(c.tel.connectSeconds, start)
 	}
 	c.traceConnected(node)
+	c.spanConnected(node)
 	return []Notification{{Connected: true, Block: blk, Height: node.height}}, nil
 }
 
@@ -579,6 +583,11 @@ func (c *Chain) disconnectBlock() (Notification, error) {
 	c.tel.disconnects.Inc()
 	if c.tel.disconnectSeconds != nil {
 		observeSince(c.tel.disconnectSeconds, start)
+	}
+	// Guard on the tracer itself, not a sibling histogram: Record is
+	// nil-safe but its hash.String() argument is not free, and a node
+	// with a tracer and no registry must still get the event.
+	if c.tel.tracer != nil {
 		c.tel.tracer.Record(telemetry.EvBlockDisconnected, node.hash.String(),
 			fmt.Sprintf("height=%d", node.height))
 	}
@@ -644,8 +653,8 @@ func (c *Chain) reorganize(newTip *blockNode) ([]Notification, error) {
 		events = append(events, evs...)
 	}
 	c.tel.reorgs.Inc()
-	if c.tel.reorgDepth != nil {
-		c.tel.reorgDepth.Observe(float64(len(detached)))
+	c.tel.reorgDepth.Observe(float64(len(detached)))
+	if c.tel.tracer != nil {
 		c.tel.tracer.Record(telemetry.EvReorg, newTip.hash.String(),
 			fmt.Sprintf("detached=%d attached=%d height=%d", len(detached), len(attach), newTip.height))
 	}
@@ -776,6 +785,18 @@ func (c *Chain) FlushedHeight() int {
 		return c.baseFlushed
 	}
 	return c.BestHeight()
+}
+
+// flushedHeightLocked is FlushedHeight for callers already holding c.mu
+// (the tip height read replaces the locking BestHeight).
+func (c *Chain) flushedHeightLocked() int {
+	if w, ok := c.st.(watermarked); ok {
+		if h := w.Flushed(); h >= 0 {
+			return h
+		}
+		return c.baseFlushed
+	}
+	return c.tip.height
 }
 
 // IsSpent reports whether op was consumed on the main chain, and by whom.

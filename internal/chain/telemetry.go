@@ -19,6 +19,7 @@ import (
 // value (all nil) disables everything.
 type chainTelemetry struct {
 	tracer *telemetry.Tracer
+	spans  *telemetry.SpanStore
 
 	connects    *telemetry.Counter
 	disconnects *telemetry.Counter
@@ -117,6 +118,40 @@ func (c *Chain) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 			return float64(sc.Stats().Size)
 		})
 	}
+}
+
+// SetSpans routes commitment-latency span stages to s: first sight and
+// connect of blocks, inclusion/connect of their transactions, and the
+// durability and confirmation watermarks. Call once, before processing
+// blocks; s may be nil (spans disabled, the default).
+func (c *Chain) SetSpans(s *telemetry.SpanStore) {
+	c.tel.spans = s
+}
+
+// spanConnected marks the span stages a block connect implies. Mined and
+// connected are the same instant for a transaction observed through its
+// block; nodes that tracked the tx earlier (miner, mempool) have already
+// recorded the earlier stages. Observe-only: historical blocks replayed
+// during initial sync create no spans here — only subjects some other
+// path chose to track accrue stages. Caller holds c.mu.
+func (c *Chain) spanConnected(node *blockNode) {
+	sp := c.tel.spans
+	if sp == nil {
+		return
+	}
+	sp.Observe(telemetry.SpanBlock, node.hash, telemetry.StageConnected)
+	sp.MarkHeight(node.hash, node.height)
+	for i, tx := range node.block.Transactions {
+		if i == 0 {
+			continue // coinbase: never submitted, relayed or pooled
+		}
+		txid := tx.TxHash()
+		sp.Observe(telemetry.SpanTx, txid, telemetry.StageMined)
+		sp.Observe(telemetry.SpanTx, txid, telemetry.StageConnected)
+		sp.MarkHeight(txid, node.height)
+	}
+	sp.NotifyDurable(c.flushedHeightLocked())
+	sp.NotifyHeight(node.height)
 }
 
 // recordStatus translates a ProcessBlock outcome into counters and a

@@ -26,6 +26,7 @@ import (
 	"typecoin/internal/chainhash"
 	"typecoin/internal/script"
 	"typecoin/internal/store"
+	"typecoin/internal/telemetry"
 	"typecoin/internal/typecoin"
 	"typecoin/internal/wire"
 )
@@ -365,6 +366,18 @@ func (ix *Indexer) onChainChange(n chain.Notification) {
 	blkHash := n.Block.BlockHash()
 	if n.Connected {
 		ix.tipHeight.Store(int64(n.Height))
+		// Index visibility: the rows committed with this block are now
+		// queryable. Observe-only, so catch-up replay of historical
+		// blocks does not fabricate spans.
+		if sp := ix.tel.spans; sp != nil {
+			sp.Observe(telemetry.SpanBlock, blkHash, telemetry.StageIndexed)
+			for i, tx := range n.Block.Transactions {
+				if i == 0 {
+					continue
+				}
+				sp.Observe(telemetry.SpanTx, tx.TxHash(), telemetry.StageIndexed)
+			}
+		}
 	} else {
 		ix.tipHeight.Store(int64(n.Height - 1))
 	}

@@ -14,6 +14,7 @@ const evIndexSubscriber = telemetry.EvIndexSubscriber
 
 type indexTelemetry struct {
 	tracer *telemetry.Tracer
+	spans  *telemetry.SpanStore
 
 	rowsWritten   *telemetry.Counter
 	rowsDeleted   *telemetry.Counter
@@ -52,4 +53,11 @@ func (ix *Indexer) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		tr.Record(telemetry.EvIndexCatchup, "",
 			fmt.Sprintf("blocks=%d tip=%d", ix.catchupBlocks, ix.TipHeight()))
 	}
+}
+
+// SetSpans routes commitment-latency span stages to s: a connected
+// block's post-commit publish marks the indexed stage for the block and
+// its transactions. Call once, after Open; s may be nil (the default).
+func (ix *Indexer) SetSpans(s *telemetry.SpanStore) {
+	ix.tel.spans = s
 }

@@ -262,6 +262,10 @@ func (p *Pool) Accept(tx *wire.MsgTx) (int64, error) {
 		p.tel.tracer.Record(telemetry.EvTxAccepted, tx.TxHash().String(),
 			fmt.Sprintf("fee=%d size=%d", fee, tx.SerializeSize()))
 	}
+	// Acceptance creates the transaction's latency span: on the
+	// submitting node it follows the submitted stage, on relay peers it
+	// is the first local sight of the tx.
+	p.tel.spans.Record(telemetry.SpanTx, tx.TxHash(), telemetry.StageAccepted)
 	p.onAcceptMu.RLock()
 	hook := p.onAccept
 	p.onAcceptMu.RUnlock()
@@ -454,15 +458,20 @@ func (p *Pool) MiningCandidates(maxTxs int) []*wire.MsgTx {
 // are re-admitted when still valid.
 func (p *Pool) onChainChange(n chain.Notification) {
 	if n.Connected {
+		// Hoist the tracer check out of the per-tx loop: txid.String()
+		// and the detail formatting must cost nothing when tracing is
+		// off, and a full block is hundreds of transactions.
+		tr := p.tel.tracer
 		p.mu.Lock()
 		for _, tx := range n.Block.Transactions {
 			txid := tx.TxHash()
 			if _, pooled := p.pool[txid]; pooled {
 				p.tel.mined.Inc()
-				if p.tel.tracer != nil {
-					p.tel.tracer.Record(telemetry.EvTxMined, txid.String(),
+				if tr != nil {
+					tr.Record(telemetry.EvTxMined, txid.String(),
 						fmt.Sprintf("height=%d", n.Height))
 				}
+				p.tel.spans.Observe(telemetry.SpanTx, txid, telemetry.StageMined)
 			}
 			p.removeLocked(txid)
 			// Evict anything that now conflicts with a confirmed spend.

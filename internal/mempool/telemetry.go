@@ -14,6 +14,7 @@ import (
 
 type poolTelemetry struct {
 	tracer *telemetry.Tracer
+	spans  *telemetry.SpanStore
 
 	accepted  *telemetry.Counter
 	rejected  *telemetry.CounterVec // by policy reason
@@ -45,6 +46,13 @@ func (p *Pool) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	reg.GaugeFunc("mempool_fee_floor", "Dynamic eviction fee floor in satoshi per kB (0 = inactive).", func() float64 {
 		return float64(p.FeeFloor())
 	})
+}
+
+// SetSpans routes commitment-latency span stages to s: acceptance
+// creates a transaction's span, confirmation marks the mined stage.
+// Call once, before accepting transactions; s may be nil (the default).
+func (p *Pool) SetSpans(s *telemetry.SpanStore) {
+	p.tel.spans = s
 }
 
 // rejectReason maps an admission error onto a bounded label set. The

@@ -35,6 +35,14 @@ type Miner struct {
 	attempts    *telemetry.Counter
 	blocksFound *telemetry.Counter
 	blockTxs    *telemetry.Histogram
+	spans       *telemetry.SpanStore
+}
+
+// SetSpans routes commitment-latency span stages to s: solving a block
+// marks the mined stage on every included transaction the node tracks.
+// Call once, before mining; s may be nil (the default).
+func (m *Miner) SetSpans(s *telemetry.SpanStore) {
+	m.spans = s
 }
 
 // SetTelemetry registers the miner's metrics on reg. Call once, before
@@ -193,6 +201,14 @@ func (m *Miner) Mine(payout bkey.Principal) (*wire.MsgBlock, chain.BlockStatus, 
 	m.attempts.Add(n)
 	if err != nil {
 		return nil, chain.StatusInvalid, err
+	}
+	// On the mining node a transaction's mined moment is when the solved
+	// block exists, a beat before the chain connects it. Observe-only:
+	// only transactions whose spans acceptance already created.
+	if m.spans != nil {
+		for _, tx := range blk.Transactions[1:] {
+			m.spans.Observe(telemetry.SpanTx, tx.TxHash(), telemetry.StageMined)
+		}
 	}
 	status, err := m.chain.ProcessBlock(blk)
 	if err != nil {

@@ -44,11 +44,14 @@ type Harness struct {
 	// engines mid-run.
 	Stores []store.Store
 
-	// Per-node observability: one registry and one block-lifecycle
-	// tracer per node, so scenarios can assert on defense and chain
-	// counters (see Metric).
+	// Per-node observability: one registry, one block-lifecycle tracer
+	// and one commitment-latency span store per node, so scenarios can
+	// assert on defense and chain counters (see Metric) and merge causal
+	// spans across the cluster (see AssembleTrace). All span stores run
+	// on the shared virtual clock, so cross-node stage deltas are exact.
 	Regs    []*telemetry.Registry
 	Tracers []*telemetry.Tracer
+	Spans   []*telemetry.SpanStore
 
 	base   time.Time // virtual time origin for the block schedule
 	blocks int       // global mined-block counter
@@ -120,9 +123,17 @@ func NewHarnessWithStores(t testing.TB, seed int64, n int, cfg LinkConfig, store
 		node := p2p.NewNode(c, pool, nil)
 		reg := telemetry.NewRegistry()
 		tr := telemetry.NewTracer(telemetry.DefaultTraceCapacity, clk)
+		// Span origin ids are 1-based node indices: deterministic, and 0
+		// stays "unset" for hop adoption.
+		spans := telemetry.NewSpanStore(telemetry.DefaultSpanCapacity, clk)
+		spans.SetOrigin(uint64(i + 1))
+		telemetry.RegisterSpanMetrics(reg, spans)
 		c.SetTelemetry(reg, tr)
+		c.SetSpans(spans)
 		pool.SetTelemetry(reg, tr)
+		pool.SetSpans(spans)
 		node.SetTelemetry(reg, tr)
+		node.SetSpans(spans)
 		// Every node runs a chain index, so scenarios that reorg nodes
 		// through partitions exercise the index's disconnect path too.
 		ix, err := index.Open(c)
@@ -130,6 +141,7 @@ func NewHarnessWithStores(t testing.TB, seed int64, n int, cfg LinkConfig, store
 			t.Fatalf("node %d index: %v", i, err)
 		}
 		ix.SetTelemetry(reg, tr)
+		ix.SetSpans(spans)
 		node.SetTransport(h.Net.Transport(h.Host(i)))
 		// Generous real-time redial budget: a partition must not
 		// exhaust it before the heal.
@@ -146,6 +158,7 @@ func NewHarnessWithStores(t testing.TB, seed int64, n int, cfg LinkConfig, store
 		}
 		mn := miner.New(c, pool, clk)
 		mn.SetTelemetry(reg)
+		mn.SetSpans(spans)
 		if hr, ok := st.(store.HealthReporter); ok {
 			reg.GaugeFunc("store_health",
 				"Store health state (0 healthy, 1 recovering, 2 degraded-readonly).",
@@ -166,6 +179,7 @@ func NewHarnessWithStores(t testing.TB, seed int64, n int, cfg LinkConfig, store
 		h.Indexes = append(h.Indexes, ix)
 		h.Regs = append(h.Regs, reg)
 		h.Tracers = append(h.Tracers, tr)
+		h.Spans = append(h.Spans, spans)
 	}
 	t.Cleanup(func() {
 		for _, node := range h.Nodes {
@@ -248,6 +262,51 @@ func (h *Harness) Settle(ticks int) {
 		h.Clk.Advance(20 * time.Millisecond)
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// SettleIdle advances virtual time like Settle but waits for the nodes
+// to go fully idle between ticks: after each advance it polls the
+// network's frame counters until they hold still for two consecutive
+// polls (bounded real time per tick). Handlers therefore finish the
+// causal cascade a tick delivered before the next tick starts, so every
+// span timestamp lands on the virtual tick that caused it — which is
+// what makes latency-budget reports a pure function of the seed.
+func (h *Harness) SettleIdle(ticks int) {
+	for k := 0; k < ticks; k++ {
+		h.Clk.Advance(20 * time.Millisecond)
+		deadline := time.Now().Add(settleTickDeadline)
+		prev := h.Net.Stats()
+		calm := 0
+		for calm < settleCalmPolls && time.Now().Before(deadline) {
+			time.Sleep(settleCalmSleep)
+			cur := h.Net.Stats()
+			if cur == prev {
+				calm++
+			} else {
+				calm = 0
+				prev = cur
+			}
+		}
+	}
+}
+
+// MineIdle is Mine with the deterministic SettleIdle drain instead of
+// Settle, for latency-tracing scenarios.
+func (h *Harness) MineIdle(i, ticks int) *wire.MsgBlock {
+	h.T.Helper()
+	h.blocks++
+	target := h.base.Add(time.Duration(h.blocks) * time.Minute)
+	if h.Clk.Now().Before(target) {
+		h.Clk.Set(target)
+	} else {
+		h.Clk.Advance(time.Minute)
+	}
+	blk, _, err := h.Miners[i].Mine(h.Payouts[i])
+	if err != nil {
+		h.T.Fatalf("mine on node %d: %v", i, err)
+	}
+	h.SettleIdle(ticks)
+	return blk
 }
 
 // WaitFor polls cond while driving the virtual clock, failing the test

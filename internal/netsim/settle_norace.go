@@ -1,0 +1,16 @@
+//go:build !race
+
+package netsim
+
+import "time"
+
+// Quiescence parameters for SettleIdle: a tick is settled once the
+// network's message counters hold still for settleCalmPolls consecutive
+// polls spaced settleCalmSleep apart, bounded by settleTickDeadline of
+// real time. Without the race detector, handler turnaround is fast and
+// a short calm window keeps idle-settled scenarios cheap.
+const (
+	settleCalmPolls    = 2
+	settleCalmSleep    = time.Millisecond
+	settleTickDeadline = 200 * time.Millisecond
+)

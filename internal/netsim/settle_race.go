@@ -1,0 +1,15 @@
+//go:build race
+
+package netsim
+
+import "time"
+
+// Under the race detector everything between a message delivery and the
+// next send runs many times slower, so a short calm window would call a
+// tick settled while a handler is still mid-cascade. Widen the window
+// and the per-tick budget accordingly.
+const (
+	settleCalmPolls    = 5
+	settleCalmSleep    = 2 * time.Millisecond
+	settleTickDeadline = 2 * time.Second
+)

@@ -909,12 +909,14 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 					if err := p.send(wire.CmdBlock, blk.Bytes()); err != nil {
 						return err
 					}
+					n.sendTraceContext(p, telemetry.SpanBlock, iv.Hash)
 				}
 			case wire.InvTypeTx:
 				if tx, ok := n.pool.Tx(iv.Hash); ok {
 					if err := p.send(wire.CmdTx, tx.Bytes()); err != nil {
 						return err
 					}
+					n.sendTraceContext(p, telemetry.SpanTx, iv.Hash)
 				}
 			}
 		}
@@ -996,6 +998,28 @@ func (n *Node) handleMessage(p *Peer, msg *wire.Message) error {
 			return nil
 		}
 		n.announce(wire.InvVect{Type: wire.InvTypeTx, Hash: txid}, p)
+		return nil
+
+	case wire.CmdTrace:
+		tc, err := wire.DecodeTraceContext(msg.Payload)
+		if err != nil {
+			// Checksummed frame: a malformed context is sender-made.
+			n.penalize(p, pol.PenaltyMalformed, "malformed trace context")
+			return err
+		}
+		// Advisory hop record for a span some earlier message created
+		// (the subject itself always travels first). Unknown subjects
+		// drop silently — spans are bounded and strictly best-effort.
+		if sp := n.tel.spans; sp != nil {
+			sp.AddHop(tc.Subject, telemetry.Hop{
+				From:     p.addrKey,
+				Count:    int(tc.Hops),
+				Origin:   tc.Origin,
+				OriginAt: tc.OriginAt,
+				SentAt:   tc.SentAt,
+				RecvAt:   now,
+			})
+		}
 		return nil
 
 	case wire.CmdTcTx, wire.CmdTcList, wire.CmdTcBatch:
@@ -1272,6 +1296,10 @@ func (n *Node) announce(iv wire.InvVect, except *Peer) {
 func (n *Node) BroadcastTx(tx *wire.MsgTx) error {
 	txid := tx.TxHash()
 	if !n.pool.Have(txid) {
+		// The submitted stage opens the commitment's latency span; the
+		// pool's acceptance (or rejection, leaving a submit-only span)
+		// is the next beat.
+		n.tel.spans.Record(telemetry.SpanTx, txid, telemetry.StageSubmitted)
 		if _, err := n.pool.Accept(tx); err != nil {
 			return err
 		}

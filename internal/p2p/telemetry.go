@@ -10,11 +10,14 @@ package p2p
 import (
 	"strconv"
 
+	"typecoin/internal/chainhash"
 	"typecoin/internal/telemetry"
+	"typecoin/internal/wire"
 )
 
 type nodeTelemetry struct {
 	tracer *telemetry.Tracer
+	spans  *telemetry.SpanStore
 
 	recvMsgs  *telemetry.CounterVec // by peer host
 	recvBytes *telemetry.CounterVec
@@ -119,4 +122,40 @@ func (n *Node) logWarn(msg string, args ...any) {
 	if n.logger != nil {
 		n.logger.Warn(msg, args...)
 	}
+}
+
+// SetSpans routes commitment-latency span stages to s: local submission
+// creates a transaction's span, serving a subject marks the relayed
+// stage and emits a wire trace context, and received contexts land as
+// relay hops. Call once, before Listen or Dial; s may be nil (the
+// default, spans disabled).
+func (n *Node) SetSpans(s *telemetry.SpanStore) {
+	n.tel.spans = s
+}
+
+// sendTraceContext follows a just-served tx or block with its compact
+// trace context, letting the receiver attribute the relay hop to the
+// origin span. No-op unless the local span store tracks the subject;
+// relay chains deeper than wire.MaxTraceHops stop propagating. The send
+// itself is advisory — a failure only means the peer misses a hop
+// record, so errors are swallowed.
+func (n *Node) sendTraceContext(p *Peer, kind telemetry.SpanKind, subject chainhash.Hash) {
+	sp := n.tel.spans
+	if sp == nil {
+		return
+	}
+	origin, originAt, hops, ok := sp.WireInfo(subject)
+	if !ok || hops+1 > wire.MaxTraceHops {
+		return
+	}
+	sp.Observe(kind, subject, telemetry.StageRelayed)
+	tc := &wire.TraceContext{
+		Kind:     byte(kind),
+		Subject:  subject,
+		Origin:   origin,
+		Hops:     uint8(hops + 1),
+		OriginAt: originAt,
+		SentAt:   n.clk.Now(),
+	}
+	_ = p.send(wire.CmdTrace, tc.Encode())
 }

@@ -134,7 +134,9 @@ func NewGroup(inner Store, cfg GroupConfig) *Group {
 
 // SetOnFlush installs a hook observed after every successful group
 // flush with the group size and the flush lag (time the oldest batch
-// spent pending). Telemetry seam; call before concurrent use.
+// spent pending). Fired without the group lock held, so the hook may
+// call back into the Group (e.g. Flushed). Telemetry seam; call before
+// concurrent use.
 func (g *Group) SetOnFlush(fn func(batches int, lag time.Duration)) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -354,6 +356,7 @@ func (g *Group) flushPending() bool {
 		}
 	}
 
+	var notifyFlush func()
 	if len(take) > 0 {
 		last := take[len(take)-1]
 		g.durable = last.seq
@@ -367,12 +370,18 @@ func (g *Group) flushPending() bool {
 				delete(g.overlay, k)
 			}
 		}
-		if g.onFlush != nil {
-			g.onFlush(len(take), time.Since(take[0].enqueued))
+		if fn := g.onFlush; fn != nil {
+			// Fire outside g.mu so the hook can read the watermark back
+			// (Flushed) without self-deadlocking.
+			batches, lag := len(take), time.Since(take[0].enqueued)
+			notifyFlush = func() { fn(batches, lag) }
 		}
 	}
 	retryNeeded := syncErr != nil && g.sticky == nil
 	g.finishFlushAndUnlock(syncErr)
+	if notifyFlush != nil {
+		notifyFlush()
+	}
 	return !retryNeeded
 }
 

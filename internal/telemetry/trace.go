@@ -105,6 +105,16 @@ func (t *Tracer) Record(kind, ref, detail string) {
 // Events returns up to limit most-recent events (0 = all buffered),
 // oldest first, optionally filtered to those whose Ref equals ref.
 func (t *Tracer) Events(ref string, limit int) []Event {
+	return t.EventsSince(ref, "", 0, limit)
+}
+
+// EventsSince returns up to limit most-recent events, oldest first,
+// filtered by Ref (ref != ""), by Kind (kind != ""), and to events with
+// Seq strictly greater than since. Sequence numbers are monotone across
+// eviction, so a poller that remembers the last Seq it saw can tail the
+// ring incrementally: since=<last seen> returns only what is new (and
+// silently skips anything that was evicted before the poll).
+func (t *Tracer) EventsSince(ref, kind string, since uint64, limit int) []Event {
 	if t == nil {
 		return nil
 	}
@@ -112,9 +122,16 @@ func (t *Tracer) Events(ref string, limit int) []Event {
 	all := make([]Event, 0, t.n)
 	for i := 0; i < t.n; i++ {
 		ev := t.buf[(t.start+i)%len(t.buf)]
-		if ref == "" || ev.Ref == ref {
-			all = append(all, ev)
+		if ev.Seq <= since {
+			continue
 		}
+		if ref != "" && ev.Ref != ref {
+			continue
+		}
+		if kind != "" && ev.Kind != kind {
+			continue
+		}
+		all = append(all, ev)
 	}
 	t.mu.Unlock()
 	if limit > 0 && len(all) > limit {
@@ -135,7 +152,9 @@ func (t *Tracer) Len() int {
 
 // Handler serves the buffer as JSON (GET /debug/events). Query
 // parameters: ref=<hash|addr> filters by correlating identity,
-// limit=<n> caps the result to the n most recent matches.
+// kind=<ev> filters by event kind, since=<seq> returns only events past
+// that sequence cursor, limit=<n> caps the result to the n most recent
+// matches.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		limit := 0
@@ -144,7 +163,13 @@ func (t *Tracer) Handler() http.Handler {
 				limit = n
 			}
 		}
-		events := t.Events(r.URL.Query().Get("ref"), limit)
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+				since = n
+			}
+		}
+		events := t.EventsSince(r.URL.Query().Get("ref"), r.URL.Query().Get("kind"), since, limit)
 		if events == nil {
 			events = []Event{}
 		}

@@ -91,3 +91,69 @@ func TestTracerHandler(t *testing.T) {
 		t.Fatalf("wrong events: %+v", body.Events)
 	}
 }
+
+func TestTracerEventsSinceAndKind(t *testing.T) {
+	tr := NewTracer(8, clock.NewSimulated(time.Unix(42, 0)))
+	tr.Record(EvTxAccepted, "aa", "")
+	tr.Record(EvTxMined, "aa", "")
+	tr.Record(EvTxAccepted, "bb", "")
+	tr.Record(EvTxMined, "bb", "")
+
+	// Kind filter alone.
+	mined := tr.EventsSince("", EvTxMined, 0, 0)
+	if len(mined) != 2 || mined[0].Ref != "aa" || mined[1].Ref != "bb" {
+		t.Fatalf("kind filter wrong: %+v", mined)
+	}
+
+	// Cursor: tail past the first two events.
+	tail := tr.EventsSince("", "", 2, 0)
+	if len(tail) != 2 || tail[0].Seq != 3 || tail[1].Seq != 4 {
+		t.Fatalf("since cursor wrong: %+v", tail)
+	}
+
+	// Incremental poll: remember last Seq, record more, poll again.
+	last := tail[len(tail)-1].Seq
+	tr.Record(EvTxEvicted, "cc", "")
+	next := tr.EventsSince("", "", last, 0)
+	if len(next) != 1 || next[0].Kind != EvTxEvicted {
+		t.Fatalf("incremental poll wrong: %+v", next)
+	}
+
+	// Combined ref+kind+since.
+	if got := tr.EventsSince("bb", EvTxMined, 0, 0); len(got) != 1 || got[0].Seq != 4 {
+		t.Fatalf("combined filter wrong: %+v", got)
+	}
+	if got := tr.EventsSince("bb", EvTxMined, 4, 0); len(got) != 0 {
+		t.Fatalf("cursor past match returned %+v", got)
+	}
+}
+
+func TestTracerHandlerSinceKindParams(t *testing.T) {
+	tr := NewTracer(8, clock.NewSimulated(time.Unix(42, 0)))
+	tr.Record(EvBlockSeen, "aa", "")
+	tr.Record(EvBlockConnected, "aa", "")
+	tr.Record(EvBlockSeen, "bb", "")
+
+	get := func(q string) []Event {
+		req := httptest.NewRequest("GET", "/debug/events"+q, nil)
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, req)
+		var body struct {
+			Events []Event `json:"events"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON for %s: %v", q, err)
+		}
+		return body.Events
+	}
+
+	if evs := get("?kind=block_seen"); len(evs) != 2 {
+		t.Fatalf("kind param: %+v", evs)
+	}
+	if evs := get("?since=2"); len(evs) != 1 || evs[0].Ref != "bb" {
+		t.Fatalf("since param: %+v", evs)
+	}
+	if evs := get("?since=1&kind=block_seen&ref=bb"); len(evs) != 1 || evs[0].Seq != 3 {
+		t.Fatalf("combined params: %+v", evs)
+	}
+}

@@ -45,6 +45,11 @@ const (
 	// (inv-encoded); a node that saw a carrier confirm without ever
 	// receiving the object re-requests it this way after a partition.
 	CmdTcGet = "tcget"
+
+	// CmdTrace carries an optional latency trace context alongside a tx
+	// or block relay (see trace.go). Peers that predate it treat it as
+	// an unknown command, which the protocol already tolerates.
+	CmdTrace = "trace"
 )
 
 const commandSize = 12

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"typecoin/internal/chainhash"
+)
+
+// A trace context is a compact, fixed-size companion message a relaying
+// node may send immediately after serving a tx or block, letting the
+// receiver attribute the relay hop to the span it keeps for that
+// subject. It is strictly advisory: nodes that do not understand
+// CmdTrace ignore it (unknown commands are tolerated), and a malformed
+// context penalizes the sender like any other sender-made garbage.
+//
+// Timestamps travel as Unix nanoseconds on the sender's clock. They are
+// only comparable with the receiver's clock when both run on the same
+// clock — the netsim cluster's shared virtual clock. Real deployments
+// use them for within-node deltas only; no clock synchronization is
+// assumed.
+
+// TraceKind* are the subject kinds a trace context can describe. The
+// values match telemetry.SpanTx / telemetry.SpanBlock.
+const (
+	TraceKindTx    byte = 1
+	TraceKindBlock byte = 2
+)
+
+// MaxTraceHops bounds the hop counter a context may carry; contexts
+// claiming deeper relay chains are rejected, bounding what a hostile
+// peer can make us store.
+const MaxTraceHops = 64
+
+// traceVersion is the only encoding version currently defined.
+const traceVersion byte = 1
+
+// tracePayloadLen is the serialized size of a trace context:
+// version(1) kind(1) subject(32) origin(8) hops(1) originAt(8) sentAt(8).
+const tracePayloadLen = 2 + chainhash.HashSize + 8 + 1 + 8 + 8
+
+// ErrBadTracePayload marks a trace payload with the wrong length,
+// version, kind, or an out-of-range hop count.
+var ErrBadTracePayload = errors.New("wire: bad trace payload")
+
+// TraceContext is the decoded form of a CmdTrace payload.
+type TraceContext struct {
+	Kind     byte           // TraceKindTx or TraceKindBlock
+	Subject  chainhash.Hash // the tx or block the hop delivered
+	Origin   uint64         // originating node identity (opaque)
+	Hops     uint8          // relay edges traversed including this one
+	OriginAt time.Time      // span creation on the origin's clock
+	SentAt   time.Time      // send time on the relaying peer's clock
+}
+
+// Encode serializes the context into a fresh CmdTrace payload.
+func (tc *TraceContext) Encode() []byte {
+	out := make([]byte, tracePayloadLen)
+	out[0] = traceVersion
+	out[1] = tc.Kind
+	copy(out[2:], tc.Subject[:])
+	off := 2 + chainhash.HashSize
+	binary.LittleEndian.PutUint64(out[off:], tc.Origin)
+	out[off+8] = tc.Hops
+	binary.LittleEndian.PutUint64(out[off+9:], uint64(tc.OriginAt.UnixNano()))
+	binary.LittleEndian.PutUint64(out[off+17:], uint64(tc.SentAt.UnixNano()))
+	return out
+}
+
+// DecodeTraceContext parses a CmdTrace payload, rejecting anything but
+// an exact-length, known-version, known-kind, bounded-hop context.
+func DecodeTraceContext(b []byte) (*TraceContext, error) {
+	if len(b) != tracePayloadLen {
+		return nil, ErrBadTracePayload
+	}
+	if b[0] != traceVersion {
+		return nil, ErrBadTracePayload
+	}
+	tc := &TraceContext{Kind: b[1]}
+	if tc.Kind != TraceKindTx && tc.Kind != TraceKindBlock {
+		return nil, ErrBadTracePayload
+	}
+	copy(tc.Subject[:], b[2:2+chainhash.HashSize])
+	off := 2 + chainhash.HashSize
+	tc.Origin = binary.LittleEndian.Uint64(b[off:])
+	tc.Hops = b[off+8]
+	if tc.Hops == 0 || tc.Hops > MaxTraceHops {
+		return nil, ErrBadTracePayload
+	}
+	tc.OriginAt = time.Unix(0, int64(binary.LittleEndian.Uint64(b[off+9:]))).UTC()
+	tc.SentAt = time.Unix(0, int64(binary.LittleEndian.Uint64(b[off+17:]))).UTC()
+	return tc, nil
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"typecoin/internal/chainhash"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := &TraceContext{
+		Kind:     TraceKindTx,
+		Subject:  chainhash.HashB([]byte("subject")),
+		Origin:   0xdeadbeefcafe,
+		Hops:     3,
+		OriginAt: time.Unix(1700000000, 12345),
+		SentAt:   time.Unix(1700000060, 67890),
+	}
+	got, err := DecodeTraceContext(tc.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Kind != tc.Kind || got.Subject != tc.Subject || got.Origin != tc.Origin || got.Hops != tc.Hops {
+		t.Fatalf("roundtrip mismatch: got %+v want %+v", got, tc)
+	}
+	if got.OriginAt.UnixNano() != tc.OriginAt.UnixNano() || got.SentAt.UnixNano() != tc.SentAt.UnixNano() {
+		t.Fatalf("timestamp mismatch: got %v/%v want %v/%v",
+			got.OriginAt, got.SentAt, tc.OriginAt, tc.SentAt)
+	}
+}
+
+func TestTraceContextRejects(t *testing.T) {
+	valid := (&TraceContext{
+		Kind: TraceKindBlock, Hops: 1,
+		OriginAt: time.Unix(1, 0), SentAt: time.Unix(2, 0),
+	}).Encode()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       valid[:len(valid)-1],
+		"long":        append(append([]byte{}, valid...), 0),
+		"bad version": append([]byte{9}, valid[1:]...),
+		"bad kind":    append([]byte{valid[0], 7}, valid[2:]...),
+		"zero hops":   mutate(valid, 2+chainhash.HashSize+8, 0),
+		"hop bomb":    mutate(valid, 2+chainhash.HashSize+8, MaxTraceHops+1),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeTraceContext(payload); !errors.Is(err, ErrBadTracePayload) {
+			t.Errorf("%s: got err %v, want ErrBadTracePayload", name, err)
+		}
+	}
+}
+
+func mutate(b []byte, idx int, v byte) []byte {
+	out := append([]byte{}, b...)
+	out[idx] = v
+	return out
+}
+
+// FuzzTraceContextDecode drives the trace-context decoder with hostile
+// payloads: every input must either be rejected or decode to a context
+// that re-encodes to the identical bytes (the codec is canonical).
+func FuzzTraceContextDecode(f *testing.F) {
+	f.Add((&TraceContext{
+		Kind: TraceKindTx, Origin: 42, Hops: 1,
+		OriginAt: time.Unix(1700000000, 0), SentAt: time.Unix(1700000001, 0),
+	}).Encode())
+	f.Add((&TraceContext{
+		Kind: TraceKindBlock, Origin: ^uint64(0), Hops: MaxTraceHops,
+		OriginAt: time.Unix(0, 0), SentAt: time.Unix(0, 0),
+	}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{traceVersion})
+	f.Add(bytes.Repeat([]byte{0xff}, tracePayloadLen))
+	f.Add(bytes.Repeat([]byte{0}, tracePayloadLen*4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tc, err := DecodeTraceContext(data)
+		if err != nil {
+			return
+		}
+		if tc.Hops == 0 || tc.Hops > MaxTraceHops {
+			t.Fatalf("decoder admitted out-of-range hop count %d", tc.Hops)
+		}
+		if !bytes.Equal(tc.Encode(), data) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data, tc.Encode())
+		}
+	})
+}
